@@ -1,0 +1,91 @@
+//! The latency-based profiling technique of Callas (§5.3.1).
+//!
+//! Callas detects heavily contended transactions by increasing the
+//! workload's request rate and looking for transaction types whose latency
+//! grows disproportionately. The case study of §5.3.1 (payment /
+//! stock_level under the Fig. 5.4 configuration) shows this technique can
+//! point at the *victim* of cascading blocking instead of the root cause;
+//! it is reproduced here as the baseline that Fig. 5.5 contrasts with the
+//! blocking-time profiler.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use tebaldi_storage::TxnTypeId;
+
+/// Mean latency of each type at one load level.
+#[derive(Clone, Debug, Serialize)]
+pub struct LoadLevelSample {
+    /// Number of closed-loop clients used for the sample.
+    pub clients: usize,
+    /// Mean latency per type, in milliseconds.
+    pub mean_latency_ms: HashMap<u32, f64>,
+}
+
+/// The types the latency technique would flag, with their growth factors.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct LatencyDiagnosis {
+    /// Latency growth factor per type between the lowest and highest load
+    /// level (highest mean / lowest mean).
+    pub growth: HashMap<u32, f64>,
+    /// Types flagged as "the bottleneck" (growth within 50% of the maximum).
+    pub suspected: Vec<u32>,
+}
+
+/// Analyses a latency-vs-load sweep the way Callas' guideline does.
+pub fn diagnose(samples: &[LoadLevelSample]) -> LatencyDiagnosis {
+    if samples.len() < 2 {
+        return LatencyDiagnosis::default();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by_key(|s| s.clients);
+    let low = &sorted[0];
+    let high = &sorted[sorted.len() - 1];
+    let mut growth: HashMap<u32, f64> = HashMap::new();
+    for (ty, high_lat) in &high.mean_latency_ms {
+        let low_lat = low.mean_latency_ms.get(ty).copied().unwrap_or(*high_lat);
+        if low_lat > 0.0 {
+            growth.insert(*ty, high_lat / low_lat);
+        }
+    }
+    let max_growth = growth.values().copied().fold(0.0_f64, f64::max);
+    let mut suspected: Vec<u32> = growth
+        .iter()
+        .filter(|(_, g)| **g >= max_growth * 0.5 && **g > 1.5)
+        .map(|(ty, _)| *ty)
+        .collect();
+    suspected.sort_unstable();
+    LatencyDiagnosis { growth, suspected }
+}
+
+/// Convenience constructor for one load-level sample.
+pub fn sample(clients: usize, latencies: &[(TxnTypeId, f64)]) -> LoadLevelSample {
+    LoadLevelSample {
+        clients,
+        mean_latency_ms: latencies.iter().map(|(ty, l)| (ty.0, *l)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_type_with_largest_growth() {
+        // payment's latency explodes, stock_level's stays flat — exactly the
+        // misleading picture of Fig. 5.5.
+        let samples = vec![
+            sample(10, &[(TxnTypeId(0), 2.0), (TxnTypeId(4), 5.0)]),
+            sample(1000, &[(TxnTypeId(0), 200.0), (TxnTypeId(4), 6.0)]),
+        ];
+        let diagnosis = diagnose(&samples);
+        assert_eq!(diagnosis.suspected, vec![0]);
+        assert!(diagnosis.growth[&0] > 50.0);
+        assert!(diagnosis.growth[&4] < 2.0);
+    }
+
+    #[test]
+    fn needs_at_least_two_levels() {
+        let diagnosis = diagnose(&[sample(10, &[(TxnTypeId(0), 1.0)])]);
+        assert!(diagnosis.suspected.is_empty());
+    }
+}

@@ -1,0 +1,518 @@
+//! The optimization stage (§5.4): proposing new MCC configurations.
+//!
+//! Given the current configuration and the bottleneck conflict edge
+//! reported by the profiler, the optimizer generates candidate
+//! configurations following the three localized-rewrite strategies of the
+//! paper:
+//!
+//! * **Case 1** — the bottleneck is among instances of a single type: split
+//!   that type out of its leaf and give it a better-suited mechanism,
+//!   keeping the original mechanism as the new inner node (Fig. 5.7),
+//! * **Case 2** — the bottleneck is between two types of the same group:
+//!   introduce a new mechanism that only regulates the conflicts between
+//!   those two types (Fig. 5.8), or merge them into one leaf under a more
+//!   aggressive mechanism,
+//! * **Case 3** — the bottleneck spans two different groups: move one of
+//!   the two types next to the other under a new cross-group mechanism
+//!   placed along the path from their lowest common ancestor (Fig. 5.9).
+//!
+//! CC-specific filters (§5.4.1) remove candidates that are unlikely to help:
+//! mechanisms not designed for heavy contention are never proposed as the
+//! new optimizing mechanism, TSO is never proposed as an inner node, and
+//! SSI is only proposed as an inner node when one side is read-only (it
+//! would otherwise need batching). CC-specific preprocessing (§5.4.2) adds
+//! partition-by-instance variants for TSO leaves.
+
+use serde::Serialize;
+use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec, ProcedureSet};
+use tebaldi_storage::TxnTypeId;
+
+/// A proposed configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct Candidate {
+    /// The proposed configuration.
+    pub spec: CcTreeSpec,
+    /// Human-readable description of the rewrite.
+    pub description: String,
+}
+
+/// Optimizer options.
+#[derive(Clone, Debug)]
+pub struct OptimizerOptions {
+    /// Mechanisms considered for new leaf groups.
+    pub leaf_mechanisms: Vec<CcKind>,
+    /// Mechanisms considered for new inner (cross-group) nodes.
+    pub inner_mechanisms: Vec<CcKind>,
+    /// Whether to also emit partition-by-instance variants for TSO leaves.
+    pub enable_partition_by_instance: bool,
+    /// Number of instance partitions to propose.
+    pub instance_partitions: u32,
+}
+
+impl Default for OptimizerOptions {
+    fn default() -> Self {
+        OptimizerOptions {
+            leaf_mechanisms: vec![CcKind::Rp, CcKind::Tso, CcKind::Ssi],
+            inner_mechanisms: vec![CcKind::Rp, CcKind::Ssi, CcKind::TwoPl],
+            enable_partition_by_instance: true,
+            instance_partitions: 8,
+        }
+    }
+}
+
+/// Where a type lives in a spec tree: the path of child indices from the
+/// root to its leaf.
+fn find_leaf_path(node: &CcNodeSpec, ty: TxnTypeId, path: &mut Vec<usize>) -> bool {
+    if node.is_leaf() {
+        return node.txn_types.contains(&ty);
+    }
+    for (idx, child) in node.children.iter().enumerate() {
+        path.push(idx);
+        if find_leaf_path(child, ty, path) {
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+fn node_at_mut<'a>(root: &'a mut CcNodeSpec, path: &[usize]) -> &'a mut CcNodeSpec {
+    let mut node = root;
+    for idx in path {
+        node = &mut node.children[*idx];
+    }
+    node
+}
+
+fn node_at<'a>(root: &'a CcNodeSpec, path: &[usize]) -> &'a CcNodeSpec {
+    let mut node = root;
+    for idx in path {
+        node = &node.children[*idx];
+    }
+    node
+}
+
+/// Proposes candidate configurations optimizing the conflict between
+/// `ty_a` and `ty_b` (which may be the same type) in `current`.
+pub fn propose(
+    current: &CcTreeSpec,
+    ty_a: TxnTypeId,
+    ty_b: TxnTypeId,
+    procedures: &ProcedureSet,
+    options: &OptimizerOptions,
+) -> Vec<Candidate> {
+    let mut path_a = Vec::new();
+    let mut path_b = Vec::new();
+    if !find_leaf_path(&current.root, ty_a, &mut path_a)
+        || !find_leaf_path(&current.root, ty_b, &mut path_b)
+    {
+        return Vec::new();
+    }
+    let name_a = procedures.name(ty_a);
+    let name_b = procedures.name(ty_b);
+
+    let mut candidates = Vec::new();
+    if ty_a == ty_b {
+        candidates.extend(case1_single_type(current, &path_a, ty_a, &name_a, options));
+    } else if path_a == path_b {
+        candidates.extend(case2_same_group(
+            current, &path_a, ty_a, ty_b, &name_a, &name_b, procedures, options,
+        ));
+    } else {
+        candidates.extend(case3_cross_group(
+            current, &path_a, &path_b, ty_a, ty_b, &name_a, &name_b, procedures, options,
+        ));
+    }
+    // Keep only structurally valid candidates that actually differ from the
+    // current configuration.
+    candidates.retain(|c| c.spec.validate().is_ok() && c.spec != *current);
+    candidates
+}
+
+/// Case 1 (Fig. 5.7): bottleneck among instances of one type.
+fn case1_single_type(
+    current: &CcTreeSpec,
+    path: &[usize],
+    ty: TxnTypeId,
+    name: &str,
+    options: &OptimizerOptions,
+) -> Vec<Candidate> {
+    let leaf = node_at(&current.root, path);
+    let mut out = Vec::new();
+    for &kind in &options.leaf_mechanisms {
+        if !kind.optimizes_contention() {
+            continue;
+        }
+        if kind == leaf.kind && leaf.txn_types.len() == 1 {
+            continue;
+        }
+        let mut variants: Vec<(u32, String)> = vec![(1, format!("run {name} under {}", kind.name()))];
+        if kind == CcKind::Tso && options.enable_partition_by_instance {
+            variants.push((
+                options.instance_partitions,
+                format!(
+                    "run {name} under {} partitioned by instance x{}",
+                    kind.name(),
+                    options.instance_partitions
+                ),
+            ));
+        }
+        for (partitions, description) in variants {
+            let mut spec = current.clone();
+            let node = node_at_mut(&mut spec.root, path);
+            if node.txn_types.len() == 1 {
+                // The leaf only hosts this type: change its mechanism.
+                node.kind = kind;
+                node.instance_partitions = partitions;
+            } else {
+                // Split the type out, keeping the original mechanism as the
+                // new inner node over the split leaf and the remainder.
+                let rest: Vec<TxnTypeId> =
+                    node.txn_types.iter().copied().filter(|t| *t != ty).collect();
+                let original_kind = node.kind;
+                let label = node.label.clone();
+                let mut split_leaf =
+                    CcNodeSpec::leaf(kind, &format!("{name}-opt"), vec![ty]);
+                split_leaf.instance_partitions = partitions;
+                *node = CcNodeSpec::inner(
+                    original_kind,
+                    &label,
+                    vec![
+                        split_leaf,
+                        CcNodeSpec::leaf(original_kind, &format!("{label}-rest"), rest),
+                    ],
+                );
+            }
+            out.push(Candidate { spec, description });
+        }
+    }
+    out
+}
+
+/// Case 2 (Fig. 5.8): bottleneck between two types of the same group.
+#[allow(clippy::too_many_arguments)]
+fn case2_same_group(
+    current: &CcTreeSpec,
+    path: &[usize],
+    ty_a: TxnTypeId,
+    ty_b: TxnTypeId,
+    name_a: &str,
+    name_b: &str,
+    procedures: &ProcedureSet,
+    options: &OptimizerOptions,
+) -> Vec<Candidate> {
+    let leaf = node_at(&current.root, path);
+    let original_kind = leaf.kind;
+    let label = leaf.label.clone();
+    let rest: Vec<TxnTypeId> = leaf
+        .txn_types
+        .iter()
+        .copied()
+        .filter(|t| *t != ty_a && *t != ty_b)
+        .collect();
+    let mut out = Vec::new();
+
+    for &kind in &options.inner_mechanisms {
+        if !inner_mechanism_allowed(kind, ty_a, ty_b, procedures, /*at_root=*/ path.is_empty()) {
+            continue;
+        }
+        // New inner node regulating only the a↔b conflicts; a and b stay in
+        // individual groups under the original mechanism.
+        let mut spec = current.clone();
+        let node = node_at_mut(&mut spec.root, path);
+        let pair = CcNodeSpec::inner(
+            kind,
+            &format!("{name_a}|{name_b}"),
+            vec![
+                CcNodeSpec::leaf(original_kind, name_a, vec![ty_a]),
+                CcNodeSpec::leaf(original_kind, name_b, vec![ty_b]),
+            ],
+        );
+        let mut children = vec![pair];
+        if !rest.is_empty() {
+            children.push(CcNodeSpec::leaf(
+                original_kind,
+                &format!("{label}-rest"),
+                rest.clone(),
+            ));
+        }
+        if children.len() == 1 {
+            *node = children.pop().unwrap();
+        } else {
+            *node = CcNodeSpec::inner(original_kind, &label, children);
+        }
+        out.push(Candidate {
+            spec,
+            description: format!(
+                "regulate {name_a} / {name_b} conflicts with {}",
+                kind.name()
+            ),
+        });
+    }
+
+    // Also consider merging the two types into one leaf under an aggressive
+    // in-group mechanism (the Callas-2 style move).
+    for &kind in &options.leaf_mechanisms {
+        if !kind.optimizes_contention() || kind == CcKind::Tso {
+            continue;
+        }
+        let mut spec = current.clone();
+        let node = node_at_mut(&mut spec.root, path);
+        let merged = CcNodeSpec::leaf(kind, &format!("{name_a}+{name_b}"), vec![ty_a, ty_b]);
+        let mut children = vec![merged];
+        if !rest.is_empty() {
+            children.push(CcNodeSpec::leaf(
+                original_kind,
+                &format!("{label}-rest"),
+                rest.clone(),
+            ));
+        }
+        if children.len() == 1 {
+            *node = children.pop().unwrap();
+        } else {
+            *node = CcNodeSpec::inner(original_kind, &label, children);
+        }
+        out.push(Candidate {
+            spec,
+            description: format!("merge {name_a} and {name_b} into one {} group", kind.name()),
+        });
+    }
+    out
+}
+
+/// Case 3 (Fig. 5.9): bottleneck between types in different groups.
+#[allow(clippy::too_many_arguments)]
+fn case3_cross_group(
+    current: &CcTreeSpec,
+    path_a: &[usize],
+    path_b: &[usize],
+    ty_a: TxnTypeId,
+    ty_b: TxnTypeId,
+    name_a: &str,
+    name_b: &str,
+    procedures: &ProcedureSet,
+    options: &OptimizerOptions,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    // Strategy: pull `ty_b` out of its current leaf and re-attach it next to
+    // `ty_a`'s leaf under a new cross-group mechanism created at that spot
+    // (a new node along the path from the LCA towards `ty_a`, Fig. 5.9b).
+    for &kind in &options.inner_mechanisms {
+        if !inner_mechanism_allowed(kind, ty_a, ty_b, procedures, false) {
+            continue;
+        }
+        let mut spec = current.clone();
+        // Remove ty_b from its leaf.
+        {
+            let leaf_b = node_at_mut(&mut spec.root, path_b);
+            leaf_b.txn_types.retain(|t| *t != ty_b);
+        }
+        let leaf_b_kind = node_at(&current.root, path_b).kind;
+        // Replace ty_a's leaf with a new inner node over [old leaf, new leaf
+        // for ty_b].
+        {
+            let leaf_a = node_at_mut(&mut spec.root, path_a);
+            let old_leaf_a = leaf_a.clone();
+            *leaf_a = CcNodeSpec::inner(
+                kind,
+                &format!("{name_a}|{name_b}"),
+                vec![
+                    old_leaf_a,
+                    CcNodeSpec::leaf(leaf_b_kind, name_b, vec![ty_b]),
+                ],
+            );
+        }
+        // Drop now-empty leaves left behind by the move.
+        prune_empty_leaves(&mut spec.root);
+        out.push(Candidate {
+            spec,
+            description: format!(
+                "move {name_b} next to {name_a} under a new {} cross-group node",
+                kind.name()
+            ),
+        });
+    }
+    out
+}
+
+/// Removes leaves that lost all their types (and inner nodes that lost all
+/// their children) after a move.
+fn prune_empty_leaves(node: &mut CcNodeSpec) {
+    node.children.iter_mut().for_each(prune_empty_leaves);
+    node.children
+        .retain(|c| if c.is_leaf() { !c.txn_types.is_empty() } else { !c.children.is_empty() });
+    // Collapse inner nodes with a single child.
+    if !node.is_leaf() && node.children.len() == 1 {
+        let child = node.children.remove(0);
+        *node = child;
+    }
+}
+
+/// CC-specific filters for new inner nodes (§5.4.1).
+fn inner_mechanism_allowed(
+    kind: CcKind,
+    ty_a: TxnTypeId,
+    ty_b: TxnTypeId,
+    procedures: &ProcedureSet,
+    at_root: bool,
+) -> bool {
+    if !kind.efficient_inner() {
+        return false;
+    }
+    match kind {
+        // 2PL as the *new* cross-group mechanism rarely helps a contention
+        // bottleneck; it is kept only as a structural option when the pair
+        // conflicts are rare (the optimizer still proposes it so the testing
+        // stage can reject it empirically).
+        CcKind::TwoPl => true,
+        // SSI needs batching unless one side is read-only or it sits at the
+        // root; batching makes it a poor inner node under write-write
+        // contention, so require a read-only side below the root.
+        CcKind::Ssi => {
+            at_root
+                || procedures.all_read_only(&[ty_a])
+                || procedures.all_read_only(&[ty_b])
+        }
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tebaldi_cc::{AccessMode, ProcedureInfo};
+    use tebaldi_storage::TableId;
+
+    fn procs() -> ProcedureSet {
+        let mut set = ProcedureSet::new();
+        for (id, name, read_only) in [
+            (0u32, "payment", false),
+            (1, "new_order", false),
+            (2, "delivery", false),
+            (3, "order_status", true),
+            (4, "stock_level", true),
+        ] {
+            let mode = if read_only {
+                AccessMode::Read
+            } else {
+                AccessMode::Write
+            };
+            set.insert(ProcedureInfo::new(
+                TxnTypeId(id),
+                name,
+                vec![(TableId(0), mode), (TableId(1), mode)],
+            ));
+        }
+        set
+    }
+
+    /// The automatic-configuration initial tree (Fig. 5.2).
+    fn initial() -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::Ssi,
+            "initial",
+            vec![
+                CcNodeSpec::leaf(CcKind::NoCc, "read-only", vec![TxnTypeId(3), TxnTypeId(4)]),
+                CcNodeSpec::leaf(
+                    CcKind::TwoPl,
+                    "updates",
+                    vec![TxnTypeId(0), TxnTypeId(1), TxnTypeId(2)],
+                ),
+            ],
+        ))
+    }
+
+    #[test]
+    fn case1_splits_single_type_out_of_its_leaf() {
+        let candidates = propose(
+            &initial(),
+            TxnTypeId(1),
+            TxnTypeId(1),
+            &procs(),
+            &OptimizerOptions::default(),
+        );
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(c.spec.validate().is_ok());
+            // new_order must still appear exactly once.
+            assert!(c.spec.types().contains(&TxnTypeId(1)));
+        }
+        // At least one candidate proposes runtime pipelining.
+        assert!(candidates.iter().any(|c| c.description.contains("RP")));
+        // TSO partition-by-instance variant present.
+        assert!(candidates
+            .iter()
+            .any(|c| c.description.contains("partitioned by instance")));
+    }
+
+    #[test]
+    fn case2_introduces_pair_mechanism() {
+        let candidates = propose(
+            &initial(),
+            TxnTypeId(0),
+            TxnTypeId(1),
+            &procs(),
+            &OptimizerOptions::default(),
+        );
+        assert!(!candidates.is_empty());
+        // The depth grows for the pair-split candidates.
+        assert!(candidates.iter().any(|c| c.spec.depth() >= 3));
+        // A merged-leaf (Callas-2 style) candidate exists.
+        assert!(candidates.iter().any(|c| c.description.starts_with("merge")));
+        for c in &candidates {
+            assert!(c.spec.validate().is_ok(), "{}", c.description);
+        }
+    }
+
+    #[test]
+    fn case3_moves_type_across_groups() {
+        // Bottleneck between stock_level (read-only group) and new_order
+        // (update group) — the §5.3.1 case study.
+        let candidates = propose(
+            &initial(),
+            TxnTypeId(1),
+            TxnTypeId(4),
+            &procs(),
+            &OptimizerOptions::default(),
+        );
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert!(c.spec.validate().is_ok(), "{}", c.description);
+            let types = c.spec.types();
+            // Nothing lost, nothing duplicated.
+            assert_eq!(types.len(), 5);
+        }
+        // SSI is allowed as the new cross-group mechanism because one side
+        // is read-only.
+        assert!(candidates.iter().any(|c| c.description.contains("SSI")));
+    }
+
+    #[test]
+    fn unknown_type_yields_no_candidates() {
+        let candidates = propose(
+            &initial(),
+            TxnTypeId(99),
+            TxnTypeId(99),
+            &procs(),
+            &OptimizerOptions::default(),
+        );
+        assert!(candidates.is_empty());
+    }
+
+    #[test]
+    fn filters_exclude_tso_as_inner_node() {
+        let mut options = OptimizerOptions::default();
+        options.inner_mechanisms.push(CcKind::Tso);
+        let candidates = propose(&initial(), TxnTypeId(0), TxnTypeId(1), &procs(), &options);
+        for c in &candidates {
+            // No inner node may be TSO.
+            fn no_tso_inner(node: &CcNodeSpec) -> bool {
+                if !node.is_leaf() && node.kind == CcKind::Tso {
+                    return false;
+                }
+                node.children.iter().all(no_tso_inner)
+            }
+            assert!(no_tso_inner(&c.spec.root), "{}", c.description);
+        }
+    }
+}

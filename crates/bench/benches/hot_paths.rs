@@ -1,0 +1,92 @@
+//! Criterion microbenchmarks of the storage and framework hot paths.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use tebaldi_autoconf::analyze;
+use tebaldi_cc::{BlockingEvent, NullSink};
+use tebaldi_storage::{Key, MvStore, TableId, Timestamp, TxnId, TxnTypeId, Value};
+
+fn bench_storage(c: &mut Criterion) {
+    let store = MvStore::new(16);
+    for i in 0..10_000u64 {
+        store.load(&Key::simple(TableId(0), i), Value::Int(i as i64));
+    }
+    let mut group = c.benchmark_group("storage");
+    group.bench_function("read_latest_committed", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            store.read(
+                &Key::simple(TableId(0), i),
+                tebaldi_storage::ReadSpec::LatestCommitted,
+            )
+        });
+    });
+    group.bench_function("write_and_commit", |b| {
+        let mut txn = 1_000_000u64;
+        b.iter(|| {
+            txn += 1;
+            let key = Key::simple(TableId(1), txn % 50_000);
+            store.write(&key, TxnId(txn), Value::Int(txn as i64));
+            store.commit_writes(TxnId(txn), &[key], Timestamp(txn));
+        });
+    });
+    group.finish();
+}
+
+fn bench_lock_manager(c: &mut Criterion) {
+    use tebaldi_cc::lock::{LockManager, LockMode};
+    use tebaldi_cc::{NodeEnv, Topology, TsOracle, TxnCtx, TxnRegistry};
+    let env = NodeEnv {
+        node: tebaldi_storage::NodeId(0),
+        registry: Arc::new(TxnRegistry::default()),
+        topology: Arc::new(Topology::new()),
+        events: Arc::new(NullSink),
+        oracle: Arc::new(TsOracle::new()),
+        wait_timeout: std::time::Duration::from_millis(10),
+    };
+    let lm = LockManager::default();
+    c.bench_function("lock_acquire_release_uncontended", |b| {
+        let mut txn = 0u64;
+        b.iter(|| {
+            txn += 1;
+            let ctx = TxnCtx::new(TxnId(txn), TxnTypeId(0), tebaldi_storage::GroupId(0));
+            let key = Key::simple(TableId(0), txn % 1_000);
+            lm.acquire(&env, &ctx, &key, txn, LockMode::Exclusive, "bench")
+                .unwrap();
+            lm.release_all(TxnId(txn));
+        });
+    });
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let origin = std::time::Instant::now();
+    let events: Vec<BlockingEvent> = (0..2_000)
+        .map(|i| BlockingEvent {
+            blocked: TxnId(i + 1),
+            blocked_type: TxnTypeId((i % 5) as u32),
+            blocking: TxnId(i),
+            blocking_type: TxnTypeId(((i + 1) % 5) as u32),
+            node: tebaldi_storage::NodeId(0),
+            start: origin + std::time::Duration::from_micros(i * 10),
+            end: origin + std::time::Duration::from_micros(i * 10 + 50),
+        })
+        .collect();
+    c.bench_function("profiler_analyze_2000_events", |b| {
+        b.iter_batched(
+            || events.clone(),
+            |events| analyze(&events),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1_000));
+    targets = bench_storage, bench_lock_manager, bench_profiler
+}
+criterion_main!(benches);

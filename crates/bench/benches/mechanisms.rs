@@ -1,0 +1,68 @@
+//! Criterion microbenchmarks of whole-transaction execution under each
+//! concurrency-control mechanism (uncontended fast path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tebaldi_cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_core::{Database, DbConfig, ProcedureCall};
+use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
+
+fn build_db(kind: CcKind) -> Arc<Database> {
+    let ty = TxnTypeId(0);
+    let mut procedures = ProcedureSet::new();
+    procedures.insert(ProcedureInfo::new(
+        ty,
+        "rmw",
+        vec![
+            (TableId(0), AccessMode::Write),
+            (TableId(1), AccessMode::Write),
+            (TableId(2), AccessMode::Write),
+        ],
+    ));
+    let db = Arc::new(
+        Database::builder(DbConfig::for_benchmarks())
+            .procedures(procedures)
+            .cc_spec(CcTreeSpec::monolithic(kind, vec![ty]))
+            .build()
+            .unwrap(),
+    );
+    for table in 0..3u32 {
+        for row in 0..1_000u64 {
+            db.load(Key::simple(TableId(table), row), Value::Int(0));
+        }
+    }
+    db
+}
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("uncontended_rmw_txn");
+    for kind in [CcKind::TwoPl, CcKind::Ssi, CcKind::Tso, CcKind::Rp] {
+        let db = build_db(kind);
+        let call = ProcedureCall::new(TxnTypeId(0));
+        let mut row = 0u64;
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                row = (row + 1) % 1_000;
+                db.execute(&call, |txn| {
+                    for table in 0..3u32 {
+                        txn.increment(Key::simple(TableId(table), row), 0, 1)?;
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            });
+        });
+        db.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1_500));
+    targets = bench_mechanisms
+}
+criterion_main!(benches);

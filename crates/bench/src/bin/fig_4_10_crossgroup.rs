@@ -1,0 +1,69 @@
+//! Figure 4.10 — Cross-group CCs' performance.
+//!
+//! Two-group microbenchmark with controlled cross-group conflict rates:
+//! `rw-1/5/10` (read-write conflicts, second group read-only) and
+//! `ww-1/5/10` (write-write conflicts), each run with 2PL, SSI and RP as
+//! the cross-group mechanism. Expected shape: SSI wins every `rw-*`
+//! workload, loses the `ww-*` workloads to RP (medium/high contention) and
+//! 2PL (low contention); no single mechanism wins everywhere.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_cc::CcKind;
+use tebaldi_core::DbConfig;
+use tebaldi_workloads::micro::CrossGroupMicro;
+use tebaldi_workloads::{bench_config, Workload};
+
+#[derive(Serialize)]
+struct Point {
+    workload: String,
+    cross_group: String,
+    throughput: f64,
+    abort_rate: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 4.10", "Cross-group CCs' performance");
+    let clients = if options.quick { 8 } else { 24 };
+    let mechanisms = [CcKind::TwoPl, CcKind::Ssi, CcKind::Rp];
+    let workloads: Vec<(String, f64, bool)> = vec![
+        ("rw-1".to_string(), 1.0, true),
+        ("rw-5".to_string(), 5.0, true),
+        ("rw-10".to_string(), 10.0, true),
+        ("ww-1".to_string(), 1.0, false),
+        ("ww-5".to_string(), 5.0, false),
+        ("ww-10".to_string(), 10.0, false),
+    ];
+
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "workload", "2PL", "SSI", "RP"
+    );
+    let mut points = Vec::new();
+    for (name, conflict_pct, read_only_second) in &workloads {
+        let mut line = format!("{name:<8}");
+        for mechanism in mechanisms {
+            let generator = CrossGroupMicro::with_conflict_percent(*conflict_pct, *read_only_second);
+            let spec = generator.config(mechanism);
+            let workload: Arc<dyn Workload> = Arc::new(generator);
+            let result = bench_config(
+                &workload,
+                spec,
+                DbConfig::for_benchmarks(),
+                &options.bench_options(clients, &format!("{name}/{}", mechanism.name())),
+            );
+            line.push_str(&format!("  {}", fmt_tput(result.throughput)));
+            points.push(Point {
+                workload: name.clone(),
+                cross_group: mechanism.name().to_string(),
+                throughput: result.throughput,
+                abort_rate: result.abort_rate(),
+            });
+        }
+        println!("{line}");
+    }
+    println!("(cells are committed transactions per second)");
+    options.maybe_write_json(&points);
+}

@@ -1,0 +1,56 @@
+//! Figure 4.11 — Two-layer vs. three-layer hierarchies.
+//!
+//! The three-transaction microbenchmark of §4.6.4 where no single
+//! cross-group mechanism can handle all pairwise interactions: the
+//! three-layer tree is expected to beat the best two-layer grouping (the
+//! paper reports a 63% peak-throughput advantage).
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_core::DbConfig;
+use tebaldi_workloads::micro::HierarchyMicro;
+use tebaldi_workloads::{bench_config, Workload};
+
+#[derive(Serialize)]
+struct Point {
+    config: String,
+    clients: usize,
+    throughput: f64,
+    abort_rate: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 4.11", "Two-layer vs. three-layer");
+    let sweep = options.client_sweep();
+
+    println!(
+        "{:<14} {}",
+        "config",
+        sweep.iter().map(|c| format!("{c:>10}")).collect::<String>()
+    );
+    let mut points = Vec::new();
+    for (name, spec) in HierarchyMicro::configs() {
+        let mut line = format!("{name:<14}");
+        for &clients in &sweep {
+            let workload: Arc<dyn Workload> = Arc::new(HierarchyMicro::default());
+            let result = bench_config(
+                &workload,
+                spec.clone(),
+                DbConfig::for_benchmarks(),
+                &options.bench_options(clients, name),
+            );
+            line.push_str(&fmt_tput(result.throughput));
+            points.push(Point {
+                config: name.to_string(),
+                clients,
+                throughput: result.throughput,
+                abort_rate: result.abort_rate(),
+            });
+        }
+        println!("{line}");
+    }
+    println!("(cells are committed transactions per second)");
+    options.maybe_write_json(&points);
+}

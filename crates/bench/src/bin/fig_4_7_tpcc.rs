@@ -1,0 +1,57 @@
+//! Figure 4.7 — Performance of the TPC-C benchmark.
+//!
+//! Throughput vs. number of closed-loop clients for the six configurations
+//! of Fig. 4.6: monolithic 2PL, monolithic SSI, Callas-1, Callas-2, Tebaldi
+//! 2-layer and Tebaldi 3-layer. The expected shape: SSI beats 2PL at low
+//! contention but collapses as clients grow; Callas-2 beats Callas-1; the
+//! Tebaldi hierarchies beat both Callas groupings, with the 3-layer tree on
+//! top.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_core::DbConfig;
+use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
+use tebaldi_workloads::{bench_config, Workload};
+
+#[derive(Serialize)]
+struct Point {
+    config: String,
+    clients: usize,
+    throughput: f64,
+    abort_rate: f64,
+    p99_latency_ms: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 4.7", "Performance of TPC-C benchmark");
+    let params = TpccParams::default();
+    let sweep = options.client_sweep();
+
+    println!("{:<18} {}", "config", sweep.iter().map(|c| format!("{c:>10}")).collect::<String>());
+    let mut points = Vec::new();
+    for (name, spec) in configs::figure_4_7() {
+        let mut line = format!("{name:<18}");
+        for &clients in &sweep {
+            let workload: Arc<dyn Workload> = Arc::new(Tpcc::new(params));
+            let result = bench_config(
+                &workload,
+                spec.clone(),
+                DbConfig::for_benchmarks(),
+                &options.bench_options(clients, name),
+            );
+            line.push_str(&fmt_tput(result.throughput));
+            points.push(Point {
+                config: name.to_string(),
+                clients,
+                throughput: result.throughput,
+                abort_rate: result.abort_rate(),
+                p99_latency_ms: result.latency_overall.p99_ms,
+            });
+        }
+        println!("{line}");
+    }
+    println!("(cells are committed transactions per second)");
+    options.maybe_write_json(&points);
+}

@@ -1,0 +1,72 @@
+//! Figure 4.8 — Performance of the SEATS benchmark.
+//!
+//! Throughput vs. clients for monolithic 2PL, the two-layer SSI+2PL
+//! hierarchy, and the three-layer SSI+2PL+per-flight-TSO hierarchy.
+//! Expected shape: 2-layer ≈ 2.6× over 2PL, 3-layer roughly doubles the
+//! 2-layer configuration at high contention.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_core::DbConfig;
+use tebaldi_workloads::seats::{configs, Seats, SeatsParams};
+use tebaldi_workloads::{bench_config, Workload};
+
+#[derive(Serialize)]
+struct Point {
+    config: String,
+    clients: usize,
+    throughput: f64,
+    abort_rate: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 4.8", "Performance of SEATS benchmark");
+    let params = if options.quick {
+        SeatsParams {
+            flights: 20,
+            seats_per_flight: 2_000,
+            customers: 1_000,
+            open_seat_probes: 15,
+        }
+    } else {
+        SeatsParams::default()
+    };
+    let tso_partitions = params.flights.min(16);
+    let sweep = options.client_sweep();
+
+    let configurations = vec![
+        ("Monolithic 2PL", configs::monolithic_2pl()),
+        ("2-layer (SSI+2PL)", configs::two_layer()),
+        (
+            "3-layer (SSI+2PL+TSO)",
+            configs::three_layer(tso_partitions),
+        ),
+    ];
+
+    println!("{:<24} {}", "config", sweep.iter().map(|c| format!("{c:>10}")).collect::<String>());
+    let mut points = Vec::new();
+    for (name, spec) in configurations {
+        let mut line = format!("{name:<24}");
+        for &clients in &sweep {
+            let workload: Arc<dyn Workload> = Arc::new(Seats::new(params));
+            let result = bench_config(
+                &workload,
+                spec.clone(),
+                DbConfig::for_benchmarks(),
+                &options.bench_options(clients, name),
+            );
+            line.push_str(&fmt_tput(result.throughput));
+            points.push(Point {
+                config: name.to_string(),
+                clients,
+                throughput: result.throughput,
+                abort_rate: result.abort_rate(),
+            });
+        }
+        println!("{line}");
+    }
+    println!("(cells are committed transactions per second)");
+    options.maybe_write_json(&points);
+}

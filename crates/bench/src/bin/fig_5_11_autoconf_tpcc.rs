@@ -1,0 +1,114 @@
+//! Figure 5.11 / Figure 5.13 — Automatic configuration on TPC-C.
+//!
+//! Runs the full analysis → optimization → testing loop starting from the
+//! initial configuration of Fig. 5.2 and reports the throughput after every
+//! iteration, the final configuration tree, and the throughput of the
+//! manually configured three-layer tree (Fig. 5.12) for comparison.
+//! Expected shape: the automatic configuration recovers most of the manual
+//! configuration's benefit over the initial configuration.
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Duration;
+use tebaldi_autoconf::{run_auto_configuration, AutoConfOptions, EventCollector};
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_core::{Database, DbConfig};
+use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
+use tebaldi_workloads::{bench_config, run_benchmark, BenchOptions, Workload};
+
+#[derive(Serialize)]
+struct Output {
+    initial_throughput: f64,
+    iteration_throughputs: Vec<f64>,
+    final_throughput: f64,
+    manual_throughput: f64,
+    final_config: String,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 5.11", "Automatic configuration on TPC-C");
+    let params = TpccParams::default();
+    let clients = if options.quick { 8 } else { 32 };
+    let bench = options.bench_options(clients, "autoconf");
+
+    // Reference: the manually configured three-layer tree (Fig. 5.12).
+    let manual_workload: Arc<dyn Workload> = Arc::new(Tpcc::new(params));
+    let manual = bench_config(
+        &manual_workload,
+        configs::manual_chapter5(),
+        DbConfig::for_benchmarks(),
+        &options.bench_options(clients, "manual"),
+    );
+
+    // Automatic configuration starting from the initial tree (Fig. 5.2).
+    let workload = Arc::new(Tpcc::new(params));
+    let collector = Arc::new(EventCollector::new());
+    let db = Arc::new(
+        Database::builder(DbConfig::for_benchmarks())
+            .procedures(workload.procedures())
+            .cc_spec(configs::autoconf_initial())
+            .events(collector.clone())
+            .build()
+            .expect("database build"),
+    );
+    workload.load(&db);
+    let workload_dyn: Arc<dyn Workload> = workload;
+    let load_workload = Arc::clone(&workload_dyn);
+    let load_bench = bench.clone();
+    let load = move |db: &Arc<Database>, duration: Duration| {
+        let mut opts: BenchOptions = load_bench.clone();
+        opts.duration = duration;
+        opts.warmup = Duration::from_millis(100);
+        run_benchmark(db, &load_workload, &opts).throughput
+    };
+
+    let mut auto_options = if options.quick {
+        AutoConfOptions::quick()
+    } else {
+        AutoConfOptions::default()
+    };
+    auto_options.max_iterations = if options.quick { 3 } else { 5 };
+    auto_options.test_duration = bench.duration;
+    let report = run_auto_configuration(&db, &collector, &load, &auto_options);
+
+    println!("manual configuration (Fig. 5.12): {} txn/sec", fmt_tput(manual.throughput));
+    println!("initial configuration (Fig. 5.2): {} txn/sec", fmt_tput(report.initial_throughput));
+    for record in &report.iterations {
+        println!(
+            "iteration {:<2} bottleneck={:<28} candidates={:<3} best={} adopted={}",
+            record.iteration,
+            record
+                .bottleneck
+                .as_ref()
+                .map(|(a, b)| format!("{a}<->{b}"))
+                .unwrap_or_else(|| "none".to_string()),
+            record.candidates_tested,
+            fmt_tput(record.best_throughput),
+            record.adopted,
+        );
+    }
+    println!(
+        "final automatic configuration: {} txn/sec ({:.0}% of manual)",
+        fmt_tput(report.final_throughput),
+        if manual.throughput > 0.0 {
+            report.final_throughput / manual.throughput * 100.0
+        } else {
+            0.0
+        }
+    );
+    println!("final tree (Fig. 5.13 analogue):\n{}", db.current_spec().describe());
+
+    options.maybe_write_json(&Output {
+        initial_throughput: report.initial_throughput,
+        iteration_throughputs: report
+            .iterations
+            .iter()
+            .map(|r| if r.adopted { r.best_throughput } else { r.baseline_throughput })
+            .collect(),
+        final_throughput: report.final_throughput,
+        manual_throughput: manual.throughput,
+        final_config: db.current_spec().describe(),
+    });
+    db.shutdown();
+}

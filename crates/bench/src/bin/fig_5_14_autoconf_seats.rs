@@ -1,0 +1,140 @@
+//! Figure 5.14 / Figure 5.16 — Automatic configuration on SEATS.
+//!
+//! Same methodology as Fig. 5.11, applied to the SEATS benchmark: the
+//! configurator starts from the Fig. 5.2 initial tree (read-only
+//! transactions separated by SSI, updates under a single 2PL group) and is
+//! compared against the manual three-layer configuration with per-flight
+//! TSO groups (Fig. 5.15).
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Duration;
+use tebaldi_autoconf::{run_auto_configuration, AutoConfOptions, EventCollector};
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec};
+use tebaldi_core::{Database, DbConfig};
+use tebaldi_workloads::seats::{configs, types, Seats, SeatsParams};
+use tebaldi_workloads::{bench_config, run_benchmark, BenchOptions, Workload};
+
+#[derive(Serialize)]
+struct Output {
+    initial_throughput: f64,
+    final_throughput: f64,
+    manual_throughput: f64,
+    final_config: String,
+}
+
+/// The SEATS instance of the initial configuration (Fig. 5.2).
+fn initial_config() -> CcTreeSpec {
+    CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "initial",
+        vec![
+            CcNodeSpec::leaf(
+                CcKind::NoCc,
+                "read-only",
+                vec![types::FIND_FLIGHTS, types::FIND_OPEN_SEATS],
+            ),
+            CcNodeSpec::leaf(
+                CcKind::TwoPl,
+                "updates",
+                vec![
+                    types::NEW_RESERVATION,
+                    types::DELETE_RESERVATION,
+                    types::UPDATE_RESERVATION,
+                    types::UPDATE_CUSTOMER,
+                ],
+            ),
+        ],
+    ))
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 5.14", "Automatic configuration on SEATS");
+    let params = if options.quick {
+        SeatsParams {
+            flights: 20,
+            seats_per_flight: 2_000,
+            customers: 1_000,
+            open_seat_probes: 15,
+        }
+    } else {
+        SeatsParams::default()
+    };
+    let clients = if options.quick { 8 } else { 32 };
+    let bench = options.bench_options(clients, "autoconf");
+
+    // Manual reference configuration (Fig. 5.15).
+    let manual_workload: Arc<dyn Workload> = Arc::new(Seats::new(params));
+    let manual = bench_config(
+        &manual_workload,
+        configs::three_layer(params.flights.min(16)),
+        DbConfig::for_benchmarks(),
+        &options.bench_options(clients, "manual"),
+    );
+
+    let workload = Arc::new(Seats::new(params));
+    let collector = Arc::new(EventCollector::new());
+    let db = Arc::new(
+        Database::builder(DbConfig::for_benchmarks())
+            .procedures(workload.procedures())
+            .cc_spec(initial_config())
+            .events(collector.clone())
+            .build()
+            .expect("database build"),
+    );
+    workload.load(&db);
+    let workload_dyn: Arc<dyn Workload> = workload;
+    let load_workload = Arc::clone(&workload_dyn);
+    let load_bench = bench.clone();
+    let load = move |db: &Arc<Database>, duration: Duration| {
+        let mut opts: BenchOptions = load_bench.clone();
+        opts.duration = duration;
+        opts.warmup = Duration::from_millis(100);
+        run_benchmark(db, &load_workload, &opts).throughput
+    };
+
+    let mut auto_options = if options.quick {
+        AutoConfOptions::quick()
+    } else {
+        AutoConfOptions::default()
+    };
+    auto_options.test_duration = bench.duration;
+    auto_options.optimizer.instance_partitions = params.flights.min(16);
+    let report = run_auto_configuration(&db, &collector, &load, &auto_options);
+
+    println!("manual configuration (Fig. 5.15): {} txn/sec", fmt_tput(manual.throughput));
+    println!("initial configuration:            {} txn/sec", fmt_tput(report.initial_throughput));
+    for record in &report.iterations {
+        println!(
+            "iteration {:<2} bottleneck={:<36} candidates={:<3} best={} adopted={}",
+            record.iteration,
+            record
+                .bottleneck
+                .as_ref()
+                .map(|(a, b)| format!("{a}<->{b}"))
+                .unwrap_or_else(|| "none".to_string()),
+            record.candidates_tested,
+            fmt_tput(record.best_throughput),
+            record.adopted,
+        );
+    }
+    println!(
+        "final automatic configuration:    {} txn/sec ({:.0}% of manual)",
+        fmt_tput(report.final_throughput),
+        if manual.throughput > 0.0 {
+            report.final_throughput / manual.throughput * 100.0
+        } else {
+            0.0
+        }
+    );
+    println!("final tree (Fig. 5.16 analogue):\n{}", db.current_spec().describe());
+    options.maybe_write_json(&Output {
+        initial_throughput: report.initial_throughput,
+        final_throughput: report.final_throughput,
+        manual_throughput: manual.throughput,
+        final_config: db.current_spec().describe(),
+    });
+    db.shutdown();
+}

@@ -1,0 +1,110 @@
+//! Figure 5.17 — Overhead of performance profiling.
+//!
+//! TPC-C under the three-layer configuration with the blocking-event
+//! sampler disabled, enabled, and enabled with the analysis (conflict-edge
+//! scoring) running concurrently. The paper finds the overhead to be small.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_autoconf::{analyze, EventCollector};
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_core::{Database, DbConfig};
+use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
+use tebaldi_workloads::{run_benchmark, Workload};
+
+#[derive(Serialize)]
+struct Row {
+    setting: String,
+    throughput: f64,
+    events_collected: usize,
+}
+
+fn run_setting(
+    options: &ExperimentOptions,
+    clients: usize,
+    sampler_on: bool,
+    analyze_too: bool,
+) -> Row {
+    let params = TpccParams::default();
+    let workload = Arc::new(Tpcc::new(params));
+    let collector = Arc::new(if sampler_on {
+        EventCollector::new()
+    } else {
+        EventCollector::disabled()
+    });
+    let db = Arc::new(
+        Database::builder(DbConfig::for_benchmarks())
+            .procedures(workload.procedures())
+            .cc_spec(configs::tebaldi_three_layer())
+            .events(collector.clone())
+            .build()
+            .expect("database build"),
+    );
+    workload.load(&db);
+    let workload_dyn: Arc<dyn Workload> = workload;
+
+    // Optionally run the analysis concurrently with the measurement, as the
+    // online performance monitor does.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let analysis_thread = if analyze_too {
+        let collector = Arc::clone(&collector);
+        let stop = Arc::clone(&stop);
+        Some(std::thread::spawn(move || {
+            let mut analysed = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(100));
+                let events = collector.drain();
+                analysed += events.len();
+                let _ = analyze(&events);
+            }
+            analysed
+        }))
+    } else {
+        None
+    };
+
+    let label = match (sampler_on, analyze_too) {
+        (false, _) => "profiling off",
+        (true, false) => "sampler on",
+        (true, true) => "sampler + monitor",
+    };
+    let result = run_benchmark(&db, &workload_dyn, &options.bench_options(clients, label));
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let analysed = analysis_thread
+        .map(|h| h.join().unwrap_or(0))
+        .unwrap_or(0);
+    let events = analysed + collector.len();
+    db.shutdown();
+    Row {
+        setting: label.to_string(),
+        throughput: result.throughput,
+        events_collected: events,
+    }
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 5.17", "Overhead of performance profiling");
+    let clients = if options.quick { 8 } else { 32 };
+
+    let rows = vec![
+        run_setting(&options, clients, false, false),
+        run_setting(&options, clients, true, false),
+        run_setting(&options, clients, true, true),
+    ];
+    for row in &rows {
+        println!(
+            "{:<20} {} txn/sec   (blocking events collected: {})",
+            row.setting,
+            fmt_tput(row.throughput),
+            row.events_collected
+        );
+    }
+    if rows[0].throughput > 0.0 {
+        println!(
+            "overhead with sampler + monitor: {:.1}%",
+            (1.0 - rows[2].throughput / rows[0].throughput) * 100.0
+        );
+    }
+    options.maybe_write_json(&rows);
+}

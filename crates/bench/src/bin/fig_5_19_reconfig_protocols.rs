@@ -1,0 +1,183 @@
+//! Figure 5.19 (with Fig. 5.18) — Overhead of the reconfiguration
+//! protocols.
+//!
+//! Applies the "third reconfiguration" of the TPC-C automatic-configuration
+//! run — splitting delivery out of the update group, a change strictly
+//! below the root — while the workload keeps running, once with the partial
+//! restart protocol and once with the online update protocol. The
+//! throughput timeline around the switch shows a deep dip for the partial
+//! restart and a much smaller one for the online update.
+
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tebaldi_bench::common::{banner, ExperimentOptions};
+use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec};
+use tebaldi_core::{Database, DbConfig, ReconfigProtocol};
+use tebaldi_workloads::tpcc::schema::{types, TpccParams};
+use tebaldi_workloads::tpcc::Tpcc;
+use tebaldi_workloads::Workload;
+
+#[derive(Serialize)]
+struct ProtocolRun {
+    protocol: String,
+    buckets_ms: u64,
+    /// Committed transactions per bucket across the timeline.
+    timeline: Vec<u64>,
+    reconfig_total_ms: f64,
+    reconfig_drained_ms: f64,
+    drained_groups: usize,
+}
+
+/// The configuration before the third reconfiguration: payment/new_order
+/// already pipelined, delivery still in the shared 2PL group.
+fn before_spec() -> CcTreeSpec {
+    CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "before",
+        vec![
+            CcNodeSpec::leaf(
+                CcKind::NoCc,
+                "read-only",
+                vec![types::ORDER_STATUS, types::STOCK_LEVEL],
+            ),
+            CcNodeSpec::inner(
+                CcKind::TwoPl,
+                "updates",
+                vec![
+                    CcNodeSpec::leaf(CcKind::Rp, "pay+no", vec![types::PAYMENT, types::NEW_ORDER]),
+                    CcNodeSpec::leaf(CcKind::TwoPl, "del", vec![types::DELIVERY]),
+                ],
+            ),
+        ],
+    ))
+}
+
+/// After the third reconfiguration: delivery gets its own RP group (the
+/// change is confined to the `updates` subtree).
+fn after_spec() -> CcTreeSpec {
+    CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "after",
+        vec![
+            CcNodeSpec::leaf(
+                CcKind::NoCc,
+                "read-only",
+                vec![types::ORDER_STATUS, types::STOCK_LEVEL],
+            ),
+            CcNodeSpec::inner(
+                CcKind::TwoPl,
+                "updates",
+                vec![
+                    CcNodeSpec::leaf(CcKind::Rp, "pay+no", vec![types::PAYMENT, types::NEW_ORDER]),
+                    CcNodeSpec::leaf(CcKind::Rp, "del", vec![types::DELIVERY]),
+                ],
+            ),
+        ],
+    ))
+}
+
+fn run_protocol(
+    options: &ExperimentOptions,
+    protocol: ReconfigProtocol,
+    clients: usize,
+) -> ProtocolRun {
+    let params = TpccParams::default();
+    let workload = Arc::new(Tpcc::new(params));
+    let db = Arc::new(
+        Database::builder(DbConfig::for_benchmarks())
+            .procedures(workload.procedures())
+            .cc_spec(before_spec())
+            .build()
+            .expect("database build"),
+    );
+    workload.load(&db);
+
+    let bucket_ms: u64 = 100;
+    let total_buckets: usize = if options.quick { 20 } else { 40 };
+    let reconfig_at_bucket = total_buckets / 2;
+
+    // Background closed-loop clients.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for i in 0..clients {
+        let db = Arc::clone(&db);
+        let workload = Arc::clone(&workload);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + i as u64);
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                workload.run_once(&db, &mut rng);
+            }
+        }));
+    }
+
+    // Sample committed-transaction counts per bucket and fire the
+    // reconfiguration halfway through.
+    let mut timeline = Vec::with_capacity(total_buckets);
+    let mut last_committed = db.stats().committed;
+    let mut report = None;
+    for bucket in 0..total_buckets {
+        if bucket == reconfig_at_bucket {
+            let started = Instant::now();
+            report = db.reconfigure(after_spec(), protocol).ok();
+            // Account the remainder of this bucket normally.
+            let elapsed = started.elapsed();
+            if elapsed < Duration::from_millis(bucket_ms) {
+                std::thread::sleep(Duration::from_millis(bucket_ms) - elapsed);
+            }
+        } else {
+            std::thread::sleep(Duration::from_millis(bucket_ms));
+        }
+        let committed = db.stats().committed;
+        timeline.push(committed - last_committed);
+        last_committed = committed;
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for handle in handles {
+        let _ = handle.join();
+    }
+    db.shutdown();
+
+    let (total_ms, drained_ms, drained_groups) = report
+        .map(|r| (r.total_ms, r.drained_ms, r.drained_groups))
+        .unwrap_or((0.0, 0.0, 0));
+    ProtocolRun {
+        protocol: format!("{protocol:?}"),
+        buckets_ms: bucket_ms,
+        timeline,
+        reconfig_total_ms: total_ms,
+        reconfig_drained_ms: drained_ms,
+        drained_groups,
+    }
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 5.19", "Overhead of the reconfiguration protocols");
+    let clients = if options.quick { 8 } else { 24 };
+
+    let runs = vec![
+        run_protocol(&options, ReconfigProtocol::PartialRestart, clients),
+        run_protocol(&options, ReconfigProtocol::OnlineUpdate, clients),
+    ];
+    for run in &runs {
+        let mid = run.timeline.len() / 2;
+        let before: u64 = run.timeline[..mid.saturating_sub(1)].iter().sum();
+        let switch_bucket = run.timeline.get(mid).copied().unwrap_or(0);
+        let after: u64 = run.timeline[mid + 1..].iter().sum();
+        println!(
+            "{:<16} reconfig total {:>7.1} ms (drained {:>7.1} ms, {} groups) | commits/bucket before={:.0} at-switch={} after={:.0}",
+            run.protocol,
+            run.reconfig_total_ms,
+            run.reconfig_drained_ms,
+            run.drained_groups,
+            before as f64 / mid.saturating_sub(1).max(1) as f64,
+            switch_bucket,
+            after as f64 / (run.timeline.len() - mid - 1).max(1) as f64,
+        );
+        println!("  timeline (commits per {} ms bucket): {:?}", run.buckets_ms, run.timeline);
+    }
+    options.maybe_write_json(&runs);
+}

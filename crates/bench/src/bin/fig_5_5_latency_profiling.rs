@@ -1,0 +1,146 @@
+//! Figure 5.5 — Test results of the latency-based profiling technique.
+//!
+//! Case study of §5.3.1: payment and stock_level under the Fig. 5.4
+//! configuration (RP for payment, the read-only group separate, 2PL across
+//! groups). As load grows, only payment's latency explodes — so the
+//! latency-based technique blames payment-payment contention — while the
+//! blocking-time profiler (§5.3.2) correctly attributes the waiting to the
+//! payment ↔ stock_level conflict edge.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_autoconf::latency_profiler::{diagnose, sample, LoadLevelSample};
+use tebaldi_autoconf::{analyze, EventCollector};
+use tebaldi_bench::common::{banner, ExperimentOptions};
+use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec};
+use tebaldi_core::{Database, DbConfig};
+use tebaldi_storage::TxnTypeId;
+use tebaldi_workloads::tpcc::schema::{types, TpccParams};
+use tebaldi_workloads::tpcc::Tpcc;
+use tebaldi_workloads::{run_benchmark, Workload};
+
+#[derive(Serialize)]
+struct Output {
+    sweep: Vec<SweepPoint>,
+    latency_based_suspects: Vec<u32>,
+    blocking_profiler_top_edge: Option<(String, String)>,
+}
+
+#[derive(Serialize)]
+struct SweepPoint {
+    clients: usize,
+    throughput: f64,
+    payment_latency_ms: f64,
+    stock_level_latency_ms: f64,
+}
+
+/// The configuration of Fig. 5.4: payment under RP, the read-only
+/// stock_level group separate, 2PL across groups.
+fn fig_5_4_config() -> CcTreeSpec {
+    CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::TwoPl,
+        "fig-5.4",
+        vec![
+            CcNodeSpec::leaf(CcKind::Rp, "payment", vec![types::PAYMENT]),
+            CcNodeSpec::leaf(CcKind::NoCc, "stock_level", vec![types::STOCK_LEVEL]),
+        ],
+    ))
+}
+
+fn build_workload() -> Tpcc {
+    Tpcc::new(TpccParams::default()).with_mix(vec![
+        (types::PAYMENT, 0.8),
+        (types::STOCK_LEVEL, 0.2),
+    ])
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Figure 5.5", "Latency-based profiling vs. blocking-time profiling");
+    let collector = Arc::new(EventCollector::new());
+    let workload = Arc::new(build_workload());
+    let db = Arc::new(
+        Database::builder(DbConfig::for_benchmarks())
+            .procedures(workload.procedures())
+            .cc_spec(fig_5_4_config())
+            .events(collector.clone())
+            .build()
+            .expect("database build"),
+    );
+    workload.load(&db);
+    let workload_dyn: Arc<dyn Workload> = workload;
+
+    let sweep_clients = if options.quick {
+        vec![2, 16]
+    } else {
+        vec![2, 8, 32, 64]
+    };
+    println!(
+        "{:<10} {:>12} {:>16} {:>20}",
+        "clients", "txn/sec", "payment (ms)", "stock_level (ms)"
+    );
+    let mut samples: Vec<LoadLevelSample> = Vec::new();
+    let mut sweep = Vec::new();
+    let mut last_events = Vec::new();
+    for clients in sweep_clients {
+        collector.drain();
+        let result = run_benchmark(
+            &db,
+            &workload_dyn,
+            &options.bench_options(clients, "fig-5.4"),
+        );
+        last_events = collector.drain();
+        let latency = |ty: TxnTypeId| {
+            result
+                .latency_by_type
+                .get(&ty.0)
+                .map(|s| s.mean_ms)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "{:<10} {:>12.0} {:>16.3} {:>20.3}",
+            clients,
+            result.throughput,
+            latency(types::PAYMENT),
+            latency(types::STOCK_LEVEL)
+        );
+        samples.push(sample(
+            clients,
+            &[
+                (types::PAYMENT, latency(types::PAYMENT)),
+                (types::STOCK_LEVEL, latency(types::STOCK_LEVEL)),
+            ],
+        ));
+        sweep.push(SweepPoint {
+            clients,
+            throughput: result.throughput,
+            payment_latency_ms: latency(types::PAYMENT),
+            stock_level_latency_ms: latency(types::STOCK_LEVEL),
+        });
+    }
+
+    // What each technique concludes.
+    let latency_diag = diagnose(&samples);
+    println!(
+        "\nlatency-based technique suspects types: {:?} (payment = {}, stock_level = {})",
+        latency_diag.suspected,
+        types::PAYMENT.0,
+        types::STOCK_LEVEL.0
+    );
+    let profile = analyze(&last_events);
+    let procedures = db.procedures().clone();
+    let top = profile
+        .top_edge()
+        .map(|edge| (procedures.name(edge.a), procedures.name(edge.b)));
+    match &top {
+        Some((a, b)) => println!("blocking-time profiler top conflict edge: {a} <-> {b}"),
+        None => println!("blocking-time profiler observed no blocking"),
+    }
+    db.shutdown();
+
+    options.maybe_write_json(&Output {
+        sweep,
+        latency_based_suspects: latency_diag.suspected,
+        blocking_profiler_top_edge: top,
+    });
+}

@@ -1,0 +1,65 @@
+//! Table 4.1 — Latency and resource cost of adding additional layers.
+//!
+//! Conflict-free workload (one transaction type, seven writes) under a
+//! stand-alone RP group and with one extra 2PL / SSI / RP layer above it.
+//! The first column is the mean latency with few clients (low load); the
+//! second is the peak throughput with many clients (CPU-bound). Expected
+//! shape: 2PL adds a few percent of latency, SSI ~10%, RP the most; the
+//! throughput cost is 20–40%.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, ExperimentOptions};
+use tebaldi_core::DbConfig;
+use tebaldi_workloads::micro::OverheadMicro;
+use tebaldi_workloads::{bench_config, Workload};
+
+#[derive(Serialize)]
+struct Row {
+    setting: String,
+    latency_ms: f64,
+    throughput: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Table 4.1", "Latency and resource cost of adding additional layers");
+    // The paper measures latency with 20 clients (low load) and peak
+    // throughput with the CPU saturated.
+    let latency_clients = if options.quick { 4 } else { 8 };
+    let peak_clients = if options.quick { 8 } else { 32 };
+
+    println!(
+        "{:<18} {:>14} {:>22}",
+        "setting", "latency (ms)", "throughput (txn/sec)"
+    );
+    let mut rows = Vec::new();
+    for (name, spec) in OverheadMicro::configs() {
+        // Low-load latency measurement.
+        let workload: Arc<dyn Workload> = Arc::new(OverheadMicro::new());
+        let latency_result = bench_config(
+            &workload,
+            spec.clone(),
+            DbConfig::for_benchmarks(),
+            &options.bench_options(latency_clients, name),
+        );
+        // Peak-throughput measurement.
+        let workload: Arc<dyn Workload> = Arc::new(OverheadMicro::new());
+        let peak_result = bench_config(
+            &workload,
+            spec,
+            DbConfig::for_benchmarks(),
+            &options.bench_options(peak_clients, name),
+        );
+        println!(
+            "{:<18} {:>14.3} {:>22.0}",
+            name, latency_result.latency_overall.mean_ms, peak_result.throughput
+        );
+        rows.push(Row {
+            setting: name.to_string(),
+            latency_ms: latency_result.latency_overall.mean_ms,
+            throughput: peak_result.throughput,
+        });
+    }
+    options.maybe_write_json(&rows);
+}

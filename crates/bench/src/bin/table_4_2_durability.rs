@@ -1,0 +1,60 @@
+//! Table 4.2 — Overhead of the durability protocol on TPC-C.
+//!
+//! TPC-C under the Tebaldi three-layer configuration with durability off
+//! and with the asynchronous-flushing GCP protocol on (clients wait for the
+//! commit notification, not the durable notification). The paper reports a
+//! ~5% throughput cost.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_core::{DbConfig, DurabilityMode};
+use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
+use tebaldi_workloads::{bench_config, Workload};
+
+#[derive(Serialize)]
+struct Row {
+    setting: String,
+    throughput: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Table 4.2", "Overhead of durability protocol on TPC-C benchmark");
+    let params = TpccParams::default();
+    let clients = if options.quick { 8 } else { 32 };
+
+    let settings = vec![
+        (
+            "Durability ON (async GCP)",
+            DbConfig {
+                durability: DurabilityMode::Asynchronous { epoch_ms: 1_000 },
+                ..DbConfig::for_benchmarks()
+            },
+        ),
+        ("Durability OFF", DbConfig::for_benchmarks()),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, db_config) in settings {
+        let workload: Arc<dyn Workload> = Arc::new(Tpcc::new(params));
+        let result = bench_config(
+            &workload,
+            configs::tebaldi_three_layer(),
+            db_config,
+            &options.bench_options(clients, name),
+        );
+        println!("{:<28} {} txn/sec", name, fmt_tput(result.throughput));
+        rows.push(Row {
+            setting: name.to_string(),
+            throughput: result.throughput,
+        });
+    }
+    if rows.len() == 2 && rows[1].throughput > 0.0 {
+        println!(
+            "durability overhead: {:.1}% (paper: ~5%)",
+            (1.0 - rows[0].throughput / rows[1].throughput) * 100.0
+        );
+    }
+    options.maybe_write_json(&rows);
+}

@@ -1,0 +1,70 @@
+//! Table 5.1 — SEATS with and without the partition-by-instance
+//! optimisation.
+//!
+//! The three-layer SEATS configuration with a single TSO group for all
+//! reservation transactions versus per-flight TSO groups produced by the
+//! partition-by-instance preprocessing (§5.4.2).
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_core::DbConfig;
+use tebaldi_workloads::seats::{configs, Seats, SeatsParams};
+use tebaldi_workloads::{bench_config, Workload};
+
+#[derive(Serialize)]
+struct Row {
+    setting: String,
+    throughput: f64,
+    abort_rate: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner(
+        "Table 5.1",
+        "SEATS with and without the partition-by-instance optimisation",
+    );
+    let params = if options.quick {
+        SeatsParams {
+            flights: 20,
+            seats_per_flight: 2_000,
+            customers: 1_000,
+            open_seat_probes: 15,
+        }
+    } else {
+        SeatsParams::default()
+    };
+    let clients = if options.quick { 8 } else { 32 };
+
+    let settings = vec![
+        ("Without partition-by-instance", configs::three_layer_single_tso()),
+        (
+            "With partition-by-instance",
+            configs::three_layer(params.flights.min(16)),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, spec) in settings {
+        let workload: Arc<dyn Workload> = Arc::new(Seats::new(params));
+        let result = bench_config(
+            &workload,
+            spec,
+            DbConfig::for_benchmarks(),
+            &options.bench_options(clients, name),
+        );
+        println!(
+            "{:<32} {} txn/sec  (abort rate {:.1}%)",
+            name,
+            fmt_tput(result.throughput),
+            result.abort_rate() * 100.0
+        );
+        rows.push(Row {
+            setting: name.to_string(),
+            throughput: result.throughput,
+            abort_rate: result.abort_rate(),
+        });
+    }
+    options.maybe_write_json(&rows);
+}

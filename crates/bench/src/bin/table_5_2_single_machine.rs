@@ -1,0 +1,60 @@
+//! Table 5.2 — TPC-C performance in single-machine settings.
+//!
+//! The paper compares Tebaldi against MySQL-family single-machine databases.
+//! This reproduction substitutes the closed-source comparators with
+//! monolithic configurations of the same engine (documented in DESIGN.md):
+//! the comparison keeps its meaning — a single conventional concurrency
+//! control versus the federated MCC configurations on identical hardware —
+//! while every system under test is our own code.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_core::DbConfig;
+use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
+use tebaldi_workloads::{bench_config, Workload};
+
+#[derive(Serialize)]
+struct Row {
+    system: String,
+    throughput: f64,
+    p99_latency_ms: f64,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner("Table 5.2", "TPC-C performance in single-machine settings");
+    let params = TpccParams::default();
+    // "Single machine" setting: a moderate client count on one process.
+    let clients = if options.quick { 8 } else { 16 };
+
+    let systems = vec![
+        ("Monolithic 2PL (conventional DB)", configs::monolithic_2pl()),
+        ("Monolithic SSI (conventional DB)", configs::monolithic_ssi()),
+        ("Tebaldi, manual 3-layer MCC", configs::tebaldi_three_layer()),
+        ("Tebaldi, initial auto config", configs::autoconf_initial()),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, spec) in systems {
+        let workload: Arc<dyn Workload> = Arc::new(Tpcc::new(params));
+        let result = bench_config(
+            &workload,
+            spec,
+            DbConfig::for_benchmarks(),
+            &options.bench_options(clients, name),
+        );
+        println!(
+            "{:<36} {} txn/sec   p99={:.2} ms",
+            name,
+            fmt_tput(result.throughput),
+            result.latency_overall.p99_ms
+        );
+        rows.push(Row {
+            system: name.to_string(),
+            throughput: result.throughput,
+            p99_latency_ms: result.latency_overall.p99_ms,
+        });
+    }
+    options.maybe_write_json(&rows);
+}

@@ -1,0 +1,110 @@
+//! Shared helpers of the experiment binaries.
+//!
+//! Every experiment binary accepts `--quick` (shrink durations and client
+//! counts so the whole suite runs in a couple of minutes) and `--json PATH`
+//! (additionally dump the rows as JSON so EXPERIMENTS.md can be regenerated
+//! mechanically).
+
+use serde::Serialize;
+use std::time::Duration;
+use tebaldi_workloads::BenchOptions;
+
+/// Parsed command-line options shared by every experiment.
+#[derive(Clone, Debug)]
+pub struct ExperimentOptions {
+    /// Shrink durations/client counts for CI runs.
+    pub quick: bool,
+    /// Optional JSON output path.
+    pub json_path: Option<String>,
+}
+
+impl ExperimentOptions {
+    /// Parses `std::env::args`.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let quick = args.iter().any(|a| a == "--quick");
+        let json_path = args
+            .iter()
+            .position(|a| a == "--json")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        ExperimentOptions { quick, json_path }
+    }
+
+    /// Benchmark options for a given client count, scaled by `--quick`.
+    pub fn bench_options(&self, clients: usize, label: &str) -> BenchOptions {
+        if self.quick {
+            BenchOptions {
+                clients,
+                duration: Duration::from_millis(400),
+                warmup: Duration::from_millis(100),
+                seed: 42,
+                config_label: label.to_string(),
+            }
+        } else {
+            BenchOptions {
+                clients,
+                duration: Duration::from_millis(2_000),
+                warmup: Duration::from_millis(400),
+                seed: 42,
+                config_label: label.to_string(),
+            }
+        }
+    }
+
+    /// The client counts swept by the throughput-vs-clients figures.
+    pub fn client_sweep(&self) -> Vec<usize> {
+        if self.quick {
+            vec![4, 16]
+        } else {
+            vec![2, 4, 8, 16, 32, 64]
+        }
+    }
+
+    /// Writes the serializable rows to the JSON path when one was given.
+    pub fn maybe_write_json<T: Serialize>(&self, rows: &T) {
+        if let Some(path) = &self.json_path {
+            match serde_json::to_string_pretty(rows) {
+                Ok(json) => {
+                    if let Err(err) = std::fs::write(path, json) {
+                        eprintln!("warning: could not write {path}: {err}");
+                    }
+                }
+                Err(err) => eprintln!("warning: could not serialize results: {err}"),
+            }
+        }
+    }
+}
+
+/// Prints a header line for an experiment.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Formats a throughput value the way the tables in EXPERIMENTS.md expect.
+pub fn fmt_tput(v: f64) -> String {
+    format!("{v:>10.0}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_options_shrink_runs() {
+        let options = ExperimentOptions {
+            quick: true,
+            json_path: None,
+        };
+        assert!(options.bench_options(4, "x").duration < Duration::from_secs(1));
+        assert!(options.client_sweep().len() < 4);
+        let full = ExperimentOptions {
+            quick: false,
+            json_path: None,
+        };
+        assert!(full.bench_options(4, "x").duration >= Duration::from_secs(1));
+        assert_eq!(fmt_tput(1234.4).trim(), "1234");
+    }
+}

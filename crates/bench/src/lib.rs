@@ -1,0 +1,10 @@
+//! # tebaldi-bench
+//!
+//! The experiment harness of the Tebaldi reproduction. Every table and
+//! figure of the paper's evaluation (§3.4.1, §4.6, §5.6) has a binary in
+//! `src/bin/` that regenerates its rows or series; `common` holds the shared
+//! command-line handling and result printing. The Criterion benchmarks
+//! under `benches/` cover the hot code paths (storage, locking, SSI
+//! validation, RP steps, profiler scoring).
+
+pub mod common;

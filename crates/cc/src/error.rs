@@ -1,0 +1,94 @@
+//! Error type shared by every concurrency-control mechanism.
+//!
+//! Every error is an *abort reason*: the engine aborts the transaction and
+//! the closed-loop benchmark driver retries it, exactly as the paper's test
+//! clients do (§4.6). The variants are kept coarse on purpose — what matters
+//! to the rest of the system is (a) that the transaction must abort and
+//! (b) which mechanism decided so, which feeds the abort-rate statistics of
+//! the evaluation.
+
+use std::fmt;
+
+/// Result alias used throughout the CC layer.
+pub type CcResult<T> = Result<T, CcError>;
+
+/// Why a transaction must abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CcError {
+    /// A bounded wait (lock, pipeline step, dependency) timed out. Timeouts
+    /// double as deadlock resolution, as in the paper's 2PL implementation.
+    Timeout {
+        /// Which mechanism / wait timed out.
+        mechanism: &'static str,
+        /// What was being waited for.
+        what: &'static str,
+    },
+    /// A mechanism detected a conflict it resolves by aborting (write-write
+    /// conflict under SSI, stale write under TSO, pivot structure, ...).
+    Conflict {
+        /// The mechanism that detected the conflict.
+        mechanism: &'static str,
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A transaction this one depends on (read-from, pipeline order) aborted,
+    /// so this transaction must abort too (cascading abort prevention).
+    DependencyAborted,
+    /// The engine asked for an abort (user abort, reconfiguration drain).
+    Requested,
+    /// An internal invariant failed. Should never occur; kept as data rather
+    /// than a panic so benchmark runs survive.
+    Internal(String),
+}
+
+impl CcError {
+    /// The mechanism name to which abort statistics should be attributed.
+    pub fn mechanism(&self) -> &'static str {
+        match self {
+            CcError::Timeout { mechanism, .. } => mechanism,
+            CcError::Conflict { mechanism, .. } => mechanism,
+            CcError::DependencyAborted => "dependency",
+            CcError::Requested => "engine",
+            CcError::Internal(_) => "internal",
+        }
+    }
+
+    /// True when retrying the transaction may succeed (all aborts in this
+    /// system are retryable except internal errors).
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, CcError::Internal(_))
+    }
+}
+
+impl fmt::Display for CcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CcError::Timeout { mechanism, what } => {
+                write!(f, "{mechanism}: timed out waiting for {what}")
+            }
+            CcError::Conflict { mechanism, reason } => write!(f, "{mechanism}: {reason}"),
+            CcError::DependencyAborted => write!(f, "a dependency aborted"),
+            CcError::Requested => write!(f, "abort requested"),
+            CcError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_attribution() {
+        let e = CcError::Timeout {
+            mechanism: "2pl",
+            what: "lock",
+        };
+        assert_eq!(e.mechanism(), "2pl");
+        assert!(e.to_string().contains("lock"));
+        assert!(e.is_retryable());
+        assert!(!CcError::Internal("bug".into()).is_retryable());
+    }
+}

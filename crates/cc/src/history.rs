@@ -1,0 +1,192 @@
+//! Execution-history recording.
+//!
+//! The test suite uses Adya's graph-based isolation theory (§2.2.3) as an
+//! oracle: run a workload under some CC-tree configuration while recording
+//! who read from whom and who wrote what, then build the direct
+//! serialization graph ([`crate::dsg`]) and check for aborted reads and
+//! cycles. Recording is optional and off in benchmarks.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use tebaldi_storage::{GroupId, Key, Timestamp, TxnId, TxnTypeId};
+
+/// A read performed by a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// The key read.
+    pub key: Key,
+    /// Writer of the version that was returned (bootstrap for initial data).
+    pub from: TxnId,
+}
+
+/// Everything recorded about one transaction.
+#[derive(Clone, Debug)]
+pub struct TxnRecord {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Static type.
+    pub ty: TxnTypeId,
+    /// Leaf group.
+    pub group: GroupId,
+    /// Reads, in program order.
+    pub reads: Vec<ReadRecord>,
+    /// Keys written.
+    pub writes: Vec<Key>,
+    /// Final outcome.
+    pub committed: bool,
+    /// Commit timestamp when committed.
+    pub commit_ts: Option<Timestamp>,
+}
+
+impl TxnRecord {
+    fn new(txn: TxnId, ty: TxnTypeId, group: GroupId) -> Self {
+        TxnRecord {
+            txn,
+            ty,
+            group,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            committed: false,
+            commit_ts: None,
+        }
+    }
+}
+
+/// A completed execution history.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    /// Record per transaction observed.
+    pub txns: Vec<TxnRecord>,
+}
+
+impl History {
+    /// Committed transactions only.
+    pub fn committed(&self) -> impl Iterator<Item = &TxnRecord> {
+        self.txns.iter().filter(|t| t.committed)
+    }
+
+    /// Record of one transaction.
+    pub fn get(&self, txn: TxnId) -> Option<&TxnRecord> {
+        self.txns.iter().find(|t| t.txn == txn)
+    }
+
+    /// Number of committed transactions.
+    pub fn committed_count(&self) -> usize {
+        self.committed().count()
+    }
+
+    /// Number of aborted transactions.
+    pub fn aborted_count(&self) -> usize {
+        self.txns.len() - self.committed_count()
+    }
+}
+
+/// Thread-safe recorder used by the engine when history recording is
+/// enabled.
+#[derive(Debug, Default)]
+pub struct HistoryRecorder {
+    inner: Mutex<HashMap<TxnId, TxnRecord>>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        HistoryRecorder::default()
+    }
+
+    /// Registers a starting transaction.
+    pub fn begin(&self, txn: TxnId, ty: TxnTypeId, group: GroupId) {
+        self.inner.lock().insert(txn, TxnRecord::new(txn, ty, group));
+    }
+
+    /// Records a read.
+    pub fn read(&self, txn: TxnId, key: Key, from: TxnId) {
+        if let Some(rec) = self.inner.lock().get_mut(&txn) {
+            rec.reads.push(ReadRecord { key, from });
+        }
+    }
+
+    /// Records a write.
+    pub fn write(&self, txn: TxnId, key: Key) {
+        if let Some(rec) = self.inner.lock().get_mut(&txn) {
+            if !rec.writes.contains(&key) {
+                rec.writes.push(key);
+            }
+        }
+    }
+
+    /// Records a commit.
+    pub fn commit(&self, txn: TxnId, ts: Timestamp) {
+        if let Some(rec) = self.inner.lock().get_mut(&txn) {
+            rec.committed = true;
+            rec.commit_ts = Some(ts);
+        }
+    }
+
+    /// Records an abort (the record is kept so aborted-read checks can see
+    /// which transactions aborted).
+    pub fn abort(&self, txn: TxnId) {
+        if let Some(rec) = self.inner.lock().get_mut(&txn) {
+            rec.committed = false;
+        }
+    }
+
+    /// Finishes recording and returns the history.
+    pub fn finish(&self) -> History {
+        let mut txns: Vec<TxnRecord> = self.inner.lock().values().cloned().collect();
+        txns.sort_by_key(|t| t.txn);
+        History { txns }
+    }
+
+    /// Number of transactions observed so far.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tebaldi_storage::TableId;
+
+    fn k(id: u64) -> Key {
+        Key::simple(TableId(0), id)
+    }
+
+    #[test]
+    fn record_and_finish() {
+        let rec = HistoryRecorder::new();
+        rec.begin(TxnId(1), TxnTypeId(0), GroupId(0));
+        rec.begin(TxnId(2), TxnTypeId(1), GroupId(1));
+        rec.read(TxnId(1), k(1), TxnId::BOOTSTRAP);
+        rec.write(TxnId(1), k(1));
+        rec.write(TxnId(1), k(1)); // deduplicated
+        rec.commit(TxnId(1), Timestamp(5));
+        rec.read(TxnId(2), k(1), TxnId(1));
+        rec.abort(TxnId(2));
+
+        let history = rec.finish();
+        assert_eq!(history.txns.len(), 2);
+        assert_eq!(history.committed_count(), 1);
+        assert_eq!(history.aborted_count(), 1);
+        let t1 = history.get(TxnId(1)).unwrap();
+        assert_eq!(t1.writes, vec![k(1)]);
+        assert_eq!(t1.commit_ts, Some(Timestamp(5)));
+        let t2 = history.get(TxnId(2)).unwrap();
+        assert_eq!(t2.reads[0].from, TxnId(1));
+        assert!(!t2.committed);
+    }
+
+    #[test]
+    fn unknown_txn_ignored() {
+        let rec = HistoryRecorder::new();
+        rec.read(TxnId(9), k(1), TxnId(1));
+        rec.commit(TxnId(9), Timestamp(1));
+        assert!(rec.is_empty());
+    }
+}

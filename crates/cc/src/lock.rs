@@ -1,0 +1,400 @@
+//! The group-aware lock manager shared by 2PL and runtime pipelining.
+//!
+//! This is the *nexus lock* table of Callas/Tebaldi (§3.3.2): a lock request
+//! carries, besides the usual shared/exclusive mode, the **lane** of the
+//! requesting transaction at the node that owns the table. Two requests on
+//! the same lane never conflict — their ordering is delegated to the child
+//! mechanism — while requests from different lanes follow the ordinary
+//! shared/exclusive compatibility matrix. At a leaf node every transaction
+//! has its own lane, which turns the table into a plain 2PL lock table.
+//!
+//! Waits are bounded by a timeout (the paper resolves deadlocks by timing
+//! out transactions, §4.4.1) and every wait produces a blocking event for
+//! the profiler.
+
+use crate::error::{CcError, CcResult};
+use crate::mechanism::{NodeEnv, TxnCtx};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+use tebaldi_storage::{Key, TxnId};
+
+/// True when `TEBALDI_DEBUG_LOCKS` is set: every grant/release is printed to
+/// stderr. Checked once and cached (the lock path is hot).
+fn debug_locks() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("TEBALDI_DEBUG_LOCKS").is_some())
+}
+
+/// Lock mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Holder {
+    txn: TxnId,
+    lane: u64,
+    mode: LockMode,
+}
+
+#[derive(Default)]
+struct LockEntry {
+    holders: Vec<Holder>,
+}
+
+impl LockEntry {
+    /// Returns the first holder incompatible with the request, if any.
+    fn conflict_with(&self, txn: TxnId, lane: u64, mode: LockMode) -> Option<Holder> {
+        self.holders
+            .iter()
+            .find(|h| {
+                if h.txn == txn || h.lane == lane {
+                    return false;
+                }
+                mode == LockMode::Exclusive || h.mode == LockMode::Exclusive
+            })
+            .copied()
+    }
+
+    fn grant(&mut self, txn: TxnId, lane: u64, mode: LockMode) -> bool {
+        if let Some(existing) = self.holders.iter_mut().find(|h| h.txn == txn) {
+            if mode == LockMode::Exclusive {
+                existing.mode = LockMode::Exclusive;
+            }
+            false
+        } else {
+            self.holders.push(Holder { txn, lane, mode });
+            true
+        }
+    }
+
+    fn release(&mut self, txn: TxnId) -> bool {
+        let before = self.holders.len();
+        self.holders.retain(|h| h.txn != txn);
+        before != self.holders.len()
+    }
+}
+
+struct Shard {
+    entries: Mutex<HashMap<Key, LockEntry>>,
+    released: Condvar,
+}
+
+/// A lock table.
+pub struct LockManager {
+    shards: Vec<Shard>,
+    held: Vec<Mutex<HashMap<TxnId, Vec<Key>>>>,
+}
+
+impl std::fmt::Debug for LockManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockManager")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        LockManager::new(64)
+    }
+}
+
+impl LockManager {
+    /// Creates a lock table with the given number of shards.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0);
+        LockManager {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    entries: Mutex::new(HashMap::new()),
+                    released: Condvar::new(),
+                })
+                .collect(),
+            held: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard_of(&self, key: &Key) -> &Shard {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % self.shards.len()]
+    }
+
+    fn held_of(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, Vec<Key>>> {
+        &self.held[(txn.0 as usize) % self.held.len()]
+    }
+
+    /// Acquires (or upgrades) a lock on `key` for the transaction in `ctx`.
+    ///
+    /// Returns the transactions that were holding a conflicting lock when the
+    /// request first had to wait — callers such as runtime pipelining turn
+    /// these into pipeline dependencies. Waits longer than
+    /// `env.wait_timeout` fail with [`CcError::Timeout`].
+    pub fn acquire(
+        &self,
+        env: &NodeEnv,
+        ctx: &TxnCtx,
+        key: &Key,
+        lane: u64,
+        mode: LockMode,
+        mechanism: &'static str,
+    ) -> CcResult<Vec<TxnId>> {
+        let shard = self.shard_of(key);
+        let mut entries = shard.entries.lock();
+        let mut blockers: Vec<TxnId> = Vec::new();
+        let mut wait_started: Option<Instant> = None;
+        let mut first_blocker: Option<TxnId> = None;
+        let deadline = Instant::now() + env.wait_timeout;
+
+        loop {
+            let entry = entries.entry(*key).or_default();
+            match entry.conflict_with(ctx.txn, lane, mode) {
+                None => {
+                    let newly = entry.grant(ctx.txn, lane, mode);
+                    if debug_locks() {
+                        eprintln!(
+                            "LOCK grant txn={:?} key={:?} mode={:?} newly={} holders={:?}",
+                            ctx.txn,
+                            key,
+                            mode,
+                            newly,
+                            entry.holders.iter().map(|h| (h.txn, h.mode)).collect::<Vec<_>>()
+                        );
+                    }
+                    drop(entries);
+                    if newly {
+                        self.held_of(ctx.txn)
+                            .lock()
+                            .entry(ctx.txn)
+                            .or_default()
+                            .push(*key);
+                    }
+                    if let (Some(start), Some(blocker)) = (wait_started, first_blocker) {
+                        env.record_block(ctx, blocker, start, Instant::now());
+                    }
+                    return Ok(blockers);
+                }
+                Some(holder) => {
+                    if wait_started.is_none() {
+                        wait_started = Some(Instant::now());
+                        first_blocker = Some(holder.txn);
+                    }
+                    if !blockers.contains(&holder.txn) {
+                        blockers.push(holder.txn);
+                    }
+                    if shard.released.wait_until(&mut entries, deadline).timed_out() {
+                        drop(entries);
+                        if let (Some(start), Some(blocker)) = (wait_started, first_blocker) {
+                            env.record_block(ctx, blocker, start, Instant::now());
+                        }
+                        return Err(CcError::Timeout {
+                            mechanism,
+                            what: "lock",
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// Releases the locks held by `txn` on the given keys.
+    pub fn release_keys(&self, txn: TxnId, keys: &[Key]) {
+        if debug_locks() && !keys.is_empty() {
+            eprintln!("LOCK release_keys txn={txn:?} keys={keys:?}");
+        }
+        for key in keys {
+            let shard = self.shard_of(key);
+            let mut entries = shard.entries.lock();
+            let mut emptied = false;
+            if let Some(entry) = entries.get_mut(key) {
+                if entry.release(txn) {
+                    emptied = entry.holders.is_empty();
+                }
+            }
+            if emptied {
+                entries.remove(key);
+            }
+            drop(entries);
+            shard.released.notify_all();
+        }
+        let mut held = self.held_of(txn).lock();
+        if let Some(list) = held.get_mut(&txn) {
+            list.retain(|k| !keys.contains(k));
+            if list.is_empty() {
+                held.remove(&txn);
+            }
+        }
+    }
+
+    /// Releases every lock held by `txn`.
+    pub fn release_all(&self, txn: TxnId) {
+        let keys = {
+            let mut held = self.held_of(txn).lock();
+            held.remove(&txn).unwrap_or_default()
+        };
+        if debug_locks() && !keys.is_empty() {
+            eprintln!("LOCK release_all txn={txn:?} keys={keys:?}");
+        }
+        for key in &keys {
+            let shard = self.shard_of(key);
+            let mut entries = shard.entries.lock();
+            let mut emptied = false;
+            if let Some(entry) = entries.get_mut(key) {
+                entry.release(txn);
+                emptied = entry.holders.is_empty();
+            }
+            if emptied {
+                entries.remove(key);
+            }
+            drop(entries);
+            shard.released.notify_all();
+        }
+    }
+
+    /// Keys currently locked by `txn`.
+    pub fn keys_held_by(&self, txn: TxnId) -> Vec<Key> {
+        self.held_of(txn)
+            .lock()
+            .get(&txn)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Total number of keys with at least one holder (diagnostics).
+    pub fn locked_key_count(&self) -> usize {
+        self.shards.iter().map(|s| s.entries.lock().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::VecSink;
+    use crate::mechanism::Lane;
+    use crate::oracle::TsOracle;
+    use crate::registry::TxnRegistry;
+    use crate::topology::Topology;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tebaldi_storage::{GroupId, NodeId, TableId, TxnTypeId};
+
+    fn env(timeout_ms: u64) -> (NodeEnv, Arc<VecSink>) {
+        let sink = Arc::new(VecSink::new());
+        let registry = Arc::new(TxnRegistry::default());
+        registry.register(TxnId(1), TxnTypeId(1), GroupId(0));
+        registry.register(TxnId(2), TxnTypeId(2), GroupId(1));
+        registry.register(TxnId(3), TxnTypeId(3), GroupId(1));
+        (
+            NodeEnv {
+                node: NodeId(0),
+                registry,
+                topology: Arc::new(Topology::new()),
+                events: sink.clone(),
+                oracle: Arc::new(TsOracle::new()),
+                wait_timeout: Duration::from_millis(timeout_ms),
+            },
+            sink,
+        )
+    }
+
+    fn ctx(txn: u64) -> TxnCtx {
+        TxnCtx::new(TxnId(txn), TxnTypeId(txn as u32), GroupId(0))
+    }
+
+    fn k(id: u64) -> Key {
+        Key::simple(TableId(0), id)
+    }
+
+    #[test]
+    fn shared_locks_are_compatible_across_lanes() {
+        let (env, _) = env(50);
+        let lm = LockManager::default();
+        lm.acquire(&env, &ctx(1), &k(1), 0, LockMode::Shared, "t").unwrap();
+        lm.acquire(&env, &ctx(2), &k(1), 1, LockMode::Shared, "t").unwrap();
+        assert_eq!(lm.locked_key_count(), 1);
+    }
+
+    #[test]
+    fn exclusive_conflicts_across_lanes_but_not_within() {
+        let (env, _) = env(30);
+        let lm = LockManager::default();
+        lm.acquire(&env, &ctx(1), &k(1), 0, LockMode::Exclusive, "t").unwrap();
+        // Same lane (same child subtree): compatible — the nexus rule.
+        lm.acquire(&env, &ctx(2), &k(1), 0, LockMode::Exclusive, "t").unwrap();
+        // Different lane: must time out.
+        let err = lm
+            .acquire(&env, &ctx(3), &k(1), 1, LockMode::Exclusive, "t")
+            .unwrap_err();
+        assert!(matches!(err, CcError::Timeout { .. }));
+    }
+
+    #[test]
+    fn release_wakes_waiter_and_reports_blockers() {
+        let (env, sink) = env(2_000);
+        let env = Arc::new(env);
+        let lm = Arc::new(LockManager::default());
+        lm.acquire(&env, &ctx(1), &k(7), 1, LockMode::Exclusive, "t").unwrap();
+
+        let lm2 = Arc::clone(&lm);
+        let env2 = Arc::clone(&env);
+        let waiter = std::thread::spawn(move || {
+            lm2.acquire(&env2, &ctx(2), &k(7), 2, LockMode::Exclusive, "t")
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release_all(TxnId(1));
+        let blockers = waiter.join().unwrap().unwrap();
+        assert_eq!(blockers, vec![TxnId(1)]);
+        // The wait produced a blocking event attributed to T1.
+        let events = sink.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].blocking, TxnId(1));
+        assert_eq!(events[0].blocked, TxnId(2));
+        assert!(events[0].duration() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn upgrade_shared_to_exclusive() {
+        let (env, _) = env(30);
+        let lm = LockManager::default();
+        lm.acquire(&env, &ctx(1), &k(3), 10, LockMode::Shared, "t").unwrap();
+        lm.acquire(&env, &ctx(1), &k(3), 10, LockMode::Exclusive, "t").unwrap();
+        // Another lane can no longer share.
+        assert!(lm
+            .acquire(&env, &ctx(2), &k(3), 11, LockMode::Shared, "t")
+            .is_err());
+        assert_eq!(lm.keys_held_by(TxnId(1)), vec![k(3)]);
+        lm.release_all(TxnId(1));
+        assert!(lm.keys_held_by(TxnId(1)).is_empty());
+    }
+
+    #[test]
+    fn release_keys_partial() {
+        let (env, _) = env(30);
+        let lm = LockManager::default();
+        lm.acquire(&env, &ctx(1), &k(1), 1, LockMode::Exclusive, "t").unwrap();
+        lm.acquire(&env, &ctx(1), &k(2), 1, LockMode::Exclusive, "t").unwrap();
+        lm.release_keys(TxnId(1), &[k(1)]);
+        assert_eq!(lm.keys_held_by(TxnId(1)), vec![k(2)]);
+        // Key 1 is free for another lane now.
+        lm.acquire(&env, &ctx(2), &k(1), 2, LockMode::Exclusive, "t").unwrap();
+    }
+
+    #[test]
+    fn leaf_lanes_conflict_per_transaction() {
+        let (env, _) = env(20);
+        let lm = LockManager::default();
+        let lane1 = Lane::leaf().lock_lane(TxnId(1));
+        let lane2 = Lane::leaf().lock_lane(TxnId(2));
+        lm.acquire(&env, &ctx(1), &k(5), lane1, LockMode::Exclusive, "t").unwrap();
+        assert!(lm
+            .acquire(&env, &ctx(2), &k(5), lane2, LockMode::Exclusive, "t")
+            .is_err());
+    }
+}

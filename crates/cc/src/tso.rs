@@ -1,0 +1,506 @@
+//! Multiversion timestamp ordering (§4.4.4).
+//!
+//! TSO decides the serialization order up front: every transaction receives
+//! a timestamp at start time; a read returns the latest version with a
+//! smaller timestamp (committed or not — TSO exposes uncommitted values and
+//! relies on commit-order waiting to prevent aborted reads); a write aborts
+//! if a reader with a larger timestamp has already read the prior version.
+//!
+//! The paper adds the *promises* optimisation (inspired by Faleiro et al.):
+//! a transaction may declare at start time the keys it will write, and
+//! readers with larger timestamps wait for the promised write instead of
+//! eventually aborting the writer.
+//!
+//! TSO is most efficient as a leaf mechanism (per-flight groups in SEATS,
+//! §4.6.2). As an inner node it would need batching like SSI; this
+//! implementation orders whole child groups by giving every transaction its
+//! own timestamp, which is correct for the leaf/instance-partitioned usage
+//! exercised by the paper's experiments.
+
+use crate::error::{CcError, CcResult};
+use crate::mechanism::{CcKind, CcMechanism, Lane, NodeEnv, TxnCtx, VersionPick};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::Instant;
+use tebaldi_storage::{Key, Timestamp, TxnId, VersionChain};
+
+#[derive(Debug, Default)]
+struct TsoShared {
+    /// Serialization timestamp of each active transaction.
+    txn_ts: HashMap<TxnId, Timestamp>,
+    /// Largest timestamp that has read each key.
+    max_read_ts: HashMap<Key, Timestamp>,
+    /// Outstanding promises: key → (writer, writer's timestamp, fulfilled).
+    promises: HashMap<Key, Vec<(TxnId, Timestamp, bool)>>,
+}
+
+/// A multiversion timestamp-ordering node.
+pub struct Tso {
+    env: NodeEnv,
+    shared: Mutex<TsoShared>,
+    promise_cv: Condvar,
+}
+
+impl Tso {
+    /// Creates a TSO mechanism bound to a CC-tree node.
+    pub fn new(env: NodeEnv) -> Self {
+        Tso {
+            env,
+            shared: Mutex::new(TsoShared::default()),
+            promise_cv: Condvar::new(),
+        }
+    }
+
+    /// Registers promised write keys for a transaction (must be called after
+    /// `begin`). Readers with larger timestamps will wait for these writes
+    /// instead of forcing the writer to abort.
+    pub fn register_promises(&self, ctx: &TxnCtx, keys: &[Key]) {
+        let mut shared = self.shared.lock();
+        let Some(ts) = shared.txn_ts.get(&ctx.txn).copied() else {
+            return;
+        };
+        for key in keys {
+            shared
+                .promises
+                .entry(*key)
+                .or_default()
+                .push((ctx.txn, ts, false));
+        }
+    }
+
+    fn my_ts(&self, txn: TxnId) -> Option<Timestamp> {
+        self.shared.lock().txn_ts.get(&txn).copied()
+    }
+
+    /// Number of active transactions (diagnostics).
+    pub fn active_count(&self) -> usize {
+        self.shared.lock().txn_ts.len()
+    }
+}
+
+impl CcMechanism for Tso {
+    fn name(&self) -> &'static str {
+        "TSO"
+    }
+
+    fn kind(&self) -> CcKind {
+        CcKind::Tso
+    }
+
+    fn begin(&self, ctx: &mut TxnCtx, _lane: Lane) -> CcResult<()> {
+        let ts = self.env.oracle.issue();
+        self.shared.lock().txn_ts.insert(ctx.txn, ts);
+        // The engine tags installed versions with the ordering timestamp so
+        // the storage layer keeps the chain in serialization order.
+        ctx.order_ts = Some(ts);
+        Ok(())
+    }
+
+    fn promise_writes(&self, ctx: &TxnCtx, keys: &[Key]) {
+        self.register_promises(ctx, keys);
+    }
+
+    fn before_read(&self, ctx: &mut TxnCtx, _lane: Lane, key: &Key) -> CcResult<()> {
+        // Promise handling: if a transaction with a *smaller* timestamp
+        // promised a write to this key and has not performed it yet, wait
+        // for it instead of reading an older version (which would later
+        // force the promiser to abort).
+        let my_ts = match self.my_ts(ctx.txn) {
+            Some(ts) => ts,
+            None => return Ok(()),
+        };
+        let deadline = Instant::now() + self.env.wait_timeout;
+        let mut shared = self.shared.lock();
+        loop {
+            let pending: Option<TxnId> = shared.promises.get(key).and_then(|list| {
+                list.iter()
+                    .find(|(writer, wts, fulfilled)| {
+                        !*fulfilled && *wts < my_ts && *writer != ctx.txn
+                    })
+                    .map(|(writer, _, _)| *writer)
+            });
+            let Some(writer) = pending else {
+                return Ok(());
+            };
+            let wait_start = Instant::now();
+            if self
+                .promise_cv
+                .wait_until(&mut shared, deadline)
+                .timed_out()
+            {
+                self.env.record_block(ctx, writer, wait_start, Instant::now());
+                return Err(CcError::Timeout {
+                    mechanism: "TSO",
+                    what: "promised write",
+                });
+            }
+            self.env.record_block(ctx, writer, wait_start, Instant::now());
+        }
+    }
+
+    fn validate_write(
+        &self,
+        ctx: &mut TxnCtx,
+        _lane: Lane,
+        key: &Key,
+        _chain: &VersionChain,
+    ) -> CcResult<()> {
+        // The reader-abort rule must run while the engine holds the key's
+        // chain lock (this hook is the only point where that is true):
+        // readers record their timestamp and pick a version under the same
+        // lock, so checking here closes the window in which a later reader
+        // could record its read and miss a write that is about to be
+        // installed.
+        let shared = self.shared.lock();
+        let my_ts = shared
+            .txn_ts
+            .get(&ctx.txn)
+            .copied()
+            .ok_or(CcError::Internal("TSO: write before begin".to_string()))?;
+        if let Some(read_ts) = shared.max_read_ts.get(key) {
+            if *read_ts > my_ts {
+                return Err(CcError::Conflict {
+                    mechanism: "TSO",
+                    reason: "a later reader already read the prior version",
+                });
+            }
+        }
+        drop(shared);
+        // Consistent ordering with the parent: TSO's timestamps only order
+        // transactions *within* this group. If the key already carries a
+        // version from outside the group whose position is after our
+        // timestamp, the parent has ordered that writer before us was even
+        // possible — installing "into the past" would contradict it (and
+        // hide the newer value from position-based readers). Abort and let
+        // the retry pick a fresh, larger timestamp.
+        for v in _chain.versions() {
+            let in_group = v.writer == ctx.txn || self.env.same_group(_lane, v.writer);
+            if !in_group {
+                if let Some(ts) = v.sort_ts() {
+                    if ts > my_ts {
+                        return Err(CcError::Conflict {
+                            mechanism: "TSO",
+                            reason: "a cross-group version is ordered after this timestamp",
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn after_write(&self, ctx: &mut TxnCtx, _lane: Lane, key: &Key) {
+        // Mark our promise on this key (if any) as fulfilled only after the
+        // version is actually installed, so a woken reader cannot pick an
+        // older version in the gap.
+        let mut shared = self.shared.lock();
+        if let Some(list) = shared.promises.get_mut(key) {
+            for entry in list.iter_mut().filter(|(w, _, _)| *w == ctx.txn) {
+                entry.2 = true;
+            }
+        }
+        drop(shared);
+        self.promise_cv.notify_all();
+    }
+
+    fn validate(&self, ctx: &mut TxnCtx, _lane: Lane) -> CcResult<()> {
+        // Consistent ordering (§4.4.4): conservatively report every active
+        // transaction in this group with a smaller timestamp as an ordering
+        // dependency, so a parent CC (2PL adoption, SSI commit order) never
+        // commits us ahead of a transaction the timestamp order places
+        // before us.
+        let shared = self.shared.lock();
+        let Some(my_ts) = shared.txn_ts.get(&ctx.txn).copied() else {
+            return Ok(());
+        };
+        let earlier: Vec<TxnId> = shared
+            .txn_ts
+            .iter()
+            .filter(|(txn, ts)| **txn != ctx.txn && **ts < my_ts)
+            .map(|(txn, _)| *txn)
+            .collect();
+        drop(shared);
+        for txn in earlier {
+            ctx.add_order_dep(txn);
+        }
+        Ok(())
+    }
+
+    fn choose_version(
+        &self,
+        ctx: &mut TxnCtx,
+        lane: Lane,
+        key: &Key,
+        candidate: Option<VersionPick>,
+        chain: &VersionChain,
+    ) -> Option<VersionPick> {
+        let mut shared = self.shared.lock();
+        let my_ts = shared
+            .txn_ts
+            .get(&ctx.txn)
+            .copied()
+            .unwrap_or(Timestamp::MAX);
+        // Record the read timestamp for the writer-abort rule.
+        let entry = shared.max_read_ts.entry(*key).or_insert(Timestamp::ZERO);
+        if my_ts > *entry {
+            *entry = my_ts;
+        }
+        drop(shared);
+
+        if let Some(pick) = &candidate {
+            if pick.writer == ctx.txn || self.env.same_group(lane, pick.writer) {
+                return candidate;
+            }
+        }
+        // Latest version (by chain position) that is either an in-group
+        // version whose ordering timestamp is not after ours (the MVTO read
+        // rule — uncommitted values are exposed), or a *committed* version
+        // from outside the group: the parent CC already ordered its writer
+        // before us, so skipping it would contradict the parent's ordering
+        // (consistent ordering, §4.2.1).
+        chain
+            .versions()
+            .iter()
+            .rev()
+            .find(|v| {
+                let in_group =
+                    v.writer == ctx.txn || self.env.same_group(lane, v.writer);
+                if in_group {
+                    matches!(v.sort_ts(), Some(ts) if ts <= my_ts) || v.writer == ctx.txn
+                } else {
+                    v.is_committed()
+                }
+            })
+            .map(VersionPick::from_version)
+            .or(candidate)
+    }
+
+    fn commit(&self, ctx: &mut TxnCtx, _lane: Lane, _commit_ts: Timestamp) {
+        self.cleanup(ctx.txn);
+    }
+
+    fn abort(&self, ctx: &mut TxnCtx, _lane: Lane) {
+        self.cleanup(ctx.txn);
+    }
+
+    fn low_watermark(&self) -> Timestamp {
+        self.shared
+            .lock()
+            .txn_ts
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(Timestamp::MAX)
+    }
+}
+
+impl Tso {
+    fn cleanup(&self, txn: TxnId) {
+        let mut shared = self.shared.lock();
+        shared.txn_ts.remove(&txn);
+        let mut emptied: Vec<Key> = Vec::new();
+        for (key, list) in shared.promises.iter_mut() {
+            list.retain(|(w, _, _)| *w != txn);
+            if list.is_empty() {
+                emptied.push(*key);
+            }
+        }
+        for key in emptied {
+            shared.promises.remove(&key);
+        }
+        drop(shared);
+        self.promise_cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NullSink;
+    use crate::oracle::TsOracle;
+    use crate::registry::TxnRegistry;
+    use crate::topology::Topology;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tebaldi_storage::{
+        GroupId, NodeId, TableId, TxnTypeId, Value, Version, VersionId, VersionState,
+    };
+
+    /// A TSO leaf owning group 0; transactions 1..=8 are pre-registered as
+    /// members of that group so `same_group` resolves as in a real tree.
+    fn setup() -> (Tso, Arc<TxnRegistry>) {
+        let mut topology = Topology::new();
+        topology.record_leaf(NodeId(0), GroupId(0));
+        let registry = Arc::new(TxnRegistry::default());
+        for id in 1..=8u64 {
+            registry.register(TxnId(id), TxnTypeId(0), GroupId(0));
+        }
+        let env = NodeEnv {
+            node: NodeId(0),
+            registry: Arc::clone(&registry),
+            topology: Arc::new(topology),
+            events: Arc::new(NullSink),
+            oracle: Arc::new(TsOracle::new()),
+            wait_timeout: Duration::from_millis(30),
+        };
+        (Tso::new(env), registry)
+    }
+
+    fn k(id: u64) -> Key {
+        Key::simple(TableId(0), id)
+    }
+
+    #[test]
+    fn late_reader_aborts_earlier_writer() {
+        let (tso, _registry) = setup();
+        let mut early = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut late = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut early, Lane::leaf()).unwrap();
+        tso.begin(&mut late, Lane::leaf()).unwrap();
+        // The later transaction reads the key first...
+        let chain = VersionChain::new();
+        let _ = tso.choose_version(&mut late, Lane::leaf(), &k(1), None, &chain);
+        // ...so the earlier writer must abort when it validates its write.
+        let err = tso
+            .validate_write(&mut early, Lane::leaf(), &k(1), &chain)
+            .unwrap_err();
+        assert!(matches!(err, CcError::Conflict { .. }));
+        // Writing a different key is still fine.
+        assert!(tso
+            .validate_write(&mut early, Lane::leaf(), &k(2), &chain)
+            .is_ok());
+    }
+
+    #[test]
+    fn validate_reports_earlier_active_transactions_as_order_deps() {
+        let (tso, _registry) = setup();
+        let mut early = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut late = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut early, Lane::leaf()).unwrap();
+        tso.begin(&mut late, Lane::leaf()).unwrap();
+        tso.validate(&mut late, Lane::leaf()).unwrap();
+        assert!(late.order_deps.contains(&TxnId(1)));
+        tso.validate(&mut early, Lane::leaf()).unwrap();
+        assert!(!early.order_deps.contains(&TxnId(2)));
+    }
+
+    #[test]
+    fn reads_see_uncommitted_earlier_writes() {
+        let (tso, _registry) = setup();
+        let mut early = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut late = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut early, Lane::leaf()).unwrap();
+        tso.begin(&mut late, Lane::leaf()).unwrap();
+        // Simulate the installed (uncommitted) version carrying early's
+        // ordering timestamp.
+        let mut chain = VersionChain::new();
+        chain.install(Version {
+            id: VersionId(1),
+            writer: TxnId(1),
+            value: Value::Int(10),
+            state: VersionState::Uncommitted,
+            commit_ts: None,
+            order_ts: early.order_ts,
+        });
+        let pick = tso
+            .choose_version(&mut late, Lane::leaf(), &k(1), None, &chain)
+            .unwrap();
+        assert_eq!(pick.writer, TxnId(1));
+        assert!(!pick.committed, "TSO exposes uncommitted values");
+    }
+
+    #[test]
+    fn order_ts_is_stamped_on_context() {
+        let (tso, _registry) = setup();
+        let mut ctx = TxnCtx::new(TxnId(7), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut ctx, Lane::leaf()).unwrap();
+        assert!(ctx.order_ts.is_some());
+        tso.commit(&mut ctx, Lane::leaf(), Timestamp(9));
+        assert_eq!(tso.active_count(), 0);
+    }
+
+    #[test]
+    fn promises_block_later_readers_until_written() {
+        use std::sync::Arc as StdArc;
+        let (tso, _registry) = setup();
+        let tso = StdArc::new(tso);
+        let mut writer = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut writer, Lane::leaf()).unwrap();
+        tso.register_promises(&writer, &[k(5)]);
+
+        let mut reader = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut reader, Lane::leaf()).unwrap();
+
+        let tso2 = StdArc::clone(&tso);
+        let handle = std::thread::spawn(move || {
+            let mut reader = reader;
+            tso2.before_read(&mut reader, Lane::leaf(), &k(5))
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        // Fulfil the promise (post-install hook); the reader wakes up and
+        // proceeds.
+        tso.after_write(&mut writer, Lane::leaf(), &k(5));
+        assert!(handle.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn reads_do_not_skip_committed_cross_group_versions() {
+        // A committed version written outside the TSO group (its writer is
+        // unknown to the registry) must be returned even if its timestamp is
+        // larger than the reader's: the parent ordered that writer first.
+        let (tso, _registry) = setup();
+        let mut reader = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut reader, Lane::leaf()).unwrap();
+        let mut chain = VersionChain::new();
+        chain.install(Version {
+            id: VersionId(1),
+            writer: TxnId(900), // not registered: cross-group
+            value: Value::Int(77),
+            state: VersionState::Uncommitted,
+            commit_ts: None,
+            order_ts: None,
+        });
+        chain.commit(TxnId(900), Timestamp(1_000_000));
+        let pick = tso
+            .choose_version(&mut reader, Lane::leaf(), &k(9), None, &chain)
+            .unwrap();
+        assert_eq!(pick.writer, TxnId(900));
+        assert!(pick.committed);
+    }
+
+    #[test]
+    fn writes_cannot_be_installed_before_a_later_cross_group_version() {
+        let (tso, _registry) = setup();
+        let mut writer = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut writer, Lane::leaf()).unwrap();
+        let mut chain = VersionChain::new();
+        chain.install(Version {
+            id: VersionId(1),
+            writer: TxnId(901), // cross-group writer
+            value: Value::Int(3),
+            state: VersionState::Uncommitted,
+            commit_ts: None,
+            order_ts: None,
+        });
+        chain.commit(TxnId(901), Timestamp(1_000_000));
+        let err = tso
+            .validate_write(&mut writer, Lane::leaf(), &k(3), &chain)
+            .unwrap_err();
+        assert!(matches!(err, CcError::Conflict { .. }));
+    }
+
+    #[test]
+    fn promise_wait_times_out_if_never_written() {
+        let (tso, _registry) = setup();
+        let mut writer = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut writer, Lane::leaf()).unwrap();
+        tso.register_promises(&writer, &[k(6)]);
+        let mut reader = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        tso.begin(&mut reader, Lane::leaf()).unwrap();
+        let err = tso.before_read(&mut reader, Lane::leaf(), &k(6)).unwrap_err();
+        assert!(matches!(err, CcError::Timeout { .. }));
+        // Aborting the promiser releases the promise.
+        tso.abort(&mut writer, Lane::leaf());
+        assert!(tso.before_read(&mut reader, Lane::leaf(), &k(6)).is_ok());
+    }
+}

@@ -1,0 +1,221 @@
+//! Two-phase locking (§4.4.1).
+//!
+//! The implementation follows the textbook algorithm: shared locks for
+//! reads, exclusive locks for writes, all held until commit, deadlocks
+//! resolved by timeouts. Serving as a non-leaf node of the CC tree requires
+//! exactly the two changes described in the paper:
+//!
+//! 1. locks acquired by transactions from the same child group are marked
+//!    non-conflicting (delegation — implemented by the lane-aware
+//!    [`LockManager`]), and
+//! 2. a transaction's commit is delayed until all its in-group dependencies
+//!    have committed (the *nexus lock release order*) — implemented by the
+//!    engine's dependency wait, which runs before any mechanism's commit
+//!    phase.
+//!
+//! In the read logic of the bottom-up pass, 2PL accepts the child's proposal
+//! if it is an uncommitted value from its own group and otherwise returns
+//! the latest committed value (§4.4.1).
+
+use crate::error::CcResult;
+use crate::lock::{LockManager, LockMode};
+use crate::mechanism::{CcKind, CcMechanism, Lane, NodeEnv, TxnCtx, VersionPick};
+use tebaldi_storage::{Key, Timestamp, VersionChain};
+
+/// A two-phase-locking node.
+pub struct TwoPl {
+    env: NodeEnv,
+    locks: LockManager,
+}
+
+impl TwoPl {
+    /// Creates a 2PL mechanism bound to a CC-tree node.
+    pub fn new(env: NodeEnv) -> Self {
+        TwoPl {
+            env,
+            locks: LockManager::default(),
+        }
+    }
+
+    /// Number of currently locked keys (diagnostics).
+    pub fn locked_keys(&self) -> usize {
+        self.locks.locked_key_count()
+    }
+}
+
+impl CcMechanism for TwoPl {
+    fn name(&self) -> &'static str {
+        "2PL"
+    }
+
+    fn kind(&self) -> CcKind {
+        CcKind::TwoPl
+    }
+
+    fn before_read(&self, ctx: &mut TxnCtx, lane: Lane, key: &Key) -> CcResult<()> {
+        self.locks.acquire(
+            &self.env,
+            ctx,
+            key,
+            lane.lock_lane(ctx.txn),
+            LockMode::Shared,
+            "2PL",
+        )?;
+        Ok(())
+    }
+
+    fn before_write(&self, ctx: &mut TxnCtx, lane: Lane, key: &Key) -> CcResult<()> {
+        self.locks.acquire(
+            &self.env,
+            ctx,
+            key,
+            lane.lock_lane(ctx.txn),
+            LockMode::Exclusive,
+            "2PL",
+        )?;
+        Ok(())
+    }
+
+    fn choose_version(
+        &self,
+        ctx: &mut TxnCtx,
+        lane: Lane,
+        _key: &Key,
+        candidate: Option<VersionPick>,
+        chain: &VersionChain,
+    ) -> Option<VersionPick> {
+        // Accept the child's proposal when it comes from inside this node's
+        // own group (the child is responsible for those conflicts), else
+        // return the latest committed value.
+        if let Some(pick) = &candidate {
+            if pick.writer == ctx.txn
+                || pick.committed
+                || self.env.same_group(lane, pick.writer)
+            {
+                return candidate;
+            }
+        }
+        chain
+            .latest_committed()
+            .map(VersionPick::from_version)
+            .or(candidate)
+    }
+
+    fn commit(&self, ctx: &mut TxnCtx, _lane: Lane, _commit_ts: Timestamp) {
+        self.locks.release_all(ctx.txn);
+    }
+
+    fn abort(&self, ctx: &mut TxnCtx, _lane: Lane) {
+        self.locks.release_all(ctx.txn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::NullSink;
+    use crate::oracle::TsOracle;
+    use crate::registry::TxnRegistry;
+    use crate::topology::Topology;
+    use std::sync::Arc;
+    use std::time::Duration;
+    use tebaldi_storage::{
+        GroupId, NodeId, TableId, TxnId, TxnTypeId, Value, Version, VersionId, VersionState,
+    };
+
+    fn make_env(topology: Topology, registry: Arc<TxnRegistry>) -> NodeEnv {
+        NodeEnv {
+            node: NodeId(0),
+            registry,
+            topology: Arc::new(topology),
+            events: Arc::new(NullSink),
+            oracle: Arc::new(TsOracle::new()),
+            wait_timeout: Duration::from_millis(25),
+        }
+    }
+
+    fn key(id: u64) -> Key {
+        Key::simple(TableId(0), id)
+    }
+
+    fn uncommitted(writer: u64, val: i64) -> Version {
+        Version {
+            id: VersionId(writer),
+            writer: TxnId(writer),
+            value: Value::Int(val),
+            state: VersionState::Uncommitted,
+            commit_ts: None,
+            order_ts: None,
+        }
+    }
+
+    #[test]
+    fn same_lane_writes_do_not_conflict() {
+        let registry = Arc::new(TxnRegistry::default());
+        let cc = TwoPl::new(make_env(Topology::new(), registry));
+        let mut a = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut b = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        cc.before_write(&mut a, Lane::child(0), &key(1)).unwrap();
+        cc.before_write(&mut b, Lane::child(0), &key(1)).unwrap();
+        // A third transaction from another child blocks and times out.
+        let mut c = TxnCtx::new(TxnId(3), TxnTypeId(1), GroupId(1));
+        assert!(cc.before_write(&mut c, Lane::child(1), &key(1)).is_err());
+        cc.commit(&mut a, Lane::child(0), Timestamp(1));
+        cc.commit(&mut b, Lane::child(0), Timestamp(2));
+        // Now the other child can acquire it.
+        cc.before_write(&mut c, Lane::child(1), &key(1)).unwrap();
+        cc.abort(&mut c, Lane::child(1));
+        assert_eq!(cc.locked_keys(), 0);
+    }
+
+    #[test]
+    fn leaf_mode_conflicts_per_transaction() {
+        let registry = Arc::new(TxnRegistry::default());
+        let cc = TwoPl::new(make_env(Topology::new(), registry));
+        let mut a = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut b = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
+        cc.before_write(&mut a, Lane::leaf(), &key(2)).unwrap();
+        assert!(cc.before_write(&mut b, Lane::leaf(), &key(2)).is_err());
+        cc.abort(&mut a, Lane::leaf());
+        cc.before_write(&mut b, Lane::leaf(), &key(2)).unwrap();
+    }
+
+    #[test]
+    fn choose_version_rejects_foreign_uncommitted() {
+        // Group 0 under child 0, group 1 under child 1.
+        let mut topo = Topology::new();
+        topo.record_child(NodeId(0), GroupId(0), 0);
+        topo.record_child(NodeId(0), GroupId(1), 1);
+        let registry = Arc::new(TxnRegistry::default());
+        registry.register(TxnId(10), TxnTypeId(0), GroupId(0));
+        registry.register(TxnId(20), TxnTypeId(1), GroupId(1));
+        let cc = TwoPl::new(make_env(topo, registry));
+
+        let mut chain = VersionChain::new();
+        chain.install(uncommitted(5, 50));
+        chain.commit(TxnId(5), Timestamp(1));
+        chain.install(uncommitted(20, 99)); // uncommitted write by group 1
+
+        let mut reader = TxnCtx::new(TxnId(11), TxnTypeId(0), GroupId(0));
+        // Candidate proposes the foreign uncommitted version; 2PL overrides
+        // it with the latest committed one.
+        let candidate = Some(VersionPick::from_version(
+            chain.uncommitted_by(TxnId(20)).unwrap(),
+        ));
+        let pick = cc
+            .choose_version(&mut reader, Lane::child(0), &key(1), candidate, &chain)
+            .unwrap();
+        assert_eq!(pick.writer, TxnId(5));
+
+        // A proposal from the reader's own group is accepted.
+        let mut chain2 = VersionChain::new();
+        chain2.install(uncommitted(10, 7));
+        let candidate = Some(VersionPick::from_version(
+            chain2.uncommitted_by(TxnId(10)).unwrap(),
+        ));
+        let pick = cc
+            .choose_version(&mut reader, Lane::child(0), &key(1), candidate, &chain2)
+            .unwrap();
+        assert_eq!(pick.writer, TxnId(10));
+    }
+}

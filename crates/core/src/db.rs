@@ -1,0 +1,382 @@
+//! The Tebaldi database engine.
+//!
+//! A [`Database`] bundles the multiversion store, the transaction
+//! directory, the timestamp oracle, the durability manager, the GC manager
+//! and — behind a swappable handle — the current CC tree. Client threads
+//! (the paper's transaction coordinators) call [`Database::execute`] with a
+//! closure that issues reads and writes through a [`Txn`](crate::txn::Txn)
+//! handle; the engine drives the four-phase protocol across the
+//! transaction's root→leaf path.
+
+use crate::config::{DbConfig, DurabilityMode};
+use crate::gate::ReconfigGate;
+use crate::procedure::ProcedureCall;
+use crate::stats::{DbStats, StatsSnapshot};
+use crate::txn::Txn;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tebaldi_cc::history::HistoryRecorder;
+use tebaldi_cc::{
+    CcError, CcResult, CcTree, CcTreeSpec, EventSink, NullSink, ProcedureSet, TreeServices,
+    TsOracle, TxnRegistry,
+};
+use tebaldi_storage::durability::{DurabilityManager, FlushPolicy};
+use tebaldi_storage::gc::GcManager;
+use tebaldi_storage::sim::SimNet;
+use tebaldi_storage::wal::{LogDevice, MemLogDevice};
+use tebaldi_storage::{GroupId, MvStore, Timestamp, TxnId, TxnTypeId};
+
+/// The transactional key-value store.
+pub struct Database {
+    pub(crate) config: DbConfig,
+    pub(crate) store: Arc<MvStore>,
+    pub(crate) registry: Arc<TxnRegistry>,
+    pub(crate) oracle: Arc<TsOracle>,
+    pub(crate) events: Arc<dyn EventSink>,
+    pub(crate) procedures: ProcedureSet,
+    pub(crate) tree: RwLock<Arc<CcTree>>,
+    pub(crate) durability: Arc<DurabilityManager>,
+    pub(crate) gc: GcManager,
+    pub(crate) history: Option<Arc<HistoryRecorder>>,
+    pub(crate) stats: DbStats,
+    pub(crate) gate: ReconfigGate,
+    pub(crate) txn_ids: AtomicU64,
+    pub(crate) version_ids: AtomicU64,
+    pub(crate) reconfigurations: AtomicU64,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("groups", &self.tree.read().group_count())
+            .finish()
+    }
+}
+
+/// Builder for a [`Database`].
+pub struct DatabaseBuilder {
+    config: DbConfig,
+    procedures: ProcedureSet,
+    spec: Option<CcTreeSpec>,
+    events: Arc<dyn EventSink>,
+    log_device: Option<Arc<dyn LogDevice>>,
+    store: Option<MvStore>,
+}
+
+impl DatabaseBuilder {
+    /// Starts a builder with the given engine configuration.
+    pub fn new(config: DbConfig) -> Self {
+        DatabaseBuilder {
+            config,
+            procedures: ProcedureSet::new(),
+            spec: None,
+            events: Arc::new(NullSink),
+            log_device: None,
+            store: None,
+        }
+    }
+
+    /// Registers the stored-procedure descriptions of the workload.
+    pub fn procedures(mut self, procedures: ProcedureSet) -> Self {
+        self.procedures = procedures;
+        self
+    }
+
+    /// Sets the initial MCC configuration.
+    pub fn cc_spec(mut self, spec: CcTreeSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Installs a blocking-event sink (the autoconf profiler).
+    pub fn events(mut self, events: Arc<dyn EventSink>) -> Self {
+        self.events = events;
+        self
+    }
+
+    /// Uses a specific log device for durability (default: in-memory).
+    pub fn log_device(mut self, device: Arc<dyn LogDevice>) -> Self {
+        self.log_device = Some(device);
+        self
+    }
+
+    /// Opens the database over an existing (e.g. recovered) store instead of
+    /// an empty one.
+    pub fn store(mut self, store: MvStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Builds the database.
+    pub fn build(self) -> Result<Database, String> {
+        let spec = self.spec.ok_or("a CC-tree specification is required")?;
+        let store = self.store.unwrap_or_else(|| {
+            if self.config.sim_network_rtt_us > 0 {
+                MvStore::with_network(
+                    self.config.shards,
+                    Arc::new(SimNet::with_round_trip_micros(self.config.sim_network_rtt_us)),
+                )
+            } else {
+                MvStore::new(self.config.shards)
+            }
+        });
+        let registry = Arc::new(TxnRegistry::new(self.config.registry_shards));
+        let oracle = Arc::new(TsOracle::new());
+        let services = TreeServices {
+            registry: Arc::clone(&registry),
+            oracle: Arc::clone(&oracle),
+            events: Arc::clone(&self.events),
+            wait_timeout: self.config.wait_timeout(),
+        };
+        let tree = CcTree::build(spec, &self.procedures, &services)?;
+        let policy = match self.config.durability {
+            DurabilityMode::Off => FlushPolicy::Disabled,
+            DurabilityMode::Synchronous => FlushPolicy::Synchronous,
+            DurabilityMode::Asynchronous { epoch_ms } => FlushPolicy::Asynchronous {
+                epoch_interval: Duration::from_millis(epoch_ms),
+            },
+        };
+        let device: Arc<dyn LogDevice> = self
+            .log_device
+            .unwrap_or_else(|| Arc::new(MemLogDevice::new()));
+        let durability = DurabilityManager::new(device, policy);
+        let history = if self.config.record_history {
+            Some(Arc::new(HistoryRecorder::new()))
+        } else {
+            None
+        };
+        Ok(Database {
+            config: self.config,
+            store: Arc::new(store),
+            registry,
+            oracle,
+            events: self.events,
+            procedures: self.procedures,
+            tree: RwLock::new(Arc::new(tree)),
+            durability,
+            gc: GcManager::new(),
+            history,
+            stats: DbStats::new(),
+            gate: ReconfigGate::new(),
+            txn_ids: AtomicU64::new(1),
+            version_ids: AtomicU64::new(1),
+            reconfigurations: AtomicU64::new(0),
+        })
+    }
+}
+
+impl Database {
+    /// Shorthand builder entry point.
+    pub fn builder(config: DbConfig) -> DatabaseBuilder {
+        DatabaseBuilder::new(config)
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &DbConfig {
+        &self.config
+    }
+
+    /// The procedure descriptions registered at build time.
+    pub fn procedures(&self) -> &ProcedureSet {
+        &self.procedures
+    }
+
+    /// The multiversion store (loaders write through it directly).
+    pub fn store(&self) -> &Arc<MvStore> {
+        &self.store
+    }
+
+    /// The currently active CC tree.
+    pub fn current_tree(&self) -> Arc<CcTree> {
+        Arc::clone(&self.tree.read())
+    }
+
+    /// The currently active MCC configuration.
+    pub fn current_spec(&self) -> CcTreeSpec {
+        self.tree.read().spec().clone()
+    }
+
+    /// The transaction directory (exposed for the profiler and tests).
+    pub fn registry(&self) -> &Arc<TxnRegistry> {
+        &self.registry
+    }
+
+    /// The timestamp oracle.
+    pub fn oracle(&self) -> &Arc<TsOracle> {
+        &self.oracle
+    }
+
+    /// The durability manager.
+    pub fn durability(&self) -> &Arc<DurabilityManager> {
+        &self.durability
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the engine counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Number of reconfigurations applied so far.
+    pub fn reconfiguration_count(&self) -> u64 {
+        self.reconfigurations.load(Ordering::Relaxed)
+    }
+
+    /// Loads a key with an initial value, bypassing concurrency control.
+    /// Used by workload loaders before the benchmark starts.
+    pub fn load(&self, key: tebaldi_storage::Key, value: tebaldi_storage::Value) {
+        self.store.load(&key, value);
+    }
+
+    /// Executes one transaction attempt described by `call` with the body
+    /// `body`. Returns the body's result on commit, or the abort reason.
+    pub fn execute<R>(
+        &self,
+        call: &ProcedureCall,
+        body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<R> {
+        let tree = self.current_tree();
+        let group = tree
+            .group_for(call.ty, call.instance_seed)
+            .ok_or_else(|| CcError::Internal(format!("no group for {:?}", call.ty)))?;
+
+        // Admission: blocked while the group is being drained for a
+        // reconfiguration.
+        if !self.gate.enter(group, self.config.wait_timeout().max(Duration::from_millis(500))) {
+            return Err(CcError::Requested);
+        }
+        let result = self.execute_admitted(&tree, group, call, body);
+        self.gate.exit(group);
+        result
+    }
+
+    fn execute_admitted<R>(
+        &self,
+        tree: &Arc<CcTree>,
+        group: GroupId,
+        call: &ProcedureCall,
+        body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<R> {
+        let txn_id = TxnId(self.txn_ids.fetch_add(1, Ordering::Relaxed));
+        let gc_epoch = self.gc.transaction_started(txn_id);
+        self.registry.register(txn_id, call.ty, group);
+        if let Some(history) = &self.history {
+            history.begin(txn_id, call.ty, group);
+        }
+
+        let mut txn = Txn::new(self, Arc::clone(tree), txn_id, call.ty, group);
+        let outcome = txn.begin().and_then(|()| {
+            if !call.promised_keys.is_empty() {
+                txn.promise_writes(&call.promised_keys);
+            }
+            body(&mut txn)
+        });
+
+        match outcome {
+            Ok(value) => match txn.commit() {
+                Ok(commit_ts) => {
+                    self.gc.transaction_finished(gc_epoch, Some(commit_ts));
+                    self.stats.record_commit(call.ty);
+                    Ok(value)
+                }
+                Err(err) => {
+                    txn.abort();
+                    self.gc.transaction_finished(gc_epoch, None);
+                    self.stats.record_abort(err.mechanism());
+                    Err(err)
+                }
+            },
+            Err(err) => {
+                txn.abort();
+                self.gc.transaction_finished(gc_epoch, None);
+                self.stats.record_abort(err.mechanism());
+                Err(err)
+            }
+        }
+    }
+
+    /// Executes a transaction, retrying aborted attempts like the paper's
+    /// closed-loop clients. Returns the result together with the number of
+    /// aborted attempts.
+    pub fn execute_with_retry<R>(
+        &self,
+        call: &ProcedureCall,
+        max_attempts: usize,
+        mut body: impl FnMut(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<(R, usize)> {
+        let mut aborts = 0;
+        loop {
+            match self.execute(call, &mut body) {
+                Ok(value) => return Ok((value, aborts)),
+                Err(err) if err.is_retryable() && aborts + 1 < max_attempts => {
+                    aborts += 1;
+                    // Back off briefly, as the paper does for SSI retries.
+                    std::thread::sleep(Duration::from_micros(200 * aborts.min(10) as u64));
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Runs one garbage-collection cycle: advances the GC epoch, collects
+    /// prunable versions bounded by every mechanism's low watermark, and
+    /// compacts the transaction directory.
+    pub fn run_gc_cycle(&self) -> tebaldi_storage::gc::GcReport {
+        self.gc.advance_epoch();
+        let tree = self.current_tree();
+        let tree_watermark = tree.low_watermark();
+        struct TreeWatermark(Timestamp);
+        impl tebaldi_storage::gc::GcParticipant for TreeWatermark {
+            fn low_watermark(&self) -> Timestamp {
+                self.0
+            }
+        }
+        self.gc.clear_participants();
+        self.gc
+            .register_participant(Arc::new(TreeWatermark(tree_watermark)));
+        let report = self.gc.collect(&self.store);
+        self.registry.compact();
+        report
+    }
+
+    /// Finishes history recording and returns the Adya history (only when
+    /// `record_history` was enabled).
+    pub fn take_history(&self) -> Option<tebaldi_cc::history::History> {
+        self.history.as_ref().map(|h| h.finish())
+    }
+
+    /// Gracefully shuts down background machinery (durability flusher).
+    pub fn shutdown(&self) {
+        self.durability.shutdown();
+    }
+
+    pub(crate) fn next_version_id(&self) -> u64 {
+        self.version_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a transaction type at runtime — used by tests; workloads
+    /// normally register everything up front through the builder.
+    pub fn type_name(&self, ty: TxnTypeId) -> String {
+        self.procedures.name(ty)
+    }
+}
+
+impl Drop for Database {
+    fn drop(&mut self) {
+        self.durability.shutdown();
+    }
+}
+
+/// True when `TEBALDI_DEBUG_READS` is set: the read path prints a line
+/// whenever the chosen version differs from the newest version of the key
+/// (useful when chasing staleness/visibility bugs). Checked once and cached.
+pub(crate) fn debug_reads() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::env::var_os("TEBALDI_DEBUG_READS").is_some())
+}

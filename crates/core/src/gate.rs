@@ -1,0 +1,195 @@
+//! Admission gate used by the online reconfiguration protocols (§5.5).
+//!
+//! Both reconfiguration protocols need to stop *some* transactions from
+//! entering while the configuration changes: the partial restart drains the
+//! whole database, the online update drains only the groups touched by the
+//! change. The gate tracks in-flight transactions per leaf group, blocks
+//! admission of drained groups, and lets a reconfiguration wait until the
+//! drained set is quiescent.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+use tebaldi_storage::GroupId;
+
+/// What is currently being drained.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+enum DrainScope {
+    /// Nothing — normal operation.
+    #[default]
+    None,
+    /// Every group (partial restart).
+    All,
+    /// Only the listed groups (online update).
+    Groups(HashSet<GroupId>),
+}
+
+#[derive(Default)]
+struct GateState {
+    scope: DrainScope,
+    active: HashMap<GroupId, usize>,
+}
+
+impl GateState {
+    fn blocks(&self, group: GroupId) -> bool {
+        match &self.scope {
+            DrainScope::None => false,
+            DrainScope::All => true,
+            DrainScope::Groups(set) => set.contains(&group),
+        }
+    }
+
+    fn active_in_scope(&self) -> usize {
+        match &self.scope {
+            DrainScope::None => 0,
+            DrainScope::All => self.active.values().sum(),
+            DrainScope::Groups(set) => set
+                .iter()
+                .map(|g| self.active.get(g).copied().unwrap_or(0))
+                .sum(),
+        }
+    }
+}
+
+/// The admission gate.
+#[derive(Default)]
+pub struct ReconfigGate {
+    state: Mutex<GateState>,
+    changed: Condvar,
+}
+
+impl std::fmt::Debug for ReconfigGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReconfigGate").finish()
+    }
+}
+
+impl ReconfigGate {
+    /// Creates an open gate.
+    pub fn new() -> Self {
+        ReconfigGate::default()
+    }
+
+    /// Admits a transaction of `group`, blocking while the group is being
+    /// drained. Returns `false` if admission did not happen within
+    /// `timeout` (callers abort the attempt).
+    pub fn enter(&self, group: GroupId, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        while state.blocks(group) {
+            if self.changed.wait_until(&mut state, deadline).timed_out() {
+                return false;
+            }
+        }
+        *state.active.entry(group).or_insert(0) += 1;
+        true
+    }
+
+    /// Marks a transaction of `group` finished.
+    pub fn exit(&self, group: GroupId) {
+        let mut state = self.state.lock();
+        if let Some(count) = state.active.get_mut(&group) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                state.active.remove(&group);
+            }
+        }
+        drop(state);
+        self.changed.notify_all();
+    }
+
+    /// Starts draining every group (partial restart's clean-up phase) and
+    /// waits until no transaction is in flight. Returns `false` on timeout
+    /// (the caller may force-abort, as the paper allows).
+    pub fn drain_all(&self, timeout: Duration) -> bool {
+        self.drain(DrainScope::All, timeout)
+    }
+
+    /// Starts draining only `groups` (online update) and waits until none of
+    /// their transactions is in flight.
+    pub fn drain_groups(&self, groups: impl IntoIterator<Item = GroupId>, timeout: Duration) -> bool {
+        self.drain(DrainScope::Groups(groups.into_iter().collect()), timeout)
+    }
+
+    fn drain(&self, scope: DrainScope, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        state.scope = scope;
+        while state.active_in_scope() > 0 {
+            if self.changed.wait_until(&mut state, deadline).timed_out() {
+                return state.active_in_scope() == 0;
+            }
+        }
+        true
+    }
+
+    /// Re-opens the gate (apply phase).
+    pub fn resume(&self) {
+        self.state.lock().scope = DrainScope::None;
+        self.changed.notify_all();
+    }
+
+    /// Number of in-flight transactions across all groups.
+    pub fn active_total(&self) -> usize {
+        self.state.lock().active.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn enter_exit_counts() {
+        let gate = ReconfigGate::new();
+        assert!(gate.enter(GroupId(0), Duration::from_millis(10)));
+        assert!(gate.enter(GroupId(1), Duration::from_millis(10)));
+        assert_eq!(gate.active_total(), 2);
+        gate.exit(GroupId(0));
+        gate.exit(GroupId(1));
+        assert_eq!(gate.active_total(), 0);
+    }
+
+    #[test]
+    fn drain_all_blocks_new_admissions() {
+        let gate = Arc::new(ReconfigGate::new());
+        assert!(gate.drain_all(Duration::from_millis(50)));
+        // New transactions are blocked until resume.
+        assert!(!gate.enter(GroupId(0), Duration::from_millis(20)));
+        gate.resume();
+        assert!(gate.enter(GroupId(0), Duration::from_millis(20)));
+        gate.exit(GroupId(0));
+    }
+
+    #[test]
+    fn drain_groups_only_blocks_affected() {
+        let gate = ReconfigGate::new();
+        assert!(gate.drain_groups([GroupId(1)], Duration::from_millis(50)));
+        assert!(gate.enter(GroupId(0), Duration::from_millis(10)), "unaffected group keeps running");
+        assert!(!gate.enter(GroupId(1), Duration::from_millis(10)));
+        gate.resume();
+        gate.exit(GroupId(0));
+    }
+
+    #[test]
+    fn drain_waits_for_inflight() {
+        let gate = Arc::new(ReconfigGate::new());
+        assert!(gate.enter(GroupId(2), Duration::from_millis(10)));
+        let g2 = Arc::clone(&gate);
+        let handle = std::thread::spawn(move || g2.drain_groups([GroupId(2)], Duration::from_secs(2)));
+        std::thread::sleep(Duration::from_millis(30));
+        gate.exit(GroupId(2));
+        assert!(handle.join().unwrap());
+        gate.resume();
+    }
+
+    #[test]
+    fn drain_times_out_when_stuck() {
+        let gate = ReconfigGate::new();
+        assert!(gate.enter(GroupId(3), Duration::from_millis(10)));
+        assert!(!gate.drain_all(Duration::from_millis(30)));
+        gate.resume();
+        gate.exit(GroupId(3));
+    }
+}

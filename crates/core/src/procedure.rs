@@ -1,0 +1,60 @@
+//! Procedure-call descriptors.
+//!
+//! Workloads invoke the engine with a [`ProcedureCall`]: the static
+//! transaction type, an *instance seed* (the hash of whatever input the
+//! partition-by-instance function looks at, e.g. the flight id in SEATS),
+//! and the optional list of keys whose writes can be promised to a
+//! timestamp-ordering leaf (§4.4.4).
+
+use tebaldi_storage::{Key, TxnTypeId};
+
+/// One transaction invocation.
+#[derive(Clone, Debug)]
+pub struct ProcedureCall {
+    /// Static transaction type.
+    pub ty: TxnTypeId,
+    /// Hash of the instance's partition-by-instance input; ignored unless
+    /// the type's leaf is instance-partitioned.
+    pub instance_seed: u64,
+    /// Keys promised to be written (TSO promises). Empty when unknown.
+    pub promised_keys: Vec<Key>,
+}
+
+impl ProcedureCall {
+    /// A call with no instance partitioning and no promises.
+    pub fn new(ty: TxnTypeId) -> Self {
+        ProcedureCall {
+            ty,
+            instance_seed: 0,
+            promised_keys: Vec::new(),
+        }
+    }
+
+    /// Sets the partition-by-instance seed.
+    pub fn with_instance_seed(mut self, seed: u64) -> Self {
+        self.instance_seed = seed;
+        self
+    }
+
+    /// Declares promised write keys.
+    pub fn with_promises(mut self, keys: Vec<Key>) -> Self {
+        self.promised_keys = keys;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tebaldi_storage::TableId;
+
+    #[test]
+    fn builder_style_construction() {
+        let call = ProcedureCall::new(TxnTypeId(3))
+            .with_instance_seed(42)
+            .with_promises(vec![Key::simple(TableId(0), 1)]);
+        assert_eq!(call.ty, TxnTypeId(3));
+        assert_eq!(call.instance_seed, 42);
+        assert_eq!(call.promised_keys.len(), 1);
+    }
+}

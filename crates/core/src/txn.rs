@@ -1,0 +1,353 @@
+//! The transaction handle and the engine-side execution protocol (§4.3.1).
+//!
+//! Every operation runs in two passes over the transaction's root→leaf
+//! path:
+//!
+//! * **top-down** — each mechanism constrains the operation (acquires
+//!   locks, checks timestamps, aborts on conflicts),
+//! * **bottom-up** — for reads, the leaf proposes a candidate version and
+//!   each ancestor may amend it based on writes from sibling groups; the
+//!   writer of the finally-chosen version becomes a dependency when it has
+//!   not committed yet.
+//!
+//! Commit runs validation top-down, then waits for the transaction's
+//! dependency set (the adoption strategy that makes 2PL/RP respect their
+//! children's ordering, §4.2.2), then installs the commit in storage,
+//! notifies durability, and finally runs every mechanism's commit phase
+//! leaf→root so resources are released only after the new versions are
+//! visible.
+
+use crate::db::Database;
+use tebaldi_cc::{CcError, CcResult, CcTree, PathEntry, TxnCtx, VersionPick};
+use tebaldi_storage::{
+    GroupId, Key, Timestamp, TxnId, TxnTypeId, Value, Version, VersionId, VersionState,
+};
+use std::sync::Arc;
+
+/// Outcome of a transaction (internal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnPhase {
+    Running,
+    Finished,
+}
+
+/// A handle through which the transaction body reads and writes.
+pub struct Txn<'a> {
+    db: &'a Database,
+    #[allow(dead_code)]
+    tree: Arc<CcTree>,
+    path: Vec<PathEntry>,
+    ctx: TxnCtx,
+    phase: TxnPhase,
+}
+
+impl<'a> Txn<'a> {
+    pub(crate) fn new(
+        db: &'a Database,
+        tree: Arc<CcTree>,
+        txn: TxnId,
+        ty: TxnTypeId,
+        group: GroupId,
+    ) -> Self {
+        let path = tree
+            .path(group)
+            .map(|p| p.to_vec())
+            .unwrap_or_default();
+        Txn {
+            db,
+            tree,
+            path,
+            ctx: TxnCtx::new(txn, ty, group),
+            phase: TxnPhase::Running,
+        }
+    }
+
+    /// The transaction id.
+    pub fn id(&self) -> TxnId {
+        self.ctx.txn
+    }
+
+    /// The leaf group this instance was assigned to.
+    pub fn group(&self) -> GroupId {
+        self.ctx.group
+    }
+
+    /// The dependencies reported so far (diagnostics, tests).
+    pub fn dependency_count(&self) -> usize {
+        self.ctx.deps.len()
+    }
+
+    /// Start phase: top-down pass over the path.
+    pub(crate) fn begin(&mut self) -> CcResult<()> {
+        if self.path.is_empty() {
+            return Err(CcError::Internal("empty CC path".to_string()));
+        }
+        for i in 0..self.path.len() {
+            let entry = self.path[i].clone();
+            entry.mechanism.begin(&mut self.ctx, entry.lane)?;
+        }
+        Ok(())
+    }
+
+    /// Registers promised write keys with the leaf mechanism.
+    pub(crate) fn promise_writes(&mut self, keys: &[Key]) {
+        if let Some(leaf) = self.path.last() {
+            leaf.mechanism.promise_writes(&self.ctx, keys);
+        }
+    }
+
+    /// Reads a key. Returns `None` when the key has never been written (or
+    /// its visible version is a delete).
+    pub fn get(&mut self, key: Key) -> CcResult<Option<Value>> {
+        // Top-down pass: every mechanism may block or abort the read.
+        for i in 0..self.path.len() {
+            let entry = self.path[i].clone();
+            entry.mechanism.before_read(&mut self.ctx, entry.lane, &key)?;
+        }
+        // Bottom-up pass inside the storage access: the leaf proposes, the
+        // ancestors amend.
+        let pick: Option<VersionPick> = self.db.store.with_chain(&key, |chain| {
+            // Read-your-own-writes first.
+            if let Some(own) = chain.uncommitted_by(self.ctx.txn) {
+                return Some(VersionPick::from_version(own));
+            }
+            let mut candidate: Option<VersionPick> = None;
+            for entry in self.path.iter().rev() {
+                candidate = entry.mechanism.choose_version(
+                    &mut self.ctx,
+                    entry.lane,
+                    &key,
+                    candidate,
+                    chain,
+                );
+            }
+            if crate::db::debug_reads() {
+                if let (Some(pick), Some(last)) = (&candidate, chain.last()) {
+                    if pick.writer != last.writer && pick.writer != self.ctx.txn {
+                        eprintln!(
+                            "DEBUG stale-pick: reader={:?} key={:?} pick_writer={:?} pick_committed={} \
+                             last_writer={:?} last_committed={} chain_len={}",
+                            self.ctx.txn,
+                            key,
+                            pick.writer,
+                            pick.committed,
+                            last.writer,
+                            last.is_committed(),
+                            chain.versions().len(),
+                        );
+                    }
+                }
+            }
+            candidate
+        });
+        self.ctx.read_keys.push(key);
+
+        let Some(pick) = pick else {
+            if let Some(history) = &self.db.history {
+                history.read(self.ctx.txn, key, TxnId::BOOTSTRAP);
+            }
+            return Ok(None);
+        };
+        // Reading an uncommitted version creates a read-from dependency: we
+        // may only commit after the writer does (aborted-read prevention).
+        if !pick.committed && pick.writer != self.ctx.txn {
+            self.ctx.add_dep(pick.writer);
+        }
+        if let Some(history) = &self.db.history {
+            history.read(self.ctx.txn, key, pick.writer);
+        }
+        if pick.value.is_null() {
+            Ok(None)
+        } else {
+            Ok(Some(pick.value))
+        }
+    }
+
+    /// Writes a key.
+    pub fn put(&mut self, key: Key, value: Value) -> CcResult<()> {
+        // Top-down pass: locks, timestamp checks.
+        for i in 0..self.path.len() {
+            let entry = self.path[i].clone();
+            entry
+                .mechanism
+                .before_write(&mut self.ctx, entry.lane, &key)?;
+        }
+        // Validation against the live chain plus installation, under the
+        // chain's own lock so no other writer can slip in between.
+        let version_id = self.db.next_version_id();
+        let install: CcResult<()> = self.db.store.with_chain_mut(&key, |chain| {
+            for entry in self.path.iter() {
+                entry
+                    .mechanism
+                    .validate_write(&mut self.ctx, entry.lane, &key, chain)?;
+            }
+            chain.install(Version {
+                id: VersionId(version_id),
+                writer: self.ctx.txn,
+                value: value.clone(),
+                state: VersionState::Uncommitted,
+                commit_ts: None,
+                order_ts: self.ctx.order_ts,
+            });
+            Ok(())
+        });
+        install?;
+
+        if !self.ctx.write_keys.contains(&key) {
+            self.ctx.write_keys.push(key);
+        }
+        self.db.durability.log_operation(self.ctx.txn, key, &value);
+        if let Some(history) = &self.db.history {
+            history.write(self.ctx.txn, key);
+        }
+        for i in 0..self.path.len() {
+            let entry = self.path[i].clone();
+            entry.mechanism.after_write(&mut self.ctx, entry.lane, &key);
+        }
+        Ok(())
+    }
+
+    /// Deletes a key (writes a null version).
+    pub fn delete(&mut self, key: Key) -> CcResult<()> {
+        self.put(key, Value::Null)
+    }
+
+    /// Read-modify-write of a single field: applies `f` to the current value
+    /// of field `idx` (0 when absent) and writes the updated row back.
+    pub fn update_field(
+        &mut self,
+        key: Key,
+        idx: usize,
+        f: impl FnOnce(i64) -> i64,
+    ) -> CcResult<i64> {
+        let current = self.get(key)?;
+        let old = current.as_ref().and_then(|v| v.field(idx)).unwrap_or(0);
+        let new = f(old);
+        let updated = match current {
+            Some(v) => v.with_field(idx, new),
+            None => Value::Int(new).with_field(idx, new),
+        };
+        self.put(key, updated)?;
+        Ok(new)
+    }
+
+    /// Adds `delta` to field `idx` of `key` and returns the new value.
+    pub fn increment(&mut self, key: Key, idx: usize, delta: i64) -> CcResult<i64> {
+        self.update_field(key, idx, |v| v + delta)
+    }
+
+    /// Requests an abort from inside the transaction body.
+    pub fn request_abort(&mut self) -> CcError {
+        CcError::Requested
+    }
+
+    /// Validation + commit. Returns the commit timestamp.
+    pub(crate) fn commit(&mut self) -> CcResult<Timestamp> {
+        if self.ctx.must_abort {
+            return Err(CcError::Conflict {
+                mechanism: "engine",
+                reason: "marked for abort",
+            });
+        }
+        // Validation phase, top-down.
+        for i in 0..self.path.len() {
+            let entry = self.path[i].clone();
+            entry.mechanism.validate(&mut self.ctx, entry.lane)?;
+        }
+        // Dependency wait: every transaction we read from (or trail in a
+        // pipeline) must commit first; if any aborted, we must abort too.
+        let deps: Vec<TxnId> = self.ctx.deps.iter().copied().collect();
+        for dep in deps {
+            match self
+                .db
+                .registry
+                .wait_finished(dep, self.db.config.wait_timeout())?
+            {
+                tebaldi_cc::TxnStatus::Aborted => return Err(CcError::DependencyAborted),
+                _ => {}
+            }
+        }
+        // Ordering-only dependencies (e.g. TSO's smaller-timestamp set) must
+        // merely finish before we commit; their abort is harmless to us.
+        let order_deps: Vec<TxnId> = self
+            .ctx
+            .order_deps
+            .iter()
+            .filter(|d| !self.ctx.deps.contains(d))
+            .copied()
+            .collect();
+        for dep in order_deps {
+            self.db
+                .registry
+                .wait_finished(dep, self.db.config.wait_timeout())?;
+        }
+
+        // Register the commit as in flight so snapshot readers (SSI) do not
+        // take a start timestamp above it until every key is marked
+        // committed; deregistered below once the commit is fully applied.
+        let commit_ts = self.db.oracle.begin_commit();
+
+        // Durability: one precommit record per participating data server,
+        // then the commit notification carrying the global epoch.
+        if self.db.durability.is_enabled() && !self.ctx.write_keys.is_empty() {
+            let mut by_shard: std::collections::HashMap<u32, Vec<(Key, Value)>> =
+                std::collections::HashMap::new();
+            for key in &self.ctx.write_keys {
+                let shard = self.db.store.shard_index(key) as u32;
+                let value = self
+                    .db
+                    .store
+                    .read(key, tebaldi_storage::ReadSpec::OwnOrCommitted(self.ctx.txn))
+                    .unwrap_or(Value::Null);
+                by_shard.entry(shard).or_default().push((*key, value));
+            }
+            let participants = by_shard.len() as u32;
+            let mut global_epoch = 0;
+            for (shard, writes) in by_shard {
+                let epoch =
+                    self.db
+                        .durability
+                        .precommit(self.ctx.txn, shard, participants, writes);
+                global_epoch = global_epoch.max(epoch);
+            }
+            self.db.durability.commit(self.ctx.txn, global_epoch, commit_ts);
+        }
+
+        // Make the new versions visible, then mark the transaction committed
+        // (which wakes dependency waiters), then let mechanisms release
+        // their resources leaf→root.
+        self.db
+            .store
+            .commit_writes(self.ctx.txn, &self.ctx.write_keys, commit_ts);
+        self.db.registry.mark_committed(self.ctx.txn, commit_ts);
+        self.db.oracle.end_commit(commit_ts);
+        if let Some(history) = &self.db.history {
+            history.commit(self.ctx.txn, commit_ts);
+        }
+        for entry in self.path.iter().rev() {
+            entry
+                .mechanism
+                .commit(&mut self.ctx, entry.lane, commit_ts);
+        }
+        self.phase = TxnPhase::Finished;
+        Ok(commit_ts)
+    }
+
+    /// Abort: discard writes, mark aborted, release resources.
+    pub(crate) fn abort(&mut self) {
+        if self.phase == TxnPhase::Finished {
+            return;
+        }
+        self.db
+            .store
+            .abort_writes(self.ctx.txn, &self.ctx.write_keys);
+        self.db.registry.mark_aborted(self.ctx.txn);
+        if let Some(history) = &self.db.history {
+            history.abort(self.ctx.txn);
+        }
+        for entry in self.path.iter().rev() {
+            entry.mechanism.abort(&mut self.ctx, entry.lane);
+        }
+        self.phase = TxnPhase::Finished;
+    }
+}

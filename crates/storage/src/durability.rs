@@ -1,0 +1,382 @@
+//! The durability protocol (§4.5.4).
+//!
+//! The manager implements both flushing modes discussed in the paper:
+//!
+//! * **Synchronous** — every precommit record is flushed before the call
+//!   returns, so a committed transaction is durable immediately. This is
+//!   the conservative baseline and is what Table 4.2's "expensive" option
+//!   corresponds to without batching.
+//! * **Asynchronous with GCP epochs** — records are buffered and flushed in
+//!   batches called *global checkpoint (GCP) epochs*. Commit notification is
+//!   decoupled from durable notification: to the CC mechanisms a committed
+//!   but not-yet-durable transaction is indistinguishable from a durable
+//!   one, so durability does not extend the time locks are held. Recovery
+//!   discards transactions whose global epoch id is newer than the latest
+//!   sealed epoch, which preserves read-from consistency across the
+//!   committed survivors.
+//! * **Disabled** — the durability-off configuration used by most
+//!   performance experiments (the paper's Chapter 4 experiments predate the
+//!   durability module).
+
+use crate::key::Key;
+use crate::types::{Timestamp, TxnId};
+use crate::value::Value;
+use crate::wal::{LogDevice, LogRecord};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Flushing policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Durability disabled: no records are written.
+    Disabled,
+    /// Flush at every precommit.
+    Synchronous,
+    /// Flush in the background every `epoch_interval`; each flush seals the
+    /// current GCP epoch.
+    Asynchronous {
+        /// Length of one GCP epoch.
+        epoch_interval: Duration,
+    },
+}
+
+/// Counters exposed for the durability-overhead experiment (Table 4.2).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DurabilityStats {
+    /// Operation records appended.
+    pub operations: u64,
+    /// Precommit records appended.
+    pub precommits: u64,
+    /// Commit records appended.
+    pub commits: u64,
+    /// Device flushes performed.
+    pub flushes: u64,
+    /// Epochs sealed.
+    pub epochs_sealed: u64,
+}
+
+struct EpochState {
+    sealed: u64,
+}
+
+/// The durability manager shared by the whole database instance.
+pub struct DurabilityManager {
+    device: Arc<dyn LogDevice>,
+    policy: FlushPolicy,
+    current_epoch: AtomicU64,
+    sealed: Mutex<EpochState>,
+    sealed_cv: Condvar,
+    stop: Arc<AtomicBool>,
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    operations: AtomicU64,
+    precommits: AtomicU64,
+    commits: AtomicU64,
+    flushes: AtomicU64,
+    epochs_sealed: AtomicU64,
+}
+
+impl std::fmt::Debug for DurabilityManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurabilityManager")
+            .field("policy", &self.policy)
+            .field("current_epoch", &self.current_epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl DurabilityManager {
+    /// Creates a manager over the given device. When the policy is
+    /// asynchronous a background flusher thread is started; call
+    /// [`DurabilityManager::shutdown`] (or drop the manager) to stop it.
+    pub fn new(device: Arc<dyn LogDevice>, policy: FlushPolicy) -> Arc<Self> {
+        let mgr = Arc::new(DurabilityManager {
+            device,
+            policy: policy.clone(),
+            current_epoch: AtomicU64::new(1),
+            sealed: Mutex::new(EpochState { sealed: 0 }),
+            sealed_cv: Condvar::new(),
+            stop: Arc::new(AtomicBool::new(false)),
+            flusher: Mutex::new(None),
+            operations: AtomicU64::new(0),
+            precommits: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            epochs_sealed: AtomicU64::new(0),
+        });
+        if let FlushPolicy::Asynchronous { epoch_interval } = policy {
+            let weak = Arc::downgrade(&mgr);
+            let stop = Arc::clone(&mgr.stop);
+            let handle = std::thread::Builder::new()
+                .name("tebaldi-gcp-flusher".to_string())
+                .spawn(move || {
+                    // Sleep in small slices so shutdown (which joins this
+                    // thread) stays prompt even for long GCP epochs.
+                    let slice = Duration::from_millis(5).min(epoch_interval);
+                    let mut elapsed = Duration::ZERO;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(slice);
+                        elapsed += slice;
+                        if elapsed < epoch_interval {
+                            continue;
+                        }
+                        elapsed = Duration::ZERO;
+                        if let Some(mgr) = weak.upgrade() {
+                            mgr.seal_current_epoch();
+                        } else {
+                            break;
+                        }
+                    }
+                })
+                .expect("spawn GCP flusher");
+            *mgr.flusher.lock() = Some(handle);
+        }
+        mgr
+    }
+
+    /// Creates a disabled manager (no logging at all).
+    pub fn disabled() -> Arc<Self> {
+        DurabilityManager::new(
+            Arc::new(crate::wal::MemLogDevice::new()),
+            FlushPolicy::Disabled,
+        )
+    }
+
+    /// True when durability is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.policy != FlushPolicy::Disabled
+    }
+
+    /// The current GCP epoch id.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch.load(Ordering::Relaxed)
+    }
+
+    /// The latest sealed (durably flushed) epoch id.
+    pub fn sealed_epoch(&self) -> u64 {
+        self.sealed.lock().sealed
+    }
+
+    /// Logs one write operation.
+    pub fn log_operation(&self, txn: TxnId, key: Key, value: &Value) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.operations.fetch_add(1, Ordering::Relaxed);
+        self.device.append(&LogRecord::Operation {
+            txn,
+            key,
+            value: value.clone(),
+        });
+    }
+
+    /// Logs the precommit record of one participating shard and returns the
+    /// GCP epoch id assigned to it. Under the synchronous policy this call
+    /// also flushes.
+    pub fn precommit(
+        &self,
+        txn: TxnId,
+        shard: u32,
+        participants: u32,
+        writes: Vec<(Key, Value)>,
+    ) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let epoch = self.current_epoch();
+        self.precommits.fetch_add(1, Ordering::Relaxed);
+        self.device.append(&LogRecord::Precommit {
+            txn,
+            participants,
+            shard,
+            gcp_epoch: epoch,
+            writes,
+        });
+        if self.policy == FlushPolicy::Synchronous {
+            self.device.flush();
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        epoch
+    }
+
+    /// Logs the commit notification. `global_epoch` is the maximum of the
+    /// epoch ids returned by the participants' precommit calls.
+    pub fn commit(&self, txn: TxnId, global_epoch: u64, commit_ts: Timestamp) {
+        if !self.is_enabled() {
+            return;
+        }
+        // GCP rule: a data server observing a larger global epoch advances
+        // its own epoch before running any commit phase, guaranteeing that a
+        // reader's epoch is never smaller than its writer's.
+        let mut cur = self.current_epoch.load(Ordering::Relaxed);
+        while global_epoch > cur {
+            match self.current_epoch.compare_exchange(
+                cur,
+                global_epoch,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.device.append(&LogRecord::Commit {
+            txn,
+            global_epoch,
+            commit_ts,
+        });
+        if self.policy == FlushPolicy::Synchronous {
+            self.device.flush();
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Seals the current epoch: flushes the device, records the seal marker
+    /// and wakes up waiters. Invoked by the background flusher and by
+    /// [`DurabilityManager::shutdown`].
+    pub fn seal_current_epoch(&self) {
+        if !self.is_enabled() {
+            return;
+        }
+        let sealing = self.current_epoch.fetch_add(1, Ordering::Relaxed);
+        self.device.append(&LogRecord::EpochSeal { epoch: sealing });
+        self.device.flush();
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.epochs_sealed.fetch_add(1, Ordering::Relaxed);
+        let mut sealed = self.sealed.lock();
+        if sealing > sealed.sealed {
+            sealed.sealed = sealing;
+        }
+        self.sealed_cv.notify_all();
+    }
+
+    /// Blocks until the given epoch has been sealed (the transaction that
+    /// received this epoch at precommit time is durable), or until the
+    /// timeout elapses. Returns `true` when durable.
+    pub fn wait_durable(&self, epoch: u64, timeout: Duration) -> bool {
+        if !self.is_enabled() || self.policy == FlushPolicy::Synchronous || epoch == 0 {
+            return true;
+        }
+        let mut sealed = self.sealed.lock();
+        if sealed.sealed >= epoch {
+            return true;
+        }
+        let deadline = std::time::Instant::now() + timeout;
+        while sealed.sealed < epoch {
+            if self
+                .sealed_cv
+                .wait_until(&mut sealed, deadline)
+                .timed_out()
+            {
+                return sealed.sealed >= epoch;
+            }
+        }
+        true
+    }
+
+    /// Stops the background flusher (sealing one final epoch first).
+    pub fn shutdown(&self) {
+        if self.is_enabled() {
+            self.seal_current_epoch();
+        }
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.flusher.lock().take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DurabilityStats {
+        DurabilityStats {
+            operations: self.operations.load(Ordering::Relaxed),
+            precommits: self.precommits.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            epochs_sealed: self.epochs_sealed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The underlying device (used by recovery).
+    pub fn device(&self) -> Arc<dyn LogDevice> {
+        Arc::clone(&self.device)
+    }
+}
+
+impl Drop for DurabilityManager {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.flusher.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableId;
+    use crate::wal::MemLogDevice;
+
+    fn k(id: u64) -> Key {
+        Key::simple(TableId(0), id)
+    }
+
+    #[test]
+    fn disabled_manager_is_noop() {
+        let mgr = DurabilityManager::disabled();
+        mgr.log_operation(TxnId(1), k(1), &Value::Int(1));
+        assert_eq!(mgr.precommit(TxnId(1), 0, 1, vec![]), 0);
+        mgr.commit(TxnId(1), 0, Timestamp(1));
+        assert_eq!(mgr.stats().precommits, 0);
+        assert!(mgr.wait_durable(0, Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn synchronous_flushes_on_precommit() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
+        mgr.log_operation(TxnId(1), k(1), &Value::Int(5));
+        let epoch = mgr.precommit(TxnId(1), 0, 1, vec![(k(1), Value::Int(5))]);
+        mgr.commit(TxnId(1), epoch, Timestamp(3));
+        // Everything appended before the flush is durable.
+        assert!(dev.read_back().len() >= 2);
+        assert!(mgr.wait_durable(epoch, Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn asynchronous_epoch_sealing() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(
+            dev.clone(),
+            FlushPolicy::Asynchronous {
+                epoch_interval: Duration::from_millis(5),
+            },
+        );
+        let epoch = mgr.precommit(TxnId(1), 0, 1, vec![(k(1), Value::Int(5))]);
+        assert!(epoch >= 1);
+        assert!(
+            mgr.wait_durable(epoch, Duration::from_secs(2)),
+            "background flusher must seal the epoch"
+        );
+        assert!(mgr.sealed_epoch() >= epoch);
+        mgr.shutdown();
+        let records = dev.read_back();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, LogRecord::EpochSeal { .. })));
+    }
+
+    #[test]
+    fn commit_advances_epoch_to_global() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev, FlushPolicy::Synchronous);
+        assert_eq!(mgr.current_epoch(), 1);
+        mgr.commit(TxnId(1), 7, Timestamp(1));
+        assert_eq!(mgr.current_epoch(), 7);
+        // Smaller global epochs never move the epoch backwards.
+        mgr.commit(TxnId(2), 3, Timestamp(2));
+        assert_eq!(mgr.current_epoch(), 7);
+    }
+}

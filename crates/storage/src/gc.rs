@@ -1,0 +1,272 @@
+//! Garbage collection of stale versions (§4.5.3).
+//!
+//! Logically a write can be collected when every concurrency control agrees
+//! it will never be read again. Tebaldi processes records in batches within
+//! a *GC epoch*: every transaction is tagged with the current epoch; when
+//! all transactions of an epoch have finished, the GC manager asks all CC
+//! mechanisms to confirm that no ongoing or future transaction can be
+//! ordered before the epoch's transactions, and then prunes every version
+//! the epoch made stale.
+//!
+//! The CC mechanisms participate through the [`GcParticipant`] trait: each
+//! returns a *low watermark* timestamp below which it will never order a new
+//! transaction. The collectable horizon is the minimum watermark.
+
+use crate::mvstore::MvStore;
+use crate::types::{Timestamp, TxnId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A party that must confirm a GC horizon before versions are pruned.
+pub trait GcParticipant: Send + Sync {
+    /// The smallest timestamp this participant may still need to read at or
+    /// after. Versions committed strictly before the returned timestamp
+    /// (except the latest committed one per key) may be pruned.
+    fn low_watermark(&self) -> Timestamp;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "cc"
+    }
+}
+
+/// Summary of one collection cycle.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// The horizon that was applied.
+    pub horizon: Timestamp,
+    /// Number of versions removed.
+    pub removed: usize,
+    /// Number of epochs retired by this cycle.
+    pub epochs_retired: u64,
+}
+
+/// The garbage-collection manager.
+pub struct GcManager {
+    current_epoch: AtomicU64,
+    /// epoch -> number of in-flight transactions tagged with it.
+    active: Mutex<HashMap<u64, u64>>,
+    /// epoch -> largest commit timestamp observed in it.
+    epoch_high_ts: Mutex<HashMap<u64, Timestamp>>,
+    participants: Mutex<Vec<Arc<dyn GcParticipant>>>,
+    retired_epochs: AtomicU64,
+}
+
+impl Default for GcManager {
+    fn default() -> Self {
+        GcManager::new()
+    }
+}
+
+impl std::fmt::Debug for GcManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcManager")
+            .field("current_epoch", &self.current_epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl GcManager {
+    /// Creates a manager starting at epoch 1.
+    pub fn new() -> Self {
+        GcManager {
+            current_epoch: AtomicU64::new(1),
+            active: Mutex::new(HashMap::new()),
+            epoch_high_ts: Mutex::new(HashMap::new()),
+            participants: Mutex::new(Vec::new()),
+            retired_epochs: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a CC mechanism (or any other component) whose watermark
+    /// bounds collection.
+    pub fn register_participant(&self, p: Arc<dyn GcParticipant>) {
+        self.participants.lock().push(p);
+    }
+
+    /// Removes all registered participants (used when the CC tree is
+    /// rebuilt during reconfiguration).
+    pub fn clear_participants(&self) {
+        self.participants.lock().clear();
+    }
+
+    /// The current GC epoch id.
+    pub fn current_epoch(&self) -> u64 {
+        self.current_epoch.load(Ordering::Relaxed)
+    }
+
+    /// Tags a starting transaction with the current epoch. Returns the
+    /// epoch id, which must be passed back to [`GcManager::transaction_finished`].
+    pub fn transaction_started(&self, _txn: TxnId) -> u64 {
+        let epoch = self.current_epoch();
+        *self.active.lock().entry(epoch).or_insert(0) += 1;
+        epoch
+    }
+
+    /// Records that a transaction tagged with `epoch` finished (committed or
+    /// aborted) with the given commit timestamp (if committed).
+    pub fn transaction_finished(&self, epoch: u64, commit_ts: Option<Timestamp>) {
+        let mut active = self.active.lock();
+        if let Some(count) = active.get_mut(&epoch) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                active.remove(&epoch);
+            }
+        }
+        drop(active);
+        if let Some(ts) = commit_ts {
+            let mut high = self.epoch_high_ts.lock();
+            let entry = high.entry(epoch).or_insert(Timestamp::ZERO);
+            if ts > *entry {
+                *entry = ts;
+            }
+        }
+    }
+
+    /// Advances to a new epoch; transactions started afterwards belong to
+    /// the new epoch. Typically driven by a periodic timer in the engine.
+    pub fn advance_epoch(&self) -> u64 {
+        self.current_epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The oldest epoch that still has in-flight transactions, if any.
+    pub fn oldest_active_epoch(&self) -> Option<u64> {
+        self.active.lock().keys().min().copied()
+    }
+
+    /// Attempts one collection cycle on `store`.
+    ///
+    /// The collectable horizon is the minimum of (a) every participant's low
+    /// watermark and (b) the highest commit timestamp of fully-retired
+    /// epochs; when no epoch has fully retired nothing is collected.
+    pub fn collect(&self, store: &MvStore) -> GcReport {
+        let oldest_active = self.oldest_active_epoch().unwrap_or(u64::MAX);
+        let mut high = self.epoch_high_ts.lock();
+        let mut retired_horizon = Timestamp::ZERO;
+        let mut retired_count = 0u64;
+        let retired: Vec<u64> = high
+            .keys()
+            .copied()
+            .filter(|e| *e < oldest_active && *e < self.current_epoch())
+            .collect();
+        for epoch in retired {
+            if let Some(ts) = high.remove(&epoch) {
+                if ts > retired_horizon {
+                    retired_horizon = ts;
+                }
+            }
+            retired_count += 1;
+        }
+        drop(high);
+
+        if retired_count == 0 || retired_horizon == Timestamp::ZERO {
+            return GcReport::default();
+        }
+
+        let mut horizon = retired_horizon;
+        for participant in self.participants.lock().iter() {
+            let wm = participant.low_watermark();
+            if wm < horizon {
+                horizon = wm;
+            }
+        }
+        if horizon == Timestamp::ZERO {
+            return GcReport::default();
+        }
+
+        let removed = store.prune_before(horizon);
+        self.retired_epochs
+            .fetch_add(retired_count, Ordering::Relaxed);
+        GcReport {
+            horizon,
+            removed,
+            epochs_retired: retired_count,
+        }
+    }
+
+    /// Total number of epochs retired so far.
+    pub fn retired_epochs(&self) -> u64 {
+        self.retired_epochs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::Key;
+    use crate::mvstore::ReadSpec;
+    use crate::schema::TableId;
+    use crate::value::Value;
+
+    struct FixedWatermark(Timestamp);
+    impl GcParticipant for FixedWatermark {
+        fn low_watermark(&self) -> Timestamp {
+            self.0
+        }
+    }
+
+    fn k(id: u64) -> Key {
+        Key::simple(TableId(0), id)
+    }
+
+    fn committed_write(store: &MvStore, txn: u64, id: u64, val: i64, ts: u64) {
+        store.write(&k(id), TxnId(txn), Value::Int(val));
+        store.commit_writes(TxnId(txn), &[k(id)], Timestamp(ts));
+    }
+
+    #[test]
+    fn collects_only_retired_epochs() {
+        let store = MvStore::new(2);
+        let gc = GcManager::new();
+
+        let e1 = gc.transaction_started(TxnId(1));
+        committed_write(&store, 1, 1, 10, 10);
+        gc.transaction_finished(e1, Some(Timestamp(10)));
+
+        let e2 = gc.transaction_started(TxnId(2));
+        committed_write(&store, 2, 1, 20, 20);
+        // Epoch not advanced yet: nothing retires.
+        let report = gc.collect(&store);
+        assert_eq!(report.removed, 0);
+
+        gc.advance_epoch();
+        gc.transaction_finished(e2, Some(Timestamp(20)));
+        let report = gc.collect(&store);
+        assert!(report.epochs_retired >= 1);
+        assert_eq!(report.removed, 1, "old version of key 1 collected");
+        assert_eq!(
+            store.read(&k(1), ReadSpec::LatestCommitted),
+            Some(Value::Int(20))
+        );
+    }
+
+    #[test]
+    fn participant_watermark_bounds_collection() {
+        let store = MvStore::new(2);
+        let gc = GcManager::new();
+        gc.register_participant(Arc::new(FixedWatermark(Timestamp(5))));
+
+        let e = gc.transaction_started(TxnId(1));
+        committed_write(&store, 1, 1, 10, 10);
+        committed_write(&store, 1, 1, 11, 11);
+        gc.transaction_finished(e, Some(Timestamp(11)));
+        gc.advance_epoch();
+
+        // Participant says it may still read at ts 5, so only versions below
+        // 5 may go; none exist, so nothing is removed.
+        let report = gc.collect(&store);
+        assert_eq!(report.removed, 0);
+        assert_eq!(report.horizon, Timestamp(5));
+    }
+
+    #[test]
+    fn active_transactions_block_their_epoch() {
+        let gc = GcManager::new();
+        let e = gc.transaction_started(TxnId(1));
+        assert_eq!(gc.oldest_active_epoch(), Some(e));
+        gc.transaction_finished(e, None);
+        assert_eq!(gc.oldest_active_epoch(), None);
+    }
+}

@@ -1,0 +1,98 @@
+//! Keys of the transactional key-value store.
+//!
+//! Tebaldi is a key-value store with support for tables (§4.5). Workload
+//! keys are composites of small integers (warehouse id, district id, order
+//! id, ...), so instead of heap-allocated byte strings we pack the composite
+//! parts into a `u128`. This keeps keys `Copy`, hashable without allocation,
+//! and cheap to log.
+
+use crate::schema::TableId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fully qualified key: a table plus a packed row identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Key {
+    /// The table this key belongs to.
+    pub table: TableId,
+    /// The packed row identifier within the table.
+    pub row: u128,
+}
+
+impl Key {
+    /// Creates a key from a table and an already-packed row id.
+    pub fn new(table: TableId, row: u128) -> Self {
+        Key { table, row }
+    }
+
+    /// Creates a key whose row id is a single integer.
+    pub fn simple(table: TableId, id: u64) -> Self {
+        Key {
+            table,
+            row: id as u128,
+        }
+    }
+
+    /// Packs up to four 32-bit components into a row id, most significant
+    /// first. This is how the TPC-C and SEATS schemas build composite keys
+    /// such as `(warehouse, district, order, line)`.
+    pub fn composite(table: TableId, parts: &[u32]) -> Self {
+        assert!(parts.len() <= 4, "composite keys support at most 4 parts");
+        let mut row: u128 = 0;
+        for &p in parts {
+            row = (row << 32) | p as u128;
+        }
+        Key { table, row }
+    }
+
+    /// Extracts the `idx`-th (0-based, most significant first) 32-bit
+    /// component of a key created by [`Key::composite`] with `n` parts.
+    pub fn part(&self, idx: usize, n: usize) -> u32 {
+        assert!(idx < n && n <= 4);
+        let shift = 32 * (n - 1 - idx);
+        ((self.row >> shift) & 0xffff_ffff) as u32
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}/{:x}", self.table, self.row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn composite_roundtrip() {
+        let t = TableId(3);
+        let k = Key::composite(t, &[7, 11, 13, 17]);
+        assert_eq!(k.part(0, 4), 7);
+        assert_eq!(k.part(1, 4), 11);
+        assert_eq!(k.part(2, 4), 13);
+        assert_eq!(k.part(3, 4), 17);
+    }
+
+    #[test]
+    fn composite_distinct() {
+        let t = TableId(1);
+        let a = Key::composite(t, &[1, 2]);
+        let b = Key::composite(t, &[2, 1]);
+        assert_ne!(a, b);
+        let c = Key::composite(TableId(2), &[1, 2]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn simple_key_matches_one_part_composite() {
+        let t = TableId(9);
+        assert_eq!(Key::simple(t, 42).row, Key::composite(t, &[42]).row);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_parts_panics() {
+        let _ = Key::composite(TableId(0), &[1, 2, 3, 4, 5]);
+    }
+}

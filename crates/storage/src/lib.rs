@@ -1,0 +1,43 @@
+//! # tebaldi-storage
+//!
+//! The storage module of the Tebaldi reproduction.
+//!
+//! Tebaldi (SIGMOD 2017, "Bringing Modular Concurrency Control to the Next
+//! Level") separates its concurrency-control logic from storage management:
+//! the storage module keeps **all committed and uncommitted versions** of
+//! every data object so that both single-versioned and multi-versioned
+//! concurrency controls can be federated on top of it (§4.3 of the paper).
+//!
+//! This crate provides:
+//!
+//! * [`MvStore`] — a sharded, multiversion key-value store ("data servers"
+//!   in the paper's cluster architecture are modelled as partitions/shards).
+//! * [`schema`] — a table registry used by workloads and by runtime
+//!   pipelining's static analysis.
+//! * [`wal`] / [`durability`] — write-ahead operation/precommit logging and
+//!   the asynchronous-flushing protocol with global-checkpoint (GCP) epochs
+//!   of §4.5.4.
+//! * [`recovery`] — the three-step recovery protocol of §4.5.4.
+//! * [`gc`] — the epoch-based garbage collection of §4.5.3.
+//! * [`sim`] — an optional simulated network delay standing in for the
+//!   datacenter round trips of the paper's CloudLab testbed.
+
+pub mod gc;
+pub mod key;
+pub mod mvstore;
+pub mod recovery;
+pub mod schema;
+pub mod sim;
+pub mod types;
+pub mod value;
+pub mod version;
+pub mod wal;
+
+pub mod durability;
+
+pub use key::Key;
+pub use mvstore::{MvStore, ReadSpec, StoreStats, WriteOutcome};
+pub use schema::{Schema, TableDef, TableId};
+pub use types::{GroupId, NodeId, Timestamp, TxnId, TxnTypeId};
+pub use value::Value;
+pub use version::{Version, VersionChain, VersionId, VersionState};

@@ -1,0 +1,394 @@
+//! The sharded multiversion store.
+//!
+//! The paper's cluster architecture (§4.5.1) splits the database across
+//! *data servers* holding partitions of the data. In this reproduction a
+//! data server is a shard: a hash-partitioned map from [`Key`] to
+//! [`VersionChain`] protected by its own lock. Transaction coordinators are
+//! the client threads of the engine crate. An optional [`sim`](crate::sim)
+//! delay emulates the datacenter network round trip between coordinator and
+//! data server.
+
+use crate::key::Key;
+use crate::sim::SimNet;
+use crate::types::{Sequence, Timestamp, TxnId};
+use crate::value::Value;
+use crate::version::{Version, VersionChain, VersionId, VersionState};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How a convenience read should select a version.
+///
+/// Concurrency-control mechanisms normally inspect the chain directly via
+/// [`MvStore::with_chain`]; `ReadSpec` exists for loaders, examples, tests
+/// and recovery.
+#[derive(Clone, Copy, Debug)]
+pub enum ReadSpec {
+    /// The most recently committed version.
+    LatestCommitted,
+    /// Snapshot read: latest version committed strictly before the
+    /// timestamp.
+    SnapshotBefore(Timestamp),
+    /// The version written by the given transaction (committed or not),
+    /// falling back to the latest committed version.
+    OwnOrCommitted(TxnId),
+}
+
+/// Result of installing a write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// True if another transaction currently holds an uncommitted version
+    /// of the same key (useful for CCs that abort on dirty write-write
+    /// overlap).
+    pub other_uncommitted: bool,
+    /// Commit timestamp of the latest committed version at install time.
+    pub latest_committed_ts: Option<Timestamp>,
+}
+
+/// Aggregate statistics, used by GC, benchmarks and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of distinct keys.
+    pub keys: usize,
+    /// Total number of versions across all chains.
+    pub versions: usize,
+    /// Number of uncommitted versions.
+    pub uncommitted: usize,
+}
+
+struct Shard {
+    chains: RwLock<HashMap<Key, VersionChain>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            chains: RwLock::new(HashMap::new()),
+        }
+    }
+}
+
+/// The multiversion key-value store.
+pub struct MvStore {
+    shards: Vec<Shard>,
+    version_ids: Sequence,
+    net: Option<Arc<SimNet>>,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl std::fmt::Debug for MvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvStore")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl MvStore {
+    /// Creates a store with `shards` data-server partitions.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard is required");
+        MvStore {
+            shards: (0..shards).map(|_| Shard::new()).collect(),
+            version_ids: Sequence::default(),
+            net: None,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a store with a simulated coordinator↔data-server network.
+    pub fn with_network(shards: usize, net: Arc<SimNet>) -> Self {
+        let mut s = MvStore::new(shards);
+        s.net = Some(net);
+        s
+    }
+
+    /// Number of shards ("data servers").
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The index of the shard ("data server") holding `key`. Exposed so the
+    /// durability layer can attribute precommit records to participants.
+    pub fn shard_index(&self, key: &Key) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
+    fn shard_of(&self, key: &Key) -> &Shard {
+        &self.shards[self.shard_index(key)]
+    }
+
+    fn maybe_delay(&self) {
+        if let Some(net) = &self.net {
+            net.round_trip();
+        }
+    }
+
+    /// Runs `f` with shared access to the version chain of `key` (an empty
+    /// chain is provided if the key has never been written).
+    pub fn with_chain<R>(&self, key: &Key, f: impl FnOnce(&VersionChain) -> R) -> R {
+        self.maybe_delay();
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(key);
+        let chains = shard.chains.read();
+        match chains.get(key) {
+            Some(chain) => f(chain),
+            None => f(&VersionChain::new()),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the version chain of `key`,
+    /// creating the chain if needed.
+    pub fn with_chain_mut<R>(&self, key: &Key, f: impl FnOnce(&mut VersionChain) -> R) -> R {
+        self.maybe_delay();
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        let shard = self.shard_of(key);
+        let mut chains = shard.chains.write();
+        f(chains.entry(*key).or_default())
+    }
+
+    /// Installs an uncommitted version for `txn` on `key`.
+    pub fn write(&self, key: &Key, txn: TxnId, value: Value) -> WriteOutcome {
+        self.write_with_order_ts(key, txn, value, None)
+    }
+
+    /// Installs an uncommitted version carrying an explicit ordering
+    /// timestamp (used by timestamp-ordering CCs).
+    pub fn write_with_order_ts(
+        &self,
+        key: &Key,
+        txn: TxnId,
+        value: Value,
+        order_ts: Option<Timestamp>,
+    ) -> WriteOutcome {
+        let id = VersionId(self.version_ids.issue());
+        self.with_chain_mut(key, |chain| {
+            let outcome = WriteOutcome {
+                other_uncommitted: chain.has_other_uncommitted(txn),
+                latest_committed_ts: chain.latest_committed().and_then(|v| v.commit_ts),
+            };
+            chain.install(Version {
+                id,
+                writer: txn,
+                value,
+                state: VersionState::Uncommitted,
+                commit_ts: None,
+                order_ts,
+            });
+            outcome
+        })
+    }
+
+    /// Convenience read used by loaders, recovery and tests.
+    pub fn read(&self, key: &Key, spec: ReadSpec) -> Option<Value> {
+        self.with_chain(key, |chain| {
+            let v = match spec {
+                ReadSpec::LatestCommitted => chain.latest_committed(),
+                ReadSpec::SnapshotBefore(ts) => chain.committed_before(ts),
+                ReadSpec::OwnOrCommitted(txn) => {
+                    chain.uncommitted_by(txn).or_else(|| chain.latest_committed())
+                }
+            };
+            v.map(|v| v.value.clone())
+        })
+    }
+
+    /// Marks `txn`'s uncommitted versions on `keys` as committed with
+    /// `commit_ts`.
+    pub fn commit_writes(&self, txn: TxnId, keys: &[Key], commit_ts: Timestamp) {
+        for key in keys {
+            self.with_chain_mut(key, |chain| {
+                chain.commit(txn, commit_ts);
+            });
+        }
+    }
+
+    /// Removes `txn`'s uncommitted versions on `keys`.
+    pub fn abort_writes(&self, txn: TxnId, keys: &[Key]) {
+        for key in keys {
+            self.with_chain_mut(key, |chain| {
+                chain.abort(txn);
+            });
+        }
+    }
+
+    /// Installs an already-committed version, bypassing the uncommitted
+    /// state. Used by the initial loader and by recovery.
+    pub fn load(&self, key: &Key, value: Value) {
+        let id = VersionId(self.version_ids.issue());
+        self.with_chain_mut(key, |chain| {
+            chain.install(Version {
+                id,
+                writer: TxnId::BOOTSTRAP,
+                value,
+                state: VersionState::Uncommitted,
+                commit_ts: None,
+                order_ts: None,
+            });
+            chain.commit(TxnId::BOOTSTRAP, Timestamp::ZERO);
+        });
+    }
+
+    /// Prunes committed versions older than `horizon` from every chain,
+    /// keeping at least the latest committed version of each key. Returns
+    /// the number of versions removed.
+    pub fn prune_before(&self, horizon: Timestamp) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut chains = shard.chains.write();
+            for chain in chains.values_mut() {
+                removed += chain.prune(horizon);
+            }
+        }
+        removed
+    }
+
+    /// Visits every key currently present in the store.
+    pub fn for_each_key(&self, mut f: impl FnMut(&Key, &VersionChain)) {
+        for shard in &self.shards {
+            let chains = shard.chains.read();
+            for (k, chain) in chains.iter() {
+                f(k, chain);
+            }
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats::default();
+        self.for_each_key(|_, chain| {
+            s.keys += 1;
+            s.versions += chain.len();
+            s.uncommitted += chain.uncommitted().count();
+        });
+        s
+    }
+
+    /// Number of chain accesses performed so far (reads, writes). Exposed
+    /// for the overhead experiments of §4.6.5.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (
+            self.reads.load(Ordering::Relaxed),
+            self.writes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Drops every chain. Used between benchmark configurations.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.chains.write().clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableId;
+
+    fn key(id: u64) -> Key {
+        Key::simple(TableId(0), id)
+    }
+
+    #[test]
+    fn write_commit_read() {
+        let store = MvStore::new(4);
+        let k = key(1);
+        let out = store.write(&k, TxnId(1), Value::Int(7));
+        assert!(!out.other_uncommitted);
+        assert_eq!(store.read(&k, ReadSpec::LatestCommitted), None);
+        assert_eq!(
+            store.read(&k, ReadSpec::OwnOrCommitted(TxnId(1))),
+            Some(Value::Int(7))
+        );
+        store.commit_writes(TxnId(1), &[k], Timestamp(10));
+        assert_eq!(
+            store.read(&k, ReadSpec::LatestCommitted),
+            Some(Value::Int(7))
+        );
+        assert_eq!(store.read(&k, ReadSpec::SnapshotBefore(Timestamp(10))), None);
+        assert_eq!(
+            store.read(&k, ReadSpec::SnapshotBefore(Timestamp(11))),
+            Some(Value::Int(7))
+        );
+    }
+
+    #[test]
+    fn abort_discards_writes() {
+        let store = MvStore::new(2);
+        let k = key(2);
+        store.write(&k, TxnId(1), Value::Int(1));
+        store.abort_writes(TxnId(1), &[k]);
+        assert_eq!(store.read(&k, ReadSpec::OwnOrCommitted(TxnId(1))), None);
+        assert_eq!(store.stats().versions, 0);
+    }
+
+    #[test]
+    fn detects_other_uncommitted_writer() {
+        let store = MvStore::new(2);
+        let k = key(3);
+        store.write(&k, TxnId(1), Value::Int(1));
+        let out = store.write(&k, TxnId(2), Value::Int(2));
+        assert!(out.other_uncommitted);
+    }
+
+    #[test]
+    fn load_and_stats() {
+        let store = MvStore::new(8);
+        for i in 0..100 {
+            store.load(&key(i), Value::Int(i as i64));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.keys, 100);
+        assert_eq!(stats.versions, 100);
+        assert_eq!(stats.uncommitted, 0);
+        assert_eq!(
+            store.read(&key(42), ReadSpec::LatestCommitted),
+            Some(Value::Int(42))
+        );
+    }
+
+    #[test]
+    fn prune_removes_old_versions() {
+        let store = MvStore::new(2);
+        let k = key(9);
+        for i in 1..=5u64 {
+            store.write(&k, TxnId(i), Value::Int(i as i64));
+            store.commit_writes(TxnId(i), &[k], Timestamp(i * 10));
+        }
+        let removed = store.prune_before(Timestamp(100));
+        assert_eq!(removed, 4);
+        assert_eq!(
+            store.read(&k, ReadSpec::LatestCommitted),
+            Some(Value::Int(5))
+        );
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers() {
+        let store = Arc::new(MvStore::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..250u64 {
+                    let k = key(t * 1000 + i);
+                    let txn = TxnId(t * 1000 + i + 1);
+                    store.write(&k, txn, Value::Int(i as i64));
+                    store.commit_writes(txn, &[k], Timestamp(i + 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.stats().keys, 1000);
+        assert_eq!(store.stats().uncommitted, 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The recovery protocol (§4.5.4).
+//!
+//! Recovery is a three-step procedure:
+//!
+//! 1. retrieve logs from persistent storage,
+//! 2. reconstruct the database state: discard any transaction that has
+//!    fewer precommit records than its number of participating data servers
+//!    or whose global epoch id is newer than the latest sealed epoch, then
+//!    keep the latest committed version of each object,
+//! 3. reconstruct the (root) concurrency control's internal state — in this
+//!    reproduction the CC state is rebuilt lazily by the engine when it
+//!    re-opens the recovered store, which matches the paper's observation
+//!    that only the root CC needs to know about the recovery transaction.
+
+use crate::key::Key;
+use crate::mvstore::MvStore;
+use crate::types::{Timestamp, TxnId};
+use crate::value::Value;
+use crate::wal::{LogDevice, LogRecord};
+use std::collections::{HashMap, HashSet};
+
+/// Summary of a recovery run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Transactions whose writes were reinstalled.
+    pub recovered_txns: usize,
+    /// Transactions discarded because precommit records were missing.
+    pub discarded_incomplete: usize,
+    /// Transactions discarded because their epoch was not sealed.
+    pub discarded_unsealed_epoch: usize,
+    /// Number of keys restored.
+    pub keys_restored: usize,
+    /// Largest commit timestamp observed (the engine's oracle must start
+    /// above it).
+    pub max_commit_ts: Timestamp,
+    /// Largest transaction id observed (the engine's id sequence must start
+    /// above it).
+    pub max_txn_id: u64,
+}
+
+#[derive(Default)]
+struct TxnLog {
+    shards_seen: HashSet<u32>,
+    participants: u32,
+    max_epoch: u64,
+    writes: Vec<(Key, Value)>,
+    commit_ts: Option<Timestamp>,
+    commit_epoch: Option<u64>,
+}
+
+/// Replays the durable records of `device` into a fresh store.
+pub fn recover(device: &dyn LogDevice) -> (MvStore, RecoveryReport) {
+    recover_into(device, MvStore::new(8))
+}
+
+/// Replays the durable records of `device` into `store` (which is expected
+/// to be empty) and returns it together with a [`RecoveryReport`].
+pub fn recover_into(device: &dyn LogDevice, store: MvStore) -> (MvStore, RecoveryReport) {
+    let records = device.read_back();
+    let mut txns: HashMap<TxnId, TxnLog> = HashMap::new();
+    let mut sealed_epoch = 0u64;
+
+    for record in &records {
+        match record {
+            LogRecord::EpochSeal { epoch } => sealed_epoch = sealed_epoch.max(*epoch),
+            LogRecord::Operation { .. } => {
+                // Operation records are informational; the authoritative
+                // write list is in the precommit record.
+            }
+            LogRecord::Precommit {
+                txn,
+                participants,
+                shard,
+                gcp_epoch,
+                writes,
+            } => {
+                let entry = txns.entry(*txn).or_default();
+                entry.participants = (*participants).max(entry.participants);
+                entry.shards_seen.insert(*shard);
+                entry.max_epoch = entry.max_epoch.max(*gcp_epoch);
+                entry.writes.extend(writes.iter().cloned());
+            }
+            LogRecord::Commit {
+                txn,
+                global_epoch,
+                commit_ts,
+            } => {
+                let entry = txns.entry(*txn).or_default();
+                entry.commit_ts = Some(*commit_ts);
+                entry.commit_epoch = Some(*global_epoch);
+            }
+        }
+    }
+
+    let mut report = RecoveryReport::default();
+
+    // Order recoverable transactions by commit timestamp (transactions that
+    // precommitted on every participant but have no commit record are
+    // guaranteed to commit; they are replayed after the explicitly committed
+    // ones, ordered by id).
+    let mut recoverable: Vec<(TxnId, TxnLog)> = Vec::new();
+    for (txn, log) in txns {
+        report.max_txn_id = report.max_txn_id.max(txn.0);
+        let complete =
+            log.participants > 0 && log.shards_seen.len() as u32 >= log.participants;
+        if !complete {
+            report.discarded_incomplete += 1;
+            continue;
+        }
+        let epoch = log.commit_epoch.unwrap_or(log.max_epoch);
+        if epoch > sealed_epoch {
+            report.discarded_unsealed_epoch += 1;
+            continue;
+        }
+        recoverable.push((txn, log));
+    }
+    recoverable.sort_by_key(|(txn, log)| (log.commit_ts.unwrap_or(Timestamp::MAX), txn.0));
+
+    let mut restored_keys: HashSet<Key> = HashSet::new();
+    for (txn, log) in &recoverable {
+        report.recovered_txns += 1;
+        if let Some(ts) = log.commit_ts {
+            report.max_commit_ts = report.max_commit_ts.max(ts);
+        }
+        for (key, value) in &log.writes {
+            restored_keys.insert(*key);
+            // Later transactions in the replay order overwrite earlier ones,
+            // leaving the latest committed version as the visible value.
+            store.with_chain_mut(key, |chain| {
+                chain.abort(*txn);
+            });
+            store.write(key, *txn, value.clone());
+            store.commit_writes(
+                *txn,
+                &[*key],
+                log.commit_ts.unwrap_or(report.max_commit_ts.next()),
+            );
+        }
+    }
+    report.keys_restored = restored_keys.len();
+    (store, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durability::{DurabilityManager, FlushPolicy};
+    use crate::mvstore::ReadSpec;
+    use crate::schema::TableId;
+    use crate::wal::MemLogDevice;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn k(id: u64) -> Key {
+        Key::simple(TableId(0), id)
+    }
+
+    #[test]
+    fn recovers_committed_transactions() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
+        let epoch = mgr.precommit(TxnId(1), 0, 1, vec![(k(1), Value::Int(11))]);
+        mgr.commit(TxnId(1), epoch, Timestamp(5));
+        let e2 = mgr.precommit(TxnId(2), 0, 1, vec![(k(1), Value::Int(22)), (k(2), Value::Int(2))]);
+        mgr.commit(TxnId(2), e2, Timestamp(9));
+        mgr.seal_current_epoch();
+
+        let (store, report) = recover(dev.as_ref());
+        assert_eq!(report.recovered_txns, 2);
+        assert_eq!(report.keys_restored, 2);
+        assert_eq!(report.max_commit_ts, Timestamp(9));
+        assert_eq!(report.max_txn_id, 2);
+        assert_eq!(
+            store.read(&k(1), ReadSpec::LatestCommitted),
+            Some(Value::Int(22)),
+            "later commit wins"
+        );
+        assert_eq!(store.read(&k(2), ReadSpec::LatestCommitted), Some(Value::Int(2)));
+    }
+
+    #[test]
+    fn discards_incomplete_precommits() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
+        // Transaction claims two participants but only one precommit record
+        // was made durable before the crash.
+        mgr.precommit(TxnId(3), 0, 2, vec![(k(3), Value::Int(3))]);
+        mgr.seal_current_epoch();
+        let (store, report) = recover(dev.as_ref());
+        assert_eq!(report.recovered_txns, 0);
+        assert_eq!(report.discarded_incomplete, 1);
+        assert_eq!(store.read(&k(3), ReadSpec::LatestCommitted), None);
+    }
+
+    #[test]
+    fn discards_unsealed_epochs_under_async_flushing() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(
+            dev.clone(),
+            FlushPolicy::Asynchronous {
+                epoch_interval: Duration::from_secs(3600),
+            },
+        );
+        // Sealed epoch: this transaction survives.
+        let e1 = mgr.precommit(TxnId(1), 0, 1, vec![(k(1), Value::Int(1))]);
+        mgr.commit(TxnId(1), e1, Timestamp(1));
+        mgr.seal_current_epoch();
+        // Unsealed epoch: this one is lost even though it "committed".
+        let e2 = mgr.precommit(TxnId(2), 0, 1, vec![(k(2), Value::Int(2))]);
+        mgr.commit(TxnId(2), e2, Timestamp(2));
+        // Crash before the second seal: flush whatever was appended so the
+        // records exist, but no EpochSeal for e2.
+        mgr.device().flush();
+
+        let (store, report) = recover(dev.as_ref());
+        assert_eq!(report.recovered_txns, 1);
+        assert_eq!(report.discarded_unsealed_epoch, 1);
+        assert_eq!(store.read(&k(1), ReadSpec::LatestCommitted), Some(Value::Int(1)));
+        assert_eq!(store.read(&k(2), ReadSpec::LatestCommitted), None);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn precommitted_without_commit_record_is_replayed() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
+        mgr.precommit(TxnId(4), 0, 1, vec![(k(4), Value::Int(44))]);
+        mgr.seal_current_epoch();
+        let (store, report) = recover(dev.as_ref());
+        assert_eq!(report.recovered_txns, 1);
+        assert_eq!(store.read(&k(4), ReadSpec::LatestCommitted), Some(Value::Int(44)));
+    }
+}

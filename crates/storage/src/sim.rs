@@ -1,0 +1,100 @@
+//! Simulated coordinator ↔ data-server network.
+//!
+//! The paper evaluates Tebaldi on a CloudLab cluster where a message between
+//! machines takes 0.08–0.16 ms (§4.6). This reproduction runs in a single
+//! process, so the shape of contention-driven results does not depend on the
+//! network; the experiments that *do* reason about round trips (the latency
+//! overhead study of §4.6.5, Table 4.1) can enable this simulated delay to
+//! recover the paper's per-round-trip cost structure.
+//!
+//! The delay is implemented as a spin-wait for sub-millisecond values
+//! (sleeping for tens of microseconds is unreliable on most schedulers) and
+//! a sleep for larger values.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A configurable network delay injector.
+#[derive(Debug)]
+pub struct SimNet {
+    round_trip_micros: u64,
+    trips: AtomicU64,
+}
+
+impl SimNet {
+    /// A network with the given one-way-equivalent round-trip latency in
+    /// microseconds. Zero disables the delay but still counts trips.
+    pub fn with_round_trip_micros(micros: u64) -> Self {
+        SimNet {
+            round_trip_micros: micros,
+            trips: AtomicU64::new(0),
+        }
+    }
+
+    /// A network modelling the paper's intra-datacenter ping (~0.1 ms).
+    pub fn datacenter() -> Self {
+        SimNet::with_round_trip_micros(100)
+    }
+
+    /// A zero-latency network that only counts round trips.
+    pub fn counting_only() -> Self {
+        SimNet::with_round_trip_micros(0)
+    }
+
+    /// Performs one round trip: blocks the caller for the configured delay.
+    pub fn round_trip(&self) {
+        self.trips.fetch_add(1, Ordering::Relaxed);
+        let micros = self.round_trip_micros;
+        if micros == 0 {
+            return;
+        }
+        if micros >= 2_000 {
+            std::thread::sleep(Duration::from_micros(micros));
+            return;
+        }
+        let deadline = Instant::now() + Duration::from_micros(micros);
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+    }
+
+    /// Number of round trips performed so far.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Relaxed)
+    }
+
+    /// Configured round-trip latency.
+    pub fn latency(&self) -> Duration {
+        Duration::from_micros(self.round_trip_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_trips() {
+        let net = SimNet::counting_only();
+        for _ in 0..5 {
+            net.round_trip();
+        }
+        assert_eq!(net.trips(), 5);
+    }
+
+    #[test]
+    fn delay_is_applied() {
+        let net = SimNet::with_round_trip_micros(200);
+        let start = Instant::now();
+        for _ in 0..10 {
+            net.round_trip();
+        }
+        assert!(start.elapsed() >= Duration::from_micros(2_000));
+    }
+
+    #[test]
+    fn datacenter_profile() {
+        let net = SimNet::datacenter();
+        assert_eq!(net.latency(), Duration::from_micros(100));
+    }
+}

@@ -1,0 +1,175 @@
+//! Values stored by the multiversion store.
+//!
+//! Tebaldi supports variable-sized columns and read-modify-write operations
+//! (§4.5). Workload rows are either a single integer counter (e.g. the
+//! district's `next_order_id`), a fixed small tuple of integers, or an
+//! opaque payload. `Value` covers all three without requiring a schema
+//! compiler; cloning is cheap (numeric copies or reference-count bumps).
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A stored value.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent value — used to model deletes while keeping version history.
+    Null,
+    /// A single 64-bit integer (counters, balances in cents, flags).
+    Int(i64),
+    /// A small tuple of integers (fixed-width multi-column rows).
+    Row(Arc<[i64]>),
+    /// A string payload (customer data, item names).
+    Str(Arc<str>),
+    /// An opaque byte payload (filler columns of TPC-C rows).
+    #[serde(with = "bytes_serde")]
+    Bytes(Bytes),
+}
+
+mod bytes_serde {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        b.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        let v = Vec::<u8>::deserialize(d)?;
+        Ok(Bytes::from(v))
+    }
+}
+
+impl Value {
+    /// Builds a multi-column integer row.
+    pub fn row(fields: &[i64]) -> Value {
+        Value::Row(Arc::from(fields))
+    }
+
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Returns the integer content of an `Int` value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the `idx`-th field of a `Row` value (or the sole field of an
+    /// `Int` value when `idx == 0`).
+    pub fn field(&self, idx: usize) -> Option<i64> {
+        match self {
+            Value::Int(v) if idx == 0 => Some(*v),
+            Value::Row(r) => r.get(idx).copied(),
+            _ => None,
+        }
+    }
+
+    /// Returns a copy of this row with field `idx` replaced by `v`.
+    ///
+    /// Read-modify-write transactions use this to update a single column.
+    pub fn with_field(&self, idx: usize, v: i64) -> Value {
+        match self {
+            Value::Int(_) if idx == 0 => Value::Int(v),
+            Value::Row(r) => {
+                let mut fields: Vec<i64> = r.to_vec();
+                if idx >= fields.len() {
+                    fields.resize(idx + 1, 0);
+                }
+                fields[idx] = v;
+                Value::row(&fields)
+            }
+            other => {
+                // Promoting a non-row value to a row keeps workloads simple
+                // when a column is added to an initially scalar row.
+                let mut fields = vec![0i64; idx + 1];
+                if let Some(base) = other.as_int() {
+                    fields[0] = base;
+                }
+                fields[idx] = v;
+                Value::row(&fields)
+            }
+        }
+    }
+
+    /// True when the value represents a deleted row.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Approximate in-memory size in bytes, used by GC statistics.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) => 8,
+            Value::Row(r) => 8 * r.len(),
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let v = Value::Int(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.field(0), Some(42));
+        assert_eq!(v.field(1), None);
+    }
+
+    #[test]
+    fn row_field_access_and_update() {
+        let v = Value::row(&[1, 2, 3]);
+        assert_eq!(v.field(1), Some(2));
+        let v2 = v.with_field(1, 20);
+        assert_eq!(v2.field(1), Some(20));
+        // original untouched (persistent update)
+        assert_eq!(v.field(1), Some(2));
+    }
+
+    #[test]
+    fn with_field_extends_row() {
+        let v = Value::row(&[1]);
+        let v2 = v.with_field(3, 9);
+        assert_eq!(v2.field(3), Some(9));
+        assert_eq!(v2.field(2), Some(0));
+    }
+
+    #[test]
+    fn with_field_promotes_scalar() {
+        let v = Value::Int(5);
+        let v2 = v.with_field(2, 7);
+        assert_eq!(v2.field(0), Some(5));
+        assert_eq!(v2.field(2), Some(7));
+    }
+
+    #[test]
+    fn null_and_sizes() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Int(0).is_null());
+        assert_eq!(Value::row(&[1, 2]).approx_size(), 16);
+        assert_eq!(Value::str("abcd").approx_size(), 4);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = Value::Bytes(Bytes::from_static(b"hello"));
+        let s = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&s).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,390 @@
+//! Version chains.
+//!
+//! Tebaldi's storage module "keeps all the committed and uncommitted writes
+//! on each object" (§4.3) so that both single-version and multiversion
+//! concurrency controls can be composed. A [`VersionChain`] is the ordered
+//! history of one key; the concurrency-control mechanisms decide *which*
+//! version a read returns, storage only maintains the chain.
+
+use crate::types::{Timestamp, TxnId};
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Unique identifier of a version (diagnostics only).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct VersionId(pub u64);
+
+/// Lifecycle state of a version.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum VersionState {
+    /// Installed by an in-flight transaction.
+    Uncommitted,
+    /// The writing transaction committed.
+    Committed,
+}
+
+/// One version of one key.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Version {
+    /// Diagnostics identifier, unique within the store.
+    pub id: VersionId,
+    /// Transaction that installed the version.
+    pub writer: TxnId,
+    /// The value; [`Value::Null`] models a delete.
+    pub value: Value,
+    /// Current state.
+    pub state: VersionState,
+    /// Commit timestamp, set when the writer commits.
+    pub commit_ts: Option<Timestamp>,
+    /// Ordering timestamp used by timestamp-ordering CCs, assigned at write
+    /// time (before commit). `None` for CCs that order at commit time.
+    pub order_ts: Option<Timestamp>,
+}
+
+impl Version {
+    /// True if the writer has committed.
+    pub fn is_committed(&self) -> bool {
+        self.state == VersionState::Committed
+    }
+
+    /// The timestamp used to order this version in the chain: the explicit
+    /// ordering timestamp when present, otherwise the commit timestamp,
+    /// otherwise "not yet ordered".
+    pub fn sort_ts(&self) -> Option<Timestamp> {
+        self.order_ts.or(self.commit_ts)
+    }
+}
+
+/// The ordered version history of a single key.
+///
+/// Invariants maintained by this type:
+/// * committed versions appear in commit-timestamp order,
+/// * versions carrying an `order_ts` (TSO) are kept sorted by that
+///   timestamp,
+/// * at most one uncommitted version per writer.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct VersionChain {
+    versions: Vec<Version>,
+}
+
+impl VersionChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        VersionChain::default()
+    }
+
+    /// Number of versions (committed and uncommitted).
+    pub fn len(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// True when the chain holds no version at all.
+    pub fn is_empty(&self) -> bool {
+        self.versions.is_empty()
+    }
+
+    /// All versions, oldest first.
+    pub fn versions(&self) -> &[Version] {
+        &self.versions
+    }
+
+    /// Installs a new uncommitted version. If the writer already has an
+    /// uncommitted version on this key it is overwritten in place (last
+    /// write of a transaction wins), otherwise the version is inserted at
+    /// its ordering position.
+    pub fn install(&mut self, version: Version) {
+        if let Some(existing) = self
+            .versions
+            .iter_mut()
+            .find(|v| v.writer == version.writer && !v.is_committed())
+        {
+            existing.value = version.value;
+            existing.order_ts = version.order_ts.or(existing.order_ts);
+            return;
+        }
+        match version.order_ts {
+            Some(ts) => {
+                // Keep order_ts-carrying versions sorted among themselves;
+                // versions without an order_ts stay where installation put
+                // them (they are ordered by commit later).
+                let pos = self
+                    .versions
+                    .iter()
+                    .position(|v| matches!(v.order_ts, Some(other) if other > ts))
+                    .unwrap_or(self.versions.len());
+                self.versions.insert(pos, version);
+            }
+            None => self.versions.push(version),
+        }
+    }
+
+    /// Marks the version written by `writer` as committed with `commit_ts`.
+    /// Returns `true` if a version was found.
+    ///
+    /// The version keeps its chain position: position order is the order in
+    /// which the concurrency-control tree serialized the installs, and the
+    /// mechanisms' dependency waits make per-key commit order follow it.
+    /// Moving the version (e.g. to the end) would jump over uncommitted
+    /// versions installed after it, hiding a later write from
+    /// position-based readers — the lost-update bug this comment guards
+    /// against.
+    pub fn commit(&mut self, writer: TxnId, commit_ts: Timestamp) -> bool {
+        let Some(v) = self
+            .versions
+            .iter_mut()
+            .find(|v| v.writer == writer && !v.is_committed())
+        else {
+            return false;
+        };
+        v.state = VersionState::Committed;
+        v.commit_ts = Some(commit_ts);
+        true
+    }
+
+    /// Removes the uncommitted version installed by `writer`, if any.
+    /// Returns `true` if a version was removed.
+    pub fn abort(&mut self, writer: TxnId) -> bool {
+        let before = self.versions.len();
+        self.versions
+            .retain(|v| !(v.writer == writer && !v.is_committed()));
+        before != self.versions.len()
+    }
+
+    /// The most recently committed version.
+    pub fn latest_committed(&self) -> Option<&Version> {
+        self.versions.iter().rev().find(|v| v.is_committed())
+    }
+
+    /// The latest committed version whose commit timestamp is strictly
+    /// smaller than `ts` (snapshot-isolation visibility rule).
+    pub fn committed_before(&self, ts: Timestamp) -> Option<&Version> {
+        self.versions
+            .iter()
+            .filter(|v| v.is_committed())
+            .filter(|v| matches!(v.commit_ts, Some(c) if c < ts))
+            .max_by_key(|v| v.commit_ts)
+    }
+
+    /// The latest committed version whose commit timestamp is `<= ts`.
+    /// This is the visibility rule for snapshot timestamps obtained from
+    /// [`TsOracle::snapshot_ts`](../../tebaldi_cc/oracle/struct.TsOracle.html):
+    /// such a timestamp *is* the commit timestamp of the newest fully
+    /// applied commit, which must be inside the snapshot.
+    pub fn committed_at_or_before(&self, ts: Timestamp) -> Option<&Version> {
+        self.versions
+            .iter()
+            .filter(|v| v.is_committed())
+            .filter(|v| matches!(v.commit_ts, Some(c) if c <= ts))
+            .max_by_key(|v| v.commit_ts)
+    }
+
+    /// The latest version (committed or not) whose ordering timestamp is
+    /// `<= ts` (multiversion timestamp-ordering visibility rule). Versions
+    /// without an ordering timestamp fall back to their commit timestamp.
+    pub fn visible_at_order_ts(&self, ts: Timestamp) -> Option<&Version> {
+        self.versions
+            .iter()
+            .filter(|v| matches!(v.sort_ts(), Some(o) if o <= ts))
+            .max_by_key(|v| v.sort_ts())
+    }
+
+    /// The uncommitted version written by `writer`, if any.
+    pub fn uncommitted_by(&self, writer: TxnId) -> Option<&Version> {
+        self.versions
+            .iter()
+            .find(|v| v.writer == writer && !v.is_committed())
+    }
+
+    /// The version written by `writer`, committed or not.
+    pub fn by_writer(&self, writer: TxnId) -> Option<&Version> {
+        self.versions.iter().rev().find(|v| v.writer == writer)
+    }
+
+    /// All uncommitted versions.
+    pub fn uncommitted(&self) -> impl Iterator<Item = &Version> {
+        self.versions.iter().filter(|v| !v.is_committed())
+    }
+
+    /// True if some transaction other than `txn` has an uncommitted version
+    /// on this key.
+    pub fn has_other_uncommitted(&self, txn: TxnId) -> bool {
+        self.versions
+            .iter()
+            .any(|v| !v.is_committed() && v.writer != txn)
+    }
+
+    /// True if a version committed with a timestamp `> ts` exists
+    /// (first-committer-wins check of snapshot isolation).
+    pub fn committed_after(&self, ts: Timestamp) -> bool {
+        self.versions
+            .iter()
+            .any(|v| v.is_committed() && matches!(v.commit_ts, Some(c) if c > ts))
+    }
+
+    /// True if a version committed with a timestamp `>= ts` exists. Snapshot
+    /// readers whose start timestamp may coincide with an existing commit
+    /// timestamp (snapshot timestamps are not freshly issued) must treat a
+    /// commit *at* their start timestamp as outside their snapshot, so the
+    /// first-committer-wins check has to flag it as a conflict too.
+    pub fn committed_at_or_after(&self, ts: Timestamp) -> bool {
+        self.versions
+            .iter()
+            .any(|v| v.is_committed() && matches!(v.commit_ts, Some(c) if c >= ts))
+    }
+
+    /// The most recent version regardless of state, in chain order.
+    pub fn last(&self) -> Option<&Version> {
+        self.versions.last()
+    }
+
+    /// Drops committed versions strictly older than `keep_after`, always
+    /// keeping at least the latest committed version. Returns the number of
+    /// versions removed. This is the per-key primitive used by the GC
+    /// service (§4.5.3).
+    pub fn prune(&mut self, keep_after: Timestamp) -> usize {
+        let latest_commit_ts = self.latest_committed().and_then(|v| v.commit_ts);
+        let before = self.versions.len();
+        self.versions.retain(|v| {
+            if !v.is_committed() {
+                return true;
+            }
+            let ts = v.commit_ts.unwrap_or(Timestamp::ZERO);
+            ts >= keep_after || Some(ts) == latest_commit_ts
+        });
+        before - self.versions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ver(id: u64, writer: u64, val: i64) -> Version {
+        Version {
+            id: VersionId(id),
+            writer: TxnId(writer),
+            value: Value::Int(val),
+            state: VersionState::Uncommitted,
+            commit_ts: None,
+            order_ts: None,
+        }
+    }
+
+    #[test]
+    fn install_commit_read() {
+        let mut c = VersionChain::new();
+        c.install(ver(1, 1, 10));
+        assert!(c.latest_committed().is_none());
+        assert!(c.commit(TxnId(1), Timestamp(5)));
+        assert_eq!(c.latest_committed().unwrap().value.as_int(), Some(10));
+        assert_eq!(
+            c.committed_before(Timestamp(6)).unwrap().value.as_int(),
+            Some(10)
+        );
+        assert!(c.committed_before(Timestamp(5)).is_none());
+    }
+
+    #[test]
+    fn commit_keeps_position_before_later_uncommitted_writes() {
+        // T1 installs, then T2 installs (a later write exposed by a
+        // pipelining CC). T1 committing must NOT move its version past T2's
+        // uncommitted one: the chain's last version must stay T2's so
+        // position-based readers keep seeing the newer write.
+        let mut c = VersionChain::new();
+        c.install(ver(1, 1, 10));
+        c.install(ver(2, 2, 20));
+        assert!(c.commit(TxnId(1), Timestamp(5)));
+        assert_eq!(c.last().unwrap().writer, TxnId(2));
+        assert_eq!(c.latest_committed().unwrap().writer, TxnId(1));
+        // T2 then commits with a larger timestamp; both position and commit
+        // order agree.
+        assert!(c.commit(TxnId(2), Timestamp(7)));
+        assert_eq!(c.latest_committed().unwrap().writer, TxnId(2));
+        assert_eq!(
+            c.committed_at_or_before(Timestamp(6)).unwrap().writer,
+            TxnId(1)
+        );
+    }
+
+    #[test]
+    fn overwrite_same_writer() {
+        let mut c = VersionChain::new();
+        c.install(ver(1, 1, 10));
+        c.install(ver(2, 1, 20));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.uncommitted_by(TxnId(1)).unwrap().value.as_int(), Some(20));
+    }
+
+    #[test]
+    fn abort_removes_uncommitted() {
+        let mut c = VersionChain::new();
+        c.install(ver(1, 1, 10));
+        c.install(ver(2, 2, 20));
+        assert!(c.abort(TxnId(1)));
+        assert!(!c.abort(TxnId(1)));
+        assert_eq!(c.len(), 1);
+        assert!(c.has_other_uncommitted(TxnId(1)));
+        assert!(!c.has_other_uncommitted(TxnId(2)));
+    }
+
+    #[test]
+    fn snapshot_visibility_ordering() {
+        let mut c = VersionChain::new();
+        c.install(ver(1, 1, 10));
+        c.commit(TxnId(1), Timestamp(10));
+        c.install(ver(2, 2, 20));
+        c.commit(TxnId(2), Timestamp(20));
+        assert_eq!(
+            c.committed_before(Timestamp(15)).unwrap().value.as_int(),
+            Some(10)
+        );
+        assert_eq!(
+            c.committed_before(Timestamp(25)).unwrap().value.as_int(),
+            Some(20)
+        );
+        assert!(c.committed_after(Timestamp(15)));
+        assert!(!c.committed_after(Timestamp(25)));
+    }
+
+    #[test]
+    fn order_ts_insertion_and_visibility() {
+        let mut c = VersionChain::new();
+        let mut v1 = ver(1, 1, 10);
+        v1.order_ts = Some(Timestamp(100));
+        let mut v2 = ver(2, 2, 20);
+        v2.order_ts = Some(Timestamp(50));
+        c.install(v1);
+        c.install(v2); // earlier order_ts inserted before
+        assert_eq!(c.versions()[0].writer, TxnId(2));
+        assert_eq!(
+            c.visible_at_order_ts(Timestamp(60)).unwrap().value.as_int(),
+            Some(20)
+        );
+        assert_eq!(
+            c.visible_at_order_ts(Timestamp(200)).unwrap().value.as_int(),
+            Some(10)
+        );
+        assert!(c.visible_at_order_ts(Timestamp(10)).is_none());
+    }
+
+    #[test]
+    fn prune_keeps_latest_committed_and_uncommitted() {
+        let mut c = VersionChain::new();
+        for i in 1..=5u64 {
+            c.install(ver(i, i, i as i64));
+            c.commit(TxnId(i), Timestamp(i * 10));
+        }
+        c.install(ver(99, 99, 99));
+        let removed = c.prune(Timestamp(45));
+        assert_eq!(removed, 4);
+        assert_eq!(c.latest_committed().unwrap().value.as_int(), Some(5));
+        assert!(c.uncommitted_by(TxnId(99)).is_some());
+
+        // Pruning with a horizon beyond everything keeps the latest.
+        let mut c2 = VersionChain::new();
+        c2.install(ver(1, 1, 1));
+        c2.commit(TxnId(1), Timestamp(10));
+        assert_eq!(c2.prune(Timestamp(1000)), 0);
+        assert!(c2.latest_committed().is_some());
+    }
+}

@@ -1,0 +1,235 @@
+//! Write-ahead logging.
+//!
+//! Tebaldi's durability module (§4.5.4) is based on write-ahead logging and
+//! two-phase commit. Data servers create *operation logs* for writes during
+//! execution and a *precommit log* per participating data server when all
+//! CCs pass precommit; a transaction is guaranteed to commit once all its
+//! precommit logs are persistent.
+//!
+//! Tebaldi does not implement its own persistent storage: it outsources
+//! persistence to any key-value-ish backend. Here the backend is a
+//! [`LogDevice`]: an append-only record sink with a `flush` barrier and a
+//! full `read_back`. Two devices are provided: an in-memory device (for
+//! tests and for the durability-off configurations) and a file device.
+
+use crate::key::Key;
+use crate::types::{Timestamp, TxnId};
+use crate::value::Value;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// A single log record.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub enum LogRecord {
+    /// A write operation performed during the execution phase.
+    Operation {
+        /// Writing transaction.
+        txn: TxnId,
+        /// Written key.
+        key: Key,
+        /// Written value.
+        value: Value,
+    },
+    /// Precommit record emitted by one participating data server.
+    Precommit {
+        /// Committing transaction.
+        txn: TxnId,
+        /// Number of data servers participating in the transaction.
+        participants: u32,
+        /// Index of the data server that produced this record.
+        shard: u32,
+        /// GCP epoch the record belongs to (asynchronous flushing, §4.5.4).
+        gcp_epoch: u64,
+        /// Ordered writes of this transaction on this shard, used to
+        /// reconstruct the latest version of each object during recovery.
+        writes: Vec<(Key, Value)>,
+    },
+    /// Commit notification carrying the transaction's global epoch id and
+    /// commit timestamp.
+    Commit {
+        /// Committed transaction.
+        txn: TxnId,
+        /// The transaction's global GCP epoch (max over participants).
+        global_epoch: u64,
+        /// Commit timestamp.
+        commit_ts: Timestamp,
+    },
+    /// Marker appended when a GCP epoch has been fully flushed; records with
+    /// a larger epoch are discarded by recovery after a crash.
+    EpochSeal {
+        /// The sealed epoch.
+        epoch: u64,
+    },
+}
+
+/// An append-only log backend.
+pub trait LogDevice: Send + Sync {
+    /// Appends a record to the device buffer (not necessarily durable yet).
+    fn append(&self, record: &LogRecord);
+    /// Makes all previously appended records durable.
+    fn flush(&self);
+    /// Reads every durable record back, in append order.
+    fn read_back(&self) -> Vec<LogRecord>;
+    /// Number of durable records (diagnostics).
+    fn durable_len(&self) -> usize {
+        self.read_back().len()
+    }
+}
+
+/// An in-memory log device. "Durable" records survive only as long as the
+/// process, which is exactly what the durability-off experiments need; a
+/// simulated crash is modelled by dropping the unflushed buffer.
+#[derive(Default)]
+pub struct MemLogDevice {
+    inner: Mutex<MemLogInner>,
+}
+
+#[derive(Default)]
+struct MemLogInner {
+    buffered: Vec<LogRecord>,
+    durable: Vec<LogRecord>,
+}
+
+impl MemLogDevice {
+    /// Creates an empty device.
+    pub fn new() -> Self {
+        MemLogDevice::default()
+    }
+
+    /// Simulates a crash: unflushed records are lost.
+    pub fn crash(&self) {
+        self.inner.lock().buffered.clear();
+    }
+}
+
+impl LogDevice for MemLogDevice {
+    fn append(&self, record: &LogRecord) {
+        self.inner.lock().buffered.push(record.clone());
+    }
+
+    fn flush(&self) {
+        let mut inner = self.inner.lock();
+        let buffered = std::mem::take(&mut inner.buffered);
+        inner.durable.extend(buffered);
+    }
+
+    fn read_back(&self) -> Vec<LogRecord> {
+        self.inner.lock().durable.clone()
+    }
+}
+
+/// A file-backed log device writing one JSON record per line.
+pub struct FileLogDevice {
+    writer: Mutex<BufWriter<File>>,
+    path: std::path::PathBuf,
+}
+
+impl FileLogDevice {
+    /// Opens (or creates) the log file at `path`, appending to existing
+    /// content.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .read(true)
+            .open(&path)?;
+        Ok(FileLogDevice {
+            writer: Mutex::new(BufWriter::new(file)),
+            path,
+        })
+    }
+}
+
+impl LogDevice for FileLogDevice {
+    fn append(&self, record: &LogRecord) {
+        let mut writer = self.writer.lock();
+        let line = serde_json::to_string(record).expect("log records serialize");
+        writeln!(writer, "{line}").expect("log append");
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock();
+        writer.flush().expect("log flush");
+        writer.get_ref().sync_data().ok();
+    }
+
+    fn read_back(&self) -> Vec<LogRecord> {
+        // Ensure buffered data is visible to the reader.
+        self.flush();
+        let file = match File::open(&self.path) {
+            Ok(f) => f,
+            Err(_) => return Vec::new(),
+        };
+        BufReader::new(file)
+            .lines()
+            .map_while(Result::ok)
+            .filter(|l| !l.trim().is_empty())
+            .filter_map(|l| serde_json::from_str(&l).ok())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::TableId;
+
+    fn op(txn: u64, id: u64) -> LogRecord {
+        LogRecord::Operation {
+            txn: TxnId(txn),
+            key: Key::simple(TableId(0), id),
+            value: Value::Int(id as i64),
+        }
+    }
+
+    #[test]
+    fn mem_device_flush_and_crash() {
+        let dev = MemLogDevice::new();
+        dev.append(&op(1, 1));
+        dev.append(&op(1, 2));
+        assert_eq!(dev.read_back().len(), 0);
+        dev.flush();
+        assert_eq!(dev.read_back().len(), 2);
+        dev.append(&op(2, 3));
+        dev.crash();
+        assert_eq!(dev.read_back().len(), 2, "unflushed records are lost");
+    }
+
+    #[test]
+    fn file_device_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("tebaldi-wal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let dev = FileLogDevice::open(&path).unwrap();
+        dev.append(&op(1, 1));
+        dev.append(&LogRecord::Commit {
+            txn: TxnId(1),
+            global_epoch: 3,
+            commit_ts: Timestamp(7),
+        });
+        dev.flush();
+        let records = dev.read_back();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0], op(1, 1));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn precommit_record_roundtrip_serde() {
+        let rec = LogRecord::Precommit {
+            txn: TxnId(9),
+            participants: 3,
+            shard: 1,
+            gcp_epoch: 12,
+            writes: vec![(Key::simple(TableId(2), 5), Value::Int(50))],
+        };
+        let s = serde_json::to_string(&rec).unwrap();
+        let back: LogRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(rec, back);
+    }
+}

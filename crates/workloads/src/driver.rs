@@ -1,0 +1,234 @@
+//! The closed-loop benchmark driver.
+//!
+//! The paper runs its benchmarks with closed-loop test clients (§4.6): each
+//! client issues one transaction, waits for it to finish (retrying aborted
+//! attempts), then immediately issues the next. Increasing the number of
+//! clients increases contention — that is the x-axis of Figures 4.7, 4.8
+//! and 4.11.
+
+use crate::metrics::{BenchResult, LatencyRecorder};
+use crate::workload::Workload;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tebaldi_core::Database;
+
+/// Options of one benchmark run.
+#[derive(Clone, Debug)]
+pub struct BenchOptions {
+    /// Number of closed-loop client threads.
+    pub clients: usize,
+    /// Measured duration (after warm-up).
+    pub duration: Duration,
+    /// Warm-up period excluded from the measurement.
+    pub warmup: Duration,
+    /// Base RNG seed (client `i` uses `seed + i`).
+    pub seed: u64,
+    /// Label recorded in the result.
+    pub config_label: String,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            clients: 8,
+            duration: Duration::from_millis(1500),
+            warmup: Duration::from_millis(300),
+            seed: 42,
+            config_label: String::new(),
+        }
+    }
+}
+
+impl BenchOptions {
+    /// Short runs used by tests and `--quick` experiment modes.
+    pub fn quick(clients: usize) -> Self {
+        BenchOptions {
+            clients,
+            duration: Duration::from_millis(400),
+            warmup: Duration::from_millis(100),
+            ..BenchOptions::default()
+        }
+    }
+
+    /// Sets the configuration label.
+    pub fn labeled(mut self, label: &str) -> Self {
+        self.config_label = label.to_string();
+        self
+    }
+}
+
+struct ClientOutcome {
+    latencies: LatencyRecorder,
+    committed: u64,
+    aborted: u64,
+    committed_by_type: HashMap<u32, u64>,
+}
+
+/// Runs `workload` against `db` with closed-loop clients and returns the
+/// merged result. The workload must already be loaded.
+pub fn run_benchmark(
+    db: &Arc<Database>,
+    workload: &Arc<dyn Workload>,
+    options: &BenchOptions,
+) -> BenchResult {
+    let stop = Arc::new(AtomicBool::new(false));
+    let measuring = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::with_capacity(options.clients);
+    for client in 0..options.clients {
+        let db = Arc::clone(db);
+        let workload = Arc::clone(workload);
+        let stop = Arc::clone(&stop);
+        let measuring = Arc::clone(&measuring);
+        let seed = options.seed + client as u64;
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut outcome = ClientOutcome {
+                latencies: LatencyRecorder::new(),
+                committed: 0,
+                aborted: 0,
+                committed_by_type: HashMap::new(),
+            };
+            while !stop.load(Ordering::Relaxed) {
+                let started = Instant::now();
+                let unit = workload.run_once(&db, &mut rng);
+                if !measuring.load(Ordering::Relaxed) {
+                    continue;
+                }
+                outcome.aborted += unit.aborts as u64;
+                if unit.committed {
+                    outcome.committed += 1;
+                    *outcome.committed_by_type.entry(unit.ty.0).or_insert(0) += 1;
+                    outcome.latencies.record(unit.ty, started.elapsed());
+                }
+            }
+            outcome
+        }));
+    }
+
+    std::thread::sleep(options.warmup);
+    measuring.store(true, Ordering::Relaxed);
+    let measure_started = Instant::now();
+    std::thread::sleep(options.duration);
+    measuring.store(false, Ordering::Relaxed);
+    let measured = measure_started.elapsed();
+    stop.store(true, Ordering::Relaxed);
+
+    let mut latencies = LatencyRecorder::new();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut committed_by_type: HashMap<u32, u64> = HashMap::new();
+    for handle in handles {
+        let outcome = handle.join().expect("benchmark client panicked");
+        latencies.merge(outcome.latencies);
+        committed += outcome.committed;
+        aborted += outcome.aborted;
+        for (ty, count) in outcome.committed_by_type {
+            *committed_by_type.entry(ty).or_insert(0) += count;
+        }
+    }
+
+    let duration_s = measured.as_secs_f64().max(1e-9);
+    BenchResult {
+        workload: workload.name().to_string(),
+        config: options.config_label.clone(),
+        clients: options.clients,
+        duration_s,
+        committed,
+        aborted,
+        throughput: committed as f64 / duration_s,
+        latency_by_type: latencies
+            .stats()
+            .into_iter()
+            .map(|(ty, s)| (ty.0, s))
+            .collect(),
+        latency_overall: latencies.overall(),
+        committed_by_type,
+    }
+}
+
+/// Builds a fresh database for `workload` with the given CC configuration,
+/// loads the data, and runs the benchmark. This is the all-in-one entry
+/// point used by the experiment harness.
+pub fn bench_config(
+    workload: &Arc<dyn Workload>,
+    spec: tebaldi_cc::CcTreeSpec,
+    db_config: tebaldi_core::DbConfig,
+    options: &BenchOptions,
+) -> BenchResult {
+    let db = Arc::new(
+        Database::builder(db_config)
+            .procedures(workload.procedures())
+            .cc_spec(spec)
+            .build()
+            .expect("database build"),
+    );
+    workload.load(&db);
+    let result = run_benchmark(&db, workload, options);
+    db.shutdown();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{WorkUnit, Workload};
+    use tebaldi_cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+    use tebaldi_core::{DbConfig, ProcedureCall};
+    use tebaldi_storage::{Key, TableId, TxnTypeId};
+
+    /// A tiny workload: each transaction increments one of a few counters.
+    struct Counters;
+
+    impl Workload for Counters {
+        fn name(&self) -> &str {
+            "counters"
+        }
+
+        fn procedures(&self) -> ProcedureSet {
+            let mut set = ProcedureSet::new();
+            set.insert(ProcedureInfo::new(
+                TxnTypeId(0),
+                "bump",
+                vec![(TableId(0), AccessMode::Write)],
+            ));
+            set
+        }
+
+        fn load(&self, db: &Database) {
+            for i in 0..8 {
+                db.load(Key::simple(TableId(0), i), tebaldi_storage::Value::Int(0));
+            }
+        }
+
+        fn run_once(&self, db: &Database, rng: &mut StdRng) -> WorkUnit {
+            use rand::Rng;
+            let key = Key::simple(TableId(0), rng.gen_range(0..8));
+            let call = ProcedureCall::new(TxnTypeId(0));
+            match db.execute_with_retry(&call, 20, |txn| txn.increment(key, 0, 1)) {
+                Ok((_, aborts)) => WorkUnit::committed(TxnTypeId(0), aborts),
+                Err(_) => WorkUnit::failed(TxnTypeId(0), 20),
+            }
+        }
+    }
+
+    #[test]
+    fn closed_loop_driver_produces_throughput() {
+        let workload: Arc<dyn Workload> = Arc::new(Counters);
+        let result = bench_config(
+            &workload,
+            CcTreeSpec::monolithic(CcKind::TwoPl, vec![TxnTypeId(0)]),
+            DbConfig::for_tests(),
+            &BenchOptions::quick(4).labeled("2PL"),
+        );
+        assert!(result.committed > 0, "some transactions must commit");
+        assert!(result.throughput > 0.0);
+        assert_eq!(result.config, "2PL");
+        assert_eq!(result.clients, 4);
+        assert!(result.latency_overall.count > 0);
+    }
+}

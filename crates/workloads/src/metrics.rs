@@ -1,0 +1,196 @@
+//! Benchmark metrics.
+//!
+//! The paper reports throughput (committed transactions per second),
+//! per-transaction-type latency, and abort behaviour, all measured at the
+//! closed-loop clients (§4.6). [`LatencyRecorder`] collects latencies per
+//! type with a fixed memory footprint; [`BenchResult`] is the merged,
+//! printable outcome of one benchmark run.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::time::Duration;
+use tebaldi_storage::TxnTypeId;
+
+/// Per-type latency statistics.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct LatencyStats {
+    /// Number of committed transactions measured.
+    pub count: u64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+    /// 50th percentile latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Maximum observed latency in milliseconds.
+    pub max_ms: f64,
+}
+
+/// Collects latency samples for one client thread.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyRecorder {
+    samples: HashMap<TxnTypeId, Vec<f64>>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder::default()
+    }
+
+    /// Records one committed transaction's latency.
+    pub fn record(&mut self, ty: TxnTypeId, latency: Duration) {
+        self.samples
+            .entry(ty)
+            .or_default()
+            .push(latency.as_secs_f64() * 1_000.0);
+    }
+
+    /// Merges another recorder into this one.
+    pub fn merge(&mut self, other: LatencyRecorder) {
+        for (ty, mut samples) in other.samples {
+            self.samples.entry(ty).or_default().append(&mut samples);
+        }
+    }
+
+    /// Computes per-type statistics.
+    pub fn stats(&self) -> HashMap<TxnTypeId, LatencyStats> {
+        self.samples
+            .iter()
+            .map(|(ty, samples)| (*ty, summarize(samples)))
+            .collect()
+    }
+
+    /// Statistics over all types combined.
+    pub fn overall(&self) -> LatencyStats {
+        let all: Vec<f64> = self.samples.values().flatten().copied().collect();
+        summarize(&all)
+    }
+
+    /// Total number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.values().map(|v| v.len()).sum()
+    }
+
+    /// True when no sample was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+fn summarize(samples: &[f64]) -> LatencyStats {
+    if samples.is_empty() {
+        return LatencyStats::default();
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let count = sorted.len();
+    let mean = sorted.iter().sum::<f64>() / count as f64;
+    let pct = |p: f64| sorted[((count as f64 - 1.0) * p).round() as usize];
+    LatencyStats {
+        count: count as u64,
+        mean_ms: mean,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        max_ms: *sorted.last().unwrap(),
+    }
+}
+
+/// The merged result of one benchmark run.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct BenchResult {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label (e.g. "Tebaldi 3-layer").
+    pub config: String,
+    /// Number of closed-loop clients.
+    pub clients: usize,
+    /// Measured wall-clock duration in seconds.
+    pub duration_s: f64,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Aborted attempts (before the retry succeeded or gave up).
+    pub aborted: u64,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Per-type latency statistics.
+    pub latency_by_type: HashMap<u32, LatencyStats>,
+    /// Latency over every committed transaction.
+    pub latency_overall: LatencyStats,
+    /// Commit counts per type.
+    pub committed_by_type: HashMap<u32, u64>,
+}
+
+impl BenchResult {
+    /// Abort rate over attempts.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.aborted;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / attempts as f64
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<24} {:<18} clients={:<5} {:>10.0} txn/s  aborts={:.1}%  p50={:.2}ms p99={:.2}ms",
+            self.workload,
+            self.config,
+            self.clients,
+            self.throughput,
+            self.abort_rate() * 100.0,
+            self.latency_overall.p50_ms,
+            self.latency_overall.p99_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_statistics() {
+        let mut rec = LatencyRecorder::new();
+        for i in 1..=100u64 {
+            rec.record(TxnTypeId(0), Duration::from_millis(i));
+        }
+        let stats = rec.stats();
+        let s = &stats[&TxnTypeId(0)];
+        assert_eq!(s.count, 100);
+        assert!((s.mean_ms - 50.5).abs() < 0.5);
+        assert!(s.p50_ms >= 49.0 && s.p50_ms <= 52.0);
+        assert!(s.p99_ms >= 98.0);
+        assert_eq!(s.max_ms, 100.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyRecorder::new();
+        a.record(TxnTypeId(0), Duration::from_millis(1));
+        let mut b = LatencyRecorder::new();
+        b.record(TxnTypeId(0), Duration::from_millis(3));
+        b.record(TxnTypeId(1), Duration::from_millis(5));
+        a.merge(b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.overall().count, 3);
+    }
+
+    #[test]
+    fn bench_result_summary_and_abort_rate() {
+        let r = BenchResult {
+            workload: "tpcc".into(),
+            config: "2PL".into(),
+            clients: 8,
+            committed: 75,
+            aborted: 25,
+            throughput: 1234.0,
+            ..Default::default()
+        };
+        assert!((r.abort_rate() - 0.25).abs() < 1e-9);
+        assert!(r.summary().contains("2PL"));
+        assert_eq!(BenchResult::default().abort_rate(), 0.0);
+    }
+}

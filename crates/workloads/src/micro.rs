@@ -1,0 +1,572 @@
+//! Microbenchmarks of §3.4.1, §4.6.4 and §4.6.5.
+//!
+//! Three generators live here:
+//!
+//! * [`CrossGroupMicro`] — the two-group workload of Fig. 4.10 used to
+//!   compare cross-group mechanisms under controlled read-write or
+//!   write-write conflict ratios,
+//! * [`HierarchyMicro`] — the three-transaction workload of Fig. 4.11 used
+//!   to show when a three-layer hierarchy beats every two-layer grouping,
+//! * [`OverheadMicro`] — the conflict-free workload of Table 4.1 used to
+//!   measure the latency and CPU cost of adding hierarchy layers.
+
+use crate::workload::{WorkUnit, Workload};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use tebaldi_cc::{AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_core::{Database, Database as Db, ProcedureCall};
+use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
+
+const MAX_ATTEMPTS: usize = 50;
+
+fn run<R>(
+    db: &Db,
+    call: &ProcedureCall,
+    ty: TxnTypeId,
+    body: impl FnMut(&mut tebaldi_core::Txn<'_>) -> tebaldi_cc::CcResult<R>,
+) -> WorkUnit {
+    match db.execute_with_retry(call, MAX_ATTEMPTS, body) {
+        Ok((_, aborts)) => WorkUnit::committed(ty, aborts),
+        Err(_) => WorkUnit::failed(ty, MAX_ATTEMPTS),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.10: cross-group mechanisms under controlled conflict ratios.
+// ---------------------------------------------------------------------------
+
+/// Transaction types of [`CrossGroupMicro`].
+pub mod crossgroup_types {
+    use tebaldi_storage::TxnTypeId;
+
+    /// The first group's update transaction.
+    pub const GROUP_A: TxnTypeId = TxnTypeId(30);
+    /// The second group's transaction (update or read-only).
+    pub const GROUP_B: TxnTypeId = TxnTypeId(31);
+}
+
+/// The Fig. 4.10 microbenchmark.
+pub struct CrossGroupMicro {
+    /// Rows in the shared table; the cross-group conflict rate is `1/n`.
+    pub shared_rows: u32,
+    /// Rows in each group-local table (the paper uses ten).
+    pub group_local_rows: u32,
+    /// Rows in the low-contention tables (the paper uses 10 000).
+    pub low_contention_rows: u32,
+    /// When true the second group is read-only (the `rw-*` workloads);
+    /// otherwise both groups write (the `ww-*` workloads).
+    pub second_group_read_only: bool,
+}
+
+impl CrossGroupMicro {
+    /// A workload with roughly `conflict_percent` cross-group conflicts.
+    pub fn with_conflict_percent(conflict_percent: f64, second_group_read_only: bool) -> Self {
+        let shared_rows = (100.0 / conflict_percent.max(0.01)).round().max(1.0) as u32;
+        CrossGroupMicro {
+            shared_rows,
+            group_local_rows: 10,
+            low_contention_rows: 10_000,
+            second_group_read_only,
+        }
+    }
+
+    fn shared(&self) -> TableId {
+        TableId(30)
+    }
+    fn local(&self, group: u32) -> TableId {
+        TableId(31 + group)
+    }
+    fn wide(&self, group: u32) -> TableId {
+        TableId(33 + group)
+    }
+
+    /// The two-layer configuration with the given cross-group mechanism.
+    pub fn config(&self, cross_group: CcKind) -> CcTreeSpec {
+        let second = if self.second_group_read_only {
+            CcNodeSpec::leaf(CcKind::NoCc, "readers", vec![crossgroup_types::GROUP_B])
+        } else {
+            CcNodeSpec::leaf(CcKind::Rp, "writers-b", vec![crossgroup_types::GROUP_B])
+        };
+        CcTreeSpec::new(CcNodeSpec::inner(
+            cross_group,
+            "cross-group",
+            vec![
+                CcNodeSpec::leaf(CcKind::Rp, "writers-a", vec![crossgroup_types::GROUP_A]),
+                second,
+            ],
+        ))
+    }
+}
+
+impl Workload for CrossGroupMicro {
+    fn name(&self) -> &str {
+        "crossgroup-micro"
+    }
+
+    fn procedures(&self) -> ProcedureSet {
+        use AccessMode::{Read, Write};
+        let mut set = ProcedureSet::new();
+        set.insert(ProcedureInfo::new(
+            crossgroup_types::GROUP_A,
+            "group_a_update",
+            vec![
+                (self.shared(), Write),
+                (self.local(0), Write),
+                (self.wide(0), Write),
+            ],
+        ));
+        let b_mode = if self.second_group_read_only { Read } else { Write };
+        set.insert(ProcedureInfo::new(
+            crossgroup_types::GROUP_B,
+            "group_b",
+            vec![
+                (self.shared(), b_mode),
+                (self.local(1), b_mode),
+                (self.wide(1), b_mode),
+            ],
+        ));
+        set
+    }
+
+    fn load(&self, db: &Database) {
+        for row in 0..self.shared_rows {
+            db.load(Key::simple(self.shared(), row as u64), Value::Int(0));
+        }
+        for group in 0..2 {
+            for row in 0..self.group_local_rows {
+                db.load(Key::simple(self.local(group), row as u64), Value::Int(0));
+            }
+            for row in 0..self.low_contention_rows {
+                db.load(Key::simple(self.wide(group), row as u64), Value::Int(0));
+            }
+        }
+    }
+
+    fn run_once(&self, db: &Database, rng: &mut StdRng) -> WorkUnit {
+        let group = if rng.gen_bool(0.5) { 0u32 } else { 1u32 };
+        let ty = if group == 0 {
+            crossgroup_types::GROUP_A
+        } else {
+            crossgroup_types::GROUP_B
+        };
+        let shared_key = Key::simple(self.shared(), rng.gen_range(0..self.shared_rows) as u64);
+        let local_key = Key::simple(
+            self.local(group),
+            rng.gen_range(0..self.group_local_rows) as u64,
+        );
+        let wide_keys: Vec<Key> = (0..5)
+            .map(|_| {
+                Key::simple(
+                    self.wide(group),
+                    rng.gen_range(0..self.low_contention_rows) as u64,
+                )
+            })
+            .collect();
+        let call = ProcedureCall::new(ty);
+        let read_only = group == 1 && self.second_group_read_only;
+        run(db, &call, ty, |txn| {
+            if read_only {
+                let _ = txn.get(shared_key)?;
+                let _ = txn.get(local_key)?;
+                for key in &wide_keys {
+                    let _ = txn.get(*key)?;
+                }
+            } else {
+                txn.increment(shared_key, 0, 1)?;
+                txn.increment(local_key, 0, 1)?;
+                for key in &wide_keys {
+                    txn.increment(*key, 0, 1)?;
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 4.11: two-layer vs. three-layer hierarchies.
+// ---------------------------------------------------------------------------
+
+/// Transaction types of [`HierarchyMicro`].
+pub mod hierarchy_types {
+    use tebaldi_storage::TxnTypeId;
+
+    /// The read-only transaction T1.
+    pub const T1: TxnTypeId = TxnTypeId(40);
+    /// The hot update transaction T2.
+    pub const T2: TxnTypeId = TxnTypeId(41);
+    /// The mostly-disjoint update transaction T3.
+    pub const T3: TxnTypeId = TxnTypeId(42);
+}
+
+/// The Fig. 4.11 microbenchmark: table A is tiny and hot, tables B–E are
+/// large and rarely contended.
+pub struct HierarchyMicro {
+    /// Rows in table A.
+    pub hot_rows: u32,
+    /// Rows in tables B–E.
+    pub wide_rows: u32,
+}
+
+impl Default for HierarchyMicro {
+    fn default() -> Self {
+        HierarchyMicro {
+            hot_rows: 10,
+            wide_rows: 10_000,
+        }
+    }
+}
+
+impl HierarchyMicro {
+    fn table_a(&self) -> TableId {
+        TableId(40)
+    }
+    fn table(&self, i: u32) -> TableId {
+        TableId(41 + i) // B..E for i in 0..4
+    }
+
+    /// The three-layer configuration: SSI(root) → [NoCC{T1}, 2PL → [RP{T2},
+    /// 2PL{T3}]].
+    pub fn three_layer() -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::Ssi,
+            "three-layer",
+            vec![
+                CcNodeSpec::leaf(CcKind::NoCc, "t1", vec![hierarchy_types::T1]),
+                CcNodeSpec::inner(
+                    CcKind::TwoPl,
+                    "updates",
+                    vec![
+                        CcNodeSpec::leaf(CcKind::Rp, "t2", vec![hierarchy_types::T2]),
+                        CcNodeSpec::leaf(CcKind::TwoPl, "t3", vec![hierarchy_types::T3]),
+                    ],
+                ),
+            ],
+        ))
+    }
+
+    /// Two-layer 1: SSI cross-group, T2 and T3 in separate groups.
+    pub fn two_layer_1() -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::Ssi,
+            "two-layer-1",
+            vec![
+                CcNodeSpec::leaf(CcKind::NoCc, "t1", vec![hierarchy_types::T1]),
+                CcNodeSpec::leaf(CcKind::Rp, "t2", vec![hierarchy_types::T2]),
+                CcNodeSpec::leaf(CcKind::TwoPl, "t3", vec![hierarchy_types::T3]),
+            ],
+        ))
+    }
+
+    /// Two-layer 2: SSI cross-group, T2 and T3 in the same RP group.
+    pub fn two_layer_2() -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::Ssi,
+            "two-layer-2",
+            vec![
+                CcNodeSpec::leaf(CcKind::NoCc, "t1", vec![hierarchy_types::T1]),
+                CcNodeSpec::leaf(
+                    CcKind::Rp,
+                    "t2+t3",
+                    vec![hierarchy_types::T2, hierarchy_types::T3],
+                ),
+            ],
+        ))
+    }
+
+    /// Two-layer 3: 2PL cross-group with T1 and T2 pipelined together.
+    pub fn two_layer_3() -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::TwoPl,
+            "two-layer-3",
+            vec![
+                CcNodeSpec::leaf(
+                    CcKind::Rp,
+                    "t1+t2",
+                    vec![hierarchy_types::T1, hierarchy_types::T2],
+                ),
+                CcNodeSpec::leaf(CcKind::TwoPl, "t3", vec![hierarchy_types::T3]),
+            ],
+        ))
+    }
+
+    /// Two-layer 4: 2PL cross-group, every transaction in its own group.
+    pub fn two_layer_4() -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::TwoPl,
+            "two-layer-4",
+            vec![
+                CcNodeSpec::leaf(CcKind::NoCc, "t1", vec![hierarchy_types::T1]),
+                CcNodeSpec::leaf(CcKind::Rp, "t2", vec![hierarchy_types::T2]),
+                CcNodeSpec::leaf(CcKind::TwoPl, "t3", vec![hierarchy_types::T3]),
+            ],
+        ))
+    }
+
+    /// All configurations of Fig. 4.11 in presentation order.
+    pub fn configs() -> Vec<(&'static str, CcTreeSpec)> {
+        vec![
+            ("Three-layer", Self::three_layer()),
+            ("Two-layer 1", Self::two_layer_1()),
+            ("Two-layer 2", Self::two_layer_2()),
+            ("Two-layer 3", Self::two_layer_3()),
+            ("Two-layer 4", Self::two_layer_4()),
+        ]
+    }
+}
+
+impl Workload for HierarchyMicro {
+    fn name(&self) -> &str {
+        "hierarchy-micro"
+    }
+
+    fn procedures(&self) -> ProcedureSet {
+        use AccessMode::{Read, Write};
+        let mut set = ProcedureSet::new();
+        set.insert(ProcedureInfo::new(
+            hierarchy_types::T1,
+            "t1_read",
+            vec![
+                (self.table_a(), Read),
+                (self.table(0), Read),
+                (self.table(1), Read),
+                (self.table(2), Read),
+                (self.table(3), Read),
+            ],
+        ));
+        set.insert(ProcedureInfo::new(
+            hierarchy_types::T2,
+            "t2_update",
+            vec![
+                (self.table_a(), Write),
+                (self.table(0), Write),
+                (self.table(1), Write),
+                (self.table(2), Write),
+                (self.table(3), Write),
+            ],
+        ));
+        set.insert(ProcedureInfo::new(
+            hierarchy_types::T3,
+            "t3_update",
+            vec![
+                (self.table(0), Write),
+                (self.table(1), Read),
+                (self.table(2), Read),
+                (self.table(3), Read),
+            ],
+        ));
+        set
+    }
+
+    fn load(&self, db: &Database) {
+        for row in 0..self.hot_rows {
+            db.load(Key::simple(self.table_a(), row as u64), Value::Int(0));
+        }
+        for t in 0..4 {
+            for row in 0..self.wide_rows {
+                db.load(Key::simple(self.table(t), row as u64), Value::Int(0));
+            }
+        }
+    }
+
+    fn run_once(&self, db: &Database, rng: &mut StdRng) -> WorkUnit {
+        let roll: f64 = rng.gen();
+        // Equal thirds, as in the paper's microbenchmark.
+        let ty = if roll < 0.34 {
+            hierarchy_types::T1
+        } else if roll < 0.67 {
+            hierarchy_types::T2
+        } else {
+            hierarchy_types::T3
+        };
+        let hot_key = Key::simple(self.table_a(), rng.gen_range(0..self.hot_rows) as u64);
+        let wide_keys: Vec<Key> = (0..4)
+            .map(|t| Key::simple(self.table(t), rng.gen_range(0..self.wide_rows) as u64))
+            .collect();
+        let call = ProcedureCall::new(ty);
+        match ty {
+            t if t == hierarchy_types::T1 => run(db, &call, ty, |txn| {
+                let _ = txn.get(hot_key)?;
+                for key in &wide_keys {
+                    // Ten reads from the remaining tables.
+                    for offset in 0..2u64 {
+                        let probe = Key::new(key.table, key.row + offset as u128);
+                        let _ = txn.get(probe)?;
+                    }
+                }
+                Ok(())
+            }),
+            t if t == hierarchy_types::T2 => run(db, &call, ty, |txn| {
+                txn.increment(hot_key, 0, 1)?;
+                for key in &wide_keys {
+                    txn.increment(*key, 0, 1)?;
+                }
+                Ok(())
+            }),
+            _ => run(db, &call, ty, |txn| {
+                for key in wide_keys.iter().skip(1) {
+                    let _ = txn.get(*key)?;
+                }
+                txn.increment(wide_keys[0], 0, 1)?;
+                Ok(())
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 4.1: overhead of additional layers (conflict-free workload).
+// ---------------------------------------------------------------------------
+
+/// Transaction type of [`OverheadMicro`].
+pub const OVERHEAD_TYPE: TxnTypeId = TxnTypeId(50);
+
+/// The Table 4.1 microbenchmark: a single transaction type performing seven
+/// writes that never conflict (every invocation writes a fresh key range).
+pub struct OverheadMicro {
+    next_base: AtomicU64,
+}
+
+impl Default for OverheadMicro {
+    fn default() -> Self {
+        OverheadMicro {
+            next_base: AtomicU64::new(0),
+        }
+    }
+}
+
+impl OverheadMicro {
+    /// Creates the workload.
+    pub fn new() -> Self {
+        OverheadMicro::default()
+    }
+
+    fn table(&self, i: u32) -> TableId {
+        TableId(60 + i)
+    }
+
+    /// Stand-alone runtime pipelining (the baseline row of Table 4.1).
+    pub fn standalone_rp() -> CcTreeSpec {
+        CcTreeSpec::monolithic(CcKind::Rp, vec![OVERHEAD_TYPE])
+    }
+
+    /// One extra cross-group layer of the given kind above the RP group.
+    pub fn layered(cross_group: CcKind) -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            cross_group,
+            "overhead",
+            vec![CcNodeSpec::leaf(CcKind::Rp, "rp", vec![OVERHEAD_TYPE])],
+        ))
+    }
+
+    /// All Table 4.1 configurations in presentation order.
+    pub fn configs() -> Vec<(&'static str, CcTreeSpec)> {
+        vec![
+            ("stand-alone RP", Self::standalone_rp()),
+            ("2PL - RP", Self::layered(CcKind::TwoPl)),
+            ("SSI - RP", Self::layered(CcKind::Ssi)),
+            ("RP - RP", Self::layered(CcKind::Rp)),
+        ]
+    }
+}
+
+impl Workload for OverheadMicro {
+    fn name(&self) -> &str {
+        "overhead-micro"
+    }
+
+    fn procedures(&self) -> ProcedureSet {
+        let seq: Vec<(TableId, AccessMode)> = (0..7)
+            .map(|i| (self.table(i), AccessMode::Write))
+            .collect();
+        let mut set = ProcedureSet::new();
+        set.insert(ProcedureInfo::new(OVERHEAD_TYPE, "seven_writes", seq));
+        set
+    }
+
+    fn load(&self, _db: &Database) {
+        // Nothing to preload: every transaction writes fresh keys.
+    }
+
+    fn run_once(&self, db: &Database, _rng: &mut StdRng) -> WorkUnit {
+        let base = self.next_base.fetch_add(1, Ordering::Relaxed);
+        let keys: Vec<Key> = (0..7).map(|i| Key::simple(self.table(i), base)).collect();
+        let call = ProcedureCall::new(OVERHEAD_TYPE);
+        run(db, &call, OVERHEAD_TYPE, |txn| {
+            for key in &keys {
+                txn.put(*key, Value::Int(base as i64))?;
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{bench_config, BenchOptions};
+    use std::sync::Arc;
+    use tebaldi_core::DbConfig;
+
+    #[test]
+    fn crossgroup_conflict_sizing() {
+        let w = CrossGroupMicro::with_conflict_percent(1.0, true);
+        assert_eq!(w.shared_rows, 100);
+        let w = CrossGroupMicro::with_conflict_percent(10.0, false);
+        assert_eq!(w.shared_rows, 10);
+        assert!(w.config(CcKind::Ssi).validate().is_ok());
+        assert!(w.config(CcKind::TwoPl).validate().is_ok());
+    }
+
+    #[test]
+    fn hierarchy_configs_validate() {
+        for (name, spec) in HierarchyMicro::configs() {
+            assert!(spec.validate().is_ok(), "{name} invalid");
+        }
+    }
+
+    #[test]
+    fn overhead_micro_commits_without_conflicts() {
+        let workload: Arc<dyn Workload> = Arc::new(OverheadMicro::new());
+        let result = bench_config(
+            &workload,
+            OverheadMicro::layered(CcKind::Ssi),
+            DbConfig::for_tests(),
+            &BenchOptions::quick(2).labeled("SSI-RP"),
+        );
+        assert!(result.committed > 0);
+        assert_eq!(result.aborted, 0, "conflict-free workload must not abort");
+    }
+
+    #[test]
+    fn crossgroup_micro_runs_with_ssi_cross_group() {
+        let mut w = CrossGroupMicro::with_conflict_percent(5.0, true);
+        w.low_contention_rows = 200;
+        let spec = w.config(CcKind::Ssi);
+        let workload: Arc<dyn Workload> = Arc::new(w);
+        let result = bench_config(
+            &workload,
+            spec,
+            DbConfig::for_tests(),
+            &BenchOptions::quick(4).labeled("SSI"),
+        );
+        assert!(result.committed > 0);
+    }
+
+    #[test]
+    fn hierarchy_micro_runs_three_layer() {
+        let w = HierarchyMicro {
+            hot_rows: 5,
+            wide_rows: 100,
+        };
+        let workload: Arc<dyn Workload> = Arc::new(w);
+        let result = bench_config(
+            &workload,
+            HierarchyMicro::three_layer(),
+            DbConfig::for_tests(),
+            &BenchOptions::quick(4).labeled("3layer"),
+        );
+        assert!(result.committed > 0);
+    }
+}

@@ -1,0 +1,432 @@
+//! The SEATS airline-reservation workload (§4.6.2, §5.6.2).
+//!
+//! Adapted as in the paper: customer-name scans are removed, explicit
+//! secondary-index tables locate a reservation from its flight/seat, the
+//! number of flights is reduced (to concentrate contention) and the number
+//! of seats per flight is increased so the benchmark can run long enough.
+//! Reservation-modifying transactions on the *same* flight conflict heavily
+//! (they all update the flight's seat counter), while transactions on
+//! different flights rarely do — which is exactly what the per-flight TSO
+//! groups of the three-layer configuration exploit.
+
+use crate::workload::{WorkUnit, Workload};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tebaldi_cc::{AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_core::{Database, ProcedureCall};
+use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
+
+/// SEATS transaction types.
+pub mod types {
+    use tebaldi_storage::TxnTypeId;
+
+    /// new_reservation (NR)
+    pub const NEW_RESERVATION: TxnTypeId = TxnTypeId(10);
+    /// delete_reservation (DR)
+    pub const DELETE_RESERVATION: TxnTypeId = TxnTypeId(11);
+    /// update_reservation (UR)
+    pub const UPDATE_RESERVATION: TxnTypeId = TxnTypeId(12);
+    /// update_customer (UC)
+    pub const UPDATE_CUSTOMER: TxnTypeId = TxnTypeId(13);
+    /// find_flights (FF) — read-only
+    pub const FIND_FLIGHTS: TxnTypeId = TxnTypeId(14);
+    /// find_open_seats (FOS) — read-only
+    pub const FIND_OPEN_SEATS: TxnTypeId = TxnTypeId(15);
+}
+
+/// SEATS tables.
+#[derive(Clone, Copy, Debug)]
+pub struct SeatsTables {
+    /// flight(f) → [seats_sold, price, status]
+    pub flight: TableId,
+    /// customer(c) → [balance, reservations]
+    pub customer: TableId,
+    /// reservation(f, seat) → [customer, price, flags]
+    pub reservation: TableId,
+    /// customer_res_index(c) → [flight, seat]
+    pub customer_res_index: TableId,
+    /// flight_info(f) → [departure, arrival] (read-only side data)
+    pub flight_info: TableId,
+}
+
+impl Default for SeatsTables {
+    fn default() -> Self {
+        SeatsTables {
+            flight: TableId(20),
+            customer: TableId(21),
+            reservation: TableId(22),
+            customer_res_index: TableId(23),
+            flight_info: TableId(24),
+        }
+    }
+}
+
+/// Scale parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SeatsParams {
+    /// Number of flights (the paper reduces this to 50).
+    pub flights: u32,
+    /// Seats per flight (the paper increases this to 30 000).
+    pub seats_per_flight: u32,
+    /// Number of customers.
+    pub customers: u32,
+    /// Seats probed by find_open_seats (the paper reduces this to 30).
+    pub open_seat_probes: u32,
+}
+
+impl Default for SeatsParams {
+    fn default() -> Self {
+        SeatsParams {
+            flights: 50,
+            seats_per_flight: 30_000,
+            customers: 5_000,
+            open_seat_probes: 30,
+        }
+    }
+}
+
+impl SeatsParams {
+    /// Tiny instance for unit tests.
+    pub fn tiny() -> Self {
+        SeatsParams {
+            flights: 5,
+            seats_per_flight: 200,
+            customers: 100,
+            open_seat_probes: 10,
+        }
+    }
+}
+
+/// The SEATS workload generator.
+pub struct Seats {
+    /// Scale parameters.
+    pub params: SeatsParams,
+    /// Table ids.
+    pub tables: SeatsTables,
+    /// Maximum retry attempts.
+    pub max_attempts: usize,
+}
+
+impl Seats {
+    /// Creates the workload.
+    pub fn new(params: SeatsParams) -> Self {
+        Seats {
+            params,
+            tables: SeatsTables::default(),
+            max_attempts: 50,
+        }
+    }
+
+    /// Creates the workload with the paper's parameters.
+    pub fn standard() -> Self {
+        Seats::new(SeatsParams::default())
+    }
+
+    fn flight_key(&self, f: u32) -> Key {
+        Key::simple(self.tables.flight, f as u64)
+    }
+    fn flight_info_key(&self, f: u32) -> Key {
+        Key::simple(self.tables.flight_info, f as u64)
+    }
+    fn customer_key(&self, c: u32) -> Key {
+        Key::simple(self.tables.customer, c as u64)
+    }
+    fn reservation_key(&self, f: u32, seat: u32) -> Key {
+        Key::composite(self.tables.reservation, &[f, seat])
+    }
+    fn customer_res_key(&self, c: u32) -> Key {
+        Key::simple(self.tables.customer_res_index, c as u64)
+    }
+
+    fn pick_type(&self, rng: &mut StdRng) -> TxnTypeId {
+        // SEATS default mix: FF 10%, FOS 35%, NR 20%, UC 10%, UR 15%, DR 10%.
+        let roll: f64 = rng.gen();
+        match roll {
+            r if r < 0.10 => types::FIND_FLIGHTS,
+            r if r < 0.45 => types::FIND_OPEN_SEATS,
+            r if r < 0.65 => types::NEW_RESERVATION,
+            r if r < 0.75 => types::UPDATE_CUSTOMER,
+            r if r < 0.90 => types::UPDATE_RESERVATION,
+            _ => types::DELETE_RESERVATION,
+        }
+    }
+}
+
+impl Workload for Seats {
+    fn name(&self) -> &str {
+        "seats"
+    }
+
+    fn procedures(&self) -> ProcedureSet {
+        use AccessMode::{Read, Write};
+        let t = &self.tables;
+        let mut set = ProcedureSet::new();
+        set.insert(ProcedureInfo::new(
+            types::NEW_RESERVATION,
+            "new_reservation",
+            vec![
+                (t.flight, Write),
+                (t.customer, Write),
+                (t.reservation, Write),
+                (t.customer_res_index, Write),
+            ],
+        ));
+        set.insert(ProcedureInfo::new(
+            types::DELETE_RESERVATION,
+            "delete_reservation",
+            vec![
+                (t.flight, Write),
+                (t.customer, Write),
+                (t.reservation, Write),
+                (t.customer_res_index, Write),
+            ],
+        ));
+        set.insert(ProcedureInfo::new(
+            types::UPDATE_RESERVATION,
+            "update_reservation",
+            vec![(t.flight, Read), (t.reservation, Write)],
+        ));
+        set.insert(ProcedureInfo::new(
+            types::UPDATE_CUSTOMER,
+            "update_customer",
+            vec![(t.customer, Write)],
+        ));
+        set.insert(ProcedureInfo::new(
+            types::FIND_FLIGHTS,
+            "find_flights",
+            vec![(t.flight_info, Read), (t.flight, Read)],
+        ));
+        set.insert(ProcedureInfo::new(
+            types::FIND_OPEN_SEATS,
+            "find_open_seats",
+            vec![(t.flight, Read), (t.reservation, Read)],
+        ));
+        set
+    }
+
+    fn load(&self, db: &Database) {
+        for f in 0..self.params.flights {
+            db.load(self.flight_key(f), Value::row(&[0, 300, 1]));
+            db.load(self.flight_info_key(f), Value::row(&[f as i64, f as i64 + 2]));
+        }
+        for c in 0..self.params.customers {
+            db.load(self.customer_key(c), Value::row(&[1_000, 0]));
+        }
+    }
+
+    fn run_once(&self, db: &Database, rng: &mut StdRng) -> WorkUnit {
+        let ty = self.pick_type(rng);
+        let flight = rng.gen_range(0..self.params.flights);
+        let seat = rng.gen_range(0..self.params.seats_per_flight);
+        let customer = rng.gen_range(0..self.params.customers);
+        let probes = self.params.open_seat_probes;
+        let seats_per_flight = self.params.seats_per_flight;
+        // Partition-by-instance: the flight id is the instance seed, so
+        // per-flight TSO groups receive exactly the transactions touching
+        // their flight.
+        let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
+
+        let flight_key = self.flight_key(flight);
+        let flight_info_key = self.flight_info_key(flight);
+        let customer_key = self.customer_key(customer);
+        let reservation_key = self.reservation_key(flight, seat);
+        let customer_res_key = self.customer_res_key(customer);
+
+        let result = match ty {
+            t if t == types::NEW_RESERVATION => db
+                .execute_with_retry(&call, self.max_attempts, |txn| {
+                    let existing = txn.get(reservation_key)?;
+                    if existing.is_none() {
+                        txn.increment(flight_key, 0, 1)?;
+                        txn.increment(customer_key, 1, 1)?;
+                        txn.put(
+                            reservation_key,
+                            Value::row(&[customer as i64, 300, 0]),
+                        )?;
+                        txn.put(
+                            customer_res_key,
+                            Value::row(&[flight as i64, seat as i64]),
+                        )?;
+                    }
+                    Ok(())
+                })
+                .map(|(_, a)| a),
+            t if t == types::DELETE_RESERVATION => db
+                .execute_with_retry(&call, self.max_attempts, |txn| {
+                    let existing = txn.get(reservation_key)?;
+                    if existing.is_some() {
+                        txn.increment(flight_key, 0, -1)?;
+                        txn.increment(customer_key, 1, -1)?;
+                        txn.delete(reservation_key)?;
+                        txn.delete(customer_res_key)?;
+                    }
+                    Ok(())
+                })
+                .map(|(_, a)| a),
+            t if t == types::UPDATE_RESERVATION => db
+                .execute_with_retry(&call, self.max_attempts, |txn| {
+                    let _ = txn.get(flight_key)?;
+                    if let Some(row) = txn.get(reservation_key)? {
+                        txn.put(reservation_key, row.with_field(2, 1))?;
+                    }
+                    Ok(())
+                })
+                .map(|(_, a)| a),
+            t if t == types::UPDATE_CUSTOMER => db
+                .execute_with_retry(&call, self.max_attempts, |txn| {
+                    txn.increment(customer_key, 0, 10)?;
+                    Ok(())
+                })
+                .map(|(_, a)| a),
+            t if t == types::FIND_FLIGHTS => db
+                .execute_with_retry(&call, self.max_attempts, |txn| {
+                    let _ = txn.get(flight_info_key)?;
+                    let _ = txn.get(flight_key)?;
+                    Ok(())
+                })
+                .map(|(_, a)| a),
+            _ => db
+                .execute_with_retry(&call, self.max_attempts, |txn| {
+                    // find_open_seats: probe a window of seats of one flight.
+                    let _ = txn.get(flight_key)?;
+                    let start = seat;
+                    for probe in 0..probes {
+                        let s = (start + probe * 37) % seats_per_flight;
+                        let _ = txn.get(self.reservation_key(flight, s))?;
+                    }
+                    Ok(())
+                })
+                .map(|(_, a)| a),
+        };
+        match result {
+            Ok(aborts) => WorkUnit::committed(ty, aborts),
+            Err(_) => WorkUnit::failed(ty, self.max_attempts),
+        }
+    }
+}
+
+/// The CC-tree configurations evaluated on SEATS.
+pub mod configs {
+    use super::*;
+
+    fn all_types() -> Vec<TxnTypeId> {
+        vec![
+            types::NEW_RESERVATION,
+            types::DELETE_RESERVATION,
+            types::UPDATE_RESERVATION,
+            types::UPDATE_CUSTOMER,
+            types::FIND_FLIGHTS,
+            types::FIND_OPEN_SEATS,
+        ]
+    }
+
+    /// Monolithic 2PL.
+    pub fn monolithic_2pl() -> CcTreeSpec {
+        CcTreeSpec::monolithic(CcKind::TwoPl, all_types())
+    }
+
+    /// Two-layer: SSI separating the read-only transactions, 2PL among the
+    /// update transactions.
+    pub fn two_layer() -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::Ssi,
+            "seats-2layer",
+            vec![
+                CcNodeSpec::leaf(
+                    CcKind::NoCc,
+                    "read-only",
+                    vec![types::FIND_FLIGHTS, types::FIND_OPEN_SEATS],
+                ),
+                CcNodeSpec::leaf(
+                    CcKind::TwoPl,
+                    "updates",
+                    vec![
+                        types::NEW_RESERVATION,
+                        types::DELETE_RESERVATION,
+                        types::UPDATE_RESERVATION,
+                        types::UPDATE_CUSTOMER,
+                    ],
+                ),
+            ],
+        ))
+    }
+
+    /// Three-layer: SSI at the root, 2PL across the update groups, and
+    /// per-flight TSO instances for the reservation transactions
+    /// (partition-by-instance with `tso_partitions` copies).
+    pub fn three_layer(tso_partitions: u32) -> CcTreeSpec {
+        CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::Ssi,
+            "seats-3layer",
+            vec![
+                CcNodeSpec::leaf(
+                    CcKind::NoCc,
+                    "read-only",
+                    vec![types::FIND_FLIGHTS, types::FIND_OPEN_SEATS],
+                ),
+                CcNodeSpec::inner(
+                    CcKind::TwoPl,
+                    "updates",
+                    vec![
+                        CcNodeSpec::leaf_by_instance(
+                            CcKind::Tso,
+                            "per-flight",
+                            vec![
+                                types::NEW_RESERVATION,
+                                types::DELETE_RESERVATION,
+                                types::UPDATE_RESERVATION,
+                            ],
+                            tso_partitions,
+                        ),
+                        CcNodeSpec::leaf(CcKind::TwoPl, "customer", vec![types::UPDATE_CUSTOMER]),
+                    ],
+                ),
+            ],
+        ))
+    }
+
+    /// Same as [`three_layer`] but without partition-by-instance (a single
+    /// TSO group): the baseline of Table 5.1.
+    pub fn three_layer_single_tso() -> CcTreeSpec {
+        three_layer(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{bench_config, BenchOptions};
+    use std::sync::Arc;
+    use tebaldi_core::DbConfig;
+
+    #[test]
+    fn configs_validate() {
+        assert!(configs::monolithic_2pl().validate().is_ok());
+        assert!(configs::two_layer().validate().is_ok());
+        assert!(configs::three_layer(8).validate().is_ok());
+    }
+
+    #[test]
+    fn seats_runs_under_three_layer_config() {
+        let workload: Arc<dyn Workload> = Arc::new(Seats::new(SeatsParams::tiny()));
+        let result = bench_config(
+            &workload,
+            configs::three_layer(5),
+            DbConfig::for_tests(),
+            &BenchOptions::quick(4).labeled("3layer"),
+        );
+        assert!(result.committed > 0);
+    }
+
+    #[test]
+    fn seats_runs_under_monolithic_2pl() {
+        let workload: Arc<dyn Workload> = Arc::new(Seats::new(SeatsParams::tiny()));
+        let result = bench_config(
+            &workload,
+            configs::monolithic_2pl(),
+            DbConfig::for_tests(),
+            &BenchOptions::quick(2).labeled("2PL"),
+        );
+        assert!(result.committed > 0);
+    }
+}

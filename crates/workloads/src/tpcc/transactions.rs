@@ -1,0 +1,351 @@
+//! TPC-C transaction bodies.
+//!
+//! The bodies follow the access order declared in the procedure
+//! descriptions (see [`super::schema`]) so runtime pipelining's step
+//! assignment and the actual execution agree. Scans are removed as in the
+//! paper's adaptation; the customer's latest order is located through the
+//! explicit secondary-index table, and delivery finds pending orders through
+//! the district's `next_delivery_o_id` cursor instead of scanning the
+//! new_order table.
+
+use super::schema::{TpccKeys, TpccParams};
+use tebaldi_cc::CcResult;
+use tebaldi_core::Txn;
+use tebaldi_storage::Value;
+
+/// District row fields.
+pub mod district_fields {
+    /// Next order id to assign.
+    pub const NEXT_O_ID: usize = 0;
+    /// Year-to-date payment total.
+    pub const YTD: usize = 1;
+    /// Next order id to deliver.
+    pub const NEXT_DELIVERY_O_ID: usize = 2;
+}
+
+/// Inputs of one `payment` invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct PaymentInput {
+    /// Warehouse.
+    pub w: u32,
+    /// District.
+    pub d: u32,
+    /// Customer.
+    pub c: u32,
+    /// Amount in cents.
+    pub amount: i64,
+    /// Unique-ish id used for the history row.
+    pub history_seq: u32,
+}
+
+/// The payment transaction: update warehouse and district year-to-date
+/// totals, update the customer's balance, insert a history record.
+pub fn payment(txn: &mut Txn<'_>, keys: &TpccKeys, input: &PaymentInput) -> CcResult<()> {
+    txn.increment(keys.warehouse(input.w), 0, input.amount)?;
+    txn.increment(keys.district(input.w, input.d), district_fields::YTD, input.amount)?;
+    txn.increment(keys.customer(input.w, input.d, input.c), 0, -input.amount)?;
+    txn.increment(keys.customer(input.w, input.d, input.c), 1, 1)?;
+    txn.put(
+        keys.history(input.w, input.d, input.history_seq),
+        Value::row(&[input.amount]),
+    )?;
+    Ok(())
+}
+
+/// Inputs of one `new_order` invocation.
+#[derive(Clone, Debug)]
+pub struct NewOrderInput {
+    /// Warehouse.
+    pub w: u32,
+    /// District.
+    pub d: u32,
+    /// Customer.
+    pub c: u32,
+    /// Ordered items: (item id, supplying warehouse, quantity).
+    pub lines: Vec<(u32, u32, i64)>,
+}
+
+/// The new_order transaction.
+pub fn new_order(txn: &mut Txn<'_>, keys: &TpccKeys, input: &NewOrderInput) -> CcResult<u32> {
+    // Warehouse tax rate (read only).
+    let _ = txn.get(keys.warehouse(input.w))?;
+    // Allocate the order id from the district.
+    let o_id = txn.increment(
+        keys.district(input.w, input.d),
+        district_fields::NEXT_O_ID,
+        1,
+    )? as u32;
+    // Customer discount / credit (read only).
+    let _ = txn.get(keys.customer(input.w, input.d, input.c))?;
+    // Insert the order and its new_order marker.
+    txn.put(
+        keys.order(input.w, input.d, o_id),
+        Value::row(&[input.lines.len() as i64, input.c as i64, 0]),
+    )?;
+    txn.put(keys.new_order(input.w, input.d, o_id), Value::Int(1))?;
+    // Order lines and stock updates.
+    for (line_no, (item, supply_w, qty)) in input.lines.iter().enumerate() {
+        let price = txn
+            .get(keys.item(*item))?
+            .and_then(|v| v.field(0))
+            .unwrap_or(100);
+        let stock_key = keys.stock(*supply_w, *item);
+        let remaining = txn.update_field(stock_key, 0, |q| {
+            if q - qty >= 10 {
+                q - qty
+            } else {
+                q - qty + 91
+            }
+        })?;
+        debug_assert!(remaining > -1_000_000);
+        txn.increment(stock_key, 1, *qty)?;
+        txn.increment(stock_key, 2, 1)?;
+        txn.put(
+            keys.order_line(input.w, input.d, o_id, line_no as u32),
+            Value::row(&[*item as i64, *qty, 0, price]),
+        )?;
+    }
+    // Secondary index: the customer's latest order.
+    txn.put(
+        keys.customer_order_index(input.w, input.d, input.c),
+        Value::Int(o_id as i64),
+    )?;
+    Ok(o_id)
+}
+
+/// A variant of [`new_order`] that updates the stock rows *before* touching
+/// the district table. Under a 2PL cross-group node this inverts the lock
+/// acquisition order against `stock_level` (district first, stock last),
+/// producing the deadlocks of Table 3.1's second column.
+pub fn new_order_stock_first(
+    txn: &mut Txn<'_>,
+    keys: &TpccKeys,
+    input: &NewOrderInput,
+) -> CcResult<u32> {
+    let _ = txn.get(keys.warehouse(input.w))?;
+    // Stock updates first (the deadlock-prone order).
+    for (item, supply_w, qty) in &input.lines {
+        let stock_key = keys.stock(*supply_w, *item);
+        txn.update_field(stock_key, 0, |q| if q - qty >= 10 { q - qty } else { q - qty + 91 })?;
+        txn.increment(stock_key, 1, *qty)?;
+        txn.increment(stock_key, 2, 1)?;
+    }
+    let o_id = txn.increment(
+        keys.district(input.w, input.d),
+        district_fields::NEXT_O_ID,
+        1,
+    )? as u32;
+    let _ = txn.get(keys.customer(input.w, input.d, input.c))?;
+    txn.put(
+        keys.order(input.w, input.d, o_id),
+        Value::row(&[input.lines.len() as i64, input.c as i64, 0]),
+    )?;
+    txn.put(keys.new_order(input.w, input.d, o_id), Value::Int(1))?;
+    for (line_no, (item, _supply_w, qty)) in input.lines.iter().enumerate() {
+        let price = txn
+            .get(keys.item(*item))?
+            .and_then(|v| v.field(0))
+            .unwrap_or(100);
+        txn.put(
+            keys.order_line(input.w, input.d, o_id, line_no as u32),
+            Value::row(&[*item as i64, *qty, 0, price]),
+        )?;
+    }
+    txn.put(
+        keys.customer_order_index(input.w, input.d, input.c),
+        Value::Int(o_id as i64),
+    )?;
+    Ok(o_id)
+}
+
+/// Inputs of one `delivery` invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryInput {
+    /// Warehouse.
+    pub w: u32,
+    /// Carrier id recorded on delivered orders.
+    pub carrier: i64,
+    /// Number of districts in the warehouse.
+    pub districts: u32,
+}
+
+/// The delivery transaction: delivers the oldest undelivered order of every
+/// district of a warehouse.
+pub fn delivery(txn: &mut Txn<'_>, keys: &TpccKeys, input: &DeliveryInput) -> CcResult<u32> {
+    let mut delivered = 0;
+    for d in 0..input.districts {
+        let district_key = keys.district(input.w, d);
+        let district = txn.get(district_key)?;
+        let next_o_id = district
+            .as_ref()
+            .and_then(|v| v.field(district_fields::NEXT_O_ID))
+            .unwrap_or(1);
+        let next_delivery = district
+            .as_ref()
+            .and_then(|v| v.field(district_fields::NEXT_DELIVERY_O_ID))
+            .unwrap_or(1);
+        if next_delivery >= next_o_id {
+            continue; // nothing pending in this district
+        }
+        let o_id = next_delivery as u32;
+        txn.update_field(district_key, district_fields::NEXT_DELIVERY_O_ID, |v| v + 1)?;
+        // Remove the new_order marker.
+        txn.delete(keys.new_order(input.w, d, o_id))?;
+        // Stamp the carrier on the order.
+        let order = txn.get(keys.order(input.w, d, o_id))?;
+        let (ol_cnt, c_id) = match &order {
+            Some(v) => (v.field(0).unwrap_or(0), v.field(1).unwrap_or(0)),
+            None => (0, 0),
+        };
+        if let Some(order_row) = order {
+            txn.put(keys.order(input.w, d, o_id), order_row.with_field(2, input.carrier))?;
+        }
+        // Stamp delivery on each order line and sum the amounts.
+        let mut amount = 0i64;
+        for line in 0..ol_cnt.max(0) as u32 {
+            let key = keys.order_line(input.w, d, o_id, line);
+            if let Some(row) = txn.get(key)? {
+                amount += row.field(3).unwrap_or(0);
+                txn.put(key, row.with_field(2, 1))?;
+            }
+        }
+        // Credit the customer.
+        if c_id > 0 {
+            let customer_key = keys.customer(input.w, d, c_id as u32);
+            txn.increment(customer_key, 0, amount)?;
+            txn.increment(customer_key, 2, 1)?;
+        }
+        delivered += 1;
+    }
+    Ok(delivered)
+}
+
+/// Inputs of one `order_status` invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct OrderStatusInput {
+    /// Warehouse.
+    pub w: u32,
+    /// District.
+    pub d: u32,
+    /// Customer.
+    pub c: u32,
+}
+
+/// The order_status read-only transaction.
+pub fn order_status(txn: &mut Txn<'_>, keys: &TpccKeys, input: &OrderStatusInput) -> CcResult<i64> {
+    let balance = txn
+        .get(keys.customer(input.w, input.d, input.c))?
+        .and_then(|v| v.field(0))
+        .unwrap_or(0);
+    let latest = txn
+        .get(keys.customer_order_index(input.w, input.d, input.c))?
+        .and_then(|v| v.as_int());
+    if let Some(o_id) = latest {
+        let order = txn.get(keys.order(input.w, input.d, o_id as u32))?;
+        let ol_cnt = order.and_then(|v| v.field(0)).unwrap_or(0);
+        for line in 0..ol_cnt.max(0) as u32 {
+            let _ = txn.get(keys.order_line(input.w, input.d, o_id as u32, line))?;
+        }
+    }
+    Ok(balance)
+}
+
+/// Inputs of one `stock_level` invocation.
+#[derive(Clone, Copy, Debug)]
+pub struct StockLevelInput {
+    /// Warehouse.
+    pub w: u32,
+    /// District.
+    pub d: u32,
+    /// Quantity threshold.
+    pub threshold: i64,
+    /// How many recent orders to examine (TPC-C uses 20).
+    pub recent_orders: u32,
+}
+
+/// The stock_level read-only transaction: counts recently sold items whose
+/// stock is below the threshold.
+pub fn stock_level(txn: &mut Txn<'_>, keys: &TpccKeys, input: &StockLevelInput) -> CcResult<u64> {
+    let next_o_id = txn
+        .get(keys.district(input.w, input.d))?
+        .and_then(|v| v.field(district_fields::NEXT_O_ID))
+        .unwrap_or(1);
+    let low = (next_o_id - input.recent_orders as i64).max(1);
+    let mut below = 0u64;
+    for o_id in low..next_o_id {
+        let order = txn.get(keys.order(input.w, input.d, o_id as u32))?;
+        let ol_cnt = order.and_then(|v| v.field(0)).unwrap_or(0);
+        for line in 0..ol_cnt.max(0) as u32 {
+            let item = txn
+                .get(keys.order_line(input.w, input.d, o_id as u32, line))?
+                .and_then(|v| v.field(0))
+                .unwrap_or(0);
+            let quantity = txn
+                .get(keys.stock(input.w, item as u32))?
+                .and_then(|v| v.field(0))
+                .unwrap_or(0);
+            if quantity < input.threshold {
+                below += 1;
+            }
+        }
+    }
+    Ok(below)
+}
+
+/// Inputs of one `hot_item` invocation (§4.6.3).
+#[derive(Clone, Copy, Debug)]
+pub struct HotItemInput {
+    /// Warehouse to sample.
+    pub w: u32,
+    /// District to sample.
+    pub d: u32,
+    /// How many recent orders to sample.
+    pub recent_orders: u32,
+}
+
+/// The hot_item extension transaction: samples recent orders and aggregates
+/// per-item sale counts into the item_stats table.
+pub fn hot_item(txn: &mut Txn<'_>, keys: &TpccKeys, input: &HotItemInput) -> CcResult<u64> {
+    let next_o_id = txn
+        .get(keys.district(input.w, input.d))?
+        .and_then(|v| v.field(district_fields::NEXT_O_ID))
+        .unwrap_or(1);
+    let low = (next_o_id - input.recent_orders as i64).max(1);
+    let mut updated = 0u64;
+    for o_id in low..next_o_id {
+        let order = txn.get(keys.order(input.w, input.d, o_id as u32))?;
+        let ol_cnt = order.and_then(|v| v.field(0)).unwrap_or(0);
+        for line in 0..ol_cnt.max(0) as u32 {
+            let item = txn
+                .get(keys.order_line(input.w, input.d, o_id as u32, line))?
+                .and_then(|v| v.field(0))
+                .unwrap_or(0);
+            txn.increment(keys.item_stats(item as u32), 0, 1)?;
+            updated += 1;
+        }
+    }
+    Ok(updated)
+}
+
+/// Loads the initial TPC-C population directly into the store.
+pub fn load(db: &tebaldi_core::Database, keys: &TpccKeys, params: &TpccParams) {
+    for w in 0..params.warehouses {
+        db.load(keys.warehouse(w), Value::row(&[0]));
+        for d in 0..params.districts_per_warehouse {
+            // next_o_id starts at 1, ytd 0, next_delivery 1.
+            db.load(keys.district(w, d), Value::row(&[1, 0, 1]));
+            for c in 0..params.customers_per_district {
+                db.load(keys.customer(w, d, c), Value::row(&[0, 0, 0]));
+            }
+        }
+        for item in 0..params.items {
+            db.load(keys.stock(w, item), Value::row(&[100, 0, 0]));
+        }
+    }
+    for item in 0..params.items {
+        db.load(keys.item(item), Value::row(&[(item as i64 % 90) + 10]));
+        if params.with_hot_item {
+            db.load(keys.item_stats(item), Value::Int(0));
+        }
+    }
+}

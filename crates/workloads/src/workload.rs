@@ -1,0 +1,54 @@
+//! The workload abstraction consumed by the benchmark driver.
+
+use rand::rngs::StdRng;
+use tebaldi_cc::ProcedureSet;
+use tebaldi_core::Database;
+use tebaldi_storage::TxnTypeId;
+
+/// Outcome of one closed-loop iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkUnit {
+    /// The transaction type that was executed.
+    pub ty: TxnTypeId,
+    /// True when the transaction eventually committed.
+    pub committed: bool,
+    /// Number of aborted attempts before the final outcome.
+    pub aborts: usize,
+}
+
+impl WorkUnit {
+    /// A committed unit with the given number of retries.
+    pub fn committed(ty: TxnTypeId, aborts: usize) -> Self {
+        WorkUnit {
+            ty,
+            committed: true,
+            aborts,
+        }
+    }
+
+    /// A unit that gave up after the given number of aborted attempts.
+    pub fn failed(ty: TxnTypeId, aborts: usize) -> Self {
+        WorkUnit {
+            ty,
+            committed: false,
+            aborts,
+        }
+    }
+}
+
+/// A benchmark workload: data population plus a transaction mix.
+pub trait Workload: Send + Sync {
+    /// Workload name used in reports.
+    fn name(&self) -> &str;
+
+    /// Static procedure descriptions (table access sequences) for every
+    /// transaction type, used by the CC tree builder and by RP's analysis.
+    fn procedures(&self) -> ProcedureSet;
+
+    /// Populates the initial database state.
+    fn load(&self, db: &Database);
+
+    /// Picks one transaction according to the workload mix, executes it with
+    /// retries, and reports the outcome.
+    fn run_once(&self, db: &Database, rng: &mut StdRng) -> WorkUnit;
+}

@@ -1,0 +1,85 @@
+//! Quickstart: build a Tebaldi database, configure a two-level CC tree, and
+//! run a few transactions.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use std::sync::Arc;
+use tebaldi_suite::cc::{AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::core::{Database, DbConfig, ProcedureCall};
+use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
+
+const ACCOUNTS: TableId = TableId(0);
+const TRANSFER: TxnTypeId = TxnTypeId(0);
+const BALANCE_CHECK: TxnTypeId = TxnTypeId(1);
+
+fn main() {
+    // 1. Describe the workload's transaction types: a read-write transfer
+    //    and a read-only balance check.
+    let mut procedures = ProcedureSet::new();
+    procedures.insert(ProcedureInfo::new(
+        TRANSFER,
+        "transfer",
+        vec![(ACCOUNTS, AccessMode::Write)],
+    ));
+    procedures.insert(ProcedureInfo::new(
+        BALANCE_CHECK,
+        "balance_check",
+        vec![(ACCOUNTS, AccessMode::Read)],
+    ));
+
+    // 2. Configure hierarchical MCC: serializable snapshot isolation at the
+    //    root separates the read-only checks from the transfers, which are
+    //    regulated by two-phase locking among themselves.
+    let spec = CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "root",
+        vec![
+            CcNodeSpec::leaf(CcKind::NoCc, "checks", vec![BALANCE_CHECK]),
+            CcNodeSpec::leaf(CcKind::TwoPl, "transfers", vec![TRANSFER]),
+        ],
+    ));
+    println!("CC tree:\n{}", spec.describe());
+
+    // 3. Build the database and load initial balances.
+    let db = Arc::new(
+        Database::builder(DbConfig::default())
+            .procedures(procedures)
+            .cc_spec(spec)
+            .build()
+            .expect("database build"),
+    );
+    for account in 0..4u64 {
+        db.load(Key::simple(ACCOUNTS, account), Value::Int(100));
+    }
+
+    // 4. Run a transfer and a balance check.
+    let transfer = ProcedureCall::new(TRANSFER);
+    db.execute(&transfer, |txn| {
+        txn.increment(Key::simple(ACCOUNTS, 0), 0, -30)?;
+        txn.increment(Key::simple(ACCOUNTS, 1), 0, 30)?;
+        Ok(())
+    })
+    .expect("transfer commits");
+
+    let check = ProcedureCall::new(BALANCE_CHECK);
+    let total = db
+        .execute(&check, |txn| {
+            let mut total = 0;
+            for account in 0..4u64 {
+                total += txn
+                    .get(Key::simple(ACCOUNTS, account))?
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0);
+            }
+            Ok(total)
+        })
+        .expect("balance check commits");
+
+    println!("total balance after the transfer: {total} (expected 400)");
+    let stats = db.stats();
+    println!(
+        "committed transactions: {}, aborted attempts: {}",
+        stats.committed, stats.aborted
+    );
+    db.shutdown();
+}

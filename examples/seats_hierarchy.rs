@@ -1,0 +1,50 @@
+//! SEATS with per-flight timestamp-ordering groups.
+//!
+//! Shows the "hybrid" grouping of §4.6.2: transactions are partitioned
+//! first by type (read-only vs. reservation vs. customer updates) and then
+//! by *instance* (one TSO group per flight), and compares it against the
+//! monolithic 2PL baseline — a miniature of Figure 4.8.
+//!
+//! Run with `cargo run --release --example seats_hierarchy`.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tebaldi_suite::core::DbConfig;
+use tebaldi_suite::workloads::seats::{configs, Seats, SeatsParams};
+use tebaldi_suite::workloads::{bench_config, BenchOptions, Workload};
+
+fn main() {
+    let params = SeatsParams {
+        flights: 20,
+        seats_per_flight: 5_000,
+        customers: 2_000,
+        open_seat_probes: 20,
+    };
+    let clients = 16;
+    let options = BenchOptions {
+        clients,
+        duration: Duration::from_millis(1_500),
+        warmup: Duration::from_millis(300),
+        seed: 11,
+        config_label: String::new(),
+    };
+
+    println!(
+        "SEATS, {} flights x {} seats, {clients} closed-loop clients\n",
+        params.flights, params.seats_per_flight
+    );
+    for (name, spec) in [
+        ("Monolithic 2PL", configs::monolithic_2pl()),
+        ("2-layer (SSI + 2PL)", configs::two_layer()),
+        (
+            "3-layer (SSI + 2PL + per-flight TSO)",
+            configs::three_layer(params.flights),
+        ),
+    ] {
+        let workload: Arc<dyn Workload> = Arc::new(Seats::new(params));
+        let mut opts = options.clone();
+        opts.config_label = name.to_string();
+        let result = bench_config(&workload, spec, DbConfig::for_benchmarks(), &opts);
+        println!("{}", result.summary());
+    }
+}

@@ -1,0 +1,38 @@
+//! TPC-C under monolithic and federated concurrency control.
+//!
+//! Runs a short closed-loop TPC-C benchmark under monolithic 2PL and under
+//! the Tebaldi three-layer hierarchy (Fig. 4.6d) and prints both
+//! throughputs — a miniature of Figure 4.7.
+//!
+//! Run with `cargo run --release --example tpcc_federation`.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tebaldi_suite::core::DbConfig;
+use tebaldi_suite::workloads::tpcc::{configs, schema::TpccParams, Tpcc};
+use tebaldi_suite::workloads::{bench_config, BenchOptions, Workload};
+
+fn main() {
+    let params = TpccParams::default();
+    let clients = 16;
+    let options = BenchOptions {
+        clients,
+        duration: Duration::from_millis(1_500),
+        warmup: Duration::from_millis(300),
+        seed: 7,
+        config_label: String::new(),
+    };
+
+    println!("TPC-C, {} warehouses, {clients} closed-loop clients\n", params.warehouses);
+    for (name, spec) in [
+        ("Monolithic 2PL", configs::monolithic_2pl()),
+        ("Tebaldi 3-layer", configs::tebaldi_three_layer()),
+    ] {
+        println!("configuration: {name}\n{}", spec.describe());
+        let workload: Arc<dyn Workload> = Arc::new(Tpcc::new(params));
+        let mut opts = options.clone();
+        opts.config_label = name.to_string();
+        let result = bench_config(&workload, spec, DbConfig::for_benchmarks(), &opts);
+        println!("  {}\n", result.summary());
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the Tebaldi reproduction workspace.
+//!
+//! This crate re-exports the public surface of the member crates so the
+//! runnable examples under `examples/` and the integration tests under
+//! `tests/` can use a single dependency. Library users should depend on the
+//! individual crates (`tebaldi-core`, `tebaldi-cc`, ...) directly.
+
+pub use tebaldi_autoconf as autoconf;
+pub use tebaldi_cc as cc;
+pub use tebaldi_core as core;
+pub use tebaldi_storage as storage;
+pub use tebaldi_workloads as workloads;

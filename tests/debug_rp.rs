@@ -1,0 +1,110 @@
+//! Temporary debugging harness for the SSI[RP] lost-update anomaly.
+//! Run with `cargo test --test debug_rp -- --ignored --nocapture`.
+
+use std::sync::Arc;
+use tebaldi_suite::cc::{dsg, AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::core::{Database, DbConfig, ProcedureCall};
+use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
+
+const ACCOUNTS_TABLE: TableId = TableId(0);
+const AUDIT_TABLE: TableId = TableId(1);
+const TRANSFER: TxnTypeId = TxnTypeId(0);
+const N_ACCOUNTS: u64 = 2;
+const INITIAL_BALANCE: i64 = 1_000;
+
+fn procedures() -> ProcedureSet {
+    let mut set = ProcedureSet::new();
+    set.insert(ProcedureInfo::new(
+        TRANSFER,
+        "transfer",
+        vec![
+            (ACCOUNTS_TABLE, AccessMode::Write),
+            (AUDIT_TABLE, AccessMode::Write),
+        ],
+    ));
+    set
+}
+
+#[test]
+#[ignore]
+fn debug_ssi_rp_lost_update() {
+    for round in 0..200 {
+        let spec = CcTreeSpec::new(CcNodeSpec::inner(
+            CcKind::Ssi,
+            "root",
+            vec![CcNodeSpec::leaf(CcKind::Rp, "transfers", vec![TRANSFER])],
+        ));
+        let db = Arc::new(
+            Database::builder(DbConfig::for_tests())
+                .procedures(procedures())
+                .cc_spec(spec)
+                .build()
+                .unwrap(),
+        );
+        for account in 0..N_ACCOUNTS {
+            db.load(
+                Key::simple(ACCOUNTS_TABLE, account),
+                Value::Int(INITIAL_BALANCE),
+            );
+        }
+        db.load(Key::simple(AUDIT_TABLE, 0), Value::Int(0));
+
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let db = Arc::clone(&db);
+            handles.push(std::thread::spawn(move || {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(worker + round as u64 * 31 + 1);
+                for _ in 0..60 {
+                    let from = rng.gen_range(0..N_ACCOUNTS);
+                    let to = (from + 1) % N_ACCOUNTS;
+                    let amount = rng.gen_range(1..20);
+                    let call = ProcedureCall::new(TRANSFER).with_instance_seed(from);
+                    let _ = db.execute_with_retry(&call, 30, |txn| {
+                        txn.increment(Key::simple(ACCOUNTS_TABLE, from), 0, -amount)?;
+                        txn.increment(Key::simple(ACCOUNTS_TABLE, to), 0, amount)?;
+                        txn.increment(Key::simple(AUDIT_TABLE, 0), 0, 1)?;
+                        Ok(())
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let mut total = 0i64;
+        for account in 0..N_ACCOUNTS {
+            total += db
+                .store()
+                .read(
+                    &Key::simple(ACCOUNTS_TABLE, account),
+                    tebaldi_suite::storage::ReadSpec::LatestCommitted,
+                )
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+        }
+        let history = db.take_history().expect("history enabled");
+        let report = dsg::check(&history);
+        if total != INITIAL_BALANCE * N_ACCOUNTS as i64 || !report.serializable {
+            println!("=== round {round}: total={total} serializable={} ===", report.serializable);
+            println!("cycle: {:?}", report.cycle);
+            println!("edges: {:?}", report.cycle_edges);
+            if let Some(cycle) = &report.cycle {
+                for txn in cycle {
+                    if let Some(rec) = history.get(*txn) {
+                        println!(
+                            "  {:?} commit_ts={:?} reads={:?} writes={:?}",
+                            rec.txn,
+                            rec.commit_ts,
+                            rec.reads.iter().map(|r| (r.key, r.from)).collect::<Vec<_>>(),
+                            rec.writes
+                        );
+                    }
+                }
+            }
+            panic!("reproduced in round {round}");
+        }
+    }
+    println!("no reproduction in 200 rounds");
+}

@@ -1,0 +1,152 @@
+//! Temporary debugging harness for the monolithic-SSI audit anomaly.
+//! Not part of the regular suite (ignored); run with
+//! `cargo test --test debug_ssi -- --ignored --nocapture`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use tebaldi_suite::cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::core::{Database, DbConfig, ProcedureCall};
+use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
+
+const ACCOUNTS_TABLE: TableId = TableId(0);
+const AUDIT_TABLE: TableId = TableId(1);
+const TRANSFER: TxnTypeId = TxnTypeId(0);
+const AUDIT: TxnTypeId = TxnTypeId(1);
+const N_ACCOUNTS: u64 = 16;
+const INITIAL_BALANCE: i64 = 1_000;
+
+fn procedures() -> ProcedureSet {
+    let mut set = ProcedureSet::new();
+    set.insert(ProcedureInfo::new(
+        TRANSFER,
+        "transfer",
+        vec![
+            (ACCOUNTS_TABLE, AccessMode::Write),
+            (AUDIT_TABLE, AccessMode::Write),
+        ],
+    ));
+    set.insert(ProcedureInfo::new(
+        AUDIT,
+        "audit",
+        vec![(ACCOUNTS_TABLE, AccessMode::Read)],
+    ));
+    set
+}
+
+#[test]
+#[ignore]
+fn debug_monolithic_ssi_audit() {
+    for round in 0..50 {
+        let db = Arc::new(
+            Database::builder(DbConfig::for_tests())
+                .procedures(procedures())
+                .cc_spec(CcTreeSpec::monolithic(CcKind::Ssi, vec![TRANSFER, AUDIT]))
+                .build()
+                .unwrap(),
+        );
+        for account in 0..N_ACCOUNTS {
+            db.load(
+                Key::simple(ACCOUNTS_TABLE, account),
+                Value::Int(INITIAL_BALANCE),
+            );
+        }
+        db.load(Key::simple(AUDIT_TABLE, 0), Value::Int(0));
+
+        let bad: Arc<Mutex<Option<(u64, Vec<(u64, i64)>)>>> = Arc::new(Mutex::new(None));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let db = Arc::clone(&db);
+            let bad = Arc::clone(&bad);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(worker + 1);
+                for _ in 0..120 {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if rng.gen_bool(0.8) {
+                        let from = rng.gen_range(0..N_ACCOUNTS);
+                        let mut to = rng.gen_range(0..N_ACCOUNTS);
+                        if to == from {
+                            to = (to + 1) % N_ACCOUNTS;
+                        }
+                        let amount = rng.gen_range(1..20);
+                        let call = ProcedureCall::new(TRANSFER).with_instance_seed(from);
+                        let _ = db.execute_with_retry(&call, 30, |txn| {
+                            txn.increment(Key::simple(ACCOUNTS_TABLE, from), 0, -amount)?;
+                            txn.increment(Key::simple(ACCOUNTS_TABLE, to), 0, amount)?;
+                            txn.increment(Key::simple(AUDIT_TABLE, 0), 0, 1)?;
+                            Ok(())
+                        });
+                    } else {
+                        let call = ProcedureCall::new(AUDIT);
+                        let observed = db.execute_with_retry(&call, 30, |txn| {
+                            let mut reads = Vec::new();
+                            let mut total = 0i64;
+                            for account in 0..N_ACCOUNTS {
+                                let v = txn
+                                    .get(Key::simple(ACCOUNTS_TABLE, account))?
+                                    .and_then(|v| v.as_int())
+                                    .unwrap_or(0);
+                                reads.push((account, v));
+                                total += v;
+                            }
+                            Ok((txn.id().0, total, reads))
+                        });
+                        if let Ok(((txn_id, total, reads), _)) = observed {
+                            if total != INITIAL_BALANCE * N_ACCOUNTS as i64 {
+                                *bad.lock().unwrap() = Some((txn_id, reads));
+                                stop.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                        }
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let bad = bad.lock().unwrap().clone();
+        if let Some((audit_txn, reads)) = bad {
+            println!("=== round {round}: audit T{audit_txn} observed a bad total ===");
+            let history = db.take_history().expect("history enabled");
+            let audit = history
+                .get(tebaldi_suite::storage::TxnId(audit_txn))
+                .expect("audit recorded");
+            println!("audit reads (key <- writer):");
+            for r in &audit.reads {
+                let writer = history.get(r.from);
+                println!(
+                    "  {:?} <- {:?} (committed={:?} commit_ts={:?} writes={:?})",
+                    r.key,
+                    r.from,
+                    writer.map(|w| w.committed),
+                    writer.and_then(|w| w.commit_ts),
+                    writer.map(|w| w.writes.clone()),
+                );
+            }
+            println!("--- audit raw values ---");
+            for (account, v) in reads {
+                println!("account {account}: {v}");
+            }
+            println!("--- all committed transfers touching accounts ---");
+            for t in history.committed() {
+                if t.ty == TRANSFER {
+                    println!(
+                        "  {:?} commit_ts={:?} writes={:?} reads={:?}",
+                        t.txn,
+                        t.commit_ts,
+                        t.writes,
+                        t.reads.iter().map(|r| (r.key, r.from)).collect::<Vec<_>>()
+                    );
+                }
+            }
+            panic!("reproduced");
+        }
+    }
+    println!("no reproduction in 50 rounds");
+}

@@ -1,0 +1,194 @@
+//! Engine-level behavioural tests: garbage collection, read-only
+//! non-blocking behaviour under the SSI root, cascading-abort prevention,
+//! and partition-by-instance group routing.
+
+use std::sync::Arc;
+use tebaldi_suite::cc::{AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::core::{Database, DbConfig, ProcedureCall};
+use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
+
+const TABLE: TableId = TableId(0);
+const UPDATE: TxnTypeId = TxnTypeId(0);
+const READ: TxnTypeId = TxnTypeId(1);
+
+fn procedures() -> ProcedureSet {
+    let mut set = ProcedureSet::new();
+    set.insert(ProcedureInfo::new(
+        UPDATE,
+        "update",
+        vec![(TABLE, AccessMode::Write)],
+    ));
+    set.insert(ProcedureInfo::new(READ, "read", vec![(TABLE, AccessMode::Read)]));
+    set
+}
+
+fn two_group_spec() -> CcTreeSpec {
+    CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "root",
+        vec![
+            CcNodeSpec::leaf(CcKind::NoCc, "readers", vec![READ]),
+            CcNodeSpec::leaf(CcKind::TwoPl, "writers", vec![UPDATE]),
+        ],
+    ))
+}
+
+#[test]
+fn gc_prunes_old_versions_between_epochs() {
+    let db = Database::builder(DbConfig::for_tests())
+        .procedures(procedures())
+        .cc_spec(two_group_spec())
+        .build()
+        .unwrap();
+    let key = Key::simple(TABLE, 1);
+    db.load(key, Value::Int(0));
+    // Accumulate many committed versions of the same key.
+    for _ in 0..50 {
+        db.execute(&ProcedureCall::new(UPDATE), |txn| txn.increment(key, 0, 1))
+            .unwrap();
+    }
+    let before = db.store().stats();
+    assert!(before.versions > 40, "versions accumulate before GC");
+    // Two GC cycles: the first retires the epoch, the second collects it.
+    db.run_gc_cycle();
+    let report = db.run_gc_cycle();
+    let after = db.store().stats();
+    assert!(
+        after.versions < before.versions,
+        "GC must prune stale versions (removed {} in the last cycle)",
+        report.removed
+    );
+    // The latest value is intact.
+    let value = db
+        .execute(&ProcedureCall::new(READ), |txn| {
+            Ok(txn.get(key)?.and_then(|v| v.as_int()).unwrap_or(-1))
+        })
+        .unwrap();
+    assert_eq!(value, 50);
+    db.shutdown();
+}
+
+#[test]
+fn read_only_transactions_do_not_block_on_writer_locks() {
+    // A writer parks holding its 2PL lock; under the SSI root the reader
+    // still commits immediately from the snapshot.
+    let db = Arc::new(
+        Database::builder(DbConfig::for_tests())
+            .procedures(procedures())
+            .cc_spec(two_group_spec())
+            .build()
+            .unwrap(),
+    );
+    let key = Key::simple(TABLE, 7);
+    db.load(key, Value::Int(41));
+
+    let db_writer = Arc::clone(&db);
+    let (started_tx, started_rx) = std::sync::mpsc::channel();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let writer = std::thread::spawn(move || {
+        db_writer.execute(&ProcedureCall::new(UPDATE), |txn| {
+            txn.increment(key, 0, 1)?;
+            started_tx.send(()).unwrap();
+            // Hold the exclusive lock until the reader has finished.
+            let _ = release_rx.recv_timeout(std::time::Duration::from_secs(2));
+            Ok(())
+        })
+    });
+    started_rx
+        .recv_timeout(std::time::Duration::from_secs(2))
+        .expect("writer acquired its lock");
+
+    let start = std::time::Instant::now();
+    let observed = db
+        .execute(&ProcedureCall::new(READ), |txn| {
+            Ok(txn.get(key)?.and_then(|v| v.as_int()).unwrap_or(-1))
+        })
+        .unwrap();
+    assert_eq!(observed, 41, "the reader sees the committed snapshot");
+    // The reader never touches the writers' lock table; if it had waited for
+    // the writer's lock it would have hit the 50 ms lock timeout and
+    // aborted instead of committing, so a successful commit well under the
+    // writer's hold time is the real assertion; the elapsed bound is kept
+    // loose to stay robust on loaded CI machines.
+    assert!(
+        start.elapsed() < std::time::Duration::from_millis(1_000),
+        "the read-only transaction must not wait for the writer's lock"
+    );
+    release_tx.send(()).unwrap();
+    assert!(writer.join().unwrap().is_ok());
+    db.shutdown();
+}
+
+#[test]
+fn partition_by_instance_routes_by_seed() {
+    let spec = CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::TwoPl,
+        "root",
+        vec![CcNodeSpec::leaf_by_instance(
+            CcKind::Tso,
+            "partitioned",
+            vec![UPDATE, READ],
+            4,
+        )],
+    ));
+    let db = Database::builder(DbConfig::for_tests())
+        .procedures(procedures())
+        .cc_spec(spec)
+        .build()
+        .unwrap();
+    db.load(Key::simple(TABLE, 0), Value::Int(0));
+    let tree = db.current_tree();
+    assert_eq!(tree.group_count(), 4);
+    // Instances with different seeds land in different groups but still
+    // execute correctly against shared keys.
+    for seed in 0..8u64 {
+        let call = ProcedureCall::new(UPDATE).with_instance_seed(seed);
+        db.execute_with_retry(&call, 20, |txn| txn.increment(Key::simple(TABLE, 0), 0, 1))
+            .unwrap();
+    }
+    let total = db
+        .execute(&ProcedureCall::new(READ), |txn| {
+            Ok(txn.get(Key::simple(TABLE, 0))?.and_then(|v| v.as_int()).unwrap_or(0))
+        })
+        .unwrap();
+    assert_eq!(total, 8);
+    db.shutdown();
+}
+
+#[test]
+fn cascading_aborts_do_not_lose_committed_state() {
+    // Runtime pipelining exposes uncommitted state; if a transaction aborts
+    // after a dependant read it, the dependant must abort too rather than
+    // commit a value derived from the aborted write.
+    let spec = CcTreeSpec::monolithic(CcKind::Rp, vec![UPDATE, READ]);
+    let db = Arc::new(
+        Database::builder(DbConfig::for_tests())
+            .procedures(procedures())
+            .cc_spec(spec)
+            .build()
+            .unwrap(),
+    );
+    let key = Key::simple(TABLE, 3);
+    db.load(key, Value::Int(0));
+
+    // A transaction that increments and then deliberately aborts.
+    let result = db.execute(&ProcedureCall::new(UPDATE), |txn| {
+        txn.increment(key, 0, 100)?;
+        Err::<(), _>(txn.request_abort())
+    });
+    assert!(result.is_err());
+
+    // Whatever concurrent readers saw, the committed state must not contain
+    // the aborted increment.
+    let value = db
+        .execute(&ProcedureCall::new(READ), |txn| {
+            Ok(txn.get(key)?.and_then(|v| v.as_int()).unwrap_or(-1))
+        })
+        .unwrap();
+    assert_eq!(value, 0);
+    // And the serializability oracle agrees.
+    let history = db.take_history().unwrap();
+    let report = tebaldi_suite::cc::dsg::check(&history);
+    assert!(report.serializable);
+    db.shutdown();
+}

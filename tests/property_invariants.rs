@@ -1,0 +1,158 @@
+//! Property-based tests on core data structures and engine invariants.
+
+use proptest::prelude::*;
+use tebaldi_suite::cc::procinfo::{AccessMode, ProcedureInfo};
+use tebaldi_suite::cc::rp_analysis::analyze;
+use tebaldi_suite::storage::{
+    Key, TableId, Timestamp, TxnId, Value, Version, VersionChain, VersionId, VersionState,
+};
+
+fn version(writer: u64, value: i64) -> Version {
+    Version {
+        id: VersionId(writer),
+        writer: TxnId(writer),
+        value: Value::Int(value),
+        state: VersionState::Uncommitted,
+        commit_ts: None,
+        order_ts: None,
+    }
+}
+
+proptest! {
+    /// Commit order per key follows install order in the engine (mechanisms
+    /// enforce it through locks and dependency waits), so the chain commits
+    /// versions in place: the positionally-latest committed version carries
+    /// the maximal commit timestamp, commit never reorders versions, and
+    /// snapshot reads never return a version committed after the snapshot.
+    #[test]
+    fn version_chain_snapshot_visibility(deltas in proptest::collection::vec((1u64..50, 1u64..40), 1..30)) {
+        let mut chain = VersionChain::new();
+        let mut ts = 0u64;
+        let mut installed: Vec<u64> = Vec::new(); // writers, install order
+        for (i, (writer_seed, delta)) in deltas.iter().enumerate() {
+            let writer = 1_000 + i as u64 * 100 + writer_seed;
+            chain.install(version(writer, ts as i64));
+            ts += delta;
+            chain.commit(TxnId(writer), Timestamp(ts));
+            installed.push(writer);
+            // Committing must not reorder the chain.
+            let order: Vec<u64> = chain.versions().iter().map(|v| v.writer.0).collect();
+            prop_assert_eq!(&order, &installed);
+        }
+        let max_ts = ts;
+        // The positionally-latest committed version has the maximal commit
+        // timestamp.
+        let latest = chain.latest_committed().unwrap();
+        prop_assert_eq!(latest.commit_ts.unwrap().0, max_ts);
+        prop_assert_eq!(latest.writer.0, *installed.last().unwrap());
+        // Snapshot visibility: strict and inclusive variants respect their
+        // bounds.
+        for snapshot in [1u64, max_ts / 2 + 1, max_ts, max_ts + 1] {
+            if let Some(v) = chain.committed_before(Timestamp(snapshot)) {
+                prop_assert!(v.commit_ts.unwrap().0 < snapshot);
+            }
+            if let Some(v) = chain.committed_at_or_before(Timestamp(snapshot)) {
+                prop_assert!(v.commit_ts.unwrap().0 <= snapshot);
+            }
+            prop_assert_eq!(
+                chain.committed_after(Timestamp(snapshot)),
+                max_ts > snapshot
+            );
+        }
+    }
+
+    /// Pruning never removes the latest committed version and never removes
+    /// uncommitted versions.
+    #[test]
+    fn version_chain_prune_preserves_latest(
+        committed in proptest::collection::vec(1u64..1000, 1..20),
+        horizon in 1u64..1500,
+        uncommitted_writers in proptest::collection::vec(5_000u64..5_010, 0..3),
+    ) {
+        let mut chain = VersionChain::new();
+        for (i, ts) in committed.iter().enumerate() {
+            let writer = 100 + i as u64;
+            chain.install(version(writer, *ts as i64));
+            chain.commit(TxnId(writer), Timestamp(*ts));
+        }
+        let mut uncommitted_writers = uncommitted_writers;
+        uncommitted_writers.sort_unstable();
+        uncommitted_writers.dedup();
+        for writer in &uncommitted_writers {
+            chain.install(version(*writer, -1));
+        }
+        let latest_before = chain.latest_committed().unwrap().commit_ts;
+        chain.prune(Timestamp(horizon));
+        prop_assert_eq!(chain.latest_committed().unwrap().commit_ts, latest_before);
+        prop_assert_eq!(chain.uncommitted().count(), uncommitted_writers.len());
+        // Every remaining committed version (other than the latest) is at or
+        // above the horizon.
+        for v in chain.versions().iter().filter(|v| v.is_committed()) {
+            let ts = v.commit_ts.unwrap();
+            prop_assert!(ts >= Timestamp(horizon) || Some(ts) == latest_before);
+        }
+    }
+
+    /// Composite keys are injective over their parts.
+    #[test]
+    fn composite_keys_are_injective(a in proptest::collection::vec(0u32..1000, 1..5),
+                                    b in proptest::collection::vec(0u32..1000, 1..5)) {
+        let ka = Key::composite(TableId(1), &a);
+        let kb = Key::composite(TableId(1), &b);
+        // Same length and same parts <=> same key.
+        if a.len() == b.len() {
+            prop_assert_eq!(a == b, ka == kb);
+        }
+        for (i, part) in a.iter().enumerate() {
+            prop_assert_eq!(ka.part(i, a.len()), *part);
+        }
+    }
+
+    /// Runtime pipelining's static analysis always produces a step
+    /// assignment that respects every procedure's access order up to
+    /// merged (cyclically dependent) tables: steps never decrease along a
+    /// procedure's table sequence unless the two tables share a step.
+    #[test]
+    fn rp_analysis_respects_access_order(seqs in proptest::collection::vec(
+        proptest::collection::vec(0u32..6, 1..6), 1..5)) {
+        let procedures: Vec<ProcedureInfo> = seqs
+            .iter()
+            .enumerate()
+            .map(|(i, tables)| {
+                ProcedureInfo::new(
+                    tebaldi_suite::storage::TxnTypeId(i as u32),
+                    &format!("p{i}"),
+                    tables.iter().map(|t| (TableId(*t), AccessMode::Write)).collect(),
+                )
+            })
+            .collect();
+        let refs: Vec<&ProcedureInfo> = procedures.iter().collect();
+        let plan = analyze(&refs);
+        for tables in &seqs {
+            for pair in tables.windows(2) {
+                let (a, b) = (TableId(pair[0]), TableId(pair[1]));
+                if a != b {
+                    prop_assert!(
+                        plan.step_of(a) <= plan.step_of(b),
+                        "step order violated: {:?}->{:?}", a, b
+                    );
+                }
+            }
+        }
+        prop_assert!(plan.num_steps <= 6);
+    }
+
+    /// Values survive field updates without disturbing other fields.
+    #[test]
+    fn value_field_updates_are_local(fields in proptest::collection::vec(-1000i64..1000, 1..6),
+                                     idx in 0usize..6, new_value in -1000i64..1000) {
+        let value = Value::row(&fields);
+        let updated = value.with_field(idx, new_value);
+        prop_assert_eq!(updated.field(idx), Some(new_value));
+        for (i, original) in fields.iter().enumerate() {
+            if i != idx {
+                prop_assert_eq!(updated.field(i), Some(*original));
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Online reconfiguration integration tests (§5.5).
+//!
+//! A workload keeps running while the MCC configuration is switched with
+//! both protocols; afterwards the application invariant and the DSG oracle
+//! must still hold, and the new configuration must be in force.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use tebaldi_suite::cc::dsg;
+use tebaldi_suite::cc::{AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::core::{Database, DbConfig, ProcedureCall, ReconfigProtocol};
+use tebaldi_suite::storage::{Key, ReadSpec, TableId, TxnTypeId, Value};
+
+const TABLE: TableId = TableId(0);
+const HOT: TxnTypeId = TxnTypeId(0);
+const SCAN: TxnTypeId = TxnTypeId(1);
+const ROWS: u64 = 8;
+
+fn procedures() -> ProcedureSet {
+    let mut set = ProcedureSet::new();
+    set.insert(ProcedureInfo::new(
+        HOT,
+        "hot_update",
+        vec![(TABLE, AccessMode::Write)],
+    ));
+    set.insert(ProcedureInfo::new(
+        SCAN,
+        "scan",
+        vec![(TABLE, AccessMode::Read)],
+    ));
+    set
+}
+
+fn initial_spec() -> CcTreeSpec {
+    CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "root",
+        vec![
+            CcNodeSpec::leaf(CcKind::NoCc, "scans", vec![SCAN]),
+            CcNodeSpec::leaf(CcKind::TwoPl, "updates", vec![HOT]),
+        ],
+    ))
+}
+
+fn updated_spec() -> CcTreeSpec {
+    // The update leaf switches from 2PL to RP — a change below the root.
+    CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "root",
+        vec![
+            CcNodeSpec::leaf(CcKind::NoCc, "scans", vec![SCAN]),
+            CcNodeSpec::leaf(CcKind::Rp, "updates", vec![HOT]),
+        ],
+    ))
+}
+
+fn run_with_protocol(protocol: ReconfigProtocol) {
+    let db = Arc::new(
+        Database::builder(DbConfig::for_tests())
+            .procedures(procedures())
+            .cc_spec(initial_spec())
+            .build()
+            .unwrap(),
+    );
+    for row in 0..ROWS {
+        db.load(Key::simple(TABLE, row), Value::Int(0));
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for worker in 0..4u64 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(worker);
+            let mut committed = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                if rng.gen_bool(0.7) {
+                    let row = rng.gen_range(0..ROWS);
+                    let call = ProcedureCall::new(HOT);
+                    if db
+                        .execute_with_retry(&call, 30, |txn| txn.increment(Key::simple(TABLE, row), 0, 1))
+                        .is_ok()
+                    {
+                        committed += 1;
+                    }
+                } else {
+                    let call = ProcedureCall::new(SCAN);
+                    let _ = db.execute_with_retry(&call, 30, |txn| {
+                        let mut sum = 0i64;
+                        for row in 0..ROWS {
+                            sum += txn
+                                .get(Key::simple(TABLE, row))?
+                                .and_then(|v| v.as_int())
+                                .unwrap_or(0);
+                        }
+                        Ok(sum)
+                    });
+                }
+            }
+            committed
+        }));
+    }
+
+    // Let the workload warm up, then switch configurations mid-flight.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let report = db.reconfigure(updated_spec(), protocol).expect("reconfigure");
+    assert!(report.total_ms >= 0.0);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    stop.store(true, Ordering::Relaxed);
+    let committed_increments: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+
+    // The new configuration is in force.
+    assert_eq!(db.current_spec(), updated_spec());
+    assert_eq!(db.reconfiguration_count(), 1);
+
+    // Invariant: the sum of the counters equals the number of committed
+    // increments (no update lost or duplicated across the switch).
+    let mut total = 0i64;
+    for row in 0..ROWS {
+        total += db
+            .store()
+            .read(&Key::simple(TABLE, row), ReadSpec::LatestCommitted)
+            .and_then(|v| v.as_int())
+            .unwrap_or(0);
+    }
+    assert_eq!(total as u64, committed_increments);
+
+    // Serializability across the switch.
+    let history = db.take_history().unwrap();
+    let report = dsg::check(&history);
+    assert!(
+        report.serializable,
+        "cycle={:?} aborted_reads={:?}",
+        report.cycle, report.aborted_reads
+    );
+    db.shutdown();
+}
+
+#[test]
+fn partial_restart_preserves_correctness() {
+    run_with_protocol(ReconfigProtocol::PartialRestart);
+}
+
+#[test]
+fn online_update_preserves_correctness() {
+    run_with_protocol(ReconfigProtocol::OnlineUpdate);
+}
+
+#[test]
+fn online_update_falls_back_on_root_change() {
+    let db = Database::builder(DbConfig::for_tests())
+        .procedures(procedures())
+        .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![HOT, SCAN]))
+        .build()
+        .unwrap();
+    let report = db
+        .reconfigure(initial_spec(), ReconfigProtocol::OnlineUpdate)
+        .unwrap();
+    assert!(report.used_fallback, "a root-level change must fall back to a partial restart");
+    assert_eq!(db.current_spec(), initial_spec());
+    db.shutdown();
+}

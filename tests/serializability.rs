@@ -1,0 +1,289 @@
+//! Cross-crate serializability tests.
+//!
+//! Every CC-tree configuration must produce serializable executions
+//! (Definition 4.2.1 + consistent ordering). These tests run a concurrent
+//! bank-transfer workload under each configuration with history recording
+//! enabled and feed the recorded history through the Adya DSG oracle
+//! (§2.2.3): no cycle, no aborted read — and the application-level invariant
+//! (total balance conserved) must hold.
+
+use std::sync::Arc;
+use tebaldi_suite::cc::dsg;
+use tebaldi_suite::cc::{AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::core::{Database, DbConfig, ProcedureCall};
+use tebaldi_suite::storage::{Key, ReadSpec, TableId, TxnTypeId, Value};
+
+const ACCOUNTS_TABLE: TableId = TableId(0);
+const AUDIT_TABLE: TableId = TableId(1);
+const TRANSFER: TxnTypeId = TxnTypeId(0);
+const AUDIT: TxnTypeId = TxnTypeId(1);
+const N_ACCOUNTS: u64 = 16;
+const INITIAL_BALANCE: i64 = 1_000;
+
+fn procedures() -> ProcedureSet {
+    let mut set = ProcedureSet::new();
+    set.insert(ProcedureInfo::new(
+        TRANSFER,
+        "transfer",
+        vec![
+            (ACCOUNTS_TABLE, AccessMode::Write),
+            (AUDIT_TABLE, AccessMode::Write),
+        ],
+    ));
+    set.insert(ProcedureInfo::new(
+        AUDIT,
+        "audit",
+        vec![(ACCOUNTS_TABLE, AccessMode::Read)],
+    ));
+    set
+}
+
+fn build_db(spec: CcTreeSpec) -> Arc<Database> {
+    let db = Arc::new(
+        Database::builder(DbConfig::for_tests())
+            .procedures(procedures())
+            .cc_spec(spec)
+            .build()
+            .unwrap(),
+    );
+    for account in 0..N_ACCOUNTS {
+        db.load(
+            Key::simple(ACCOUNTS_TABLE, account),
+            Value::Int(INITIAL_BALANCE),
+        );
+    }
+    db.load(Key::simple(AUDIT_TABLE, 0), Value::Int(0));
+    db
+}
+
+/// Runs `threads` workers each performing `iterations` random transfers and
+/// audits, then checks the DSG and the balance invariant.
+fn run_and_check(spec: CcTreeSpec, threads: usize, iterations: usize) {
+    let label = spec.describe();
+    let db = build_db(spec);
+    // (audit txn id, observed total) of any committed audit that saw a
+    // non-conserved total; reported together with the DSG verdict below so a
+    // failure identifies its configuration.
+    let bad_audits: Arc<parking_lot::Mutex<Vec<(u64, i64)>>> =
+        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for worker in 0..threads {
+        let db = Arc::clone(&db);
+        let bad_audits = Arc::clone(&bad_audits);
+        handles.push(std::thread::spawn(move || {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(worker as u64 + 1);
+            for _ in 0..iterations {
+                if rng.gen_bool(0.8) {
+                    let from = rng.gen_range(0..N_ACCOUNTS);
+                    let mut to = rng.gen_range(0..N_ACCOUNTS);
+                    if to == from {
+                        to = (to + 1) % N_ACCOUNTS;
+                    }
+                    let amount = rng.gen_range(1..20);
+                    let call = ProcedureCall::new(TRANSFER).with_instance_seed(from);
+                    let _ = db.execute_with_retry(&call, 30, |txn| {
+                        txn.increment(Key::simple(ACCOUNTS_TABLE, from), 0, -amount)?;
+                        txn.increment(Key::simple(ACCOUNTS_TABLE, to), 0, amount)?;
+                        txn.increment(Key::simple(AUDIT_TABLE, 0), 0, 1)?;
+                        Ok(())
+                    });
+                } else {
+                    let call = ProcedureCall::new(AUDIT);
+                    let mut audit_txn = 0u64;
+                    let observed = db.execute_with_retry(&call, 30, |txn| {
+                        audit_txn = txn.id().0;
+                        let mut total = 0i64;
+                        for account in 0..N_ACCOUNTS {
+                            total += txn
+                                .get(Key::simple(ACCOUNTS_TABLE, account))?
+                                .and_then(|v| v.as_int())
+                                .unwrap_or(0);
+                        }
+                        Ok(total)
+                    });
+                    // Serializable isolation: a *committed* audit must have
+                    // seen a conserved total. (Mid-flight reads may observe
+                    // intermediate state under RP/TSO, but those attempts
+                    // must then abort, so only committed results count.)
+                    if let Ok((total, _)) = observed {
+                        if total != INITIAL_BALANCE * N_ACCOUNTS as i64 {
+                            bad_audits.lock().push((audit_txn, total));
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    for handle in handles {
+        handle.join().expect("worker panicked");
+    }
+
+    // DSG oracle first: when something goes wrong the cycle (with its
+    // transaction ids) is the most useful diagnostic.
+    let history = db.take_history().expect("history recording enabled");
+    assert!(history.committed_count() > 0);
+    let report = dsg::check(&history);
+    if !report.serializable {
+        // Dump the full record of every transaction on the cycle so a rare
+        // failure is diagnosable from the log alone.
+        let cycle_txns: Vec<_> = report.cycle.clone().unwrap_or_default();
+        for txn in &cycle_txns {
+            if let Some(rec) = history.get(*txn) {
+                eprintln!(
+                    "cycle member {:?}: ty={:?} group={:?} commit_ts={:?} reads={:?} writes={:?}",
+                    rec.txn,
+                    rec.ty,
+                    rec.group,
+                    rec.commit_ts,
+                    rec.reads.iter().map(|r| (r.key, r.from)).collect::<Vec<_>>(),
+                    rec.writes
+                );
+            }
+        }
+        panic!(
+            "[{label}] non-serializable execution: cycle={:?} edges={:?} aborted_reads={:?}",
+            report.cycle, report.cycle_edges, report.aborted_reads
+        );
+    }
+
+    // Final state invariant.
+    let mut total = 0i64;
+    let mut per_account = Vec::new();
+    for account in 0..N_ACCOUNTS {
+        let v = db
+            .store()
+            .read(&Key::simple(ACCOUNTS_TABLE, account), ReadSpec::LatestCommitted)
+            .and_then(|v| v.as_int())
+            .unwrap_or(0);
+        per_account.push((account, v));
+        total += v;
+    }
+    assert_eq!(
+        total,
+        INITIAL_BALANCE * N_ACCOUNTS as i64,
+        "[{label}] final balances not conserved: {per_account:?}"
+    );
+    let bad = bad_audits.lock();
+    assert!(
+        bad.is_empty(),
+        "[{label}] committed audits observed non-serializable totals: {:?} \
+         (per-audit reads: {:?})",
+        *bad,
+        bad.iter()
+            .map(|(txn, _)| history
+                .get(tebaldi_suite::storage::TxnId(*txn))
+                .map(|t| t.reads.iter().map(|r| (r.key, r.from)).collect::<Vec<_>>()))
+            .collect::<Vec<_>>()
+    );
+    db.shutdown();
+}
+
+fn two_group_spec(leaf_kind: CcKind, cross: CcKind) -> CcTreeSpec {
+    CcTreeSpec::new(CcNodeSpec::inner(
+        cross,
+        "root",
+        vec![
+            CcNodeSpec::leaf(leaf_kind, "transfers", vec![TRANSFER]),
+            CcNodeSpec::leaf(CcKind::NoCc, "audits", vec![AUDIT]),
+        ],
+    ))
+}
+
+#[test]
+fn monolithic_2pl_is_serializable() {
+    run_and_check(
+        CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER, AUDIT]),
+        4,
+        120,
+    );
+}
+
+#[test]
+fn monolithic_ssi_is_serializable() {
+    run_and_check(
+        CcTreeSpec::monolithic(CcKind::Ssi, vec![TRANSFER, AUDIT]),
+        4,
+        120,
+    );
+}
+
+#[test]
+fn monolithic_tso_is_serializable() {
+    run_and_check(
+        CcTreeSpec::monolithic(CcKind::Tso, vec![TRANSFER, AUDIT]),
+        4,
+        120,
+    );
+}
+
+#[test]
+fn ssi_over_rp_hierarchy_is_serializable() {
+    run_and_check(two_group_spec(CcKind::Rp, CcKind::Ssi), 4, 120);
+}
+
+#[test]
+fn ssi_over_2pl_hierarchy_is_serializable() {
+    run_and_check(two_group_spec(CcKind::TwoPl, CcKind::Ssi), 4, 120);
+}
+
+#[test]
+fn twopl_over_tso_hierarchy_is_serializable() {
+    run_and_check(two_group_spec(CcKind::Tso, CcKind::TwoPl), 4, 120);
+}
+
+#[test]
+fn ssi_over_2pl_over_tso_is_serializable() {
+    // Same shape as the three-layer test but without instance partitioning:
+    // SSI(root) -> [NoCC audits, 2PL -> [TSO transfers]]
+    let spec = CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "root",
+        vec![
+            CcNodeSpec::leaf(CcKind::NoCc, "audits", vec![AUDIT]),
+            CcNodeSpec::inner(
+                CcKind::TwoPl,
+                "updates",
+                vec![CcNodeSpec::leaf(CcKind::Tso, "transfers", vec![TRANSFER])],
+            ),
+        ],
+    ));
+    run_and_check(spec, 4, 120);
+}
+
+#[test]
+fn twopl_over_tso_by_instance_is_serializable() {
+    // 2PL(root) -> [NoCC audits, TSO partitioned into 4 instance groups]
+    let spec = CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::TwoPl,
+        "root",
+        vec![
+            CcNodeSpec::leaf(CcKind::NoCc, "audits", vec![AUDIT]),
+            CcNodeSpec::leaf_by_instance(CcKind::Tso, "transfers", vec![TRANSFER], 4),
+        ],
+    ));
+    run_and_check(spec, 4, 120);
+}
+
+#[test]
+fn three_layer_hierarchy_is_serializable() {
+    // SSI(root) -> [NoCC audits, 2PL -> [RP transfers-a, TSO per-instance]]
+    let spec = CcTreeSpec::new(CcNodeSpec::inner(
+        CcKind::Ssi,
+        "root",
+        vec![
+            CcNodeSpec::leaf(CcKind::NoCc, "audits", vec![AUDIT]),
+            CcNodeSpec::inner(
+                CcKind::TwoPl,
+                "updates",
+                vec![CcNodeSpec::leaf_by_instance(
+                    CcKind::Tso,
+                    "transfers",
+                    vec![TRANSFER],
+                    4,
+                )],
+            ),
+        ],
+    ));
+    run_and_check(spec, 4, 120);
+}
