@@ -153,7 +153,13 @@ pub fn run_auto_configuration(
 
         // -------- optimization stage --------
         let current_spec = db.current_spec();
-        let candidates = propose(&current_spec, edge.a, edge.b, &procedures, &options.optimizer);
+        let candidates = propose(
+            &current_spec,
+            edge.a,
+            edge.b,
+            &procedures,
+            &options.optimizer,
+        );
         if candidates.is_empty() {
             report.iterations.push(IterationRecord {
                 iteration,
@@ -187,11 +193,10 @@ pub fn run_auto_configuration(
         }
 
         let adopted = match best {
-            Some(candidate) if best_throughput >= baseline * options.min_improvement => {
-                db.reconfigure(candidate.spec.clone(), options.protocol)
-                    .map(|_| true)
-                    .unwrap_or(false)
-            }
+            Some(candidate) if best_throughput >= baseline * options.min_improvement => db
+                .reconfigure(candidate.spec.clone(), options.protocol)
+                .map(|_| true)
+                .unwrap_or(false),
             _ => {
                 // Nothing improved: restore the configuration we started the
                 // iteration with.
@@ -296,8 +301,7 @@ mod tests {
             }
             100.0
         };
-        let report =
-            run_auto_configuration(&db, &collector, &load, &AutoConfOptions::quick());
+        let report = run_auto_configuration(&db, &collector, &load, &AutoConfOptions::quick());
         assert_eq!(report.iterations.len(), 1);
         db.shutdown();
     }

@@ -146,7 +146,8 @@ fn case1_single_type(
         if kind == leaf.kind && leaf.txn_types.len() == 1 {
             continue;
         }
-        let mut variants: Vec<(u32, String)> = vec![(1, format!("run {name} under {}", kind.name()))];
+        let mut variants: Vec<(u32, String)> =
+            vec![(1, format!("run {name} under {}", kind.name()))];
         if kind == CcKind::Tso && options.enable_partition_by_instance {
             variants.push((
                 options.instance_partitions,
@@ -167,12 +168,15 @@ fn case1_single_type(
             } else {
                 // Split the type out, keeping the original mechanism as the
                 // new inner node over the split leaf and the remainder.
-                let rest: Vec<TxnTypeId> =
-                    node.txn_types.iter().copied().filter(|t| *t != ty).collect();
+                let rest: Vec<TxnTypeId> = node
+                    .txn_types
+                    .iter()
+                    .copied()
+                    .filter(|t| *t != ty)
+                    .collect();
                 let original_kind = node.kind;
                 let label = node.label.clone();
-                let mut split_leaf =
-                    CcNodeSpec::leaf(kind, &format!("{name}-opt"), vec![ty]);
+                let mut split_leaf = CcNodeSpec::leaf(kind, &format!("{name}-opt"), vec![ty]);
                 split_leaf.instance_partitions = partitions;
                 *node = CcNodeSpec::inner(
                     original_kind,
@@ -213,7 +217,13 @@ fn case2_same_group(
     let mut out = Vec::new();
 
     for &kind in &options.inner_mechanisms {
-        if !inner_mechanism_allowed(kind, ty_a, ty_b, procedures, /*at_root=*/ path.is_empty()) {
+        if !inner_mechanism_allowed(
+            kind,
+            ty_a,
+            ty_b,
+            procedures,
+            /*at_root=*/ path.is_empty(),
+        ) {
             continue;
         }
         // New inner node regulating only the a↔b conflicts; a and b stay in
@@ -339,8 +349,13 @@ fn case3_cross_group(
 /// their children) after a move.
 fn prune_empty_leaves(node: &mut CcNodeSpec) {
     node.children.iter_mut().for_each(prune_empty_leaves);
-    node.children
-        .retain(|c| if c.is_leaf() { !c.txn_types.is_empty() } else { !c.children.is_empty() });
+    node.children.retain(|c| {
+        if c.is_leaf() {
+            !c.txn_types.is_empty()
+        } else {
+            !c.children.is_empty()
+        }
+    });
     // Collapse inner nodes with a single child.
     if !node.is_leaf() && node.children.len() == 1 {
         let child = node.children.remove(0);
@@ -369,9 +384,7 @@ fn inner_mechanism_allowed(
         // root; batching makes it a poor inner node under write-write
         // contention, so require a read-only side below the root.
         CcKind::Ssi => {
-            at_root
-                || procedures.all_read_only(&[ty_a])
-                || procedures.all_read_only(&[ty_b])
+            at_root || procedures.all_read_only(&[ty_a]) || procedures.all_read_only(&[ty_b])
         }
         _ => true,
     }
@@ -458,7 +471,9 @@ mod tests {
         // The depth grows for the pair-split candidates.
         assert!(candidates.iter().any(|c| c.spec.depth() >= 3));
         // A merged-leaf (Callas-2 style) candidate exists.
-        assert!(candidates.iter().any(|c| c.description.starts_with("merge")));
+        assert!(candidates
+            .iter()
+            .any(|c| c.description.starts_with("merge")));
         for c in &candidates {
             assert!(c.spec.validate().is_ok(), "{}", c.description);
         }

@@ -27,8 +27,7 @@ impl EventCollector {
     /// Creates an enabled collector.
     pub fn new() -> Self {
         let c = EventCollector::default();
-        c.enabled
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+        c.enabled.store(true, std::sync::atomic::Ordering::Relaxed);
         c
     }
 
@@ -115,7 +114,10 @@ pub fn analyze(events: &[BlockingEvent]) -> ProfileReport {
     // blocked (with the blocker's identity), sorted by start time.
     let mut blocked_intervals: HashMap<TxnId, Vec<&BlockingEvent>> = HashMap::new();
     for event in events {
-        blocked_intervals.entry(event.blocked).or_default().push(event);
+        blocked_intervals
+            .entry(event.blocked)
+            .or_default()
+            .push(event);
     }
     for list in blocked_intervals.values_mut() {
         list.sort_by_key(|e| e.start);
@@ -209,7 +211,7 @@ pub fn analyze(events: &[BlockingEvent]) -> ProfileReport {
         .into_iter()
         .map(|((a, b), score)| ConflictEdge { a, b, score })
         .collect();
-    edges.sort_by(|x, y| y.score.cmp(&x.score));
+    edges.sort_by_key(|e| std::cmp::Reverse(e.score));
 
     ProfileReport {
         directed,

@@ -1,0 +1,171 @@
+//! Cluster scale-out experiment: TPC-C throughput at 1/2/4/8 shards.
+//!
+//! Each shard runs its own Tebaldi database under monolithic SSI —
+//! optimistic CC is the natural partner for cross-shard 2PC, since a
+//! prepared-but-undecided transaction blocks no readers while it waits for
+//! the decision (locking trees stall their whole group behind a parked
+//! prepare). Warehouses are range-partitioned across shards (modulo). Remote-access
+//! rates keep ≥ 90% of the mix single-shard, as in TPC-C (1% remote order
+//! lines, 15% remote paying customers); cross-shard transactions go through
+//! the coordinator's two-phase commit.
+//!
+//! ```text
+//! cargo run --release --bin cluster_tpcc -- [--quick] [--json PATH]
+//! ```
+//!
+//! Also always writes `BENCH_cluster_tpcc.json` next to the working
+//! directory so future sessions can diff throughput trajectories.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_cluster::ClusterConfig;
+use tebaldi_workloads::tpcc::cluster::ClusterTpcc;
+use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
+use tebaldi_workloads::ClusterWorkload;
+
+/// One measured row of the scale-out sweep.
+#[derive(Clone, Debug, Serialize)]
+struct Row {
+    shards: usize,
+    clients: usize,
+    throughput: f64,
+    committed: u64,
+    aborted: u64,
+    abort_rate: f64,
+    single_shard_txns: u64,
+    multi_shard_txns: u64,
+    single_shard_fraction: f64,
+}
+
+/// The file every run refreshes for regression tracking.
+#[derive(Clone, Debug, Serialize)]
+struct Report {
+    experiment: &'static str,
+    config: &'static str,
+    warehouses_per_shard: u32,
+    remote_line_pct: f64,
+    remote_payment_pct: f64,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner(
+        "cluster_tpcc",
+        "TPC-C scale-out across 1/2/4/8 database shards (2PC for cross-shard)",
+    );
+
+    let shard_counts = [1usize, 2, 4, 8];
+    let warehouses_per_shard = 8u32;
+    let remote_line_pct = 0.01;
+    // TPC-C uses 15% remote paying customers; with every remote customer on
+    // another shard that leaves ~89% single-shard overall, so the sweep uses
+    // 10% to hold the >=90% single-shard mix the scale-out story assumes.
+    let remote_payment_pct = 0.10;
+    let clients = if options.quick { 8 } else { 32 };
+
+    println!(
+        "{:>7} {:>8} {:>11} {:>11} {:>10} {:>12}",
+        "shards", "clients", "tput(tx/s)", "aborts", "abort%", "single-shard"
+    );
+
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        // Scale the database with the cluster: four warehouses per shard.
+        let params = TpccParams {
+            warehouses: warehouses_per_shard * shards as u32,
+            ..TpccParams::default()
+        };
+        let workload_impl = ClusterTpcc::new(Tpcc::new(params))
+            .with_remote_rates(remote_line_pct, remote_payment_pct);
+        let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
+        let mut cluster_config = ClusterConfig::for_benchmarks(shards);
+        if options.quick {
+            cluster_config.workers_per_shard = 2;
+        }
+
+        let label = format!("{shards}-shard");
+        let bench = options.bench_options(clients, &label);
+        // Build the cluster directly (rather than through
+        // bench_cluster_config) so shard-routing counters can be read
+        // before shutdown.
+        let cluster = Arc::new(
+            tebaldi_cluster::Cluster::builder(cluster_config)
+                .procedures(workload.procedures())
+                .cc_spec(configs::monolithic_ssi())
+                .build()
+                .expect("cluster build"),
+        );
+        workload.load(&cluster);
+        let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
+        let stats = cluster.stats();
+        cluster.shutdown();
+
+        let routed = stats.single_shard + stats.multi_shard;
+        let single_fraction = if routed > 0 {
+            stats.single_shard as f64 / routed as f64
+        } else {
+            1.0
+        };
+        println!(
+            "{:>7} {:>8} {} {:>11} {:>9.1}% {:>11.1}%",
+            shards,
+            clients,
+            fmt_tput(result.throughput),
+            result.aborted,
+            result.abort_rate() * 100.0,
+            single_fraction * 100.0,
+        );
+        rows.push(Row {
+            shards,
+            clients,
+            throughput: result.throughput,
+            committed: result.committed,
+            aborted: result.aborted,
+            abort_rate: result.abort_rate(),
+            single_shard_txns: stats.single_shard,
+            multi_shard_txns: stats.multi_shard,
+            single_shard_fraction: single_fraction,
+        });
+    }
+
+    let report = Report {
+        experiment: "cluster_tpcc",
+        config: "monolithic SSI per shard, modulo warehouse partitioning",
+        warehouses_per_shard,
+        remote_line_pct,
+        remote_payment_pct,
+        rows,
+    };
+    // Always refresh the trajectory file; --json adds a custom copy.
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write("BENCH_cluster_tpcc.json", json) {
+                eprintln!("warning: could not write BENCH_cluster_tpcc.json: {err}");
+            } else {
+                println!("\nwrote BENCH_cluster_tpcc.json");
+            }
+        }
+        Err(err) => eprintln!("warning: could not serialize report: {err}"),
+    }
+    options.maybe_write_json(&report);
+
+    // Scale-out sanity check mirrored by the acceptance criteria: more
+    // shards must not be slower than one shard on this mix.
+    if let (Some(first), Some(best)) = (
+        report.rows.first().map(|r| r.throughput),
+        report
+            .rows
+            .iter()
+            .map(|r| r.throughput)
+            .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v)))),
+    ) {
+        println!(
+            "scale-out: best {} vs 1-shard {} ({:+.1}%)",
+            fmt_tput(best),
+            fmt_tput(first),
+            (best / first - 1.0) * 100.0
+        );
+    }
+}

@@ -37,15 +37,13 @@ fn main() {
         ("ww-10".to_string(), 10.0, false),
     ];
 
-    println!(
-        "{:<8} {:>12} {:>12} {:>12}",
-        "workload", "2PL", "SSI", "RP"
-    );
+    println!("{:<8} {:>12} {:>12} {:>12}", "workload", "2PL", "SSI", "RP");
     let mut points = Vec::new();
     for (name, conflict_pct, read_only_second) in &workloads {
         let mut line = format!("{name:<8}");
         for mechanism in mechanisms {
-            let generator = CrossGroupMicro::with_conflict_percent(*conflict_pct, *read_only_second);
+            let generator =
+                CrossGroupMicro::with_conflict_percent(*conflict_pct, *read_only_second);
             let spec = generator.config(mechanism);
             let workload: Arc<dyn Workload> = Arc::new(generator);
             let result = bench_config(

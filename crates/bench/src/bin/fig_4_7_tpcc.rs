@@ -29,7 +29,11 @@ fn main() {
     let params = TpccParams::default();
     let sweep = options.client_sweep();
 
-    println!("{:<18} {}", "config", sweep.iter().map(|c| format!("{c:>10}")).collect::<String>());
+    println!(
+        "{:<18} {}",
+        "config",
+        sweep.iter().map(|c| format!("{c:>10}")).collect::<String>()
+    );
     let mut points = Vec::new();
     for (name, spec) in configs::figure_4_7() {
         let mut line = format!("{name:<18}");

@@ -45,7 +45,11 @@ fn main() {
         ),
     ];
 
-    println!("{:<24} {}", "config", sweep.iter().map(|c| format!("{c:>10}")).collect::<String>());
+    println!(
+        "{:<24} {}",
+        "config",
+        sweep.iter().map(|c| format!("{c:>10}")).collect::<String>()
+    );
     let mut points = Vec::new();
     for (name, spec) in configurations {
         let mut line = format!("{name:<24}");

@@ -72,8 +72,14 @@ fn main() {
     auto_options.test_duration = bench.duration;
     let report = run_auto_configuration(&db, &collector, &load, &auto_options);
 
-    println!("manual configuration (Fig. 5.12): {} txn/sec", fmt_tput(manual.throughput));
-    println!("initial configuration (Fig. 5.2): {} txn/sec", fmt_tput(report.initial_throughput));
+    println!(
+        "manual configuration (Fig. 5.12): {} txn/sec",
+        fmt_tput(manual.throughput)
+    );
+    println!(
+        "initial configuration (Fig. 5.2): {} txn/sec",
+        fmt_tput(report.initial_throughput)
+    );
     for record in &report.iterations {
         println!(
             "iteration {:<2} bottleneck={:<28} candidates={:<3} best={} adopted={}",
@@ -97,14 +103,23 @@ fn main() {
             0.0
         }
     );
-    println!("final tree (Fig. 5.13 analogue):\n{}", db.current_spec().describe());
+    println!(
+        "final tree (Fig. 5.13 analogue):\n{}",
+        db.current_spec().describe()
+    );
 
     options.maybe_write_json(&Output {
         initial_throughput: report.initial_throughput,
         iteration_throughputs: report
             .iterations
             .iter()
-            .map(|r| if r.adopted { r.best_throughput } else { r.baseline_throughput })
+            .map(|r| {
+                if r.adopted {
+                    r.best_throughput
+                } else {
+                    r.baseline_throughput
+                }
+            })
             .collect(),
         final_throughput: report.final_throughput,
         manual_throughput: manual.throughput,

@@ -104,8 +104,14 @@ fn main() {
     auto_options.optimizer.instance_partitions = params.flights.min(16);
     let report = run_auto_configuration(&db, &collector, &load, &auto_options);
 
-    println!("manual configuration (Fig. 5.15): {} txn/sec", fmt_tput(manual.throughput));
-    println!("initial configuration:            {} txn/sec", fmt_tput(report.initial_throughput));
+    println!(
+        "manual configuration (Fig. 5.15): {} txn/sec",
+        fmt_tput(manual.throughput)
+    );
+    println!(
+        "initial configuration:            {} txn/sec",
+        fmt_tput(report.initial_throughput)
+    );
     for record in &report.iterations {
         println!(
             "iteration {:<2} bottleneck={:<36} candidates={:<3} best={} adopted={}",
@@ -129,7 +135,10 @@ fn main() {
             0.0
         }
     );
-    println!("final tree (Fig. 5.16 analogue):\n{}", db.current_spec().describe());
+    println!(
+        "final tree (Fig. 5.16 analogue):\n{}",
+        db.current_spec().describe()
+    );
     options.maybe_write_json(&Output {
         initial_throughput: report.initial_throughput,
         final_throughput: report.final_throughput,

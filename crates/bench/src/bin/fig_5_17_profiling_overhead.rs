@@ -70,9 +70,7 @@ fn run_setting(
     };
     let result = run_benchmark(&db, &workload_dyn, &options.bench_options(clients, label));
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
-    let analysed = analysis_thread
-        .map(|h| h.join().unwrap_or(0))
-        .unwrap_or(0);
+    let analysed = analysis_thread.map(|h| h.join().unwrap_or(0)).unwrap_or(0);
     let events = analysed + collector.len();
     db.shutdown();
     Row {

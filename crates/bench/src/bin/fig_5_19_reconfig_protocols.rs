@@ -177,7 +177,10 @@ fn main() {
             switch_bucket,
             after as f64 / (run.timeline.len() - mid - 1).max(1) as f64,
         );
-        println!("  timeline (commits per {} ms bucket): {:?}", run.buckets_ms, run.timeline);
+        println!(
+            "  timeline (commits per {} ms bucket): {:?}",
+            run.buckets_ms, run.timeline
+        );
     }
     options.maybe_write_json(&runs);
 }

@@ -48,15 +48,16 @@ fn fig_5_4_config() -> CcTreeSpec {
 }
 
 fn build_workload() -> Tpcc {
-    Tpcc::new(TpccParams::default()).with_mix(vec![
-        (types::PAYMENT, 0.8),
-        (types::STOCK_LEVEL, 0.2),
-    ])
+    Tpcc::new(TpccParams::default())
+        .with_mix(vec![(types::PAYMENT, 0.8), (types::STOCK_LEVEL, 0.2)])
 }
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    banner("Figure 5.5", "Latency-based profiling vs. blocking-time profiling");
+    banner(
+        "Figure 5.5",
+        "Latency-based profiling vs. blocking-time profiling",
+    );
     let collector = Arc::new(EventCollector::new());
     let workload = Arc::new(build_workload());
     let db = Arc::new(

@@ -30,8 +30,14 @@ fn main() {
     let clients = if options.quick { 8 } else { 32 };
 
     let configurations = vec![
-        ("3-layer (hot_item with NO/PAY)", configs::hot_item_three_layer()),
-        ("4-layer (hot_item own group)", configs::hot_item_four_layer()),
+        (
+            "3-layer (hot_item with NO/PAY)",
+            configs::hot_item_three_layer(),
+        ),
+        (
+            "4-layer (hot_item own group)",
+            configs::hot_item_four_layer(),
+        ),
     ];
 
     let mut rows = Vec::new();

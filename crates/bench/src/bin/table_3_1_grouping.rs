@@ -58,7 +58,8 @@ fn main() {
     let params = TpccParams::default();
     let clients = if options.quick { 8 } else { 24 };
 
-    let settings: Vec<(&str, Box<dyn Fn() -> Tpcc>, CcTreeSpec)> = vec![
+    type TpccFactory = Box<dyn Fn() -> Tpcc>;
+    let settings: Vec<(&str, TpccFactory, CcTreeSpec)> = vec![
         (
             "Same group",
             Box::new(move || Tpcc::new(params).with_mix(no_sl_mix())),

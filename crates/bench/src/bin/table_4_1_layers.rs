@@ -23,7 +23,10 @@ struct Row {
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    banner("Table 4.1", "Latency and resource cost of adding additional layers");
+    banner(
+        "Table 4.1",
+        "Latency and resource cost of adding additional layers",
+    );
     // The paper measures latency with 20 clients (low load) and peak
     // throughput with the CPU saturated.
     let latency_clients = if options.quick { 4 } else { 8 };

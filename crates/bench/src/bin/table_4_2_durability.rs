@@ -20,7 +20,10 @@ struct Row {
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    banner("Table 4.2", "Overhead of durability protocol on TPC-C benchmark");
+    banner(
+        "Table 4.2",
+        "Overhead of durability protocol on TPC-C benchmark",
+    );
     let params = TpccParams::default();
     let clients = if options.quick { 8 } else { 32 };
 

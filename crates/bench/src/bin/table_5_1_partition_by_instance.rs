@@ -38,7 +38,10 @@ fn main() {
     let clients = if options.quick { 8 } else { 32 };
 
     let settings = vec![
-        ("Without partition-by-instance", configs::three_layer_single_tso()),
+        (
+            "Without partition-by-instance",
+            configs::three_layer_single_tso(),
+        ),
         (
             "With partition-by-instance",
             configs::three_layer(params.flights.min(16)),

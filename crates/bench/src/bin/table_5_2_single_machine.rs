@@ -29,9 +29,18 @@ fn main() {
     let clients = if options.quick { 8 } else { 16 };
 
     let systems = vec![
-        ("Monolithic 2PL (conventional DB)", configs::monolithic_2pl()),
-        ("Monolithic SSI (conventional DB)", configs::monolithic_ssi()),
-        ("Tebaldi, manual 3-layer MCC", configs::tebaldi_three_layer()),
+        (
+            "Monolithic 2PL (conventional DB)",
+            configs::monolithic_2pl(),
+        ),
+        (
+            "Monolithic SSI (conventional DB)",
+            configs::monolithic_ssi(),
+        ),
+        (
+            "Tebaldi, manual 3-layer MCC",
+            configs::tebaldi_three_layer(),
+        ),
         ("Tebaldi, initial auto config", configs::autoconf_initial()),
     ];
 

@@ -96,7 +96,9 @@ impl HistoryRecorder {
 
     /// Registers a starting transaction.
     pub fn begin(&self, txn: TxnId, ty: TxnTypeId, group: GroupId) {
-        self.inner.lock().insert(txn, TxnRecord::new(txn, ty, group));
+        self.inner
+            .lock()
+            .insert(txn, TxnRecord::new(txn, ty, group));
     }
 
     /// Records a read.

@@ -165,7 +165,11 @@ impl LockManager {
                             key,
                             mode,
                             newly,
-                            entry.holders.iter().map(|h| (h.txn, h.mode)).collect::<Vec<_>>()
+                            entry
+                                .holders
+                                .iter()
+                                .map(|h| (h.txn, h.mode))
+                                .collect::<Vec<_>>()
                         );
                     }
                     drop(entries);
@@ -189,7 +193,11 @@ impl LockManager {
                     if !blockers.contains(&holder.txn) {
                         blockers.push(holder.txn);
                     }
-                    if shard.released.wait_until(&mut entries, deadline).timed_out() {
+                    if shard
+                        .released
+                        .wait_until(&mut entries, deadline)
+                        .timed_out()
+                    {
                         drop(entries);
                         if let (Some(start), Some(blocker)) = (wait_started, first_blocker) {
                             env.record_block(ctx, blocker, start, Instant::now());
@@ -316,8 +324,10 @@ mod tests {
     fn shared_locks_are_compatible_across_lanes() {
         let (env, _) = env(50);
         let lm = LockManager::default();
-        lm.acquire(&env, &ctx(1), &k(1), 0, LockMode::Shared, "t").unwrap();
-        lm.acquire(&env, &ctx(2), &k(1), 1, LockMode::Shared, "t").unwrap();
+        lm.acquire(&env, &ctx(1), &k(1), 0, LockMode::Shared, "t")
+            .unwrap();
+        lm.acquire(&env, &ctx(2), &k(1), 1, LockMode::Shared, "t")
+            .unwrap();
         assert_eq!(lm.locked_key_count(), 1);
     }
 
@@ -325,9 +335,11 @@ mod tests {
     fn exclusive_conflicts_across_lanes_but_not_within() {
         let (env, _) = env(30);
         let lm = LockManager::default();
-        lm.acquire(&env, &ctx(1), &k(1), 0, LockMode::Exclusive, "t").unwrap();
+        lm.acquire(&env, &ctx(1), &k(1), 0, LockMode::Exclusive, "t")
+            .unwrap();
         // Same lane (same child subtree): compatible — the nexus rule.
-        lm.acquire(&env, &ctx(2), &k(1), 0, LockMode::Exclusive, "t").unwrap();
+        lm.acquire(&env, &ctx(2), &k(1), 0, LockMode::Exclusive, "t")
+            .unwrap();
         // Different lane: must time out.
         let err = lm
             .acquire(&env, &ctx(3), &k(1), 1, LockMode::Exclusive, "t")
@@ -340,7 +352,8 @@ mod tests {
         let (env, sink) = env(2_000);
         let env = Arc::new(env);
         let lm = Arc::new(LockManager::default());
-        lm.acquire(&env, &ctx(1), &k(7), 1, LockMode::Exclusive, "t").unwrap();
+        lm.acquire(&env, &ctx(1), &k(7), 1, LockMode::Exclusive, "t")
+            .unwrap();
 
         let lm2 = Arc::clone(&lm);
         let env2 = Arc::clone(&env);
@@ -363,8 +376,10 @@ mod tests {
     fn upgrade_shared_to_exclusive() {
         let (env, _) = env(30);
         let lm = LockManager::default();
-        lm.acquire(&env, &ctx(1), &k(3), 10, LockMode::Shared, "t").unwrap();
-        lm.acquire(&env, &ctx(1), &k(3), 10, LockMode::Exclusive, "t").unwrap();
+        lm.acquire(&env, &ctx(1), &k(3), 10, LockMode::Shared, "t")
+            .unwrap();
+        lm.acquire(&env, &ctx(1), &k(3), 10, LockMode::Exclusive, "t")
+            .unwrap();
         // Another lane can no longer share.
         assert!(lm
             .acquire(&env, &ctx(2), &k(3), 11, LockMode::Shared, "t")
@@ -378,12 +393,15 @@ mod tests {
     fn release_keys_partial() {
         let (env, _) = env(30);
         let lm = LockManager::default();
-        lm.acquire(&env, &ctx(1), &k(1), 1, LockMode::Exclusive, "t").unwrap();
-        lm.acquire(&env, &ctx(1), &k(2), 1, LockMode::Exclusive, "t").unwrap();
+        lm.acquire(&env, &ctx(1), &k(1), 1, LockMode::Exclusive, "t")
+            .unwrap();
+        lm.acquire(&env, &ctx(1), &k(2), 1, LockMode::Exclusive, "t")
+            .unwrap();
         lm.release_keys(TxnId(1), &[k(1)]);
         assert_eq!(lm.keys_held_by(TxnId(1)), vec![k(2)]);
         // Key 1 is free for another lane now.
-        lm.acquire(&env, &ctx(2), &k(1), 2, LockMode::Exclusive, "t").unwrap();
+        lm.acquire(&env, &ctx(2), &k(1), 2, LockMode::Exclusive, "t")
+            .unwrap();
     }
 
     #[test]
@@ -392,7 +410,8 @@ mod tests {
         let lm = LockManager::default();
         let lane1 = Lane::leaf().lock_lane(TxnId(1));
         let lane2 = Lane::leaf().lock_lane(TxnId(2));
-        lm.acquire(&env, &ctx(1), &k(5), lane1, LockMode::Exclusive, "t").unwrap();
+        lm.acquire(&env, &ctx(1), &k(5), lane1, LockMode::Exclusive, "t")
+            .unwrap();
         assert!(lm
             .acquire(&env, &ctx(2), &k(5), lane2, LockMode::Exclusive, "t")
             .is_err());

@@ -20,9 +20,7 @@ use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tebaldi_storage::{
-    GroupId, Key, NodeId, Timestamp, TxnId, TxnTypeId, Value, VersionChain,
-};
+use tebaldi_storage::{GroupId, Key, NodeId, Timestamp, TxnId, TxnTypeId, Value, VersionChain};
 
 /// The relation between the executing transaction and the node whose
 /// mechanism is being invoked (see [`LaneSel`]). A `Lane` is passed to every
@@ -188,9 +186,7 @@ impl NodeEnv {
             return false;
         };
         match lane.sel {
-            LaneSel::Child(c) => {
-                self.topology.child_lane(self.node, writer_group) == Some(c)
-            }
+            LaneSel::Child(c) => self.topology.child_lane(self.node, writer_group) == Some(c),
             LaneSel::Leaf => self.topology.leaf_group(self.node) == Some(writer_group),
         }
     }
@@ -203,13 +199,7 @@ impl NodeEnv {
     }
 
     /// Records a blocking event if profiling is enabled.
-    pub fn record_block(
-        &self,
-        blocked: &TxnCtx,
-        blocking: TxnId,
-        start: Instant,
-        end: Instant,
-    ) {
+    pub fn record_block(&self, blocked: &TxnCtx, blocking: TxnId, start: Instant, end: Instant) {
         if !self.events.enabled() {
             return;
         }
@@ -336,6 +326,18 @@ pub trait CcMechanism: Send + Sync {
     /// engine separately waits for the transaction's dependency set, so
     /// mechanisms only check their own conditions here.
     fn validate(&self, _ctx: &mut TxnCtx, _lane: Lane) -> CcResult<()> {
+        Ok(())
+    }
+
+    /// Marks the transaction *prepared* for cross-shard two-phase commit:
+    /// after this returns `Ok`, the mechanism guarantees the transaction can
+    /// commit no matter what concurrent transactions do (a stable yes-vote).
+    /// Mechanisms that mark other transactions for death after their
+    /// validation (SSI's pivot dooming) must re-check here and then protect
+    /// the transaction — conflicting transactions discovered later abort
+    /// themselves instead. Lock-based mechanisms are stable by construction
+    /// and keep the default.
+    fn mark_prepared(&self, _ctx: &mut TxnCtx, _lane: Lane) -> CcResult<()> {
         Ok(())
     }
 

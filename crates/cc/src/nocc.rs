@@ -81,7 +81,13 @@ mod tests {
         chain.commit(TxnId(1), Timestamp(1));
         let mut ctx = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
         let pick = cc
-            .choose_version(&mut ctx, Lane::leaf(), &Key::simple(TableId(0), 1), None, &chain)
+            .choose_version(
+                &mut ctx,
+                Lane::leaf(),
+                &Key::simple(TableId(0), 1),
+                None,
+                &chain,
+            )
             .unwrap();
         assert_eq!(pick.value, Value::Int(7));
         // All other phases are no-ops and must not fail.

@@ -143,7 +143,10 @@ mod tests {
         assert_eq!(o.snapshot_ts(), a, "no in-flight commit: latest issued");
         let c1 = o.begin_commit();
         let c2 = o.begin_commit();
-        assert!(o.snapshot_ts() < c1, "snapshot must stay below every in-flight commit");
+        assert!(
+            o.snapshot_ts() < c1,
+            "snapshot must stay below every in-flight commit"
+        );
         o.end_commit(c1);
         assert!(o.snapshot_ts() < c2);
         o.end_commit(c2);
@@ -185,7 +188,10 @@ mod tests {
                 std::thread::spawn(move || (0..500).map(|_| o.issue().0).collect::<Vec<_>>())
             })
             .collect();
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 2000);

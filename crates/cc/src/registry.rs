@@ -256,9 +256,8 @@ mod tests {
         let r = Arc::new(TxnRegistry::default());
         r.register(TxnId(7), TxnTypeId(0), GroupId(0));
         let r2 = Arc::clone(&r);
-        let waiter = std::thread::spawn(move || {
-            r2.wait_finished(TxnId(7), Duration::from_secs(2)).unwrap()
-        });
+        let waiter =
+            std::thread::spawn(move || r2.wait_finished(TxnId(7), Duration::from_secs(2)).unwrap());
         std::thread::sleep(Duration::from_millis(20));
         r.mark_committed(TxnId(7), Timestamp(1));
         assert!(waiter.join().unwrap().is_committed());

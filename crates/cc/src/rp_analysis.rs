@@ -80,11 +80,8 @@ pub fn analyze(procedures: &[&ProcedureInfo]) -> RpPlan {
     }
 
     // Tarjan's strongly connected components.
-    let index_of: HashMap<TableId, usize> = tables
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (*t, i))
-        .collect();
+    let index_of: HashMap<TableId, usize> =
+        tables.iter().enumerate().map(|(i, t)| (*t, i)).collect();
     let n = tables.len();
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for (a, b) in &edges {
@@ -186,7 +183,11 @@ pub fn analyze(procedures: &[&ProcedureInfo]) -> RpPlan {
     for &c in &component {
         *comp_size.entry(c).or_insert(0) += 1;
     }
-    let merged_tables = comp_size.values().filter(|s| **s > 1).map(|s| *s).sum::<usize>();
+    let merged_tables = comp_size
+        .values()
+        .filter(|s| **s > 1)
+        .copied()
+        .sum::<usize>();
 
     let step_of: HashMap<TableId, usize> = tables
         .iter()

@@ -65,6 +65,10 @@ struct SsiTxnState {
     read_only_lane: bool,
     in_conflict: bool,
     out_conflict: bool,
+    /// Voted yes in a cross-shard two-phase commit: the vote is stable, so
+    /// a transaction that would turn this one into a pivot aborts itself
+    /// instead (prepared transactions have priority).
+    prepared: bool,
     write_keys: Vec<Key>,
     read_keys: Vec<Key>,
 }
@@ -188,6 +192,7 @@ impl CcMechanism for Ssi {
                 read_only_lane,
                 in_conflict: false,
                 out_conflict: false,
+                prepared: false,
                 write_keys: Vec::new(),
                 read_keys: Vec::new(),
             },
@@ -217,15 +222,25 @@ impl CcMechanism for Ssi {
                 }
             }
             if let Some(state) = shared.txns.get_mut(&reader) {
+                if state.prepared && state.in_conflict {
+                    // This write would make a prepared (voted-yes)
+                    // transaction a pivot, but its vote can no longer be
+                    // revoked — the discovering writer aborts instead.
+                    return Err(CcError::Conflict {
+                        mechanism: "SSI",
+                        reason: "write would doom a prepared transaction",
+                    });
+                }
                 state.out_conflict = true;
                 if state.in_conflict {
                     self.doomed.doom(reader);
                 }
             }
         }
-        let state = shared.txns.get_mut(&ctx.txn).ok_or(CcError::Internal(
-            "SSI: write before begin".to_string(),
-        ))?;
+        let state = shared
+            .txns
+            .get_mut(&ctx.txn)
+            .ok_or(CcError::Internal("SSI: write before begin".to_string()))?;
         if we_gain_in {
             state.in_conflict = true;
             if state.out_conflict {
@@ -283,16 +298,15 @@ impl CcMechanism for Ssi {
                 .rev()
                 .find(|v| v.is_committed() && matches!(v.commit_ts, Some(c) if c > start_ts))
                 .map(|v| v.writer);
-        } else if let Some(other) = chain
-            .uncommitted()
-            .find(|v| v.writer != ctx.txn && {
+        } else if let Some(other) = chain.uncommitted().find(|v| {
+            v.writer != ctx.txn && {
                 let writer_lane = self
                     .env
                     .group_of(v.writer)
                     .and_then(|g| self.env.topology.child_lane(self.env.node, g));
                 writer_lane.is_none() || writer_lane != my_lane
-            })
-        {
+            }
+        }) {
             missed_writer = Some(other.writer);
         }
         if let Some(writer) = missed_writer {
@@ -303,9 +317,15 @@ impl CcMechanism for Ssi {
                 }
             }
             if let Some(them) = shared.txns.get_mut(&writer) {
-                them.in_conflict = true;
-                if them.out_conflict {
-                    self.doomed.doom(writer);
+                if them.prepared && them.out_conflict {
+                    // Dooming a prepared transaction is forbidden (stable
+                    // yes-vote): the reader sacrifices itself instead.
+                    ctx.must_abort = true;
+                } else {
+                    them.in_conflict = true;
+                    if them.out_conflict {
+                        self.doomed.doom(writer);
+                    }
                 }
             }
         }
@@ -342,6 +362,34 @@ impl CcMechanism for Ssi {
                 reason: "pivot (validation)",
             });
         }
+        Ok(())
+    }
+
+    fn mark_prepared(&self, ctx: &mut TxnCtx, lane: Lane) -> CcResult<()> {
+        if self.is_read_only_lane(lane) {
+            return Ok(());
+        }
+        let mut shared = self.shared.lock();
+        // Re-check under the shared lock: a doom may have landed between
+        // validation and this call.
+        if self.doomed.take(ctx.txn) {
+            return Err(CcError::Conflict {
+                mechanism: "SSI",
+                reason: "pivot detected at prepare",
+            });
+        }
+        let Some(state) = shared.txns.get_mut(&ctx.txn) else {
+            return Ok(());
+        };
+        if state.in_conflict && state.out_conflict {
+            return Err(CcError::Conflict {
+                mechanism: "SSI",
+                reason: "pivot (prepare)",
+            });
+        }
+        // From here on the yes-vote is stable: conflict discovery that
+        // would doom this transaction aborts the discoverer instead.
+        state.prepared = true;
         Ok(())
     }
 
@@ -536,6 +584,60 @@ mod tests {
         assert!(ssi
             .check_first_committer_wins(&a, &chain, Lane::child(0))
             .is_err());
+    }
+
+    #[test]
+    fn prepared_vote_is_stable_against_late_pivot() {
+        // T prepares (voted yes in 2PC) with an incoming anti-dependency;
+        // a later writer that would give T the outgoing edge — making it a
+        // pivot after its vote — must abort itself instead.
+        let (ssi, registry) = setup(false);
+        registry.register(TxnId(1), TxnTypeId(0), GroupId(0));
+        registry.register(TxnId(2), TxnTypeId(1), GroupId(1));
+        let mut t = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut u = TxnCtx::new(TxnId(2), TxnTypeId(1), GroupId(1));
+        ssi.begin(&mut t, Lane::child(0)).unwrap();
+        ssi.begin(&mut u, Lane::child(1)).unwrap();
+
+        let empty = VersionChain::new();
+        // T reads x (registers as reader of x) and writes y.
+        let _ = ssi.choose_version(&mut t, Lane::child(0), &k(1), None, &empty);
+        ssi.before_write(&mut t, Lane::child(0), &k(2)).unwrap();
+        // U reads y and misses T's uncommitted write: U -rw-> T gives T the
+        // incoming edge.
+        let mut y_chain = VersionChain::new();
+        y_chain.install(Version {
+            id: VersionId(10),
+            writer: TxnId(1),
+            value: Value::Int(1),
+            state: VersionState::Uncommitted,
+            commit_ts: None,
+            order_ts: None,
+        });
+        let _ = ssi.choose_version(&mut u, Lane::child(1), &k(2), None, &y_chain);
+
+        // T validates and stabilizes its yes-vote.
+        ssi.validate(&mut t, Lane::child(0)).unwrap();
+        ssi.mark_prepared(&mut t, Lane::child(0)).unwrap();
+
+        // U now writes x, which would complete T's pivot (T -rw-> U): U
+        // must be rejected, T must stay committable.
+        let result = ssi.before_write(&mut u, Lane::child(1), &k(1));
+        assert!(result.is_err(), "writer dooming a prepared txn must abort");
+        ssi.abort(&mut u, Lane::child(1));
+        assert!(!ssi.doomed.is_doomed(TxnId(1)), "prepared txn stays clean");
+        ssi.commit(&mut t, Lane::child(0), Timestamp(5));
+    }
+
+    #[test]
+    fn doomed_before_prepare_is_rejected_at_prepare() {
+        let (ssi, registry) = setup(false);
+        registry.register(TxnId(1), TxnTypeId(0), GroupId(0));
+        let mut t = TxnCtx::new(TxnId(1), TxnTypeId(0), GroupId(0));
+        ssi.begin(&mut t, Lane::child(0)).unwrap();
+        // A doom that lands between validate and mark_prepared is caught.
+        ssi.doomed.doom(TxnId(1));
+        assert!(ssi.mark_prepared(&mut t, Lane::child(0)).is_err());
     }
 
     #[test]

@@ -100,12 +100,7 @@ impl CcNodeSpec {
 
     /// Depth of the subtree (a single leaf has depth 1).
     pub fn depth(&self) -> usize {
-        1 + self
-            .children
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children.iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     fn describe_into(&self, indent: usize, out: &mut String) {
@@ -173,7 +168,9 @@ impl CcTreeSpec {
             }
             for ty in &node.txn_types {
                 if !seen.insert(*ty) {
-                    return Err(format!("transaction type {ty:?} assigned to multiple groups"));
+                    return Err(format!(
+                        "transaction type {ty:?} assigned to multiple groups"
+                    ));
                 }
             }
             for child in &node.children {
@@ -456,8 +453,7 @@ impl CcTree {
                     // Read-only-root optimisation (§4.4.3): at the root with
                     // at most one update child subtree, batching is
                     // unnecessary.
-                    let update_lanes =
-                        child_count.saturating_sub(read_only_lanes.len() as u32);
+                    let update_lanes = child_count.saturating_sub(read_only_lanes.len() as u32);
                     let config = if is_root && update_lanes <= 1 {
                         SsiConfig::root_read_only(read_only_lanes.iter().copied())
                     } else {
@@ -621,7 +617,10 @@ mod tests {
         set.insert(ProcedureInfo::new(
             TxnTypeId(0),
             "update_a",
-            vec![(TableId(0), AccessMode::Write), (TableId(1), AccessMode::Write)],
+            vec![
+                (TableId(0), AccessMode::Write),
+                (TableId(1), AccessMode::Write),
+            ],
         ));
         set.insert(ProcedureInfo::new(
             TxnTypeId(1),
@@ -631,7 +630,10 @@ mod tests {
         set.insert(ProcedureInfo::new(
             TxnTypeId(2),
             "read_all",
-            vec![(TableId(0), AccessMode::Read), (TableId(1), AccessMode::Read)],
+            vec![
+                (TableId(0), AccessMode::Read),
+                (TableId(1), AccessMode::Read),
+            ],
         ));
         set
     }

@@ -128,13 +128,15 @@ impl CcMechanism for Tso {
                 .wait_until(&mut shared, deadline)
                 .timed_out()
             {
-                self.env.record_block(ctx, writer, wait_start, Instant::now());
+                self.env
+                    .record_block(ctx, writer, wait_start, Instant::now());
                 return Err(CcError::Timeout {
                     mechanism: "TSO",
                     what: "promised write",
                 });
             }
-            self.env.record_block(ctx, writer, wait_start, Instant::now());
+            self.env
+                .record_block(ctx, writer, wait_start, Instant::now());
         }
     }
 
@@ -263,8 +265,7 @@ impl CcMechanism for Tso {
             .iter()
             .rev()
             .find(|v| {
-                let in_group =
-                    v.writer == ctx.txn || self.env.same_group(lane, v.writer);
+                let in_group = v.writer == ctx.txn || self.env.same_group(lane, v.writer);
                 if in_group {
                     matches!(v.sort_ts(), Some(ts) if ts <= my_ts) || v.writer == ctx.txn
                 } else {
@@ -497,7 +498,9 @@ mod tests {
         tso.register_promises(&writer, &[k(6)]);
         let mut reader = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));
         tso.begin(&mut reader, Lane::leaf()).unwrap();
-        let err = tso.before_read(&mut reader, Lane::leaf(), &k(6)).unwrap_err();
+        let err = tso
+            .before_read(&mut reader, Lane::leaf(), &k(6))
+            .unwrap_err();
         assert!(matches!(err, CcError::Timeout { .. }));
         // Aborting the promiser releases the promise.
         tso.abort(&mut writer, Lane::leaf());

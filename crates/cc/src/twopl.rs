@@ -88,10 +88,7 @@ impl CcMechanism for TwoPl {
         // own group (the child is responsible for those conflicts), else
         // return the latest committed value.
         if let Some(pick) = &candidate {
-            if pick.writer == ctx.txn
-                || pick.committed
-                || self.env.same_group(lane, pick.writer)
-            {
+            if pick.writer == ctx.txn || pick.committed || self.env.same_group(lane, pick.writer) {
                 return candidate;
             }
         }

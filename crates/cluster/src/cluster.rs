@@ -1,0 +1,671 @@
+//! The cluster facade: N independent [`Database`] shards behind a
+//! [`ShardRouter`], per-shard worker pools, and the cross-shard 2PC
+//! coordinator.
+
+use crate::coordinator::{CoordinatorStats, TxnCoordinator};
+use crate::router::{Partitioning, Routing, ShardRouter};
+use crate::worker::{ShardOp, ShardWorkers, Ticket};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tebaldi_cc::{CcResult, CcTreeSpec, ProcedureSet};
+use tebaldi_core::{Database, DbConfig, ProcedureCall, Txn};
+use tebaldi_storage::recovery::{recover_with_resolver, RecoveryReport};
+use tebaldi_storage::wal::{LogDevice, MemLogDevice};
+use tebaldi_storage::{MvStore, Value};
+
+/// Cluster-level configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of database shards.
+    pub shards: usize,
+    /// Worker threads serving each shard's mailbox.
+    pub workers_per_shard: usize,
+    /// Engine configuration applied to every shard.
+    pub db_config: DbConfig,
+    /// Partition-key → shard mapping.
+    pub partitioning: Partitioning,
+}
+
+impl ClusterConfig {
+    /// A small cluster configuration for tests: modulo partitioning, two
+    /// workers per shard, the test engine config.
+    pub fn for_tests(shards: usize) -> Self {
+        ClusterConfig {
+            shards,
+            workers_per_shard: 2,
+            db_config: DbConfig::for_tests(),
+            partitioning: Partitioning::Range { span: 1 },
+        }
+    }
+
+    /// Benchmark configuration: modulo partitioning and enough workers to
+    /// keep a shard busy under closed-loop load.
+    pub fn for_benchmarks(shards: usize) -> Self {
+        ClusterConfig {
+            shards,
+            workers_per_shard: 4,
+            db_config: DbConfig::for_benchmarks(),
+            partitioning: Partitioning::Range { span: 1 },
+        }
+    }
+}
+
+/// One shard's part of a multi-shard transaction.
+pub struct ShardPart {
+    /// Target shard.
+    pub shard: usize,
+    /// The per-shard procedure call (type + instance seed + promises).
+    pub call: ProcedureCall,
+    /// The body to run against that shard.
+    pub op: ShardOp,
+}
+
+impl ShardPart {
+    /// Builds a part.
+    pub fn new(shard: usize, call: ProcedureCall, op: ShardOp) -> Self {
+        ShardPart { shard, call, op }
+    }
+}
+
+/// Aggregate counters across the cluster.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClusterStats {
+    /// Transactions committed across all shards (single- and multi-shard
+    /// parts both count on their shard).
+    pub committed: u64,
+    /// Aborted attempts across all shards.
+    pub aborted: u64,
+    /// Single-shard fast-path transactions executed through the cluster.
+    pub single_shard: u64,
+    /// Multi-shard 2PC transactions driven to a commit decision.
+    pub multi_shard: u64,
+    /// Coordinator activity.
+    pub coordinator: CoordinatorStats,
+}
+
+/// Builder for a [`Cluster`].
+pub struct ClusterBuilder {
+    config: ClusterConfig,
+    procedures: ProcedureSet,
+    spec: Option<CcTreeSpec>,
+    shard_logs: Option<Vec<Arc<dyn LogDevice>>>,
+    decision_log: Option<Arc<dyn LogDevice>>,
+    stores: Option<Vec<MvStore>>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder.
+    pub fn new(config: ClusterConfig) -> Self {
+        ClusterBuilder {
+            config,
+            procedures: ProcedureSet::new(),
+            spec: None,
+            shard_logs: None,
+            decision_log: None,
+            stores: None,
+        }
+    }
+
+    /// Registers the workload's procedure descriptions (shared by every
+    /// shard).
+    pub fn procedures(mut self, procedures: ProcedureSet) -> Self {
+        self.procedures = procedures;
+        self
+    }
+
+    /// Sets the MCC configuration installed on every shard.
+    pub fn cc_spec(mut self, spec: CcTreeSpec) -> Self {
+        self.spec = Some(spec);
+        self
+    }
+
+    /// Uses specific per-shard WAL devices (defaults to in-memory devices).
+    pub fn shard_logs(mut self, logs: Vec<Arc<dyn LogDevice>>) -> Self {
+        self.shard_logs = Some(logs);
+        self
+    }
+
+    /// Uses a specific coordinator decision-log device.
+    pub fn decision_log(mut self, log: Arc<dyn LogDevice>) -> Self {
+        self.decision_log = Some(log);
+        self
+    }
+
+    /// Opens the shards over existing (e.g. recovered) stores.
+    pub fn stores(mut self, stores: Vec<MvStore>) -> Self {
+        self.stores = Some(stores);
+        self
+    }
+
+    /// Builds and starts the cluster.
+    pub fn build(self) -> Result<Cluster, String> {
+        let spec = self.spec.ok_or("a CC-tree specification is required")?;
+        let n = self.config.shards;
+        if n == 0 {
+            return Err("a cluster needs at least one shard".to_string());
+        }
+        let shard_logs = match self.shard_logs {
+            Some(logs) => {
+                if logs.len() != n {
+                    return Err(format!("expected {n} shard logs, got {}", logs.len()));
+                }
+                logs
+            }
+            None => (0..n)
+                .map(|_| Arc::new(MemLogDevice::new()) as Arc<dyn LogDevice>)
+                .collect(),
+        };
+        let stores: Vec<Option<MvStore>> = match self.stores {
+            Some(stores) => {
+                if stores.len() != n {
+                    return Err(format!("expected {n} stores, got {}", stores.len()));
+                }
+                stores.into_iter().map(Some).collect()
+            }
+            None => (0..n).map(|_| None).collect(),
+        };
+
+        let mut shards = Vec::with_capacity(n);
+        for (index, (log, store)) in shard_logs.iter().zip(stores).enumerate() {
+            let mut builder = Database::builder(self.config.db_config.clone())
+                .procedures(self.procedures.clone())
+                .cc_spec(spec.clone())
+                .log_device(Arc::clone(log));
+            if let Some(store) = store {
+                builder = builder.store(store);
+            }
+            let db = Arc::new(builder.build()?);
+            shards.push(ShardWorkers::spawn(
+                index,
+                db,
+                self.config.workers_per_shard,
+            ));
+        }
+
+        let decision_log = self
+            .decision_log
+            .unwrap_or_else(|| Arc::new(MemLogDevice::new()) as Arc<dyn LogDevice>);
+        Ok(Cluster {
+            router: ShardRouter::new(n, self.config.partitioning),
+            coordinator: TxnCoordinator::new(decision_log),
+            shards,
+            shard_logs,
+            config: self.config,
+            single_shard: AtomicU64::new(0),
+            multi_shard: AtomicU64::new(0),
+        })
+    }
+}
+
+/// N database shards, a router, worker pools, and a 2PC coordinator.
+pub struct Cluster {
+    router: ShardRouter,
+    coordinator: TxnCoordinator,
+    shards: Vec<Arc<ShardWorkers>>,
+    shard_logs: Vec<Arc<dyn LogDevice>>,
+    config: ClusterConfig,
+    single_shard: AtomicU64,
+    multi_shard: AtomicU64,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Shorthand builder entry point.
+    pub fn builder(config: ClusterConfig) -> ClusterBuilder {
+        ClusterBuilder::new(config)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The router (workloads use it to place their partition keys).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// The 2PC coordinator.
+    pub fn coordinator(&self) -> &TxnCoordinator {
+        &self.coordinator
+    }
+
+    /// A shard's database (loaders write through it directly).
+    pub fn shard(&self, index: usize) -> &Arc<Database> {
+        self.shards[index].db()
+    }
+
+    /// A shard's WAL device (crash/recovery tests).
+    pub fn shard_log(&self, index: usize) -> Arc<dyn LogDevice> {
+        Arc::clone(&self.shard_logs[index])
+    }
+
+    /// Routes a partition key.
+    pub fn shard_of(&self, partition_key: u64) -> usize {
+        self.router.shard_of(partition_key)
+    }
+
+    /// Classifies a transaction's partition keys.
+    pub fn classify(&self, partition_keys: impl IntoIterator<Item = u64>) -> Routing {
+        self.router.classify(partition_keys)
+    }
+
+    /// Single-shard fast path: the caller thread delegates straight to the
+    /// shard's four-phase protocol (no mailbox hop). Returns the body result
+    /// and the number of aborted attempts.
+    pub fn execute_single<R>(
+        &self,
+        shard: usize,
+        call: &ProcedureCall,
+        max_attempts: usize,
+        body: impl FnMut(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<(R, usize)> {
+        self.single_shard.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard]
+            .db()
+            .execute_with_retry(call, max_attempts, body)
+    }
+
+    /// Asynchronous submission through the shard's batched mailbox.
+    pub fn submit(
+        &self,
+        shard: usize,
+        call: ProcedureCall,
+        op: ShardOp,
+        max_attempts: usize,
+    ) -> Ticket<CcResult<Value>> {
+        self.single_shard.fetch_add(1, Ordering::Relaxed);
+        self.shards[shard].submit_execute(call, op, max_attempts)
+    }
+
+    /// Runs one multi-shard transaction through two-phase commit. Every
+    /// part prepares on its shard in parallel; when all vote yes the commit
+    /// decision is logged (the commit point) and applied everywhere.
+    /// Returns the parts' results in submission order.
+    pub fn execute_multi(&self, parts: Vec<ShardPart>) -> CcResult<Vec<Value>> {
+        if parts.len() < 2 {
+            return Err(tebaldi_cc::CcError::Internal(
+                "multi-shard execution needs at least two parts; use execute_single".to_string(),
+            ));
+        }
+        let shards: Vec<usize> = parts.iter().map(|p| p.shard).collect();
+        {
+            // Two parts on one shard would share the global id in the
+            // shard's in-doubt table: the second prepare would silently
+            // replace (and thereby abort) the first, breaking atomicity.
+            let mut sorted = shards.clone();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                return Err(tebaldi_cc::CcError::Internal(
+                    "each shard may contribute at most one part of a multi-shard transaction"
+                        .to_string(),
+                ));
+            }
+            if let Some(&out_of_range) = sorted.iter().find(|&&s| s >= self.shards.len()) {
+                return Err(tebaldi_cc::CcError::Internal(format!(
+                    "part targets shard {out_of_range}, but the cluster has {} shards",
+                    self.shards.len()
+                )));
+            }
+        }
+
+        self.multi_shard.fetch_add(1, Ordering::Relaxed);
+        let global = self.coordinator.begin_global();
+
+        // Phase one: prepare everywhere in parallel.
+        let tickets: Vec<Ticket<CcResult<Value>>> = parts
+            .into_iter()
+            .map(|part| self.shards[part.shard].submit_prepare(global, part.call, part.op))
+            .collect();
+        let mut values = Vec::with_capacity(tickets.len());
+        let mut failure: Option<tebaldi_cc::CcError> = None;
+        for ticket in tickets {
+            match ticket.wait().and_then(|vote| vote) {
+                Ok(value) => values.push(value),
+                Err(err) => {
+                    // Keep collecting: every vote must resolve before the
+                    // decision is sent.
+                    if failure.is_none() {
+                        failure = Some(err);
+                    }
+                }
+            }
+        }
+
+        // Phase two: decide. Decisions apply inline on this thread —
+        // commit of a prepared transaction is infallible and lock-free to
+        // reach, and queuing it behind other mailbox work would stretch the
+        // window in which prepared locks are held.
+        match failure {
+            None => {
+                // Commit point: the decision is durable before any shard
+                // learns about it.
+                self.coordinator.log_commit(global);
+                for &shard in &shards {
+                    self.shards[shard].decide(global, true);
+                }
+                Ok(values)
+            }
+            Some(err) => {
+                self.coordinator.log_abort(global);
+                for &shard in &shards {
+                    self.shards[shard].decide(global, false);
+                }
+                Err(err)
+            }
+        }
+    }
+
+    /// Retries [`execute_multi`](Cluster::execute_multi) on retryable
+    /// conflicts, rebuilding the parts each attempt (distributed deadlocks
+    /// resolve through lock timeouts, so retry is the normal path under
+    /// contention). Returns the results and the number of aborted attempts.
+    pub fn execute_multi_with_retry(
+        &self,
+        max_attempts: usize,
+        mut parts: impl FnMut() -> Vec<ShardPart>,
+    ) -> CcResult<(Vec<Value>, usize)> {
+        let mut aborts = 0;
+        loop {
+            match self.execute_multi(parts()) {
+                Ok(values) => return Ok((values, aborts)),
+                Err(err) if err.is_retryable() && aborts + 1 < max_attempts => {
+                    aborts += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        200 * aborts.min(10) as u64,
+                    ));
+                }
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Loads a key on the shard owning `partition_key`, bypassing
+    /// concurrency control (workload loaders).
+    pub fn load(&self, partition_key: u64, key: tebaldi_storage::Key, value: Value) {
+        self.shard(self.shard_of(partition_key)).load(key, value);
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ClusterStats {
+        let mut stats = ClusterStats {
+            single_shard: self.single_shard.load(Ordering::Relaxed),
+            multi_shard: self.multi_shard.load(Ordering::Relaxed),
+            coordinator: self.coordinator.stats(),
+            ..ClusterStats::default()
+        };
+        for shard in &self.shards {
+            let snapshot = shard.db().stats();
+            stats.committed += snapshot.committed;
+            stats.aborted += snapshot.aborted;
+        }
+        stats
+    }
+
+    /// Resets per-shard engine counters (between benchmark phases).
+    pub fn reset_stats(&self) {
+        for shard in &self.shards {
+            shard.db().reset_stats();
+        }
+    }
+
+    /// Number of prepared transactions currently in doubt across shards.
+    pub fn in_doubt_count(&self) -> usize {
+        self.shards.iter().map(|s| s.in_doubt_count()).sum()
+    }
+
+    /// Stops worker pools and shuts down every shard.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.shutdown();
+        }
+        for shard in &self.shards {
+            shard.db().shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Recovers every shard store from its WAL, resolving in-doubt prepared
+/// transactions against the coordinator's decision log: a prepared global
+/// id commits iff the decision log holds a durable commit decision for it
+/// (presumed abort otherwise). Returns one `(store, report)` per shard, in
+/// shard order; reopen them with
+/// [`ClusterBuilder::stores`].
+pub fn recover_cluster(
+    shard_logs: &[Arc<dyn LogDevice>],
+    decision_log: &dyn LogDevice,
+    shards_per_store: usize,
+) -> Vec<(MvStore, RecoveryReport)> {
+    let decisions: HashSet<u64> = decision_log
+        .read_back()
+        .into_iter()
+        .filter_map(|record| match record {
+            tebaldi_storage::wal::LogRecord::Decision {
+                global,
+                commit: true,
+            } => Some(global),
+            _ => None,
+        })
+        .collect();
+    shard_logs
+        .iter()
+        .map(|log| {
+            recover_with_resolver(log.as_ref(), MvStore::new(shards_per_store), &|global| {
+                decisions.contains(&global)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tebaldi_cc::{AccessMode, CcKind, ProcedureInfo};
+    use tebaldi_storage::{Key, TableId, TxnTypeId};
+
+    const TABLE: TableId = TableId(0);
+    const TY: TxnTypeId = TxnTypeId(0);
+
+    fn procedures() -> ProcedureSet {
+        let mut set = ProcedureSet::new();
+        set.insert(ProcedureInfo::new(
+            TY,
+            "transfer",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        set
+    }
+
+    fn cluster(shards: usize) -> Cluster {
+        let mut config = ClusterConfig::for_tests(shards);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        Cluster::builder(config)
+            .procedures(procedures())
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+            .build()
+            .unwrap()
+    }
+
+    fn account_key(account: u64) -> Key {
+        Key::simple(TABLE, account)
+    }
+
+    fn balance(cluster: &Cluster, account: u64) -> i64 {
+        let shard = cluster.shard_of(account);
+        let (value, _) = cluster
+            .execute_single(shard, &ProcedureCall::new(TY), 10, |txn| {
+                txn.get(account_key(account))
+            })
+            .unwrap();
+        value.and_then(|v| v.as_int()).unwrap_or(0)
+    }
+
+    #[test]
+    fn cross_shard_transfer_commits_atomically() {
+        let cluster = cluster(4);
+        // Accounts 1 and 2 live on different shards under modulo routing.
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(100));
+        assert!(!cluster.classify([1u64, 2u64]).is_single());
+
+        let parts = vec![
+            ShardPart::new(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                Box::new(|txn| txn.increment(account_key(1), 0, -30).map(Value::Int)),
+            ),
+            ShardPart::new(
+                cluster.shard_of(2),
+                ProcedureCall::new(TY),
+                Box::new(|txn| txn.increment(account_key(2), 0, 30).map(Value::Int)),
+            ),
+        ];
+        let values = cluster.execute_multi(parts).unwrap();
+        assert_eq!(values, vec![Value::Int(70), Value::Int(130)]);
+        assert_eq!(balance(&cluster, 1), 70);
+        assert_eq!(balance(&cluster, 2), 130);
+        assert_eq!(cluster.in_doubt_count(), 0);
+        assert_eq!(cluster.stats().multi_shard, 1);
+        assert_eq!(cluster.coordinator().stats().committed, 1);
+    }
+
+    #[test]
+    fn failed_part_aborts_every_shard() {
+        let cluster = cluster(2);
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(100));
+        let parts = vec![
+            ShardPart::new(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                Box::new(|txn| txn.increment(account_key(1), 0, -30).map(Value::Int)),
+            ),
+            ShardPart::new(
+                cluster.shard_of(2),
+                ProcedureCall::new(TY),
+                Box::new(|txn| {
+                    txn.increment(account_key(2), 0, 30)?;
+                    Err(txn.request_abort())
+                }),
+            ),
+        ];
+        assert!(cluster.execute_multi(parts).is_err());
+        assert_eq!(balance(&cluster, 1), 100, "debit must roll back");
+        assert_eq!(balance(&cluster, 2), 100, "credit must roll back");
+        assert_eq!(cluster.in_doubt_count(), 0);
+        assert_eq!(cluster.coordinator().stats().aborted, 1);
+    }
+
+    #[test]
+    fn recovery_resolves_in_doubt_against_decision_log() {
+        // Simulate a crash between prepare and decide: prepare both parts
+        // by hand, log the commit decision, then "crash" (drop without
+        // deciding) and recover from the WALs + decision log.
+        let cluster = cluster(2);
+        cluster.load(1, account_key(1), Value::Int(50));
+        cluster.load(2, account_key(2), Value::Int(50));
+        // Baseline commits so the recovered stores have the loads hardened.
+        for account in [1u64, 2u64] {
+            let shard = cluster.shard_of(account);
+            cluster
+                .execute_single(shard, &ProcedureCall::new(TY), 10, |txn| {
+                    txn.increment(account_key(account), 0, 0)
+                })
+                .unwrap();
+        }
+
+        let global = cluster.coordinator().begin_global();
+        let (_, p1) = cluster
+            .shard(cluster.shard_of(1))
+            .prepare(&ProcedureCall::new(TY), global, |txn| {
+                txn.increment(account_key(1), 0, -20)
+            })
+            .unwrap();
+        let (_, p2) = cluster
+            .shard(cluster.shard_of(2))
+            .prepare(&ProcedureCall::new(TY), global, |txn| {
+                txn.increment(account_key(2), 0, 20)
+            })
+            .unwrap();
+        for index in 0..2 {
+            cluster.shard(index).durability().seal_current_epoch();
+        }
+        // Commit point reached...
+        cluster.coordinator().log_commit(global);
+        let logs: Vec<Arc<dyn LogDevice>> = (0..2).map(|index| cluster.shard_log(index)).collect();
+        let decision_log = cluster.coordinator().decision_log();
+        // ...then the cluster crashes before the decision is delivered.
+        std::mem::forget(p1);
+        std::mem::forget(p2);
+
+        let recovered = recover_cluster(&logs, decision_log.as_ref(), 4);
+        let mut balances = Vec::new();
+        for (store, report) in &recovered {
+            assert_eq!(report.in_doubt, 1);
+            assert_eq!(report.in_doubt_committed, 1, "decision log says commit");
+            for account in [1u64, 2u64] {
+                if let Some(v) = store.read(
+                    &account_key(account),
+                    tebaldi_storage::ReadSpec::LatestCommitted,
+                ) {
+                    balances.push(v.as_int().unwrap());
+                }
+            }
+        }
+        balances.sort_unstable();
+        assert_eq!(balances, vec![30, 70], "the transfer survived the crash");
+    }
+
+    #[test]
+    fn undecided_prepare_presumed_aborted_on_recovery() {
+        let cluster = cluster(2);
+        cluster.load(1, account_key(1), Value::Int(50));
+        let shard = cluster.shard_of(1);
+        cluster
+            .execute_single(shard, &ProcedureCall::new(TY), 10, |txn| {
+                txn.increment(account_key(1), 0, 0)
+            })
+            .unwrap();
+        cluster.shard(shard).durability().seal_current_epoch();
+        let global = cluster.coordinator().begin_global();
+        let (_, prepared) = cluster
+            .shard(shard)
+            .prepare(&ProcedureCall::new(TY), global, |txn| {
+                txn.increment(account_key(1), 0, -20)
+            })
+            .unwrap();
+        // Crash with no decision logged.
+        let log = cluster.shard_log(shard);
+        let decision_log = cluster.coordinator().decision_log();
+        std::mem::forget(prepared);
+
+        let recovered = recover_cluster(&[log], decision_log.as_ref(), 4);
+        let (store, report) = &recovered[0];
+        assert_eq!(report.in_doubt, 1);
+        assert_eq!(report.in_doubt_aborted, 1);
+        assert_eq!(
+            store.read(&account_key(1), tebaldi_storage::ReadSpec::LatestCommitted),
+            Some(Value::Int(50)),
+            "presumed abort keeps the old balance"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! The cross-shard two-phase-commit coordinator.
+//!
+//! A multi-shard transaction splits into per-shard parts. The coordinator
+//! assigns a cluster-global id, asks every participant shard to *prepare*
+//! its part (run it through execution, validation, and the dependency wait,
+//! then harden a `Prepare` WAL record and hold the locks), and collects the
+//! votes:
+//!
+//! * **all yes** — the coordinator flushes a `Decision { commit: true }`
+//!   record to its own decision log (*the commit point*), then tells every
+//!   shard to commit;
+//! * **any no** — it tells the prepared shards to abort. No decision record
+//!   is needed: recovery presumes abort for undecided global ids.
+//!
+//! A shard crash between prepare and decision leaves the transaction *in
+//! doubt* on that shard; shard recovery resolves it against this decision
+//! log (see `tebaldi_storage::recovery::recover_with_resolver`).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tebaldi_storage::wal::{LogDevice, LogRecord, MemLogDevice};
+use tebaldi_storage::{Timestamp, TxnId};
+
+/// Counters describing coordinator activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CoordinatorStats {
+    /// Global transactions that reached the commit point.
+    pub committed: u64,
+    /// Global transactions aborted by a "no" vote (or coordinator error).
+    pub aborted: u64,
+}
+
+/// Assigns global transaction ids and owns the decision log.
+pub struct TxnCoordinator {
+    next_global: AtomicU64,
+    decision_log: Arc<dyn LogDevice>,
+    committed: AtomicU64,
+    aborted: AtomicU64,
+}
+
+impl std::fmt::Debug for TxnCoordinator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnCoordinator")
+            .field("next_global", &self.next_global.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl TxnCoordinator {
+    /// A coordinator over the given decision-log device.
+    pub fn new(decision_log: Arc<dyn LogDevice>) -> Self {
+        // Resume the id sequence above anything already decided, so global
+        // ids stay unique across coordinator restarts.
+        let mut floor = 1;
+        for record in decision_log.read_back() {
+            if let LogRecord::Decision { global, .. } = record {
+                floor = floor.max(global + 1);
+            }
+        }
+        TxnCoordinator {
+            next_global: AtomicU64::new(floor),
+            decision_log,
+            committed: AtomicU64::new(0),
+            aborted: AtomicU64::new(0),
+        }
+    }
+
+    /// A coordinator with an in-memory decision log (tests, durability-off
+    /// clusters).
+    pub fn in_memory() -> Self {
+        TxnCoordinator::new(Arc::new(MemLogDevice::new()))
+    }
+
+    /// Starts a new global transaction.
+    pub fn begin_global(&self) -> u64 {
+        self.next_global.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The commit point: durably records the commit decision for `global`.
+    /// Participants may only be told to commit after this returns.
+    pub fn log_commit(&self, global: u64) {
+        self.decision_log.append(&LogRecord::Decision {
+            global,
+            commit: true,
+        });
+        self.decision_log.flush();
+        self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an abort decision. Optional (absence implies abort), kept
+    /// for diagnostics and to stop recovery from re-asking about well-known
+    /// aborts.
+    pub fn log_abort(&self, global: u64) {
+        self.decision_log.append(&LogRecord::Decision {
+            global,
+            commit: false,
+        });
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The set of global ids with a durable commit decision.
+    pub fn committed_globals(&self) -> HashSet<u64> {
+        self.decision_log
+            .read_back()
+            .into_iter()
+            .filter_map(|record| match record {
+                LogRecord::Decision {
+                    global,
+                    commit: true,
+                } => Some(global),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The decision-log device (shared with recovery).
+    pub fn decision_log(&self) -> Arc<dyn LogDevice> {
+        Arc::clone(&self.decision_log)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> CoordinatorStats {
+        CoordinatorStats {
+            committed: self.committed.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Marker values some diagnostics use when a coordinator-side pseudo
+/// transaction needs storage types.
+pub const COORDINATOR_TXN: TxnId = TxnId(u64::MAX);
+/// Timestamp used for coordinator bookkeeping records.
+pub const COORDINATOR_TS: Timestamp = Timestamp(0);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decision_log_roundtrip() {
+        let coord = TxnCoordinator::in_memory();
+        let a = coord.begin_global();
+        let b = coord.begin_global();
+        assert_ne!(a, b);
+        coord.log_commit(a);
+        coord.log_abort(b);
+        let committed = coord.committed_globals();
+        assert!(committed.contains(&a));
+        assert!(!committed.contains(&b));
+        assert_eq!(coord.stats().committed, 1);
+        assert_eq!(coord.stats().aborted, 1);
+    }
+
+    #[test]
+    fn global_ids_resume_above_logged_decisions() {
+        let log: Arc<dyn LogDevice> = Arc::new(MemLogDevice::new());
+        {
+            let coord = TxnCoordinator::new(Arc::clone(&log));
+            let g = coord.begin_global();
+            coord.log_commit(g);
+        }
+        let restarted = TxnCoordinator::new(Arc::clone(&log));
+        let next = restarted.begin_global();
+        assert!(next > 1, "restarted coordinator must not reuse global ids");
+    }
+}

@@ -1,0 +1,38 @@
+//! # tebaldi-cluster
+//!
+//! Sharded multi-database federation for the Tebaldi reproduction: runs N
+//! independent [`Database`](tebaldi_core::Database) shards — each with its
+//! own hierarchical CC tree, multiversion store, and WAL — behind a
+//! [`ShardRouter`], and stitches cross-shard transactions together with a
+//! two-phase-commit [`TxnCoordinator`].
+//!
+//! The execution paths:
+//!
+//! * **single-shard fast path** — the router classifies the transaction's
+//!   partition keys; when they land on one shard, the call delegates
+//!   straight to that shard's existing four-phase protocol
+//!   ([`Cluster::execute_single`]), or asynchronously through the shard's
+//!   batched mailbox ([`Cluster::submit`]);
+//! * **multi-shard 2PC** — each participant shard *prepares* its part
+//!   (execute, validate, wait dependencies, flush a `Prepare` WAL record,
+//!   keep the locks), the coordinator logs the commit decision durably (the
+//!   commit point), and only then do the shards commit
+//!   ([`Cluster::execute_multi`]);
+//! * **recovery** — a shard crash between prepare and decision leaves the
+//!   transaction in doubt; [`recover_cluster`] resolves it against the
+//!   coordinator's decision log (presumed abort when no decision exists).
+//!
+//! The crate sits between `tebaldi-core` and the workloads in the
+//! dependency stack: `storage → cc → core → cluster → workloads/bench`.
+
+pub mod cluster;
+pub mod coordinator;
+pub mod router;
+pub mod worker;
+
+pub use cluster::{
+    recover_cluster, Cluster, ClusterBuilder, ClusterConfig, ClusterStats, ShardPart,
+};
+pub use coordinator::{CoordinatorStats, TxnCoordinator};
+pub use router::{Partitioning, Routing, ShardRouter};
+pub use worker::{ShardOp, ShardWorkers, Ticket};

@@ -1,0 +1,146 @@
+//! Shard routing: mapping a workload's partition attribute onto shards.
+//!
+//! Tebaldi's cluster architecture stores partitions on data servers; this
+//! reproduction runs each partition as a full [`Database`] shard with its
+//! own CC tree. The router maps a *partition key* — whatever attribute the
+//! workload partitions by (TPC-C: the warehouse id; SEATS: the flight id)
+//! — to a shard, and classifies a transaction's partition-key set as
+//! single-shard (fast path: execute directly on that shard's four-phase
+//! protocol) or multi-shard (two-phase commit through the coordinator).
+//!
+//! [`Database`]: tebaldi_core::Database
+
+use serde::{Deserialize, Serialize};
+
+/// How partition keys map to shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Partitioning {
+    /// Multiplicative hash of the partition key. Spreads skewed key spaces
+    /// but destroys locality of adjacent keys.
+    Hash,
+    /// Contiguous ranges of `span` partition keys per shard, wrapping
+    /// modulo the shard count. `span = 1` is plain modulo — the natural
+    /// choice for TPC-C warehouses.
+    Range {
+        /// Number of consecutive partition keys per range block.
+        span: u64,
+    },
+}
+
+/// Whether a transaction touches one shard or several.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Routing {
+    /// All partition keys live on a single shard.
+    Single(usize),
+    /// The distinct shards touched, ascending.
+    Multi(Vec<usize>),
+}
+
+impl Routing {
+    /// True for the single-shard fast path.
+    pub fn is_single(&self) -> bool {
+        matches!(self, Routing::Single(_))
+    }
+}
+
+/// Maps partition keys to shards.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    shards: usize,
+    partitioning: Partitioning,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards with the given partitioning function.
+    pub fn new(shards: usize, partitioning: Partitioning) -> Self {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        ShardRouter {
+            shards,
+            partitioning,
+        }
+    }
+
+    /// Hash partitioning.
+    pub fn hash(shards: usize) -> Self {
+        ShardRouter::new(shards, Partitioning::Hash)
+    }
+
+    /// Modulo/range partitioning with `span = 1` (TPC-C by warehouse).
+    pub fn modulo(shards: usize) -> Self {
+        ShardRouter::new(shards, Partitioning::Range { span: 1 })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `partition_key`.
+    pub fn shard_of(&self, partition_key: u64) -> usize {
+        match self.partitioning {
+            Partitioning::Hash => {
+                // Fibonacci hashing: cheap and well distributed.
+                let h = partition_key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                (h % self.shards as u64) as usize
+            }
+            Partitioning::Range { span } => {
+                let block = partition_key / span.max(1);
+                (block % self.shards as u64) as usize
+            }
+        }
+    }
+
+    /// Classifies the distinct shards touched by `partition_keys`.
+    pub fn classify(&self, partition_keys: impl IntoIterator<Item = u64>) -> Routing {
+        let mut shards: Vec<usize> = partition_keys
+            .into_iter()
+            .map(|k| self.shard_of(k))
+            .collect();
+        shards.sort_unstable();
+        shards.dedup();
+        match shards.as_slice() {
+            [] => Routing::Single(0),
+            [one] => Routing::Single(*one),
+            _ => Routing::Multi(shards),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_routing_is_stable_and_balanced() {
+        let r = ShardRouter::modulo(4);
+        for key in 0..64 {
+            assert_eq!(r.shard_of(key), (key % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn hash_routing_covers_all_shards() {
+        let r = ShardRouter::hash(8);
+        let mut seen = [false; 8];
+        for key in 0..1_000 {
+            seen[r.shard_of(key)] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "hash must reach every shard");
+    }
+
+    #[test]
+    fn classification() {
+        let r = ShardRouter::modulo(4);
+        assert_eq!(r.classify([1, 5, 9]), Routing::Single(1));
+        assert_eq!(r.classify([1, 2]), Routing::Multi(vec![1, 2]));
+        assert_eq!(r.classify([]), Routing::Single(0));
+        assert!(r.classify([3, 7]).is_single());
+    }
+
+    #[test]
+    fn range_span_keeps_adjacent_keys_together() {
+        let r = ShardRouter::new(2, Partitioning::Range { span: 10 });
+        assert_eq!(r.shard_of(0), r.shard_of(9));
+        assert_ne!(r.shard_of(9), r.shard_of(10));
+    }
+}

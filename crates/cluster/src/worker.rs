@@ -1,0 +1,327 @@
+//! Per-shard worker pools with a batched mailbox.
+//!
+//! Clients submit work to a shard asynchronously: a job lands in the
+//! shard's mailbox, one of the shard's worker threads drains a batch and
+//! executes the jobs against the shard [`Database`], and the result comes
+//! back through a [`Ticket`]. The 2PC coordinator submits its `Prepare`
+//! phase through the same mailbox (prepares of one global transaction run
+//! on their shards in parallel); decisions apply inline on the
+//! coordinator's thread so they never queue behind blocking prepares.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use tebaldi_cc::{CcError, CcResult};
+use tebaldi_core::{Database, PreparedTxn, ProcedureCall, Txn};
+use tebaldi_storage::Value;
+
+/// The body of a shard-local transaction (or transaction part). `FnMut`
+/// so the worker can retry aborted attempts of plain executions; prepare
+/// parts run exactly once per vote.
+pub type ShardOp = Box<dyn FnMut(&mut Txn<'_>) -> CcResult<Value> + Send>;
+
+/// One-shot result channel for an asynchronously submitted job.
+pub struct Ticket<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T> Ticket<T> {
+    /// Blocks until the shard worker delivers the result.
+    pub fn wait(self) -> CcResult<T> {
+        self.rx
+            .recv()
+            .map_err(|_| CcError::Internal("shard worker dropped the reply channel".to_string()))
+    }
+}
+
+pub(crate) enum Job {
+    /// Closed-loop execution with engine-side retry.
+    Execute {
+        call: ProcedureCall,
+        op: ShardOp,
+        max_attempts: usize,
+        reply: mpsc::Sender<CcResult<Value>>,
+    },
+    /// 2PC phase one: run the shard part up to the prepared state and park
+    /// it in the in-doubt table keyed by the cluster-global id.
+    Prepare {
+        global: u64,
+        call: ProcedureCall,
+        op: ShardOp,
+        reply: mpsc::Sender<CcResult<Value>>,
+    },
+    Shutdown,
+}
+
+/// How many jobs a worker drains from the mailbox per wakeup. Batching
+/// amortizes the channel synchronization under load without adding latency
+/// when the mailbox is shallow.
+const DRAIN_BATCH: usize = 16;
+
+/// The worker pool of one shard.
+pub struct ShardWorkers {
+    db: Arc<Database>,
+    tx: mpsc::Sender<Job>,
+    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    in_doubt: Arc<Mutex<HashMap<u64, PreparedTxn>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stopping: std::sync::atomic::AtomicBool,
+    workers: usize,
+}
+
+impl ShardWorkers {
+    /// Spawns `workers` threads serving `db`'s mailbox.
+    pub fn spawn(shard_index: usize, db: Arc<Database>, workers: usize) -> Arc<Self> {
+        let (tx, rx) = mpsc::channel();
+        let pool = Arc::new(ShardWorkers {
+            db,
+            tx,
+            rx: Arc::new(Mutex::new(rx)),
+            in_doubt: Arc::new(Mutex::new(HashMap::new())),
+            handles: Mutex::new(Vec::new()),
+            stopping: std::sync::atomic::AtomicBool::new(false),
+            workers: workers.max(1),
+        });
+        let mut handles = pool.handles.lock();
+        for worker in 0..pool.workers {
+            let pool_ref = Arc::clone(&pool);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tebaldi-shard-{shard_index}-worker-{worker}"))
+                    .spawn(move || pool_ref.run())
+                    .expect("spawn shard worker"),
+            );
+        }
+        drop(handles);
+        pool
+    }
+
+    /// The shard database served by this pool.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// Number of prepared transactions currently awaiting a decision.
+    pub fn in_doubt_count(&self) -> usize {
+        self.in_doubt.lock().len()
+    }
+
+    fn submit(&self, job: Job) {
+        // Send can only fail after shutdown; jobs are then dropped, which
+        // resolves their tickets with an Internal error.
+        let _ = self.tx.send(job);
+    }
+
+    /// Asynchronously executes a single-shard transaction with retry.
+    pub fn submit_execute(
+        &self,
+        call: ProcedureCall,
+        op: ShardOp,
+        max_attempts: usize,
+    ) -> Ticket<CcResult<Value>> {
+        let (reply, rx) = mpsc::channel();
+        self.submit(Job::Execute {
+            call,
+            op,
+            max_attempts,
+            reply,
+        });
+        Ticket { rx }
+    }
+
+    /// Asks the shard to prepare its part of global transaction `global`.
+    pub fn submit_prepare(
+        &self,
+        global: u64,
+        call: ProcedureCall,
+        op: ShardOp,
+    ) -> Ticket<CcResult<Value>> {
+        let (reply, rx) = mpsc::channel();
+        self.submit(Job::Prepare {
+            global,
+            call,
+            op,
+            reply,
+        });
+        Ticket { rx }
+    }
+
+    /// Applies the coordinator's decision for `global` inline on the
+    /// calling thread. Decisions never queue behind prepares in the
+    /// mailbox: a queued decision would stretch the window in which the
+    /// prepared transaction holds its locks and convoy the whole shard.
+    pub fn decide(&self, global: u64, commit: bool) {
+        let prepared = self.in_doubt.lock().remove(&global);
+        if let Some(prepared) = prepared {
+            if commit {
+                prepared.commit();
+            } else {
+                prepared.abort();
+            }
+        }
+    }
+
+    /// Stops every worker and joins them. Parked prepared transactions are
+    /// aborted by presumption when the pool drops its in-doubt table.
+    pub fn shutdown(&self) {
+        self.stopping
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        // One token is enough: each exiting worker forwards it so the next
+        // blocked worker wakes too (a worker may batch-drain several jobs,
+        // so per-worker tokens would not be reliable).
+        self.submit(Job::Shutdown);
+        let mut handles = self.handles.lock();
+        for handle in handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn run(&self) {
+        let mut batch: Vec<Job> = Vec::with_capacity(DRAIN_BATCH);
+        loop {
+            if self.stopping.load(std::sync::atomic::Ordering::SeqCst) {
+                // Forward the wakeup token before exiting.
+                let _ = self.tx.send(Job::Shutdown);
+                return;
+            }
+            batch.clear();
+            {
+                // Block for the first job, then opportunistically drain a
+                // batch while the mailbox lock is held. A 2PC prepare ends
+                // the batch: prepares can block on locks for a full wait
+                // timeout, and jobs trapped behind one in a private batch
+                // would stall while sibling workers sit idle (head-of-line
+                // blocking that stretches the prepared-lock window).
+                let rx = self.rx.lock();
+                match rx.recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => return,
+                }
+                while batch.len() < DRAIN_BATCH
+                    && !matches!(batch.last(), Some(Job::Prepare { .. }))
+                {
+                    match rx.try_recv() {
+                        Ok(job) => batch.push(job),
+                        Err(_) => break,
+                    }
+                }
+            }
+            for job in batch.drain(..) {
+                if !self.handle(job) {
+                    // Shutdown token: wake the next worker and exit.
+                    let _ = self.tx.send(Job::Shutdown);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn handle(&self, job: Job) -> bool {
+        match job {
+            Job::Execute {
+                call,
+                mut op,
+                max_attempts,
+                reply,
+            } => {
+                let result = self
+                    .db
+                    .execute_with_retry(&call, max_attempts.max(1), |txn| op(txn))
+                    .map(|(value, _aborts)| value);
+                let _ = reply.send(result);
+            }
+            Job::Prepare {
+                global,
+                call,
+                mut op,
+                reply,
+            } => {
+                let result = self.db.prepare(&call, global, |txn| op(txn));
+                let result = result.map(|(value, prepared)| {
+                    self.in_doubt.lock().insert(global, prepared);
+                    value
+                });
+                let _ = reply.send(result);
+            }
+            Job::Shutdown => return false,
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tebaldi_cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+    use tebaldi_core::DbConfig;
+    use tebaldi_storage::{Key, TableId, TxnTypeId};
+
+    const TABLE: TableId = TableId(0);
+    const TY: TxnTypeId = TxnTypeId(0);
+
+    fn db() -> Arc<Database> {
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "bump",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        Arc::new(
+            Database::builder(DbConfig::for_tests())
+                .procedures(procedures)
+                .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn mailbox_executes_jobs() {
+        let pool = ShardWorkers::spawn(0, db(), 2);
+        pool.db().load(Key::simple(TABLE, 1), Value::Int(0));
+        let tickets: Vec<_> = (0..32)
+            .map(|_| {
+                pool.submit_execute(
+                    ProcedureCall::new(TY),
+                    Box::new(|txn| txn.increment(Key::simple(TABLE, 1), 0, 1).map(Value::Int)),
+                    20,
+                )
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().unwrap().unwrap();
+        }
+        let sum = pool
+            .db()
+            .execute(&ProcedureCall::new(TY), |txn| {
+                txn.get(Key::simple(TABLE, 1))
+            })
+            .unwrap();
+        assert_eq!(sum, Some(Value::Int(32)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn prepare_then_decide_roundtrip() {
+        let pool = ShardWorkers::spawn(0, db(), 1);
+        let key = Key::simple(TABLE, 9);
+        pool.submit_prepare(
+            7,
+            ProcedureCall::new(TY),
+            Box::new(move |txn| txn.put(key, Value::Int(5)).map(|()| Value::Null)),
+        )
+        .wait()
+        .unwrap()
+        .unwrap();
+        assert_eq!(pool.in_doubt_count(), 1);
+        pool.decide(7, true);
+        assert_eq!(pool.in_doubt_count(), 0);
+        let read = pool
+            .db()
+            .execute(&ProcedureCall::new(TY), |txn| txn.get(key))
+            .unwrap();
+        assert_eq!(read, Some(Value::Int(5)));
+        pool.shutdown();
+    }
+}

@@ -116,7 +116,9 @@ impl DatabaseBuilder {
             if self.config.sim_network_rtt_us > 0 {
                 MvStore::with_network(
                     self.config.shards,
-                    Arc::new(SimNet::with_round_trip_micros(self.config.sim_network_rtt_us)),
+                    Arc::new(SimNet::with_round_trip_micros(
+                        self.config.sim_network_rtt_us,
+                    )),
                 )
             } else {
                 MvStore::new(self.config.shards)
@@ -242,17 +244,30 @@ impl Database {
         body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
     ) -> CcResult<R> {
         let tree = self.current_tree();
-        let group = tree
+        let gate_group = tree
             .group_for(call.ty, call.instance_seed)
             .ok_or_else(|| CcError::Internal(format!("no group for {:?}", call.ty)))?;
 
         // Admission: blocked while the group is being drained for a
         // reconfiguration.
-        if !self.gate.enter(group, self.config.wait_timeout().max(Duration::from_millis(500))) {
+        if !self.gate.enter(
+            gate_group,
+            self.config.wait_timeout().max(Duration::from_millis(500)),
+        ) {
             return Err(CcError::Requested);
         }
-        let result = self.execute_admitted(&tree, group, call, body);
-        self.gate.exit(group);
+        // Re-read the tree *after* admission: a reconfiguration may have
+        // swapped it while this transaction waited at the gate, and running
+        // on the stale tree's mechanism instances (with their own private
+        // lock tables) would let updates race past the new tree's locks.
+        // Once admitted, the drain protocol waits for us, so this read is
+        // stable for the whole execution.
+        let tree = self.current_tree();
+        let result = match tree.group_for(call.ty, call.instance_seed) {
+            Some(group) => self.execute_admitted(&tree, group, call, body),
+            None => Err(CcError::Internal(format!("no group for {:?}", call.ty))),
+        };
+        self.gate.exit(gate_group);
         result
     }
 
@@ -296,6 +311,95 @@ impl Database {
                 txn.abort();
                 self.gc.transaction_finished(gc_epoch, None);
                 self.stats.record_abort(err.mechanism());
+                Err(err)
+            }
+        }
+    }
+
+    /// Runs one transaction attempt up to the *prepared* state — the
+    /// participant half of the cluster's cross-shard two-phase commit.
+    ///
+    /// The body executes, every mechanism validates, the dependency set is
+    /// waited out, and (when durability is on) a `Prepare` record carrying
+    /// `global` — the cluster-global transaction id — is flushed to the WAL.
+    /// On success the transaction is parked in the returned
+    /// [`PreparedTxn`](crate::prepared::PreparedTxn), still holding its
+    /// locks, and commits or aborts only when the coordinator decides.
+    /// On error the transaction has already been aborted and its resources
+    /// released.
+    pub fn prepare<R>(
+        self: &Arc<Self>,
+        call: &ProcedureCall,
+        global: u64,
+        body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<(R, crate::prepared::PreparedTxn)> {
+        let tree = self.current_tree();
+        let gate_group = tree
+            .group_for(call.ty, call.instance_seed)
+            .ok_or_else(|| CcError::Internal(format!("no group for {:?}", call.ty)))?;
+        if !self.gate.enter(
+            gate_group,
+            self.config.wait_timeout().max(Duration::from_millis(500)),
+        ) {
+            return Err(CcError::Requested);
+        }
+        // See `execute`: the tree may have been swapped while waiting at
+        // the gate; re-read after admission so the prepared transaction
+        // holds locks in the mechanisms every concurrent transaction sees.
+        let tree = self.current_tree();
+        let Some(group) = tree.group_for(call.ty, call.instance_seed) else {
+            self.gate.exit(gate_group);
+            return Err(CcError::Internal(format!("no group for {:?}", call.ty)));
+        };
+
+        let txn_id = TxnId(self.txn_ids.fetch_add(1, Ordering::Relaxed));
+        let gc_epoch = self.gc.transaction_started(txn_id);
+        self.registry.register(txn_id, call.ty, group);
+        if let Some(history) = &self.history {
+            history.begin(txn_id, call.ty, group);
+        }
+
+        let mut txn = Txn::new(self, Arc::clone(&tree), txn_id, call.ty, group);
+        let outcome = txn
+            .begin()
+            .and_then(|()| {
+                if !call.promised_keys.is_empty() {
+                    txn.promise_writes(&call.promised_keys);
+                }
+                body(&mut txn)
+            })
+            .and_then(|value| txn.validate_and_wait_deps().map(|()| value))
+            // Stabilize the yes-vote: every mechanism must guarantee the
+            // parked transaction can still commit when the decision arrives.
+            .and_then(|value| txn.mark_prepared().map(|()| value));
+
+        match outcome {
+            Ok(value) => {
+                // Harden the yes-vote: the prepare record is flushed
+                // synchronously so a crash after this point leaves the
+                // transaction in doubt (resolvable), never silently lost.
+                if self.durability.is_enabled() {
+                    let writes = crate::txn::collect_writes(self, txn.ctx());
+                    self.durability.prepare(txn_id, global, writes);
+                }
+                let (path, ctx) = txn.into_parts();
+                Ok((
+                    value,
+                    crate::prepared::PreparedTxn::new(
+                        Arc::clone(self),
+                        path,
+                        ctx,
+                        gate_group,
+                        gc_epoch,
+                        global,
+                    ),
+                ))
+            }
+            Err(err) => {
+                txn.abort();
+                self.gc.transaction_finished(gc_epoch, None);
+                self.stats.record_abort(err.mechanism());
+                self.gate.exit(gate_group);
                 Err(err)
             }
         }

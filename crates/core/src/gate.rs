@@ -107,7 +107,11 @@ impl ReconfigGate {
 
     /// Starts draining only `groups` (online update) and waits until none of
     /// their transactions is in flight.
-    pub fn drain_groups(&self, groups: impl IntoIterator<Item = GroupId>, timeout: Duration) -> bool {
+    pub fn drain_groups(
+        &self,
+        groups: impl IntoIterator<Item = GroupId>,
+        timeout: Duration,
+    ) -> bool {
         self.drain(DrainScope::Groups(groups.into_iter().collect()), timeout)
     }
 
@@ -166,7 +170,10 @@ mod tests {
     fn drain_groups_only_blocks_affected() {
         let gate = ReconfigGate::new();
         assert!(gate.drain_groups([GroupId(1)], Duration::from_millis(50)));
-        assert!(gate.enter(GroupId(0), Duration::from_millis(10)), "unaffected group keeps running");
+        assert!(
+            gate.enter(GroupId(0), Duration::from_millis(10)),
+            "unaffected group keeps running"
+        );
         assert!(!gate.enter(GroupId(1), Duration::from_millis(10)));
         gate.resume();
         gate.exit(GroupId(0));
@@ -177,7 +184,8 @@ mod tests {
         let gate = Arc::new(ReconfigGate::new());
         assert!(gate.enter(GroupId(2), Duration::from_millis(10)));
         let g2 = Arc::clone(&gate);
-        let handle = std::thread::spawn(move || g2.drain_groups([GroupId(2)], Duration::from_secs(2)));
+        let handle =
+            std::thread::spawn(move || g2.drain_groups([GroupId(2)], Duration::from_secs(2)));
         std::thread::sleep(Duration::from_millis(30));
         gate.exit(GroupId(2));
         assert!(handle.join().unwrap());

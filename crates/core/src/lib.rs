@@ -53,6 +53,7 @@
 pub mod config;
 pub mod db;
 pub mod gate;
+pub mod prepared;
 pub mod procedure;
 pub mod reconfig;
 pub mod stats;
@@ -60,6 +61,7 @@ pub mod txn;
 
 pub use config::{DbConfig, DurabilityMode};
 pub use db::{Database, DatabaseBuilder};
+pub use prepared::PreparedTxn;
 pub use procedure::ProcedureCall;
 pub use reconfig::{diff_specs, ReconfigProtocol, ReconfigReport, SpecDiff};
 pub use stats::{DbStats, StatsSnapshot};

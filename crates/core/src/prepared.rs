@@ -1,0 +1,201 @@
+//! Prepared transactions — the participant half of the cluster's
+//! cross-shard two-phase commit.
+//!
+//! [`Database::prepare`](crate::db::Database::prepare) runs a transaction
+//! through start, execution, validation, and the dependency wait, hardens a
+//! `Prepare` WAL record, and then *parks* the transaction in a
+//! [`PreparedTxn`] instead of committing it. The handle owns `Arc`s to the
+//! engine services (not borrows), so a per-shard worker thread can hold it
+//! in its in-doubt table while the coordinator collects votes, then
+//! [`commit`](PreparedTxn::commit) or [`abort`](PreparedTxn::abort) it when
+//! the decision arrives. Everything fallible happened before parking:
+//! commit of a prepared transaction cannot fail, which is exactly the "yes
+//! vote" guarantee 2PC requires from a participant.
+
+use crate::db::Database;
+use crate::txn;
+use std::sync::Arc;
+use tebaldi_cc::{PathEntry, TxnCtx};
+use tebaldi_storage::{GroupId, Timestamp, TxnId};
+
+/// A transaction that has voted "yes" and awaits the coordinator's
+/// decision. Dropping the handle without a decision aborts the transaction
+/// (presumed abort), releasing its locks.
+pub struct PreparedTxn {
+    db: Arc<Database>,
+    path: Vec<PathEntry>,
+    ctx: TxnCtx,
+    group: GroupId,
+    gc_epoch: u64,
+    global: u64,
+    decided: bool,
+}
+
+impl std::fmt::Debug for PreparedTxn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedTxn")
+            .field("txn", &self.ctx.txn)
+            .field("global", &self.global)
+            .field("writes", &self.ctx.write_keys.len())
+            .finish()
+    }
+}
+
+impl PreparedTxn {
+    pub(crate) fn new(
+        db: Arc<Database>,
+        path: Vec<PathEntry>,
+        ctx: TxnCtx,
+        group: GroupId,
+        gc_epoch: u64,
+        global: u64,
+    ) -> Self {
+        PreparedTxn {
+            db,
+            path,
+            ctx,
+            group,
+            gc_epoch,
+            global,
+            decided: false,
+        }
+    }
+
+    /// The shard-local transaction id.
+    pub fn txn_id(&self) -> TxnId {
+        self.ctx.txn
+    }
+
+    /// The cluster-global transaction id this participant acts for.
+    pub fn global_id(&self) -> u64 {
+        self.global
+    }
+
+    /// Number of keys this participant will commit.
+    pub fn write_count(&self) -> usize {
+        self.ctx.write_keys.len()
+    }
+
+    /// Applies the coordinator's commit decision. Infallible: every
+    /// condition that could abort was checked before the prepare vote.
+    pub fn commit(mut self) -> Timestamp {
+        let commit_ts = txn::apply_commit_prepared(&self.db, &self.path, &mut self.ctx);
+        self.db.stats.record_commit(self.ctx.ty);
+        self.finish(Some(commit_ts));
+        commit_ts
+    }
+
+    /// Applies the coordinator's abort decision (or resolves a vote that
+    /// never got a decision).
+    pub fn abort(mut self) {
+        self.abort_inner();
+    }
+
+    fn abort_inner(&mut self) {
+        if self.decided {
+            return;
+        }
+        self.db.durability.log_abort(self.ctx.txn);
+        txn::apply_abort(&self.db, &self.path, &mut self.ctx);
+        self.db.stats.record_abort("2pc");
+        self.finish(None);
+    }
+
+    fn finish(&mut self, commit_ts: Option<Timestamp>) {
+        self.db.gc.transaction_finished(self.gc_epoch, commit_ts);
+        self.db.gate.exit(self.group);
+        self.decided = true;
+    }
+}
+
+impl Drop for PreparedTxn {
+    fn drop(&mut self) {
+        // Presumed abort: an undecided prepared transaction must never leak
+        // its locks when the coordinator path unwinds.
+        self.abort_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Database, DbConfig, ProcedureCall};
+    use std::sync::Arc;
+    use tebaldi_cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+    use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
+
+    const TABLE: TableId = TableId(0);
+    const TY: TxnTypeId = TxnTypeId(0);
+
+    fn db() -> Arc<Database> {
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "write",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        Arc::new(
+            Database::builder(DbConfig::for_tests())
+                .procedures(procedures)
+                .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn read(db: &Arc<Database>, key: Key) -> Option<Value> {
+        db.execute(&ProcedureCall::new(TY), |txn| txn.get(key))
+            .unwrap()
+    }
+
+    #[test]
+    fn prepared_commit_publishes_writes() {
+        let db = db();
+        let key = Key::simple(TABLE, 1);
+        let (_, prepared) = db
+            .prepare(&ProcedureCall::new(TY), 77, |txn| {
+                txn.put(key, Value::Int(7))
+            })
+            .unwrap();
+        assert_eq!(prepared.global_id(), 77);
+        assert_eq!(prepared.write_count(), 1);
+
+        // Still invisible and exclusively locked: a concurrent writer times
+        // out rather than overtaking the prepared transaction.
+        let contender = db.execute(&ProcedureCall::new(TY), |txn| txn.put(key, Value::Int(99)));
+        assert!(contender.is_err(), "2PL must block a conflicting writer");
+
+        prepared.commit();
+        assert_eq!(read(&db, key), Some(Value::Int(7)));
+        assert_eq!(db.stats().committed, 2, "prepared commit counts in stats");
+    }
+
+    #[test]
+    fn dropped_prepare_aborts_by_presumption() {
+        let db = db();
+        let key = Key::simple(TABLE, 2);
+        let (_, prepared) = db
+            .prepare(&ProcedureCall::new(TY), 78, |txn| {
+                txn.put(key, Value::Int(8))
+            })
+            .unwrap();
+        drop(prepared);
+        assert_eq!(read(&db, key), None, "undecided prepare must roll back");
+        // Locks were released: a follow-up writer succeeds immediately.
+        db.execute(&ProcedureCall::new(TY), |txn| txn.put(key, Value::Int(1)))
+            .unwrap();
+        assert_eq!(read(&db, key), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn prepare_failure_cleans_up() {
+        let db = db();
+        let key = Key::simple(TABLE, 3);
+        let result = db.prepare(&ProcedureCall::new(TY), 79, |txn| {
+            txn.put(key, Value::Int(9))?;
+            Err::<(), _>(txn.request_abort())
+        });
+        assert!(result.is_err());
+        assert_eq!(read(&db, key), None);
+        assert_eq!(db.stats().aborted, 1);
+    }
+}

@@ -268,7 +268,10 @@ mod tests {
                 CcNodeSpec::inner(
                     CcKind::TwoPl,
                     "updates",
-                    vec![leaf(CcKind::TwoPl, "a", &[0]), leaf(CcKind::TwoPl, "b", &[1])],
+                    vec![
+                        leaf(CcKind::TwoPl, "a", &[0]),
+                        leaf(CcKind::TwoPl, "b", &[1]),
+                    ],
                 ),
             ],
         ));
@@ -297,7 +300,10 @@ mod tests {
         let new = CcTreeSpec::new(CcNodeSpec::inner(
             CcKind::Ssi,
             "root",
-            vec![leaf(CcKind::TwoPl, "a", &[0]), leaf(CcKind::TwoPl, "b", &[1])],
+            vec![
+                leaf(CcKind::TwoPl, "a", &[0]),
+                leaf(CcKind::TwoPl, "b", &[1]),
+            ],
         ));
         let diff = diff_specs(&old, &new);
         assert!(diff.change_at_root);
@@ -313,7 +319,10 @@ mod tests {
                 CcNodeSpec::inner(
                     CcKind::TwoPl,
                     "u",
-                    vec![leaf(CcKind::TwoPl, "a", &[0]), leaf(CcKind::TwoPl, "b", &[1])],
+                    vec![
+                        leaf(CcKind::TwoPl, "a", &[0]),
+                        leaf(CcKind::TwoPl, "b", &[1]),
+                    ],
                 ),
                 leaf(CcKind::NoCc, "r", &[2]),
             ],

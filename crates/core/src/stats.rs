@@ -60,7 +60,11 @@ impl DbStats {
     /// Records an aborted attempt attributed to `mechanism`.
     pub fn record_abort(&self, mechanism: &'static str) {
         self.aborted.fetch_add(1, Ordering::Relaxed);
-        *self.aborts_by_mechanism.lock().entry(mechanism).or_insert(0) += 1;
+        *self
+            .aborts_by_mechanism
+            .lock()
+            .entry(mechanism)
+            .or_insert(0) += 1;
     }
 
     /// Total committed so far.

@@ -18,11 +18,11 @@
 //! visible.
 
 use crate::db::Database;
+use std::sync::Arc;
 use tebaldi_cc::{CcError, CcResult, CcTree, PathEntry, TxnCtx, VersionPick};
 use tebaldi_storage::{
     GroupId, Key, Timestamp, TxnId, TxnTypeId, Value, Version, VersionId, VersionState,
 };
-use std::sync::Arc;
 
 /// Outcome of a transaction (internal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,10 +49,7 @@ impl<'a> Txn<'a> {
         ty: TxnTypeId,
         group: GroupId,
     ) -> Self {
-        let path = tree
-            .path(group)
-            .map(|p| p.to_vec())
-            .unwrap_or_default();
+        let path = tree.path(group).map(|p| p.to_vec()).unwrap_or_default();
         Txn {
             db,
             tree,
@@ -102,7 +99,9 @@ impl<'a> Txn<'a> {
         // Top-down pass: every mechanism may block or abort the read.
         for i in 0..self.path.len() {
             let entry = self.path[i].clone();
-            entry.mechanism.before_read(&mut self.ctx, entry.lane, &key)?;
+            entry
+                .mechanism
+                .before_read(&mut self.ctx, entry.lane, &key)?;
         }
         // Bottom-up pass inside the storage access: the leaf proposes, the
         // ancestors amend.
@@ -243,6 +242,18 @@ impl<'a> Txn<'a> {
 
     /// Validation + commit. Returns the commit timestamp.
     pub(crate) fn commit(&mut self) -> CcResult<Timestamp> {
+        self.validate_and_wait_deps()?;
+        let commit_ts = apply_commit(self.db, &self.path, &mut self.ctx);
+        self.phase = TxnPhase::Finished;
+        Ok(commit_ts)
+    }
+
+    /// Validation phase plus dependency wait — everything that can still
+    /// abort the transaction. After this returns `Ok` the transaction is
+    /// *prepared*: it holds every resource needed to commit on demand, which
+    /// is the participant-side guarantee of the cluster's cross-shard
+    /// two-phase commit.
+    pub(crate) fn validate_and_wait_deps(&mut self) -> CcResult<()> {
         if self.ctx.must_abort {
             return Err(CcError::Conflict {
                 mechanism: "engine",
@@ -258,13 +269,12 @@ impl<'a> Txn<'a> {
         // pipeline) must commit first; if any aborted, we must abort too.
         let deps: Vec<TxnId> = self.ctx.deps.iter().copied().collect();
         for dep in deps {
-            match self
+            let status = self
                 .db
                 .registry
-                .wait_finished(dep, self.db.config.wait_timeout())?
-            {
-                tebaldi_cc::TxnStatus::Aborted => return Err(CcError::DependencyAborted),
-                _ => {}
+                .wait_finished(dep, self.db.config.wait_timeout())?;
+            if status == tebaldi_cc::TxnStatus::Aborted {
+                return Err(CcError::DependencyAborted);
             }
         }
         // Ordering-only dependencies (e.g. TSO's smaller-timestamp set) must
@@ -281,56 +291,7 @@ impl<'a> Txn<'a> {
                 .registry
                 .wait_finished(dep, self.db.config.wait_timeout())?;
         }
-
-        // Register the commit as in flight so snapshot readers (SSI) do not
-        // take a start timestamp above it until every key is marked
-        // committed; deregistered below once the commit is fully applied.
-        let commit_ts = self.db.oracle.begin_commit();
-
-        // Durability: one precommit record per participating data server,
-        // then the commit notification carrying the global epoch.
-        if self.db.durability.is_enabled() && !self.ctx.write_keys.is_empty() {
-            let mut by_shard: std::collections::HashMap<u32, Vec<(Key, Value)>> =
-                std::collections::HashMap::new();
-            for key in &self.ctx.write_keys {
-                let shard = self.db.store.shard_index(key) as u32;
-                let value = self
-                    .db
-                    .store
-                    .read(key, tebaldi_storage::ReadSpec::OwnOrCommitted(self.ctx.txn))
-                    .unwrap_or(Value::Null);
-                by_shard.entry(shard).or_default().push((*key, value));
-            }
-            let participants = by_shard.len() as u32;
-            let mut global_epoch = 0;
-            for (shard, writes) in by_shard {
-                let epoch =
-                    self.db
-                        .durability
-                        .precommit(self.ctx.txn, shard, participants, writes);
-                global_epoch = global_epoch.max(epoch);
-            }
-            self.db.durability.commit(self.ctx.txn, global_epoch, commit_ts);
-        }
-
-        // Make the new versions visible, then mark the transaction committed
-        // (which wakes dependency waiters), then let mechanisms release
-        // their resources leaf→root.
-        self.db
-            .store
-            .commit_writes(self.ctx.txn, &self.ctx.write_keys, commit_ts);
-        self.db.registry.mark_committed(self.ctx.txn, commit_ts);
-        self.db.oracle.end_commit(commit_ts);
-        if let Some(history) = &self.db.history {
-            history.commit(self.ctx.txn, commit_ts);
-        }
-        for entry in self.path.iter().rev() {
-            entry
-                .mechanism
-                .commit(&mut self.ctx, entry.lane, commit_ts);
-        }
-        self.phase = TxnPhase::Finished;
-        Ok(commit_ts)
+        Ok(())
     }
 
     /// Abort: discard writes, mark aborted, release resources.
@@ -338,16 +299,145 @@ impl<'a> Txn<'a> {
         if self.phase == TxnPhase::Finished {
             return;
         }
-        self.db
-            .store
-            .abort_writes(self.ctx.txn, &self.ctx.write_keys);
-        self.db.registry.mark_aborted(self.ctx.txn);
-        if let Some(history) = &self.db.history {
-            history.abort(self.ctx.txn);
-        }
-        for entry in self.path.iter().rev() {
-            entry.mechanism.abort(&mut self.ctx, entry.lane);
-        }
+        apply_abort(self.db, &self.path, &mut self.ctx);
         self.phase = TxnPhase::Finished;
     }
+
+    /// Prepare stabilization: every mechanism confirms (top-down) that the
+    /// transaction's yes-vote cannot be invalidated by concurrent
+    /// transactions while it is parked awaiting the coordinator's decision.
+    pub(crate) fn mark_prepared(&mut self) -> CcResult<()> {
+        for i in 0..self.path.len() {
+            let entry = self.path[i].clone();
+            entry.mechanism.mark_prepared(&mut self.ctx, entry.lane)?;
+        }
+        Ok(())
+    }
+
+    /// Decomposes the handle into the pieces a
+    /// [`PreparedTxn`](crate::prepared::PreparedTxn) carries across threads.
+    pub(crate) fn into_parts(self) -> (Vec<PathEntry>, TxnCtx) {
+        (self.path, self.ctx)
+    }
+
+    /// The per-transaction context (engine-internal).
+    pub(crate) fn ctx(&self) -> &TxnCtx {
+        &self.ctx
+    }
+}
+
+/// Applies a decided commit: assigns the commit timestamp, hardens the
+/// durability records, publishes the versions, and runs every mechanism's
+/// commit phase leaf→root. Infallible by design — everything that can fail
+/// must happen in [`Txn::validate_and_wait_deps`], which is what makes the
+/// prepared state of the cross-shard two-phase commit safe to park.
+pub(crate) fn apply_commit(db: &Database, path: &[PathEntry], ctx: &mut TxnCtx) -> Timestamp {
+    apply_commit_inner(db, path, ctx, false)
+}
+
+/// [`apply_commit`] for a transaction whose writes were already hardened in
+/// a synchronous `Prepare` record: only the commit notification is logged
+/// (recovery replays the prepared writes when the decision says commit), so
+/// the write payloads never hit the WAL twice.
+pub(crate) fn apply_commit_prepared(
+    db: &Database,
+    path: &[PathEntry],
+    ctx: &mut TxnCtx,
+) -> Timestamp {
+    apply_commit_inner(db, path, ctx, true)
+}
+
+fn apply_commit_inner(
+    db: &Database,
+    path: &[PathEntry],
+    ctx: &mut TxnCtx,
+    prepared: bool,
+) -> Timestamp {
+    // Register the commit as in flight so snapshot readers (SSI) do not
+    // take a start timestamp above it until every key is marked
+    // committed; deregistered below once the commit is fully applied.
+    let commit_ts = db.oracle.begin_commit();
+
+    // Durability: one precommit record per participating data server,
+    // then the commit notification carrying the global epoch. A prepared
+    // transaction already hardened its writes in the (synchronously
+    // flushed) Prepare record, so only the commit notification is logged.
+    if db.durability.is_enabled() && !ctx.write_keys.is_empty() {
+        if prepared {
+            db.durability
+                .commit(ctx.txn, db.durability.current_epoch(), commit_ts);
+        } else {
+            let by_shard = collect_writes_by_shard(db, ctx);
+            let participants = by_shard.len() as u32;
+            let mut global_epoch = 0;
+            for (shard, writes) in by_shard {
+                let epoch = db
+                    .durability
+                    .precommit(ctx.txn, shard, participants, writes);
+                global_epoch = global_epoch.max(epoch);
+            }
+            db.durability.commit(ctx.txn, global_epoch, commit_ts);
+        }
+    }
+
+    // Make the new versions visible, then mark the transaction committed
+    // (which wakes dependency waiters), then let mechanisms release
+    // their resources leaf→root.
+    db.store.commit_writes(ctx.txn, &ctx.write_keys, commit_ts);
+    db.registry.mark_committed(ctx.txn, commit_ts);
+    db.oracle.end_commit(commit_ts);
+    if let Some(history) = &db.history {
+        history.commit(ctx.txn, commit_ts);
+    }
+    for entry in path.iter().rev() {
+        entry.mechanism.commit(ctx, entry.lane, commit_ts);
+    }
+    commit_ts
+}
+
+/// Applies an abort: discards writes, marks the transaction aborted, and
+/// releases every mechanism resource leaf→root.
+pub(crate) fn apply_abort(db: &Database, path: &[PathEntry], ctx: &mut TxnCtx) {
+    db.store.abort_writes(ctx.txn, &ctx.write_keys);
+    db.registry.mark_aborted(ctx.txn);
+    if let Some(history) = &db.history {
+        history.abort(ctx.txn);
+    }
+    for entry in path.iter().rev() {
+        entry.mechanism.abort(ctx, entry.lane);
+    }
+}
+
+/// The transaction's writes with the values they will commit, in write
+/// order — the payload of the cross-shard `Prepare` record.
+pub(crate) fn collect_writes(db: &Database, ctx: &TxnCtx) -> Vec<(Key, Value)> {
+    ctx.write_keys
+        .iter()
+        .map(|key| {
+            let value = db
+                .store
+                .read(key, tebaldi_storage::ReadSpec::OwnOrCommitted(ctx.txn))
+                .unwrap_or(Value::Null);
+            (*key, value)
+        })
+        .collect()
+}
+
+/// Groups the transaction's writes by data-server shard with the values
+/// they will commit, as logged in precommit records.
+pub(crate) fn collect_writes_by_shard(
+    db: &Database,
+    ctx: &TxnCtx,
+) -> std::collections::HashMap<u32, Vec<(Key, Value)>> {
+    let mut by_shard: std::collections::HashMap<u32, Vec<(Key, Value)>> =
+        std::collections::HashMap::new();
+    for key in &ctx.write_keys {
+        let shard = db.store.shard_index(key) as u32;
+        let value = db
+            .store
+            .read(key, tebaldi_storage::ReadSpec::OwnOrCommitted(ctx.txn))
+            .unwrap_or(Value::Null);
+        by_shard.entry(shard).or_default().push((*key, value));
+    }
+    by_shard
 }

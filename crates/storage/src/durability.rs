@@ -49,6 +49,8 @@ pub struct DurabilityStats {
     pub operations: u64,
     /// Precommit records appended.
     pub precommits: u64,
+    /// Cross-shard 2PC prepare records appended.
+    pub prepares: u64,
     /// Commit records appended.
     pub commits: u64,
     /// Device flushes performed.
@@ -72,6 +74,7 @@ pub struct DurabilityManager {
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
     operations: AtomicU64,
     precommits: AtomicU64,
+    prepares: AtomicU64,
     commits: AtomicU64,
     flushes: AtomicU64,
     epochs_sealed: AtomicU64,
@@ -101,6 +104,7 @@ impl DurabilityManager {
             flusher: Mutex::new(None),
             operations: AtomicU64::new(0),
             precommits: AtomicU64::new(0),
+            prepares: AtomicU64::new(0),
             commits: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             epochs_sealed: AtomicU64::new(0),
@@ -202,6 +206,39 @@ impl DurabilityManager {
 
     /// Logs the commit notification. `global_epoch` is the maximum of the
     /// epoch ids returned by the participants' precommit calls.
+    /// Appends the cross-shard two-phase-commit *prepare* record for local
+    /// transaction `txn` acting for cluster-global transaction `global`, and
+    /// flushes it synchronously regardless of the flushing policy: the shard
+    /// may vote "yes" to the coordinator only once the prepare record is
+    /// durable. Returns `true` when a record was written (durability on).
+    pub fn prepare(&self, txn: TxnId, global: u64, writes: Vec<(Key, Value)>) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        self.prepares.fetch_add(1, Ordering::Relaxed);
+        self.device.append(&LogRecord::Prepare {
+            txn,
+            global,
+            writes,
+        });
+        self.device.flush();
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Appends an abort marker resolving an earlier prepare record, so
+    /// recovery does not have to treat the transaction as in doubt.
+    pub fn log_abort(&self, txn: TxnId) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.device.append(&LogRecord::Abort { txn });
+        if self.policy == FlushPolicy::Synchronous {
+            self.device.flush();
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub fn commit(&self, txn: TxnId, global_epoch: u64, commit_ts: Timestamp) {
         if !self.is_enabled() {
             return;
@@ -265,11 +302,7 @@ impl DurabilityManager {
         }
         let deadline = std::time::Instant::now() + timeout;
         while sealed.sealed < epoch {
-            if self
-                .sealed_cv
-                .wait_until(&mut sealed, deadline)
-                .timed_out()
-            {
+            if self.sealed_cv.wait_until(&mut sealed, deadline).timed_out() {
                 return sealed.sealed >= epoch;
             }
         }
@@ -292,6 +325,7 @@ impl DurabilityManager {
         DurabilityStats {
             operations: self.operations.load(Ordering::Relaxed),
             precommits: self.precommits.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             flushes: self.flushes.load(Ordering::Relaxed),
             epochs_sealed: self.epochs_sealed.load(Ordering::Relaxed),

@@ -191,9 +191,9 @@ impl MvStore {
             let v = match spec {
                 ReadSpec::LatestCommitted => chain.latest_committed(),
                 ReadSpec::SnapshotBefore(ts) => chain.committed_before(ts),
-                ReadSpec::OwnOrCommitted(txn) => {
-                    chain.uncommitted_by(txn).or_else(|| chain.latest_committed())
-                }
+                ReadSpec::OwnOrCommitted(txn) => chain
+                    .uncommitted_by(txn)
+                    .or_else(|| chain.latest_committed()),
             };
             v.map(|v| v.value.clone())
         })
@@ -312,7 +312,10 @@ mod tests {
             store.read(&k, ReadSpec::LatestCommitted),
             Some(Value::Int(7))
         );
-        assert_eq!(store.read(&k, ReadSpec::SnapshotBefore(Timestamp(10))), None);
+        assert_eq!(
+            store.read(&k, ReadSpec::SnapshotBefore(Timestamp(10))),
+            None
+        );
         assert_eq!(
             store.read(&k, ReadSpec::SnapshotBefore(Timestamp(11))),
             Some(Value::Int(7))

@@ -28,6 +28,13 @@ pub struct RecoveryReport {
     pub discarded_incomplete: usize,
     /// Transactions discarded because their epoch was not sealed.
     pub discarded_unsealed_epoch: usize,
+    /// Cross-shard transactions found prepared but undecided in the log
+    /// (crash between prepare and the coordinator's decision).
+    pub in_doubt: usize,
+    /// In-doubt transactions the resolver decided to commit.
+    pub in_doubt_committed: usize,
+    /// In-doubt transactions the resolver decided to abort.
+    pub in_doubt_aborted: usize,
     /// Number of keys restored.
     pub keys_restored: usize,
     /// Largest commit timestamp observed (the engine's oracle must start
@@ -37,6 +44,15 @@ pub struct RecoveryReport {
     /// above it).
     pub max_txn_id: u64,
 }
+
+/// Resolves the fate of an in-doubt prepared transaction by its
+/// cluster-global id: `true` means the coordinator decided commit. Plain
+/// standalone recovery uses presumed abort (`|_| false`).
+pub type DecisionResolver<'a> = dyn Fn(u64) -> bool + 'a;
+
+/// An in-doubt prepared transaction awaiting resolution: local id,
+/// cluster-global id, and the writes to replay on commit.
+type InDoubtTxn = (TxnId, u64, Vec<(Key, Value)>);
 
 #[derive(Default)]
 struct TxnLog {
@@ -48,16 +64,34 @@ struct TxnLog {
     commit_epoch: Option<u64>,
 }
 
-/// Replays the durable records of `device` into a fresh store.
+/// Replays the durable records of `device` into a fresh store, resolving
+/// any in-doubt prepared transaction by presumed abort.
 pub fn recover(device: &dyn LogDevice) -> (MvStore, RecoveryReport) {
     recover_into(device, MvStore::new(8))
 }
 
 /// Replays the durable records of `device` into `store` (which is expected
-/// to be empty) and returns it together with a [`RecoveryReport`].
+/// to be empty) and returns it together with a [`RecoveryReport`]. In-doubt
+/// prepared transactions are resolved by presumed abort; cluster recovery
+/// passes the coordinator's decision log through
+/// [`recover_with_resolver`] instead.
 pub fn recover_into(device: &dyn LogDevice, store: MvStore) -> (MvStore, RecoveryReport) {
+    recover_with_resolver(device, store, &|_| false)
+}
+
+/// Replays the durable records of `device` into `store`, consulting
+/// `resolver` for every prepared-but-undecided cross-shard transaction
+/// found in the log (2PC in-doubt resolution, §4.5.4 extended to the
+/// cluster layer).
+pub fn recover_with_resolver(
+    device: &dyn LogDevice,
+    store: MvStore,
+    resolver: &DecisionResolver<'_>,
+) -> (MvStore, RecoveryReport) {
     let records = device.read_back();
     let mut txns: HashMap<TxnId, TxnLog> = HashMap::new();
+    let mut prepared: HashMap<TxnId, (u64, Vec<(Key, Value)>)> = HashMap::new();
+    let mut aborted: HashSet<TxnId> = HashSet::new();
     let mut sealed_epoch = 0u64;
 
     for record in &records {
@@ -89,10 +123,38 @@ pub fn recover_into(device: &dyn LogDevice, store: MvStore) -> (MvStore, Recover
                 entry.commit_ts = Some(*commit_ts);
                 entry.commit_epoch = Some(*global_epoch);
             }
+            LogRecord::Prepare {
+                txn,
+                global,
+                writes,
+            } => {
+                let entry = prepared
+                    .entry(*txn)
+                    .or_insert_with(|| (*global, Vec::new()));
+                entry.0 = *global;
+                entry.1.extend(writes.iter().cloned());
+            }
+            LogRecord::Abort { txn } => {
+                aborted.insert(*txn);
+            }
+            LogRecord::Decision { .. } => {
+                // Coordinator-log record; never present in a shard's log.
+                // The cluster layer reads decision logs directly and feeds
+                // them in through `resolver`.
+            }
         }
     }
 
     let mut report = RecoveryReport::default();
+
+    // Local commit decisions: a prepared transaction logs only a Commit
+    // record at decide time (its writes are already in the Prepare record),
+    // so the commit record alone decides it without consulting the
+    // resolver.
+    let local_commit: HashMap<TxnId, Timestamp> = txns
+        .iter()
+        .filter_map(|(txn, log)| log.commit_ts.map(|ts| (*txn, ts)))
+        .collect();
 
     // Order recoverable transactions by commit timestamp (transactions that
     // precommitted on every participant but have no commit record are
@@ -101,10 +163,13 @@ pub fn recover_into(device: &dyn LogDevice, store: MvStore) -> (MvStore, Recover
     let mut recoverable: Vec<(TxnId, TxnLog)> = Vec::new();
     for (txn, log) in txns {
         report.max_txn_id = report.max_txn_id.max(txn.0);
-        let complete =
-            log.participants > 0 && log.shards_seen.len() as u32 >= log.participants;
+        let complete = log.participants > 0 && log.shards_seen.len() as u32 >= log.participants;
         if !complete {
-            report.discarded_incomplete += 1;
+            // Prepared transactions legitimately have no precommit records;
+            // they are handled by the in-doubt pass below.
+            if !prepared.contains_key(&txn) {
+                report.discarded_incomplete += 1;
+            }
             continue;
         }
         let epoch = log.commit_epoch.unwrap_or(log.max_epoch);
@@ -113,6 +178,26 @@ pub fn recover_into(device: &dyn LogDevice, store: MvStore) -> (MvStore, Recover
             continue;
         }
         recoverable.push((txn, log));
+    }
+    // Prepared transactions with a local commit record are fully decided:
+    // merge them into the timestamp-sorted replay so per-key version order
+    // follows commit order (replaying them after the sorted pass would let
+    // an older prepared commit positionally shadow a newer write).
+    let replayed_normally: HashSet<TxnId> = recoverable.iter().map(|(txn, _)| *txn).collect();
+    for (txn, (_global, writes)) in &prepared {
+        if aborted.contains(txn) || replayed_normally.contains(txn) {
+            continue;
+        }
+        if let Some(ts) = local_commit.get(txn) {
+            recoverable.push((
+                *txn,
+                TxnLog {
+                    writes: writes.clone(),
+                    commit_ts: Some(*ts),
+                    ..TxnLog::default()
+                },
+            ));
+        }
     }
     recoverable.sort_by_key(|(txn, log)| (log.commit_ts.unwrap_or(Timestamp::MAX), txn.0));
 
@@ -137,6 +222,42 @@ pub fn recover_into(device: &dyn LogDevice, store: MvStore) -> (MvStore, Recover
             );
         }
     }
+
+    // In-doubt resolution: a prepared transaction that neither aborted nor
+    // committed locally crashed inside the cross-shard 2PC window. Its fate
+    // belongs to the coordinator, so ask the resolver (backed by the
+    // coordinator's decision log; presumed abort when there is none).
+    let replayed: HashSet<TxnId> = recoverable.iter().map(|(txn, _)| *txn).collect();
+    for txn in prepared.keys().chain(aborted.iter()) {
+        report.max_txn_id = report.max_txn_id.max(txn.0);
+    }
+    let mut in_doubt: Vec<InDoubtTxn> = prepared
+        .into_iter()
+        .filter(|(txn, _)| !aborted.contains(txn) && !replayed.contains(txn))
+        .map(|(txn, (global, writes))| (txn, global, writes))
+        .collect();
+    in_doubt.sort_by_key(|(txn, _, _)| txn.0);
+    for (txn, global, writes) in in_doubt {
+        report.max_txn_id = report.max_txn_id.max(txn.0);
+        report.in_doubt += 1;
+        if !resolver(global) {
+            report.in_doubt_aborted += 1;
+            continue;
+        }
+        report.in_doubt_committed += 1;
+        report.recovered_txns += 1;
+        let commit_ts = report.max_commit_ts.next();
+        report.max_commit_ts = commit_ts;
+        for (key, value) in &writes {
+            restored_keys.insert(*key);
+            store.with_chain_mut(key, |chain| {
+                chain.abort(txn);
+            });
+            store.write(key, txn, value.clone());
+            store.commit_writes(txn, &[*key], commit_ts);
+        }
+    }
+
     report.keys_restored = restored_keys.len();
     (store, report)
 }
@@ -161,7 +282,12 @@ mod tests {
         let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
         let epoch = mgr.precommit(TxnId(1), 0, 1, vec![(k(1), Value::Int(11))]);
         mgr.commit(TxnId(1), epoch, Timestamp(5));
-        let e2 = mgr.precommit(TxnId(2), 0, 1, vec![(k(1), Value::Int(22)), (k(2), Value::Int(2))]);
+        let e2 = mgr.precommit(
+            TxnId(2),
+            0,
+            1,
+            vec![(k(1), Value::Int(22)), (k(2), Value::Int(2))],
+        );
         mgr.commit(TxnId(2), e2, Timestamp(9));
         mgr.seal_current_epoch();
 
@@ -175,7 +301,10 @@ mod tests {
             Some(Value::Int(22)),
             "later commit wins"
         );
-        assert_eq!(store.read(&k(2), ReadSpec::LatestCommitted), Some(Value::Int(2)));
+        assert_eq!(
+            store.read(&k(2), ReadSpec::LatestCommitted),
+            Some(Value::Int(2))
+        );
     }
 
     #[test]
@@ -215,8 +344,108 @@ mod tests {
         let (store, report) = recover(dev.as_ref());
         assert_eq!(report.recovered_txns, 1);
         assert_eq!(report.discarded_unsealed_epoch, 1);
-        assert_eq!(store.read(&k(1), ReadSpec::LatestCommitted), Some(Value::Int(1)));
+        assert_eq!(
+            store.read(&k(1), ReadSpec::LatestCommitted),
+            Some(Value::Int(1))
+        );
         assert_eq!(store.read(&k(2), ReadSpec::LatestCommitted), None);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn in_doubt_prepares_resolved_by_coordinator_decision() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
+        // Two prepared transactions crash before any decision record lands;
+        // a third prepared one aborted explicitly.
+        mgr.prepare(TxnId(7), 42, vec![(k(7), Value::Int(70))]);
+        mgr.prepare(TxnId(8), 43, vec![(k(8), Value::Int(80))]);
+        mgr.prepare(TxnId(9), 44, vec![(k(9), Value::Int(90))]);
+        mgr.log_abort(TxnId(9));
+        mgr.seal_current_epoch();
+
+        // Plain recovery presumes abort for every in-doubt transaction.
+        let (store, report) = recover(dev.as_ref());
+        assert_eq!(report.in_doubt, 2);
+        assert_eq!(report.in_doubt_aborted, 2);
+        assert_eq!(report.in_doubt_committed, 0);
+        assert_eq!(store.read(&k(7), ReadSpec::LatestCommitted), None);
+
+        // With the coordinator's decision log, global 42 commits.
+        let (store, report) =
+            recover_with_resolver(dev.as_ref(), MvStore::new(4), &|global| global == 42);
+        assert_eq!(report.in_doubt, 2);
+        assert_eq!(report.in_doubt_committed, 1);
+        assert_eq!(report.in_doubt_aborted, 1);
+        assert_eq!(report.max_txn_id, 9);
+        assert_eq!(
+            store.read(&k(7), ReadSpec::LatestCommitted),
+            Some(Value::Int(70))
+        );
+        assert_eq!(store.read(&k(8), ReadSpec::LatestCommitted), None);
+        assert_eq!(store.read(&k(9), ReadSpec::LatestCommitted), None);
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn prepared_commit_without_precommit_records_recovers() {
+        // The decide-commit path of a prepared transaction logs only the
+        // Commit record (writes were hardened in the Prepare record): the
+        // pair must recover even under the presumed-abort resolver.
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
+        mgr.prepare(TxnId(6), 40, vec![(k(6), Value::Int(60))]);
+        mgr.commit(TxnId(6), mgr.current_epoch(), Timestamp(4));
+        mgr.seal_current_epoch();
+        let (store, report) = recover(dev.as_ref());
+        assert_eq!(report.in_doubt, 0, "locally decided, not in doubt");
+        assert_eq!(report.recovered_txns, 1);
+        assert_eq!(report.max_commit_ts, Timestamp(4));
+        assert_eq!(
+            store.read(&k(6), ReadSpec::LatestCommitted),
+            Some(Value::Int(60))
+        );
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn prepared_commit_does_not_shadow_newer_writes() {
+        // A prepared transaction decided at ts 4 and a later normal
+        // transaction overwriting the same key at ts 9: recovery must leave
+        // the ts-9 value visible regardless of replay bookkeeping order.
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
+        mgr.prepare(TxnId(2), 50, vec![(k(1), Value::Int(20))]);
+        mgr.commit(TxnId(2), mgr.current_epoch(), Timestamp(4));
+        let epoch = mgr.precommit(TxnId(3), 0, 1, vec![(k(1), Value::Int(30))]);
+        mgr.commit(TxnId(3), epoch, Timestamp(9));
+        mgr.seal_current_epoch();
+        let (store, report) = recover(dev.as_ref());
+        assert_eq!(report.recovered_txns, 2);
+        assert_eq!(report.in_doubt, 0);
+        assert_eq!(
+            store.read(&k(1), ReadSpec::LatestCommitted),
+            Some(Value::Int(30)),
+            "the newer commit must win"
+        );
+        mgr.shutdown();
+    }
+
+    #[test]
+    fn prepared_then_committed_locally_is_not_in_doubt() {
+        let dev = Arc::new(MemLogDevice::new());
+        let mgr = DurabilityManager::new(dev.clone(), FlushPolicy::Synchronous);
+        mgr.prepare(TxnId(5), 41, vec![(k(5), Value::Int(50))]);
+        let epoch = mgr.precommit(TxnId(5), 0, 1, vec![(k(5), Value::Int(50))]);
+        mgr.commit(TxnId(5), epoch, Timestamp(3));
+        mgr.seal_current_epoch();
+        let (store, report) = recover(dev.as_ref());
+        assert_eq!(report.in_doubt, 0);
+        assert_eq!(report.recovered_txns, 1);
+        assert_eq!(
+            store.read(&k(5), ReadSpec::LatestCommitted),
+            Some(Value::Int(50))
+        );
         mgr.shutdown();
     }
 
@@ -228,6 +457,9 @@ mod tests {
         mgr.seal_current_epoch();
         let (store, report) = recover(dev.as_ref());
         assert_eq!(report.recovered_txns, 1);
-        assert_eq!(store.read(&k(4), ReadSpec::LatestCommitted), Some(Value::Int(44)));
+        assert_eq!(
+            store.read(&k(4), ReadSpec::LatestCommitted),
+            Some(Value::Int(44))
+        );
     }
 }

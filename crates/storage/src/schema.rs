@@ -25,6 +25,20 @@ impl fmt::Debug for TableId {
     }
 }
 
+// Lets `HashMap<TableId, _>` serialize as a JSON object, matching serde's
+// integer-keyed-map stringification.
+impl serde::JsonKey for TableId {
+    fn to_key(&self) -> String {
+        self.0.to_string()
+    }
+
+    fn from_key(s: &str) -> Result<Self, serde::DeError> {
+        s.parse()
+            .map(TableId)
+            .map_err(|_| serde::DeError::msg(format!("bad TableId key {s:?}")))
+    }
+}
+
 /// Static description of a table.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TableDef {

@@ -99,6 +99,27 @@ impl fmt::Debug for Timestamp {
     }
 }
 
+// Lets maps keyed by the id newtypes serialize as JSON objects, matching
+// serde's integer-keyed-map stringification.
+macro_rules! impl_json_key_newtype {
+    ($($t:ident),*) => {$(
+        impl serde::JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.0.to_string()
+            }
+
+            fn from_key(s: &str) -> Result<Self, serde::DeError> {
+                s.parse()
+                    .map($t)
+                    .map_err(|_| serde::DeError::msg(format!(
+                        concat!("bad ", stringify!($t), " key {:?}"), s
+                    )))
+            }
+        }
+    )*};
+}
+impl_json_key_newtype!(TxnId, TxnTypeId, GroupId, NodeId, Timestamp);
+
 /// A simple monotone id/timestamp generator backed by an atomic counter.
 ///
 /// Used for transaction ids, commit timestamps and GC epochs. The paper uses

@@ -21,23 +21,10 @@ pub enum Value {
     Row(Arc<[i64]>),
     /// A string payload (customer data, item names).
     Str(Arc<str>),
-    /// An opaque byte payload (filler columns of TPC-C rows).
-    #[serde(with = "bytes_serde")]
+    /// An opaque byte payload (filler columns of TPC-C rows). The vendored
+    /// `bytes` stub implements the serde traits directly, so no `with`
+    /// adapter is needed.
     Bytes(Bytes),
-}
-
-mod bytes_serde {
-    use bytes::Bytes;
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
-
-    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
-        b.as_ref().serialize(s)
-    }
-
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
-        let v = Vec::<u8>::deserialize(d)?;
-        Ok(Bytes::from(v))
-    }
 }
 
 impl Value {

@@ -146,7 +146,7 @@ impl VersionChain {
     pub fn abort(&mut self, writer: TxnId) -> bool {
         let before = self.versions.len();
         self.versions
-            .retain(|v| !(v.writer == writer && !v.is_committed()));
+            .retain(|v| v.writer != writer || v.is_committed());
         before != self.versions.len()
     }
 
@@ -361,7 +361,10 @@ mod tests {
             Some(20)
         );
         assert_eq!(
-            c.visible_at_order_ts(Timestamp(200)).unwrap().value.as_int(),
+            c.visible_at_order_ts(Timestamp(200))
+                .unwrap()
+                .value
+                .as_int(),
             Some(10)
         );
         assert!(c.visible_at_order_ts(Timestamp(10)).is_none());

@@ -63,6 +63,41 @@ pub enum LogRecord {
         /// The sealed epoch.
         epoch: u64,
     },
+    /// Participant prepare record of the cluster's cross-shard two-phase
+    /// commit: local transaction `txn`, acting on behalf of cluster-global
+    /// transaction `global`, has passed validation and holds every resource
+    /// needed to commit on demand. Always flushed synchronously — the shard
+    /// may vote "yes" only once this record is durable. A prepared
+    /// transaction with neither a later `Commit` nor an `Abort` record is
+    /// *in doubt* and is resolved against the coordinator's decision log
+    /// during recovery.
+    Prepare {
+        /// Local (per-shard) transaction id.
+        txn: TxnId,
+        /// Cluster-global transaction id assigned by the coordinator.
+        global: u64,
+        /// Ordered writes of the transaction on this shard.
+        writes: Vec<(Key, Value)>,
+    },
+    /// Abort marker: resolves a `Prepare` during recovery without consulting
+    /// the coordinator (and lets diagnostics distinguish an explicit abort
+    /// from a crash-induced in-doubt state).
+    Abort {
+        /// Aborted transaction.
+        txn: TxnId,
+    },
+    /// Coordinator-side decision record of the cross-shard two-phase
+    /// commit, appended (and flushed) to the coordinator's own decision log
+    /// at the commit point — before any participant is told to commit.
+    /// Never appears in a shard's log; shard recovery resolves in-doubt
+    /// prepares against the set of these records.
+    Decision {
+        /// Cluster-global transaction id.
+        global: u64,
+        /// `true` for commit; abort decisions may be logged for diagnostics
+        /// but are implied by absence (presumed abort).
+        commit: bool,
+    },
 }
 
 /// An append-only log backend.

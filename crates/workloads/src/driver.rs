@@ -68,23 +68,25 @@ struct ClientOutcome {
     committed_by_type: HashMap<u32, u64>,
 }
 
-/// Runs `workload` against `db` with closed-loop clients and returns the
-/// merged result. The workload must already be loaded.
-pub fn run_benchmark(
-    db: &Arc<Database>,
-    workload: &Arc<dyn Workload>,
+/// The shared closed-loop harness: spawns one thread per client running
+/// `make_runner(client_seed)`'s closure until stopped, handles the
+/// warmup/measure choreography, and merges the per-client outcomes. Both
+/// the single-database and the cluster drivers delegate here so the
+/// measurement semantics can never diverge.
+fn run_closed_loop(
+    workload_name: &str,
     options: &BenchOptions,
+    make_runner: impl Fn(u64) -> Box<dyn FnMut(&mut StdRng) -> crate::workload::WorkUnit + Send>,
 ) -> BenchResult {
     let stop = Arc::new(AtomicBool::new(false));
     let measuring = Arc::new(AtomicBool::new(false));
 
     let mut handles = Vec::with_capacity(options.clients);
     for client in 0..options.clients {
-        let db = Arc::clone(db);
-        let workload = Arc::clone(workload);
         let stop = Arc::clone(&stop);
         let measuring = Arc::clone(&measuring);
         let seed = options.seed + client as u64;
+        let mut run_once = make_runner(seed);
         handles.push(std::thread::spawn(move || {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut outcome = ClientOutcome {
@@ -95,7 +97,7 @@ pub fn run_benchmark(
             };
             while !stop.load(Ordering::Relaxed) {
                 let started = Instant::now();
-                let unit = workload.run_once(&db, &mut rng);
+                let unit = run_once(&mut rng);
                 if !measuring.load(Ordering::Relaxed) {
                     continue;
                 }
@@ -134,7 +136,7 @@ pub fn run_benchmark(
 
     let duration_s = measured.as_secs_f64().max(1e-9);
     BenchResult {
-        workload: workload.name().to_string(),
+        workload: workload_name.to_string(),
         config: options.config_label.clone(),
         clients: options.clients,
         duration_s,
@@ -149,6 +151,20 @@ pub fn run_benchmark(
         latency_overall: latencies.overall(),
         committed_by_type,
     }
+}
+
+/// Runs `workload` against `db` with closed-loop clients and returns the
+/// merged result. The workload must already be loaded.
+pub fn run_benchmark(
+    db: &Arc<Database>,
+    workload: &Arc<dyn Workload>,
+    options: &BenchOptions,
+) -> BenchResult {
+    run_closed_loop(workload.name(), options, |_seed| {
+        let db = Arc::clone(db);
+        let workload = Arc::clone(workload);
+        Box::new(move |rng| workload.run_once(&db, rng))
+    })
 }
 
 /// Builds a fresh database for `workload` with the given CC configuration,
@@ -170,6 +186,43 @@ pub fn bench_config(
     workload.load(&db);
     let result = run_benchmark(&db, workload, options);
     db.shutdown();
+    result
+}
+
+/// Runs `workload` against a sharded `cluster` with closed-loop clients and
+/// returns the merged result. The workload must already be loaded. This is
+/// the cluster-routing twin of [`run_benchmark`].
+pub fn run_cluster_benchmark(
+    cluster: &Arc<tebaldi_cluster::Cluster>,
+    workload: &Arc<dyn crate::workload::ClusterWorkload>,
+    options: &BenchOptions,
+) -> BenchResult {
+    run_closed_loop(workload.name(), options, |_seed| {
+        let cluster = Arc::clone(cluster);
+        let workload = Arc::clone(workload);
+        Box::new(move |rng| workload.run_once(&cluster, rng))
+    })
+}
+
+/// Builds a fresh cluster for `workload` with the given CC configuration,
+/// loads every shard, runs the benchmark, and shuts the cluster down. The
+/// all-in-one entry point for cluster experiments.
+pub fn bench_cluster_config(
+    workload: &Arc<dyn crate::workload::ClusterWorkload>,
+    spec: tebaldi_cc::CcTreeSpec,
+    cluster_config: tebaldi_cluster::ClusterConfig,
+    options: &BenchOptions,
+) -> BenchResult {
+    let cluster = Arc::new(
+        tebaldi_cluster::Cluster::builder(cluster_config)
+            .procedures(workload.procedures())
+            .cc_spec(spec)
+            .build()
+            .expect("cluster build"),
+    );
+    workload.load(&cluster);
+    let result = run_cluster_benchmark(&cluster, workload, options);
+    cluster.shutdown();
     result
 }
 

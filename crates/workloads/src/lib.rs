@@ -20,6 +20,8 @@ pub mod seats;
 pub mod tpcc;
 pub mod workload;
 
-pub use driver::{bench_config, run_benchmark, BenchOptions};
+pub use driver::{
+    bench_cluster_config, bench_config, run_benchmark, run_cluster_benchmark, BenchOptions,
+};
 pub use metrics::{BenchResult, LatencyRecorder, LatencyStats};
-pub use workload::{WorkUnit, Workload};
+pub use workload::{ClusterWorkload, WorkUnit, Workload};

@@ -116,7 +116,11 @@ impl Workload for CrossGroupMicro {
                 (self.wide(0), Write),
             ],
         ));
-        let b_mode = if self.second_group_read_only { Read } else { Write };
+        let b_mode = if self.second_group_read_only {
+            Read
+        } else {
+            Write
+        };
         set.insert(ProcedureInfo::new(
             crossgroup_types::GROUP_B,
             "group_b",
@@ -477,9 +481,8 @@ impl Workload for OverheadMicro {
     }
 
     fn procedures(&self) -> ProcedureSet {
-        let seq: Vec<(TableId, AccessMode)> = (0..7)
-            .map(|i| (self.table(i), AccessMode::Write))
-            .collect();
+        let seq: Vec<(TableId, AccessMode)> =
+            (0..7).map(|i| (self.table(i), AccessMode::Write)).collect();
         let mut set = ProcedureSet::new();
         set.insert(ProcedureInfo::new(OVERHEAD_TYPE, "seven_writes", seq));
         set

@@ -207,7 +207,10 @@ impl Workload for Seats {
     fn load(&self, db: &Database) {
         for f in 0..self.params.flights {
             db.load(self.flight_key(f), Value::row(&[0, 300, 1]));
-            db.load(self.flight_info_key(f), Value::row(&[f as i64, f as i64 + 2]));
+            db.load(
+                self.flight_info_key(f),
+                Value::row(&[f as i64, f as i64 + 2]),
+            );
         }
         for c in 0..self.params.customers {
             db.load(self.customer_key(c), Value::row(&[1_000, 0]));
@@ -239,14 +242,8 @@ impl Workload for Seats {
                     if existing.is_none() {
                         txn.increment(flight_key, 0, 1)?;
                         txn.increment(customer_key, 1, 1)?;
-                        txn.put(
-                            reservation_key,
-                            Value::row(&[customer as i64, 300, 0]),
-                        )?;
-                        txn.put(
-                            customer_res_key,
-                            Value::row(&[flight as i64, seat as i64]),
-                        )?;
+                        txn.put(reservation_key, Value::row(&[customer as i64, 300, 0]))?;
+                        txn.put(customer_res_key, Value::row(&[flight as i64, seat as i64]))?;
                     }
                     Ok(())
                 })

@@ -1,0 +1,367 @@
+//! TPC-C partitioned by warehouse across a [`Cluster`].
+//!
+//! Each shard owns the warehouses the router maps to it (plus a replica of
+//! the read-mostly item catalog). Transactions route by their home
+//! warehouse:
+//!
+//! * `delivery`, `order_status`, `stock_level`, `hot_item` — always
+//!   single-shard (they touch one warehouse),
+//! * `new_order` — single-shard unless an order line's supplying warehouse
+//!   lives on another shard (TPC-C's ~1% remote lines, configurable),
+//! * `payment` — single-shard unless the paying customer belongs to a
+//!   remote warehouse (TPC-C's 15% remote customers, configurable).
+//!
+//! Multi-shard invocations decompose into a home part plus per-shard remote
+//! parts and run under the coordinator's two-phase commit.
+
+use super::schema::types;
+use super::{transactions, Tpcc};
+use crate::workload::{ClusterWorkload, WorkUnit};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use tebaldi_cc::ProcedureSet;
+use tebaldi_cluster::{Cluster, ShardPart};
+use tebaldi_core::ProcedureCall;
+use tebaldi_storage::{TxnTypeId, Value};
+
+/// One new_order line: (item, supplying warehouse, quantity).
+type OrderLine = (u32, u32, i64);
+
+/// TPC-C over a warehouse-sharded cluster.
+pub struct ClusterTpcc {
+    /// The underlying single-node workload (parameters, key builders, mix).
+    pub inner: Tpcc,
+    /// Probability that a new_order line is supplied by a remote warehouse
+    /// (TPC-C: 0.01).
+    pub remote_line_pct: f64,
+    /// Probability that a payment is made by a customer of a remote
+    /// warehouse (TPC-C: 0.15).
+    pub remote_payment_pct: f64,
+}
+
+impl ClusterTpcc {
+    /// Wraps a TPC-C instance with the standard remote-access rates.
+    pub fn new(inner: Tpcc) -> Self {
+        ClusterTpcc {
+            inner,
+            remote_line_pct: 0.01,
+            remote_payment_pct: 0.15,
+        }
+    }
+
+    /// Overrides the remote-access rates (the cluster bench sweeps these to
+    /// control the single-shard fraction).
+    pub fn with_remote_rates(mut self, line_pct: f64, payment_pct: f64) -> Self {
+        self.remote_line_pct = line_pct;
+        self.remote_payment_pct = payment_pct;
+        self
+    }
+
+    /// Picks a warehouse different from `home` (requires ≥ 2 warehouses).
+    fn pick_other_warehouse(&self, home: u32, rng: &mut StdRng) -> u32 {
+        let n = self.inner.params.warehouses;
+        let other = rng.gen_range(0..n - 1);
+        if other >= home {
+            other + 1
+        } else {
+            other
+        }
+    }
+
+    fn run_new_order(&self, cluster: &Cluster, w: u32, rng: &mut StdRng) -> WorkUnit {
+        let params = &self.inner.params;
+        let d = rng.gen_range(0..params.districts_per_warehouse);
+        let c = rng.gen_range(0..params.customers_per_district);
+        let line_count = rng.gen_range(5..=15);
+        let lines: Vec<OrderLine> = (0..line_count)
+            .map(|_| {
+                let item = rng.gen_range(0..params.items);
+                let supply_w = if params.warehouses > 1 && rng.gen_bool(self.remote_line_pct) {
+                    self.pick_other_warehouse(w, rng)
+                } else {
+                    w
+                };
+                (item, supply_w, rng.gen_range(1..10))
+            })
+            .collect();
+
+        let home = cluster.shard_of(w as u64);
+        // Group the remote-shard stock updates.
+        let mut remote: HashMap<usize, Vec<OrderLine>> = HashMap::new();
+        for line in &lines {
+            let shard = cluster.shard_of(line.1 as u64);
+            if shard != home {
+                remote.entry(shard).or_default().push(*line);
+            }
+        }
+
+        let keys = self.inner.keys;
+        let call = ProcedureCall::new(types::NEW_ORDER);
+        if remote.is_empty() {
+            let input = transactions::NewOrderInput { w, d, c, lines };
+            let result = cluster.execute_single(home, &call, self.inner.max_attempts, |txn| {
+                transactions::new_order(txn, &keys, &input)
+            });
+            return unit(
+                types::NEW_ORDER,
+                result.map(|(_, a)| a),
+                self.inner.max_attempts,
+            );
+        }
+
+        let remote = Arc::new(remote);
+        let input = Arc::new(transactions::NewOrderInput { w, d, c, lines });
+        let result = cluster.execute_multi_with_retry(self.inner.max_attempts, || {
+            let mut parts = Vec::with_capacity(1 + remote.len());
+            let home_keys = keys;
+            let home_input = Arc::clone(&input);
+            let home_cluster_router = cluster.router().clone();
+            let home_shard = home;
+            parts.push(ShardPart::new(
+                home,
+                call.clone(),
+                Box::new(move |txn| {
+                    transactions::new_order_filtered(txn, &home_keys, &home_input, |supply_w| {
+                        home_cluster_router.shard_of(supply_w as u64) == home_shard
+                    })
+                    .map(|o_id| Value::Int(o_id as i64))
+                }),
+            ));
+            for (&shard, shard_lines) in remote.iter() {
+                let part_keys = keys;
+                let part_lines = shard_lines.clone();
+                parts.push(ShardPart::new(
+                    shard,
+                    call.clone(),
+                    Box::new(move |txn| {
+                        transactions::new_order_remote_stock(txn, &part_keys, &part_lines)
+                            .map(|()| Value::Null)
+                    }),
+                ));
+            }
+            parts
+        });
+        unit(
+            types::NEW_ORDER,
+            result.map(|(_, aborts)| aborts),
+            self.inner.max_attempts,
+        )
+    }
+
+    fn run_payment(&self, cluster: &Cluster, w: u32, rng: &mut StdRng) -> WorkUnit {
+        let params = &self.inner.params;
+        let d = rng.gen_range(0..params.districts_per_warehouse);
+        let c = rng.gen_range(0..params.customers_per_district);
+        let input = transactions::PaymentInput {
+            w,
+            d,
+            c,
+            amount: rng.gen_range(100..5_000),
+            history_seq: self.inner.history_seq.fetch_add(1, Ordering::Relaxed),
+        };
+        // Remote customer: the payer belongs to another warehouse.
+        let (c_w, c_d) = if params.warehouses > 1 && rng.gen_bool(self.remote_payment_pct) {
+            (
+                self.pick_other_warehouse(w, rng),
+                rng.gen_range(0..params.districts_per_warehouse),
+            )
+        } else {
+            (w, d)
+        };
+
+        let keys = self.inner.keys;
+        let call = ProcedureCall::new(types::PAYMENT);
+        let home = cluster.shard_of(w as u64);
+        let customer_shard = cluster.shard_of(c_w as u64);
+        if home == customer_shard {
+            let result = cluster.execute_single(home, &call, self.inner.max_attempts, |txn| {
+                transactions::payment_local(txn, &keys, &input, c_w, c_d)
+            });
+            return unit(
+                types::PAYMENT,
+                result.map(|(_, a)| a),
+                self.inner.max_attempts,
+            );
+        }
+
+        let result = cluster.execute_multi_with_retry(self.inner.max_attempts, || {
+            let home_keys = keys;
+            let customer_keys = keys;
+            vec![
+                ShardPart::new(
+                    home,
+                    call.clone(),
+                    Box::new(move |txn| {
+                        transactions::payment_home(txn, &home_keys, &input).map(|()| Value::Null)
+                    }),
+                ),
+                ShardPart::new(
+                    customer_shard,
+                    call.clone(),
+                    Box::new(move |txn| {
+                        transactions::payment_customer(
+                            txn,
+                            &customer_keys,
+                            c_w,
+                            c_d,
+                            c,
+                            input.amount,
+                        )
+                        .map(|()| Value::Null)
+                    }),
+                ),
+            ]
+        });
+        unit(
+            types::PAYMENT,
+            result.map(|(_, aborts)| aborts),
+            self.inner.max_attempts,
+        )
+    }
+
+    fn run_local(&self, cluster: &Cluster, ty: TxnTypeId, w: u32, rng: &mut StdRng) -> WorkUnit {
+        let params = &self.inner.params;
+        let d = rng.gen_range(0..params.districts_per_warehouse);
+        let c = rng.gen_range(0..params.customers_per_district);
+        let keys = &self.inner.keys;
+        let shard = cluster.shard_of(w as u64);
+        let call = ProcedureCall::new(ty);
+        let result = match ty {
+            t if t == types::DELIVERY => {
+                let input = transactions::DeliveryInput {
+                    w,
+                    carrier: rng.gen_range(1..10),
+                    districts: params.districts_per_warehouse,
+                };
+                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
+                    transactions::delivery(txn, keys, &input).map(|_| ())
+                })
+            }
+            t if t == types::ORDER_STATUS => {
+                let input = transactions::OrderStatusInput { w, d, c };
+                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
+                    transactions::order_status(txn, keys, &input).map(|_| ())
+                })
+            }
+            t if t == types::HOT_ITEM => {
+                let input = transactions::HotItemInput {
+                    w,
+                    d,
+                    recent_orders: 10,
+                };
+                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
+                    transactions::hot_item(txn, keys, &input).map(|_| ())
+                })
+            }
+            _ => {
+                let input = transactions::StockLevelInput {
+                    w,
+                    d,
+                    threshold: 50,
+                    recent_orders: 20,
+                };
+                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
+                    transactions::stock_level(txn, keys, &input).map(|_| ())
+                })
+            }
+        };
+        unit(ty, result.map(|(_, a)| a), self.inner.max_attempts)
+    }
+}
+
+fn unit(
+    ty: TxnTypeId,
+    result: Result<usize, tebaldi_cc::CcError>,
+    max_attempts: usize,
+) -> WorkUnit {
+    match result {
+        Ok(aborts) => WorkUnit::committed(ty, aborts),
+        Err(_) => WorkUnit::failed(ty, max_attempts),
+    }
+}
+
+impl ClusterWorkload for ClusterTpcc {
+    fn name(&self) -> &str {
+        "tpcc-cluster"
+    }
+
+    fn procedures(&self) -> ProcedureSet {
+        super::schema::procedures(&self.inner.keys.tables, self.inner.params.with_hot_item)
+    }
+
+    fn load(&self, cluster: &Cluster) {
+        for shard in 0..cluster.shard_count() {
+            let db = cluster.shard(shard);
+            transactions::load_partition(db, &self.inner.keys, &self.inner.params, |w| {
+                cluster.shard_of(w as u64) == shard
+            });
+        }
+    }
+
+    fn run_once(&self, cluster: &Cluster, rng: &mut StdRng) -> WorkUnit {
+        let ty = self.inner.pick_type(rng);
+        let w = self.inner.pick_warehouse(ty, rng);
+        match ty {
+            t if t == types::NEW_ORDER => self.run_new_order(cluster, w, rng),
+            t if t == types::PAYMENT => self.run_payment(cluster, w, rng),
+            _ => self.run_local(cluster, ty, w, rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{configs, schema::TpccParams};
+    use super::*;
+    use crate::driver::{bench_cluster_config, BenchOptions};
+    use tebaldi_cluster::ClusterConfig;
+
+    #[test]
+    fn cluster_tpcc_commits_on_four_shards() {
+        let workload: Arc<dyn ClusterWorkload> =
+            Arc::new(ClusterTpcc::new(Tpcc::new(TpccParams::tiny())).with_remote_rates(0.05, 0.2));
+        // Retry: the quick measurement window can miss every commit when
+        // the workspace test suite saturates the machine.
+        let mut committed = 0;
+        for _ in 0..3 {
+            committed = bench_cluster_config(
+                &workload,
+                configs::monolithic_2pl(),
+                ClusterConfig::for_tests(2),
+                &BenchOptions::quick(4).labeled("cluster-2PL"),
+            )
+            .committed;
+            if committed > 0 {
+                break;
+            }
+        }
+        assert!(committed > 0, "cluster TPC-C must make progress");
+    }
+
+    #[test]
+    fn shards_own_disjoint_warehouses() {
+        let workload = ClusterTpcc::new(Tpcc::new(TpccParams::tiny()));
+        let cluster = tebaldi_cluster::Cluster::builder(ClusterConfig::for_tests(2))
+            .procedures(ClusterWorkload::procedures(&workload))
+            .cc_spec(configs::monolithic_2pl())
+            .build()
+            .unwrap();
+        ClusterWorkload::load(&workload, &cluster);
+        // Warehouse 0 lives on shard 0, warehouse 1 on shard 1 (modulo).
+        let keys = &workload.inner.keys;
+        let shard0 = cluster.shard(0).store();
+        let shard1 = cluster.shard(1).store();
+        use tebaldi_storage::ReadSpec::LatestCommitted;
+        assert!(shard0.read(&keys.warehouse(0), LatestCommitted).is_some());
+        assert!(shard0.read(&keys.warehouse(1), LatestCommitted).is_none());
+        assert!(shard1.read(&keys.warehouse(1), LatestCommitted).is_some());
+        assert!(shard1.read(&keys.warehouse(0), LatestCommitted).is_none());
+        // The item catalog is replicated.
+        assert!(shard0.read(&keys.item(0), LatestCommitted).is_some());
+        assert!(shard1.read(&keys.item(0), LatestCommitted).is_some());
+        cluster.shutdown();
+    }
+}

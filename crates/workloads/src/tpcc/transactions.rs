@@ -41,14 +41,63 @@ pub struct PaymentInput {
 /// The payment transaction: update warehouse and district year-to-date
 /// totals, update the customer's balance, insert a history record.
 pub fn payment(txn: &mut Txn<'_>, keys: &TpccKeys, input: &PaymentInput) -> CcResult<()> {
+    payment_local(txn, keys, input, input.w, input.d)
+}
+
+/// Payment with the paying customer resolved on the same shard (possibly a
+/// different warehouse than the home one). Preserves the declared table
+/// order (warehouse → district → customer → history) that runtime
+/// pipelining's static analysis relies on.
+pub fn payment_local(
+    txn: &mut Txn<'_>,
+    keys: &TpccKeys,
+    input: &PaymentInput,
+    c_w: u32,
+    c_d: u32,
+) -> CcResult<()> {
     txn.increment(keys.warehouse(input.w), 0, input.amount)?;
-    txn.increment(keys.district(input.w, input.d), district_fields::YTD, input.amount)?;
-    txn.increment(keys.customer(input.w, input.d, input.c), 0, -input.amount)?;
-    txn.increment(keys.customer(input.w, input.d, input.c), 1, 1)?;
+    txn.increment(
+        keys.district(input.w, input.d),
+        district_fields::YTD,
+        input.amount,
+    )?;
+    payment_customer(txn, keys, c_w, c_d, input.c, input.amount)?;
     txn.put(
         keys.history(input.w, input.d, input.history_seq),
         Value::row(&[input.amount]),
     )?;
+    Ok(())
+}
+
+/// The home-warehouse part of payment (warehouse + district totals and the
+/// history record). In the cluster a remote-customer payment runs this part
+/// on the home shard and [`payment_customer`] on the customer's shard.
+pub fn payment_home(txn: &mut Txn<'_>, keys: &TpccKeys, input: &PaymentInput) -> CcResult<()> {
+    txn.increment(keys.warehouse(input.w), 0, input.amount)?;
+    txn.increment(
+        keys.district(input.w, input.d),
+        district_fields::YTD,
+        input.amount,
+    )?;
+    txn.put(
+        keys.history(input.w, input.d, input.history_seq),
+        Value::row(&[input.amount]),
+    )?;
+    Ok(())
+}
+
+/// The customer part of payment: balance debit and payment count, on the
+/// customer's warehouse.
+pub fn payment_customer(
+    txn: &mut Txn<'_>,
+    keys: &TpccKeys,
+    c_w: u32,
+    c_d: u32,
+    c: u32,
+    amount: i64,
+) -> CcResult<()> {
+    txn.increment(keys.customer(c_w, c_d, c), 0, -amount)?;
+    txn.increment(keys.customer(c_w, c_d, c), 1, 1)?;
     Ok(())
 }
 
@@ -67,6 +116,20 @@ pub struct NewOrderInput {
 
 /// The new_order transaction.
 pub fn new_order(txn: &mut Txn<'_>, keys: &TpccKeys, input: &NewOrderInput) -> CcResult<u32> {
+    new_order_filtered(txn, keys, input, |_| true)
+}
+
+/// The home-shard part of new_order in the cluster: identical to
+/// [`new_order`] except stock rows are only updated for supplying
+/// warehouses accepted by `stock_local` — the remaining stock updates run
+/// on their owning shards through [`new_order_remote_stock`] under the
+/// cross-shard two-phase commit.
+pub fn new_order_filtered(
+    txn: &mut Txn<'_>,
+    keys: &TpccKeys,
+    input: &NewOrderInput,
+    stock_local: impl Fn(u32) -> bool,
+) -> CcResult<u32> {
     // Warehouse tax rate (read only).
     let _ = txn.get(keys.warehouse(input.w))?;
     // Allocate the order id from the district.
@@ -83,23 +146,25 @@ pub fn new_order(txn: &mut Txn<'_>, keys: &TpccKeys, input: &NewOrderInput) -> C
         Value::row(&[input.lines.len() as i64, input.c as i64, 0]),
     )?;
     txn.put(keys.new_order(input.w, input.d, o_id), Value::Int(1))?;
-    // Order lines and stock updates.
+    // Order lines and (local) stock updates.
     for (line_no, (item, supply_w, qty)) in input.lines.iter().enumerate() {
         let price = txn
             .get(keys.item(*item))?
             .and_then(|v| v.field(0))
             .unwrap_or(100);
-        let stock_key = keys.stock(*supply_w, *item);
-        let remaining = txn.update_field(stock_key, 0, |q| {
-            if q - qty >= 10 {
-                q - qty
-            } else {
-                q - qty + 91
-            }
-        })?;
-        debug_assert!(remaining > -1_000_000);
-        txn.increment(stock_key, 1, *qty)?;
-        txn.increment(stock_key, 2, 1)?;
+        if stock_local(*supply_w) {
+            let stock_key = keys.stock(*supply_w, *item);
+            let remaining = txn.update_field(stock_key, 0, |q| {
+                if q - qty >= 10 {
+                    q - qty
+                } else {
+                    q - qty + 91
+                }
+            })?;
+            debug_assert!(remaining > -1_000_000);
+            txn.increment(stock_key, 1, *qty)?;
+            txn.increment(stock_key, 2, 1)?;
+        }
         txn.put(
             keys.order_line(input.w, input.d, o_id, line_no as u32),
             Value::row(&[*item as i64, *qty, 0, price]),
@@ -111,6 +176,28 @@ pub fn new_order(txn: &mut Txn<'_>, keys: &TpccKeys, input: &NewOrderInput) -> C
         Value::Int(o_id as i64),
     )?;
     Ok(o_id)
+}
+
+/// The remote-shard part of a cross-shard new_order: the stock updates for
+/// the order lines supplied by warehouses living on that shard.
+pub fn new_order_remote_stock(
+    txn: &mut Txn<'_>,
+    keys: &TpccKeys,
+    lines: &[(u32, u32, i64)],
+) -> CcResult<()> {
+    for (item, supply_w, qty) in lines {
+        let stock_key = keys.stock(*supply_w, *item);
+        txn.update_field(stock_key, 0, |q| {
+            if q - qty >= 10 {
+                q - qty
+            } else {
+                q - qty + 91
+            }
+        })?;
+        txn.increment(stock_key, 1, *qty)?;
+        txn.increment(stock_key, 2, 1)?;
+    }
+    Ok(())
 }
 
 /// A variant of [`new_order`] that updates the stock rows *before* touching
@@ -126,7 +213,13 @@ pub fn new_order_stock_first(
     // Stock updates first (the deadlock-prone order).
     for (item, supply_w, qty) in &input.lines {
         let stock_key = keys.stock(*supply_w, *item);
-        txn.update_field(stock_key, 0, |q| if q - qty >= 10 { q - qty } else { q - qty + 91 })?;
+        txn.update_field(stock_key, 0, |q| {
+            if q - qty >= 10 {
+                q - qty
+            } else {
+                q - qty + 91
+            }
+        })?;
         txn.increment(stock_key, 1, *qty)?;
         txn.increment(stock_key, 2, 1)?;
     }
@@ -198,7 +291,10 @@ pub fn delivery(txn: &mut Txn<'_>, keys: &TpccKeys, input: &DeliveryInput) -> Cc
             None => (0, 0),
         };
         if let Some(order_row) = order {
-            txn.put(keys.order(input.w, d, o_id), order_row.with_field(2, input.carrier))?;
+            txn.put(
+                keys.order(input.w, d, o_id),
+                order_row.with_field(2, input.carrier),
+            )?;
         }
         // Stamp delivery on each order line and sum the amounts.
         let mut amount = 0i64;
@@ -329,7 +425,19 @@ pub fn hot_item(txn: &mut Txn<'_>, keys: &TpccKeys, input: &HotItemInput) -> CcR
 
 /// Loads the initial TPC-C population directly into the store.
 pub fn load(db: &tebaldi_core::Database, keys: &TpccKeys, params: &TpccParams) {
-    for w in 0..params.warehouses {
+    load_partition(db, keys, params, |_| true)
+}
+
+/// Loads only the warehouses accepted by `owns` (cluster shards own
+/// disjoint warehouse sets); the read-mostly item catalog is replicated on
+/// every shard.
+pub fn load_partition(
+    db: &tebaldi_core::Database,
+    keys: &TpccKeys,
+    params: &TpccParams,
+    owns: impl Fn(u32) -> bool,
+) {
+    for w in (0..params.warehouses).filter(|w| owns(*w)) {
         db.load(keys.warehouse(w), Value::row(&[0]));
         for d in 0..params.districts_per_warehouse {
             // next_o_id starts at 1, ytd 0, next_delivery 1.

@@ -52,3 +52,23 @@ pub trait Workload: Send + Sync {
     /// retries, and reports the outcome.
     fn run_once(&self, db: &Database, rng: &mut StdRng) -> WorkUnit;
 }
+
+/// A workload that can run against a sharded [`Cluster`]: data placement by
+/// partition key plus a transaction mix that classifies each invocation as
+/// single-shard (fast path) or multi-shard (two-phase commit).
+///
+/// [`Cluster`]: tebaldi_cluster::Cluster
+pub trait ClusterWorkload: Send + Sync {
+    /// Workload name used in reports.
+    fn name(&self) -> &str;
+
+    /// Static procedure descriptions, installed on every shard.
+    fn procedures(&self) -> ProcedureSet;
+
+    /// Populates every shard with its partition of the initial state.
+    fn load(&self, cluster: &tebaldi_cluster::Cluster);
+
+    /// Picks one transaction, routes it, executes it with retries, and
+    /// reports the outcome.
+    fn run_once(&self, cluster: &tebaldi_cluster::Cluster, rng: &mut StdRng) -> WorkUnit;
+}

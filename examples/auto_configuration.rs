@@ -43,12 +43,17 @@ fn main() {
         run_benchmark(db, &load_workload, &options).throughput
     };
 
-    let mut options = AutoConfOptions::default();
-    options.max_iterations = 4;
-    options.test_duration = Duration::from_millis(1_200);
+    let options = AutoConfOptions {
+        max_iterations: 4,
+        test_duration: Duration::from_millis(1_200),
+        ..AutoConfOptions::default()
+    };
     let report = run_auto_configuration(&db, &collector, &load, &options);
 
-    println!("\ninitial throughput: {:.0} txn/s", report.initial_throughput);
+    println!(
+        "\ninitial throughput: {:.0} txn/s",
+        report.initial_throughput
+    );
     for record in &report.iterations {
         println!(
             "iteration {}: bottleneck {:?}, tested {} candidates, best {:.0} txn/s, adopted: {}",

@@ -1,0 +1,135 @@
+//! Cluster quickstart: a 4-shard federation executing single-shard
+//! transactions on the fast path and a cross-shard transfer through the
+//! two-phase-commit coordinator.
+//!
+//! ```text
+//! cargo run --release --example cluster_quickstart
+//! ```
+
+use std::sync::Arc;
+use tebaldi_suite::cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::cluster::{Cluster, ClusterConfig, ShardPart};
+use tebaldi_suite::core::ProcedureCall;
+use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
+
+const ACCOUNTS: TableId = TableId(0);
+const TRANSFER: TxnTypeId = TxnTypeId(0);
+const N_ACCOUNTS: u64 = 64;
+
+fn main() {
+    // Describe the workload: one transaction type writing the accounts
+    // table. The same procedure set (and CC tree) is installed per shard.
+    let mut procedures = ProcedureSet::new();
+    procedures.insert(ProcedureInfo::new(
+        TRANSFER,
+        "transfer",
+        vec![(ACCOUNTS, AccessMode::Write)],
+    ));
+
+    // Four shards, each a full Tebaldi database with its own 2PL tree;
+    // account ids are the partition keys (modulo routing).
+    let cluster = Arc::new(
+        Cluster::builder(ClusterConfig::for_tests(4))
+            .procedures(procedures)
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER]))
+            .build()
+            .expect("cluster build"),
+    );
+    for account in 0..N_ACCOUNTS {
+        cluster.load(account, Key::simple(ACCOUNTS, account), Value::Int(1_000));
+    }
+    println!(
+        "built a {}-shard cluster; account 7 lives on shard {}",
+        cluster.shard_count(),
+        cluster.shard_of(7),
+    );
+
+    // --- Single-shard fast path -------------------------------------------
+    // Accounts 8 and 12 both map to shard 0: the call delegates straight to
+    // that shard's four-phase protocol, no coordination involved.
+    assert!(cluster.classify([8u64, 12u64]).is_single());
+    let shard = cluster.shard_of(8);
+    let (balance, _aborts) = cluster
+        .execute_single(shard, &ProcedureCall::new(TRANSFER), 10, |txn| {
+            txn.increment(Key::simple(ACCOUNTS, 8), 0, -50)?;
+            txn.increment(Key::simple(ACCOUNTS, 12), 0, 50)
+        })
+        .expect("single-shard transfer");
+    println!("single-shard transfer on shard {shard}: account 12 now {balance}");
+
+    // --- Cross-shard two-phase commit -------------------------------------
+    // Accounts 1 and 2 live on different shards: the debit and the credit
+    // prepare on their shards in parallel, the coordinator logs the commit
+    // decision durably, then both shards commit.
+    let routing = cluster.classify([1u64, 2u64]);
+    println!("accounts 1 and 2 route as {routing:?}");
+    let values = cluster
+        .execute_multi(vec![
+            ShardPart::new(
+                cluster.shard_of(1),
+                ProcedureCall::new(TRANSFER),
+                Box::new(|txn| {
+                    txn.increment(Key::simple(ACCOUNTS, 1), 0, -200)
+                        .map(Value::Int)
+                }),
+            ),
+            ShardPart::new(
+                cluster.shard_of(2),
+                ProcedureCall::new(TRANSFER),
+                Box::new(|txn| {
+                    txn.increment(Key::simple(ACCOUNTS, 2), 0, 200)
+                        .map(Value::Int)
+                }),
+            ),
+        ])
+        .expect("cross-shard transfer");
+    println!("cross-shard transfer committed: balances {values:?}");
+
+    // --- Asynchronous submission through the shard mailboxes --------------
+    let tickets: Vec<_> = (0..16u64)
+        .map(|i| {
+            let account = i % N_ACCOUNTS;
+            cluster.submit(
+                cluster.shard_of(account),
+                ProcedureCall::new(TRANSFER),
+                Box::new(move |txn| {
+                    txn.increment(Key::simple(ACCOUNTS, account), 0, 1)
+                        .map(Value::Int)
+                }),
+                10,
+            )
+        })
+        .collect();
+    let mut committed = 0usize;
+    for ticket in tickets {
+        ticket.wait().expect("worker reply").expect("commit");
+        committed += 1;
+    }
+    println!("asynchronously committed {committed} mailbox transactions");
+
+    // Global invariant: every transfer conserved the total balance.
+    let mut total = 0i64;
+    for account in 0..N_ACCOUNTS {
+        total += cluster
+            .shard(cluster.shard_of(account))
+            .store()
+            .read(
+                &Key::simple(ACCOUNTS, account),
+                tebaldi_suite::storage::ReadSpec::LatestCommitted,
+            )
+            .and_then(|v| v.as_int())
+            .unwrap_or(0);
+    }
+    println!(
+        "total balance: {total} (loads {} + mailbox increments {committed})",
+        1_000 * N_ACCOUNTS as i64
+    );
+    assert_eq!(total, 1_000 * N_ACCOUNTS as i64 + committed as i64);
+
+    let stats = cluster.stats();
+    println!(
+        "cluster stats: {} committed, {} single-shard calls, {} multi-shard 2PC",
+        stats.committed, stats.single_shard, stats.multi_shard
+    );
+    cluster.shutdown();
+}

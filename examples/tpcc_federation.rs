@@ -23,7 +23,10 @@ fn main() {
         config_label: String::new(),
     };
 
-    println!("TPC-C, {} warehouses, {clients} closed-loop clients\n", params.warehouses);
+    println!(
+        "TPC-C, {} warehouses, {clients} closed-loop clients\n",
+        params.warehouses
+    );
     for (name, spec) in [
         ("Monolithic 2PL", configs::monolithic_2pl()),
         ("Tebaldi 3-layer", configs::tebaldi_three_layer()),

@@ -7,6 +7,7 @@
 
 pub use tebaldi_autoconf as autoconf;
 pub use tebaldi_cc as cc;
+pub use tebaldi_cluster as cluster;
 pub use tebaldi_core as core;
 pub use tebaldi_storage as storage;
 pub use tebaldi_workloads as workloads;

@@ -2,7 +2,9 @@
 //! Run with `cargo test --test debug_rp -- --ignored --nocapture`.
 
 use std::sync::Arc;
-use tebaldi_suite::cc::{dsg, AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::cc::{
+    dsg, AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, ProcedureSet,
+};
 use tebaldi_suite::core::{Database, DbConfig, ProcedureCall};
 use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
 
@@ -87,7 +89,10 @@ fn debug_ssi_rp_lost_update() {
         let history = db.take_history().expect("history enabled");
         let report = dsg::check(&history);
         if total != INITIAL_BALANCE * N_ACCOUNTS as i64 || !report.serializable {
-            println!("=== round {round}: total={total} serializable={} ===", report.serializable);
+            println!(
+                "=== round {round}: total={total} serializable={} ===",
+                report.serializable
+            );
             println!("cycle: {:?}", report.cycle);
             println!("edges: {:?}", report.cycle_edges);
             if let Some(cycle) = &report.cycle {
@@ -97,7 +102,10 @@ fn debug_ssi_rp_lost_update() {
                             "  {:?} commit_ts={:?} reads={:?} writes={:?}",
                             rec.txn,
                             rec.commit_ts,
-                            rec.reads.iter().map(|r| (r.key, r.from)).collect::<Vec<_>>(),
+                            rec.reads
+                                .iter()
+                                .map(|r| (r.key, r.from))
+                                .collect::<Vec<_>>(),
                             rec.writes
                         );
                     }

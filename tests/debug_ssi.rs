@@ -52,7 +52,8 @@ fn debug_monolithic_ssi_audit() {
         }
         db.load(Key::simple(AUDIT_TABLE, 0), Value::Int(0));
 
-        let bad: Arc<Mutex<Option<(u64, Vec<(u64, i64)>)>>> = Arc::new(Mutex::new(None));
+        type BadObservation = Option<(u64, Vec<(u64, i64)>)>;
+        let bad: Arc<Mutex<BadObservation>> = Arc::new(Mutex::new(None));
         let stop = Arc::new(AtomicBool::new(false));
         let mut handles = Vec::new();
         for worker in 0..4u64 {

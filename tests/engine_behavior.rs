@@ -18,7 +18,11 @@ fn procedures() -> ProcedureSet {
         "update",
         vec![(TABLE, AccessMode::Write)],
     ));
-    set.insert(ProcedureInfo::new(READ, "read", vec![(TABLE, AccessMode::Read)]));
+    set.insert(ProcedureInfo::new(
+        READ,
+        "read",
+        vec![(TABLE, AccessMode::Read)],
+    ));
     set
 }
 
@@ -148,7 +152,10 @@ fn partition_by_instance_routes_by_seed() {
     }
     let total = db
         .execute(&ProcedureCall::new(READ), |txn| {
-            Ok(txn.get(Key::simple(TABLE, 0))?.and_then(|v| v.as_int()).unwrap_or(0))
+            Ok(txn
+                .get(Key::simple(TABLE, 0))?
+                .and_then(|v| v.as_int())
+                .unwrap_or(0))
         })
         .unwrap();
     assert_eq!(total, 8);

@@ -80,7 +80,9 @@ fn run_with_protocol(protocol: ReconfigProtocol) {
                     let row = rng.gen_range(0..ROWS);
                     let call = ProcedureCall::new(HOT);
                     if db
-                        .execute_with_retry(&call, 30, |txn| txn.increment(Key::simple(TABLE, row), 0, 1))
+                        .execute_with_retry(&call, 30, |txn| {
+                            txn.increment(Key::simple(TABLE, row), 0, 1)
+                        })
                         .is_ok()
                     {
                         committed += 1;
@@ -105,7 +107,9 @@ fn run_with_protocol(protocol: ReconfigProtocol) {
 
     // Let the workload warm up, then switch configurations mid-flight.
     std::thread::sleep(std::time::Duration::from_millis(100));
-    let report = db.reconfigure(updated_spec(), protocol).expect("reconfigure");
+    let report = db
+        .reconfigure(updated_spec(), protocol)
+        .expect("reconfigure");
     assert!(report.total_ms >= 0.0);
     std::thread::sleep(std::time::Duration::from_millis(100));
     stop.store(true, Ordering::Relaxed);
@@ -158,7 +162,10 @@ fn online_update_falls_back_on_root_change() {
     let report = db
         .reconfigure(initial_spec(), ReconfigProtocol::OnlineUpdate)
         .unwrap();
-    assert!(report.used_fallback, "a root-level change must fall back to a partial restart");
+    assert!(
+        report.used_fallback,
+        "a root-level change must fall back to a partial restart"
+    );
     assert_eq!(db.current_spec(), initial_spec());
     db.shutdown();
 }

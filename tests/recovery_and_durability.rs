@@ -26,7 +26,7 @@ fn procedures() -> ProcedureSet {
 }
 
 fn build(device: Arc<MemLogDevice>, mode: DurabilityMode) -> Arc<Database> {
-    let db = Arc::new(
+    Arc::new(
         Database::builder(DbConfig {
             durability: mode,
             ..DbConfig::for_tests()
@@ -36,8 +36,7 @@ fn build(device: Arc<MemLogDevice>, mode: DurabilityMode) -> Arc<Database> {
         .log_device(device)
         .build()
         .unwrap(),
-    );
-    db
+    )
 }
 
 #[test]
@@ -75,7 +74,9 @@ fn asynchronous_durability_loses_only_unsealed_epochs() {
     let db = build(
         Arc::clone(&device),
         // Very long epoch so nothing is sealed until we ask for it.
-        DurabilityMode::Asynchronous { epoch_ms: 3_600_000 },
+        DurabilityMode::Asynchronous {
+            epoch_ms: 3_600_000,
+        },
     );
     // First batch: committed and sealed.
     for i in 0..10u64 {

@@ -136,7 +136,10 @@ fn run_and_check(spec: CcTreeSpec, threads: usize, iterations: usize) {
                     rec.ty,
                     rec.group,
                     rec.commit_ts,
-                    rec.reads.iter().map(|r| (r.key, r.from)).collect::<Vec<_>>(),
+                    rec.reads
+                        .iter()
+                        .map(|r| (r.key, r.from))
+                        .collect::<Vec<_>>(),
                     rec.writes
                 );
             }
@@ -153,7 +156,10 @@ fn run_and_check(spec: CcTreeSpec, threads: usize, iterations: usize) {
     for account in 0..N_ACCOUNTS {
         let v = db
             .store()
-            .read(&Key::simple(ACCOUNTS_TABLE, account), ReadSpec::LatestCommitted)
+            .read(
+                &Key::simple(ACCOUNTS_TABLE, account),
+                ReadSpec::LatestCommitted,
+            )
             .and_then(|v| v.as_int())
             .unwrap_or(0);
         per_account.push((account, v));
@@ -171,9 +177,13 @@ fn run_and_check(spec: CcTreeSpec, threads: usize, iterations: usize) {
          (per-audit reads: {:?})",
         *bad,
         bad.iter()
-            .map(|(txn, _)| history
-                .get(tebaldi_suite::storage::TxnId(*txn))
-                .map(|t| t.reads.iter().map(|r| (r.key, r.from)).collect::<Vec<_>>()))
+            .map(
+                |(txn, _)| history.get(tebaldi_suite::storage::TxnId(*txn)).map(|t| t
+                    .reads
+                    .iter()
+                    .map(|r| (r.key, r.from))
+                    .collect::<Vec<_>>())
+            )
             .collect::<Vec<_>>()
     );
     db.shutdown();
@@ -286,4 +296,279 @@ fn three_layer_hierarchy_is_serializable() {
         ],
     ));
     run_and_check(spec, 4, 120);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster: cross-shard two-phase commit
+// ---------------------------------------------------------------------------
+
+mod cluster_suite {
+    use super::*;
+    use std::collections::HashMap;
+    use tebaldi_suite::cluster::{recover_cluster, Cluster, ClusterConfig, ShardPart};
+    use tebaldi_suite::core::DurabilityMode;
+    use tebaldi_suite::storage::wal::LogRecord;
+    use tebaldi_suite::storage::TxnId;
+
+    const SHARDS: usize = 4;
+
+    fn build_cluster() -> Cluster {
+        build_cluster_with(CcKind::TwoPl)
+    }
+
+    fn build_cluster_with(kind: CcKind) -> Cluster {
+        let mut config = ClusterConfig::for_tests(SHARDS);
+        // Synchronous WAL: prepare records double as the local→global id
+        // map when merging per-shard histories into one global DSG.
+        config.db_config.durability = DurabilityMode::Synchronous;
+        let cluster = Cluster::builder(config)
+            .procedures(procedures())
+            .cc_spec(CcTreeSpec::monolithic(kind, vec![TRANSFER, AUDIT]))
+            .build()
+            .unwrap();
+        for account in 0..N_ACCOUNTS {
+            cluster.load(
+                account,
+                Key::simple(ACCOUNTS_TABLE, account),
+                Value::Int(INITIAL_BALANCE),
+            );
+        }
+        cluster
+    }
+
+    fn transfer(cluster: &Cluster, from: u64, to: u64, amount: i64) {
+        let from_shard = cluster.shard_of(from);
+        let to_shard = cluster.shard_of(to);
+        if from_shard == to_shard {
+            let _ = cluster.execute_single(from_shard, &ProcedureCall::new(TRANSFER), 30, |txn| {
+                txn.increment(Key::simple(ACCOUNTS_TABLE, from), 0, -amount)?;
+                txn.increment(Key::simple(ACCOUNTS_TABLE, to), 0, amount)
+            });
+            return;
+        }
+        let _ = cluster.execute_multi_with_retry(30, || {
+            vec![
+                ShardPart::new(
+                    from_shard,
+                    ProcedureCall::new(TRANSFER),
+                    Box::new(move |txn| {
+                        txn.increment(Key::simple(ACCOUNTS_TABLE, from), 0, -amount)
+                            .map(Value::Int)
+                    }),
+                ),
+                ShardPart::new(
+                    to_shard,
+                    ProcedureCall::new(TRANSFER),
+                    Box::new(move |txn| {
+                        txn.increment(Key::simple(ACCOUNTS_TABLE, to), 0, amount)
+                            .map(Value::Int)
+                    }),
+                ),
+            ]
+        });
+    }
+
+    /// Merges the per-shard histories into one global history: the two
+    /// halves of a cross-shard transaction (identified through the shards'
+    /// `Prepare` WAL records) collapse onto a single DSG node, while local
+    /// transactions get shard-disjoint ids. Per-key version orders stay
+    /// faithful because every key lives on exactly one shard, so its
+    /// writers' commit timestamps all come from that shard's oracle.
+    fn merged_global_history(cluster: &Cluster) -> tebaldi_suite::cc::history::History {
+        const GLOBAL_BASE: u64 = 900_000_000;
+        let mut txns = Vec::new();
+        for shard in 0..cluster.shard_count() {
+            let mut to_global: HashMap<TxnId, u64> = HashMap::new();
+            for record in cluster.shard_log(shard).read_back() {
+                if let LogRecord::Prepare { txn, global, .. } = record {
+                    to_global.insert(txn, global);
+                }
+            }
+            let shard_base = (shard as u64 + 1) * 10_000_000;
+            let remap = |txn: TxnId| -> TxnId {
+                if txn.is_bootstrap() {
+                    txn
+                } else if let Some(global) = to_global.get(&txn) {
+                    TxnId(GLOBAL_BASE + global)
+                } else {
+                    TxnId(shard_base + txn.0)
+                }
+            };
+            let history = cluster
+                .shard(shard)
+                .take_history()
+                .expect("history recording enabled");
+            for mut record in history.txns {
+                record.txn = remap(record.txn);
+                for read in &mut record.reads {
+                    read.from = remap(read.from);
+                }
+                txns.push(record);
+            }
+        }
+        tebaldi_suite::cc::history::History { txns }
+    }
+
+    #[test]
+    fn concurrent_cross_shard_transfers_yield_acyclic_global_dsg() {
+        run_cross_shard_dsg_check(CcKind::TwoPl);
+    }
+
+    /// SSI's yes-vote is stabilized at prepare time (a transaction that
+    /// would turn a parked prepared transaction into a pivot aborts itself
+    /// instead), so optimistic shards must also produce an acyclic global
+    /// DSG under concurrent cross-shard traffic.
+    #[test]
+    fn concurrent_cross_shard_transfers_under_ssi_yield_acyclic_global_dsg() {
+        run_cross_shard_dsg_check(CcKind::Ssi);
+    }
+
+    fn run_cross_shard_dsg_check(kind: CcKind) {
+        let cluster = std::sync::Arc::new(build_cluster_with(kind));
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let cluster = std::sync::Arc::clone(&cluster);
+            handles.push(std::thread::spawn(move || {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(worker + 1);
+                for _ in 0..80 {
+                    let from = rng.gen_range(0..N_ACCOUNTS);
+                    let mut to = rng.gen_range(0..N_ACCOUNTS);
+                    if to == from {
+                        to = (to + 1) % N_ACCOUNTS;
+                    }
+                    transfer(&cluster, from, to, rng.gen_range(1..20));
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("worker panicked");
+        }
+        assert_eq!(cluster.in_doubt_count(), 0, "no transaction left parked");
+        assert!(
+            cluster.stats().multi_shard > 0,
+            "the random mix must exercise cross-shard transfers"
+        );
+
+        // Global DSG oracle across all shards.
+        let history = merged_global_history(&cluster);
+        assert!(history.committed_count() > 0);
+        let report = dsg::check(&history);
+        assert!(
+            report.serializable,
+            "global execution not serializable: cycle={:?} edges={:?} aborted_reads={:?}",
+            report.cycle, report.cycle_edges, report.aborted_reads
+        );
+
+        // Atomicity invariant: cross-shard transfers conserve the total.
+        let mut total = 0i64;
+        for account in 0..N_ACCOUNTS {
+            total += cluster
+                .shard(cluster.shard_of(account))
+                .store()
+                .read(
+                    &Key::simple(ACCOUNTS_TABLE, account),
+                    ReadSpec::LatestCommitted,
+                )
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+        }
+        assert_eq!(total, INITIAL_BALANCE * N_ACCOUNTS as i64);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shard_crash_between_prepare_and_commit_resolves_by_decision_log() {
+        let cluster = build_cluster();
+        // Harden the initial loads into the recoverable state.
+        for account in 0..N_ACCOUNTS {
+            let shard = cluster.shard_of(account);
+            cluster
+                .execute_single(shard, &ProcedureCall::new(TRANSFER), 10, |txn| {
+                    txn.increment(Key::simple(ACCOUNTS_TABLE, account), 0, 0)
+                })
+                .unwrap();
+        }
+        for shard in 0..SHARDS {
+            cluster.shard(shard).durability().seal_current_epoch();
+        }
+
+        // Transfer A (decision logged): must commit on recovery.
+        // Accounts 0 and 1 live on shards 0 and 1 under modulo routing.
+        let decided = cluster.coordinator().begin_global();
+        let (_, da) = cluster
+            .shard(0)
+            .prepare(&ProcedureCall::new(TRANSFER), decided, |txn| {
+                txn.increment(Key::simple(ACCOUNTS_TABLE, 0), 0, -100)
+            })
+            .unwrap();
+        let (_, db) = cluster
+            .shard(1)
+            .prepare(&ProcedureCall::new(TRANSFER), decided, |txn| {
+                txn.increment(Key::simple(ACCOUNTS_TABLE, 1), 0, 100)
+            })
+            .unwrap();
+        cluster.coordinator().log_commit(decided);
+
+        // Transfer B (no decision): must roll back on recovery.
+        let undecided = cluster.coordinator().begin_global();
+        let (_, ua) = cluster
+            .shard(2)
+            .prepare(&ProcedureCall::new(TRANSFER), undecided, |txn| {
+                txn.increment(Key::simple(ACCOUNTS_TABLE, 2), 0, -100)
+            })
+            .unwrap();
+        let (_, ub) = cluster
+            .shard(3)
+            .prepare(&ProcedureCall::new(TRANSFER), undecided, |txn| {
+                txn.increment(Key::simple(ACCOUNTS_TABLE, 3), 0, 100)
+            })
+            .unwrap();
+
+        // Crash every shard between prepare and decide delivery.
+        let logs: Vec<_> = (0..SHARDS).map(|s| cluster.shard_log(s)).collect();
+        let decision_log = cluster.coordinator().decision_log();
+        std::mem::forget(da);
+        std::mem::forget(db);
+        std::mem::forget(ua);
+        std::mem::forget(ub);
+
+        let recovered = recover_cluster(&logs, decision_log.as_ref(), 4);
+        let balance = |shard: usize, account: u64| {
+            recovered[shard]
+                .0
+                .read(
+                    &Key::simple(ACCOUNTS_TABLE, account),
+                    ReadSpec::LatestCommitted,
+                )
+                .and_then(|v| v.as_int())
+                .unwrap_or(0)
+        };
+        assert_eq!(
+            balance(0, 0),
+            INITIAL_BALANCE - 100,
+            "decided debit applied"
+        );
+        assert_eq!(
+            balance(1, 1),
+            INITIAL_BALANCE + 100,
+            "decided credit applied"
+        );
+        assert_eq!(
+            balance(2, 2),
+            INITIAL_BALANCE,
+            "undecided debit rolled back"
+        );
+        assert_eq!(
+            balance(3, 3),
+            INITIAL_BALANCE,
+            "undecided credit rolled back"
+        );
+        let total: i64 = (0..SHARDS).map(|s| balance(s, s as u64)).sum();
+        assert_eq!(
+            total,
+            INITIAL_BALANCE * SHARDS as i64,
+            "atomicity preserved"
+        );
+    }
 }

@@ -1,0 +1,218 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! No statistics engine — each benchmark closure is timed over a fixed
+//! wall-clock budget and the mean iteration time is printed. Enough to keep
+//! `cargo bench` runnable (and `cargo test --benches` compiling) without
+//! crates.io access; replace with real criterion when network returns.
+
+use std::time::{Duration, Instant};
+
+/// Hint to the optimizer that `value` is used (best-effort without unsafe).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost; accepted and ignored.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    budget: Duration,
+    /// (total elapsed, iterations) of the measured run.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            budget,
+            result: None,
+        }
+    }
+
+    /// Times `routine` repeatedly until the measurement budget is used.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let started = Instant::now();
+        let mut iterations = 0u64;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget || iterations == 0 {
+            black_box(routine());
+            iterations += 1;
+            // Check the clock every few iterations to keep overhead low.
+            if iterations.is_multiple_of(64) || elapsed == Duration::ZERO {
+                elapsed = started.elapsed();
+            }
+        }
+        self.result = Some((started.elapsed(), iterations));
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut iterations = 0u64;
+        let mut measured = Duration::ZERO;
+        while measured < self.budget || iterations == 0 {
+            let input = setup();
+            let started = Instant::now();
+            black_box(routine(input));
+            measured += started.elapsed();
+            iterations += 1;
+        }
+        self.result = Some((measured, iterations));
+    }
+}
+
+fn report(name: &str, result: Option<(Duration, u64)>) {
+    match result {
+        Some((elapsed, iterations)) if iterations > 0 => {
+            let per_iter = elapsed.as_nanos() as f64 / iterations as f64;
+            println!("bench: {name:<50} {per_iter:>14.1} ns/iter  ({iterations} iters)");
+        }
+        _ => println!("bench: {name:<50} (no measurement)"),
+    }
+}
+
+/// The benchmark runner.
+pub struct Criterion {
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted and ignored (the stub has no sampling).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted and ignored (the stub warms up within the budget).
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.measurement_time);
+        f(&mut b);
+        report(name, b.result);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.parent.measurement_time);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, name), b.result);
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut b = Bencher::new(Duration::from_millis(2));
+        let mut setups = 0u64;
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| x + 1,
+            BatchSize::SmallInput,
+        );
+        let (_, iters) = b.result.unwrap();
+        assert_eq!(setups, iters);
+    }
+}

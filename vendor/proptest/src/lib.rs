@@ -1,0 +1,218 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! Supports the `proptest! { #[test] fn name(arg in strategy, ...) { .. } }`
+//! macro with integer-range strategies, tuples of strategies, and
+//! `proptest::collection::vec`. Each test runs a fixed number of cases with
+//! a deterministic per-test seed. There is no shrinking: a failing case
+//! panics with the generated inputs `Debug`-printed so it can be replayed
+//! manually.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Number of random cases run per property.
+pub const CASES: u32 = 96;
+
+/// A source of random values for strategies.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for a named property test.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// A strategy always producing the same cloned value.
+#[derive(Clone, Debug)]
+pub struct JustStrategy<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for JustStrategy<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Wraps a constant into a strategy (proptest's `Just`).
+#[allow(non_snake_case)]
+pub fn Just<T: Clone>(value: T) -> JustStrategy<T> {
+    JustStrategy(value)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose length
+    /// lies in `size` (half-open, like proptest's `1..30`).
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.start < self.size.end {
+                rng.gen_range(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Asserts a condition inside a property (panics with case context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each function runs [`CASES`] sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut rng = $crate::rng_for(stringify!($name));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    // Cloned up front: the body may consume the inputs.
+                    let __inputs = ($(::std::clone::Clone::clone(&$arg),)*);
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(move || { $body }),
+                    );
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest stub: case {}/{} of `{}` failed with inputs {:?} = {:?}",
+                            case + 1,
+                            $crate::CASES,
+                            stringify!($name),
+                            ($(stringify!($arg),)*),
+                            __inputs,
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `use proptest::prelude::*;` surface.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+    #[allow(unused_imports)]
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, v in proptest::collection::vec(0u32..5, 1..4)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|e| *e < 5));
+        }
+
+        #[test]
+        fn tuples_sample_componentwise(pair in (1u64..3, 10i64..12)) {
+            prop_assert!(pair.0 >= 1 && pair.0 < 3);
+            prop_assert!(pair.1 >= 10 && pair.1 < 12);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_test() {
+        let mut a = crate::rng_for("t");
+        let mut b = crate::rng_for("t");
+        use rand::Rng;
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

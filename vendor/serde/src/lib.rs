@@ -1,0 +1,540 @@
+//! A minimal, offline stand-in for `serde`.
+//!
+//! The real serde could not be vendored (no crates.io access), so this crate
+//! implements the small surface the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` plus JSON encoding via the sibling `serde_json` stub.
+//!
+//! Instead of serde's visitor-based data model, values convert to and from a
+//! single JSON-like tree, [`Json`]:
+//!
+//! * [`Serialize`] — `fn to_json(&self) -> Json`
+//! * [`Deserialize`] — `fn from_json(&Json) -> Result<Self, DeError>`
+//!
+//! The derive macros (re-exported from `serde_derive`) generate those
+//! methods for plain structs, tuple structs, and enums, mirroring serde's
+//! externally-tagged encoding so files written by this stub remain readable
+//! by real serde if the workspace ever regains network access.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+use std::sync::Arc;
+
+/// A JSON value: the interchange tree both traits convert through.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (covers u128 so `Key.row` round-trips exactly).
+    U(u128),
+    /// Negative integer.
+    I(i128),
+    /// Floating-point number.
+    F(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object (insertion-ordered).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// The object entries, when this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The array elements, when this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string content, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, field: &str) -> Option<&Json> {
+        self.as_obj()
+            .and_then(|o| o.iter().find(|(k, _)| k == field).map(|(_, v)| v))
+    }
+
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::U(_) | Json::I(_) | Json::F(_) => "number",
+            Json::Str(_) => "string",
+            Json::Arr(_) => "array",
+            Json::Obj(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error with the given message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        DeError(m.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can serialize themselves into a [`Json`] tree.
+pub trait Serialize {
+    /// Converts `self` to a JSON tree.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can reconstruct themselves from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    /// Parses a value out of a JSON tree.
+    fn from_json(j: &Json) -> Result<Self, DeError>;
+}
+
+// ---- scalar impls ----------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Bool(b) => Ok(*b),
+            other => Err(DeError::msg(format!("expected bool, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_serde_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                Json::U(*self as u128)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(j: &Json) -> Result<Self, DeError> {
+                let v: u128 = match j {
+                    Json::U(u) => *u,
+                    Json::I(i) if *i >= 0 => *i as u128,
+                    Json::F(f) if *f >= 0.0 && f.fract() == 0.0 => *f as u128,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::msg(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_uint!(u8, u16, u32, u64, usize, u128);
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json {
+                let v = *self as i128;
+                if v >= 0 { Json::U(v as u128) } else { Json::I(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_json(j: &Json) -> Result<Self, DeError> {
+                let v: i128 = match j {
+                    Json::U(u) => i128::try_from(*u)
+                        .map_err(|_| DeError::msg("unsigned value too large for signed type"))?,
+                    Json::I(i) => *i,
+                    Json::F(f) if f.fract() == 0.0 => *f as i128,
+                    other => {
+                        return Err(DeError::msg(format!(
+                            "expected integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| DeError::msg(format!("integer {v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(i8, i16, i32, i64, isize, i128);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::F(f) => Ok(*f),
+            Json::U(u) => Ok(*u as f64),
+            Json::I(i) => Ok(*i as f64),
+            other => Err(DeError::msg(format!(
+                "expected number, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        f64::from_json(j).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(DeError::msg(format!(
+                "expected string, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        let s = String::from_json(j)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::msg("expected single-character string")),
+        }
+    }
+}
+
+// ---- container impls -------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Arr(a) => a.iter().map(T::from_json).collect(),
+            other => Err(DeError::msg(format!(
+                "expected array, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Arr(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        T::from_json(j).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        String::from_json(j).map(Arc::from)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<[T]> {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        Vec::<T>::from_json(j).map(Arc::from)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j.as_arr() {
+            Some([a, b]) => Ok((A::from_json(a)?, B::from_json(b)?)),
+            _ => Err(DeError::msg("expected two-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Json {
+        Json::Arr(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j.as_arr() {
+            Some([a, b, c]) => Ok((A::from_json(a)?, B::from_json(b)?, C::from_json(c)?)),
+            _ => Err(DeError::msg("expected three-element array")),
+        }
+    }
+}
+
+/// Map keys encodable as JSON object keys (serde stringifies integer keys).
+pub trait JsonKey: Sized {
+    /// Encodes the key as an object-key string.
+    fn to_key(&self) -> String;
+    /// Decodes the key from an object-key string.
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl JsonKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_json_key_int {
+    ($($t:ty),*) => {$(
+        impl JsonKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError::msg(format!("bad integer map key {s:?}")))
+            }
+        }
+    )*};
+}
+impl_json_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: JsonKey + Eq + Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Obj(o) => o
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_json(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<K: JsonKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Obj(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: JsonKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        match j {
+            Json::Obj(o) => o
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_json(v)?)))
+                .collect(),
+            other => Err(DeError::msg(format!(
+                "expected object, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("secs".to_string(), Json::U(self.as_secs() as u128)),
+            ("nanos".to_string(), Json::U(self.subsec_nanos() as u128)),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        let secs = j
+            .get("secs")
+            .ok_or_else(|| DeError::msg("missing field secs"))
+            .and_then(u64::from_json)?;
+        let nanos = j
+            .get("nanos")
+            .ok_or_else(|| DeError::msg("missing field nanos"))
+            .and_then(u32::from_json)?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl Deserialize for Json {
+    fn from_json(j: &Json) -> Result<Self, DeError> {
+        Ok(j.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_roundtrip() {
+        assert_eq!(Option::<u32>::from_json(&Json::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&Json::U(5)).unwrap(), Some(5));
+        assert_eq!(Some(5u32).to_json(), Json::U(5));
+        assert_eq!(None::<u32>.to_json(), Json::Null);
+    }
+
+    #[test]
+    fn int_bounds_checked() {
+        assert!(u8::from_json(&Json::U(300)).is_err());
+        assert!(u32::from_json(&Json::I(-1)).is_err());
+        assert_eq!(i64::from_json(&Json::U(7)).unwrap(), 7);
+    }
+
+    #[test]
+    fn map_keys_stringify() {
+        let mut m = HashMap::new();
+        m.insert(3u32, 9u64);
+        let j = m.to_json();
+        assert_eq!(j.get("3").unwrap(), &Json::U(9));
+        let back: HashMap<u32, u64> = Deserialize::from_json(&j).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn arc_impls() {
+        let s: Arc<str> = Arc::from("hi");
+        let j = s.to_json();
+        let back: Arc<str> = Deserialize::from_json(&j).unwrap();
+        assert_eq!(&*back, "hi");
+        let r: Arc<[i64]> = Arc::from(vec![1i64, 2]);
+        let back: Arc<[i64]> = Deserialize::from_json(&r.to_json()).unwrap();
+        assert_eq!(&*back, &[1, 2]);
+    }
+}

@@ -1,0 +1,433 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Generates `Serialize::to_json` / `Deserialize::from_json` implementations
+//! for the item shapes this workspace actually uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field newtypes serialize transparently, larger
+//!   ones as arrays),
+//! * unit structs,
+//! * enums with unit, tuple, and struct variants (serde's externally-tagged
+//!   encoding: `"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`).
+//!
+//! Generic parameters are not supported — none of the workspace's serialized
+//! types are generic. `syn`/`quote` are unavailable offline, so parsing is a
+//! small hand-rolled walk over the token stream and code generation is
+//! string-based.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+/// Skips one attribute if the iterator is positioned at `#`; returns true
+/// when something was consumed.
+fn skip_attr(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) -> bool {
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '#' {
+            iter.next();
+            // `#![...]` or `#[...]` — consume the optional `!` then the group.
+            if let Some(TokenTree::Punct(p)) = iter.peek() {
+                if p.as_char() == '!' {
+                    iter.next();
+                }
+            }
+            iter.next(); // the [...] group
+            return true;
+        }
+    }
+    false
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    if let Some(TokenTree::Ident(id)) = iter.peek() {
+        if id.to_string() == "pub" {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the field names out of a named-fields brace group.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut iter = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        while skip_attr(&mut iter) {}
+        skip_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => {
+                fields.push(name.to_string());
+                // expect ':' then the type, up to a top-level comma
+                match iter.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("serde stub derive: expected `:` after field, got {other:?}"),
+                }
+                let mut angle_depth = 0i32;
+                for tok in iter.by_ref() {
+                    match tok {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                        _ => {}
+                    }
+                }
+            }
+            None => break,
+            other => panic!("serde stub derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple-struct/tuple-variant paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut iter = stream.into_iter().peekable();
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    loop {
+        while skip_attr(&mut iter) {}
+        skip_vis(&mut iter);
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                saw_tokens = true;
+                angle_depth += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                saw_tokens = true;
+                angle_depth -= 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+            }
+            Some(_) => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+/// Parses the variants of an enum brace group.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut iter = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        while skip_attr(&mut iter) {}
+        match iter.next() {
+            Some(TokenTree::Ident(name)) => {
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        iter.next();
+                        Fields::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = parse_named_fields(g.stream());
+                        iter.next();
+                        Fields::Named(f)
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push((name.to_string(), fields));
+                // consume the separating comma, if any
+                match iter.next() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+                    Some(other) => panic!(
+                        "serde stub derive: unsupported token after variant (discriminants \
+                         are not supported): {other:?}"
+                    ),
+                }
+            }
+            None => break,
+            other => panic!("serde stub derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        while skip_attr(&mut iter) {}
+        skip_vis(&mut iter);
+        match iter.next() {
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde stub derive: expected struct name, got {other:?}"),
+                };
+                return match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Input::Struct {
+                            name,
+                            fields: Fields::Named(parse_named_fields(g.stream())),
+                        }
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Input::Struct {
+                            name,
+                            fields: Fields::Tuple(count_tuple_fields(g.stream())),
+                        }
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::Struct {
+                        name,
+                        fields: Fields::Unit,
+                    },
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde stub derive: generic type `{name}` is not supported")
+                    }
+                    other => {
+                        panic!("serde stub derive: unexpected token after struct name: {other:?}")
+                    }
+                };
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde stub derive: expected enum name, got {other:?}"),
+                };
+                return match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::Enum {
+                        name,
+                        variants: parse_variants(g.stream()),
+                    },
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        panic!("serde stub derive: generic type `{name}` is not supported")
+                    }
+                    other => {
+                        panic!("serde stub derive: unexpected token after enum name: {other:?}")
+                    }
+                };
+            }
+            Some(TokenTree::Ident(_)) => continue, // e.g. `union` would fall through and fail later
+            None => panic!("serde stub derive: no struct or enum found"),
+            Some(_) => continue,
+        }
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_json(&self) -> ::serde::Json {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str("::serde::Json::Null\n"),
+                Fields::Tuple(1) => out.push_str("::serde::Serialize::to_json(&self.0)\n"),
+                Fields::Tuple(n) => {
+                    out.push_str("::serde::Json::Arr(::std::vec![");
+                    for i in 0..*n {
+                        out.push_str(&format!("::serde::Serialize::to_json(&self.{i}),"));
+                    }
+                    out.push_str("])\n");
+                }
+                Fields::Named(fs) => {
+                    out.push_str("::serde::Json::Obj(::std::vec![");
+                    for f in fs {
+                        out.push_str(&format!(
+                            "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json(&self.{f})),"
+                        ));
+                    }
+                    out.push_str("])\n");
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n fn to_json(&self) -> ::serde::Json {{\n match self {{\n"
+            ));
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => out.push_str(&format!(
+                        "{name}::{v} => ::serde::Json::Str(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "{name}::{v}(f0) => ::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::to_json(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Json::Arr(::std::vec![",
+                            binders.join(", ")
+                        ));
+                        for b in &binders {
+                            out.push_str(&format!("::serde::Serialize::to_json({b}),"));
+                        }
+                        out.push_str("]))]),\n");
+                    }
+                    Fields::Named(fs) => {
+                        out.push_str(&format!("{name}::{v} {{ {} }} => ", fs.join(", ")));
+                        out.push_str(&format!(
+                            "::serde::Json::Obj(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Json::Obj(::std::vec!["
+                        ));
+                        for f in fs {
+                            out.push_str(&format!(
+                                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_json({f})),"
+                            ));
+                        }
+                        out.push_str("]))]),\n");
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+/// Emits an expression deserializing field `field` of type-inferred target
+/// out of object expression `obj_expr` (missing fields read as `Null`, so
+/// `Option` fields tolerate absence).
+fn named_field_expr(type_name: &str, field: &str, obj_expr: &str) -> String {
+    format!(
+        "match {obj_expr}.get(\"{field}\") {{ \
+           Some(v) => ::serde::Deserialize::from_json(v)?, \
+           None => ::serde::Deserialize::from_json(&::serde::Json::Null).map_err(|_| \
+               ::serde::DeError::msg(\"missing field `{field}` in {type_name}\"))?, \
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_json(j: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{\n"
+            ));
+            match fields {
+                Fields::Unit => out.push_str(&format!("let _ = j; Ok({name})\n")),
+                Fields::Tuple(1) => out.push_str(&format!(
+                    "Ok({name}(::serde::Deserialize::from_json(j)?))\n"
+                )),
+                Fields::Tuple(n) => {
+                    out.push_str(&format!(
+                        "let a = j.as_arr().ok_or_else(|| ::serde::DeError::msg(\"expected array for {name}\"))?;\n\
+                         if a.len() != {n} {{ return Err(::serde::DeError::msg(\"wrong tuple arity for {name}\")); }}\n"
+                    ));
+                    out.push_str(&format!("Ok({name}("));
+                    for i in 0..*n {
+                        out.push_str(&format!("::serde::Deserialize::from_json(&a[{i}])?,"));
+                    }
+                    out.push_str("))\n");
+                }
+                Fields::Named(fs) => {
+                    out.push_str(&format!("Ok({name} {{\n"));
+                    for f in fs {
+                        out.push_str(&format!("{f}: {},\n", named_field_expr(name, f, "j")));
+                    }
+                    out.push_str("})\n");
+                }
+            }
+            out.push_str("}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl ::serde::Deserialize for {name} {{\n fn from_json(j: &::serde::Json) -> ::std::result::Result<Self, ::serde::DeError> {{\n match j {{\n"
+            ));
+            // Unit variants arrive as bare strings.
+            out.push_str("::serde::Json::Str(s) => match s.as_str() {\n");
+            for (v, fields) in variants {
+                if matches!(fields, Fields::Unit) {
+                    out.push_str(&format!("\"{v}\" => Ok({name}::{v}),\n"));
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::DeError::msg(::std::format!(\"unknown unit variant {{other:?}} for {name}\"))),\n}},\n"
+            ));
+            // Data variants arrive as single-entry objects.
+            out.push_str(
+                "::serde::Json::Obj(o) if o.len() == 1 => {\n let (tag, content) = &o[0];\n match tag.as_str() {\n",
+            );
+            for (v, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        // Tolerate `{"Variant": null}` for unit variants too.
+                        out.push_str(&format!(
+                            "\"{v}\" => {{ let _ = content; Ok({name}::{v}) }},\n"
+                        ));
+                    }
+                    Fields::Tuple(1) => out.push_str(&format!(
+                        "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_json(content)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{v}\" => {{\n let a = content.as_arr().ok_or_else(|| ::serde::DeError::msg(\"expected array for {name}::{v}\"))?;\n\
+                             if a.len() != {n} {{ return Err(::serde::DeError::msg(\"wrong arity for {name}::{v}\")); }}\n Ok({name}::{v}("
+                        ));
+                        for i in 0..*n {
+                            out.push_str(&format!("::serde::Deserialize::from_json(&a[{i}])?,"));
+                        }
+                        out.push_str("))\n},\n");
+                    }
+                    Fields::Named(fs) => {
+                        out.push_str(&format!("\"{v}\" => Ok({name}::{v} {{\n"));
+                        for f in fs {
+                            out.push_str(&format!(
+                                "{f}: {},\n",
+                                named_field_expr(&format!("{name}::{v}"), f, "content")
+                            ));
+                        }
+                        out.push_str("}),\n");
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "other => Err(::serde::DeError::msg(::std::format!(\"unknown variant {{other:?}} for {name}\"))),\n}}\n}},\n"
+            ));
+            out.push_str(&format!(
+                "other => Err(::serde::DeError::msg(::std::format!(\"expected string or object for {name}, got {{}}\", other.kind()))),\n}}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Derives `serde::Serialize` (stub: `to_json`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde stub derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (stub: `from_json`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde stub derive: generated Deserialize impl failed to parse")
+}
