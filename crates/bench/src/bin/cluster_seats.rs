@@ -1,0 +1,183 @@
+//! Cluster scale-out experiment: SEATS throughput at 1/2/4/8 shards.
+//!
+//! The second workload on the cluster, and the one with the opposite
+//! contention shape to TPC-C: a small number of hot flight rows absorb most
+//! of the write traffic, so adding shards helps twice — it spreads the
+//! single-shard work *and* multiplies the number of flights (the hot set)
+//! the cluster hosts. Flights (and their reservation rows) are partitioned
+//! by flight id; customers live on their own home shards, so a reservation
+//! for a customer of another shard decomposes into a flight part plus a
+//! customer part under two-phase commit. The remote-customer rate keeps
+//! ~90% of the reservation mix single-shard, mirroring the TPC-C sweep.
+//!
+//! Each shard runs monolithic SSI for the same reason `cluster_tpcc` does:
+//! a prepared-but-undecided 2PC participant blocks no readers while it
+//! waits for the decision.
+//!
+//! ```text
+//! cargo run --release --bin cluster_seats -- [--quick] [--json PATH]
+//! ```
+//!
+//! Always rewrites `BENCH_cluster_seats.json` for regression tracking.
+
+use serde::Serialize;
+use std::sync::Arc;
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
+use tebaldi_cluster::ClusterConfig;
+use tebaldi_workloads::seats::cluster::ClusterSeats;
+use tebaldi_workloads::seats::{configs, Seats, SeatsParams};
+use tebaldi_workloads::ClusterWorkload;
+
+/// One measured row of the scale-out sweep.
+#[derive(Clone, Debug, Serialize)]
+struct Row {
+    shards: usize,
+    clients: usize,
+    throughput: f64,
+    committed: u64,
+    aborted: u64,
+    abort_rate: f64,
+    single_shard_txns: u64,
+    multi_shard_txns: u64,
+    single_shard_fraction: f64,
+}
+
+/// The file every run refreshes for regression tracking.
+#[derive(Clone, Debug, Serialize)]
+struct Report {
+    experiment: &'static str,
+    config: &'static str,
+    flights_per_shard: u32,
+    seats_per_flight: u32,
+    customers_per_shard: u32,
+    remote_customer_pct: f64,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let options = ExperimentOptions::from_args();
+    banner(
+        "cluster_seats",
+        "SEATS scale-out across 1/2/4/8 database shards (2PC for cross-shard)",
+    );
+
+    let shard_counts = [1usize, 2, 4, 8];
+    // Scale the hot set with the cluster: each shard owns its own small
+    // pool of contended flights, as each TPC-C shard owns its warehouses.
+    // Few flights per shard keeps the paper's hot-flight contention shape —
+    // the single-shard configuration is contention-bound, which is exactly
+    // what sharding the flight space relieves.
+    let flights_per_shard = 12u32;
+    let seats_per_flight = if options.quick { 500 } else { 2_000 };
+    let customers_per_shard = 1_000u32;
+    let remote_customer_pct = 0.05;
+    let clients = if options.quick { 8 } else { 32 };
+
+    println!(
+        "{:>7} {:>8} {:>11} {:>11} {:>10} {:>12}",
+        "shards", "clients", "tput(tx/s)", "aborts", "abort%", "single-shard"
+    );
+
+    // Short runs on a loaded box are noisy; report the median of several
+    // trials per shard count so a single lucky (or starved) window cannot
+    // skew the scale-out curve.
+    let trials = if options.quick { 1 } else { 5 };
+
+    let mut rows = Vec::new();
+    for &shards in &shard_counts {
+        let params = SeatsParams {
+            flights: flights_per_shard * shards as u32,
+            seats_per_flight,
+            customers: customers_per_shard * shards as u32,
+            open_seat_probes: if options.quick { 10 } else { 30 },
+        };
+        let mut samples: Vec<Row> = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let workload_impl =
+                ClusterSeats::new(Seats::new(params)).with_remote_rate(remote_customer_pct);
+            let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
+            let mut cluster_config = ClusterConfig::for_benchmarks(shards);
+            if options.quick {
+                cluster_config.workers_per_shard = 2;
+            }
+
+            let label = format!("{shards}-shard");
+            let bench = options.bench_options(clients, &label);
+            // Build the cluster directly (rather than through
+            // bench_cluster_config) so shard-routing counters can be read
+            // before shutdown.
+            let cluster = Arc::new(
+                tebaldi_cluster::Cluster::builder(cluster_config)
+                    .procedures(workload.procedures())
+                    .cc_spec(configs::monolithic_ssi())
+                    .build()
+                    .expect("cluster build"),
+            );
+            workload.load(&cluster);
+            let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
+            let stats = cluster.stats();
+            cluster.shutdown();
+
+            let routed = stats.single_shard + stats.multi_shard;
+            let single_fraction = if routed > 0 {
+                stats.single_shard as f64 / routed as f64
+            } else {
+                1.0
+            };
+            let row = Row {
+                shards,
+                clients,
+                throughput: result.throughput,
+                committed: result.committed,
+                aborted: result.aborted,
+                abort_rate: result.abort_rate(),
+                single_shard_txns: stats.single_shard,
+                multi_shard_txns: stats.multi_shard,
+                single_shard_fraction: single_fraction,
+            };
+            samples.push(row);
+        }
+        samples.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+        let row = samples[samples.len() / 2].clone();
+        println!(
+            "{:>7} {:>8} {} {:>11} {:>9.1}% {:>11.1}%",
+            shards,
+            clients,
+            fmt_tput(row.throughput),
+            row.aborted,
+            row.abort_rate * 100.0,
+            row.single_shard_fraction * 100.0,
+        );
+        rows.push(row);
+    }
+
+    let report = Report {
+        experiment: "cluster_seats",
+        config: "monolithic SSI per shard, flight/customer partitioning",
+        flights_per_shard,
+        seats_per_flight,
+        customers_per_shard,
+        remote_customer_pct,
+        rows,
+    };
+    write_trajectory("cluster_seats", &report);
+    options.maybe_write_json(&report);
+
+    // Scale-out sanity check mirrored by the acceptance criteria: four
+    // shards must clearly beat one shard on this mix.
+    if let (Some(first), Some(four)) = (
+        report.rows.first().map(|r| r.throughput),
+        report
+            .rows
+            .iter()
+            .find(|r| r.shards == 4)
+            .map(|r| r.throughput),
+    ) {
+        println!(
+            "scale-out: 4-shard {} vs 1-shard {} ({:.2}x)",
+            fmt_tput(four),
+            fmt_tput(first),
+            four / first
+        );
+    }
+}

@@ -139,16 +139,7 @@ fn main() {
         rows,
     };
     // Always refresh the trajectory file; --json adds a custom copy.
-    match serde_json::to_string_pretty(&report) {
-        Ok(json) => {
-            if let Err(err) = std::fs::write("BENCH_cluster_tpcc.json", json) {
-                eprintln!("warning: could not write BENCH_cluster_tpcc.json: {err}");
-            } else {
-                println!("\nwrote BENCH_cluster_tpcc.json");
-            }
-        }
-        Err(err) => eprintln!("warning: could not serialize report: {err}"),
-    }
+    tebaldi_bench::common::write_trajectory("cluster_tpcc", &report);
     options.maybe_write_json(&report);
 
     // Scale-out sanity check mirrored by the acceptance criteria: more

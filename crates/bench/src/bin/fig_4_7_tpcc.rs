@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
 use tebaldi_workloads::{bench_config, Workload};
@@ -57,5 +57,6 @@ fn main() {
         println!("{line}");
     }
     println!("(cells are committed transactions per second)");
+    write_trajectory("fig_4_7_tpcc", &points);
     options.maybe_write_json(&points);
 }

@@ -7,7 +7,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::seats::{configs, Seats, SeatsParams};
 use tebaldi_workloads::{bench_config, Workload};
@@ -72,5 +72,6 @@ fn main() {
         println!("{line}");
     }
     println!("(cells are committed transactions per second)");
+    write_trajectory("fig_4_8_seats", &points);
     options.maybe_write_json(&points);
 }

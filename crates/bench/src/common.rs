@@ -76,6 +76,23 @@ impl ExperimentOptions {
     }
 }
 
+/// Writes the regression-trajectory file `BENCH_<name>.json` in the working
+/// directory. Every experiment binary refreshes its trajectory file on each
+/// run so throughput curves can be diffed mechanically across PRs.
+pub fn write_trajectory<T: Serialize>(name: &str, report: &T) {
+    let path = format!("BENCH_{name}.json");
+    match serde_json::to_string_pretty(report) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {err}");
+            } else {
+                println!("\nwrote {path}");
+            }
+        }
+        Err(err) => eprintln!("warning: could not serialize report: {err}"),
+    }
+}
+
 /// Prints a header line for an experiment.
 pub fn banner(id: &str, title: &str) {
     println!("================================================================");

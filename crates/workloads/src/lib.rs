@@ -7,7 +7,8 @@
 //!   every CC-tree configuration of Fig. 4.6 and the hot_item extension of
 //!   §4.6.3,
 //! * [`seats`] — the SEATS airline-reservation benchmark (§4.6.2) with its
-//!   monolithic, two-layer and per-flight three-layer configurations,
+//!   monolithic, two-layer and per-flight three-layer configurations, plus
+//!   the flight-partitioned cluster variant ([`seats::cluster`]),
 //! * [`micro`] — the microbenchmarks of §4.6.4 (cross-group mechanisms and
 //!   hierarchies) and §4.6.5 (layer overhead),
 //! * [`driver`] / [`metrics`] — closed-loop clients, latency recording and

@@ -1,0 +1,622 @@
+//! SEATS partitioned by flight across a [`Cluster`].
+//!
+//! Flights, their seat maps, and the per-flight/seat reservation rows are
+//! owned by the shard the router assigns to the *flight id*; customers and
+//! the customer→reservation index live on the shard assigned to the
+//! *customer id* (the customer's home shard). Transactions route
+//! accordingly:
+//!
+//! * `find_flights`, `find_open_seats` — always single-shard (they touch
+//!   one flight's data),
+//! * `update_customer` — always single-shard (the customer's home shard),
+//! * `new_reservation`, `delete_reservation`, `update_reservation` —
+//!   single-shard when the customer happens to live on the flight's shard,
+//!   otherwise decomposed into a flight part plus a customer part under the
+//!   coordinator's two-phase commit.
+//!
+//! The flight part carries the workload-level conditional (seat already
+//! taken, reservation missing or owned by someone else): it votes to abort
+//! the whole distributed transaction with a dedicated no-op error, which
+//! rolls the unconditional customer part back on its shard — so the
+//! cross-shard invariant "seats sold = reservation rows = customer
+//! reservation counts" can never be violated, crash or no crash.
+
+use super::{finish, types, Seats};
+use crate::workload::{ClusterWorkload, WorkUnit};
+use rand::rngs::StdRng;
+use rand::Rng;
+use tebaldi_cc::{AccessMode, CcError, ProcedureInfo, ProcedureSet};
+use tebaldi_cluster::{Cluster, ShardPart};
+use tebaldi_core::ProcedureCall;
+use tebaldi_storage::{TxnTypeId, Value};
+
+/// The flight part's abort vote for a workload-level no-op (seat already
+/// taken, reservation missing or owned by someone else): any part error
+/// aborts the distributed transaction, rolling the unconditional customer
+/// part back on its shard. A dedicated error value keeps the vote
+/// distinguishable from the engine's own [`CcError::Requested`] aborts
+/// (reconfiguration drains, gate timeouts), which must keep retrying.
+fn no_op_vote() -> CcError {
+    CcError::Conflict {
+        mechanism: "seats-workload",
+        reason: "reservation no-op",
+    }
+}
+
+/// Whether a 2PC failure was this workload's own no-op vote.
+fn is_no_op_vote(err: &CcError) -> bool {
+    matches!(
+        err,
+        CcError::Conflict {
+            mechanism: "seats-workload",
+            ..
+        }
+    )
+}
+
+/// SEATS over a flight-sharded cluster.
+pub struct ClusterSeats {
+    /// The underlying single-node workload (parameters, tables, mix).
+    pub inner: Seats,
+    /// Probability that a reservation transaction books for a customer
+    /// whose home shard differs from the flight's shard (cross-shard 2PC).
+    /// Mirrors TPC-C's remote-payment rate; the default keeps ~90% of the
+    /// reservation traffic single-shard.
+    pub remote_customer_pct: f64,
+}
+
+impl ClusterSeats {
+    /// Wraps a SEATS instance with the standard remote-customer rate.
+    pub fn new(inner: Seats) -> Self {
+        ClusterSeats {
+            inner,
+            remote_customer_pct: 0.10,
+        }
+    }
+
+    /// Overrides the remote-customer rate (benches and tests sweep this to
+    /// control the single-shard fraction).
+    pub fn with_remote_rate(mut self, pct: f64) -> Self {
+        self.remote_customer_pct = pct;
+        self
+    }
+
+    /// Picks a customer with the requested co-location relative to the
+    /// flight's shard. Rejection sampling keeps this correct under both
+    /// hash and range routing; the fallback only triggers when the routing
+    /// cannot satisfy the request at all (e.g. a one-shard cluster).
+    fn pick_customer(&self, cluster: &Cluster, flight_shard: usize, rng: &mut StdRng) -> u32 {
+        let n = self.inner.params.customers;
+        let want_remote = cluster.shard_count() > 1 && rng.gen_bool(self.remote_customer_pct);
+        for _ in 0..64 {
+            let c = rng.gen_range(0..n);
+            if (cluster.shard_of(c as u64) != flight_shard) == want_remote {
+                return c;
+            }
+        }
+        rng.gen_range(0..n)
+    }
+
+    /// Runs a decomposed reservation transaction through 2PC with retries.
+    /// This deliberately does not reuse `execute_multi_with_retry`: the
+    /// workload's no-op vote must be intercepted before the generic
+    /// retryable-error check, or a taken seat would be retried to
+    /// exhaustion.
+    fn run_multi(
+        &self,
+        cluster: &Cluster,
+        ty: TxnTypeId,
+        mut parts: impl FnMut() -> Vec<ShardPart>,
+    ) -> WorkUnit {
+        let max_attempts = self.inner.max_attempts;
+        let mut aborts = 0;
+        loop {
+            match cluster.execute_multi(parts()) {
+                Ok(_) => return WorkUnit::committed(ty, aborts),
+                // The flight part hit the workload-level no-op condition:
+                // the distributed transaction rolled back everywhere and
+                // the unit counts as committed work, exactly like the
+                // single-node no-op commit.
+                Err(err) if is_no_op_vote(&err) => return WorkUnit::committed(ty, aborts),
+                Err(err) if err.is_retryable() && aborts + 1 < max_attempts => {
+                    aborts += 1;
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        200 * aborts.min(10) as u64,
+                    ));
+                }
+                Err(_) => return WorkUnit::failed(ty, max_attempts),
+            }
+        }
+    }
+
+    /// new_reservation for a specific flight/seat/customer, routed. Public
+    /// so deterministic tests can drive exact cross-shard interleavings.
+    ///
+    /// Unlike the reduced single-node transaction, the cluster variant
+    /// verifies the seat choice against the surrounding seat-map window
+    /// first (the full SEATS NewReservation re-checks availability before
+    /// booking), so a conflicted attempt wastes real work — the same
+    /// contention shape that makes TPC-C's new_order collapse under a
+    /// single hot shard.
+    pub fn new_reservation(
+        &self,
+        cluster: &Cluster,
+        flight: u32,
+        seat: u32,
+        customer: u32,
+    ) -> WorkUnit {
+        let t = self.inner.tables;
+        let probes = self.inner.params.open_seat_probes;
+        let seats_per_flight = self.inner.params.seats_per_flight;
+        let flight_shard = cluster.shard_of(flight as u64);
+        let customer_shard = cluster.shard_of(customer as u64);
+        let ty = types::NEW_RESERVATION;
+        let verify_window = move |txn: &mut tebaldi_core::Txn<'_>| -> tebaldi_cc::CcResult<()> {
+            for probe in 0..probes {
+                let s = (seat + probe * 37) % seats_per_flight;
+                let _ = txn.get(t.reservation_key(flight, s))?;
+            }
+            Ok(())
+        };
+        if flight_shard == customer_shard {
+            let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
+            let result = cluster
+                .execute_single(flight_shard, &call, self.inner.max_attempts, |txn| {
+                    verify_window(txn)?;
+                    let existing = txn.get(t.reservation_key(flight, seat))?;
+                    if existing.is_none() {
+                        txn.increment(t.flight_key(flight), 0, 1)?;
+                        txn.increment(t.customer_key(customer), 1, 1)?;
+                        txn.put(
+                            t.reservation_key(flight, seat),
+                            Value::row(&[customer as i64, 300, 0]),
+                        )?;
+                        txn.put(
+                            t.customer_res_key(customer),
+                            Value::row(&[flight as i64, seat as i64]),
+                        )?;
+                    }
+                    Ok(())
+                })
+                .map(|(_, a)| a);
+            return finish(ty, result, self.inner.max_attempts);
+        }
+        self.run_multi(cluster, ty, || {
+            vec![
+                ShardPart::new(
+                    flight_shard,
+                    ProcedureCall::new(ty).with_instance_seed(flight as u64),
+                    Box::new(move |txn| {
+                        verify_window(txn)?;
+                        if txn.get(t.reservation_key(flight, seat))?.is_some() {
+                            return Err(no_op_vote());
+                        }
+                        txn.increment(t.flight_key(flight), 0, 1)?;
+                        txn.put(
+                            t.reservation_key(flight, seat),
+                            Value::row(&[customer as i64, 300, 0]),
+                        )?;
+                        Ok(Value::Null)
+                    }),
+                ),
+                ShardPart::new(
+                    customer_shard,
+                    ProcedureCall::new(ty).with_instance_seed(customer as u64),
+                    Box::new(move |txn| {
+                        txn.increment(t.customer_key(customer), 1, 1)?;
+                        txn.put(
+                            t.customer_res_key(customer),
+                            Value::row(&[flight as i64, seat as i64]),
+                        )?;
+                        Ok(Value::Null)
+                    }),
+                ),
+            ]
+        })
+    }
+
+    /// delete_reservation for a specific flight/seat/customer, routed. The
+    /// seat is released iff it is currently held by that customer.
+    pub fn delete_reservation(
+        &self,
+        cluster: &Cluster,
+        flight: u32,
+        seat: u32,
+        customer: u32,
+    ) -> WorkUnit {
+        let t = self.inner.tables;
+        let flight_shard = cluster.shard_of(flight as u64);
+        let customer_shard = cluster.shard_of(customer as u64);
+        let ty = types::DELETE_RESERVATION;
+        if flight_shard == customer_shard {
+            let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
+            let result = cluster
+                .execute_single(flight_shard, &call, self.inner.max_attempts, |txn| {
+                    let owner = txn
+                        .get(t.reservation_key(flight, seat))?
+                        .and_then(|row| row.field(0));
+                    if owner == Some(customer as i64) {
+                        txn.increment(t.flight_key(flight), 0, -1)?;
+                        txn.increment(t.customer_key(customer), 1, -1)?;
+                        txn.delete(t.reservation_key(flight, seat))?;
+                        txn.delete(t.customer_res_key(customer))?;
+                    }
+                    Ok(())
+                })
+                .map(|(_, a)| a);
+            return finish(ty, result, self.inner.max_attempts);
+        }
+        self.run_multi(cluster, ty, || {
+            vec![
+                ShardPart::new(
+                    flight_shard,
+                    ProcedureCall::new(ty).with_instance_seed(flight as u64),
+                    Box::new(move |txn| {
+                        let owner = txn
+                            .get(t.reservation_key(flight, seat))?
+                            .and_then(|row| row.field(0));
+                        if owner != Some(customer as i64) {
+                            return Err(no_op_vote());
+                        }
+                        txn.increment(t.flight_key(flight), 0, -1)?;
+                        txn.delete(t.reservation_key(flight, seat))?;
+                        Ok(Value::Null)
+                    }),
+                ),
+                ShardPart::new(
+                    customer_shard,
+                    ProcedureCall::new(ty).with_instance_seed(customer as u64),
+                    Box::new(move |txn| {
+                        txn.increment(t.customer_key(customer), 1, -1)?;
+                        txn.delete(t.customer_res_key(customer))?;
+                        Ok(Value::Null)
+                    }),
+                ),
+            ]
+        })
+    }
+
+    /// update_reservation: flips the reservation's flag on the flight shard
+    /// and credits the customer's balance (frequent-flyer miles) on the
+    /// customer's home shard — the cross-shard variant of the single-node
+    /// transaction.
+    fn update_reservation(
+        &self,
+        cluster: &Cluster,
+        flight: u32,
+        seat: u32,
+        customer: u32,
+    ) -> WorkUnit {
+        let t = self.inner.tables;
+        let flight_shard = cluster.shard_of(flight as u64);
+        let customer_shard = cluster.shard_of(customer as u64);
+        let ty = types::UPDATE_RESERVATION;
+        if flight_shard == customer_shard {
+            let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
+            let result = cluster
+                .execute_single(flight_shard, &call, self.inner.max_attempts, |txn| {
+                    let _ = txn.get(t.flight_key(flight))?;
+                    if let Some(row) = txn.get(t.reservation_key(flight, seat))? {
+                        txn.put(t.reservation_key(flight, seat), row.with_field(2, 1))?;
+                        txn.increment(t.customer_key(customer), 0, 5)?;
+                    }
+                    Ok(())
+                })
+                .map(|(_, a)| a);
+            return finish(ty, result, self.inner.max_attempts);
+        }
+        self.run_multi(cluster, ty, || {
+            vec![
+                ShardPart::new(
+                    flight_shard,
+                    ProcedureCall::new(ty).with_instance_seed(flight as u64),
+                    Box::new(move |txn| {
+                        let _ = txn.get(t.flight_key(flight))?;
+                        match txn.get(t.reservation_key(flight, seat))? {
+                            Some(row) => {
+                                txn.put(t.reservation_key(flight, seat), row.with_field(2, 1))?;
+                                Ok(Value::Null)
+                            }
+                            None => Err(no_op_vote()),
+                        }
+                    }),
+                ),
+                ShardPart::new(
+                    customer_shard,
+                    ProcedureCall::new(ty).with_instance_seed(customer as u64),
+                    Box::new(move |txn| {
+                        txn.increment(t.customer_key(customer), 0, 5)?;
+                        Ok(Value::Null)
+                    }),
+                ),
+            ]
+        })
+    }
+
+    fn run_single_shard(
+        &self,
+        cluster: &Cluster,
+        ty: TxnTypeId,
+        flight: u32,
+        seat: u32,
+        customer: u32,
+    ) -> WorkUnit {
+        let t = self.inner.tables;
+        let probes = self.inner.params.open_seat_probes;
+        let seats_per_flight = self.inner.params.seats_per_flight;
+        let result = match ty {
+            ty if ty == types::UPDATE_CUSTOMER => {
+                let shard = cluster.shard_of(customer as u64);
+                let call = ProcedureCall::new(ty).with_instance_seed(customer as u64);
+                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
+                    txn.increment(t.customer_key(customer), 0, 10)?;
+                    Ok(())
+                })
+            }
+            ty if ty == types::FIND_FLIGHTS => {
+                let shard = cluster.shard_of(flight as u64);
+                let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
+                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
+                    let _ = txn.get(t.flight_info_key(flight))?;
+                    let _ = txn.get(t.flight_key(flight))?;
+                    Ok(())
+                })
+            }
+            _ => {
+                let shard = cluster.shard_of(flight as u64);
+                let call =
+                    ProcedureCall::new(types::FIND_OPEN_SEATS).with_instance_seed(flight as u64);
+                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
+                    let _ = txn.get(t.flight_key(flight))?;
+                    for probe in 0..probes {
+                        let s = (seat + probe * 37) % seats_per_flight;
+                        let _ = txn.get(t.reservation_key(flight, s))?;
+                    }
+                    Ok(())
+                })
+            }
+        };
+        finish(ty, result.map(|(_, a)| a), self.inner.max_attempts)
+    }
+}
+
+/// The SEATS procedure set with the cluster-variant access lists:
+/// `update_reservation` additionally writes the customer table (the
+/// frequent-flyer credit applied on the customer's home shard).
+pub fn cluster_procedures(workload: &Seats) -> ProcedureSet {
+    use AccessMode::{Read, Write};
+    let t = &workload.tables;
+    let mut set = ProcedureSet::new();
+    set.insert(ProcedureInfo::new(
+        types::NEW_RESERVATION,
+        "new_reservation",
+        vec![
+            (t.flight, Write),
+            (t.customer, Write),
+            (t.reservation, Write),
+            (t.customer_res_index, Write),
+        ],
+    ));
+    set.insert(ProcedureInfo::new(
+        types::DELETE_RESERVATION,
+        "delete_reservation",
+        vec![
+            (t.flight, Write),
+            (t.customer, Write),
+            (t.reservation, Write),
+            (t.customer_res_index, Write),
+        ],
+    ));
+    set.insert(ProcedureInfo::new(
+        types::UPDATE_RESERVATION,
+        "update_reservation",
+        vec![
+            (t.flight, Read),
+            (t.reservation, Write),
+            (t.customer, Write),
+        ],
+    ));
+    set.insert(ProcedureInfo::new(
+        types::UPDATE_CUSTOMER,
+        "update_customer",
+        vec![(t.customer, Write)],
+    ));
+    set.insert(ProcedureInfo::new(
+        types::FIND_FLIGHTS,
+        "find_flights",
+        vec![(t.flight_info, Read), (t.flight, Read)],
+    ));
+    set.insert(ProcedureInfo::new(
+        types::FIND_OPEN_SEATS,
+        "find_open_seats",
+        vec![(t.flight, Read), (t.reservation, Read)],
+    ));
+    set
+}
+
+impl ClusterWorkload for ClusterSeats {
+    fn name(&self) -> &str {
+        "seats-cluster"
+    }
+
+    fn procedures(&self) -> ProcedureSet {
+        cluster_procedures(&self.inner)
+    }
+
+    fn load(&self, cluster: &Cluster) {
+        let params = &self.inner.params;
+        let t = &self.inner.tables;
+        for f in 0..params.flights {
+            cluster.load(f as u64, t.flight_key(f), Value::row(&[0, 300, 1]));
+            cluster.load(
+                f as u64,
+                t.flight_info_key(f),
+                Value::row(&[f as i64, f as i64 + 2]),
+            );
+        }
+        for c in 0..params.customers {
+            cluster.load(c as u64, t.customer_key(c), Value::row(&[1_000, 0]));
+        }
+    }
+
+    fn run_once(&self, cluster: &Cluster, rng: &mut StdRng) -> WorkUnit {
+        let ty = self.inner.pick_type(rng);
+        let flight = rng.gen_range(0..self.inner.params.flights);
+        let seat = rng.gen_range(0..self.inner.params.seats_per_flight);
+        match ty {
+            ty if ty == types::NEW_RESERVATION
+                || ty == types::DELETE_RESERVATION
+                || ty == types::UPDATE_RESERVATION =>
+            {
+                let flight_shard = cluster.shard_of(flight as u64);
+                let customer = self.pick_customer(cluster, flight_shard, rng);
+                match ty {
+                    ty if ty == types::NEW_RESERVATION => {
+                        self.new_reservation(cluster, flight, seat, customer)
+                    }
+                    ty if ty == types::DELETE_RESERVATION => {
+                        self.delete_reservation(cluster, flight, seat, customer)
+                    }
+                    _ => self.update_reservation(cluster, flight, seat, customer),
+                }
+            }
+            _ => {
+                let customer = rng.gen_range(0..self.inner.params.customers);
+                self.run_single_shard(cluster, ty, flight, seat, customer)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{configs, SeatsParams};
+    use super::*;
+    use crate::driver::{bench_cluster_config, BenchOptions};
+    use std::sync::Arc;
+    use tebaldi_cluster::ClusterConfig;
+    use tebaldi_storage::ReadSpec::LatestCommitted;
+
+    #[test]
+    fn cluster_seats_commits_on_two_shards() {
+        let workload: Arc<dyn ClusterWorkload> =
+            Arc::new(ClusterSeats::new(Seats::new(SeatsParams::tiny())).with_remote_rate(0.4));
+        // Retry: the quick measurement window can miss every commit when
+        // the workspace test suite saturates the machine.
+        let mut committed = 0;
+        for _ in 0..3 {
+            committed = bench_cluster_config(
+                &workload,
+                configs::monolithic_ssi(),
+                ClusterConfig::for_tests(2),
+                &BenchOptions::quick(4).labeled("cluster-SSI"),
+            )
+            .committed;
+            if committed > 0 {
+                break;
+            }
+        }
+        assert!(committed > 0, "cluster SEATS must make progress");
+    }
+
+    #[test]
+    fn shards_own_disjoint_flights_and_customers() {
+        let workload = ClusterSeats::new(Seats::new(SeatsParams::tiny()));
+        let cluster = Cluster::builder(ClusterConfig::for_tests(2))
+            .procedures(ClusterWorkload::procedures(&workload))
+            .cc_spec(configs::monolithic_2pl())
+            .build()
+            .unwrap();
+        ClusterWorkload::load(&workload, &cluster);
+        let t = &workload.inner.tables;
+        for f in 0..workload.inner.params.flights {
+            let owner = cluster.shard_of(f as u64);
+            for shard in 0..cluster.shard_count() {
+                let present = cluster
+                    .shard(shard)
+                    .store()
+                    .read(&t.flight_key(f), LatestCommitted)
+                    .is_some();
+                assert_eq!(present, shard == owner, "flight {f} on shard {shard}");
+            }
+        }
+        for c in 0..workload.inner.params.customers {
+            let owner = cluster.shard_of(c as u64);
+            for shard in 0..cluster.shard_count() {
+                let present = cluster
+                    .shard(shard)
+                    .store()
+                    .read(&t.customer_key(c), LatestCommitted)
+                    .is_some();
+                assert_eq!(present, shard == owner, "customer {c} on shard {shard}");
+            }
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cross_shard_reservation_books_and_releases_atomically() {
+        let workload = ClusterSeats::new(Seats::new(SeatsParams::tiny()));
+        let cluster = Cluster::builder(ClusterConfig::for_tests(2))
+            .procedures(ClusterWorkload::procedures(&workload))
+            .cc_spec(configs::monolithic_2pl())
+            .build()
+            .unwrap();
+        ClusterWorkload::load(&workload, &cluster);
+        let t = workload.inner.tables;
+        // A flight and a customer on different shards.
+        let flight = 0u32;
+        let customer = (0..workload.inner.params.customers)
+            .find(|&c| cluster.shard_of(c as u64) != cluster.shard_of(flight as u64))
+            .expect("a remote customer exists");
+
+        let unit = workload.new_reservation(&cluster, flight, 7, customer);
+        assert!(unit.committed);
+        assert!(cluster.stats().multi_shard >= 1);
+        let read = |shard: usize, key| {
+            cluster
+                .shard(shard)
+                .store()
+                .read(&key, LatestCommitted)
+                // Deleted rows surface as tombstones.
+                .filter(|v| !v.is_null())
+        };
+        let fs = cluster.shard_of(flight as u64);
+        let cs = cluster.shard_of(customer as u64);
+        assert_eq!(
+            read(fs, t.flight_key(flight)).and_then(|v| v.field(0)),
+            Some(1),
+            "one seat sold"
+        );
+        assert_eq!(
+            read(cs, t.customer_key(customer)).and_then(|v| v.field(1)),
+            Some(1),
+            "customer holds one reservation"
+        );
+        assert!(read(fs, t.reservation_key(flight, 7)).is_some());
+
+        // Booking the same seat again is a no-op that rolls back everywhere.
+        let unit = workload.new_reservation(&cluster, flight, 7, customer);
+        assert!(unit.committed, "taken seat is a committed no-op");
+        assert_eq!(
+            read(fs, t.flight_key(flight)).and_then(|v| v.field(0)),
+            Some(1),
+            "seat count unchanged by the no-op"
+        );
+
+        // Release it again.
+        let unit = workload.delete_reservation(&cluster, flight, 7, customer);
+        assert!(unit.committed);
+        assert_eq!(
+            read(fs, t.flight_key(flight)).and_then(|v| v.field(0)),
+            Some(0)
+        );
+        assert_eq!(
+            read(cs, t.customer_key(customer)).and_then(|v| v.field(1)),
+            Some(0)
+        );
+        assert!(read(fs, t.reservation_key(flight, 7)).is_none());
+        assert_eq!(cluster.in_doubt_count(), 0);
+        cluster.shutdown();
+    }
+}

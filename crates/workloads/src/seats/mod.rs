@@ -16,6 +16,8 @@ use tebaldi_cc::{AccessMode, CcKind, CcNodeSpec, CcTreeSpec, ProcedureInfo, Proc
 use tebaldi_core::{Database, ProcedureCall};
 use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
 
+pub mod cluster;
+
 /// SEATS transaction types.
 pub mod types {
     use tebaldi_storage::TxnTypeId;
@@ -58,6 +60,30 @@ impl Default for SeatsTables {
             customer_res_index: TableId(23),
             flight_info: TableId(24),
         }
+    }
+}
+
+impl SeatsTables {
+    /// Key of a flight row.
+    pub fn flight_key(&self, f: u32) -> Key {
+        Key::simple(self.flight, f as u64)
+    }
+    /// Key of a flight's read-only side data.
+    pub fn flight_info_key(&self, f: u32) -> Key {
+        Key::simple(self.flight_info, f as u64)
+    }
+    /// Key of a customer row.
+    pub fn customer_key(&self, c: u32) -> Key {
+        Key::simple(self.customer, c as u64)
+    }
+    /// Key of a reservation row (unique per flight/seat pair — this
+    /// uniqueness is what makes overselling impossible).
+    pub fn reservation_key(&self, f: u32, seat: u32) -> Key {
+        Key::composite(self.reservation, &[f, seat])
+    }
+    /// Key of a customer's reservation-index entry.
+    pub fn customer_res_key(&self, c: u32) -> Key {
+        Key::simple(self.customer_res_index, c as u64)
     }
 }
 
@@ -122,20 +148,65 @@ impl Seats {
         Seats::new(SeatsParams::default())
     }
 
-    fn flight_key(&self, f: u32) -> Key {
-        Key::simple(self.tables.flight, f as u64)
+    /// Executes one new_reservation for a specific flight/seat/customer:
+    /// books the seat iff it is still free (a taken seat commits as a
+    /// no-op). Public so deterministic tests can drive exact interleavings.
+    pub fn new_reservation(
+        &self,
+        db: &Database,
+        flight: u32,
+        seat: u32,
+        customer: u32,
+    ) -> WorkUnit {
+        let call = ProcedureCall::new(types::NEW_RESERVATION).with_instance_seed(flight as u64);
+        let flight_key = self.tables.flight_key(flight);
+        let customer_key = self.tables.customer_key(customer);
+        let reservation_key = self.tables.reservation_key(flight, seat);
+        let customer_res_key = self.tables.customer_res_key(customer);
+        let result = db
+            .execute_with_retry(&call, self.max_attempts, |txn| {
+                let existing = txn.get(reservation_key)?;
+                if existing.is_none() {
+                    txn.increment(flight_key, 0, 1)?;
+                    txn.increment(customer_key, 1, 1)?;
+                    txn.put(reservation_key, Value::row(&[customer as i64, 300, 0]))?;
+                    txn.put(customer_res_key, Value::row(&[flight as i64, seat as i64]))?;
+                }
+                Ok(())
+            })
+            .map(|(_, a)| a);
+        finish(types::NEW_RESERVATION, result, self.max_attempts)
     }
-    fn flight_info_key(&self, f: u32) -> Key {
-        Key::simple(self.tables.flight_info, f as u64)
-    }
-    fn customer_key(&self, c: u32) -> Key {
-        Key::simple(self.tables.customer, c as u64)
-    }
-    fn reservation_key(&self, f: u32, seat: u32) -> Key {
-        Key::composite(self.tables.reservation, &[f, seat])
-    }
-    fn customer_res_key(&self, c: u32) -> Key {
-        Key::simple(self.tables.customer_res_index, c as u64)
+
+    /// Executes one delete_reservation for a specific flight/seat/customer:
+    /// releases the seat iff it is currently held by that customer (anything
+    /// else commits as a no-op, keeping per-customer reservation counts
+    /// non-negative).
+    pub fn delete_reservation(
+        &self,
+        db: &Database,
+        flight: u32,
+        seat: u32,
+        customer: u32,
+    ) -> WorkUnit {
+        let call = ProcedureCall::new(types::DELETE_RESERVATION).with_instance_seed(flight as u64);
+        let flight_key = self.tables.flight_key(flight);
+        let customer_key = self.tables.customer_key(customer);
+        let reservation_key = self.tables.reservation_key(flight, seat);
+        let customer_res_key = self.tables.customer_res_key(customer);
+        let result = db
+            .execute_with_retry(&call, self.max_attempts, |txn| {
+                let owner = txn.get(reservation_key)?.and_then(|row| row.field(0));
+                if owner == Some(customer as i64) {
+                    txn.increment(flight_key, 0, -1)?;
+                    txn.increment(customer_key, 1, -1)?;
+                    txn.delete(reservation_key)?;
+                    txn.delete(customer_res_key)?;
+                }
+                Ok(())
+            })
+            .map(|(_, a)| a);
+        finish(types::DELETE_RESERVATION, result, self.max_attempts)
     }
 
     fn pick_type(&self, rng: &mut StdRng) -> TxnTypeId {
@@ -206,14 +277,14 @@ impl Workload for Seats {
 
     fn load(&self, db: &Database) {
         for f in 0..self.params.flights {
-            db.load(self.flight_key(f), Value::row(&[0, 300, 1]));
+            db.load(self.tables.flight_key(f), Value::row(&[0, 300, 1]));
             db.load(
-                self.flight_info_key(f),
+                self.tables.flight_info_key(f),
                 Value::row(&[f as i64, f as i64 + 2]),
             );
         }
         for c in 0..self.params.customers {
-            db.load(self.customer_key(c), Value::row(&[1_000, 0]));
+            db.load(self.tables.customer_key(c), Value::row(&[1_000, 0]));
         }
     }
 
@@ -229,37 +300,18 @@ impl Workload for Seats {
         // their flight.
         let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
 
-        let flight_key = self.flight_key(flight);
-        let flight_info_key = self.flight_info_key(flight);
-        let customer_key = self.customer_key(customer);
-        let reservation_key = self.reservation_key(flight, seat);
-        let customer_res_key = self.customer_res_key(customer);
+        let flight_key = self.tables.flight_key(flight);
+        let flight_info_key = self.tables.flight_info_key(flight);
+        let customer_key = self.tables.customer_key(customer);
+        let reservation_key = self.tables.reservation_key(flight, seat);
 
         let result = match ty {
-            t if t == types::NEW_RESERVATION => db
-                .execute_with_retry(&call, self.max_attempts, |txn| {
-                    let existing = txn.get(reservation_key)?;
-                    if existing.is_none() {
-                        txn.increment(flight_key, 0, 1)?;
-                        txn.increment(customer_key, 1, 1)?;
-                        txn.put(reservation_key, Value::row(&[customer as i64, 300, 0]))?;
-                        txn.put(customer_res_key, Value::row(&[flight as i64, seat as i64]))?;
-                    }
-                    Ok(())
-                })
-                .map(|(_, a)| a),
-            t if t == types::DELETE_RESERVATION => db
-                .execute_with_retry(&call, self.max_attempts, |txn| {
-                    let existing = txn.get(reservation_key)?;
-                    if existing.is_some() {
-                        txn.increment(flight_key, 0, -1)?;
-                        txn.increment(customer_key, 1, -1)?;
-                        txn.delete(reservation_key)?;
-                        txn.delete(customer_res_key)?;
-                    }
-                    Ok(())
-                })
-                .map(|(_, a)| a),
+            t if t == types::NEW_RESERVATION => {
+                return self.new_reservation(db, flight, seat, customer)
+            }
+            t if t == types::DELETE_RESERVATION => {
+                return self.delete_reservation(db, flight, seat, customer)
+            }
             t if t == types::UPDATE_RESERVATION => db
                 .execute_with_retry(&call, self.max_attempts, |txn| {
                     let _ = txn.get(flight_key)?;
@@ -289,16 +341,25 @@ impl Workload for Seats {
                     let start = seat;
                     for probe in 0..probes {
                         let s = (start + probe * 37) % seats_per_flight;
-                        let _ = txn.get(self.reservation_key(flight, s))?;
+                        let _ = txn.get(self.tables.reservation_key(flight, s))?;
                     }
                     Ok(())
                 })
                 .map(|(_, a)| a),
         };
-        match result {
-            Ok(aborts) => WorkUnit::committed(ty, aborts),
-            Err(_) => WorkUnit::failed(ty, self.max_attempts),
-        }
+        finish(ty, result, self.max_attempts)
+    }
+}
+
+/// Converts a retried execution result into a [`WorkUnit`].
+fn finish(
+    ty: TxnTypeId,
+    result: Result<usize, tebaldi_cc::CcError>,
+    max_attempts: usize,
+) -> WorkUnit {
+    match result {
+        Ok(aborts) => WorkUnit::committed(ty, aborts),
+        Err(_) => WorkUnit::failed(ty, max_attempts),
     }
 }
 
@@ -320,6 +381,12 @@ pub mod configs {
     /// Monolithic 2PL.
     pub fn monolithic_2pl() -> CcTreeSpec {
         CcTreeSpec::monolithic(CcKind::TwoPl, all_types())
+    }
+
+    /// Monolithic SSI — the per-shard configuration the cluster bench uses
+    /// (prepared-but-undecided 2PC participants block no readers).
+    pub fn monolithic_ssi() -> CcTreeSpec {
+        CcTreeSpec::monolithic(CcKind::Ssi, all_types())
     }
 
     /// Two-layer: SSI separating the read-only transactions, 2PL among the

@@ -1,0 +1,13 @@
+//! Helpers shared across the integration-test binaries.
+
+use tebaldi_suite::cluster::Partitioning;
+
+/// The router path under test. CI runs the cluster test group once per
+/// value of `TEBALDI_TEST_PARTITIONING` (`range` is the default) so both
+/// routing implementations stay covered.
+pub fn test_partitioning() -> Partitioning {
+    match std::env::var("TEBALDI_TEST_PARTITIONING").as_deref() {
+        Ok("hash") => Partitioning::Hash,
+        _ => Partitioning::Range { span: 1 },
+    }
+}

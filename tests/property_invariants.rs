@@ -156,3 +156,200 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// SEATS: a hot flight never oversells
+// ---------------------------------------------------------------------------
+
+/// One reservation op against the hot flight: `kind` 0 books, 1 releases.
+type HotFlightOp = (u32, u32, u32); // (kind, seat, customer)
+
+mod seats_oversell {
+    use super::HotFlightOp;
+    use std::sync::Arc;
+    use tebaldi_suite::cluster::{Cluster, ClusterConfig};
+    use tebaldi_suite::core::Database;
+    use tebaldi_suite::storage::ReadSpec::LatestCommitted;
+    use tebaldi_suite::workloads::seats::cluster::{cluster_procedures, ClusterSeats};
+    use tebaldi_suite::workloads::seats::{configs, Seats, SeatsParams, SeatsTables};
+    use tebaldi_suite::workloads::{ClusterWorkload, Workload};
+
+    pub const HOT_FLIGHT: u32 = 0;
+    pub const SEATS: u32 = 6;
+    pub const CUSTOMERS: u32 = 5;
+
+    fn params() -> SeatsParams {
+        SeatsParams {
+            flights: 2,
+            seats_per_flight: SEATS,
+            customers: CUSTOMERS,
+            open_seat_probes: 3,
+        }
+    }
+
+    /// seats_sold, reservation-row count and summed customer counts of the
+    /// hot flight's world, read from wherever the rows live.
+    fn invariants(read: impl Fn(u64, tebaldi_suite::storage::Key) -> Option<i64>, t: &SeatsTables) {
+        let sold = read(HOT_FLIGHT as u64, t.flight_key(HOT_FLIGHT)).unwrap_or(0);
+        let mut rows = 0i64;
+        for s in 0..SEATS {
+            if read(HOT_FLIGHT as u64, t.reservation_key(HOT_FLIGHT, s)).is_some() {
+                rows += 1;
+            }
+        }
+        let mut counts = 0i64;
+        for c in 0..CUSTOMERS {
+            let count = read(c as u64, t.customer_key(c)).unwrap_or(0);
+            assert!(count >= 0, "customer {c} reservation count negative");
+            counts += count;
+        }
+        assert_eq!(sold, rows, "seats_sold must equal reservation rows");
+        assert_eq!(counts, rows, "customer counts must balance");
+        assert!(
+            (0..=SEATS as i64).contains(&sold),
+            "hot flight oversold: {sold} of {SEATS}"
+        );
+    }
+
+    /// Runs the ops concurrently on a single-node SEATS database (2PL) and
+    /// checks the invariants.
+    pub fn run_single_node(ops: &[HotFlightOp], threads: usize) {
+        let seats = Arc::new(Seats::new(params()));
+        let db = Arc::new(
+            Database::builder(tebaldi_suite::core::DbConfig::for_tests())
+                .procedures(Workload::procedures(&*seats))
+                .cc_spec(configs::monolithic_2pl())
+                .build()
+                .unwrap(),
+        );
+        Workload::load(&*seats, &db);
+        run_threads(ops, threads, |(kind, seat, customer)| {
+            let db = Arc::clone(&db);
+            let seats = Arc::clone(&seats);
+            move || {
+                if kind == 0 {
+                    seats.new_reservation(&db, HOT_FLIGHT, seat, customer);
+                } else {
+                    seats.delete_reservation(&db, HOT_FLIGHT, seat, customer);
+                }
+            }
+        });
+        let t = seats.tables;
+        invariants(
+            |_, key| {
+                db.store()
+                    .read(&key, LatestCommitted)
+                    .and_then(|v| field_of(&key, &t, v))
+            },
+            &t,
+        );
+        db.shutdown();
+    }
+
+    /// Runs the ops concurrently against a two-shard cluster (SSI per
+    /// shard, customers may live remote from the hot flight) and checks the
+    /// same invariants across shards.
+    pub fn run_clustered(ops: &[HotFlightOp], threads: usize) {
+        let workload = Arc::new(ClusterSeats::new(Seats::new(params())));
+        let cluster = Arc::new(
+            Cluster::builder(ClusterConfig::for_tests(2))
+                .procedures(cluster_procedures(&workload.inner))
+                .cc_spec(configs::monolithic_ssi())
+                .build()
+                .unwrap(),
+        );
+        ClusterWorkload::load(&*workload, &cluster);
+        run_threads(ops, threads, |(kind, seat, customer)| {
+            let cluster = Arc::clone(&cluster);
+            let workload = Arc::clone(&workload);
+            move || {
+                if kind == 0 {
+                    workload.new_reservation(&cluster, HOT_FLIGHT, seat, customer);
+                } else {
+                    workload.delete_reservation(&cluster, HOT_FLIGHT, seat, customer);
+                }
+            }
+        });
+        assert_eq!(cluster.in_doubt_count(), 0);
+        let t = workload.inner.tables;
+        invariants(
+            |partition, key| {
+                cluster
+                    .shard(cluster.shard_of(partition))
+                    .store()
+                    .read(&key, LatestCommitted)
+                    .and_then(|v| field_of(&key, &t, v))
+            },
+            &t,
+        );
+        cluster.shutdown();
+    }
+
+    /// Flight rows report seats_sold (field 0), customer rows their
+    /// reservation count (field 1); reservation rows only need presence.
+    fn field_of(
+        key: &tebaldi_suite::storage::Key,
+        t: &SeatsTables,
+        value: tebaldi_suite::storage::Value,
+    ) -> Option<i64> {
+        if value.is_null() {
+            // A tombstone: the row was deleted.
+            None
+        } else if key.table == t.customer {
+            value.field(1)
+        } else if key.table == t.flight {
+            value.field(0)
+        } else {
+            Some(1)
+        }
+    }
+
+    /// Spreads the ops round-robin over `threads` workers and joins them.
+    fn run_threads<F, R>(ops: &[HotFlightOp], threads: usize, make: F)
+    where
+        F: Fn(HotFlightOp) -> R,
+        R: FnOnce() + Send + 'static,
+    {
+        let mut lanes: Vec<Vec<R>> = (0..threads).map(|_| Vec::new()).collect();
+        for (i, &(kind, seat, customer)) in ops.iter().enumerate() {
+            lanes[i % threads].push(make((kind, seat % SEATS, customer % CUSTOMERS)));
+        }
+        let handles: Vec<_> = lanes
+            .into_iter()
+            .map(|lane| {
+                std::thread::spawn(move || {
+                    for op in lane {
+                        op();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("worker panicked");
+        }
+    }
+}
+
+proptest! {
+    /// Random interleavings of new/delete reservations on one hot flight
+    /// never oversell it on a single node: seats_sold always equals the
+    /// number of reservation rows and stays within capacity.
+    #[test]
+    fn hot_flight_never_oversells_single_node(
+        ops in proptest::collection::vec((0u32..2, 0u32..6, 0u32..5), 1..24),
+        threads in 2usize..4,
+    ) {
+        seats_oversell::run_single_node(&ops, threads);
+    }
+
+    /// The same interleavings through the flight-partitioned cluster (the
+    /// customer side of a booking may commit on another shard via 2PC)
+    /// never oversell either, and the cross-shard counts balance.
+    #[test]
+    fn hot_flight_never_oversells_clustered(
+        ops in proptest::collection::vec((0u32..2, 0u32..6, 0u32..5), 1..16),
+        threads in 2usize..4,
+    ) {
+        seats_oversell::run_clustered(&ops, threads);
+    }
+}

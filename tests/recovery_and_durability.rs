@@ -138,3 +138,225 @@ fn recovered_store_can_reopen_and_continue() {
     assert_eq!(value, 8, "recovered value 7 plus the new increment");
     db2.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Cluster: SEATS coordinator crash between prepare and decision
+// ---------------------------------------------------------------------------
+
+mod common;
+
+mod cluster_seats_recovery {
+    use super::common::test_partitioning;
+    use super::*;
+    use tebaldi_suite::cluster::{recover_cluster, Cluster, ClusterConfig};
+    use tebaldi_suite::core::DurabilityMode;
+    use tebaldi_suite::storage::MvStore;
+    use tebaldi_suite::workloads::seats::cluster::{cluster_procedures, ClusterSeats};
+    use tebaldi_suite::workloads::seats::{configs, types, Seats, SeatsParams};
+    use tebaldi_suite::workloads::ClusterWorkload;
+
+    const SHARDS: usize = 2;
+
+    /// Crash the coordinator between SEATS prepare and decision delivery:
+    /// a reservation whose commit decision reached the durable decision log
+    /// must be fully applied on recovery; one with no logged decision must
+    /// be presumed aborted on both shards. Afterwards no seat may be
+    /// double-booked and the reservation counts must balance.
+    #[test]
+    fn cluster_seats_coordinator_crash_keeps_reservations_consistent() {
+        let params = SeatsParams::tiny();
+        let workload = ClusterSeats::new(Seats::new(params));
+        let mut config = ClusterConfig::for_tests(SHARDS);
+        config.db_config.durability = DurabilityMode::Synchronous;
+        config.partitioning = test_partitioning();
+        let cluster = Cluster::builder(config)
+            .procedures(cluster_procedures(&workload.inner))
+            .cc_spec(configs::monolithic_2pl())
+            .build()
+            .unwrap();
+        ClusterWorkload::load(&workload, &cluster);
+        let t = workload.inner.tables;
+
+        // Two flights on different shards, plus a remote customer for each.
+        let flight_a = 0u32;
+        let flight_b = (1..params.flights)
+            .find(|&f| cluster.shard_of(f as u64) != cluster.shard_of(flight_a as u64))
+            .expect("a flight on the other shard");
+        let remote_customer = |flight: u32, skip: u32| {
+            (0..params.customers)
+                .find(|&c| {
+                    c != skip && cluster.shard_of(c as u64) != cluster.shard_of(flight as u64)
+                })
+                .expect("a remote customer")
+        };
+        let customer_base = remote_customer(flight_a, u32::MAX);
+        let customer_decided = remote_customer(flight_a, customer_base);
+        let customer_undecided = remote_customer(flight_b, u32::MAX);
+
+        // Write the rows the scenario touches through the WAL (loads bypass
+        // it, so only logged state survives the crash).
+        for (partition, key) in [
+            (flight_a as u64, t.flight_key(flight_a)),
+            (flight_b as u64, t.flight_key(flight_b)),
+            (customer_base as u64, t.customer_key(customer_base)),
+            (customer_decided as u64, t.customer_key(customer_decided)),
+            (
+                customer_undecided as u64,
+                t.customer_key(customer_undecided),
+            ),
+        ] {
+            let shard = cluster.shard_of(partition);
+            cluster
+                .execute_single(
+                    shard,
+                    &ProcedureCall::new(types::UPDATE_CUSTOMER),
+                    10,
+                    |txn| txn.increment(key, 0, 0),
+                )
+                .unwrap();
+        }
+
+        // Baseline: one committed cross-shard reservation (flight A seat 0).
+        let unit = workload.new_reservation(&cluster, flight_a, 0, customer_base);
+        assert!(unit.committed, "baseline reservation must commit");
+        // Double-booking the same seat is a committed no-op.
+        let unit = workload.new_reservation(&cluster, flight_a, 0, customer_decided);
+        assert!(unit.committed);
+
+        for shard in 0..SHARDS {
+            cluster.shard(shard).durability().seal_current_epoch();
+        }
+
+        // Reservation A (decision logged): flight A seat 1.
+        let decided = cluster.coordinator().begin_global();
+        let fa_shard = cluster.shard_of(flight_a as u64);
+        let ca_shard = cluster.shard_of(customer_decided as u64);
+        let (_, pa_flight) = cluster
+            .shard(fa_shard)
+            .prepare(
+                &ProcedureCall::new(types::NEW_RESERVATION),
+                decided,
+                |txn| {
+                    txn.increment(t.flight_key(flight_a), 0, 1)?;
+                    txn.put(
+                        t.reservation_key(flight_a, 1),
+                        Value::row(&[customer_decided as i64, 300, 0]),
+                    )
+                },
+            )
+            .unwrap();
+        let (_, pa_customer) = cluster
+            .shard(ca_shard)
+            .prepare(
+                &ProcedureCall::new(types::NEW_RESERVATION),
+                decided,
+                |txn| {
+                    txn.increment(t.customer_key(customer_decided), 1, 1)?;
+                    txn.put(
+                        t.customer_res_key(customer_decided),
+                        Value::row(&[flight_a as i64, 1]),
+                    )
+                },
+            )
+            .unwrap();
+        // Commit point reached...
+        cluster.coordinator().log_commit(decided);
+
+        // Reservation B (no decision): flight B seat 2.
+        let undecided = cluster.coordinator().begin_global();
+        let fb_shard = cluster.shard_of(flight_b as u64);
+        let cb_shard = cluster.shard_of(customer_undecided as u64);
+        let (_, pb_flight) = cluster
+            .shard(fb_shard)
+            .prepare(
+                &ProcedureCall::new(types::NEW_RESERVATION),
+                undecided,
+                |txn| {
+                    txn.increment(t.flight_key(flight_b), 0, 1)?;
+                    txn.put(
+                        t.reservation_key(flight_b, 2),
+                        Value::row(&[customer_undecided as i64, 300, 0]),
+                    )
+                },
+            )
+            .unwrap();
+        let (_, pb_customer) = cluster
+            .shard(cb_shard)
+            .prepare(
+                &ProcedureCall::new(types::NEW_RESERVATION),
+                undecided,
+                |txn| {
+                    txn.increment(t.customer_key(customer_undecided), 1, 1)?;
+                    txn.put(
+                        t.customer_res_key(customer_undecided),
+                        Value::row(&[flight_b as i64, 2]),
+                    )
+                },
+            )
+            .unwrap();
+
+        // ...and the coordinator crashes before any decision is delivered.
+        let logs: Vec<_> = (0..SHARDS).map(|s| cluster.shard_log(s)).collect();
+        let decision_log = cluster.coordinator().decision_log();
+        std::mem::forget(pa_flight);
+        std::mem::forget(pa_customer);
+        std::mem::forget(pb_flight);
+        std::mem::forget(pb_customer);
+
+        let recovered = recover_cluster(&logs, decision_log.as_ref(), 4);
+        for (shard, (_, report)) in recovered.iter().enumerate() {
+            assert_eq!(report.in_doubt, 2, "shard {shard} had two in-doubt parts");
+            assert_eq!(report.in_doubt_committed, 1, "decision log says commit A");
+            assert_eq!(report.in_doubt_aborted, 1, "presumed abort for B");
+        }
+
+        let read = |partition: u64, key| -> Option<Value> {
+            let store: &MvStore = &recovered[cluster.shard_of(partition)].0;
+            store
+                .read(&key, ReadSpec::LatestCommitted)
+                // Deleted rows surface as tombstones.
+                .filter(|v| !v.is_null())
+        };
+
+        // Decided reservation applied, undecided rolled back.
+        assert!(read(flight_a as u64, t.reservation_key(flight_a, 0)).is_some());
+        assert!(read(flight_a as u64, t.reservation_key(flight_a, 1)).is_some());
+        assert!(
+            read(flight_b as u64, t.reservation_key(flight_b, 2)).is_none(),
+            "undecided reservation must be presumed aborted"
+        );
+
+        // No seat double-booked: seat 0 still belongs to the baseline
+        // customer, and each flight's seats_sold equals its reservation
+        // rows.
+        assert_eq!(
+            read(flight_a as u64, t.reservation_key(flight_a, 0)).and_then(|v| v.field(0)),
+            Some(customer_base as i64)
+        );
+        let mut total_rows = 0i64;
+        for f in [flight_a, flight_b] {
+            let sold = read(f as u64, t.flight_key(f))
+                .and_then(|v| v.field(0))
+                .unwrap_or(0);
+            let mut rows = 0i64;
+            for s in 0..params.seats_per_flight {
+                if read(f as u64, t.reservation_key(f, s)).is_some() {
+                    rows += 1;
+                }
+            }
+            assert_eq!(sold, rows, "flight {f}: seats_sold matches its rows");
+            total_rows += rows;
+        }
+        assert_eq!(total_rows, 2, "baseline + decided reservations survive");
+
+        // Reservation counts balance across the recovered shards.
+        let mut customer_counts = 0i64;
+        for c in 0..params.customers {
+            customer_counts += read(c as u64, t.customer_key(c))
+                .and_then(|v| v.field(1))
+                .unwrap_or(0);
+        }
+        assert_eq!(customer_counts, total_rows, "counts balance after recovery");
+        cluster.shutdown();
+    }
+}

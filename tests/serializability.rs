@@ -302,13 +302,64 @@ fn three_layer_hierarchy_is_serializable() {
 // Cluster: cross-shard two-phase commit
 // ---------------------------------------------------------------------------
 
-mod cluster_suite {
-    use super::*;
+mod common;
+
+/// Helpers shared by every cluster test group in this file.
+mod cluster_common {
     use std::collections::HashMap;
-    use tebaldi_suite::cluster::{recover_cluster, Cluster, ClusterConfig, ShardPart};
-    use tebaldi_suite::core::DurabilityMode;
+    use tebaldi_suite::cluster::Cluster;
     use tebaldi_suite::storage::wal::LogRecord;
     use tebaldi_suite::storage::TxnId;
+
+    pub use super::common::test_partitioning;
+
+    /// Merges the per-shard histories into one global history: the parts of
+    /// a cross-shard transaction (identified through the shards' `Prepare`
+    /// WAL records) collapse onto a single DSG node, while local
+    /// transactions get shard-disjoint ids. Per-key version orders stay
+    /// faithful because every key lives on exactly one shard, so its
+    /// writers' commit timestamps all come from that shard's oracle.
+    pub fn merged_global_history(cluster: &Cluster) -> tebaldi_suite::cc::history::History {
+        const GLOBAL_BASE: u64 = 900_000_000;
+        let mut txns = Vec::new();
+        for shard in 0..cluster.shard_count() {
+            let mut to_global: HashMap<TxnId, u64> = HashMap::new();
+            for record in cluster.shard_log(shard).read_back() {
+                if let LogRecord::Prepare { txn, global, .. } = record {
+                    to_global.insert(txn, global);
+                }
+            }
+            let shard_base = (shard as u64 + 1) * 10_000_000;
+            let remap = |txn: TxnId| -> TxnId {
+                if txn.is_bootstrap() {
+                    txn
+                } else if let Some(global) = to_global.get(&txn) {
+                    TxnId(GLOBAL_BASE + global)
+                } else {
+                    TxnId(shard_base + txn.0)
+                }
+            };
+            let history = cluster
+                .shard(shard)
+                .take_history()
+                .expect("history recording enabled");
+            for mut record in history.txns {
+                record.txn = remap(record.txn);
+                for read in &mut record.reads {
+                    read.from = remap(read.from);
+                }
+                txns.push(record);
+            }
+        }
+        tebaldi_suite::cc::history::History { txns }
+    }
+}
+
+mod cluster_suite {
+    use super::cluster_common::{merged_global_history, test_partitioning};
+    use super::*;
+    use tebaldi_suite::cluster::{recover_cluster, Cluster, ClusterConfig, ShardPart};
+    use tebaldi_suite::core::DurabilityMode;
 
     const SHARDS: usize = 4;
 
@@ -321,6 +372,7 @@ mod cluster_suite {
         // Synchronous WAL: prepare records double as the local→global id
         // map when merging per-shard histories into one global DSG.
         config.db_config.durability = DurabilityMode::Synchronous;
+        config.partitioning = test_partitioning();
         let cluster = Cluster::builder(config)
             .procedures(procedures())
             .cc_spec(CcTreeSpec::monolithic(kind, vec![TRANSFER, AUDIT]))
@@ -366,47 +418,6 @@ mod cluster_suite {
                 ),
             ]
         });
-    }
-
-    /// Merges the per-shard histories into one global history: the two
-    /// halves of a cross-shard transaction (identified through the shards'
-    /// `Prepare` WAL records) collapse onto a single DSG node, while local
-    /// transactions get shard-disjoint ids. Per-key version orders stay
-    /// faithful because every key lives on exactly one shard, so its
-    /// writers' commit timestamps all come from that shard's oracle.
-    fn merged_global_history(cluster: &Cluster) -> tebaldi_suite::cc::history::History {
-        const GLOBAL_BASE: u64 = 900_000_000;
-        let mut txns = Vec::new();
-        for shard in 0..cluster.shard_count() {
-            let mut to_global: HashMap<TxnId, u64> = HashMap::new();
-            for record in cluster.shard_log(shard).read_back() {
-                if let LogRecord::Prepare { txn, global, .. } = record {
-                    to_global.insert(txn, global);
-                }
-            }
-            let shard_base = (shard as u64 + 1) * 10_000_000;
-            let remap = |txn: TxnId| -> TxnId {
-                if txn.is_bootstrap() {
-                    txn
-                } else if let Some(global) = to_global.get(&txn) {
-                    TxnId(GLOBAL_BASE + global)
-                } else {
-                    TxnId(shard_base + txn.0)
-                }
-            };
-            let history = cluster
-                .shard(shard)
-                .take_history()
-                .expect("history recording enabled");
-            for mut record in history.txns {
-                record.txn = remap(record.txn);
-                for read in &mut record.reads {
-                    read.from = remap(read.from);
-                }
-                txns.push(record);
-            }
-        }
-        tebaldi_suite::cc::history::History { txns }
     }
 
     #[test]
@@ -493,17 +504,18 @@ mod cluster_suite {
             cluster.shard(shard).durability().seal_current_epoch();
         }
 
-        // Transfer A (decision logged): must commit on recovery.
-        // Accounts 0 and 1 live on shards 0 and 1 under modulo routing.
+        // Transfer A (decision logged): must commit on recovery. Each
+        // account's shard comes from the router, so the scenario holds
+        // under both partitioning schemes.
         let decided = cluster.coordinator().begin_global();
         let (_, da) = cluster
-            .shard(0)
+            .shard(cluster.shard_of(0))
             .prepare(&ProcedureCall::new(TRANSFER), decided, |txn| {
                 txn.increment(Key::simple(ACCOUNTS_TABLE, 0), 0, -100)
             })
             .unwrap();
         let (_, db) = cluster
-            .shard(1)
+            .shard(cluster.shard_of(1))
             .prepare(&ProcedureCall::new(TRANSFER), decided, |txn| {
                 txn.increment(Key::simple(ACCOUNTS_TABLE, 1), 0, 100)
             })
@@ -513,13 +525,13 @@ mod cluster_suite {
         // Transfer B (no decision): must roll back on recovery.
         let undecided = cluster.coordinator().begin_global();
         let (_, ua) = cluster
-            .shard(2)
+            .shard(cluster.shard_of(2))
             .prepare(&ProcedureCall::new(TRANSFER), undecided, |txn| {
                 txn.increment(Key::simple(ACCOUNTS_TABLE, 2), 0, -100)
             })
             .unwrap();
         let (_, ub) = cluster
-            .shard(3)
+            .shard(cluster.shard_of(3))
             .prepare(&ProcedureCall::new(TRANSFER), undecided, |txn| {
                 txn.increment(Key::simple(ACCOUNTS_TABLE, 3), 0, 100)
             })
@@ -545,30 +557,166 @@ mod cluster_suite {
                 .unwrap_or(0)
         };
         assert_eq!(
-            balance(0, 0),
+            balance(cluster.shard_of(0), 0),
             INITIAL_BALANCE - 100,
             "decided debit applied"
         );
         assert_eq!(
-            balance(1, 1),
+            balance(cluster.shard_of(1), 1),
             INITIAL_BALANCE + 100,
             "decided credit applied"
         );
         assert_eq!(
-            balance(2, 2),
+            balance(cluster.shard_of(2), 2),
             INITIAL_BALANCE,
             "undecided debit rolled back"
         );
         assert_eq!(
-            balance(3, 3),
+            balance(cluster.shard_of(3), 3),
             INITIAL_BALANCE,
             "undecided credit rolled back"
         );
-        let total: i64 = (0..SHARDS).map(|s| balance(s, s as u64)).sum();
+        let total: i64 = (0..SHARDS as u64)
+            .map(|a| balance(cluster.shard_of(a), a))
+            .sum();
         assert_eq!(
             total,
             INITIAL_BALANCE * SHARDS as i64,
             "atomicity preserved"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster: flight-partitioned SEATS
+// ---------------------------------------------------------------------------
+
+mod cluster_seats_suite {
+    use super::cluster_common::{merged_global_history, test_partitioning};
+    use super::*;
+    use tebaldi_suite::cluster::{Cluster, ClusterConfig};
+    use tebaldi_suite::core::DurabilityMode;
+    use tebaldi_suite::workloads::seats::cluster::ClusterSeats;
+    use tebaldi_suite::workloads::seats::{configs, Seats, SeatsParams};
+    use tebaldi_suite::workloads::ClusterWorkload;
+
+    const SHARDS: usize = 4;
+
+    fn tiny_params() -> SeatsParams {
+        SeatsParams {
+            flights: 8,
+            seats_per_flight: 48,
+            customers: 64,
+            open_seat_probes: 6,
+        }
+    }
+
+    fn build(kind: CcKind, workload: &ClusterSeats) -> Cluster {
+        let mut config = ClusterConfig::for_tests(SHARDS);
+        // Synchronous WAL: prepare records double as the local→global id
+        // map when merging per-shard histories into one global DSG.
+        config.db_config.durability = DurabilityMode::Synchronous;
+        config.partitioning = test_partitioning();
+        let spec = match kind {
+            CcKind::TwoPl => configs::monolithic_2pl(),
+            _ => configs::monolithic_ssi(),
+        };
+        let cluster = Cluster::builder(config)
+            .procedures(ClusterWorkload::procedures(workload))
+            .cc_spec(spec)
+            .build()
+            .unwrap();
+        ClusterWorkload::load(workload, &cluster);
+        cluster
+    }
+
+    /// Runs a mixed ClusterSeats load on four shards, merges the per-shard
+    /// histories into the global DSG, and checks acyclicity plus the
+    /// cross-shard reservation balance invariant.
+    fn run_seats_cluster_dsg(kind: CcKind) {
+        let workload =
+            std::sync::Arc::new(ClusterSeats::new(Seats::new(tiny_params())).with_remote_rate(0.5));
+        let cluster = std::sync::Arc::new(build(kind, &workload));
+        let mut handles = Vec::new();
+        for worker in 0..4u64 {
+            let cluster = std::sync::Arc::clone(&cluster);
+            let workload = std::sync::Arc::clone(&workload);
+            handles.push(std::thread::spawn(move || {
+                use rand::SeedableRng;
+                let mut rng = rand::rngs::StdRng::seed_from_u64(worker + 1);
+                for _ in 0..60 {
+                    let _ = workload.run_once(&cluster, &mut rng);
+                }
+            }));
+        }
+        for handle in handles {
+            handle.join().expect("worker panicked");
+        }
+        assert_eq!(cluster.in_doubt_count(), 0, "no transaction left parked");
+        assert!(
+            cluster.stats().multi_shard > 0,
+            "the mix must exercise cross-shard reservations"
+        );
+
+        // Global DSG oracle across all shards.
+        let history = merged_global_history(&cluster);
+        assert!(history.committed_count() > 0);
+        let report = dsg::check(&history);
+        assert!(
+            report.serializable,
+            "global SEATS execution not serializable: cycle={:?} edges={:?} aborted_reads={:?}",
+            report.cycle, report.cycle_edges, report.aborted_reads
+        );
+
+        // Cross-shard balance: every committed reservation bumped one
+        // flight's seats_sold and one customer's reservation count, no
+        // matter which shards the two rows live on.
+        let params = tiny_params();
+        let t = workload.inner.tables;
+        let read = |partition: u64, key| {
+            cluster
+                .shard(cluster.shard_of(partition))
+                .store()
+                .read(&key, ReadSpec::LatestCommitted)
+                // Deleted reservations surface as tombstones.
+                .filter(|v| !v.is_null())
+        };
+        let mut seats_sold = 0i64;
+        let mut reservation_rows = 0i64;
+        for f in 0..params.flights {
+            seats_sold += read(f as u64, t.flight_key(f))
+                .and_then(|v| v.field(0))
+                .unwrap_or(0);
+            for s in 0..params.seats_per_flight {
+                if read(f as u64, t.reservation_key(f, s)).is_some() {
+                    reservation_rows += 1;
+                }
+            }
+        }
+        let mut customer_counts = 0i64;
+        for c in 0..params.customers {
+            customer_counts += read(c as u64, t.customer_key(c))
+                .and_then(|v| v.field(1))
+                .unwrap_or(0);
+        }
+        assert_eq!(
+            seats_sold, reservation_rows,
+            "every sold seat is exactly one reservation row"
+        );
+        assert_eq!(
+            customer_counts, reservation_rows,
+            "customer reservation counts balance across shards"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_seats_dsg_acyclic_under_2pl() {
+        run_seats_cluster_dsg(CcKind::TwoPl);
+    }
+
+    #[test]
+    fn cluster_seats_dsg_acyclic_under_ssi() {
+        run_seats_cluster_dsg(CcKind::Ssi);
     }
 }
