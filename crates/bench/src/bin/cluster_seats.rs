@@ -24,6 +24,7 @@ use serde::Serialize;
 use std::sync::Arc;
 use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_cluster::ClusterConfig;
+use tebaldi_core::DurabilityMode;
 use tebaldi_workloads::seats::cluster::ClusterSeats;
 use tebaldi_workloads::seats::{configs, Seats, SeatsParams};
 use tebaldi_workloads::ClusterWorkload;
@@ -40,6 +41,12 @@ struct Row {
     single_shard_txns: u64,
     multi_shard_txns: u64,
     single_shard_fraction: f64,
+    flushes: u64,
+    flushes_per_commit: f64,
+    prepared_lock_window_ns: u64,
+    read_only_votes: u64,
+    one_phase_commits: u64,
+    coalesced_flushes: u64,
 }
 
 /// The file every run refreshes for regression tracking.
@@ -74,8 +81,8 @@ fn main() {
     let clients = if options.quick { 8 } else { 32 };
 
     println!(
-        "{:>7} {:>8} {:>11} {:>11} {:>10} {:>12}",
-        "shards", "clients", "tput(tx/s)", "aborts", "abort%", "single-shard"
+        "{:>7} {:>8} {:>11} {:>11} {:>10} {:>12} {:>13}",
+        "shards", "clients", "tput(tx/s)", "aborts", "abort%", "single-shard", "flush/commit"
     );
 
     // Short runs on a loaded box are noisy; report the median of several
@@ -97,6 +104,10 @@ fn main() {
                 ClusterSeats::new(Seats::new(params)).with_remote_rate(remote_customer_pct);
             let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
             let mut cluster_config = ClusterConfig::for_benchmarks(shards);
+            // Durability ON: the sweep tracks the commit-path cost
+            // (flushes per commit, prepared-lock window) alongside
+            // throughput.
+            cluster_config.db_config.durability = DurabilityMode::Synchronous;
             if options.quick {
                 cluster_config.workers_per_shard = 2;
             }
@@ -106,10 +117,26 @@ fn main() {
             // Build the cluster directly (rather than through
             // bench_cluster_config) so shard-routing counters can be read
             // before shutdown.
+            // WAL devices with a realistic write barrier (~an NVMe fsync):
+            // group commit is only measurable when a flush takes time.
+            let flush_latency = std::time::Duration::from_micros(20);
+            let shard_logs: Vec<std::sync::Arc<dyn tebaldi_storage::wal::LogDevice>> = (0..shards)
+                .map(|_| {
+                    std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                        flush_latency,
+                    )) as _
+                })
+                .collect();
+            let decision_log: std::sync::Arc<dyn tebaldi_storage::wal::LogDevice> =
+                std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                    flush_latency,
+                ));
             let cluster = Arc::new(
                 tebaldi_cluster::Cluster::builder(cluster_config)
                     .procedures(workload.procedures())
                     .cc_spec(configs::monolithic_ssi())
+                    .shard_logs(shard_logs)
+                    .decision_log(decision_log)
                     .build()
                     .expect("cluster build"),
             );
@@ -134,26 +161,33 @@ fn main() {
                 single_shard_txns: stats.single_shard,
                 multi_shard_txns: stats.multi_shard,
                 single_shard_fraction: single_fraction,
+                flushes: stats.flushes,
+                flushes_per_commit: stats.flushes_per_commit,
+                prepared_lock_window_ns: stats.prepared_lock_window_ns,
+                read_only_votes: stats.read_only_votes,
+                one_phase_commits: stats.coordinator.one_phase,
+                coalesced_flushes: stats.coalesced_flushes,
             };
             samples.push(row);
         }
         samples.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
         let row = samples[samples.len() / 2].clone();
         println!(
-            "{:>7} {:>8} {} {:>11} {:>9.1}% {:>11.1}%",
+            "{:>7} {:>8} {} {:>11} {:>9.1}% {:>11.1}% {:>13.2}",
             shards,
             clients,
             fmt_tput(row.throughput),
             row.aborted,
             row.abort_rate * 100.0,
             row.single_shard_fraction * 100.0,
+            row.flushes_per_commit,
         );
         rows.push(row);
     }
 
     let report = Report {
         experiment: "cluster_seats",
-        config: "monolithic SSI per shard, flight/customer partitioning",
+        config: "monolithic SSI per shard, flight/customer partitioning, sync WAL",
         flights_per_shard,
         seats_per_flight,
         customers_per_shard,

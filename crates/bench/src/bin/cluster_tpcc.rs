@@ -9,6 +9,15 @@
 //! lines, 15% remote paying customers); cross-shard transactions go through
 //! the coordinator's two-phase commit.
 //!
+//! Durability is ON (synchronous WAL per shard) and the sweep measures the
+//! commit-path cost directly: every shard count runs twice, once over the
+//! **legacy** commit path (one device flush per prepare/commit/decision
+//! record, every participant parked) and once over the **grouped** path
+//! (cross-transaction flush coalescing, read-only participant votes, and
+//! the one-phase degenerate case). The emitted rows carry `flushes`,
+//! `flushes_per_commit`, and `prepared_lock_window_ns` so the savings are
+//! regression-tracked.
+//!
 //! ```text
 //! cargo run --release --bin cluster_tpcc -- [--quick] [--json PATH]
 //! ```
@@ -20,6 +29,7 @@ use serde::Serialize;
 use std::sync::Arc;
 use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
 use tebaldi_cluster::ClusterConfig;
+use tebaldi_core::DurabilityMode;
 use tebaldi_workloads::tpcc::cluster::ClusterTpcc;
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
 use tebaldi_workloads::ClusterWorkload;
@@ -29,6 +39,7 @@ use tebaldi_workloads::ClusterWorkload;
 struct Row {
     shards: usize,
     clients: usize,
+    commit_path: &'static str,
     throughput: f64,
     committed: u64,
     aborted: u64,
@@ -36,6 +47,12 @@ struct Row {
     single_shard_txns: u64,
     multi_shard_txns: u64,
     single_shard_fraction: f64,
+    flushes: u64,
+    flushes_per_commit: f64,
+    prepared_lock_window_ns: u64,
+    read_only_votes: u64,
+    one_phase_commits: u64,
+    coalesced_flushes: u64,
 }
 
 /// The file every run refreshes for regression tracking.
@@ -53,7 +70,7 @@ fn main() {
     let options = ExperimentOptions::from_args();
     banner(
         "cluster_tpcc",
-        "TPC-C scale-out across 1/2/4/8 database shards (2PC for cross-shard)",
+        "TPC-C scale-out across 1/2/4/8 database shards (2PC, sync WAL, group commit)",
     );
 
     let shard_counts = [1usize, 2, 4, 8];
@@ -66,73 +83,110 @@ fn main() {
     let clients = if options.quick { 8 } else { 32 };
 
     println!(
-        "{:>7} {:>8} {:>11} {:>11} {:>10} {:>12}",
-        "shards", "clients", "tput(tx/s)", "aborts", "abort%", "single-shard"
+        "{:>7} {:>8} {:>8} {:>11} {:>9} {:>13} {:>12} {:>10}",
+        "shards",
+        "clients",
+        "path",
+        "tput(tx/s)",
+        "abort%",
+        "flush/commit",
+        "window(us)",
+        "ro-votes"
     );
 
     let mut rows = Vec::new();
     for &shards in &shard_counts {
-        // Scale the database with the cluster: four warehouses per shard.
-        let params = TpccParams {
-            warehouses: warehouses_per_shard * shards as u32,
-            ..TpccParams::default()
-        };
-        let workload_impl = ClusterTpcc::new(Tpcc::new(params))
-            .with_remote_rates(remote_line_pct, remote_payment_pct);
-        let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
-        let mut cluster_config = ClusterConfig::for_benchmarks(shards);
-        if options.quick {
-            cluster_config.workers_per_shard = 2;
+        for (commit_path, group_commit) in [("legacy", false), ("grouped", true)] {
+            // Scale the database with the cluster: eight warehouses per shard.
+            let params = TpccParams {
+                warehouses: warehouses_per_shard * shards as u32,
+                ..TpccParams::default()
+            };
+            let workload_impl = ClusterTpcc::new(Tpcc::new(params))
+                .with_remote_rates(remote_line_pct, remote_payment_pct);
+            let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
+            let mut cluster_config = ClusterConfig::for_benchmarks(shards);
+            cluster_config.db_config.durability = DurabilityMode::Synchronous;
+            cluster_config.db_config.group_commit = group_commit;
+            cluster_config.db_config.read_only_votes = group_commit;
+            if options.quick {
+                cluster_config.workers_per_shard = 2;
+            }
+
+            let label = format!("{shards}-shard/{commit_path}");
+            let bench = options.bench_options(clients, &label);
+            // Build the cluster directly (rather than through
+            // bench_cluster_config) so shard-routing counters can be read
+            // before shutdown.
+            // WAL devices with a realistic write barrier (~an NVMe fsync):
+            // group commit is only measurable when a flush takes time.
+            let flush_latency = std::time::Duration::from_micros(20);
+            let shard_logs: Vec<std::sync::Arc<dyn tebaldi_storage::wal::LogDevice>> = (0..shards)
+                .map(|_| {
+                    std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                        flush_latency,
+                    )) as _
+                })
+                .collect();
+            let decision_log: std::sync::Arc<dyn tebaldi_storage::wal::LogDevice> =
+                std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                    flush_latency,
+                ));
+            let cluster = Arc::new(
+                tebaldi_cluster::Cluster::builder(cluster_config)
+                    .procedures(workload.procedures())
+                    .cc_spec(configs::monolithic_ssi())
+                    .shard_logs(shard_logs)
+                    .decision_log(decision_log)
+                    .build()
+                    .expect("cluster build"),
+            );
+            workload.load(&cluster);
+            let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
+            let stats = cluster.stats();
+            cluster.shutdown();
+
+            let routed = stats.single_shard + stats.multi_shard;
+            let single_fraction = if routed > 0 {
+                stats.single_shard as f64 / routed as f64
+            } else {
+                1.0
+            };
+            println!(
+                "{:>7} {:>8} {:>8} {} {:>8.1}% {:>13.2} {:>12.1} {:>10}",
+                shards,
+                clients,
+                commit_path,
+                fmt_tput(result.throughput),
+                result.abort_rate() * 100.0,
+                stats.flushes_per_commit,
+                stats.prepared_lock_window_ns as f64 / 1_000.0,
+                stats.read_only_votes,
+            );
+            rows.push(Row {
+                shards,
+                clients,
+                commit_path,
+                throughput: result.throughput,
+                committed: result.committed,
+                aborted: result.aborted,
+                abort_rate: result.abort_rate(),
+                single_shard_txns: stats.single_shard,
+                multi_shard_txns: stats.multi_shard,
+                single_shard_fraction: single_fraction,
+                flushes: stats.flushes,
+                flushes_per_commit: stats.flushes_per_commit,
+                prepared_lock_window_ns: stats.prepared_lock_window_ns,
+                read_only_votes: stats.read_only_votes,
+                one_phase_commits: stats.coordinator.one_phase,
+                coalesced_flushes: stats.coalesced_flushes,
+            });
         }
-
-        let label = format!("{shards}-shard");
-        let bench = options.bench_options(clients, &label);
-        // Build the cluster directly (rather than through
-        // bench_cluster_config) so shard-routing counters can be read
-        // before shutdown.
-        let cluster = Arc::new(
-            tebaldi_cluster::Cluster::builder(cluster_config)
-                .procedures(workload.procedures())
-                .cc_spec(configs::monolithic_ssi())
-                .build()
-                .expect("cluster build"),
-        );
-        workload.load(&cluster);
-        let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
-        let stats = cluster.stats();
-        cluster.shutdown();
-
-        let routed = stats.single_shard + stats.multi_shard;
-        let single_fraction = if routed > 0 {
-            stats.single_shard as f64 / routed as f64
-        } else {
-            1.0
-        };
-        println!(
-            "{:>7} {:>8} {} {:>11} {:>9.1}% {:>11.1}%",
-            shards,
-            clients,
-            fmt_tput(result.throughput),
-            result.aborted,
-            result.abort_rate() * 100.0,
-            single_fraction * 100.0,
-        );
-        rows.push(Row {
-            shards,
-            clients,
-            throughput: result.throughput,
-            committed: result.committed,
-            aborted: result.aborted,
-            abort_rate: result.abort_rate(),
-            single_shard_txns: stats.single_shard,
-            multi_shard_txns: stats.multi_shard,
-            single_shard_fraction: single_fraction,
-        });
     }
 
     let report = Report {
         experiment: "cluster_tpcc",
-        config: "monolithic SSI per shard, modulo warehouse partitioning",
+        config: "monolithic SSI per shard, modulo warehouse partitioning, sync WAL",
         warehouses_per_shard,
         remote_line_pct,
         remote_payment_pct,
@@ -142,14 +196,35 @@ fn main() {
     tebaldi_bench::common::write_trajectory("cluster_tpcc", &report);
     options.maybe_write_json(&report);
 
-    // Scale-out sanity check mirrored by the acceptance criteria: more
-    // shards must not be slower than one shard on this mix.
-    if let (Some(first), Some(best)) = (
-        report.rows.first().map(|r| r.throughput),
+    // Commit-path savings mirrored by the acceptance criteria: the grouped
+    // path must cut flushes-per-commit vs. the legacy path at 4 shards.
+    let per_commit = |path: &str| {
         report
             .rows
             .iter()
-            .map(|r| r.throughput)
+            .find(|r| r.shards == 4 && r.commit_path == path)
+            .map(|r| r.flushes_per_commit)
+    };
+    if let (Some(legacy), Some(grouped)) = (per_commit("legacy"), per_commit("grouped")) {
+        println!(
+            "commit path at 4 shards: {legacy:.2} flushes/commit legacy vs {grouped:.2} grouped ({:.1}x fewer)",
+            legacy / grouped.max(f64::MIN_POSITIVE)
+        );
+    }
+
+    // Scale-out sanity check: more shards must not be slower than one shard
+    // on this mix (grouped path).
+    let grouped_tputs: Vec<f64> = report
+        .rows
+        .iter()
+        .filter(|r| r.commit_path == "grouped")
+        .map(|r| r.throughput)
+        .collect();
+    if let (Some(&first), Some(best)) = (
+        grouped_tputs.first(),
+        grouped_tputs
+            .iter()
+            .copied()
             .fold(None::<f64>, |acc, v| Some(acc.map_or(v, |a| a.max(v)))),
     ) {
         println!(

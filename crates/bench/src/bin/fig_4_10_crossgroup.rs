@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_cc::CcKind;
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::micro::CrossGroupMicro;
@@ -21,6 +21,14 @@ struct Point {
     cross_group: String,
     throughput: f64,
     abort_rate: f64,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    config: &'static str,
+    rows: Vec<Point>,
 }
 
 fn main() {
@@ -63,5 +71,11 @@ fn main() {
         println!("{line}");
     }
     println!("(cells are committed transactions per second)");
-    options.maybe_write_json(&points);
+    let report = Report {
+        experiment: "fig_4_10_crossgroup",
+        config: "two-group microbenchmark, rw/ww conflict sweep x {2PL, SSI, RP}",
+        rows: points,
+    };
+    write_trajectory("fig_4_10_crossgroup", &report);
+    options.maybe_write_json(&report.rows);
 }

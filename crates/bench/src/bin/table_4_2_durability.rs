@@ -7,15 +7,24 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::{DbConfig, DurabilityMode};
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
 use tebaldi_workloads::{bench_config, Workload};
 
-#[derive(Serialize)]
+#[derive(Clone, Serialize)]
 struct Row {
     setting: String,
     throughput: f64,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    config: &'static str,
+    rows: Vec<Row>,
+    overhead_pct: f64,
 }
 
 fn main() {
@@ -53,11 +62,17 @@ fn main() {
             throughput: result.throughput,
         });
     }
+    let mut overhead_pct = 0.0;
     if rows.len() == 2 && rows[1].throughput > 0.0 {
-        println!(
-            "durability overhead: {:.1}% (paper: ~5%)",
-            (1.0 - rows[0].throughput / rows[1].throughput) * 100.0
-        );
+        overhead_pct = (1.0 - rows[0].throughput / rows[1].throughput) * 100.0;
+        println!("durability overhead: {overhead_pct:.1}% (paper: ~5%)");
     }
-    options.maybe_write_json(&rows);
+    let report = Report {
+        experiment: "table_4_2_durability",
+        config: "Tebaldi three-layer TPC-C, async GCP vs durability off",
+        rows,
+        overhead_pct,
+    };
+    write_trajectory("table_4_2_durability", &report);
+    options.maybe_write_json(&report.rows);
 }

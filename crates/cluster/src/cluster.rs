@@ -4,15 +4,29 @@
 
 use crate::coordinator::{CoordinatorStats, TxnCoordinator};
 use crate::router::{Partitioning, Routing, ShardRouter};
-use crate::worker::{ShardOp, ShardWorkers, Ticket};
+use crate::worker::{ShardOp, ShardWorkers, Ticket, Vote};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use tebaldi_cc::{CcResult, CcTreeSpec, ProcedureSet};
 use tebaldi_core::{Database, DbConfig, ProcedureCall, Txn};
 use tebaldi_storage::recovery::{recover_with_resolver, RecoveryReport};
 use tebaldi_storage::wal::{LogDevice, MemLogDevice};
 use tebaldi_storage::{MvStore, Value};
+
+/// A monotonic nanosecond clock the cluster uses to measure the
+/// prepared-lock window. Passed in so tests can inject a deterministic
+/// clock; the default anchors `Instant` at cluster construction.
+pub type ClusterClock = Arc<dyn Fn() -> u64 + Send + Sync>;
+
+/// A pending prepare vote: the shard's part result plus its vote class.
+type PrepareTicket = Ticket<CcResult<(Value, Vote)>>;
+
+fn default_clock() -> ClusterClock {
+    let anchor = std::time::Instant::now();
+    Arc::new(move || anchor.elapsed().as_nanos() as u64)
+}
 
 /// Cluster-level configuration.
 #[derive(Clone, Debug)]
@@ -25,6 +39,11 @@ pub struct ClusterConfig {
     pub db_config: DbConfig,
     /// Partition-key → shard mapping.
     pub partitioning: Partitioning,
+    /// Upper bound on how long the coordinator waits for one shard's
+    /// prepare vote. A wedged shard then counts as a "no" vote (the
+    /// transaction aborts with `CcError::Internal`) instead of hanging
+    /// `execute_multi` forever.
+    pub prepare_timeout_ms: u64,
 }
 
 impl ClusterConfig {
@@ -36,6 +55,7 @@ impl ClusterConfig {
             workers_per_shard: 2,
             db_config: DbConfig::for_tests(),
             partitioning: Partitioning::Range { span: 1 },
+            prepare_timeout_ms: 10_000,
         }
     }
 
@@ -47,7 +67,13 @@ impl ClusterConfig {
             workers_per_shard: 4,
             db_config: DbConfig::for_benchmarks(),
             partitioning: Partitioning::Range { span: 1 },
+            prepare_timeout_ms: 10_000,
         }
+    }
+
+    /// The prepare-vote timeout as a [`Duration`].
+    pub fn prepare_timeout(&self) -> Duration {
+        Duration::from_millis(self.prepare_timeout_ms)
     }
 }
 
@@ -80,6 +106,24 @@ pub struct ClusterStats {
     pub single_shard: u64,
     /// Multi-shard 2PC transactions driven to a commit decision.
     pub multi_shard: u64,
+    /// Device flushes across every shard WAL plus the coordinator's
+    /// decision log.
+    pub flushes: u64,
+    /// `flushes / committed` — the commit-path cost group commit and the
+    /// vote-class optimizations drive down. Zero when nothing committed.
+    pub flushes_per_commit: f64,
+    /// Mean prepared-lock window in nanoseconds — last prepare vote
+    /// collected → every decision applied — over the multi-shard
+    /// transactions that actually parked a prepared participant (fully
+    /// read-only and all-parts-self-aborted globals hold no locks across
+    /// phase two and are excluded).
+    pub prepared_lock_window_ns: u64,
+    /// Participant parts that voted `ReadOnly` (committed at phase one,
+    /// no prepare record, excluded from the decision).
+    pub read_only_votes: u64,
+    /// Flushes that concurrent transactions shared through group commit
+    /// (each one a device flush the legacy path would have performed).
+    pub coalesced_flushes: u64,
     /// Coordinator activity.
     pub coordinator: CoordinatorStats,
 }
@@ -92,6 +136,7 @@ pub struct ClusterBuilder {
     shard_logs: Option<Vec<Arc<dyn LogDevice>>>,
     decision_log: Option<Arc<dyn LogDevice>>,
     stores: Option<Vec<MvStore>>,
+    clock: Option<ClusterClock>,
 }
 
 impl ClusterBuilder {
@@ -104,6 +149,7 @@ impl ClusterBuilder {
             shard_logs: None,
             decision_log: None,
             stores: None,
+            clock: None,
         }
     }
 
@@ -135,6 +181,14 @@ impl ClusterBuilder {
     /// Opens the shards over existing (e.g. recovered) stores.
     pub fn stores(mut self, stores: Vec<MvStore>) -> Self {
         self.stores = Some(stores);
+        self
+    }
+
+    /// Installs a monotonic nanosecond clock for the prepared-lock-window
+    /// measurement (tests inject a deterministic one; defaults to a
+    /// process-monotonic `Instant` clock).
+    pub fn clock(mut self, clock: ClusterClock) -> Self {
+        self.clock = Some(clock);
         self
     }
 
@@ -188,12 +242,19 @@ impl ClusterBuilder {
             .unwrap_or_else(|| Arc::new(MemLogDevice::new()) as Arc<dyn LogDevice>);
         Ok(Cluster {
             router: ShardRouter::new(n, self.config.partitioning),
-            coordinator: TxnCoordinator::new(decision_log),
+            coordinator: TxnCoordinator::with_options(
+                decision_log,
+                self.config.db_config.group_commit,
+            ),
             shards,
             shard_logs,
+            clock: self.clock.unwrap_or_else(default_clock),
             config: self.config,
             single_shard: AtomicU64::new(0),
             multi_shard: AtomicU64::new(0),
+            read_only_votes: AtomicU64::new(0),
+            lock_window_ns: AtomicU64::new(0),
+            lock_windows: AtomicU64::new(0),
         })
     }
 }
@@ -204,9 +265,15 @@ pub struct Cluster {
     coordinator: TxnCoordinator,
     shards: Vec<Arc<ShardWorkers>>,
     shard_logs: Vec<Arc<dyn LogDevice>>,
+    clock: ClusterClock,
     config: ClusterConfig,
     single_shard: AtomicU64,
     multi_shard: AtomicU64,
+    read_only_votes: AtomicU64,
+    /// Summed prepared-lock windows (votes collected → decisions applied).
+    lock_window_ns: AtomicU64,
+    /// Number of windows in the sum.
+    lock_windows: AtomicU64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -292,9 +359,22 @@ impl Cluster {
     }
 
     /// Runs one multi-shard transaction through two-phase commit. Every
-    /// part prepares on its shard in parallel; when all vote yes the commit
-    /// decision is logged (the commit point) and applied everywhere.
-    /// Returns the parts' results in submission order.
+    /// part prepares on its shard in parallel and reports its vote class:
+    /// read-only parts (empty write set) commit and release at phase one
+    /// and are excluded from phase two. When all vote yes, the commit point
+    /// depends on how many read-write participants remain:
+    ///
+    /// * **≥ 2** — the commit decision is group-commit flushed to the
+    ///   decision log, then applied on every read-write shard;
+    /// * **exactly 1** — one-phase fast path: the surviving participant's
+    ///   own commit record is the commit point, no decision record at all;
+    /// * **0** — every part already committed at phase one; nothing to do.
+    ///
+    /// A prepare vote that does not arrive within the configured
+    /// `prepare_timeout` counts as a "no": the transaction aborts with
+    /// `CcError::Internal` instead of hanging on a wedged shard (the late
+    /// prepare, if it ever lands, is aborted by the shard's orphan-decision
+    /// check). Returns the parts' results in submission order.
     pub fn execute_multi(&self, parts: Vec<ShardPart>) -> CcResult<Vec<Value>> {
         if parts.len() < 2 {
             return Err(tebaldi_cc::CcError::Internal(
@@ -324,20 +404,48 @@ impl Cluster {
 
         self.multi_shard.fetch_add(1, Ordering::Relaxed);
         let global = self.coordinator.begin_global();
+        let prepare_timeout = self.config.prepare_timeout();
 
         // Phase one: prepare everywhere in parallel.
-        let tickets: Vec<Ticket<CcResult<Value>>> = parts
+        let tickets: Vec<(usize, PrepareTicket)> = parts
             .into_iter()
-            .map(|part| self.shards[part.shard].submit_prepare(global, part.call, part.op))
+            .map(|part| {
+                (
+                    part.shard,
+                    self.shards[part.shard].submit_prepare(global, part.call, part.op),
+                )
+            })
             .collect();
         let mut values = Vec::with_capacity(tickets.len());
         let mut failure: Option<tebaldi_cc::CcError> = None;
-        for ticket in tickets {
-            match ticket.wait().and_then(|vote| vote) {
-                Ok(value) => values.push(value),
+        // Shards that hold (read-write) or may still come to hold
+        // (timed-out vote) a prepared transaction: exactly the set that
+        // needs a decision. Read-only and no-voting parts released already.
+        let mut rw_shards: Vec<usize> = Vec::new();
+        let mut unknown_shards: Vec<usize> = Vec::new();
+        for (shard, ticket) in tickets {
+            // Keep collecting: every vote must resolve (or time out)
+            // before the decision is sent.
+            match ticket.wait_timeout(prepare_timeout) {
+                Ok(Ok((value, Vote::ReadWrite))) => {
+                    values.push(value);
+                    rw_shards.push(shard);
+                }
+                Ok(Ok((value, Vote::ReadOnly))) => {
+                    values.push(value);
+                    self.read_only_votes.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(Err(err)) => {
+                    // The part aborted itself; nothing is parked there.
+                    if failure.is_none() {
+                        failure = Some(err);
+                    }
+                }
                 Err(err) => {
-                    // Keep collecting: every vote must resolve before the
-                    // decision is sent.
+                    // Timed out (or the worker died): the shard's vote is
+                    // unknown and a late prepare may still park, so the
+                    // abort decision must reach it.
+                    unknown_shards.push(shard);
                     if failure.is_none() {
                         failure = Some(err);
                     }
@@ -348,25 +456,61 @@ impl Cluster {
         // Phase two: decide. Decisions apply inline on this thread —
         // commit of a prepared transaction is infallible and lock-free to
         // reach, and queuing it behind other mailbox work would stretch the
-        // window in which prepared locks are held.
-        match failure {
+        // window in which prepared locks are held. The window measured
+        // here (all votes in → all decisions applied) is exactly the span
+        // the flush coalescing and vote-class fast paths shorten.
+        let votes_collected = (self.clock)();
+        let result = match failure {
             None => {
-                // Commit point: the decision is durable before any shard
-                // learns about it.
-                self.coordinator.log_commit(global);
-                for &shard in &shards {
-                    self.shards[shard].decide(global, true);
+                match rw_shards.len() {
+                    0 => {
+                        // Every part voted ReadOnly and already committed.
+                        self.coordinator.commit_read_only();
+                    }
+                    1 => {
+                        // One-phase fast path: the lone read-write
+                        // participant's own commit record is the commit
+                        // point; no decision record is written.
+                        self.coordinator.commit_one_phase();
+                        self.shards[rw_shards[0]].decide(global, true);
+                    }
+                    _ => {
+                        // Commit point: the decision is durable before any
+                        // shard learns about it.
+                        self.coordinator.log_commit(global);
+                        for &shard in &rw_shards {
+                            self.shards[shard].decide(global, true);
+                        }
+                    }
                 }
                 Ok(values)
             }
             Some(err) => {
-                self.coordinator.log_abort(global);
-                for &shard in &shards {
-                    self.shards[shard].decide(global, false);
+                if !rw_shards.is_empty() || !unknown_shards.is_empty() {
+                    self.coordinator.log_abort(global);
+                    for &shard in rw_shards.iter().chain(unknown_shards.iter()) {
+                        self.shards[shard].decide(global, false);
+                    }
+                } else {
+                    // Every part self-aborted (or was read-only): nothing
+                    // is prepared anywhere, but the global still aborted.
+                    self.coordinator.note_abort();
                 }
                 Err(err)
             }
+        };
+        // Only transactions that actually parked a prepared participant
+        // (or may have — timed-out votes) held locks across phase two;
+        // averaging in read-only/self-aborted globals would dilute the
+        // metric toward zero.
+        if !rw_shards.is_empty() || !unknown_shards.is_empty() {
+            self.lock_window_ns.fetch_add(
+                (self.clock)().saturating_sub(votes_collected),
+                Ordering::Relaxed,
+            );
+            self.lock_windows.fetch_add(1, Ordering::Relaxed);
         }
+        result
     }
 
     /// Retries [`execute_multi`](Cluster::execute_multi) on retryable
@@ -399,19 +543,36 @@ impl Cluster {
         self.shard(self.shard_of(partition_key)).load(key, value);
     }
 
-    /// Aggregate counters.
+    /// Aggregate counters. `flushes` sums every shard WAL's device flushes
+    /// with the coordinator's decision-log flushes; `flushes_per_commit`
+    /// divides by the committed transactions across all shards (each
+    /// multi-shard part counts on its shard).
     pub fn stats(&self) -> ClusterStats {
+        let coordinator = self.coordinator.stats();
         let mut stats = ClusterStats {
             single_shard: self.single_shard.load(Ordering::Relaxed),
             multi_shard: self.multi_shard.load(Ordering::Relaxed),
-            coordinator: self.coordinator.stats(),
+            read_only_votes: self.read_only_votes.load(Ordering::Relaxed),
+            flushes: coordinator.decision_flushes,
+            coordinator,
             ..ClusterStats::default()
         };
         for shard in &self.shards {
             let snapshot = shard.db().stats();
             stats.committed += snapshot.committed;
             stats.aborted += snapshot.aborted;
+            let durability = shard.db().durability().stats();
+            stats.flushes += durability.flushes;
+            stats.coalesced_flushes += durability.coalesced;
         }
+        if stats.committed > 0 {
+            stats.flushes_per_commit = stats.flushes as f64 / stats.committed as f64;
+        }
+        stats.prepared_lock_window_ns = self
+            .lock_window_ns
+            .load(Ordering::Relaxed)
+            .checked_div(self.lock_windows.load(Ordering::Relaxed))
+            .unwrap_or(0);
         stats
     }
 
@@ -549,6 +710,169 @@ mod tests {
     }
 
     #[test]
+    fn one_read_write_participant_commits_one_phase_without_decision_records() {
+        let cluster = cluster(2);
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(100));
+        // Part on shard of account 1 writes; part on shard of account 2
+        // only reads → it votes ReadOnly and the commit degenerates to
+        // one-phase: zero decision-log appends.
+        let parts = vec![
+            ShardPart::new(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                Box::new(|txn| txn.increment(account_key(1), 0, 5).map(Value::Int)),
+            ),
+            ShardPart::new(
+                cluster.shard_of(2),
+                ProcedureCall::new(TY),
+                Box::new(|txn| Ok(txn.get(account_key(2))?.unwrap_or(Value::Null))),
+            ),
+        ];
+        let values = cluster.execute_multi(parts).unwrap();
+        assert_eq!(values, vec![Value::Int(105), Value::Int(100)]);
+        assert_eq!(balance(&cluster, 1), 105);
+        assert_eq!(cluster.in_doubt_count(), 0);
+        let stats = cluster.stats();
+        assert_eq!(stats.read_only_votes, 1);
+        assert_eq!(stats.coordinator.committed, 1);
+        assert_eq!(stats.coordinator.one_phase, 1);
+        assert_eq!(
+            stats.coordinator.decisions_logged, 0,
+            "one-phase commit must not append to the decision log"
+        );
+        // Only the once-per-block id-reservation marker may exist — never
+        // a commit decision, and nothing for this transaction's id.
+        assert!(
+            cluster
+                .coordinator()
+                .decision_log()
+                .read_back()
+                .iter()
+                .all(|r| matches!(
+                    r,
+                    tebaldi_storage::wal::LogRecord::Decision { commit: false, .. }
+                )),
+            "decision log must hold no commit decisions"
+        );
+    }
+
+    #[test]
+    fn fully_read_only_transaction_writes_no_log_records() {
+        let cluster = cluster(2);
+        cluster.load(1, account_key(1), Value::Int(10));
+        cluster.load(2, account_key(2), Value::Int(20));
+        let parts = vec![
+            ShardPart::new(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                Box::new(|txn| Ok(txn.get(account_key(1))?.unwrap_or(Value::Null))),
+            ),
+            ShardPart::new(
+                cluster.shard_of(2),
+                ProcedureCall::new(TY),
+                Box::new(|txn| Ok(txn.get(account_key(2))?.unwrap_or(Value::Null))),
+            ),
+        ];
+        let values = cluster.execute_multi(parts).unwrap();
+        assert_eq!(values, vec![Value::Int(10), Value::Int(20)]);
+        let stats = cluster.stats();
+        assert_eq!(stats.read_only_votes, 2);
+        assert_eq!(stats.coordinator.read_only, 1);
+        assert_eq!(stats.coordinator.decisions_logged, 0);
+        // No prepare records either: both shard WALs saw no Prepare.
+        for index in 0..2 {
+            assert!(cluster
+                .shard(index)
+                .durability()
+                .device()
+                .read_back()
+                .iter()
+                .all(|r| !matches!(r, tebaldi_storage::wal::LogRecord::Prepare { .. })));
+        }
+        assert_eq!(cluster.in_doubt_count(), 0);
+    }
+
+    #[test]
+    fn wedged_shard_prepare_times_out_and_aborts() {
+        let mut config = ClusterConfig::for_tests(2);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        config.prepare_timeout_ms = 100;
+        let cluster = Cluster::builder(config)
+            .procedures(procedures())
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+            .build()
+            .unwrap();
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(100));
+        let parts = vec![
+            ShardPart::new(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                Box::new(|txn| txn.increment(account_key(1), 0, -30).map(Value::Int)),
+            ),
+            ShardPart::new(
+                cluster.shard_of(2),
+                ProcedureCall::new(TY),
+                Box::new(|txn| {
+                    // Wedge the shard well past the prepare timeout.
+                    std::thread::sleep(std::time::Duration::from_millis(400));
+                    txn.increment(account_key(2), 0, 30).map(Value::Int)
+                }),
+            ),
+        ];
+        let err = cluster.execute_multi(parts).unwrap_err();
+        assert!(
+            matches!(err, tebaldi_cc::CcError::Internal(_)),
+            "a vote timeout surfaces as CcError::Internal, got {err:?}"
+        );
+        assert_eq!(balance(&cluster, 1), 100, "prepared part must roll back");
+        // Give the wedged prepare time to land and hit the orphaned abort
+        // decision: it must abort rather than park holding locks.
+        std::thread::sleep(std::time::Duration::from_millis(600));
+        assert_eq!(cluster.in_doubt_count(), 0, "late prepare must not park");
+        assert_eq!(balance(&cluster, 2), 100);
+    }
+
+    #[test]
+    fn prepared_lock_window_uses_injected_clock() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let clock_ticks = Arc::clone(&ticks);
+        let mut config = ClusterConfig::for_tests(2);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        let cluster = Cluster::builder(config)
+            .procedures(procedures())
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+            // Deterministic clock: every reading advances 1000ns, so one
+            // decided transaction measures exactly one tick.
+            .clock(Arc::new(move || {
+                clock_ticks.fetch_add(1, Ordering::Relaxed) * 1_000
+            }))
+            .build()
+            .unwrap();
+        cluster.load(1, account_key(1), Value::Int(0));
+        cluster.load(2, account_key(2), Value::Int(0));
+        let parts = vec![
+            ShardPart::new(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                Box::new(|txn| txn.increment(account_key(1), 0, 1).map(Value::Int)),
+            ),
+            ShardPart::new(
+                cluster.shard_of(2),
+                ProcedureCall::new(TY),
+                Box::new(|txn| txn.increment(account_key(2), 0, 1).map(Value::Int)),
+            ),
+        ];
+        cluster.execute_multi(parts).unwrap();
+        assert_eq!(
+            cluster.stats().prepared_lock_window_ns,
+            1_000,
+            "window = decision clock reading - vote clock reading"
+        );
+    }
+
+    #[test]
     fn failed_part_aborts_every_shard() {
         let cluster = cluster(2);
         cluster.load(1, account_key(1), Value::Int(100));
@@ -599,12 +923,14 @@ mod tests {
             .prepare(&ProcedureCall::new(TY), global, |txn| {
                 txn.increment(account_key(1), 0, -20)
             })
+            .map(|(v, vote)| (v, vote.expect_prepared()))
             .unwrap();
         let (_, p2) = cluster
             .shard(cluster.shard_of(2))
             .prepare(&ProcedureCall::new(TY), global, |txn| {
                 txn.increment(account_key(2), 0, 20)
             })
+            .map(|(v, vote)| (v, vote.expect_prepared()))
             .unwrap();
         for index in 0..2 {
             cluster.shard(index).durability().seal_current_epoch();
@@ -652,6 +978,7 @@ mod tests {
             .prepare(&ProcedureCall::new(TY), global, |txn| {
                 txn.increment(account_key(1), 0, -20)
             })
+            .map(|(v, vote)| (v, vote.expect_prepared()))
             .unwrap();
         // Crash with no decision logged.
         let log = cluster.shard_log(shard);

@@ -6,37 +6,71 @@
 //! then harden a `Prepare` WAL record and hold the locks), and collects the
 //! votes:
 //!
-//! * **all yes** — the coordinator flushes a `Decision { commit: true }`
-//!   record to its own decision log (*the commit point*), then tells every
-//!   shard to commit;
-//! * **any no** — it tells the prepared shards to abort. No decision record
-//!   is needed: recovery presumes abort for undecided global ids.
+//! * **all yes, ≥ 2 read-write participants** — the coordinator flushes a
+//!   `Decision { commit: true }` record to its own decision log (*the
+//!   commit point*) — coalescing the flush with concurrent decisions via
+//!   group commit — then tells every read-write shard to commit;
+//! * **all yes, exactly 1 read-write participant** — one-phase fast path:
+//!   the surviving participant's own commit record is the commit point, so
+//!   no decision record is written at all;
+//! * **all yes, 0 read-write participants** — every part voted `ReadOnly`
+//!   and already committed at phase one; there is nothing to decide;
+//! * **any no** — it tells the prepared shards to abort. No flushed
+//!   decision record is needed: recovery presumes abort for undecided
+//!   global ids.
+//!
+//! Read-only participants (empty write set) commit and release at phase
+//! one, write no prepare record, and are excluded from the decision — so
+//! they are never in doubt and recovery never re-resolves them.
 //!
 //! A shard crash between prepare and decision leaves the transaction *in
 //! doubt* on that shard; shard recovery resolves it against this decision
 //! log (see `tebaldi_storage::recovery::recover_with_resolver`).
 
+use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use tebaldi_storage::durability::GroupCommit;
 use tebaldi_storage::wal::{LogDevice, LogRecord, MemLogDevice};
 use tebaldi_storage::{Timestamp, TxnId};
 
 /// Counters describing coordinator activity.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CoordinatorStats {
-    /// Global transactions that reached the commit point.
+    /// Global transactions that reached the commit point (including the
+    /// one-phase and fully-read-only fast paths).
     pub committed: u64,
     /// Global transactions aborted by a "no" vote (or coordinator error).
     pub aborted: u64,
+    /// Commits that degenerated to one-phase (exactly one read-write
+    /// participant): no decision record was written.
+    pub one_phase: u64,
+    /// Commits where every participant voted `ReadOnly`: neither prepare
+    /// records nor a decision record were written.
+    pub read_only: u64,
+    /// Records actually appended to the decision log (commit + abort).
+    pub decisions_logged: u64,
+    /// Device flushes the decision log performed (group-commit leaders).
+    pub decision_flushes: u64,
 }
 
 /// Assigns global transaction ids and owns the decision log.
 pub struct TxnCoordinator {
     next_global: AtomicU64,
+    /// Exclusive upper bound of the durably reserved id block.
+    reserved: AtomicU64,
+    /// Serializes block-reservation flushes.
+    reserve_lock: Mutex<()>,
     decision_log: Arc<dyn LogDevice>,
+    group: GroupCommit,
+    coalesce: bool,
     committed: AtomicU64,
     aborted: AtomicU64,
+    one_phase: AtomicU64,
+    read_only: AtomicU64,
+    decisions_logged: AtomicU64,
+    uncoalesced_flushes: AtomicU64,
 }
 
 impl std::fmt::Debug for TxnCoordinator {
@@ -47,11 +81,30 @@ impl std::fmt::Debug for TxnCoordinator {
     }
 }
 
+/// Size of one durably reserved block of global ids. One-phase and
+/// read-only commits write no decision record, so the highest logged
+/// decision understates the ids actually handed out; before handing out an
+/// id beyond the reserved block, the coordinator flushes a reservation
+/// marker (an abort-decision record for the block's last id — harmless to
+/// in-doubt resolution, which only honors commit decisions) so a restarted
+/// coordinator always resumes above every id ever issued. Costs one
+/// flushed record per `ID_BLOCK` global transactions.
+const ID_BLOCK: u64 = 1 << 20;
+
 impl TxnCoordinator {
-    /// A coordinator over the given decision-log device.
+    /// A coordinator over the given decision-log device, with decision
+    /// flushes coalesced across concurrent transactions.
     pub fn new(decision_log: Arc<dyn LogDevice>) -> Self {
-        // Resume the id sequence above anything already decided, so global
-        // ids stay unique across coordinator restarts.
+        TxnCoordinator::with_options(decision_log, true)
+    }
+
+    /// [`TxnCoordinator::new`] with explicit control over decision-flush
+    /// coalescing (`false` restores the one-flush-per-decision baseline).
+    pub fn with_options(decision_log: Arc<dyn LogDevice>, coalesce: bool) -> Self {
+        // Resume the id sequence above anything already decided *or
+        // reserved*: every id ever handed out lies below some logged
+        // record (decision or reservation marker), so restarts can never
+        // reuse an id that may still label an undecided prepare somewhere.
         let mut floor = 1;
         for record in decision_log.read_back() {
             if let LogRecord::Decision { global, .. } = record {
@@ -60,9 +113,17 @@ impl TxnCoordinator {
         }
         TxnCoordinator {
             next_global: AtomicU64::new(floor),
+            reserved: AtomicU64::new(floor),
+            reserve_lock: Mutex::new(()),
+            group: GroupCommit::new(Arc::clone(&decision_log)),
             decision_log,
+            coalesce,
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
+            one_phase: AtomicU64::new(0),
+            read_only: AtomicU64::new(0),
+            decisions_logged: AtomicU64::new(0),
+            uncoalesced_flushes: AtomicU64::new(0),
         }
     }
 
@@ -72,19 +133,47 @@ impl TxnCoordinator {
         TxnCoordinator::new(Arc::new(MemLogDevice::new()))
     }
 
-    /// Starts a new global transaction.
+    /// Starts a new global transaction. The id is covered by a durable
+    /// reservation before it is returned (see [`ID_BLOCK`]), so even a
+    /// commit that never logs a decision cannot be reused after a
+    /// coordinator restart.
     pub fn begin_global(&self) -> u64 {
-        self.next_global.fetch_add(1, Ordering::Relaxed)
+        let id = self.next_global.fetch_add(1, Ordering::Relaxed);
+        if id >= self.reserved.load(Ordering::Acquire) {
+            let _guard = self.reserve_lock.lock();
+            let current = self.reserved.load(Ordering::Acquire);
+            if id >= current {
+                let new_bound = id + ID_BLOCK;
+                // An abort decision for the block's last id: in-doubt
+                // resolution only honors commit decisions, and a later
+                // genuine commit of that id simply adds a commit record.
+                self.decision_log.append(&LogRecord::Decision {
+                    global: new_bound - 1,
+                    commit: false,
+                });
+                self.decision_log.flush();
+                self.reserved.store(new_bound, Ordering::Release);
+            }
+        }
+        id
     }
 
-    /// The commit point: durably records the commit decision for `global`.
-    /// Participants may only be told to commit after this returns.
+    /// The commit point: durably records the commit decision for `global`,
+    /// coalescing the flush with concurrent decisions. Participants may
+    /// only be told to commit after this returns.
     pub fn log_commit(&self, global: u64) {
-        self.decision_log.append(&LogRecord::Decision {
+        let record = LogRecord::Decision {
             global,
             commit: true,
-        });
-        self.decision_log.flush();
+        };
+        self.decisions_logged.fetch_add(1, Ordering::Relaxed);
+        if self.coalesce {
+            self.group.append_durable(std::slice::from_ref(&record));
+        } else {
+            self.decision_log.append(&record);
+            self.decision_log.flush();
+            self.uncoalesced_flushes.fetch_add(1, Ordering::Relaxed);
+        }
         self.committed.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -92,11 +181,33 @@ impl TxnCoordinator {
     /// for diagnostics and to stop recovery from re-asking about well-known
     /// aborts.
     pub fn log_abort(&self, global: u64) {
+        self.decisions_logged.fetch_add(1, Ordering::Relaxed);
         self.decision_log.append(&LogRecord::Decision {
             global,
             commit: false,
         });
         self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a global abort that needed no decision record (every part
+    /// self-aborted or was read-only, so nothing is prepared anywhere).
+    pub fn note_abort(&self) {
+        self.aborted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a one-phase commit (exactly one read-write participant):
+    /// the participant's own commit record is the commit point, so nothing
+    /// is appended to the decision log.
+    pub fn commit_one_phase(&self) {
+        self.one_phase.fetch_add(1, Ordering::Relaxed);
+        self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Registers a fully-read-only commit (every participant voted
+    /// `ReadOnly` and already finished): no log traffic at all.
+    pub fn commit_read_only(&self) {
+        self.read_only.fetch_add(1, Ordering::Relaxed);
+        self.committed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// The set of global ids with a durable commit decision.
@@ -124,6 +235,11 @@ impl TxnCoordinator {
         CoordinatorStats {
             committed: self.committed.load(Ordering::Relaxed),
             aborted: self.aborted.load(Ordering::Relaxed),
+            one_phase: self.one_phase.load(Ordering::Relaxed),
+            read_only: self.read_only.load(Ordering::Relaxed),
+            decisions_logged: self.decisions_logged.load(Ordering::Relaxed),
+            decision_flushes: self.group.flush_count()
+                + self.uncoalesced_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -151,18 +267,69 @@ mod tests {
         assert!(!committed.contains(&b));
         assert_eq!(coord.stats().committed, 1);
         assert_eq!(coord.stats().aborted, 1);
+        assert_eq!(coord.stats().decisions_logged, 2);
+        assert_eq!(coord.stats().decision_flushes, 1, "only the commit flushed");
+    }
+
+    #[test]
+    fn one_phase_commit_logs_no_decision_records() {
+        let coord = TxnCoordinator::in_memory();
+        let global = coord.begin_global();
+        coord.commit_one_phase();
+        coord.commit_read_only();
+        let stats = coord.stats();
+        assert_eq!(stats.committed, 2);
+        assert_eq!(stats.one_phase, 1);
+        assert_eq!(stats.read_only, 1);
+        assert_eq!(stats.decisions_logged, 0);
+        // The log holds only the once-per-ID_BLOCK reservation marker —
+        // never a record for the committed transaction itself.
+        for record in coord.decision_log().read_back() {
+            match record {
+                LogRecord::Decision { global: g, commit } => {
+                    assert!(!commit, "one-phase commit must not log a commit");
+                    assert_ne!(g, global, "no record for the transaction's id");
+                }
+                other => panic!("unexpected record {other:?}"),
+            }
+        }
     }
 
     #[test]
     fn global_ids_resume_above_logged_decisions() {
         let log: Arc<dyn LogDevice> = Arc::new(MemLogDevice::new());
-        {
+        let highest = {
             let coord = TxnCoordinator::new(Arc::clone(&log));
             let g = coord.begin_global();
             coord.log_commit(g);
-        }
+            g
+        };
         let restarted = TxnCoordinator::new(Arc::clone(&log));
         let next = restarted.begin_global();
-        assert!(next > 1, "restarted coordinator must not reuse global ids");
+        assert!(next > highest, "restarted coordinator must not reuse ids");
+    }
+
+    #[test]
+    fn unlogged_one_phase_ids_are_never_reused_after_restart() {
+        // A coordinator that only ever performed one-phase commits (no
+        // decision records) must still resume above every id it handed
+        // out: the durable block-reservation marker guarantees it.
+        let log: Arc<dyn LogDevice> = Arc::new(MemLogDevice::new());
+        let handed_out: Vec<u64> = {
+            let coord = TxnCoordinator::new(Arc::clone(&log));
+            (0..100)
+                .map(|_| {
+                    let g = coord.begin_global();
+                    coord.commit_one_phase();
+                    g
+                })
+                .collect()
+        };
+        let restarted = TxnCoordinator::new(Arc::clone(&log));
+        let next = restarted.begin_global();
+        assert!(
+            handed_out.iter().all(|&g| next > g),
+            "id {next} collides with a previously issued one-phase id"
+        );
     }
 }

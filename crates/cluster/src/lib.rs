@@ -31,8 +31,8 @@ pub mod router;
 pub mod worker;
 
 pub use cluster::{
-    recover_cluster, Cluster, ClusterBuilder, ClusterConfig, ClusterStats, ShardPart,
+    recover_cluster, Cluster, ClusterBuilder, ClusterClock, ClusterConfig, ClusterStats, ShardPart,
 };
 pub use coordinator::{CoordinatorStats, TxnCoordinator};
 pub use router::{Partitioning, Routing, ShardRouter};
-pub use worker::{ShardOp, ShardWorkers, Ticket};
+pub use worker::{ShardOp, ShardWorkers, Ticket, Vote};

@@ -12,14 +12,27 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 use tebaldi_cc::{CcError, CcResult};
-use tebaldi_core::{Database, PreparedTxn, ProcedureCall, Txn};
+use tebaldi_core::{Database, ParticipantVote, PreparedTxn, ProcedureCall, Txn};
 use tebaldi_storage::Value;
 
 /// The body of a shard-local transaction (or transaction part). `FnMut`
 /// so the worker can retry aborted attempts of plain executions; prepare
 /// parts run exactly once per vote.
 pub type ShardOp = Box<dyn FnMut(&mut Txn<'_>) -> CcResult<Value> + Send>;
+
+/// A participant's phase-one vote class, as reported back to the
+/// coordinator alongside the part's result value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vote {
+    /// The part wrote nothing: it committed and released at phase one and
+    /// must be excluded from the decision.
+    ReadOnly,
+    /// The part is parked in the shard's in-doubt table holding its locks
+    /// until the decision arrives.
+    ReadWrite,
+}
 
 /// One-shot result channel for an asynchronously submitted job.
 pub struct Ticket<T> {
@@ -33,6 +46,21 @@ impl<T> Ticket<T> {
             .recv()
             .map_err(|_| CcError::Internal("shard worker dropped the reply channel".to_string()))
     }
+
+    /// Blocks until the shard worker delivers the result or the timeout
+    /// elapses. A timeout means the shard is wedged (or hopelessly
+    /// backlogged); the coordinator treats it as a "no" vote so one stuck
+    /// shard cannot hang a multi-shard transaction forever.
+    pub fn wait_timeout(self, timeout: Duration) -> CcResult<T> {
+        self.rx.recv_timeout(timeout).map_err(|err| match err {
+            mpsc::RecvTimeoutError::Timeout => {
+                CcError::Internal("shard did not answer within the prepare timeout".to_string())
+            }
+            mpsc::RecvTimeoutError::Disconnected => {
+                CcError::Internal("shard worker dropped the reply channel".to_string())
+            }
+        })
+    }
 }
 
 pub(crate) enum Job {
@@ -44,15 +72,22 @@ pub(crate) enum Job {
         reply: mpsc::Sender<CcResult<Value>>,
     },
     /// 2PC phase one: run the shard part up to the prepared state and park
-    /// it in the in-doubt table keyed by the cluster-global id.
+    /// it in the in-doubt table keyed by the cluster-global id (read-write
+    /// votes) or commit it outright (read-only votes).
     Prepare {
         global: u64,
         call: ProcedureCall,
         op: ShardOp,
-        reply: mpsc::Sender<CcResult<Value>>,
+        reply: mpsc::Sender<CcResult<(Value, Vote)>>,
     },
     Shutdown,
 }
+
+/// How long an orphaned abort decision (the coordinator gave up on a
+/// prepare that had not answered yet) is remembered so the late prepare
+/// can be aborted when it finally lands. Generous: timeouts are rare and
+/// the entries are tiny.
+const ORPHAN_DECISION_TTL: Duration = Duration::from_secs(30);
 
 /// How many jobs a worker drains from the mailbox per wakeup. Batching
 /// amortizes the channel synchronization under load without adding latency
@@ -65,6 +100,11 @@ pub struct ShardWorkers {
     tx: mpsc::Sender<Job>,
     rx: Arc<Mutex<mpsc::Receiver<Job>>>,
     in_doubt: Arc<Mutex<HashMap<u64, PreparedTxn>>>,
+    /// Abort decisions that arrived before their prepare finished (the
+    /// coordinator timed the vote out). The late prepare consults this and
+    /// aborts instead of parking, so no prepared transaction can leak its
+    /// locks. Global id → when the decision arrived (for TTL pruning).
+    orphan_aborts: Mutex<HashMap<u64, Instant>>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stopping: std::sync::atomic::AtomicBool,
     workers: usize,
@@ -79,6 +119,7 @@ impl ShardWorkers {
             tx,
             rx: Arc::new(Mutex::new(rx)),
             in_doubt: Arc::new(Mutex::new(HashMap::new())),
+            orphan_aborts: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
             stopping: std::sync::atomic::AtomicBool::new(false),
             workers: workers.max(1),
@@ -136,7 +177,7 @@ impl ShardWorkers {
         global: u64,
         call: ProcedureCall,
         op: ShardOp,
-    ) -> Ticket<CcResult<Value>> {
+    ) -> Ticket<CcResult<(Value, Vote)>> {
         let (reply, rx) = mpsc::channel();
         self.submit(Job::Prepare {
             global,
@@ -151,8 +192,25 @@ impl ShardWorkers {
     /// calling thread. Decisions never queue behind prepares in the
     /// mailbox: a queued decision would stretch the window in which the
     /// prepared transaction holds its locks and convoy the whole shard.
+    ///
+    /// An abort decision that finds nothing parked is remembered: the
+    /// coordinator may have timed the vote out while the prepare was still
+    /// running, and the late prepare must abort instead of parking forever.
     pub fn decide(&self, global: u64, commit: bool) {
-        let prepared = self.in_doubt.lock().remove(&global);
+        // Lock order (in_doubt, then orphan_aborts) matches the prepare
+        // handler's parking path, so a decision and a late-finishing
+        // prepare serialize: exactly one of them wins the global id.
+        let prepared = {
+            let mut in_doubt = self.in_doubt.lock();
+            let prepared = in_doubt.remove(&global);
+            if prepared.is_none() && !commit {
+                let mut orphans = self.orphan_aborts.lock();
+                let now = Instant::now();
+                orphans.retain(|_, arrived| now.duration_since(*arrived) < ORPHAN_DECISION_TTL);
+                orphans.insert(global, now);
+            }
+            prepared
+        };
         if let Some(prepared) = prepared {
             if commit {
                 prepared.commit();
@@ -237,10 +295,34 @@ impl ShardWorkers {
                 mut op,
                 reply,
             } => {
+                // The coordinator may already have aborted this global
+                // (vote timeout): don't waste the execution.
+                if self.orphan_aborts.lock().remove(&global).is_some() {
+                    let _ = reply.send(Err(CcError::Internal(
+                        "coordinator aborted the transaction before its prepare ran".to_string(),
+                    )));
+                    return true;
+                }
                 let result = self.db.prepare(&call, global, |txn| op(txn));
-                let result = result.map(|(value, prepared)| {
-                    self.in_doubt.lock().insert(global, prepared);
-                    value
+                let result = result.and_then(|(value, vote)| match vote {
+                    ParticipantVote::ReadOnly => Ok((value, Vote::ReadOnly)),
+                    ParticipantVote::ReadWrite(prepared) => {
+                        // Re-check under the in-doubt lock: a timed-out
+                        // vote's abort decision may have raced in while the
+                        // part was validating.
+                        let mut in_doubt = self.in_doubt.lock();
+                        if self.orphan_aborts.lock().remove(&global).is_some() {
+                            drop(in_doubt);
+                            prepared.abort();
+                            Err(CcError::Internal(
+                                "coordinator aborted the transaction during its prepare"
+                                    .to_string(),
+                            ))
+                        } else {
+                            in_doubt.insert(global, prepared);
+                            Ok((value, Vote::ReadWrite))
+                        }
+                    }
                 });
                 let _ = reply.send(result);
             }

@@ -143,7 +143,7 @@ impl DatabaseBuilder {
         let device: Arc<dyn LogDevice> = self
             .log_device
             .unwrap_or_else(|| Arc::new(MemLogDevice::new()));
-        let durability = DurabilityManager::new(device, policy);
+        let durability = DurabilityManager::with_options(device, policy, self.config.group_commit);
         let history = if self.config.record_history {
             Some(Arc::new(HistoryRecorder::new()))
         } else {
@@ -320,11 +320,19 @@ impl Database {
     /// participant half of the cluster's cross-shard two-phase commit.
     ///
     /// The body executes, every mechanism validates, the dependency set is
-    /// waited out, and (when durability is on) a `Prepare` record carrying
-    /// `global` — the cluster-global transaction id — is flushed to the WAL.
-    /// On success the transaction is parked in the returned
-    /// [`PreparedTxn`](crate::prepared::PreparedTxn), still holding its
-    /// locks, and commits or aborts only when the coordinator decides.
+    /// waited out, and the vote is classified:
+    ///
+    /// * **read-write part** — (when durability is on) a `Prepare` record
+    ///   carrying `global` — the cluster-global transaction id — is group-
+    ///   commit flushed to the WAL, and the transaction is parked in a
+    ///   [`PreparedTxn`](crate::prepared::PreparedTxn), still holding its
+    ///   locks, until the coordinator decides;
+    /// * **read-only part** — the write set is empty, so there is nothing
+    ///   the decision could roll back: the part commits and releases
+    ///   immediately after phase one, writes no prepare record, and votes
+    ///   [`ParticipantVote::ReadOnly`](crate::prepared::ParticipantVote)
+    ///   so the coordinator excludes it from phase two.
+    ///
     /// On error the transaction has already been aborted and its resources
     /// released.
     pub fn prepare<R>(
@@ -332,7 +340,7 @@ impl Database {
         call: &ProcedureCall,
         global: u64,
         body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
-    ) -> CcResult<(R, crate::prepared::PreparedTxn)> {
+    ) -> CcResult<(R, crate::prepared::ParticipantVote)> {
         let tree = self.current_tree();
         let gate_group = tree
             .group_for(call.ty, call.instance_seed)
@@ -375,25 +383,34 @@ impl Database {
 
         match outcome {
             Ok(value) => {
-                // Harden the yes-vote: the prepare record is flushed
-                // synchronously so a crash after this point leaves the
-                // transaction in doubt (resolvable), never silently lost.
-                if self.durability.is_enabled() {
+                let read_only = txn.ctx().write_keys.is_empty() && self.config.read_only_votes;
+                if !read_only && self.durability.is_enabled() {
+                    // Harden the yes-vote: the prepare record is group-
+                    // commit flushed so a crash after this point leaves the
+                    // transaction in doubt (resolvable), never silently
+                    // lost.
                     let writes = crate::txn::collect_writes(self, txn.ctx());
                     self.durability.prepare(txn_id, global, writes);
                 }
                 let (path, ctx) = txn.into_parts();
-                Ok((
-                    value,
-                    crate::prepared::PreparedTxn::new(
-                        Arc::clone(self),
-                        path,
-                        ctx,
-                        gate_group,
-                        gc_epoch,
-                        global,
-                    ),
-                ))
+                let prepared = crate::prepared::PreparedTxn::new(
+                    Arc::clone(self),
+                    path,
+                    ctx,
+                    gate_group,
+                    gc_epoch,
+                    global,
+                );
+                if read_only {
+                    // Read-only participant optimization: the decision
+                    // cannot change anything this part did, so commit now,
+                    // release the locks, and skip phase two entirely (no
+                    // prepare record, nothing in doubt at recovery).
+                    prepared.commit();
+                    Ok((value, crate::prepared::ParticipantVote::ReadOnly))
+                } else {
+                    Ok((value, crate::prepared::ParticipantVote::ReadWrite(prepared)))
+                }
             }
             Err(err) => {
                 txn.abort();

@@ -61,7 +61,7 @@ pub mod txn;
 
 pub use config::{DbConfig, DurabilityMode};
 pub use db::{Database, DatabaseBuilder};
-pub use prepared::PreparedTxn;
+pub use prepared::{ParticipantVote, PreparedTxn};
 pub use procedure::ProcedureCall;
 pub use reconfig::{diff_specs, ReconfigProtocol, ReconfigReport, SpecDiff};
 pub use stats::{DbStats, StatsSnapshot};

@@ -18,6 +18,50 @@ use std::sync::Arc;
 use tebaldi_cc::{PathEntry, TxnCtx};
 use tebaldi_storage::{GroupId, Timestamp, TxnId};
 
+/// A participant's phase-one vote in the cluster's cross-shard two-phase
+/// commit, as returned by [`Database::prepare`](crate::db::Database::prepare).
+// The variant size difference is fine: votes are consumed immediately by
+// the worker (parked or dropped), never stored in bulk.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum ParticipantVote {
+    /// The classic read-only participant optimization: the part's write set
+    /// was empty, so it committed and released its resources immediately
+    /// after phase one. No prepare record was written and the participant
+    /// must be excluded from the decision — with a single read-write
+    /// participant left, the coordinator degenerates to a one-phase commit
+    /// with no decision record at all.
+    ReadOnly,
+    /// The part wrote data: a prepare record was hardened and the
+    /// transaction is parked holding its locks until the decision arrives.
+    ReadWrite(PreparedTxn),
+}
+
+impl ParticipantVote {
+    /// True for the read-only fast path.
+    pub fn is_read_only(&self) -> bool {
+        matches!(self, ParticipantVote::ReadOnly)
+    }
+
+    /// The parked transaction of a read-write vote, if any.
+    pub fn into_prepared(self) -> Option<PreparedTxn> {
+        match self {
+            ParticipantVote::ReadOnly => None,
+            ParticipantVote::ReadWrite(prepared) => Some(prepared),
+        }
+    }
+
+    /// Unwraps a read-write vote (tests and fixtures that prepare writing
+    /// parts by hand).
+    ///
+    /// # Panics
+    /// When the vote was `ReadOnly`.
+    pub fn expect_prepared(self) -> PreparedTxn {
+        self.into_prepared()
+            .expect("participant voted ReadOnly; no prepared transaction to park")
+    }
+}
+
 /// A transaction that has voted "yes" and awaits the coordinator's
 /// decision. Dropping the handle without a decision aborts the transaction
 /// (presumed abort), releasing its locks.
@@ -151,11 +195,12 @@ mod tests {
     fn prepared_commit_publishes_writes() {
         let db = db();
         let key = Key::simple(TABLE, 1);
-        let (_, prepared) = db
+        let (_, vote) = db
             .prepare(&ProcedureCall::new(TY), 77, |txn| {
                 txn.put(key, Value::Int(7))
             })
             .unwrap();
+        let prepared = vote.expect_prepared();
         assert_eq!(prepared.global_id(), 77);
         assert_eq!(prepared.write_count(), 1);
 
@@ -173,17 +218,64 @@ mod tests {
     fn dropped_prepare_aborts_by_presumption() {
         let db = db();
         let key = Key::simple(TABLE, 2);
-        let (_, prepared) = db
+        let (_, vote) = db
             .prepare(&ProcedureCall::new(TY), 78, |txn| {
                 txn.put(key, Value::Int(8))
             })
             .unwrap();
-        drop(prepared);
+        drop(vote.expect_prepared());
         assert_eq!(read(&db, key), None, "undecided prepare must roll back");
         // Locks were released: a follow-up writer succeeds immediately.
         db.execute(&ProcedureCall::new(TY), |txn| txn.put(key, Value::Int(1)))
             .unwrap();
         assert_eq!(read(&db, key), Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn read_only_part_votes_read_only_and_releases_immediately() {
+        let db = db();
+        let key = Key::simple(TABLE, 4);
+        db.load(key, Value::Int(3));
+        let before = db.durability().stats();
+        let (value, vote) = db
+            .prepare(&ProcedureCall::new(TY), 80, |txn| txn.get(key))
+            .unwrap();
+        assert_eq!(value, Some(Value::Int(3)));
+        assert!(vote.is_read_only(), "empty write set must vote ReadOnly");
+        // No prepare record was written and the locks are already gone: a
+        // conflicting writer succeeds immediately.
+        assert_eq!(db.durability().stats().prepares, before.prepares);
+        assert_eq!(db.stats().committed, 1, "read-only part commits in stats");
+        db.execute(&ProcedureCall::new(TY), |txn| txn.put(key, Value::Int(9)))
+            .unwrap();
+        assert_eq!(read(&db, key), Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn read_only_vote_disabled_parks_like_a_writer() {
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "write",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        let db = Arc::new(
+            Database::builder(DbConfig {
+                read_only_votes: false,
+                ..DbConfig::for_tests()
+            })
+            .procedures(procedures)
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+            .build()
+            .unwrap(),
+        );
+        let key = Key::simple(TABLE, 5);
+        db.load(key, Value::Int(1));
+        let (_, vote) = db
+            .prepare(&ProcedureCall::new(TY), 81, |txn| txn.get(key))
+            .unwrap();
+        let prepared = vote.into_prepared().expect("legacy path parks every part");
+        prepared.commit();
     }
 
     #[test]

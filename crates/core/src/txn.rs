@@ -359,24 +359,19 @@ fn apply_commit_inner(
     let commit_ts = db.oracle.begin_commit();
 
     // Durability: one precommit record per participating data server,
-    // then the commit notification carrying the global epoch. A prepared
-    // transaction already hardened its writes in the (synchronously
-    // flushed) Prepare record, so only the commit notification is logged.
+    // then the commit notification carrying the global epoch — appended as
+    // one batch so the whole transaction hardens with a single (group-
+    // commit coalesced) flush. A prepared transaction already hardened its
+    // writes in the Prepare record, so only the commit notification is
+    // logged.
     if db.durability.is_enabled() && !ctx.write_keys.is_empty() {
         if prepared {
             db.durability
                 .commit(ctx.txn, db.durability.current_epoch(), commit_ts);
         } else {
-            let by_shard = collect_writes_by_shard(db, ctx);
-            let participants = by_shard.len() as u32;
-            let mut global_epoch = 0;
-            for (shard, writes) in by_shard {
-                let epoch = db
-                    .durability
-                    .precommit(ctx.txn, shard, participants, writes);
-                global_epoch = global_epoch.max(epoch);
-            }
-            db.durability.commit(ctx.txn, global_epoch, commit_ts);
+            let by_shard: Vec<_> = collect_writes_by_shard(db, ctx).into_iter().collect();
+            db.durability
+                .commit_transaction(ctx.txn, by_shard, commit_ts);
         }
     }
 

@@ -199,6 +199,14 @@ impl MvStore {
         })
     }
 
+    /// [`MvStore::read`] with delete-tombstone filtering: a visible
+    /// [`Value::Null`] version means the key was deleted, so presence
+    /// checks must treat it as absent. Use this instead of re-implementing
+    /// the `is_null` filter at every call site.
+    pub fn read_visible(&self, key: &Key, spec: ReadSpec) -> Option<Value> {
+        self.read(key, spec).filter(|v| !v.is_null())
+    }
+
     /// Marks `txn`'s uncommitted versions on `keys` as committed with
     /// `commit_ts`.
     pub fn commit_writes(&self, txn: TxnId, keys: &[Key], commit_ts: Timestamp) {
@@ -320,6 +328,23 @@ mod tests {
             store.read(&k, ReadSpec::SnapshotBefore(Timestamp(11))),
             Some(Value::Int(7))
         );
+    }
+
+    #[test]
+    fn read_visible_filters_delete_tombstones() {
+        let store = MvStore::new(2);
+        let k = key(7);
+        store.load(&k, Value::Int(1));
+        assert_eq!(
+            store.read_visible(&k, ReadSpec::LatestCommitted),
+            Some(Value::Int(1))
+        );
+        // A committed delete surfaces as a Null version in `read`...
+        store.write(&k, TxnId(1), Value::Null);
+        store.commit_writes(TxnId(1), &[k], Timestamp(5));
+        assert_eq!(store.read(&k, ReadSpec::LatestCommitted), Some(Value::Null));
+        // ...which `read_visible` reports as absent.
+        assert_eq!(store.read_visible(&k, ReadSpec::LatestCommitted), None);
     }
 
     #[test]

@@ -116,10 +116,15 @@ pub trait LogDevice: Send + Sync {
 
 /// An in-memory log device. "Durable" records survive only as long as the
 /// process, which is exactly what the durability-off experiments need; a
-/// simulated crash is modelled by dropping the unflushed buffer.
+/// simulated crash is modelled by dropping the unflushed buffer. An
+/// optional flush latency emulates the write barrier of a real device
+/// (an NVMe fsync is tens of microseconds), which is what makes group
+/// commit measurable: only a flush that takes time lets concurrent
+/// transactions pile onto the same barrier.
 #[derive(Default)]
 pub struct MemLogDevice {
     inner: Mutex<MemLogInner>,
+    flush_latency: std::time::Duration,
 }
 
 #[derive(Default)]
@@ -129,9 +134,19 @@ struct MemLogInner {
 }
 
 impl MemLogDevice {
-    /// Creates an empty device.
+    /// Creates an empty device with instantaneous flushes.
     pub fn new() -> Self {
         MemLogDevice::default()
+    }
+
+    /// Creates an empty device whose every flush blocks for `latency`
+    /// (outside the buffer lock — appends proceed while a flush "waits on
+    /// the hardware", exactly like a real write barrier).
+    pub fn with_flush_latency(latency: std::time::Duration) -> Self {
+        MemLogDevice {
+            inner: Mutex::new(MemLogInner::default()),
+            flush_latency: latency,
+        }
     }
 
     /// Simulates a crash: unflushed records are lost.
@@ -146,6 +161,14 @@ impl LogDevice for MemLogDevice {
     }
 
     fn flush(&self) {
+        if !self.flush_latency.is_zero() {
+            // Spin rather than sleep: OS sleep granularity (~50µs+) would
+            // distort the tens-of-microseconds barriers being modelled.
+            let start = std::time::Instant::now();
+            while start.elapsed() < self.flush_latency {
+                std::hint::spin_loop();
+            }
+        }
         let mut inner = self.inner.lock();
         let buffered = std::mem::take(&mut inner.buffered);
         inner.durable.extend(buffered);

@@ -276,11 +276,14 @@ impl ClusterSeats {
         })
     }
 
-    /// update_reservation: flips the reservation's flag on the flight shard
-    /// and credits the customer's balance (frequent-flyer miles) on the
-    /// customer's home shard — the cross-shard variant of the single-node
-    /// transaction.
-    fn update_reservation(
+    /// update_reservation: verifies the customer's profile (frequent-flyer
+    /// tier) on the customer's home shard and flips the reservation's flag
+    /// on the flight shard. The customer part only *reads*, so under the
+    /// read-only participant optimization it votes `ReadOnly`, releases at
+    /// phase one, and the flight part — the lone remaining read-write
+    /// participant — commits one-phase with no decision record at all.
+    /// Public so deterministic tests can drive exact vote-class mixes.
+    pub fn update_reservation(
         &self,
         cluster: &Cluster,
         flight: u32,
@@ -296,9 +299,9 @@ impl ClusterSeats {
             let result = cluster
                 .execute_single(flight_shard, &call, self.inner.max_attempts, |txn| {
                     let _ = txn.get(t.flight_key(flight))?;
+                    let _ = txn.get(t.customer_key(customer))?;
                     if let Some(row) = txn.get(t.reservation_key(flight, seat))? {
                         txn.put(t.reservation_key(flight, seat), row.with_field(2, 1))?;
-                        txn.increment(t.customer_key(customer), 0, 5)?;
                     }
                     Ok(())
                 })
@@ -321,12 +324,12 @@ impl ClusterSeats {
                         }
                     }),
                 ),
+                // Read-only customer part: fetch the profile, write nothing.
                 ShardPart::new(
                     customer_shard,
                     ProcedureCall::new(ty).with_instance_seed(customer as u64),
                     Box::new(move |txn| {
-                        txn.increment(t.customer_key(customer), 0, 5)?;
-                        Ok(Value::Null)
+                        Ok(txn.get(t.customer_key(customer))?.unwrap_or(Value::Null))
                     }),
                 ),
             ]
@@ -381,8 +384,9 @@ impl ClusterSeats {
 }
 
 /// The SEATS procedure set with the cluster-variant access lists:
-/// `update_reservation` additionally writes the customer table (the
-/// frequent-flyer credit applied on the customer's home shard).
+/// `update_reservation` additionally *reads* the customer table (the
+/// frequent-flyer tier check on the customer's home shard — a read-only
+/// 2PC participant).
 pub fn cluster_procedures(workload: &Seats) -> ProcedureSet {
     use AccessMode::{Read, Write};
     let t = &workload.tables;
@@ -410,11 +414,7 @@ pub fn cluster_procedures(workload: &Seats) -> ProcedureSet {
     set.insert(ProcedureInfo::new(
         types::UPDATE_RESERVATION,
         "update_reservation",
-        vec![
-            (t.flight, Read),
-            (t.reservation, Write),
-            (t.customer, Write),
-        ],
+        vec![(t.flight, Read), (t.reservation, Write), (t.customer, Read)],
     ));
     set.insert(ProcedureInfo::new(
         types::UPDATE_CUSTOMER,
@@ -555,6 +555,55 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_update_reservation_takes_one_phase_fast_path() {
+        let workload = ClusterSeats::new(Seats::new(SeatsParams::tiny()));
+        let mut config = ClusterConfig::for_tests(2);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        let cluster = Cluster::builder(config)
+            .procedures(ClusterWorkload::procedures(&workload))
+            .cc_spec(configs::monolithic_2pl())
+            .build()
+            .unwrap();
+        ClusterWorkload::load(&workload, &cluster);
+        let t = workload.inner.tables;
+        let flight = 0u32;
+        let customer = (0..workload.inner.params.customers)
+            .find(|&c| cluster.shard_of(c as u64) != cluster.shard_of(flight as u64))
+            .expect("a remote customer exists");
+
+        // Book the seat with a full cross-shard 2PC (two read-write parts:
+        // one decision record).
+        assert!(
+            workload
+                .new_reservation(&cluster, flight, 3, customer)
+                .committed
+        );
+        let after_booking = cluster.coordinator().stats().decisions_logged;
+        assert!(after_booking >= 1, "booking logs a commit decision");
+
+        // The tier-check update: read-only customer part + read-write
+        // flight part → one-phase commit, no new decision-log appends.
+        let unit = workload.update_reservation(&cluster, flight, 3, customer);
+        assert!(unit.committed);
+        let stats = cluster.stats();
+        assert_eq!(stats.coordinator.decisions_logged, after_booking);
+        assert_eq!(stats.coordinator.one_phase, 1);
+        assert_eq!(stats.read_only_votes, 1);
+        let fs = cluster.shard_of(flight as u64);
+        assert_eq!(
+            cluster
+                .shard(fs)
+                .store()
+                .read_visible(&t.reservation_key(flight, 3), LatestCommitted)
+                .and_then(|v| v.field(2)),
+            Some(1),
+            "the flag flip committed"
+        );
+        assert_eq!(cluster.in_doubt_count(), 0);
+        cluster.shutdown();
+    }
+
+    #[test]
     fn cross_shard_reservation_books_and_releases_atomically() {
         let workload = ClusterSeats::new(Seats::new(SeatsParams::tiny()));
         let cluster = Cluster::builder(ClusterConfig::for_tests(2))
@@ -577,9 +626,7 @@ mod tests {
             cluster
                 .shard(shard)
                 .store()
-                .read(&key, LatestCommitted)
-                // Deleted rows surface as tombstones.
-                .filter(|v| !v.is_null())
+                .read_visible(&key, LatestCommitted)
         };
         let fs = cluster.shard_of(flight as u64);
         let cs = cluster.shard_of(customer as u64);

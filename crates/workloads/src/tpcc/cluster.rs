@@ -4,12 +4,16 @@
 //! the read-mostly item catalog). Transactions route by their home
 //! warehouse:
 //!
-//! * `delivery`, `order_status`, `stock_level`, `hot_item` — always
-//!   single-shard (they touch one warehouse),
+//! * `delivery`, `stock_level`, `hot_item` — always single-shard (they
+//!   touch one warehouse),
 //! * `new_order` — single-shard unless an order line's supplying warehouse
 //!   lives on another shard (TPC-C's ~1% remote lines, configurable),
 //! * `payment` — single-shard unless the paying customer belongs to a
-//!   remote warehouse (TPC-C's 15% remote customers, configurable).
+//!   remote warehouse (TPC-C's 15% remote customers, configurable),
+//! * `order_status` — single-shard unless the status check targets a
+//!   remote warehouse's customer; the cross-shard variant is *fully
+//!   read-only*, so every participant votes `ReadOnly` and the 2PC commits
+//!   with zero prepare and zero decision records.
 //!
 //! Multi-shard invocations decompose into a home part plus per-shard remote
 //! parts and run under the coordinator's two-phase commit.
@@ -222,10 +226,73 @@ impl ClusterTpcc {
         )
     }
 
-    fn run_local(&self, cluster: &Cluster, ty: TxnTypeId, w: u32, rng: &mut StdRng) -> WorkUnit {
+    /// order_status, routed. With probability `remote_payment_pct` the
+    /// status check is for a customer of a *remote* warehouse (the same
+    /// remote-customer model payment uses): the home desk reads its
+    /// warehouse/district reference rows while the customer's shard runs
+    /// the actual status query. Every part is read-only, so under the
+    /// read-only participant optimization the whole cross-shard
+    /// transaction commits with zero prepare records and zero decision
+    /// records.
+    fn run_order_status(&self, cluster: &Cluster, w: u32, rng: &mut StdRng) -> WorkUnit {
         let params = &self.inner.params;
         let d = rng.gen_range(0..params.districts_per_warehouse);
         let c = rng.gen_range(0..params.customers_per_district);
+        let (c_w, c_d) = if params.warehouses > 1 && rng.gen_bool(self.remote_payment_pct) {
+            (
+                self.pick_other_warehouse(w, rng),
+                rng.gen_range(0..params.districts_per_warehouse),
+            )
+        } else {
+            (w, d)
+        };
+        let keys = self.inner.keys;
+        let call = ProcedureCall::new(types::ORDER_STATUS);
+        let home = cluster.shard_of(w as u64);
+        let customer_shard = cluster.shard_of(c_w as u64);
+        let input = transactions::OrderStatusInput { w: c_w, d: c_d, c };
+        if home == customer_shard {
+            let result = cluster.execute_single(home, &call, self.inner.max_attempts, |txn| {
+                transactions::order_status(txn, &keys, &input).map(|_| ())
+            });
+            return unit(
+                types::ORDER_STATUS,
+                result.map(|(_, a)| a),
+                self.inner.max_attempts,
+            );
+        }
+        let result = cluster.execute_multi_with_retry(self.inner.max_attempts, || {
+            let home_keys = keys;
+            let remote_keys = keys;
+            vec![
+                ShardPart::new(
+                    home,
+                    call.clone(),
+                    Box::new(move |txn| {
+                        let _ = txn.get(home_keys.warehouse(w))?;
+                        let _ = txn.get(home_keys.district(w, d))?;
+                        Ok(Value::Null)
+                    }),
+                ),
+                ShardPart::new(
+                    customer_shard,
+                    call.clone(),
+                    Box::new(move |txn| {
+                        transactions::order_status(txn, &remote_keys, &input).map(Value::Int)
+                    }),
+                ),
+            ]
+        });
+        unit(
+            types::ORDER_STATUS,
+            result.map(|(_, aborts)| aborts),
+            self.inner.max_attempts,
+        )
+    }
+
+    fn run_local(&self, cluster: &Cluster, ty: TxnTypeId, w: u32, rng: &mut StdRng) -> WorkUnit {
+        let params = &self.inner.params;
+        let d = rng.gen_range(0..params.districts_per_warehouse);
         let keys = &self.inner.keys;
         let shard = cluster.shard_of(w as u64);
         let call = ProcedureCall::new(ty);
@@ -238,12 +305,6 @@ impl ClusterTpcc {
                 };
                 cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
                     transactions::delivery(txn, keys, &input).map(|_| ())
-                })
-            }
-            t if t == types::ORDER_STATUS => {
-                let input = transactions::OrderStatusInput { w, d, c };
-                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
-                    transactions::order_status(txn, keys, &input).map(|_| ())
                 })
             }
             t if t == types::HOT_ITEM => {
@@ -283,13 +344,37 @@ fn unit(
     }
 }
 
+/// The TPC-C procedure set with the cluster-variant access list:
+/// `order_status` additionally *reads* the home desk's warehouse and
+/// district rows (the cross-shard decomposition's home part) — the
+/// single-node transaction never touches them, so the shared
+/// `schema::procedures` list stays untouched, mirroring how SEATS keeps a
+/// separate `cluster_procedures`.
+pub fn cluster_procedures(tables: &super::schema::TpccTables, with_hot_item: bool) -> ProcedureSet {
+    use tebaldi_cc::{AccessMode::Read, ProcedureInfo};
+    let mut set = super::schema::procedures(tables, with_hot_item);
+    set.insert(ProcedureInfo::new(
+        types::ORDER_STATUS,
+        "order_status",
+        vec![
+            (tables.warehouse, Read),
+            (tables.district, Read),
+            (tables.customer, Read),
+            (tables.customer_order_index, Read),
+            (tables.order, Read),
+            (tables.order_line, Read),
+        ],
+    ));
+    set
+}
+
 impl ClusterWorkload for ClusterTpcc {
     fn name(&self) -> &str {
         "tpcc-cluster"
     }
 
     fn procedures(&self) -> ProcedureSet {
-        super::schema::procedures(&self.inner.keys.tables, self.inner.params.with_hot_item)
+        cluster_procedures(&self.inner.keys.tables, self.inner.params.with_hot_item)
     }
 
     fn load(&self, cluster: &Cluster) {
@@ -307,6 +392,7 @@ impl ClusterWorkload for ClusterTpcc {
         match ty {
             t if t == types::NEW_ORDER => self.run_new_order(cluster, w, rng),
             t if t == types::PAYMENT => self.run_payment(cluster, w, rng),
+            t if t == types::ORDER_STATUS => self.run_order_status(cluster, w, rng),
             _ => self.run_local(cluster, ty, w, rng),
         }
     }

@@ -1,4 +1,8 @@
 //! Helpers shared across the integration-test binaries.
+//!
+//! Presence checks over stores must go through `MvStore::read_visible`
+//! (which filters `Value::Null` delete tombstones) instead of re-filtering
+//! `read` results at every call site.
 
 use tebaldi_suite::cluster::Partitioning;
 

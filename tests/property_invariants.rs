@@ -161,7 +161,9 @@ proptest! {
 // SEATS: a hot flight never oversells
 // ---------------------------------------------------------------------------
 
-/// One reservation op against the hot flight: `kind` 0 books, 1 releases.
+/// One reservation op against the hot flight: `kind` 0 books, 1 releases,
+/// 2 (recovery mix only) runs the tier-check update whose customer part
+/// votes `ReadOnly`.
 type HotFlightOp = (u32, u32, u32); // (kind, seat, customer)
 
 mod seats_oversell {
@@ -238,7 +240,7 @@ mod seats_oversell {
         invariants(
             |_, key| {
                 db.store()
-                    .read(&key, LatestCommitted)
+                    .read_visible(&key, LatestCommitted)
                     .and_then(|v| field_of(&key, &t, v))
             },
             &t,
@@ -277,7 +279,7 @@ mod seats_oversell {
                 cluster
                     .shard(cluster.shard_of(partition))
                     .store()
-                    .read(&key, LatestCommitted)
+                    .read_visible(&key, LatestCommitted)
                     .and_then(|v| field_of(&key, &t, v))
             },
             &t,
@@ -287,21 +289,92 @@ mod seats_oversell {
 
     /// Flight rows report seats_sold (field 0), customer rows their
     /// reservation count (field 1); reservation rows only need presence.
+    /// Callers read through `MvStore::read_visible`, which already filters
+    /// delete tombstones.
     fn field_of(
         key: &tebaldi_suite::storage::Key,
         t: &SeatsTables,
         value: tebaldi_suite::storage::Value,
     ) -> Option<i64> {
-        if value.is_null() {
-            // A tombstone: the row was deleted.
-            None
-        } else if key.table == t.customer {
+        if key.table == t.customer {
             value.field(1)
         } else if key.table == t.flight {
             value.field(0)
         } else {
             Some(1)
         }
+    }
+
+    /// Runs a random mix of read-write (book/release) and vote-class-mixed
+    /// (tier-check update: read-only customer part, one-phase commit) ops
+    /// against a two-shard cluster with synchronous durability, then
+    /// crashes every shard and the coordinator and checks the balance
+    /// invariants on the *recovered* stores. Covers the acceptance claim
+    /// that random `ReadOnly`/read-write participant mixes always recover
+    /// to balanced SEATS counts.
+    pub fn run_clustered_with_recovery(ops: &[HotFlightOp]) {
+        use tebaldi_suite::cluster::recover_cluster;
+        use tebaldi_suite::core::{DurabilityMode, ProcedureCall};
+        use tebaldi_suite::workloads::seats::types;
+
+        let workload = ClusterSeats::new(Seats::new(params()));
+        let mut config = ClusterConfig::for_tests(2);
+        config.db_config.durability = DurabilityMode::Synchronous;
+        let cluster = Cluster::builder(config)
+            .procedures(cluster_procedures(&workload.inner))
+            .cc_spec(configs::monolithic_ssi())
+            .build()
+            .unwrap();
+        ClusterWorkload::load(&workload, &cluster);
+        let t = workload.inner.tables;
+
+        // Write the rows the invariants read through the WAL (loads bypass
+        // it, so only logged state survives the crash).
+        for f in 0..params().flights {
+            let shard = cluster.shard_of(f as u64);
+            let call = ProcedureCall::new(types::NEW_RESERVATION).with_instance_seed(f as u64);
+            cluster
+                .execute_single(shard, &call, 10, |txn| txn.increment(t.flight_key(f), 0, 0))
+                .unwrap();
+        }
+        for c in 0..CUSTOMERS {
+            let shard = cluster.shard_of(c as u64);
+            let call = ProcedureCall::new(types::UPDATE_CUSTOMER).with_instance_seed(c as u64);
+            cluster
+                .execute_single(shard, &call, 10, |txn| {
+                    txn.increment(t.customer_key(c), 1, 0)
+                })
+                .unwrap();
+        }
+
+        for &(kind, seat, customer) in ops {
+            let seat = seat % SEATS;
+            let customer = customer % CUSTOMERS;
+            match kind % 3 {
+                0 => workload.new_reservation(&cluster, HOT_FLIGHT, seat, customer),
+                1 => workload.delete_reservation(&cluster, HOT_FLIGHT, seat, customer),
+                _ => workload.update_reservation(&cluster, HOT_FLIGHT, seat, customer),
+            };
+        }
+        assert_eq!(cluster.in_doubt_count(), 0);
+        for shard in 0..2 {
+            cluster.shard(shard).durability().seal_current_epoch();
+        }
+
+        // Crash: rebuild every shard from its WAL + the decision log only.
+        let logs: Vec<_> = (0..2).map(|s| cluster.shard_log(s)).collect();
+        let decision_log = cluster.coordinator().decision_log();
+        let recovered = recover_cluster(&logs, decision_log.as_ref(), 4);
+        invariants(
+            |partition, key| {
+                recovered[cluster.shard_of(partition)]
+                    .0
+                    .read_visible(&key, LatestCommitted)
+                    .and_then(|v| field_of(&key, &t, v))
+            },
+            &t,
+        );
+        cluster.shutdown();
     }
 
     /// Spreads the ops round-robin over `threads` workers and joins them.
@@ -351,5 +424,16 @@ proptest! {
         threads in 2usize..4,
     ) {
         seats_oversell::run_clustered(&ops, threads);
+    }
+
+    /// Random mixes of ReadOnly and read-write 2PC participants (bookings,
+    /// releases, and one-phase tier-check updates) always crash-recover to
+    /// balanced SEATS counts: seats_sold = reservation rows = customer
+    /// reservation counts, reconstructed purely from WALs + decision log.
+    #[test]
+    fn mixed_vote_classes_recover_to_balanced_counts(
+        ops in proptest::collection::vec((0u32..3, 0u32..6, 0u32..5), 1..12),
+    ) {
+        seats_oversell::run_clustered_with_recovery(&ops);
     }
 }

@@ -363,10 +363,6 @@ mod cluster_suite {
 
     const SHARDS: usize = 4;
 
-    fn build_cluster() -> Cluster {
-        build_cluster_with(CcKind::TwoPl)
-    }
-
     fn build_cluster_with(kind: CcKind) -> Cluster {
         let mut config = ClusterConfig::for_tests(SHARDS);
         // Synchronous WAL: prepare records double as the local→global id
@@ -490,7 +486,36 @@ mod cluster_suite {
 
     #[test]
     fn shard_crash_between_prepare_and_commit_resolves_by_decision_log() {
-        let cluster = build_cluster();
+        run_shard_crash_recovery(DurabilityMode::Synchronous);
+    }
+
+    /// The same crash under GCP-epoch (asynchronous) flushing with group
+    /// commit: prepare records and the coordinator's decision are hardened
+    /// synchronously regardless of the policy, so in-doubt resolution must
+    /// converge to the identical state.
+    #[test]
+    fn shard_crash_recovery_converges_under_gcp_epoch_flushing() {
+        run_shard_crash_recovery(DurabilityMode::Asynchronous {
+            epoch_ms: 3_600_000,
+        });
+    }
+
+    fn run_shard_crash_recovery(mode: DurabilityMode) {
+        let mut config = ClusterConfig::for_tests(SHARDS);
+        config.db_config.durability = mode;
+        config.partitioning = test_partitioning();
+        let cluster = Cluster::builder(config)
+            .procedures(procedures())
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER, AUDIT]))
+            .build()
+            .unwrap();
+        for account in 0..N_ACCOUNTS {
+            cluster.load(
+                account,
+                Key::simple(ACCOUNTS_TABLE, account),
+                Value::Int(INITIAL_BALANCE),
+            );
+        }
         // Harden the initial loads into the recoverable state.
         for account in 0..N_ACCOUNTS {
             let shard = cluster.shard_of(account);
@@ -677,9 +702,8 @@ mod cluster_seats_suite {
             cluster
                 .shard(cluster.shard_of(partition))
                 .store()
-                .read(&key, ReadSpec::LatestCommitted)
-                // Deleted reservations surface as tombstones.
-                .filter(|v| !v.is_null())
+                // `read_visible` filters deleted reservations' tombstones.
+                .read_visible(&key, ReadSpec::LatestCommitted)
         };
         let mut seats_sold = 0i64;
         let mut reservation_rows = 0i64;
