@@ -23,7 +23,7 @@
 use serde::Serialize;
 use std::sync::Arc;
 use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
-use tebaldi_cluster::ClusterConfig;
+use tebaldi_cluster::{ClusterConfig, TransportKind};
 use tebaldi_core::DurabilityMode;
 use tebaldi_workloads::seats::cluster::ClusterSeats;
 use tebaldi_workloads::seats::{configs, Seats, SeatsParams};
@@ -34,6 +34,7 @@ use tebaldi_workloads::ClusterWorkload;
 struct Row {
     shards: usize,
     clients: usize,
+    transport: &'static str,
     throughput: f64,
     committed: u64,
     aborted: u64,
@@ -47,6 +48,8 @@ struct Row {
     read_only_votes: u64,
     one_phase_commits: u64,
     coalesced_flushes: u64,
+    messages_sent: u64,
+    bytes_on_wire: u64,
 }
 
 /// The file every run refreshes for regression tracking.
@@ -81,8 +84,15 @@ fn main() {
     let clients = if options.quick { 8 } else { 32 };
 
     println!(
-        "{:>7} {:>8} {:>11} {:>11} {:>10} {:>12} {:>13}",
-        "shards", "clients", "tput(tx/s)", "aborts", "abort%", "single-shard", "flush/commit"
+        "{:>7} {:>8} {:>10} {:>11} {:>11} {:>10} {:>12} {:>13}",
+        "shards",
+        "clients",
+        "transport",
+        "tput(tx/s)",
+        "aborts",
+        "abort%",
+        "single-shard",
+        "flush/commit"
     );
 
     // Short runs on a loaded box are noisy; report the median of several
@@ -98,91 +108,107 @@ fn main() {
             customers: customers_per_shard * shards as u32,
             open_seat_probes: if options.quick { 10 } else { 30 },
         };
-        let mut samples: Vec<Row> = Vec::with_capacity(trials);
-        for _ in 0..trials {
-            let workload_impl =
-                ClusterSeats::new(Seats::new(params)).with_remote_rate(remote_customer_pct);
-            let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
-            let mut cluster_config = ClusterConfig::for_benchmarks(shards);
-            // Durability ON: the sweep tracks the commit-path cost
-            // (flushes per commit, prepared-lock window) alongside
-            // throughput.
-            cluster_config.db_config.durability = DurabilityMode::Synchronous;
-            if options.quick {
-                cluster_config.workers_per_shard = 2;
-            }
+        // The transport sweep column: the median-of-trials in-process curve
+        // plus one TCP/loopback leg per shard count (wire-cost tracking).
+        for (transport_label, transport, leg_trials) in [
+            ("in-process", TransportKind::InProcess, trials),
+            ("tcp", TransportKind::Tcp, 1usize),
+        ] {
+            let mut samples: Vec<Row> = Vec::with_capacity(leg_trials);
+            for _ in 0..leg_trials {
+                let workload_impl =
+                    ClusterSeats::new(Seats::new(params)).with_remote_rate(remote_customer_pct);
+                let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
+                let mut cluster_config = ClusterConfig::for_benchmarks(shards);
+                // Durability ON: the sweep tracks the commit-path cost
+                // (flushes per commit, prepared-lock window) alongside
+                // throughput.
+                cluster_config.db_config.durability = DurabilityMode::Synchronous;
+                cluster_config.transport = transport;
+                if options.quick {
+                    cluster_config.workers_per_shard = 2;
+                }
 
-            let label = format!("{shards}-shard");
-            let bench = options.bench_options(clients, &label);
-            // Build the cluster directly (rather than through
-            // bench_cluster_config) so shard-routing counters can be read
-            // before shutdown.
-            // WAL devices with a realistic write barrier (~an NVMe fsync):
-            // group commit is only measurable when a flush takes time.
-            let flush_latency = std::time::Duration::from_micros(20);
-            let shard_logs: Vec<std::sync::Arc<dyn tebaldi_storage::wal::LogDevice>> = (0..shards)
-                .map(|_| {
+                let label = format!("{shards}-shard/{transport_label}");
+                let bench = options.bench_options(clients, &label);
+                // Build the cluster directly (rather than through
+                // bench_cluster_config) so shard-routing counters can be read
+                // before shutdown.
+                // WAL devices with a realistic write barrier (~an NVMe fsync):
+                // group commit is only measurable when a flush takes time.
+                let flush_latency = std::time::Duration::from_micros(20);
+                let shard_logs: Vec<std::sync::Arc<dyn tebaldi_storage::wal::LogDevice>> = (0
+                    ..shards)
+                    .map(|_| {
+                        std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                            flush_latency,
+                        )) as _
+                    })
+                    .collect();
+                let decision_log: std::sync::Arc<dyn tebaldi_storage::wal::LogDevice> =
                     std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
                         flush_latency,
-                    )) as _
-                })
-                .collect();
-            let decision_log: std::sync::Arc<dyn tebaldi_storage::wal::LogDevice> =
-                std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
-                    flush_latency,
-                ));
-            let cluster = Arc::new(
-                tebaldi_cluster::Cluster::builder(cluster_config)
-                    .procedures(workload.procedures())
-                    .cc_spec(configs::monolithic_ssi())
-                    .shard_logs(shard_logs)
-                    .decision_log(decision_log)
-                    .build()
-                    .expect("cluster build"),
-            );
-            workload.load(&cluster);
-            let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
-            let stats = cluster.stats();
-            cluster.shutdown();
+                    ));
+                let mut registry = tebaldi_core::ProcRegistry::new();
+                workload.register_procedures(&mut registry);
+                let cluster = Arc::new(
+                    tebaldi_cluster::Cluster::builder(cluster_config)
+                        .procedures(workload.procedures())
+                        .shard_procedures(registry)
+                        .cc_spec(configs::monolithic_ssi())
+                        .shard_logs(shard_logs)
+                        .decision_log(decision_log)
+                        .build()
+                        .expect("cluster build"),
+                );
+                workload.load(&cluster);
+                let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
+                let stats = cluster.stats();
+                cluster.shutdown();
 
-            let routed = stats.single_shard + stats.multi_shard;
-            let single_fraction = if routed > 0 {
-                stats.single_shard as f64 / routed as f64
-            } else {
-                1.0
-            };
-            let row = Row {
+                let routed = stats.single_shard + stats.multi_shard;
+                let single_fraction = if routed > 0 {
+                    stats.single_shard as f64 / routed as f64
+                } else {
+                    1.0
+                };
+                let row = Row {
+                    shards,
+                    clients,
+                    transport: transport_label,
+                    throughput: result.throughput,
+                    committed: result.committed,
+                    aborted: result.aborted,
+                    abort_rate: result.abort_rate(),
+                    single_shard_txns: stats.single_shard,
+                    multi_shard_txns: stats.multi_shard,
+                    single_shard_fraction: single_fraction,
+                    flushes: stats.flushes,
+                    flushes_per_commit: stats.flushes_per_commit,
+                    prepared_lock_window_ns: stats.prepared_lock_window_ns,
+                    read_only_votes: stats.read_only_votes,
+                    one_phase_commits: stats.coordinator.one_phase,
+                    coalesced_flushes: stats.coalesced_flushes,
+                    messages_sent: stats.messages_sent,
+                    bytes_on_wire: stats.bytes_on_wire,
+                };
+                samples.push(row);
+            }
+            samples.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+            let row = samples[samples.len() / 2].clone();
+            println!(
+                "{:>7} {:>8} {:>10} {} {:>11} {:>9.1}% {:>11.1}% {:>13.2}",
                 shards,
                 clients,
-                throughput: result.throughput,
-                committed: result.committed,
-                aborted: result.aborted,
-                abort_rate: result.abort_rate(),
-                single_shard_txns: stats.single_shard,
-                multi_shard_txns: stats.multi_shard,
-                single_shard_fraction: single_fraction,
-                flushes: stats.flushes,
-                flushes_per_commit: stats.flushes_per_commit,
-                prepared_lock_window_ns: stats.prepared_lock_window_ns,
-                read_only_votes: stats.read_only_votes,
-                one_phase_commits: stats.coordinator.one_phase,
-                coalesced_flushes: stats.coalesced_flushes,
-            };
-            samples.push(row);
+                transport_label,
+                fmt_tput(row.throughput),
+                row.aborted,
+                row.abort_rate * 100.0,
+                row.single_shard_fraction * 100.0,
+                row.flushes_per_commit,
+            );
+            rows.push(row);
         }
-        samples.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
-        let row = samples[samples.len() / 2].clone();
-        println!(
-            "{:>7} {:>8} {} {:>11} {:>9.1}% {:>11.1}% {:>13.2}",
-            shards,
-            clients,
-            fmt_tput(row.throughput),
-            row.aborted,
-            row.abort_rate * 100.0,
-            row.single_shard_fraction * 100.0,
-            row.flushes_per_commit,
-        );
-        rows.push(row);
     }
 
     let report = Report {
@@ -200,11 +226,15 @@ fn main() {
     // Scale-out sanity check mirrored by the acceptance criteria: four
     // shards must clearly beat one shard on this mix.
     if let (Some(first), Some(four)) = (
-        report.rows.first().map(|r| r.throughput),
         report
             .rows
             .iter()
-            .find(|r| r.shards == 4)
+            .find(|r| r.shards == 1 && r.transport == "in-process")
+            .map(|r| r.throughput),
+        report
+            .rows
+            .iter()
+            .find(|r| r.shards == 4 && r.transport == "in-process")
             .map(|r| r.throughput),
     ) {
         println!(

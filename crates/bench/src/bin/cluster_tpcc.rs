@@ -18,6 +18,11 @@
 //! `flushes_per_commit`, and `prepared_lock_window_ns` so the savings are
 //! regression-tracked.
 //!
+//! A third leg re-runs the grouped path with every shard behind the
+//! **TCP/loopback transport** (length-prefixed frames, per-shard server
+//! loops), and the rows carry `messages_sent`/`bytes_on_wire` so the
+//! transport cost of 2PC is regression-trackable too.
+//!
 //! ```text
 //! cargo run --release --bin cluster_tpcc -- [--quick] [--json PATH]
 //! ```
@@ -28,7 +33,7 @@
 use serde::Serialize;
 use std::sync::Arc;
 use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
-use tebaldi_cluster::ClusterConfig;
+use tebaldi_cluster::{ClusterConfig, TransportKind};
 use tebaldi_core::DurabilityMode;
 use tebaldi_workloads::tpcc::cluster::ClusterTpcc;
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
@@ -40,6 +45,7 @@ struct Row {
     shards: usize,
     clients: usize,
     commit_path: &'static str,
+    transport: &'static str,
     throughput: f64,
     committed: u64,
     aborted: u64,
@@ -53,6 +59,8 @@ struct Row {
     read_only_votes: u64,
     one_phase_commits: u64,
     coalesced_flushes: u64,
+    messages_sent: u64,
+    bytes_on_wire: u64,
 }
 
 /// The file every run refreshes for regression tracking.
@@ -83,20 +91,32 @@ fn main() {
     let clients = if options.quick { 8 } else { 32 };
 
     println!(
-        "{:>7} {:>8} {:>8} {:>11} {:>9} {:>13} {:>12} {:>10}",
+        "{:>7} {:>8} {:>8} {:>10} {:>11} {:>9} {:>13} {:>12} {:>10}",
         "shards",
         "clients",
         "path",
+        "transport",
         "tput(tx/s)",
         "abort%",
         "flush/commit",
         "window(us)",
-        "ro-votes"
+        "msgs"
     );
 
+    // The transport sweep: both commit paths in process, plus the grouped
+    // path over TCP/loopback frames (the wire cost column).
+    let legs: [(&'static str, bool, TransportKind); 3] = [
+        ("legacy", false, TransportKind::InProcess),
+        ("grouped", true, TransportKind::InProcess),
+        ("grouped", true, TransportKind::Tcp),
+    ];
     let mut rows = Vec::new();
     for &shards in &shard_counts {
-        for (commit_path, group_commit) in [("legacy", false), ("grouped", true)] {
+        for &(commit_path, group_commit, transport) in &legs {
+            let transport_label = match transport {
+                TransportKind::InProcess => "in-process",
+                TransportKind::Tcp => "tcp",
+            };
             // Scale the database with the cluster: eight warehouses per shard.
             let params = TpccParams {
                 warehouses: warehouses_per_shard * shards as u32,
@@ -109,11 +129,12 @@ fn main() {
             cluster_config.db_config.durability = DurabilityMode::Synchronous;
             cluster_config.db_config.group_commit = group_commit;
             cluster_config.db_config.read_only_votes = group_commit;
+            cluster_config.transport = transport;
             if options.quick {
                 cluster_config.workers_per_shard = 2;
             }
 
-            let label = format!("{shards}-shard/{commit_path}");
+            let label = format!("{shards}-shard/{commit_path}/{transport_label}");
             let bench = options.bench_options(clients, &label);
             // Build the cluster directly (rather than through
             // bench_cluster_config) so shard-routing counters can be read
@@ -132,9 +153,12 @@ fn main() {
                 std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
                     flush_latency,
                 ));
+            let mut registry = tebaldi_core::ProcRegistry::new();
+            workload.register_procedures(&mut registry);
             let cluster = Arc::new(
                 tebaldi_cluster::Cluster::builder(cluster_config)
                     .procedures(workload.procedures())
+                    .shard_procedures(registry)
                     .cc_spec(configs::monolithic_ssi())
                     .shard_logs(shard_logs)
                     .decision_log(decision_log)
@@ -153,20 +177,22 @@ fn main() {
                 1.0
             };
             println!(
-                "{:>7} {:>8} {:>8} {} {:>8.1}% {:>13.2} {:>12.1} {:>10}",
+                "{:>7} {:>8} {:>8} {:>10} {} {:>8.1}% {:>13.2} {:>12.1} {:>10}",
                 shards,
                 clients,
                 commit_path,
+                transport_label,
                 fmt_tput(result.throughput),
                 result.abort_rate() * 100.0,
                 stats.flushes_per_commit,
                 stats.prepared_lock_window_ns as f64 / 1_000.0,
-                stats.read_only_votes,
+                stats.messages_sent,
             );
             rows.push(Row {
                 shards,
                 clients,
                 commit_path,
+                transport: transport_label,
                 throughput: result.throughput,
                 committed: result.committed,
                 aborted: result.aborted,
@@ -180,6 +206,8 @@ fn main() {
                 read_only_votes: stats.read_only_votes,
                 one_phase_commits: stats.coordinator.one_phase,
                 coalesced_flushes: stats.coalesced_flushes,
+                messages_sent: stats.messages_sent,
+                bytes_on_wire: stats.bytes_on_wire,
             });
         }
     }
@@ -202,7 +230,7 @@ fn main() {
         report
             .rows
             .iter()
-            .find(|r| r.shards == 4 && r.commit_path == path)
+            .find(|r| r.shards == 4 && r.commit_path == path && r.transport == "in-process")
             .map(|r| r.flushes_per_commit)
     };
     if let (Some(legacy), Some(grouped)) = (per_commit("legacy"), per_commit("grouped")) {
@@ -217,7 +245,7 @@ fn main() {
     let grouped_tputs: Vec<f64> = report
         .rows
         .iter()
-        .filter(|r| r.commit_path == "grouped")
+        .filter(|r| r.commit_path == "grouped" && r.transport == "in-process")
         .map(|r| r.throughput)
         .collect();
     if let (Some(&first), Some(best)) = (
@@ -232,6 +260,25 @@ fn main() {
             fmt_tput(best),
             fmt_tput(first),
             (best / first - 1.0) * 100.0
+        );
+    }
+
+    // Transport cost at 4 shards: grouped path, in-process vs TCP frames.
+    let tput_at = |transport: &str| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.shards == 4 && r.commit_path == "grouped" && r.transport == transport)
+            .map(|r| (r.throughput, r.messages_sent, r.bytes_on_wire))
+    };
+    if let (Some((inproc, _, _)), Some((tcp, msgs, bytes))) =
+        (tput_at("in-process"), tput_at("tcp"))
+    {
+        println!(
+            "transport at 4 shards: {} in-process vs {} tcp ({:.0}% of fast path; {msgs} msgs, {bytes} bytes on wire)",
+            fmt_tput(inproc),
+            fmt_tput(tcp),
+            tcp / inproc * 100.0
         );
     }
 }

@@ -7,7 +7,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::micro::HierarchyMicro;
 use tebaldi_workloads::{bench_config, Workload};
@@ -18,6 +18,13 @@ struct Point {
     clients: usize,
     throughput: f64,
     abort_rate: f64,
+}
+
+/// The file every run refreshes for regression tracking.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<Point>,
 }
 
 fn main() {
@@ -52,5 +59,11 @@ fn main() {
         println!("{line}");
     }
     println!("(cells are committed transactions per second)");
-    options.maybe_write_json(&points);
+    let report = Report {
+        experiment: "fig_4_11_hierarchy",
+        rows: points,
+    };
+    // Always refresh the trajectory file; --json adds a custom copy.
+    write_trajectory("fig_4_11_hierarchy", &report);
+    options.maybe_write_json(&report);
 }

@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
 use tebaldi_workloads::{bench_config, Workload};
@@ -17,8 +17,16 @@ use tebaldi_workloads::{bench_config, Workload};
 #[derive(Serialize)]
 struct Row {
     system: String,
+    clients: usize,
     throughput: f64,
     p99_latency_ms: f64,
+}
+
+/// The file every run refreshes for regression tracking.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<Row>,
 }
 
 fn main() {
@@ -61,9 +69,16 @@ fn main() {
         );
         rows.push(Row {
             system: name.to_string(),
+            clients,
             throughput: result.throughput,
             p99_latency_ms: result.latency_overall.p99_ms,
         });
     }
-    options.maybe_write_json(&rows);
+    let report = Report {
+        experiment: "table_5_2_single_machine",
+        rows,
+    };
+    // Always refresh the trajectory file; --json adds a custom copy.
+    write_trajectory("table_5_2_single_machine", &report);
+    options.maybe_write_json(&report);
 }

@@ -1,0 +1,158 @@
+//! The serializable shard-RPC operation interface.
+//!
+//! Every interaction between the cluster layer and a shard is one of these
+//! requests — a *declared operation*, not opaque code. The transaction
+//! bodies themselves live shard-side in the
+//! [`ProcRegistry`](tebaldi_core::ProcRegistry); a request names a body by
+//! [`ProcId`] and carries its encoded arguments, so the exact same request
+//! value works over the in-process mailbox and over a byte-oriented network
+//! transport (see [`crate::wire`]).
+
+use crate::worker::Vote;
+use tebaldi_cc::{CcError, CcResult};
+use tebaldi_core::{ProcId, ProcedureCall};
+use tebaldi_storage::Value;
+
+/// One operation sent to a shard.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardRequest {
+    /// Closed-loop execution of a registered procedure with engine-side
+    /// retry of aborted attempts.
+    Execute {
+        /// The registered transaction body.
+        proc: ProcId,
+        /// The engine call descriptor (type, instance seed, promises).
+        call: ProcedureCall,
+        /// Encoded procedure arguments (see `tebaldi_storage::codec`).
+        args: Vec<u8>,
+        /// Retry budget for aborted attempts.
+        max_attempts: u32,
+    },
+    /// 2PC phase one: run the body up to the prepared state and park it in
+    /// the shard's in-doubt table keyed by the cluster-global id (read-write
+    /// votes) or commit it outright (read-only votes).
+    Prepare {
+        /// Cluster-global transaction id.
+        global: u64,
+        /// The registered transaction body.
+        proc: ProcId,
+        /// The engine call descriptor.
+        call: ProcedureCall,
+        /// Encoded procedure arguments.
+        args: Vec<u8>,
+    },
+    /// 2PC phase two: commit the prepared transaction `global`.
+    Commit {
+        /// Cluster-global transaction id.
+        global: u64,
+    },
+    /// One-phase commit of the lone read-write participant: behaviorally a
+    /// [`Commit`](ShardRequest::Commit), kept distinct so the wire protocol
+    /// (and shard-side diagnostics) can tell the degenerate case apart.
+    CommitOnePhase {
+        /// Cluster-global transaction id.
+        global: u64,
+    },
+    /// 2PC phase two: abort `global` (also delivered for timed-out votes,
+    /// where the shard may not have prepared yet — see the orphan-abort
+    /// table in [`crate::worker`]).
+    Abort {
+        /// Cluster-global transaction id.
+        global: u64,
+    },
+    /// Admin: snapshot the shard's engine counters.
+    Stats,
+    /// Admin: seal the shard's current durability epoch and flush its WAL
+    /// device.
+    Flush,
+}
+
+impl ShardRequest {
+    /// True for the two requests that execute a transaction body (and
+    /// therefore run on the shard's worker pool rather than inline).
+    pub fn runs_body(&self) -> bool {
+        matches!(
+            self,
+            ShardRequest::Execute { .. } | ShardRequest::Prepare { .. }
+        )
+    }
+
+    /// True for 2PC phase-two decisions.
+    pub fn is_decision(&self) -> bool {
+        matches!(
+            self,
+            ShardRequest::Commit { .. }
+                | ShardRequest::CommitOnePhase { .. }
+                | ShardRequest::Abort { .. }
+        )
+    }
+}
+
+/// A shard's engine counters as reported by [`ShardRequest::Stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStatsReply {
+    /// Transactions committed on this shard.
+    pub committed: u64,
+    /// Aborted attempts on this shard.
+    pub aborted: u64,
+    /// WAL device flushes on this shard.
+    pub flushes: u64,
+    /// Prepared transactions currently awaiting a decision.
+    pub in_doubt: u64,
+}
+
+/// A shard's reply to a [`ShardRequest`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum ShardResponse {
+    /// Successful [`Execute`](ShardRequest::Execute): the body's result and
+    /// how many aborted attempts the retry loop burned.
+    Executed {
+        /// The body's return value.
+        value: Value,
+        /// Aborted attempts before the commit.
+        aborts: u32,
+    },
+    /// Successful [`Prepare`](ShardRequest::Prepare): the body's result and
+    /// the participant's vote class.
+    Prepared {
+        /// The body's return value.
+        value: Value,
+        /// `ReadWrite` (parked in doubt) or `ReadOnly` (already committed).
+        vote: Vote,
+    },
+    /// Acknowledges a phase-two decision.
+    Decided,
+    /// Reply to [`Stats`](ShardRequest::Stats).
+    Stats(ShardStatsReply),
+    /// Acknowledges [`Flush`](ShardRequest::Flush).
+    Flushed,
+}
+
+impl ShardResponse {
+    /// Extracts the value of an [`Executed`](ShardResponse::Executed) reply.
+    pub fn into_executed(self) -> CcResult<(Value, u32)> {
+        match self {
+            ShardResponse::Executed { value, aborts } => Ok((value, aborts)),
+            other => Err(CcError::Internal(format!(
+                "expected an Executed reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Extracts the value/vote of a [`Prepared`](ShardResponse::Prepared)
+    /// reply.
+    pub fn into_prepared(self) -> CcResult<(Value, Vote)> {
+        match self {
+            ShardResponse::Prepared { value, vote } => Ok((value, vote)),
+            other => Err(CcError::Internal(format!(
+                "expected a Prepared reply, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// What a shard reports back for one request: the successful response or
+/// the abort reason. Transport-level failures (connection lost, vote
+/// timeout) live one layer up, in the
+/// [`Ticket`](crate::worker::Ticket)'s own result.
+pub type ShardResult = Result<ShardResponse, CcError>;

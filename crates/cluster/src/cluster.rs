@@ -1,16 +1,20 @@
 //! The cluster facade: N independent [`Database`] shards behind a
-//! [`ShardRouter`], per-shard worker pools, and the cross-shard 2PC
-//! coordinator.
+//! [`ShardRouter`], per-shard worker pools, a pluggable [`ShardTransport`],
+//! and the cross-shard 2PC coordinator.
 
+use crate::api::{ShardRequest, ShardResult};
 use crate::coordinator::{CoordinatorStats, TxnCoordinator};
 use crate::router::{Partitioning, Routing, ShardRouter};
-use crate::worker::{ShardOp, ShardWorkers, Ticket, Vote};
+use crate::transport::{
+    InProcessTransport, ShardTransport, TransportFactory, TransportKind, TransportStats,
+};
+use crate::worker::{ShardWorkers, Ticket, Vote};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tebaldi_cc::{CcResult, CcTreeSpec, ProcedureSet};
-use tebaldi_core::{Database, DbConfig, ProcedureCall, Txn};
+use tebaldi_core::{Database, DbConfig, ProcId, ProcRegistry, ProcedureCall};
 use tebaldi_storage::recovery::{recover_with_resolver, RecoveryReport};
 use tebaldi_storage::wal::{LogDevice, MemLogDevice};
 use tebaldi_storage::{MvStore, Value};
@@ -19,9 +23,6 @@ use tebaldi_storage::{MvStore, Value};
 /// prepared-lock window. Passed in so tests can inject a deterministic
 /// clock; the default anchors `Instant` at cluster construction.
 pub type ClusterClock = Arc<dyn Fn() -> u64 + Send + Sync>;
-
-/// A pending prepare vote: the shard's part result plus its vote class.
-type PrepareTicket = Ticket<CcResult<(Value, Vote)>>;
 
 fn default_clock() -> ClusterClock {
     let anchor = std::time::Instant::now();
@@ -42,13 +43,21 @@ pub struct ClusterConfig {
     /// Upper bound on how long the coordinator waits for one shard's
     /// prepare vote. A wedged shard then counts as a "no" vote (the
     /// transaction aborts with `CcError::Internal`) instead of hanging
-    /// `execute_multi` forever.
+    /// `execute_multi` forever. The same bound applies to phase-two
+    /// decision acknowledgements, so a shard that wedges *after* voting
+    /// cannot hang the finalize step either (the decision is durable; the
+    /// straggler resolves it on recovery).
     pub prepare_timeout_ms: u64,
+    /// How the coordinator reaches the shards: the in-process mailbox
+    /// fast path, or length-prefixed frames over TCP loopback sockets.
+    pub transport: TransportKind,
 }
 
 impl ClusterConfig {
     /// A small cluster configuration for tests: modulo partitioning, two
-    /// workers per shard, the test engine config.
+    /// workers per shard, the test engine config. The transport honors
+    /// `TEBALDI_TEST_TRANSPORT=tcp` so CI can run the whole cluster test
+    /// group over the wire protocol.
     pub fn for_tests(shards: usize) -> Self {
         ClusterConfig {
             shards,
@@ -56,6 +65,7 @@ impl ClusterConfig {
             db_config: DbConfig::for_tests(),
             partitioning: Partitioning::Range { span: 1 },
             prepare_timeout_ms: 10_000,
+            transport: test_transport(),
         }
     }
 
@@ -68,29 +78,49 @@ impl ClusterConfig {
             db_config: DbConfig::for_benchmarks(),
             partitioning: Partitioning::Range { span: 1 },
             prepare_timeout_ms: 10_000,
+            transport: TransportKind::InProcess,
         }
     }
 
-    /// The prepare-vote timeout as a [`Duration`].
+    /// The prepare-vote (and decision-ack) timeout as a [`Duration`].
     pub fn prepare_timeout(&self) -> Duration {
         Duration::from_millis(self.prepare_timeout_ms)
     }
 }
 
-/// One shard's part of a multi-shard transaction.
+/// The transport under test: `TEBALDI_TEST_TRANSPORT=tcp` switches the
+/// cluster test group onto the wire protocol (the CI matrix runs both).
+pub fn test_transport() -> TransportKind {
+    match std::env::var("TEBALDI_TEST_TRANSPORT").as_deref() {
+        Ok("tcp") => TransportKind::Tcp,
+        _ => TransportKind::InProcess,
+    }
+}
+
+/// One shard's part of a multi-shard transaction: pure data — a registered
+/// procedure id plus its encoded arguments — so the same part can cross a
+/// mailbox or a socket.
+#[derive(Clone, Debug)]
 pub struct ShardPart {
     /// Target shard.
     pub shard: usize,
     /// The per-shard procedure call (type + instance seed + promises).
     pub call: ProcedureCall,
-    /// The body to run against that shard.
-    pub op: ShardOp,
+    /// The registered transaction body to run.
+    pub proc: ProcId,
+    /// Encoded arguments for the body.
+    pub args: Vec<u8>,
 }
 
 impl ShardPart {
     /// Builds a part.
-    pub fn new(shard: usize, call: ProcedureCall, op: ShardOp) -> Self {
-        ShardPart { shard, call, op }
+    pub fn new(shard: usize, call: ProcedureCall, proc: ProcId, args: Vec<u8>) -> Self {
+        ShardPart {
+            shard,
+            call,
+            proc,
+            args,
+        }
     }
 }
 
@@ -124,6 +154,16 @@ pub struct ClusterStats {
     /// Flushes that concurrent transactions shared through group commit
     /// (each one a device flush the legacy path would have performed).
     pub coalesced_flushes: u64,
+    /// Request messages the transport put on the wire (zero in process).
+    pub messages_sent: u64,
+    /// Frame bytes the transport moved in either direction (zero in
+    /// process).
+    pub bytes_on_wire: u64,
+    /// Phase-two decisions whose acknowledgement did not arrive within the
+    /// prepare timeout. The transaction outcome is unaffected (the
+    /// decision is durable; the shard resolves it on recovery or late
+    /// delivery), but each one means a shard wedged after voting.
+    pub decision_ack_timeouts: u64,
     /// Coordinator activity.
     pub coordinator: CoordinatorStats,
 }
@@ -132,24 +172,31 @@ pub struct ClusterStats {
 pub struct ClusterBuilder {
     config: ClusterConfig,
     procedures: ProcedureSet,
+    registry: ProcRegistry,
     spec: Option<CcTreeSpec>,
     shard_logs: Option<Vec<Arc<dyn LogDevice>>>,
     decision_log: Option<Arc<dyn LogDevice>>,
     stores: Option<Vec<MvStore>>,
     clock: Option<ClusterClock>,
+    transport_factory: Option<TransportFactory>,
 }
 
 impl ClusterBuilder {
-    /// Starts a builder.
+    /// Starts a builder. The shard-procedure registry starts with the
+    /// builtin KV procedures (see [`crate::procs`]).
     pub fn new(config: ClusterConfig) -> Self {
+        let mut registry = ProcRegistry::new();
+        crate::procs::register_builtins(&mut registry);
         ClusterBuilder {
             config,
             procedures: ProcedureSet::new(),
+            registry,
             spec: None,
             shard_logs: None,
             decision_log: None,
             stores: None,
             clock: None,
+            transport_factory: None,
         }
     }
 
@@ -157,6 +204,23 @@ impl ClusterBuilder {
     /// shard).
     pub fn procedures(mut self, procedures: ProcedureSet) -> Self {
         self.procedures = procedures;
+        self
+    }
+
+    /// Registers one shard procedure (transaction body) by id.
+    pub fn shard_procedure(
+        mut self,
+        id: ProcId,
+        body: impl Fn(&mut tebaldi_core::Txn<'_>, &[u8]) -> CcResult<Value> + Send + Sync + 'static,
+    ) -> Self {
+        self.registry.register_fn(id, body);
+        self
+    }
+
+    /// Merges a whole registry of shard procedures (what
+    /// `ClusterWorkload::register_procedures` fills in).
+    pub fn shard_procedures(mut self, registry: ProcRegistry) -> Self {
+        self.registry.merge(registry);
         self
     }
 
@@ -192,6 +256,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a custom transport factory, overriding
+    /// [`ClusterConfig::transport`]. Tests use this to wrap the default
+    /// transports (e.g. delaying decision acks to exercise the finalize
+    /// timeout).
+    pub fn transport_factory(mut self, factory: TransportFactory) -> Self {
+        self.transport_factory = Some(factory);
+        self
+    }
+
     /// Builds and starts the cluster.
     pub fn build(self) -> Result<Cluster, String> {
         let spec = self.spec.ok_or("a CC-tree specification is required")?;
@@ -220,6 +293,7 @@ impl ClusterBuilder {
             None => (0..n).map(|_| None).collect(),
         };
 
+        let registry = Arc::new(self.registry);
         let mut shards = Vec::with_capacity(n);
         for (index, (log, store)) in shard_logs.iter().zip(stores).enumerate() {
             let mut builder = Database::builder(self.config.db_config.clone())
@@ -234,8 +308,17 @@ impl ClusterBuilder {
                 index,
                 db,
                 self.config.workers_per_shard,
+                Arc::clone(&registry),
             ));
         }
+
+        let transport: Arc<dyn ShardTransport> = match self.transport_factory {
+            Some(factory) => factory(&shards)?,
+            None => match self.config.transport {
+                TransportKind::InProcess => Arc::new(InProcessTransport::new(shards.clone())),
+                TransportKind::Tcp => Arc::new(crate::tcp::TcpTransport::over_loopback(&shards)?),
+            },
+        };
 
         let decision_log = self
             .decision_log
@@ -247,29 +330,34 @@ impl ClusterBuilder {
                 self.config.db_config.group_commit,
             ),
             shards,
+            transport,
             shard_logs,
             clock: self.clock.unwrap_or_else(default_clock),
             config: self.config,
             single_shard: AtomicU64::new(0),
             multi_shard: AtomicU64::new(0),
             read_only_votes: AtomicU64::new(0),
+            decision_ack_timeouts: AtomicU64::new(0),
             lock_window_ns: AtomicU64::new(0),
             lock_windows: AtomicU64::new(0),
         })
     }
 }
 
-/// N database shards, a router, worker pools, and a 2PC coordinator.
+/// N database shards, a router, worker pools, a transport, and a 2PC
+/// coordinator.
 pub struct Cluster {
     router: ShardRouter,
     coordinator: TxnCoordinator,
     shards: Vec<Arc<ShardWorkers>>,
+    transport: Arc<dyn ShardTransport>,
     shard_logs: Vec<Arc<dyn LogDevice>>,
     clock: ClusterClock,
     config: ClusterConfig,
     single_shard: AtomicU64,
     multi_shard: AtomicU64,
     read_only_votes: AtomicU64,
+    decision_ack_timeouts: AtomicU64,
     /// Summed prepared-lock windows (votes collected → decisions applied).
     lock_window_ns: AtomicU64,
     /// Number of windows in the sum.
@@ -310,7 +398,13 @@ impl Cluster {
         &self.coordinator
     }
 
-    /// A shard's database (loaders write through it directly).
+    /// The transport in use.
+    pub fn transport(&self) -> &Arc<dyn ShardTransport> {
+        &self.transport
+    }
+
+    /// A shard's database (loaders write through it directly; crash and
+    /// recovery tests drive `Database::prepare` by hand).
     pub fn shard(&self, index: usize) -> &Arc<Database> {
         self.shards[index].db()
     }
@@ -330,32 +424,53 @@ impl Cluster {
         self.router.classify(partition_keys)
     }
 
-    /// Single-shard fast path: the caller thread delegates straight to the
-    /// shard's four-phase protocol (no mailbox hop). Returns the body result
-    /// and the number of aborted attempts.
-    pub fn execute_single<R>(
+    /// Single-shard fast path: runs the registered procedure `proc` with
+    /// `args` on `shard` through the transport (inline on the calling
+    /// thread for the in-process transport, a frame round trip over TCP).
+    /// Returns the body result and the number of aborted attempts.
+    pub fn execute_single(
         &self,
         shard: usize,
+        proc: ProcId,
         call: &ProcedureCall,
+        args: Vec<u8>,
         max_attempts: usize,
-        body: impl FnMut(&mut Txn<'_>) -> CcResult<R>,
-    ) -> CcResult<(R, usize)> {
+    ) -> CcResult<(Value, usize)> {
         self.single_shard.fetch_add(1, Ordering::Relaxed);
-        self.shards[shard]
-            .db()
-            .execute_with_retry(call, max_attempts, body)
+        self.transport
+            .call(
+                shard,
+                ShardRequest::Execute {
+                    proc,
+                    call: call.clone(),
+                    args,
+                    max_attempts: max_attempts as u32,
+                },
+            )?
+            .into_executed()
+            .map(|(value, aborts)| (value, aborts as usize))
     }
 
-    /// Asynchronous submission through the shard's batched mailbox.
+    /// Asynchronous submission through the shard's batched mailbox (or the
+    /// shard's socket, over TCP).
     pub fn submit(
         &self,
         shard: usize,
+        proc: ProcId,
         call: ProcedureCall,
-        op: ShardOp,
+        args: Vec<u8>,
         max_attempts: usize,
-    ) -> Ticket<CcResult<Value>> {
+    ) -> Ticket<ShardResult> {
         self.single_shard.fetch_add(1, Ordering::Relaxed);
-        self.shards[shard].submit_execute(call, op, max_attempts)
+        self.transport.submit(
+            shard,
+            ShardRequest::Execute {
+                proc,
+                call,
+                args,
+                max_attempts: max_attempts as u32,
+            },
+        )
     }
 
     /// Runs one multi-shard transaction through two-phase commit. Every
@@ -374,7 +489,11 @@ impl Cluster {
     /// `prepare_timeout` counts as a "no": the transaction aborts with
     /// `CcError::Internal` instead of hanging on a wedged shard (the late
     /// prepare, if it ever lands, is aborted by the shard's orphan-decision
-    /// check). Returns the parts' results in submission order.
+    /// check). Phase-two decision *acknowledgements* are bounded by the
+    /// same timeout, so a shard that wedges after voting cannot hang the
+    /// finalize step either — the outcome is already durable and the
+    /// straggler resolves it on recovery. Returns the parts' results in
+    /// submission order.
     pub fn execute_multi(&self, parts: Vec<ShardPart>) -> CcResult<Vec<Value>> {
         if parts.len() < 2 {
             return Err(tebaldi_cc::CcError::Internal(
@@ -404,15 +523,23 @@ impl Cluster {
 
         self.multi_shard.fetch_add(1, Ordering::Relaxed);
         let global = self.coordinator.begin_global();
-        let prepare_timeout = self.config.prepare_timeout();
+        let timeout = self.config.prepare_timeout();
 
         // Phase one: prepare everywhere in parallel.
-        let tickets: Vec<(usize, PrepareTicket)> = parts
+        let tickets: Vec<(usize, Ticket<ShardResult>)> = parts
             .into_iter()
             .map(|part| {
                 (
                     part.shard,
-                    self.shards[part.shard].submit_prepare(global, part.call, part.op),
+                    self.transport.submit(
+                        part.shard,
+                        ShardRequest::Prepare {
+                            global,
+                            proc: part.proc,
+                            call: part.call,
+                            args: part.args,
+                        },
+                    ),
                 )
             })
             .collect();
@@ -426,7 +553,10 @@ impl Cluster {
         for (shard, ticket) in tickets {
             // Keep collecting: every vote must resolve (or time out)
             // before the decision is sent.
-            match ticket.wait_timeout(prepare_timeout) {
+            match ticket
+                .wait_timeout(timeout)
+                .map(|r| r.and_then(|r| r.into_prepared()))
+            {
                 Ok(Ok((value, Vote::ReadWrite))) => {
                     values.push(value);
                     rw_shards.push(shard);
@@ -442,8 +572,8 @@ impl Cluster {
                     }
                 }
                 Err(err) => {
-                    // Timed out (or the worker died): the shard's vote is
-                    // unknown and a late prepare may still park, so the
+                    // Timed out (or the connection died): the shard's vote
+                    // is unknown and a late prepare may still park, so the
                     // abort decision must reach it.
                     unknown_shards.push(shard);
                     if failure.is_none() {
@@ -453,12 +583,12 @@ impl Cluster {
             }
         }
 
-        // Phase two: decide. Decisions apply inline on this thread —
-        // commit of a prepared transaction is infallible and lock-free to
-        // reach, and queuing it behind other mailbox work would stretch the
-        // window in which prepared locks are held. The window measured
-        // here (all votes in → all decisions applied) is exactly the span
-        // the flush coalescing and vote-class fast paths shorten.
+        // Phase two: decide. The decision requests resolve inline for the
+        // in-process transport — commit of a prepared transaction is
+        // infallible and lock-free to reach — and as acknowledged frames
+        // over TCP. The window measured here (all votes in → all decisions
+        // acknowledged) is exactly the span the flush coalescing and
+        // vote-class fast paths shorten.
         let votes_collected = (self.clock)();
         let result = match failure {
             None => {
@@ -470,17 +600,23 @@ impl Cluster {
                     1 => {
                         // One-phase fast path: the lone read-write
                         // participant's own commit record is the commit
-                        // point; no decision record is written.
+                        // point; no decision record is written. If the
+                        // decision acknowledgement fails, the participant
+                        // may still be parked in doubt with NO commit
+                        // record anywhere — recovery would presume abort
+                        // for a transaction this call is about to report
+                        // committed — so the fast path falls back to a
+                        // durable decision record before returning.
                         self.coordinator.commit_one_phase();
-                        self.shards[rw_shards[0]].decide(global, true);
+                        if self.finalize(&rw_shards[..1], global, true, timeout) > 0 {
+                            self.coordinator.log_straggler_commit(global);
+                        }
                     }
                     _ => {
                         // Commit point: the decision is durable before any
                         // shard learns about it.
                         self.coordinator.log_commit(global);
-                        for &shard in &rw_shards {
-                            self.shards[shard].decide(global, true);
-                        }
+                        self.finalize(&rw_shards, global, true, timeout);
                     }
                 }
                 Ok(values)
@@ -488,9 +624,12 @@ impl Cluster {
             Some(err) => {
                 if !rw_shards.is_empty() || !unknown_shards.is_empty() {
                     self.coordinator.log_abort(global);
-                    for &shard in rw_shards.iter().chain(unknown_shards.iter()) {
-                        self.shards[shard].decide(global, false);
-                    }
+                    let targets: Vec<usize> = rw_shards
+                        .iter()
+                        .chain(unknown_shards.iter())
+                        .copied()
+                        .collect();
+                    self.finalize(&targets, global, false, timeout);
                 } else {
                     // Every part self-aborted (or was read-only): nothing
                     // is prepared anywhere, but the global still aborted.
@@ -511,6 +650,47 @@ impl Cluster {
             self.lock_windows.fetch_add(1, Ordering::Relaxed);
         }
         result
+    }
+
+    /// Delivers the phase-two decision to every target shard in parallel
+    /// and waits for the acknowledgements under one shared deadline of
+    /// `timeout` total (not per shard — k wedged shards must not stall the
+    /// caller k × timeout). A timed-out ack is counted (the shard wedged
+    /// after voting) but does not change the outcome: the decision record
+    /// (written by the caller — before finalize for multi-participant
+    /// commits, as a fallback after it for one-phase) lets the straggler
+    /// resolve on recovery or late delivery. Returns how many
+    /// acknowledgements failed.
+    fn finalize(&self, shards: &[usize], global: u64, commit: bool, timeout: Duration) -> usize {
+        let one_phase = commit && shards.len() == 1;
+        let acks: Vec<Ticket<ShardResult>> = shards
+            .iter()
+            .map(|&shard| {
+                let request = if !commit {
+                    ShardRequest::Abort { global }
+                } else if one_phase {
+                    ShardRequest::CommitOnePhase { global }
+                } else {
+                    ShardRequest::Commit { global }
+                };
+                self.transport.submit(shard, request)
+            })
+            .collect();
+        let deadline = std::time::Instant::now() + timeout;
+        let mut failed = 0;
+        for ack in acks {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            // Delivered means the shard positively acknowledged: an outer
+            // error is a timeout/disconnect, an *inner* error is a
+            // transport-reported failure (e.g. the send itself failed and
+            // came back as a ready Err ticket) — both mean the decision
+            // may never have reached the shard.
+            if !matches!(ack.wait_timeout(remaining), Ok(Ok(_))) {
+                self.decision_ack_timeouts.fetch_add(1, Ordering::Relaxed);
+                failed += 1;
+            }
+        }
+        failed
     }
 
     /// Retries [`execute_multi`](Cluster::execute_multi) on retryable
@@ -546,14 +726,22 @@ impl Cluster {
     /// Aggregate counters. `flushes` sums every shard WAL's device flushes
     /// with the coordinator's decision-log flushes; `flushes_per_commit`
     /// divides by the committed transactions across all shards (each
-    /// multi-shard part counts on its shard).
+    /// multi-shard part counts on its shard). `messages_sent` and
+    /// `bytes_on_wire` come from the transport (zero in process).
     pub fn stats(&self) -> ClusterStats {
         let coordinator = self.coordinator.stats();
+        let TransportStats {
+            messages_sent,
+            bytes_on_wire,
+        } = self.transport.stats();
         let mut stats = ClusterStats {
             single_shard: self.single_shard.load(Ordering::Relaxed),
             multi_shard: self.multi_shard.load(Ordering::Relaxed),
             read_only_votes: self.read_only_votes.load(Ordering::Relaxed),
+            decision_ack_timeouts: self.decision_ack_timeouts.load(Ordering::Relaxed),
             flushes: coordinator.decision_flushes,
+            messages_sent,
+            bytes_on_wire,
             coordinator,
             ..ClusterStats::default()
         };
@@ -588,8 +776,9 @@ impl Cluster {
         self.shards.iter().map(|s| s.in_doubt_count()).sum()
     }
 
-    /// Stops worker pools and shuts down every shard.
+    /// Stops the transport, worker pools, and every shard.
     pub fn shutdown(&self) {
+        self.transport.shutdown();
         for shard in &self.shards {
             shard.shutdown();
         }
@@ -640,11 +829,17 @@ pub fn recover_cluster(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tebaldi_cc::{AccessMode, CcKind, ProcedureInfo};
+    use crate::procs;
+    use tebaldi_cc::{AccessMode, CcError, CcKind, ProcedureInfo};
     use tebaldi_storage::{Key, TableId, TxnTypeId};
 
     const TABLE: TableId = TableId(0);
     const TY: TxnTypeId = TxnTypeId(0);
+    /// Test-only procedure: sleep 400ms, then increment (wedges a shard
+    /// past the prepare timeout).
+    const WEDGE: ProcId = ProcId(900);
+    /// Test-only procedure: increment, then request an abort.
+    const POISON: ProcId = ProcId(901);
 
     fn procedures() -> ProcedureSet {
         let mut set = ProcedureSet::new();
@@ -656,14 +851,28 @@ mod tests {
         set
     }
 
-    fn cluster(shards: usize) -> Cluster {
-        let mut config = ClusterConfig::for_tests(shards);
-        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+    fn builder_with_test_procs(config: ClusterConfig) -> ClusterBuilder {
         Cluster::builder(config)
             .procedures(procedures())
             .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
-            .build()
-            .unwrap()
+            .shard_procedure(WEDGE, |txn, args| {
+                let mut r = tebaldi_storage::codec::ByteReader::new(args);
+                let key = r.key().map_err(|e| CcError::Internal(e.to_string()))?;
+                std::thread::sleep(std::time::Duration::from_millis(400));
+                txn.increment(key, 0, 30).map(Value::Int)
+            })
+            .shard_procedure(POISON, |txn, args| {
+                let mut r = tebaldi_storage::codec::ByteReader::new(args);
+                let key = r.key().map_err(|e| CcError::Internal(e.to_string()))?;
+                txn.increment(key, 0, 30)?;
+                Err(txn.request_abort())
+            })
+    }
+
+    fn cluster(shards: usize) -> Cluster {
+        let mut config = ClusterConfig::for_tests(shards);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        builder_with_test_procs(config).build().unwrap()
     }
 
     fn account_key(account: u64) -> Key {
@@ -673,11 +882,15 @@ mod tests {
     fn balance(cluster: &Cluster, account: u64) -> i64 {
         let shard = cluster.shard_of(account);
         let (value, _) = cluster
-            .execute_single(shard, &ProcedureCall::new(TY), 10, |txn| {
-                txn.get(account_key(account))
-            })
+            .execute_single(
+                shard,
+                procs::KV_GET,
+                &ProcedureCall::new(TY),
+                procs::key_args(account_key(account)),
+                10,
+            )
             .unwrap();
-        value.and_then(|v| v.as_int()).unwrap_or(0)
+        value.as_int().unwrap_or(0)
     }
 
     #[test]
@@ -689,15 +902,19 @@ mod tests {
         assert!(!cluster.classify([1u64, 2u64]).is_single());
 
         let parts = vec![
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(1),
                 ProcedureCall::new(TY),
-                Box::new(|txn| txn.increment(account_key(1), 0, -30).map(Value::Int)),
+                account_key(1),
+                0,
+                -30,
             ),
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(2),
                 ProcedureCall::new(TY),
-                Box::new(|txn| txn.increment(account_key(2), 0, 30).map(Value::Int)),
+                account_key(2),
+                0,
+                30,
             ),
         ];
         let values = cluster.execute_multi(parts).unwrap();
@@ -718,16 +935,14 @@ mod tests {
         // only reads → it votes ReadOnly and the commit degenerates to
         // one-phase: zero decision-log appends.
         let parts = vec![
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(1),
                 ProcedureCall::new(TY),
-                Box::new(|txn| txn.increment(account_key(1), 0, 5).map(Value::Int)),
+                account_key(1),
+                0,
+                5,
             ),
-            ShardPart::new(
-                cluster.shard_of(2),
-                ProcedureCall::new(TY),
-                Box::new(|txn| Ok(txn.get(account_key(2))?.unwrap_or(Value::Null))),
-            ),
+            procs::get_part(cluster.shard_of(2), ProcedureCall::new(TY), account_key(2)),
         ];
         let values = cluster.execute_multi(parts).unwrap();
         assert_eq!(values, vec![Value::Int(105), Value::Int(100)]);
@@ -763,16 +978,8 @@ mod tests {
         cluster.load(1, account_key(1), Value::Int(10));
         cluster.load(2, account_key(2), Value::Int(20));
         let parts = vec![
-            ShardPart::new(
-                cluster.shard_of(1),
-                ProcedureCall::new(TY),
-                Box::new(|txn| Ok(txn.get(account_key(1))?.unwrap_or(Value::Null))),
-            ),
-            ShardPart::new(
-                cluster.shard_of(2),
-                ProcedureCall::new(TY),
-                Box::new(|txn| Ok(txn.get(account_key(2))?.unwrap_or(Value::Null))),
-            ),
+            procs::get_part(cluster.shard_of(1), ProcedureCall::new(TY), account_key(1)),
+            procs::get_part(cluster.shard_of(2), ProcedureCall::new(TY), account_key(2)),
         ];
         let values = cluster.execute_multi(parts).unwrap();
         assert_eq!(values, vec![Value::Int(10), Value::Int(20)]);
@@ -798,27 +1005,23 @@ mod tests {
         let mut config = ClusterConfig::for_tests(2);
         config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
         config.prepare_timeout_ms = 100;
-        let cluster = Cluster::builder(config)
-            .procedures(procedures())
-            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
-            .build()
-            .unwrap();
+        let cluster = builder_with_test_procs(config).build().unwrap();
         cluster.load(1, account_key(1), Value::Int(100));
         cluster.load(2, account_key(2), Value::Int(100));
         let parts = vec![
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(1),
                 ProcedureCall::new(TY),
-                Box::new(|txn| txn.increment(account_key(1), 0, -30).map(Value::Int)),
+                account_key(1),
+                0,
+                -30,
             ),
+            // Wedge the other shard well past the prepare timeout.
             ShardPart::new(
                 cluster.shard_of(2),
                 ProcedureCall::new(TY),
-                Box::new(|txn| {
-                    // Wedge the shard well past the prepare timeout.
-                    std::thread::sleep(std::time::Duration::from_millis(400));
-                    txn.increment(account_key(2), 0, 30).map(Value::Int)
-                }),
+                WEDGE,
+                procs::key_args(account_key(2)),
             ),
         ];
         let err = cluster.execute_multi(parts).unwrap_err();
@@ -834,15 +1037,209 @@ mod tests {
         assert_eq!(balance(&cluster, 2), 100);
     }
 
+    /// A transport decorator that swallows phase-two decision requests:
+    /// the shard never acknowledges, simulating a participant that wedges
+    /// *after* voting. `execute_multi` must still return within the
+    /// timeout and count the missing acks.
+    struct DecisionBlackhole {
+        inner: InProcessTransport,
+        /// `true`: decision submissions fail fast with a ready `Err`
+        /// ticket (a dead connection's failed send). `false`: they stay
+        /// pending forever (a wedged shard), via `swallowed` keeping the
+        /// reply senders alive so the tickets time out instead of
+        /// resolving with a disconnect error.
+        reject: bool,
+        swallowed: parking_lot::Mutex<Vec<std::sync::mpsc::Sender<ShardResult>>>,
+    }
+
+    impl ShardTransport for DecisionBlackhole {
+        fn shard_count(&self) -> usize {
+            self.inner.shard_count()
+        }
+
+        fn submit(&self, shard: usize, request: ShardRequest) -> Ticket<ShardResult> {
+            if request.is_decision() {
+                if self.reject {
+                    // The send itself failed: the inner result is the
+                    // error, the ticket resolves instantly.
+                    return Ticket::ready(Err(CcError::Internal(
+                        "decision send failed".to_string(),
+                    )));
+                }
+                // Never delivered, never acknowledged.
+                let (tx, ticket) = Ticket::pending();
+                self.swallowed.lock().push(tx);
+                return ticket;
+            }
+            self.inner.submit(shard, request)
+        }
+
+        fn call(&self, shard: usize, request: ShardRequest) -> ShardResult {
+            self.inner.call(shard, request)
+        }
+    }
+
+    #[test]
+    fn wedged_decision_ack_cannot_hang_finalize() {
+        let mut config = ClusterConfig::for_tests(2);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        config.prepare_timeout_ms = 150;
+        let cluster = builder_with_test_procs(config)
+            .transport_factory(Box::new(|shards| {
+                Ok(Arc::new(DecisionBlackhole {
+                    inner: InProcessTransport::new(shards.to_vec()),
+                    reject: false,
+                    swallowed: parking_lot::Mutex::new(Vec::new()),
+                }) as Arc<dyn ShardTransport>)
+            }))
+            .build()
+            .unwrap();
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(100));
+        let parts = vec![
+            procs::increment_part(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                account_key(1),
+                0,
+                -30,
+            ),
+            procs::increment_part(
+                cluster.shard_of(2),
+                ProcedureCall::new(TY),
+                account_key(2),
+                0,
+                30,
+            ),
+        ];
+        let started = std::time::Instant::now();
+        // Both parts prepare fine; the decisions vanish. The transaction
+        // still commits (the decision is durable) and the call returns
+        // within ~2 timeouts instead of hanging.
+        let values = cluster.execute_multi(parts).unwrap();
+        assert_eq!(values.len(), 2);
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(2),
+            "finalize must not hang on missing decision acks"
+        );
+        let stats = cluster.stats();
+        assert_eq!(stats.decision_ack_timeouts, 2);
+        assert_eq!(stats.coordinator.committed, 1);
+        // The decisions never reached the shards: both parts stay parked
+        // until recovery would resolve them against the decision log.
+        assert_eq!(cluster.in_doubt_count(), 2);
+    }
+
+    #[test]
+    fn one_phase_straggler_ack_logs_a_durable_commit_decision() {
+        // One read-write + one read-only part → one-phase fast path, but
+        // the decision frame vanishes. The participant's own commit record
+        // (the usual one-phase commit point) was never written, so the
+        // coordinator must fall back to a durable decision record — or
+        // recovery would presume abort for a transaction this call
+        // reported committed.
+        let mut config = ClusterConfig::for_tests(2);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        config.prepare_timeout_ms = 150;
+        let cluster = builder_with_test_procs(config)
+            .transport_factory(Box::new(|shards| {
+                Ok(Arc::new(DecisionBlackhole {
+                    inner: InProcessTransport::new(shards.to_vec()),
+                    reject: false,
+                    swallowed: parking_lot::Mutex::new(Vec::new()),
+                }) as Arc<dyn ShardTransport>)
+            }))
+            .build()
+            .unwrap();
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(100));
+        let parts = vec![
+            procs::increment_part(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                account_key(1),
+                0,
+                5,
+            ),
+            procs::get_part(cluster.shard_of(2), ProcedureCall::new(TY), account_key(2)),
+        ];
+        let values = cluster.execute_multi(parts).unwrap();
+        assert_eq!(values, vec![Value::Int(105), Value::Int(100)]);
+        let stats = cluster.stats();
+        assert_eq!(stats.coordinator.one_phase, 1);
+        assert_eq!(stats.decision_ack_timeouts, 1);
+        assert_eq!(
+            cluster.coordinator().committed_globals().len(),
+            1,
+            "the fallback decision record must be durable"
+        );
+        // Recovery resolves the still-parked participant to COMMIT.
+        let logs: Vec<Arc<dyn LogDevice>> = (0..2).map(|i| cluster.shard_log(i)).collect();
+        let decision_log = cluster.coordinator().decision_log();
+        let recovered = recover_cluster(&logs, decision_log.as_ref(), 4);
+        let rw_shard = cluster.shard_of(1);
+        assert_eq!(recovered[rw_shard].1.in_doubt, 1);
+        assert_eq!(recovered[rw_shard].1.in_doubt_committed, 1);
+        assert_eq!(
+            recovered[rw_shard]
+                .0
+                .read(&account_key(1), tebaldi_storage::ReadSpec::LatestCommitted),
+            Some(Value::Int(105)),
+            "the write the caller was told committed must survive"
+        );
+    }
+
+    #[test]
+    fn one_phase_rejected_decision_send_also_logs_a_commit_decision() {
+        // Same scenario, but the decision *send* fails instantly (dead
+        // connection → ready Err ticket) instead of timing out: the inner
+        // error must count as an undelivered ack too, or the fallback
+        // decision record is skipped and recovery presumes abort.
+        let mut config = ClusterConfig::for_tests(2);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        let cluster = builder_with_test_procs(config)
+            .transport_factory(Box::new(|shards| {
+                Ok(Arc::new(DecisionBlackhole {
+                    inner: InProcessTransport::new(shards.to_vec()),
+                    reject: true,
+                    swallowed: parking_lot::Mutex::new(Vec::new()),
+                }) as Arc<dyn ShardTransport>)
+            }))
+            .build()
+            .unwrap();
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(100));
+        let parts = vec![
+            procs::increment_part(
+                cluster.shard_of(1),
+                ProcedureCall::new(TY),
+                account_key(1),
+                0,
+                5,
+            ),
+            procs::get_part(cluster.shard_of(2), ProcedureCall::new(TY), account_key(2)),
+        ];
+        cluster.execute_multi(parts).unwrap();
+        let stats = cluster.stats();
+        assert_eq!(stats.coordinator.one_phase, 1);
+        assert_eq!(
+            stats.decision_ack_timeouts, 1,
+            "a failed send counts as an undelivered ack"
+        );
+        assert_eq!(
+            cluster.coordinator().committed_globals().len(),
+            1,
+            "the fallback decision record must be durable"
+        );
+    }
+
     #[test]
     fn prepared_lock_window_uses_injected_clock() {
         let ticks = Arc::new(AtomicU64::new(0));
         let clock_ticks = Arc::clone(&ticks);
         let mut config = ClusterConfig::for_tests(2);
         config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
-        let cluster = Cluster::builder(config)
-            .procedures(procedures())
-            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+        let cluster = builder_with_test_procs(config)
             // Deterministic clock: every reading advances 1000ns, so one
             // decided transaction measures exactly one tick.
             .clock(Arc::new(move || {
@@ -853,15 +1250,19 @@ mod tests {
         cluster.load(1, account_key(1), Value::Int(0));
         cluster.load(2, account_key(2), Value::Int(0));
         let parts = vec![
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(1),
                 ProcedureCall::new(TY),
-                Box::new(|txn| txn.increment(account_key(1), 0, 1).map(Value::Int)),
+                account_key(1),
+                0,
+                1,
             ),
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(2),
                 ProcedureCall::new(TY),
-                Box::new(|txn| txn.increment(account_key(2), 0, 1).map(Value::Int)),
+                account_key(2),
+                0,
+                1,
             ),
         ];
         cluster.execute_multi(parts).unwrap();
@@ -878,18 +1279,18 @@ mod tests {
         cluster.load(1, account_key(1), Value::Int(100));
         cluster.load(2, account_key(2), Value::Int(100));
         let parts = vec![
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(1),
                 ProcedureCall::new(TY),
-                Box::new(|txn| txn.increment(account_key(1), 0, -30).map(Value::Int)),
+                account_key(1),
+                0,
+                -30,
             ),
             ShardPart::new(
                 cluster.shard_of(2),
                 ProcedureCall::new(TY),
-                Box::new(|txn| {
-                    txn.increment(account_key(2), 0, 30)?;
-                    Err(txn.request_abort())
-                }),
+                POISON,
+                procs::key_args(account_key(2)),
             ),
         ];
         assert!(cluster.execute_multi(parts).is_err());
@@ -911,9 +1312,13 @@ mod tests {
         for account in [1u64, 2u64] {
             let shard = cluster.shard_of(account);
             cluster
-                .execute_single(shard, &ProcedureCall::new(TY), 10, |txn| {
-                    txn.increment(account_key(account), 0, 0)
-                })
+                .execute_single(
+                    shard,
+                    procs::KV_INCREMENT,
+                    &ProcedureCall::new(TY),
+                    procs::increment_args(account_key(account), 0, 0),
+                    10,
+                )
                 .unwrap();
         }
 
@@ -967,9 +1372,13 @@ mod tests {
         cluster.load(1, account_key(1), Value::Int(50));
         let shard = cluster.shard_of(1);
         cluster
-            .execute_single(shard, &ProcedureCall::new(TY), 10, |txn| {
-                txn.increment(account_key(1), 0, 0)
-            })
+            .execute_single(
+                shard,
+                procs::KV_INCREMENT,
+                &ProcedureCall::new(TY),
+                procs::increment_args(account_key(1), 0, 0),
+                10,
+            )
             .unwrap();
         cluster.shard(shard).durability().seal_current_epoch();
         let global = cluster.coordinator().begin_global();

@@ -158,10 +158,7 @@ impl TxnCoordinator {
         id
     }
 
-    /// The commit point: durably records the commit decision for `global`,
-    /// coalescing the flush with concurrent decisions. Participants may
-    /// only be told to commit after this returns.
-    pub fn log_commit(&self, global: u64) {
+    fn append_commit_durable(&self, global: u64) {
         let record = LogRecord::Decision {
             global,
             commit: true,
@@ -174,7 +171,25 @@ impl TxnCoordinator {
             self.decision_log.flush();
             self.uncoalesced_flushes.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// The commit point: durably records the commit decision for `global`,
+    /// coalescing the flush with concurrent decisions. Participants may
+    /// only be told to commit after this returns.
+    pub fn log_commit(&self, global: u64) {
+        self.append_commit_durable(global);
         self.committed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Durably records a commit decision for a one-phase commit whose
+    /// decision acknowledgement never arrived. The lone read-write
+    /// participant may still be parked in doubt on a shard that never saw
+    /// the decision frame — without this record, recovery would *presume
+    /// abort* for a transaction the caller was already told committed.
+    /// Counts in `decisions_logged` but not in `committed` (the one-phase
+    /// commit itself was already counted).
+    pub fn log_straggler_commit(&self, global: u64) {
+        self.append_commit_durable(global);
     }
 
     /// Records an abort decision. Optional (absence implies abort), kept

@@ -6,13 +6,35 @@
 //! [`ShardRouter`], and stitches cross-shard transactions together with a
 //! two-phase-commit [`TxnCoordinator`].
 //!
+//! The shard boundary is a *declared operation interface*, not code: every
+//! interaction is a serializable [`ShardRequest`]/[`ShardResponse`] pair
+//! naming a transaction body by [`ProcId`](tebaldi_core::ProcId) in the
+//! shard's [`ProcRegistry`](tebaldi_core::ProcRegistry), with encoded
+//! arguments. Requests travel over a pluggable [`ShardTransport`]:
+//!
+//! ```text
+//!                 ┌────────────────────────────────────────────┐
+//!   Cluster ──────│ ShardRequest { Execute | Prepare | Commit  │
+//!   (router, 2PC  │   | CommitOnePhase | Abort | Stats | Flush}│
+//!   coordinator)  └────────────────┬───────────────────────────┘
+//!                                  │  ShardTransport
+//!                   ┌──────────────┴─────────────┐
+//!            InProcessTransport            TcpTransport
+//!            (mailbox enum calls,          (length-prefixed frames,
+//!             zero-copy fast path)          per-shard server loops)
+//!                   └──────────────┬─────────────┘
+//!                         ShardWorkers + ProcRegistry
+//!                         (per-shard pools, Database)
+//! ```
+//!
 //! The execution paths:
 //!
 //! * **single-shard fast path** — the router classifies the transaction's
-//!   partition keys; when they land on one shard, the call delegates
-//!   straight to that shard's existing four-phase protocol
-//!   ([`Cluster::execute_single`]), or asynchronously through the shard's
-//!   batched mailbox ([`Cluster::submit`]);
+//!   partition keys; when they land on one shard, the call ships the
+//!   procedure id + arguments to that shard
+//!   ([`Cluster::execute_single`] synchronously — inline on the calling
+//!   thread for the in-process transport — or [`Cluster::submit`]
+//!   asynchronously through the shard's batched mailbox);
 //! * **multi-shard 2PC** — each participant shard *prepares* its part
 //!   (execute, validate, wait dependencies, flush a `Prepare` WAL record,
 //!   keep the locks), the coordinator logs the commit decision durably (the
@@ -25,14 +47,23 @@
 //! The crate sits between `tebaldi-core` and the workloads in the
 //! dependency stack: `storage → cc → core → cluster → workloads/bench`.
 
+pub mod api;
 pub mod cluster;
 pub mod coordinator;
+pub mod procs;
 pub mod router;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
 pub mod worker;
 
+pub use api::{ShardRequest, ShardResponse, ShardResult, ShardStatsReply};
 pub use cluster::{
-    recover_cluster, Cluster, ClusterBuilder, ClusterClock, ClusterConfig, ClusterStats, ShardPart,
+    recover_cluster, test_transport, Cluster, ClusterBuilder, ClusterClock, ClusterConfig,
+    ClusterStats, ShardPart,
 };
 pub use coordinator::{CoordinatorStats, TxnCoordinator};
 pub use router::{Partitioning, Routing, ShardRouter};
-pub use worker::{ShardOp, ShardWorkers, Ticket, Vote};
+pub use tcp::{TcpShardServer, TcpTransport};
+pub use transport::{InProcessTransport, ShardTransport, TransportKind, TransportStats};
+pub use worker::{ShardWorkers, Ticket, Vote};

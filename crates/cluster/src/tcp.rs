@@ -1,0 +1,506 @@
+//! TCP/loopback shard transport: per-shard server loops in front of the
+//! worker pools, and a multiplexed frame client.
+//!
+//! ## Server
+//!
+//! A [`TcpShardServer`] owns a listener bound to `127.0.0.1:0` and accepts
+//! any number of connections. Each connection gets a reader thread and a
+//! writer thread joined by an outbox channel:
+//!
+//! * the reader decodes `(req_id, ShardRequest)` frames. Body-running
+//!   requests (`Execute`, `Prepare`) go through the shard's batched
+//!   mailbox with a reply sink that forwards into the outbox, so a
+//!   blocking prepare never stalls the connection; decisions and admin
+//!   ops are handled inline on the reader thread — the same
+//!   "decisions never queue behind prepares" rule the mailbox enforces
+//!   in process;
+//! * the writer drains the outbox and writes `(req_id, ShardResult)`
+//!   frames in completion order.
+//!
+//! A malformed frame (truncated, oversized, garbage) drops the connection;
+//! the server itself stays up and keeps serving other connections.
+//!
+//! ## Client
+//!
+//! [`TcpTransport`] keeps one connection per shard. Requests are tagged
+//! with a fresh id, registered in a pending map, and written under a small
+//! send lock; a per-shard reader thread resolves tickets as reply frames
+//! arrive. A lost connection fails every pending ticket with a clean
+//! `CcError` (the waiting transactions abort) instead of hanging them.
+
+use crate::api::{ShardRequest, ShardResult};
+use crate::transport::{ShardTransport, TransportStats};
+use crate::wire;
+use crate::worker::{ShardWorkers, Ticket};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use tebaldi_cc::CcError;
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// One shard's RPC server loop.
+pub struct TcpShardServer {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    /// Streams of live connections, keyed by a connection id, kept so
+    /// shutdown can unblock their reader threads. Each connection handler
+    /// removes its own entry when it exits — a long-running server with
+    /// client churn must not accumulate dead descriptors.
+    conns: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl TcpShardServer {
+    /// Binds a loopback listener and starts accepting connections served
+    /// by `workers`.
+    pub fn spawn(shard_index: usize, workers: Arc<ShardWorkers>) -> std::io::Result<Arc<Self>> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let server = Arc::new(TcpShardServer {
+            addr,
+            stopping: Arc::new(AtomicBool::new(false)),
+            conns: Arc::new(Mutex::new(HashMap::new())),
+            accept_thread: Mutex::new(None),
+        });
+        let stopping = Arc::clone(&server.stopping);
+        let conns = Arc::clone(&server.conns);
+        let handle = std::thread::Builder::new()
+            .name(format!("tebaldi-shard-{shard_index}-rpc-accept"))
+            .spawn(move || {
+                let mut next_conn_id = 0u64;
+                for stream in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let conn_id = next_conn_id;
+                    next_conn_id += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        conns.lock().insert(conn_id, clone);
+                    }
+                    // Re-check after registering: shutdown() may have set
+                    // `stopping` and drained the map between the loop-top
+                    // check and the insert, in which case nobody else will
+                    // ever close this socket.
+                    if stopping.load(Ordering::SeqCst) {
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        conns.lock().remove(&conn_id);
+                        return;
+                    }
+                    let workers = Arc::clone(&workers);
+                    let conns = Arc::clone(&conns);
+                    let _ = std::thread::Builder::new()
+                        .name(format!("tebaldi-shard-{shard_index}-rpc-conn"))
+                        .spawn(move || {
+                            serve_connection(stream, workers);
+                            // Drop this connection's shutdown handle so a
+                            // long-running server never leaks descriptors.
+                            conns.lock().remove(&conn_id);
+                        });
+                }
+            })
+            .expect("spawn shard rpc acceptor");
+        *server.accept_thread.lock() = Some(handle);
+        Ok(server)
+    }
+
+    /// The bound loopback address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every live connection, and joins the
+    /// acceptor.
+    pub fn shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for (_, conn) in self.conns.lock().drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpShardServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Reader half of one server connection. Returns (dropping the connection)
+/// on the first I/O or protocol error.
+fn serve_connection(stream: TcpStream, workers: Arc<ShardWorkers>) {
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    // Completion-order writer: jobs finish on worker threads and forward
+    // their framed results here.
+    let (outbox, outbox_rx) = mpsc::channel::<(u64, ShardResult)>();
+    let writer_handle = std::thread::spawn(move || {
+        let mut stream = stream;
+        while let Ok((req_id, result)) = outbox_rx.recv() {
+            let payload = wire::encode_result(req_id, &result);
+            if wire::write_frame(&mut stream, &payload).is_err() {
+                return;
+            }
+            if stream.flush().is_err() {
+                return;
+            }
+        }
+    });
+
+    // A clean close, I/O error, or oversized frame ends the loop and drops
+    // the connection. Pending mailbox jobs still complete; their replies
+    // are discarded when the outbox disconnects.
+    while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
+        let (req_id, request) = match wire::decode_request(&payload) {
+            Ok(decoded) => decoded,
+            // Garbage frame: protocol error, drop the connection (the
+            // client fails its pending tickets cleanly).
+            Err(_) => break,
+        };
+        if request.runs_body() {
+            let outbox = outbox.clone();
+            workers.submit_request(
+                request,
+                Box::new(move |result| {
+                    let _ = outbox.send((req_id, result));
+                }),
+            );
+        } else {
+            // Decisions/admin inline on the reader thread — never queued
+            // behind blocking prepares.
+            let result = workers.handle_inline(request);
+            let _ = outbox.send((req_id, result));
+        }
+    }
+    // Actively shut the socket down: the server's shutdown list holds
+    // another clone of this stream, so merely dropping ours would never
+    // send FIN and the peer would block forever.
+    let _ = reader.shutdown(std::net::Shutdown::Both);
+    drop(outbox);
+    let _ = writer_handle.join();
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+type PendingMap = Arc<Mutex<Option<HashMap<u64, mpsc::Sender<ShardResult>>>>>;
+
+struct ShardConn {
+    /// Write half, serialized by a lock (frames are small and atomic).
+    writer: Mutex<TcpStream>,
+    pending: PendingMap,
+    next_id: AtomicU64,
+    reader_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+/// Counters shared between connections.
+#[derive(Default)]
+struct WireCounters {
+    messages_sent: AtomicU64,
+    bytes_on_wire: AtomicU64,
+}
+
+/// The frame client: one multiplexed connection per shard.
+pub struct TcpTransport {
+    conns: Vec<Arc<ShardConn>>,
+    counters: Arc<WireCounters>,
+    /// The per-shard servers, when this transport owns them (the default
+    /// loopback deployment). Kept so shutdown tears both halves down.
+    servers: Vec<Arc<TcpShardServer>>,
+    stopping: AtomicBool,
+}
+
+impl TcpTransport {
+    /// Spawns a loopback server in front of every worker pool and connects
+    /// to each: the single-process deployment of the wire protocol.
+    pub fn over_loopback(shards: &[Arc<ShardWorkers>]) -> Result<Self, String> {
+        let mut servers = Vec::with_capacity(shards.len());
+        for (index, workers) in shards.iter().enumerate() {
+            servers.push(
+                TcpShardServer::spawn(index, Arc::clone(workers))
+                    .map_err(|err| format!("shard {index} rpc server: {err}"))?,
+            );
+        }
+        let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.addr()).collect();
+        let mut transport = TcpTransport::connect(&addrs)?;
+        transport.servers = servers;
+        Ok(transport)
+    }
+
+    /// Connects to already-running shard servers (which may live in other
+    /// processes; this client does not own them).
+    pub fn connect(addrs: &[SocketAddr]) -> Result<Self, String> {
+        let counters = Arc::new(WireCounters::default());
+        let mut conns = Vec::with_capacity(addrs.len());
+        for (shard, addr) in addrs.iter().enumerate() {
+            let stream = TcpStream::connect(addr)
+                .map_err(|err| format!("connect to shard {shard} at {addr}: {err}"))?;
+            stream.set_nodelay(true).ok();
+            let reader_stream = stream
+                .try_clone()
+                .map_err(|err| format!("clone shard {shard} stream: {err}"))?;
+            let pending: PendingMap = Arc::new(Mutex::new(Some(HashMap::new())));
+            let conn = Arc::new(ShardConn {
+                writer: Mutex::new(stream),
+                pending: Arc::clone(&pending),
+                next_id: AtomicU64::new(1),
+                reader_thread: Mutex::new(None),
+            });
+            let reader_counters = Arc::clone(&counters);
+            let handle = std::thread::Builder::new()
+                .name(format!("tebaldi-rpc-client-shard-{shard}"))
+                .spawn(move || {
+                    let mut stream = reader_stream;
+                    while let Ok(Some(payload)) = wire::read_frame(&mut stream) {
+                        reader_counters
+                            .bytes_on_wire
+                            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+                        let Ok((req_id, result)) = wire::decode_result(&payload) else {
+                            // Garbage reply: the stream is no longer
+                            // trustworthy.
+                            break;
+                        };
+                        let sender = pending.lock().as_mut().and_then(|map| map.remove(&req_id));
+                        if let Some(sender) = sender {
+                            let _ = sender.send(result);
+                        }
+                    }
+                    // Connection lost: fail every pending ticket (dropping
+                    // the senders resolves the tickets with a disconnect
+                    // error) and reject future submissions.
+                    pending.lock().take();
+                })
+                .expect("spawn rpc client reader");
+            *conn.reader_thread.lock() = Some(handle);
+            conns.push(conn);
+        }
+        Ok(TcpTransport {
+            conns,
+            counters,
+            servers: Vec::new(),
+            stopping: AtomicBool::new(false),
+        })
+    }
+
+    /// The addresses of the servers this transport owns (empty when it
+    /// only connected to external servers).
+    pub fn server_addrs(&self) -> Vec<SocketAddr> {
+        self.servers.iter().map(|s| s.addr()).collect()
+    }
+}
+
+impl ShardTransport for TcpTransport {
+    fn shard_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    fn submit(&self, shard: usize, request: ShardRequest) -> Ticket<ShardResult> {
+        let Some(conn) = self.conns.get(shard) else {
+            return Ticket::ready(Err(CcError::Internal(format!(
+                "request targets shard {shard}, but the transport reaches {}",
+                self.conns.len()
+            ))));
+        };
+        let req_id = conn.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, ticket) = Ticket::pending();
+        {
+            let mut pending = conn.pending.lock();
+            match pending.as_mut() {
+                Some(map) => {
+                    map.insert(req_id, tx);
+                }
+                None => {
+                    return Ticket::ready(Err(CcError::Internal(format!(
+                        "connection to shard {shard} is down"
+                    ))));
+                }
+            }
+        }
+        let payload = wire::encode_request(req_id, &request);
+        let write_result = {
+            let mut writer = conn.writer.lock();
+            wire::write_frame(&mut *writer, &payload).and_then(|n| writer.flush().map(|()| n))
+        };
+        match write_result {
+            Ok(frame_len) => {
+                self.counters.messages_sent.fetch_add(1, Ordering::Relaxed);
+                self.counters
+                    .bytes_on_wire
+                    .fetch_add(frame_len as u64, Ordering::Relaxed);
+                ticket
+            }
+            Err(err) => {
+                if let Some(map) = conn.pending.lock().as_mut() {
+                    map.remove(&req_id);
+                }
+                Ticket::ready(Err(CcError::Internal(format!(
+                    "send to shard {shard} failed: {err}"
+                ))))
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            messages_sent: self.counters.messages_sent.load(Ordering::Relaxed),
+            bytes_on_wire: self.counters.bytes_on_wire.load(Ordering::Relaxed),
+        }
+    }
+
+    fn shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for conn in &self.conns {
+            let _ = conn.writer.lock().shutdown(std::net::Shutdown::Both);
+        }
+        for conn in &self.conns {
+            if let Some(handle) = conn.reader_thread.lock().take() {
+                let _ = handle.join();
+            }
+        }
+        for server in &self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        ShardTransport::shutdown(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tebaldi_cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+    use tebaldi_core::{Database, DbConfig, ProcId, ProcRegistry, ProcedureCall};
+    use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
+
+    const TABLE: TableId = TableId(0);
+    const TY: TxnTypeId = TxnTypeId(0);
+    const BUMP: ProcId = ProcId(1);
+
+    fn pool() -> Arc<ShardWorkers> {
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "bump",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        let db = Arc::new(
+            Database::builder(DbConfig::for_tests())
+                .procedures(procedures)
+                .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+                .build()
+                .unwrap(),
+        );
+        db.load(Key::simple(TABLE, 1), Value::Int(0));
+        let mut reg = ProcRegistry::new();
+        reg.register_fn(BUMP, |txn, _args| {
+            txn.increment(Key::simple(TABLE, 1), 0, 1).map(Value::Int)
+        });
+        ShardWorkers::spawn(0, db, 2, Arc::new(reg))
+    }
+
+    fn execute() -> ShardRequest {
+        ShardRequest::Execute {
+            proc: BUMP,
+            call: ProcedureCall::new(TY),
+            args: Vec::new(),
+            max_attempts: 10,
+        }
+    }
+
+    #[test]
+    fn loopback_roundtrip_counts_wire_traffic() {
+        let workers = pool();
+        let transport = TcpTransport::over_loopback(&[Arc::clone(&workers)]).unwrap();
+        let (value, _) = transport
+            .call(0, execute())
+            .unwrap()
+            .into_executed()
+            .unwrap();
+        assert_eq!(value, Value::Int(1));
+        let ticket = transport.submit(0, execute());
+        ticket.wait().unwrap().unwrap();
+        let stats = ShardTransport::stats(&transport);
+        assert_eq!(stats.messages_sent, 2);
+        assert!(stats.bytes_on_wire > 0);
+        ShardTransport::shutdown(&transport);
+        workers.shutdown();
+    }
+
+    #[test]
+    fn garbage_frame_drops_connection_but_server_survives() {
+        let workers = pool();
+        let server = TcpShardServer::spawn(0, Arc::clone(&workers)).unwrap();
+
+        // A hostile client: raw garbage bytes.
+        {
+            let mut raw = TcpStream::connect(server.addr()).unwrap();
+            // A plausible length prefix followed by garbage payload.
+            let mut frame = (8u32).to_le_bytes().to_vec();
+            frame.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef, 0x01, 0x02, 0x03, 0x04]);
+            raw.write_all(&frame).unwrap();
+            raw.flush().unwrap();
+            // The server must close the connection (clean EOF or reset),
+            // not panic or answer.
+            assert!(!matches!(wire::read_frame(&mut raw), Ok(Some(_))));
+        }
+
+        // An oversized frame announcement is also rejected.
+        {
+            let mut raw = TcpStream::connect(server.addr()).unwrap();
+            raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+            raw.flush().unwrap();
+            assert!(!matches!(wire::read_frame(&mut raw), Ok(Some(_))));
+        }
+
+        // A well-formed client still gets served afterwards.
+        let transport = TcpTransport::connect(&[server.addr()]).unwrap();
+        let (value, _) = transport
+            .call(0, execute())
+            .unwrap()
+            .into_executed()
+            .unwrap();
+        assert_eq!(value, Value::Int(1));
+        ShardTransport::shutdown(&transport);
+        server.shutdown();
+        workers.shutdown();
+    }
+
+    #[test]
+    fn lost_connection_fails_pending_tickets_cleanly() {
+        let workers = pool();
+        let server = TcpShardServer::spawn(0, Arc::clone(&workers)).unwrap();
+        let transport = TcpTransport::connect(&[server.addr()]).unwrap();
+        // Kill the server, then submit: either the send fails or the
+        // pending ticket resolves with a disconnect error — never a hang.
+        server.shutdown();
+        let ticket = transport.submit(0, execute());
+        let outcome = ticket.wait_timeout(std::time::Duration::from_secs(5));
+        match outcome {
+            Ok(inner) => assert!(inner.is_err(), "request cannot succeed on a dead server"),
+            Err(err) => assert!(matches!(err, CcError::Internal(_))),
+        }
+        ShardTransport::shutdown(&transport);
+        workers.shutdown();
+    }
+}

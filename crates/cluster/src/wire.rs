@@ -1,0 +1,498 @@
+//! Binary wire format for the shard-RPC API.
+//!
+//! A message is a *frame*: a little-endian `u32` payload length followed by
+//! the payload. Payloads carry a `u64` request id (the client multiplexes
+//! many in-flight requests over one connection and matches replies by id)
+//! and an encoded [`ShardRequest`] or [`ShardResult`].
+//!
+//! Decoding is total: truncated, oversized, or garbage input yields a
+//! [`CodecError`], never a panic — the server answers by dropping the
+//! connection, the client by failing the affected tickets with a clean
+//! `CcError::Internal` (which aborts the transaction that was waiting).
+
+use crate::api::{ShardRequest, ShardResponse, ShardStatsReply};
+use crate::worker::Vote;
+use std::io::{Read, Write};
+use tebaldi_cc::CcError;
+use tebaldi_core::{ProcId, ProcedureCall};
+use tebaldi_storage::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+
+/// Upper bound on one frame's payload. Workload requests are tiny (ids +
+/// argument buffers); anything past this is corrupt or hostile and drops
+/// the connection.
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+
+// ---------------------------------------------------------------------------
+// Mechanism-string interning
+// ---------------------------------------------------------------------------
+
+/// The mechanism/reason strings that normally cross the wire. Decoding maps
+/// onto these without allocation; a string outside the set is interned once
+/// (leaked) per distinct value — the set of mechanism names in a process is
+/// small and fixed, so this is bounded.
+const WELL_KNOWN: &[&str] = &[
+    "2pl",
+    "ssi",
+    "tso",
+    "nocc",
+    "rp",
+    "engine",
+    "dependency",
+    "internal",
+    "gate",
+    "lock",
+    "write lock",
+    "read lock",
+    "pipeline",
+    "seats-workload",
+    "reservation no-op",
+];
+
+/// Interned strings are remote-controlled input, so both the per-string
+/// length and the table size are capped — a hostile peer streaming unique
+/// mechanism strings must not grow coordinator memory without bound.
+/// Legitimate mechanism names are short and few; anything past the caps
+/// collapses onto this placeholder.
+const FOREIGN_MECHANISM: &str = "remote-mechanism";
+const MAX_INTERNED_LEN: usize = 64;
+const MAX_INTERNED_STRINGS: usize = 256;
+
+fn intern(s: &str) -> &'static str {
+    if let Some(known) = WELL_KNOWN.iter().find(|k| **k == s) {
+        return known;
+    }
+    if s.len() > MAX_INTERNED_LEN {
+        return FOREIGN_MECHANISM;
+    }
+    use parking_lot::Mutex;
+    use std::collections::BTreeSet;
+    static TABLE: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    let mut table = TABLE.lock();
+    if let Some(existing) = table.get(s) {
+        return existing;
+    }
+    if table.len() >= MAX_INTERNED_STRINGS {
+        return FOREIGN_MECHANISM;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
+}
+
+// ---------------------------------------------------------------------------
+// CcError codec
+// ---------------------------------------------------------------------------
+
+fn put_cc_error(w: &mut ByteWriter, err: &CcError) {
+    match err {
+        CcError::Timeout { mechanism, what } => {
+            w.put_u8(0);
+            w.put_str(mechanism);
+            w.put_str(what);
+        }
+        CcError::Conflict { mechanism, reason } => {
+            w.put_u8(1);
+            w.put_str(mechanism);
+            w.put_str(reason);
+        }
+        CcError::DependencyAborted => w.put_u8(2),
+        CcError::Requested => w.put_u8(3),
+        CcError::Internal(msg) => {
+            w.put_u8(4);
+            w.put_str(msg);
+        }
+    }
+}
+
+fn get_cc_error(r: &mut ByteReader<'_>) -> CodecResult<CcError> {
+    Ok(match r.u8()? {
+        0 => CcError::Timeout {
+            mechanism: intern(&r.str()?),
+            what: intern(&r.str()?),
+        },
+        1 => CcError::Conflict {
+            mechanism: intern(&r.str()?),
+            reason: intern(&r.str()?),
+        },
+        2 => CcError::DependencyAborted,
+        3 => CcError::Requested,
+        4 => CcError::Internal(r.str()?),
+        _ => return Err(CodecError::Malformed("error tag")),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// ProcedureCall codec
+// ---------------------------------------------------------------------------
+
+fn put_call(w: &mut ByteWriter, call: &ProcedureCall) {
+    w.put_u32(call.ty.0);
+    w.put_u64(call.instance_seed);
+    w.put_u32(call.promised_keys.len() as u32);
+    for &key in &call.promised_keys {
+        w.put_key(key);
+    }
+}
+
+fn get_call(r: &mut ByteReader<'_>) -> CodecResult<ProcedureCall> {
+    let ty = tebaldi_storage::TxnTypeId(r.u32()?);
+    let instance_seed = r.u64()?;
+    let n = r.len_prefix()?;
+    if r.remaining() < n * 20 {
+        // A key costs 20 bytes; reject impossible counts before allocating.
+        return Err(CodecError::Truncated);
+    }
+    let mut promised_keys = Vec::with_capacity(n);
+    for _ in 0..n {
+        promised_keys.push(r.key()?);
+    }
+    Ok(ProcedureCall {
+        ty,
+        instance_seed,
+        promised_keys,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Request / response codecs
+// ---------------------------------------------------------------------------
+
+/// Encodes a request payload (without the frame length prefix).
+pub fn encode_request(req_id: u64, request: &ShardRequest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(req_id);
+    match request {
+        ShardRequest::Execute {
+            proc,
+            call,
+            args,
+            max_attempts,
+        } => {
+            w.put_u8(0);
+            w.put_u32(proc.0);
+            put_call(&mut w, call);
+            w.put_bytes(args);
+            w.put_u32(*max_attempts);
+        }
+        ShardRequest::Prepare {
+            global,
+            proc,
+            call,
+            args,
+        } => {
+            w.put_u8(1);
+            w.put_u64(*global);
+            w.put_u32(proc.0);
+            put_call(&mut w, call);
+            w.put_bytes(args);
+        }
+        ShardRequest::Commit { global } => {
+            w.put_u8(2);
+            w.put_u64(*global);
+        }
+        ShardRequest::CommitOnePhase { global } => {
+            w.put_u8(3);
+            w.put_u64(*global);
+        }
+        ShardRequest::Abort { global } => {
+            w.put_u8(4);
+            w.put_u64(*global);
+        }
+        ShardRequest::Stats => w.put_u8(5),
+        ShardRequest::Flush => w.put_u8(6),
+    }
+    w.into_bytes()
+}
+
+/// Decodes a request payload.
+pub fn decode_request(payload: &[u8]) -> CodecResult<(u64, ShardRequest)> {
+    let mut r = ByteReader::new(payload);
+    let req_id = r.u64()?;
+    let request = match r.u8()? {
+        0 => ShardRequest::Execute {
+            proc: ProcId(r.u32()?),
+            call: get_call(&mut r)?,
+            args: r.bytes()?.to_vec(),
+            max_attempts: r.u32()?,
+        },
+        1 => ShardRequest::Prepare {
+            global: r.u64()?,
+            proc: ProcId(r.u32()?),
+            call: get_call(&mut r)?,
+            args: r.bytes()?.to_vec(),
+        },
+        2 => ShardRequest::Commit { global: r.u64()? },
+        3 => ShardRequest::CommitOnePhase { global: r.u64()? },
+        4 => ShardRequest::Abort { global: r.u64()? },
+        5 => ShardRequest::Stats,
+        6 => ShardRequest::Flush,
+        _ => return Err(CodecError::Malformed("request tag")),
+    };
+    r.expect_end()?;
+    Ok((req_id, request))
+}
+
+/// Encodes a result payload (without the frame length prefix).
+pub fn encode_result(req_id: u64, result: &Result<ShardResponse, CcError>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(req_id);
+    match result {
+        Ok(response) => {
+            w.put_u8(0);
+            match response {
+                ShardResponse::Executed { value, aborts } => {
+                    w.put_u8(0);
+                    w.put_value(value);
+                    w.put_u32(*aborts);
+                }
+                ShardResponse::Prepared { value, vote } => {
+                    w.put_u8(1);
+                    w.put_value(value);
+                    w.put_u8(match vote {
+                        Vote::ReadOnly => 0,
+                        Vote::ReadWrite => 1,
+                    });
+                }
+                ShardResponse::Decided => w.put_u8(2),
+                ShardResponse::Stats(stats) => {
+                    w.put_u8(3);
+                    w.put_u64(stats.committed);
+                    w.put_u64(stats.aborted);
+                    w.put_u64(stats.flushes);
+                    w.put_u64(stats.in_doubt);
+                }
+                ShardResponse::Flushed => w.put_u8(4),
+            }
+        }
+        Err(err) => {
+            w.put_u8(1);
+            put_cc_error(&mut w, err);
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a result payload.
+pub fn decode_result(payload: &[u8]) -> CodecResult<(u64, Result<ShardResponse, CcError>)> {
+    let mut r = ByteReader::new(payload);
+    let req_id = r.u64()?;
+    let result = match r.u8()? {
+        0 => Ok(match r.u8()? {
+            0 => ShardResponse::Executed {
+                value: r.value()?,
+                aborts: r.u32()?,
+            },
+            1 => ShardResponse::Prepared {
+                value: r.value()?,
+                vote: match r.u8()? {
+                    0 => Vote::ReadOnly,
+                    1 => Vote::ReadWrite,
+                    _ => return Err(CodecError::Malformed("vote tag")),
+                },
+            },
+            2 => ShardResponse::Decided,
+            3 => ShardResponse::Stats(ShardStatsReply {
+                committed: r.u64()?,
+                aborted: r.u64()?,
+                flushes: r.u64()?,
+                in_doubt: r.u64()?,
+            }),
+            4 => ShardResponse::Flushed,
+            _ => return Err(CodecError::Malformed("response tag")),
+        }),
+        1 => Err(get_cc_error(&mut r)?),
+        _ => return Err(CodecError::Malformed("result tag")),
+    };
+    r.expect_end()?;
+    Ok((req_id, result))
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Writes one length-prefixed frame. Returns the bytes put on the wire.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> std::io::Result<usize> {
+    debug_assert!(payload.len() <= MAX_FRAME_LEN);
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    stream.write_all(&frame)?;
+    Ok(frame.len())
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` means the peer closed the
+/// connection cleanly at a frame boundary; an oversized length prefix is a
+/// protocol error.
+pub fn read_frame(stream: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(err) if err.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(err) => return Err(err),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_LEN}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
+
+    fn sample_call() -> ProcedureCall {
+        ProcedureCall::new(TxnTypeId(3))
+            .with_instance_seed(99)
+            .with_promises(vec![Key::composite(TableId(1), &[4, 5])])
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        let requests = [
+            ShardRequest::Execute {
+                proc: ProcId(7),
+                call: sample_call(),
+                args: vec![1, 2, 3],
+                max_attempts: 20,
+            },
+            ShardRequest::Prepare {
+                global: 42,
+                proc: ProcId(8),
+                call: ProcedureCall::new(TxnTypeId(0)),
+                args: Vec::new(),
+            },
+            ShardRequest::Commit { global: 1 },
+            ShardRequest::CommitOnePhase { global: 2 },
+            ShardRequest::Abort { global: 3 },
+            ShardRequest::Stats,
+            ShardRequest::Flush,
+        ];
+        for request in &requests {
+            let payload = encode_request(11, request);
+            let (id, back) = decode_request(&payload).unwrap();
+            assert_eq!(id, 11);
+            assert_eq!(&back, request);
+        }
+    }
+
+    #[test]
+    fn results_roundtrip() {
+        let results: Vec<Result<ShardResponse, CcError>> = vec![
+            Ok(ShardResponse::Executed {
+                value: Value::row(&[1, 2]),
+                aborts: 3,
+            }),
+            Ok(ShardResponse::Prepared {
+                value: Value::Null,
+                vote: Vote::ReadOnly,
+            }),
+            Ok(ShardResponse::Prepared {
+                value: Value::Int(-1),
+                vote: Vote::ReadWrite,
+            }),
+            Ok(ShardResponse::Decided),
+            Ok(ShardResponse::Stats(ShardStatsReply {
+                committed: 5,
+                aborted: 2,
+                flushes: 9,
+                in_doubt: 1,
+            })),
+            Ok(ShardResponse::Flushed),
+            Err(CcError::Requested),
+            Err(CcError::DependencyAborted),
+            Err(CcError::Internal("boom".to_string())),
+            Err(CcError::Conflict {
+                mechanism: "seats-workload",
+                reason: "reservation no-op",
+            }),
+            Err(CcError::Timeout {
+                mechanism: "2pl",
+                what: "lock",
+            }),
+        ];
+        for result in &results {
+            let payload = encode_result(77, result);
+            let (id, back) = decode_result(&payload).unwrap();
+            assert_eq!(id, 77);
+            assert_eq!(&back, result);
+        }
+    }
+
+    #[test]
+    fn decoded_static_strings_pattern_match() {
+        // The SEATS workload matches on mechanism string content to tell
+        // its own no-op votes from engine aborts: the content must survive
+        // the wire even though the type is `&'static str`.
+        let err = CcError::Conflict {
+            mechanism: "seats-workload",
+            reason: "reservation no-op",
+        };
+        let payload = encode_result(0, &Err(err));
+        let (_, back) = decode_result(&payload).unwrap();
+        assert!(matches!(
+            back,
+            Err(CcError::Conflict {
+                mechanism: "seats-workload",
+                ..
+            })
+        ));
+        // Unknown mechanism strings intern without loss.
+        let odd = CcError::Conflict {
+            mechanism: intern("custom-mechanism-xyz"),
+            reason: intern("because"),
+        };
+        let payload = encode_result(0, &Err(odd.clone()));
+        let (_, back) = decode_result(&payload).unwrap();
+        assert_eq!(back, Err(odd));
+    }
+
+    #[test]
+    fn garbage_payloads_error_cleanly() {
+        assert!(decode_request(&[]).is_err());
+        assert!(decode_result(&[]).is_err());
+        let good = encode_request(1, &ShardRequest::Stats);
+        // Truncations at every split point.
+        for cut in 0..good.len() {
+            assert!(decode_request(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage.
+        let mut padded = good.clone();
+        padded.push(0);
+        assert!(decode_request(&padded).is_err());
+        // Bad tags.
+        let mut bad = good;
+        *bad.last_mut().unwrap() = 0xEE;
+        assert!(decode_request(&bad).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_and_reject_oversize() {
+        let mut buf = Vec::new();
+        let payload = encode_request(5, &ShardRequest::Flush);
+        let written = write_frame(&mut buf, &payload).unwrap();
+        assert_eq!(written, payload.len() + 4);
+        let mut cursor = std::io::Cursor::new(buf);
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(back, payload);
+        // Clean EOF at a frame boundary.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+        // An oversized length prefix is an error, not an allocation.
+        let huge = (u32::MAX).to_le_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(huge);
+        assert!(read_frame(&mut cursor).is_err());
+        // Truncated mid-payload is an error.
+        let mut truncated = Vec::new();
+        write_frame(&mut truncated, &payload).unwrap();
+        truncated.truncate(truncated.len() - 2);
+        let mut cursor = std::io::Cursor::new(truncated);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

@@ -1,26 +1,25 @@
-//! Per-shard worker pools with a batched mailbox.
+//! Per-shard worker pools with a batched mailbox, speaking the
+//! serializable shard-RPC API.
 //!
-//! Clients submit work to a shard asynchronously: a job lands in the
-//! shard's mailbox, one of the shard's worker threads drains a batch and
-//! executes the jobs against the shard [`Database`], and the result comes
-//! back through a [`Ticket`]. The 2PC coordinator submits its `Prepare`
-//! phase through the same mailbox (prepares of one global transaction run
-//! on their shards in parallel); decisions apply inline on the
-//! coordinator's thread so they never queue behind blocking prepares.
+//! Clients submit [`ShardRequest`]s to a shard asynchronously: a job lands
+//! in the shard's mailbox, one of the shard's worker threads drains a batch
+//! and resolves each request's [`ProcId`] against the shard's
+//! [`ProcRegistry`], runs the registered body against the shard
+//! [`Database`], and the result comes back through the job's reply sink
+//! (a [`Ticket`] in process, a connection outbox over TCP). The 2PC
+//! coordinator submits its `Prepare` phase through the same mailbox
+//! (prepares of one global transaction run on their shards in parallel);
+//! decisions apply inline on the delivering thread so they never queue
+//! behind blocking prepares.
 
+use crate::api::{ShardRequest, ShardResponse, ShardResult, ShardStatsReply};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tebaldi_cc::{CcError, CcResult};
-use tebaldi_core::{Database, ParticipantVote, PreparedTxn, ProcedureCall, Txn};
-use tebaldi_storage::Value;
-
-/// The body of a shard-local transaction (or transaction part). `FnMut`
-/// so the worker can retry aborted attempts of plain executions; prepare
-/// parts run exactly once per vote.
-pub type ShardOp = Box<dyn FnMut(&mut Txn<'_>) -> CcResult<Value> + Send>;
+use tebaldi_core::{Database, ParticipantVote, PreparedTxn, ProcId, ProcRegistry, ProcedureCall};
 
 /// A participant's phase-one vote class, as reported back to the
 /// coordinator alongside the part's result value.
@@ -36,49 +35,75 @@ pub enum Vote {
 
 /// One-shot result channel for an asynchronously submitted job.
 pub struct Ticket<T> {
-    rx: mpsc::Receiver<T>,
+    inner: TicketInner<T>,
+}
+
+enum TicketInner<T> {
+    /// Resolved synchronously — no channel behind it. The in-process
+    /// transport answers decisions and admin ops this way on the hottest
+    /// coordinator path, so the synchronous case must not allocate.
+    Ready(T),
+    Pending(mpsc::Receiver<T>),
 }
 
 impl<T> Ticket<T> {
-    /// Blocks until the shard worker delivers the result.
-    pub fn wait(self) -> CcResult<T> {
-        self.rx
-            .recv()
-            .map_err(|_| CcError::Internal("shard worker dropped the reply channel".to_string()))
+    /// A ticket that is already resolved (requests a transport handled
+    /// synchronously, e.g. in-process decisions).
+    pub fn ready(value: T) -> Self {
+        Ticket {
+            inner: TicketInner::Ready(value),
+        }
     }
 
-    /// Blocks until the shard worker delivers the result or the timeout
-    /// elapses. A timeout means the shard is wedged (or hopelessly
-    /// backlogged); the coordinator treats it as a "no" vote so one stuck
-    /// shard cannot hang a multi-shard transaction forever.
+    /// A pending ticket plus the sender that resolves it.
+    pub fn pending() -> (mpsc::Sender<T>, Self) {
+        let (tx, rx) = mpsc::channel();
+        (
+            tx,
+            Ticket {
+                inner: TicketInner::Pending(rx),
+            },
+        )
+    }
+
+    /// Blocks until the shard delivers the result.
+    pub fn wait(self) -> CcResult<T> {
+        match self.inner {
+            TicketInner::Ready(value) => Ok(value),
+            TicketInner::Pending(rx) => rx
+                .recv()
+                .map_err(|_| CcError::Internal("shard dropped the reply channel".to_string())),
+        }
+    }
+
+    /// Blocks until the shard delivers the result or the timeout elapses.
+    /// A timeout means the shard is wedged (or hopelessly backlogged); the
+    /// coordinator treats it as a "no" vote so one stuck shard cannot hang
+    /// a multi-shard transaction forever.
     pub fn wait_timeout(self, timeout: Duration) -> CcResult<T> {
-        self.rx.recv_timeout(timeout).map_err(|err| match err {
-            mpsc::RecvTimeoutError::Timeout => {
-                CcError::Internal("shard did not answer within the prepare timeout".to_string())
-            }
-            mpsc::RecvTimeoutError::Disconnected => {
-                CcError::Internal("shard worker dropped the reply channel".to_string())
-            }
-        })
+        match self.inner {
+            TicketInner::Ready(value) => Ok(value),
+            TicketInner::Pending(rx) => rx.recv_timeout(timeout).map_err(|err| match err {
+                mpsc::RecvTimeoutError::Timeout => {
+                    CcError::Internal("shard did not answer within the timeout".to_string())
+                }
+                mpsc::RecvTimeoutError::Disconnected => {
+                    CcError::Internal("shard dropped the reply channel".to_string())
+                }
+            }),
+        }
     }
 }
 
+/// Where a finished job's result goes. In process this resolves a
+/// [`Ticket`]; on the TCP server it forwards into the connection's outbox
+/// tagged with the wire request id.
+pub type ReplySink = Box<dyn FnOnce(ShardResult) + Send>;
+
 pub(crate) enum Job {
-    /// Closed-loop execution with engine-side retry.
-    Execute {
-        call: ProcedureCall,
-        op: ShardOp,
-        max_attempts: usize,
-        reply: mpsc::Sender<CcResult<Value>>,
-    },
-    /// 2PC phase one: run the shard part up to the prepared state and park
-    /// it in the in-doubt table keyed by the cluster-global id (read-write
-    /// votes) or commit it outright (read-only votes).
-    Prepare {
-        global: u64,
-        call: ProcedureCall,
-        op: ShardOp,
-        reply: mpsc::Sender<CcResult<(Value, Vote)>>,
+    Run {
+        request: ShardRequest,
+        reply: ReplySink,
     },
     Shutdown,
 }
@@ -97,6 +122,7 @@ const DRAIN_BATCH: usize = 16;
 /// The worker pool of one shard.
 pub struct ShardWorkers {
     db: Arc<Database>,
+    registry: Arc<ProcRegistry>,
     tx: mpsc::Sender<Job>,
     rx: Arc<Mutex<mpsc::Receiver<Job>>>,
     in_doubt: Arc<Mutex<HashMap<u64, PreparedTxn>>>,
@@ -111,11 +137,18 @@ pub struct ShardWorkers {
 }
 
 impl ShardWorkers {
-    /// Spawns `workers` threads serving `db`'s mailbox.
-    pub fn spawn(shard_index: usize, db: Arc<Database>, workers: usize) -> Arc<Self> {
+    /// Spawns `workers` threads serving `db`'s mailbox, resolving procedure
+    /// ids against `registry`.
+    pub fn spawn(
+        shard_index: usize,
+        db: Arc<Database>,
+        workers: usize,
+        registry: Arc<ProcRegistry>,
+    ) -> Arc<Self> {
         let (tx, rx) = mpsc::channel();
         let pool = Arc::new(ShardWorkers {
             db,
+            registry,
             tx,
             rx: Arc::new(Mutex::new(rx)),
             in_doubt: Arc::new(Mutex::new(HashMap::new())),
@@ -143,6 +176,11 @@ impl ShardWorkers {
         &self.db
     }
 
+    /// The procedure registry requests are resolved against.
+    pub fn registry(&self) -> &Arc<ProcRegistry> {
+        &self.registry
+    }
+
     /// Number of prepared transactions currently awaiting a decision.
     pub fn in_doubt_count(&self) -> usize {
         self.in_doubt.lock().len()
@@ -154,38 +192,131 @@ impl ShardWorkers {
         let _ = self.tx.send(job);
     }
 
-    /// Asynchronously executes a single-shard transaction with retry.
-    pub fn submit_execute(
-        &self,
-        call: ProcedureCall,
-        op: ShardOp,
-        max_attempts: usize,
-    ) -> Ticket<CcResult<Value>> {
-        let (reply, rx) = mpsc::channel();
-        self.submit(Job::Execute {
-            call,
-            op,
-            max_attempts,
-            reply,
-        });
-        Ticket { rx }
+    /// Queues a body-running request ([`Execute`](ShardRequest::Execute) or
+    /// [`Prepare`](ShardRequest::Prepare)) on the shard's worker pool. Any
+    /// other request is handled inline (decisions and admin ops must never
+    /// queue behind blocking prepares).
+    pub fn submit_request(&self, request: ShardRequest, reply: ReplySink) {
+        if request.runs_body() {
+            self.submit(Job::Run { request, reply });
+        } else {
+            reply(self.handle_inline(request));
+        }
     }
 
-    /// Asks the shard to prepare its part of global transaction `global`.
-    pub fn submit_prepare(
+    /// Handles a request synchronously on the calling thread. This is the
+    /// single entry point behind both transports: the in-process fast path
+    /// calls it directly, the TCP server calls it from its connection
+    /// threads (body-running requests via the mailbox, everything else
+    /// inline).
+    pub fn handle_inline(&self, request: ShardRequest) -> ShardResult {
+        match request {
+            ShardRequest::Execute {
+                proc,
+                call,
+                args,
+                max_attempts,
+            } => self.execute_now(proc, &call, &args, max_attempts),
+            ShardRequest::Prepare {
+                global,
+                proc,
+                call,
+                args,
+            } => self.prepare_now(global, proc, &call, &args),
+            ShardRequest::Commit { global } | ShardRequest::CommitOnePhase { global } => {
+                self.decide(global, true);
+                Ok(ShardResponse::Decided)
+            }
+            ShardRequest::Abort { global } => {
+                self.decide(global, false);
+                Ok(ShardResponse::Decided)
+            }
+            ShardRequest::Stats => {
+                let snapshot = self.db.stats();
+                Ok(ShardResponse::Stats(ShardStatsReply {
+                    committed: snapshot.committed,
+                    aborted: snapshot.aborted,
+                    flushes: self.db.durability().stats().flushes,
+                    in_doubt: self.in_doubt_count() as u64,
+                }))
+            }
+            ShardRequest::Flush => {
+                self.db.durability().seal_current_epoch();
+                Ok(ShardResponse::Flushed)
+            }
+        }
+    }
+
+    fn resolve(&self, proc: ProcId) -> CcResult<Arc<dyn tebaldi_core::ShardProcedure>> {
+        self.registry
+            .get(proc)
+            .ok_or_else(|| CcError::Internal(format!("no shard procedure registered for {proc}")))
+    }
+
+    /// Closed-loop execution with engine-side retry, on the calling thread.
+    pub fn execute_now(
+        &self,
+        proc: ProcId,
+        call: &ProcedureCall,
+        args: &[u8],
+        max_attempts: u32,
+    ) -> ShardResult {
+        let body = self.resolve(proc)?;
+        self.db
+            .execute_with_retry(call, max_attempts.max(1) as usize, |txn| {
+                body.run(txn, args)
+            })
+            .map(|(value, aborts)| ShardResponse::Executed {
+                value,
+                aborts: aborts as u32,
+            })
+    }
+
+    /// 2PC phase one on the calling thread: run the registered body up to
+    /// the prepared state and park it in the in-doubt table keyed by the
+    /// cluster-global id (read-write votes) or commit it outright
+    /// (read-only votes).
+    pub fn prepare_now(
         &self,
         global: u64,
-        call: ProcedureCall,
-        op: ShardOp,
-    ) -> Ticket<CcResult<(Value, Vote)>> {
-        let (reply, rx) = mpsc::channel();
-        self.submit(Job::Prepare {
-            global,
-            call,
-            op,
-            reply,
-        });
-        Ticket { rx }
+        proc: ProcId,
+        call: &ProcedureCall,
+        args: &[u8],
+    ) -> ShardResult {
+        let body = self.resolve(proc)?;
+        // The coordinator may already have aborted this global (vote
+        // timeout): don't waste the execution.
+        if self.orphan_aborts.lock().remove(&global).is_some() {
+            return Err(CcError::Internal(
+                "coordinator aborted the transaction before its prepare ran".to_string(),
+            ));
+        }
+        let result = self.db.prepare(call, global, |txn| body.run(txn, args));
+        result.and_then(|(value, vote)| match vote {
+            ParticipantVote::ReadOnly => Ok(ShardResponse::Prepared {
+                value,
+                vote: Vote::ReadOnly,
+            }),
+            ParticipantVote::ReadWrite(prepared) => {
+                // Re-check under the in-doubt lock: a timed-out vote's
+                // abort decision may have raced in while the part was
+                // validating.
+                let mut in_doubt = self.in_doubt.lock();
+                if self.orphan_aborts.lock().remove(&global).is_some() {
+                    drop(in_doubt);
+                    prepared.abort();
+                    Err(CcError::Internal(
+                        "coordinator aborted the transaction during its prepare".to_string(),
+                    ))
+                } else {
+                    in_doubt.insert(global, prepared);
+                    Ok(ShardResponse::Prepared {
+                        value,
+                        vote: Vote::ReadWrite,
+                    })
+                }
+            }
+        })
     }
 
     /// Applies the coordinator's decision for `global` inline on the
@@ -257,7 +388,13 @@ impl ShardWorkers {
                     Err(_) => return,
                 }
                 while batch.len() < DRAIN_BATCH
-                    && !matches!(batch.last(), Some(Job::Prepare { .. }))
+                    && !matches!(
+                        batch.last(),
+                        Some(Job::Run {
+                            request: ShardRequest::Prepare { .. },
+                            ..
+                        })
+                    )
                 {
                     match rx.try_recv() {
                         Ok(job) => batch.push(job),
@@ -266,69 +403,16 @@ impl ShardWorkers {
                 }
             }
             for job in batch.drain(..) {
-                if !self.handle(job) {
-                    // Shutdown token: wake the next worker and exit.
-                    let _ = self.tx.send(Job::Shutdown);
-                    return;
-                }
-            }
-        }
-    }
-
-    fn handle(&self, job: Job) -> bool {
-        match job {
-            Job::Execute {
-                call,
-                mut op,
-                max_attempts,
-                reply,
-            } => {
-                let result = self
-                    .db
-                    .execute_with_retry(&call, max_attempts.max(1), |txn| op(txn))
-                    .map(|(value, _aborts)| value);
-                let _ = reply.send(result);
-            }
-            Job::Prepare {
-                global,
-                call,
-                mut op,
-                reply,
-            } => {
-                // The coordinator may already have aborted this global
-                // (vote timeout): don't waste the execution.
-                if self.orphan_aborts.lock().remove(&global).is_some() {
-                    let _ = reply.send(Err(CcError::Internal(
-                        "coordinator aborted the transaction before its prepare ran".to_string(),
-                    )));
-                    return true;
-                }
-                let result = self.db.prepare(&call, global, |txn| op(txn));
-                let result = result.and_then(|(value, vote)| match vote {
-                    ParticipantVote::ReadOnly => Ok((value, Vote::ReadOnly)),
-                    ParticipantVote::ReadWrite(prepared) => {
-                        // Re-check under the in-doubt lock: a timed-out
-                        // vote's abort decision may have raced in while the
-                        // part was validating.
-                        let mut in_doubt = self.in_doubt.lock();
-                        if self.orphan_aborts.lock().remove(&global).is_some() {
-                            drop(in_doubt);
-                            prepared.abort();
-                            Err(CcError::Internal(
-                                "coordinator aborted the transaction during its prepare"
-                                    .to_string(),
-                            ))
-                        } else {
-                            in_doubt.insert(global, prepared);
-                            Ok((value, Vote::ReadWrite))
-                        }
+                match job {
+                    Job::Run { request, reply } => reply(self.handle_inline(request)),
+                    Job::Shutdown => {
+                        // Shutdown token: wake the next worker and exit.
+                        let _ = self.tx.send(Job::Shutdown);
+                        return;
                     }
-                });
-                let _ = reply.send(result);
+                }
             }
-            Job::Shutdown => return false,
         }
-        true
     }
 }
 
@@ -337,10 +421,37 @@ mod tests {
     use super::*;
     use tebaldi_cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
     use tebaldi_core::DbConfig;
-    use tebaldi_storage::{Key, TableId, TxnTypeId};
+    use tebaldi_storage::codec::{ByteReader, ByteWriter};
+    use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
 
     const TABLE: TableId = TableId(0);
     const TY: TxnTypeId = TxnTypeId(0);
+    const BUMP: ProcId = ProcId(1);
+    const PUT5: ProcId = ProcId(2);
+
+    fn registry() -> Arc<ProcRegistry> {
+        let mut reg = ProcRegistry::new();
+        // bump(key_id): increment field 0 by 1.
+        reg.register_fn(BUMP, |txn, args| {
+            let mut r = ByteReader::new(args);
+            let id = r.u64().map_err(|e| CcError::Internal(e.to_string()))?;
+            txn.increment(Key::simple(TABLE, id), 0, 1).map(Value::Int)
+        });
+        // put5(key_id): write Int(5).
+        reg.register_fn(PUT5, |txn, args| {
+            let mut r = ByteReader::new(args);
+            let id = r.u64().map_err(|e| CcError::Internal(e.to_string()))?;
+            txn.put(Key::simple(TABLE, id), Value::Int(5))
+                .map(|()| Value::Null)
+        });
+        Arc::new(reg)
+    }
+
+    fn args(id: u64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(id);
+        w.into_bytes()
+    }
 
     fn db() -> Arc<Database> {
         let mut procedures = ProcedureSet::new();
@@ -359,16 +470,24 @@ mod tests {
     }
 
     #[test]
-    fn mailbox_executes_jobs() {
-        let pool = ShardWorkers::spawn(0, db(), 2);
+    fn mailbox_executes_data_requests() {
+        let pool = ShardWorkers::spawn(0, db(), 2, registry());
         pool.db().load(Key::simple(TABLE, 1), Value::Int(0));
         let tickets: Vec<_> = (0..32)
             .map(|_| {
-                pool.submit_execute(
-                    ProcedureCall::new(TY),
-                    Box::new(|txn| txn.increment(Key::simple(TABLE, 1), 0, 1).map(Value::Int)),
-                    20,
-                )
+                let (tx, ticket) = Ticket::pending();
+                pool.submit_request(
+                    ShardRequest::Execute {
+                        proc: BUMP,
+                        call: ProcedureCall::new(TY),
+                        args: args(1),
+                        max_attempts: 20,
+                    },
+                    Box::new(move |result| {
+                        let _ = tx.send(result);
+                    }),
+                );
+                ticket
             })
             .collect();
         for ticket in tickets {
@@ -386,24 +505,54 @@ mod tests {
 
     #[test]
     fn prepare_then_decide_roundtrip() {
-        let pool = ShardWorkers::spawn(0, db(), 1);
-        let key = Key::simple(TABLE, 9);
-        pool.submit_prepare(
-            7,
-            ProcedureCall::new(TY),
-            Box::new(move |txn| txn.put(key, Value::Int(5)).map(|()| Value::Null)),
-        )
-        .wait()
-        .unwrap()
-        .unwrap();
+        let pool = ShardWorkers::spawn(0, db(), 1, registry());
+        let (value, vote) = pool
+            .prepare_now(7, PUT5, &ProcedureCall::new(TY), &args(9))
+            .unwrap()
+            .into_prepared()
+            .unwrap();
+        assert_eq!(value, Value::Null);
+        assert_eq!(vote, Vote::ReadWrite);
         assert_eq!(pool.in_doubt_count(), 1);
         pool.decide(7, true);
         assert_eq!(pool.in_doubt_count(), 0);
         let read = pool
             .db()
-            .execute(&ProcedureCall::new(TY), |txn| txn.get(key))
+            .execute(&ProcedureCall::new(TY), |txn| {
+                txn.get(Key::simple(TABLE, 9))
+            })
             .unwrap();
         assert_eq!(read, Some(Value::Int(5)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn unknown_procedure_is_a_clean_error() {
+        let pool = ShardWorkers::spawn(0, db(), 1, registry());
+        let err = pool
+            .execute_now(ProcId(999), &ProcedureCall::new(TY), &[], 1)
+            .unwrap_err();
+        assert!(matches!(err, CcError::Internal(_)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn stats_and_flush_admin_requests() {
+        let pool = ShardWorkers::spawn(0, db(), 1, registry());
+        pool.db().load(Key::simple(TABLE, 1), Value::Int(0));
+        pool.execute_now(BUMP, &ProcedureCall::new(TY), &args(1), 5)
+            .unwrap();
+        match pool.handle_inline(ShardRequest::Stats).unwrap() {
+            ShardResponse::Stats(stats) => {
+                assert_eq!(stats.committed, 1);
+                assert_eq!(stats.in_doubt, 0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert_eq!(
+            pool.handle_inline(ShardRequest::Flush).unwrap(),
+            ShardResponse::Flushed
+        );
         pool.shutdown();
     }
 }

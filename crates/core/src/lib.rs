@@ -62,7 +62,7 @@ pub mod txn;
 pub use config::{DbConfig, DurabilityMode};
 pub use db::{Database, DatabaseBuilder};
 pub use prepared::{ParticipantVote, PreparedTxn};
-pub use procedure::ProcedureCall;
+pub use procedure::{ProcId, ProcRegistry, ProcedureCall, ShardProcedure};
 pub use reconfig::{diff_specs, ReconfigProtocol, ReconfigReport, SpecDiff};
 pub use stats::{DbStats, StatsSnapshot};
 pub use txn::Txn;

@@ -1,15 +1,26 @@
-//! Procedure-call descriptors.
+//! Procedure-call descriptors and the shard-procedure registry.
 //!
 //! Workloads invoke the engine with a [`ProcedureCall`]: the static
 //! transaction type, an *instance seed* (the hash of whatever input the
 //! partition-by-instance function looks at, e.g. the flight id in SEATS),
 //! and the optional list of keys whose writes can be promised to a
 //! timestamp-ordering leaf (§4.4.4).
+//!
+//! The cluster invokes shards with *data*, not code: a [`ProcId`] plus an
+//! opaque encoded argument buffer names a transaction body that was
+//! registered in the shard's [`ProcRegistry`] at setup time. This is what
+//! lets a shard live behind a serializable RPC boundary (and eventually in
+//! another process): the operation that crosses the boundary is an id + a
+//! byte string, never a closure.
 
-use tebaldi_storage::{Key, TxnTypeId};
+use crate::txn::Txn;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tebaldi_cc::CcResult;
+use tebaldi_storage::{Key, TxnTypeId, Value};
 
 /// One transaction invocation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProcedureCall {
     /// Static transaction type.
     pub ty: TxnTypeId,
@@ -43,10 +54,127 @@ impl ProcedureCall {
     }
 }
 
+/// Identifier of a registered shard procedure. Workloads own their id
+/// ranges (TPC-C uses 100.., SEATS 200.., the cluster's builtin KV helpers
+/// sit at `0xFFFF_00xx`); a collision at registration time panics, so
+/// overlapping ranges are caught at setup, not at execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A registered transaction body: decodes its argument buffer and issues
+/// reads and writes through the [`Txn`] handle. Bodies may run several
+/// times (engine-side retry of aborted attempts), so they take `&self`.
+pub trait ShardProcedure: Send + Sync {
+    /// Runs one attempt of the body.
+    fn run(&self, txn: &mut Txn<'_>, args: &[u8]) -> CcResult<Value>;
+}
+
+impl<F> ShardProcedure for F
+where
+    F: Fn(&mut Txn<'_>, &[u8]) -> CcResult<Value> + Send + Sync,
+{
+    fn run(&self, txn: &mut Txn<'_>, args: &[u8]) -> CcResult<Value> {
+        self(txn, args)
+    }
+}
+
+/// The shard-side registry mapping [`ProcId`] to transaction bodies.
+///
+/// Filled once at setup (workloads register their per-shard transaction
+/// parts before the cluster starts serving) and then only read, so lookups
+/// are lock-free clones of `Arc`s.
+#[derive(Clone, Default)]
+pub struct ProcRegistry {
+    procs: HashMap<u32, Arc<dyn ShardProcedure>>,
+}
+
+impl std::fmt::Debug for ProcRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut ids: Vec<u32> = self.procs.keys().copied().collect();
+        ids.sort_unstable();
+        f.debug_struct("ProcRegistry").field("procs", &ids).finish()
+    }
+}
+
+impl ProcRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ProcRegistry::default()
+    }
+
+    /// Registers a procedure object. Panics on id collisions: silently
+    /// replacing a transaction body would turn a setup bug into data
+    /// corruption at execution time.
+    pub fn register(&mut self, id: ProcId, proc: Arc<dyn ShardProcedure>) {
+        if self.procs.insert(id.0, proc).is_some() {
+            panic!("shard procedure {id} registered twice");
+        }
+    }
+
+    /// Registers a closure body.
+    pub fn register_fn(
+        &mut self,
+        id: ProcId,
+        body: impl Fn(&mut Txn<'_>, &[u8]) -> CcResult<Value> + Send + Sync + 'static,
+    ) {
+        self.register(id, Arc::new(body));
+    }
+
+    /// Moves every procedure of `other` into this registry (panics on
+    /// collisions, like [`register`](ProcRegistry::register)).
+    pub fn merge(&mut self, other: ProcRegistry) {
+        for (id, proc) in other.procs {
+            self.register(ProcId(id), proc);
+        }
+    }
+
+    /// Looks a procedure up.
+    pub fn get(&self, id: ProcId) -> Option<Arc<dyn ShardProcedure>> {
+        self.procs.get(&id.0).cloned()
+    }
+
+    /// Number of registered procedures.
+    pub fn len(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.procs.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use tebaldi_storage::TableId;
+
+    #[test]
+    fn registry_registers_and_looks_up() {
+        let mut reg = ProcRegistry::new();
+        reg.register_fn(ProcId(1), |_txn, _args| Ok(Value::Int(1)));
+        assert!(reg.get(ProcId(1)).is_some());
+        assert!(reg.get(ProcId(2)).is_none());
+        assert_eq!(reg.len(), 1);
+        let mut other = ProcRegistry::new();
+        other.register_fn(ProcId(2), |_txn, _args| Ok(Value::Int(2)));
+        reg.merge(other);
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let mut reg = ProcRegistry::new();
+        reg.register_fn(ProcId(7), |_txn, _args| Ok(Value::Null));
+        reg.register_fn(ProcId(7), |_txn, _args| Ok(Value::Null));
+    }
 
     #[test]
     fn builder_style_construction() {

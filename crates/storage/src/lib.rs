@@ -22,6 +22,7 @@
 //! * [`sim`] — an optional simulated network delay standing in for the
 //!   datacenter round trips of the paper's CloudLab testbed.
 
+pub mod codec;
 pub mod gc;
 pub mod key;
 pub mod mvstore;

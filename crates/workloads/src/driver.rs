@@ -213,9 +213,12 @@ pub fn bench_cluster_config(
     cluster_config: tebaldi_cluster::ClusterConfig,
     options: &BenchOptions,
 ) -> BenchResult {
+    let mut registry = tebaldi_core::ProcRegistry::new();
+    workload.register_procedures(&mut registry);
     let cluster = Arc::new(
         tebaldi_cluster::Cluster::builder(cluster_config)
             .procedures(workload.procedures())
+            .shard_procedures(registry)
             .cc_spec(spec)
             .build()
             .expect("cluster build"),

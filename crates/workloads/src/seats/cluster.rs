@@ -14,21 +14,62 @@
 //!   otherwise decomposed into a flight part plus a customer part under the
 //!   coordinator's two-phase commit.
 //!
+//! The transaction bodies are registered once per cluster (see
+//! [`register_procedures`]) under the ids in [`procs`]; every invocation
+//! ships a [`ProcId`](tebaldi_core::ProcId) plus a `(flight, seat,
+//! customer)` argument buffer, so the workload runs unchanged over the
+//! in-process transport and over TCP.
+//!
 //! The flight part carries the workload-level conditional (seat already
 //! taken, reservation missing or owned by someone else): it votes to abort
 //! the whole distributed transaction with a dedicated no-op error, which
 //! rolls the unconditional customer part back on its shard — so the
 //! cross-shard invariant "seats sold = reservation rows = customer
-//! reservation counts" can never be violated, crash or no crash.
+//! reservation counts" can never be violated, crash or no crash. The no-op
+//! vote survives the wire: its `Conflict { mechanism: "seats-workload" }`
+//! encoding decodes back to a pattern-matchable static string.
 
-use super::{finish, types, Seats};
+use super::{finish, types, Seats, SeatsTables};
 use crate::workload::{ClusterWorkload, WorkUnit};
 use rand::rngs::StdRng;
 use rand::Rng;
-use tebaldi_cc::{AccessMode, CcError, ProcedureInfo, ProcedureSet};
+use tebaldi_cc::{AccessMode, CcError, CcResult, ProcedureInfo, ProcedureSet};
 use tebaldi_cluster::{Cluster, ShardPart};
-use tebaldi_core::ProcedureCall;
+use tebaldi_core::{ProcId, ProcRegistry, ProcedureCall, Txn};
+use tebaldi_storage::codec::{ByteReader, ByteWriter, CodecError};
 use tebaldi_storage::{TxnTypeId, Value};
+
+/// The cluster-SEATS shard-procedure ids (the workload owns the 200..220
+/// range).
+pub mod procs {
+    use tebaldi_core::ProcId;
+
+    /// Full single-shard new_reservation (customer co-located).
+    pub const NR_SINGLE: ProcId = ProcId(200);
+    /// Flight part of a cross-shard new_reservation (conditional).
+    pub const NR_FLIGHT: ProcId = ProcId(201);
+    /// Customer part of a cross-shard new_reservation (unconditional).
+    pub const NR_CUSTOMER: ProcId = ProcId(202);
+    /// Full single-shard delete_reservation.
+    pub const DR_SINGLE: ProcId = ProcId(203);
+    /// Flight part of a cross-shard delete_reservation (conditional).
+    pub const DR_FLIGHT: ProcId = ProcId(204);
+    /// Customer part of a cross-shard delete_reservation (unconditional).
+    pub const DR_CUSTOMER: ProcId = ProcId(205);
+    /// Full single-shard update_reservation.
+    pub const UR_SINGLE: ProcId = ProcId(206);
+    /// Flight part of a cross-shard update_reservation (read-write).
+    pub const UR_FLIGHT: ProcId = ProcId(207);
+    /// Customer part of a cross-shard update_reservation (read-only tier
+    /// check → `ReadOnly` vote → one-phase commit).
+    pub const UR_CUSTOMER: ProcId = ProcId(208);
+    /// update_customer (always single-shard).
+    pub const UPDATE_CUSTOMER: ProcId = ProcId(209);
+    /// find_flights (read-only).
+    pub const FIND_FLIGHTS: ProcId = ProcId(210);
+    /// find_open_seats (read-only).
+    pub const FIND_OPEN_SEATS: ProcId = ProcId(211);
+}
 
 /// The flight part's abort vote for a workload-level no-op (seat already
 /// taken, reservation missing or owned by someone else): any part error
@@ -52,6 +93,170 @@ fn is_no_op_vote(err: &CcError) -> bool {
             ..
         }
     )
+}
+
+fn bad_args(err: CodecError) -> CcError {
+    CcError::Internal(format!("malformed seats args: {err}"))
+}
+
+/// Every SEATS procedure takes the same `(flight, seat, customer)` triple.
+fn fsc_args(flight: u32, seat: u32, customer: u32) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(flight);
+    w.put_u32(seat);
+    w.put_u32(customer);
+    w.into_bytes()
+}
+
+fn get_fsc(args: &[u8]) -> CcResult<(u32, u32, u32)> {
+    let mut r = ByteReader::new(args);
+    let flight = r.u32().map_err(bad_args)?;
+    let seat = r.u32().map_err(bad_args)?;
+    let customer = r.u32().map_err(bad_args)?;
+    Ok((flight, seat, customer))
+}
+
+/// The seat-window verify read set: like the full SEATS NewReservation,
+/// the cluster variant re-checks availability around the chosen seat, so a
+/// conflicted attempt wastes real work — the same contention shape that
+/// makes TPC-C's new_order collapse under a single hot shard.
+fn verify_window(
+    txn: &mut Txn<'_>,
+    t: &SeatsTables,
+    flight: u32,
+    seat: u32,
+    probes: u32,
+    seats_per_flight: u32,
+) -> CcResult<()> {
+    for probe in 0..probes {
+        let s = (seat + probe * 37) % seats_per_flight;
+        let _ = txn.get(t.reservation_key(flight, s))?;
+    }
+    Ok(())
+}
+
+/// Registers the cluster-SEATS transaction bodies under the ids in
+/// [`procs`]. The bodies capture the table set and scale parameters by
+/// value.
+pub fn register_procedures(
+    registry: &mut ProcRegistry,
+    t: SeatsTables,
+    probes: u32,
+    seats_per_flight: u32,
+) {
+    registry.register_fn(procs::NR_SINGLE, move |txn, args| {
+        let (flight, seat, customer) = get_fsc(args)?;
+        verify_window(txn, &t, flight, seat, probes, seats_per_flight)?;
+        let existing = txn.get(t.reservation_key(flight, seat))?;
+        if existing.is_none() {
+            txn.increment(t.flight_key(flight), 0, 1)?;
+            txn.increment(t.customer_key(customer), 1, 1)?;
+            txn.put(
+                t.reservation_key(flight, seat),
+                Value::row(&[customer as i64, 300, 0]),
+            )?;
+            txn.put(
+                t.customer_res_key(customer),
+                Value::row(&[flight as i64, seat as i64]),
+            )?;
+        }
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::NR_FLIGHT, move |txn, args| {
+        let (flight, seat, customer) = get_fsc(args)?;
+        verify_window(txn, &t, flight, seat, probes, seats_per_flight)?;
+        if txn.get(t.reservation_key(flight, seat))?.is_some() {
+            return Err(no_op_vote());
+        }
+        txn.increment(t.flight_key(flight), 0, 1)?;
+        txn.put(
+            t.reservation_key(flight, seat),
+            Value::row(&[customer as i64, 300, 0]),
+        )?;
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::NR_CUSTOMER, move |txn, args| {
+        let (flight, seat, customer) = get_fsc(args)?;
+        txn.increment(t.customer_key(customer), 1, 1)?;
+        txn.put(
+            t.customer_res_key(customer),
+            Value::row(&[flight as i64, seat as i64]),
+        )?;
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::DR_SINGLE, move |txn, args| {
+        let (flight, seat, customer) = get_fsc(args)?;
+        let owner = txn
+            .get(t.reservation_key(flight, seat))?
+            .and_then(|row| row.field(0));
+        if owner == Some(customer as i64) {
+            txn.increment(t.flight_key(flight), 0, -1)?;
+            txn.increment(t.customer_key(customer), 1, -1)?;
+            txn.delete(t.reservation_key(flight, seat))?;
+            txn.delete(t.customer_res_key(customer))?;
+        }
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::DR_FLIGHT, move |txn, args| {
+        let (flight, seat, customer) = get_fsc(args)?;
+        let owner = txn
+            .get(t.reservation_key(flight, seat))?
+            .and_then(|row| row.field(0));
+        if owner != Some(customer as i64) {
+            return Err(no_op_vote());
+        }
+        txn.increment(t.flight_key(flight), 0, -1)?;
+        txn.delete(t.reservation_key(flight, seat))?;
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::DR_CUSTOMER, move |txn, args| {
+        let (_, _, customer) = get_fsc(args)?;
+        txn.increment(t.customer_key(customer), 1, -1)?;
+        txn.delete(t.customer_res_key(customer))?;
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::UR_SINGLE, move |txn, args| {
+        let (flight, seat, customer) = get_fsc(args)?;
+        let _ = txn.get(t.flight_key(flight))?;
+        let _ = txn.get(t.customer_key(customer))?;
+        if let Some(row) = txn.get(t.reservation_key(flight, seat))? {
+            txn.put(t.reservation_key(flight, seat), row.with_field(2, 1))?;
+        }
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::UR_FLIGHT, move |txn, args| {
+        let (flight, seat, _) = get_fsc(args)?;
+        let _ = txn.get(t.flight_key(flight))?;
+        match txn.get(t.reservation_key(flight, seat))? {
+            Some(row) => {
+                txn.put(t.reservation_key(flight, seat), row.with_field(2, 1))?;
+                Ok(Value::Null)
+            }
+            None => Err(no_op_vote()),
+        }
+    });
+    // Read-only customer part: fetch the profile, write nothing.
+    registry.register_fn(procs::UR_CUSTOMER, move |txn, args| {
+        let (_, _, customer) = get_fsc(args)?;
+        Ok(txn.get(t.customer_key(customer))?.unwrap_or(Value::Null))
+    });
+    registry.register_fn(procs::UPDATE_CUSTOMER, move |txn, args| {
+        let (_, _, customer) = get_fsc(args)?;
+        txn.increment(t.customer_key(customer), 0, 10)?;
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::FIND_FLIGHTS, move |txn, args| {
+        let (flight, _, _) = get_fsc(args)?;
+        let _ = txn.get(t.flight_info_key(flight))?;
+        let _ = txn.get(t.flight_key(flight))?;
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::FIND_OPEN_SEATS, move |txn, args| {
+        let (flight, seat, _) = get_fsc(args)?;
+        let _ = txn.get(t.flight_key(flight))?;
+        verify_window(txn, &t, flight, seat, probes, seats_per_flight)?;
+        Ok(Value::Null)
+    });
 }
 
 /// SEATS over a flight-sharded cluster.
@@ -129,15 +334,77 @@ impl ClusterSeats {
         }
     }
 
+    /// The flight-part/customer-part decomposition shared by the three
+    /// reservation transactions.
+    #[allow(clippy::too_many_arguments)]
+    fn reservation_parts(
+        &self,
+        cluster: &Cluster,
+        ty: TxnTypeId,
+        flight_proc: ProcId,
+        customer_proc: ProcId,
+        flight: u32,
+        seat: u32,
+        customer: u32,
+    ) -> Vec<ShardPart> {
+        vec![
+            ShardPart::new(
+                cluster.shard_of(flight as u64),
+                ProcedureCall::new(ty).with_instance_seed(flight as u64),
+                flight_proc,
+                fsc_args(flight, seat, customer),
+            ),
+            ShardPart::new(
+                cluster.shard_of(customer as u64),
+                ProcedureCall::new(ty).with_instance_seed(customer as u64),
+                customer_proc,
+                fsc_args(flight, seat, customer),
+            ),
+        ]
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_reservation(
+        &self,
+        cluster: &Cluster,
+        ty: TxnTypeId,
+        single_proc: ProcId,
+        flight_proc: ProcId,
+        customer_proc: ProcId,
+        flight: u32,
+        seat: u32,
+        customer: u32,
+    ) -> WorkUnit {
+        let flight_shard = cluster.shard_of(flight as u64);
+        let customer_shard = cluster.shard_of(customer as u64);
+        if flight_shard == customer_shard {
+            let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
+            let result = cluster
+                .execute_single(
+                    flight_shard,
+                    single_proc,
+                    &call,
+                    fsc_args(flight, seat, customer),
+                    self.inner.max_attempts,
+                )
+                .map(|(_, a)| a);
+            return finish(ty, result, self.inner.max_attempts);
+        }
+        self.run_multi(cluster, ty, || {
+            self.reservation_parts(
+                cluster,
+                ty,
+                flight_proc,
+                customer_proc,
+                flight,
+                seat,
+                customer,
+            )
+        })
+    }
+
     /// new_reservation for a specific flight/seat/customer, routed. Public
     /// so deterministic tests can drive exact cross-shard interleavings.
-    ///
-    /// Unlike the reduced single-node transaction, the cluster variant
-    /// verifies the seat choice against the surrounding seat-map window
-    /// first (the full SEATS NewReservation re-checks availability before
-    /// booking), so a conflicted attempt wastes real work — the same
-    /// contention shape that makes TPC-C's new_order collapse under a
-    /// single hot shard.
     pub fn new_reservation(
         &self,
         cluster: &Cluster,
@@ -145,74 +412,16 @@ impl ClusterSeats {
         seat: u32,
         customer: u32,
     ) -> WorkUnit {
-        let t = self.inner.tables;
-        let probes = self.inner.params.open_seat_probes;
-        let seats_per_flight = self.inner.params.seats_per_flight;
-        let flight_shard = cluster.shard_of(flight as u64);
-        let customer_shard = cluster.shard_of(customer as u64);
-        let ty = types::NEW_RESERVATION;
-        let verify_window = move |txn: &mut tebaldi_core::Txn<'_>| -> tebaldi_cc::CcResult<()> {
-            for probe in 0..probes {
-                let s = (seat + probe * 37) % seats_per_flight;
-                let _ = txn.get(t.reservation_key(flight, s))?;
-            }
-            Ok(())
-        };
-        if flight_shard == customer_shard {
-            let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
-            let result = cluster
-                .execute_single(flight_shard, &call, self.inner.max_attempts, |txn| {
-                    verify_window(txn)?;
-                    let existing = txn.get(t.reservation_key(flight, seat))?;
-                    if existing.is_none() {
-                        txn.increment(t.flight_key(flight), 0, 1)?;
-                        txn.increment(t.customer_key(customer), 1, 1)?;
-                        txn.put(
-                            t.reservation_key(flight, seat),
-                            Value::row(&[customer as i64, 300, 0]),
-                        )?;
-                        txn.put(
-                            t.customer_res_key(customer),
-                            Value::row(&[flight as i64, seat as i64]),
-                        )?;
-                    }
-                    Ok(())
-                })
-                .map(|(_, a)| a);
-            return finish(ty, result, self.inner.max_attempts);
-        }
-        self.run_multi(cluster, ty, || {
-            vec![
-                ShardPart::new(
-                    flight_shard,
-                    ProcedureCall::new(ty).with_instance_seed(flight as u64),
-                    Box::new(move |txn| {
-                        verify_window(txn)?;
-                        if txn.get(t.reservation_key(flight, seat))?.is_some() {
-                            return Err(no_op_vote());
-                        }
-                        txn.increment(t.flight_key(flight), 0, 1)?;
-                        txn.put(
-                            t.reservation_key(flight, seat),
-                            Value::row(&[customer as i64, 300, 0]),
-                        )?;
-                        Ok(Value::Null)
-                    }),
-                ),
-                ShardPart::new(
-                    customer_shard,
-                    ProcedureCall::new(ty).with_instance_seed(customer as u64),
-                    Box::new(move |txn| {
-                        txn.increment(t.customer_key(customer), 1, 1)?;
-                        txn.put(
-                            t.customer_res_key(customer),
-                            Value::row(&[flight as i64, seat as i64]),
-                        )?;
-                        Ok(Value::Null)
-                    }),
-                ),
-            ]
-        })
+        self.run_reservation(
+            cluster,
+            types::NEW_RESERVATION,
+            procs::NR_SINGLE,
+            procs::NR_FLIGHT,
+            procs::NR_CUSTOMER,
+            flight,
+            seat,
+            customer,
+        )
     }
 
     /// delete_reservation for a specific flight/seat/customer, routed. The
@@ -224,56 +433,16 @@ impl ClusterSeats {
         seat: u32,
         customer: u32,
     ) -> WorkUnit {
-        let t = self.inner.tables;
-        let flight_shard = cluster.shard_of(flight as u64);
-        let customer_shard = cluster.shard_of(customer as u64);
-        let ty = types::DELETE_RESERVATION;
-        if flight_shard == customer_shard {
-            let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
-            let result = cluster
-                .execute_single(flight_shard, &call, self.inner.max_attempts, |txn| {
-                    let owner = txn
-                        .get(t.reservation_key(flight, seat))?
-                        .and_then(|row| row.field(0));
-                    if owner == Some(customer as i64) {
-                        txn.increment(t.flight_key(flight), 0, -1)?;
-                        txn.increment(t.customer_key(customer), 1, -1)?;
-                        txn.delete(t.reservation_key(flight, seat))?;
-                        txn.delete(t.customer_res_key(customer))?;
-                    }
-                    Ok(())
-                })
-                .map(|(_, a)| a);
-            return finish(ty, result, self.inner.max_attempts);
-        }
-        self.run_multi(cluster, ty, || {
-            vec![
-                ShardPart::new(
-                    flight_shard,
-                    ProcedureCall::new(ty).with_instance_seed(flight as u64),
-                    Box::new(move |txn| {
-                        let owner = txn
-                            .get(t.reservation_key(flight, seat))?
-                            .and_then(|row| row.field(0));
-                        if owner != Some(customer as i64) {
-                            return Err(no_op_vote());
-                        }
-                        txn.increment(t.flight_key(flight), 0, -1)?;
-                        txn.delete(t.reservation_key(flight, seat))?;
-                        Ok(Value::Null)
-                    }),
-                ),
-                ShardPart::new(
-                    customer_shard,
-                    ProcedureCall::new(ty).with_instance_seed(customer as u64),
-                    Box::new(move |txn| {
-                        txn.increment(t.customer_key(customer), 1, -1)?;
-                        txn.delete(t.customer_res_key(customer))?;
-                        Ok(Value::Null)
-                    }),
-                ),
-            ]
-        })
+        self.run_reservation(
+            cluster,
+            types::DELETE_RESERVATION,
+            procs::DR_SINGLE,
+            procs::DR_FLIGHT,
+            procs::DR_CUSTOMER,
+            flight,
+            seat,
+            customer,
+        )
     }
 
     /// update_reservation: verifies the customer's profile (frequent-flyer
@@ -290,50 +459,16 @@ impl ClusterSeats {
         seat: u32,
         customer: u32,
     ) -> WorkUnit {
-        let t = self.inner.tables;
-        let flight_shard = cluster.shard_of(flight as u64);
-        let customer_shard = cluster.shard_of(customer as u64);
-        let ty = types::UPDATE_RESERVATION;
-        if flight_shard == customer_shard {
-            let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
-            let result = cluster
-                .execute_single(flight_shard, &call, self.inner.max_attempts, |txn| {
-                    let _ = txn.get(t.flight_key(flight))?;
-                    let _ = txn.get(t.customer_key(customer))?;
-                    if let Some(row) = txn.get(t.reservation_key(flight, seat))? {
-                        txn.put(t.reservation_key(flight, seat), row.with_field(2, 1))?;
-                    }
-                    Ok(())
-                })
-                .map(|(_, a)| a);
-            return finish(ty, result, self.inner.max_attempts);
-        }
-        self.run_multi(cluster, ty, || {
-            vec![
-                ShardPart::new(
-                    flight_shard,
-                    ProcedureCall::new(ty).with_instance_seed(flight as u64),
-                    Box::new(move |txn| {
-                        let _ = txn.get(t.flight_key(flight))?;
-                        match txn.get(t.reservation_key(flight, seat))? {
-                            Some(row) => {
-                                txn.put(t.reservation_key(flight, seat), row.with_field(2, 1))?;
-                                Ok(Value::Null)
-                            }
-                            None => Err(no_op_vote()),
-                        }
-                    }),
-                ),
-                // Read-only customer part: fetch the profile, write nothing.
-                ShardPart::new(
-                    customer_shard,
-                    ProcedureCall::new(ty).with_instance_seed(customer as u64),
-                    Box::new(move |txn| {
-                        Ok(txn.get(t.customer_key(customer))?.unwrap_or(Value::Null))
-                    }),
-                ),
-            ]
-        })
+        self.run_reservation(
+            cluster,
+            types::UPDATE_RESERVATION,
+            procs::UR_SINGLE,
+            procs::UR_FLIGHT,
+            procs::UR_CUSTOMER,
+            flight,
+            seat,
+            customer,
+        )
     }
 
     fn run_single_shard(
@@ -344,42 +479,33 @@ impl ClusterSeats {
         seat: u32,
         customer: u32,
     ) -> WorkUnit {
-        let t = self.inner.tables;
-        let probes = self.inner.params.open_seat_probes;
-        let seats_per_flight = self.inner.params.seats_per_flight;
-        let result = match ty {
-            ty if ty == types::UPDATE_CUSTOMER => {
-                let shard = cluster.shard_of(customer as u64);
-                let call = ProcedureCall::new(ty).with_instance_seed(customer as u64);
-                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
-                    txn.increment(t.customer_key(customer), 0, 10)?;
-                    Ok(())
-                })
-            }
-            ty if ty == types::FIND_FLIGHTS => {
-                let shard = cluster.shard_of(flight as u64);
-                let call = ProcedureCall::new(ty).with_instance_seed(flight as u64);
-                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
-                    let _ = txn.get(t.flight_info_key(flight))?;
-                    let _ = txn.get(t.flight_key(flight))?;
-                    Ok(())
-                })
-            }
-            _ => {
-                let shard = cluster.shard_of(flight as u64);
-                let call =
-                    ProcedureCall::new(types::FIND_OPEN_SEATS).with_instance_seed(flight as u64);
-                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
-                    let _ = txn.get(t.flight_key(flight))?;
-                    for probe in 0..probes {
-                        let s = (seat + probe * 37) % seats_per_flight;
-                        let _ = txn.get(t.reservation_key(flight, s))?;
-                    }
-                    Ok(())
-                })
-            }
+        let (shard, proc, call) = match ty {
+            ty if ty == types::UPDATE_CUSTOMER => (
+                cluster.shard_of(customer as u64),
+                procs::UPDATE_CUSTOMER,
+                ProcedureCall::new(ty).with_instance_seed(customer as u64),
+            ),
+            ty if ty == types::FIND_FLIGHTS => (
+                cluster.shard_of(flight as u64),
+                procs::FIND_FLIGHTS,
+                ProcedureCall::new(ty).with_instance_seed(flight as u64),
+            ),
+            _ => (
+                cluster.shard_of(flight as u64),
+                procs::FIND_OPEN_SEATS,
+                ProcedureCall::new(types::FIND_OPEN_SEATS).with_instance_seed(flight as u64),
+            ),
         };
-        finish(ty, result.map(|(_, a)| a), self.inner.max_attempts)
+        let result = cluster
+            .execute_single(
+                shard,
+                proc,
+                &call,
+                fsc_args(flight, seat, customer),
+                self.inner.max_attempts,
+            )
+            .map(|(_, a)| a);
+        finish(ty, result, self.inner.max_attempts)
     }
 }
 
@@ -443,6 +569,15 @@ impl ClusterWorkload for ClusterSeats {
         cluster_procedures(&self.inner)
     }
 
+    fn register_procedures(&self, registry: &mut ProcRegistry) {
+        register_procedures(
+            registry,
+            self.inner.tables,
+            self.inner.params.open_seat_probes,
+            self.inner.params.seats_per_flight,
+        );
+    }
+
     fn load(&self, cluster: &Cluster) {
         let params = &self.inner.params;
         let t = &self.inner.tables;
@@ -497,6 +632,23 @@ mod tests {
     use tebaldi_cluster::ClusterConfig;
     use tebaldi_storage::ReadSpec::LatestCommitted;
 
+    fn build_cluster(
+        workload: &ClusterSeats,
+        config: ClusterConfig,
+        spec: tebaldi_cc::CcTreeSpec,
+    ) -> Cluster {
+        let mut registry = ProcRegistry::new();
+        ClusterWorkload::register_procedures(workload, &mut registry);
+        let cluster = Cluster::builder(config)
+            .procedures(ClusterWorkload::procedures(workload))
+            .shard_procedures(registry)
+            .cc_spec(spec)
+            .build()
+            .unwrap();
+        ClusterWorkload::load(workload, &cluster);
+        cluster
+    }
+
     #[test]
     fn cluster_seats_commits_on_two_shards() {
         let workload: Arc<dyn ClusterWorkload> =
@@ -522,12 +674,11 @@ mod tests {
     #[test]
     fn shards_own_disjoint_flights_and_customers() {
         let workload = ClusterSeats::new(Seats::new(SeatsParams::tiny()));
-        let cluster = Cluster::builder(ClusterConfig::for_tests(2))
-            .procedures(ClusterWorkload::procedures(&workload))
-            .cc_spec(configs::monolithic_2pl())
-            .build()
-            .unwrap();
-        ClusterWorkload::load(&workload, &cluster);
+        let cluster = build_cluster(
+            &workload,
+            ClusterConfig::for_tests(2),
+            configs::monolithic_2pl(),
+        );
         let t = &workload.inner.tables;
         for f in 0..workload.inner.params.flights {
             let owner = cluster.shard_of(f as u64);
@@ -559,12 +710,7 @@ mod tests {
         let workload = ClusterSeats::new(Seats::new(SeatsParams::tiny()));
         let mut config = ClusterConfig::for_tests(2);
         config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
-        let cluster = Cluster::builder(config)
-            .procedures(ClusterWorkload::procedures(&workload))
-            .cc_spec(configs::monolithic_2pl())
-            .build()
-            .unwrap();
-        ClusterWorkload::load(&workload, &cluster);
+        let cluster = build_cluster(&workload, config, configs::monolithic_2pl());
         let t = workload.inner.tables;
         let flight = 0u32;
         let customer = (0..workload.inner.params.customers)
@@ -606,12 +752,11 @@ mod tests {
     #[test]
     fn cross_shard_reservation_books_and_releases_atomically() {
         let workload = ClusterSeats::new(Seats::new(SeatsParams::tiny()));
-        let cluster = Cluster::builder(ClusterConfig::for_tests(2))
-            .procedures(ClusterWorkload::procedures(&workload))
-            .cc_spec(configs::monolithic_2pl())
-            .build()
-            .unwrap();
-        ClusterWorkload::load(&workload, &cluster);
+        let cluster = build_cluster(
+            &workload,
+            ClusterConfig::for_tests(2),
+            configs::monolithic_2pl(),
+        );
         let t = workload.inner.tables;
         // A flight and a customer on different shards.
         let flight = 0u32;

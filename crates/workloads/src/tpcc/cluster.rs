@@ -15,8 +15,13 @@
 //!   read-only*, so every participant votes `ReadOnly` and the 2PC commits
 //!   with zero prepare and zero decision records.
 //!
-//! Multi-shard invocations decompose into a home part plus per-shard remote
-//! parts and run under the coordinator's two-phase commit.
+//! Every invocation crosses the shard boundary as data: the transaction
+//! bodies are registered once per cluster (see [`register_procedures`])
+//! under the ids in [`procs`], and each call ships a
+//! [`ProcId`](tebaldi_core::ProcId) plus an encoded argument buffer — so
+//! the same workload runs unchanged over the in-process transport and over
+//! TCP. Multi-shard invocations decompose into a home part plus per-shard
+//! remote parts and run under the coordinator's two-phase commit.
 
 use super::schema::types;
 use super::{transactions, Tpcc};
@@ -25,14 +30,227 @@ use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
-use tebaldi_cc::ProcedureSet;
+use tebaldi_cc::{CcError, CcResult, ProcedureSet};
 use tebaldi_cluster::{Cluster, ShardPart};
-use tebaldi_core::ProcedureCall;
+use tebaldi_core::{ProcRegistry, ProcedureCall};
+use tebaldi_storage::codec::{ByteReader, ByteWriter, CodecError};
 use tebaldi_storage::{TxnTypeId, Value};
 
 /// One new_order line: (item, supplying warehouse, quantity).
 type OrderLine = (u32, u32, i64);
+
+/// The cluster-TPC-C shard-procedure ids (the workload owns the 100..120
+/// range).
+pub mod procs {
+    use tebaldi_core::ProcId;
+
+    /// Full single-shard new_order.
+    pub const NEW_ORDER: ProcId = ProcId(100);
+    /// Home part of a cross-shard new_order: everything except the stock
+    /// updates of remote supplying warehouses.
+    pub const NEW_ORDER_HOME: ProcId = ProcId(101);
+    /// Remote part of a cross-shard new_order: the stock updates owned by
+    /// one remote shard.
+    pub const NEW_ORDER_REMOTE_STOCK: ProcId = ProcId(102);
+    /// Full single-shard payment.
+    pub const PAYMENT: ProcId = ProcId(103);
+    /// Home part of a cross-shard payment (warehouse/district totals +
+    /// history row).
+    pub const PAYMENT_HOME: ProcId = ProcId(104);
+    /// Customer part of a cross-shard payment (balance update on the
+    /// customer's shard).
+    pub const PAYMENT_CUSTOMER: ProcId = ProcId(105);
+    /// Full order_status (read-only).
+    pub const ORDER_STATUS: ProcId = ProcId(106);
+    /// Home-desk part of a cross-shard order_status: reads the local
+    /// warehouse/district reference rows (read-only vote).
+    pub const ORDER_STATUS_DESK: ProcId = ProcId(107);
+    /// Single-shard delivery.
+    pub const DELIVERY: ProcId = ProcId(108);
+    /// Single-shard stock_level (read-only).
+    pub const STOCK_LEVEL: ProcId = ProcId(109);
+    /// Single-shard hot_item.
+    pub const HOT_ITEM: ProcId = ProcId(110);
+}
+
+fn bad_args(err: CodecError) -> CcError {
+    CcError::Internal(format!("malformed tpcc args: {err}"))
+}
+
+fn put_lines(w: &mut ByteWriter, lines: &[OrderLine]) {
+    w.put_u32(lines.len() as u32);
+    for &(item, supply_w, qty) in lines {
+        w.put_u32(item);
+        w.put_u32(supply_w);
+        w.put_i64(qty);
+    }
+}
+
+fn get_lines(r: &mut ByteReader<'_>) -> Result<Vec<OrderLine>, CodecError> {
+    let n = r.len_prefix()?;
+    let mut lines = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        lines.push((r.u32()?, r.u32()?, r.i64()?));
+    }
+    Ok(lines)
+}
+
+fn new_order_args(input: &transactions::NewOrderInput) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(input.w);
+    w.put_u32(input.d);
+    w.put_u32(input.c);
+    put_lines(&mut w, &input.lines);
+    w.into_bytes()
+}
+
+fn get_new_order_input(r: &mut ByteReader<'_>) -> Result<transactions::NewOrderInput, CodecError> {
+    Ok(transactions::NewOrderInput {
+        w: r.u32()?,
+        d: r.u32()?,
+        c: r.u32()?,
+        lines: get_lines(r)?,
+    })
+}
+
+/// Home-part args: the full input plus the set of supplying warehouses
+/// whose stock rows live on the home shard. The set is computed router-side
+/// by the caller, so the shard body needs no routing knowledge at all.
+fn new_order_home_args(input: &transactions::NewOrderInput, local_ws: &[u32]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(input.w);
+    w.put_u32(input.d);
+    w.put_u32(input.c);
+    put_lines(&mut w, &input.lines);
+    w.put_u32(local_ws.len() as u32);
+    for &lw in local_ws {
+        w.put_u32(lw);
+    }
+    w.into_bytes()
+}
+
+fn remote_stock_args(lines: &[OrderLine]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    put_lines(&mut w, lines);
+    w.into_bytes()
+}
+
+fn payment_args(input: &transactions::PaymentInput, c_w: u32, c_d: u32) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(input.w);
+    w.put_u32(input.d);
+    w.put_u32(input.c);
+    w.put_i64(input.amount);
+    w.put_u32(input.history_seq);
+    w.put_u32(c_w);
+    w.put_u32(c_d);
+    w.into_bytes()
+}
+
+fn get_payment_input(
+    r: &mut ByteReader<'_>,
+) -> Result<(transactions::PaymentInput, u32, u32), CodecError> {
+    let input = transactions::PaymentInput {
+        w: r.u32()?,
+        d: r.u32()?,
+        c: r.u32()?,
+        amount: r.i64()?,
+        history_seq: r.u32()?,
+    };
+    let c_w = r.u32()?;
+    let c_d = r.u32()?;
+    Ok((input, c_w, c_d))
+}
+
+/// Registers the cluster-TPC-C transaction bodies under the ids in
+/// [`procs`]. `keys` is the workload's key-builder set; the bodies capture
+/// it by value.
+pub fn register_procedures(registry: &mut ProcRegistry, keys: super::schema::TpccKeys) {
+    registry.register_fn(procs::NEW_ORDER, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let input = get_new_order_input(&mut r).map_err(bad_args)?;
+        transactions::new_order(txn, &keys, &input).map(|o_id| Value::Int(o_id as i64))
+    });
+    registry.register_fn(procs::NEW_ORDER_HOME, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let input = get_new_order_input(&mut r).map_err(bad_args)?;
+        let n = r.len_prefix().map_err(bad_args)?;
+        let mut local_ws = Vec::with_capacity(n.min(64));
+        for _ in 0..n {
+            local_ws.push(r.u32().map_err(bad_args)?);
+        }
+        transactions::new_order_filtered(txn, &keys, &input, |supply_w| {
+            local_ws.contains(&supply_w)
+        })
+        .map(|o_id| Value::Int(o_id as i64))
+    });
+    registry.register_fn(procs::NEW_ORDER_REMOTE_STOCK, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let lines = get_lines(&mut r).map_err(bad_args)?;
+        transactions::new_order_remote_stock(txn, &keys, &lines).map(|()| Value::Null)
+    });
+    registry.register_fn(procs::PAYMENT, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let (input, c_w, c_d) = get_payment_input(&mut r).map_err(bad_args)?;
+        transactions::payment_local(txn, &keys, &input, c_w, c_d).map(|()| Value::Null)
+    });
+    registry.register_fn(procs::PAYMENT_HOME, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let (input, _, _) = get_payment_input(&mut r).map_err(bad_args)?;
+        transactions::payment_home(txn, &keys, &input).map(|()| Value::Null)
+    });
+    registry.register_fn(procs::PAYMENT_CUSTOMER, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let (input, c_w, c_d) = get_payment_input(&mut r).map_err(bad_args)?;
+        transactions::payment_customer(txn, &keys, c_w, c_d, input.c, input.amount)
+            .map(|()| Value::Null)
+    });
+    registry.register_fn(procs::ORDER_STATUS, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let input = transactions::OrderStatusInput {
+            w: r.u32().map_err(bad_args)?,
+            d: r.u32().map_err(bad_args)?,
+            c: r.u32().map_err(bad_args)?,
+        };
+        transactions::order_status(txn, &keys, &input).map(Value::Int)
+    });
+    registry.register_fn(procs::ORDER_STATUS_DESK, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let w = r.u32().map_err(bad_args)?;
+        let d = r.u32().map_err(bad_args)?;
+        let _ = txn.get(keys.warehouse(w))?;
+        let _ = txn.get(keys.district(w, d))?;
+        Ok(Value::Null)
+    });
+    registry.register_fn(procs::DELIVERY, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let input = transactions::DeliveryInput {
+            w: r.u32().map_err(bad_args)?,
+            carrier: r.i64().map_err(bad_args)?,
+            districts: r.u32().map_err(bad_args)?,
+        };
+        transactions::delivery(txn, &keys, &input).map(|n| Value::Int(n as i64))
+    });
+    registry.register_fn(procs::STOCK_LEVEL, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let input = transactions::StockLevelInput {
+            w: r.u32().map_err(bad_args)?,
+            d: r.u32().map_err(bad_args)?,
+            threshold: r.i64().map_err(bad_args)?,
+            recent_orders: r.u32().map_err(bad_args)?,
+        };
+        transactions::stock_level(txn, &keys, &input).map(|n| Value::Int(n as i64))
+    });
+    registry.register_fn(procs::HOT_ITEM, move |txn, args| {
+        let mut r = ByteReader::new(args);
+        let input = transactions::HotItemInput {
+            w: r.u32().map_err(bad_args)?,
+            d: r.u32().map_err(bad_args)?,
+            recent_orders: r.u32().map_err(bad_args)?,
+        };
+        transactions::hot_item(txn, &keys, &input).map(|n| Value::Int(n as i64))
+    });
+}
 
 /// TPC-C over a warehouse-sharded cluster.
 pub struct ClusterTpcc {
@@ -102,13 +320,16 @@ impl ClusterTpcc {
             }
         }
 
-        let keys = self.inner.keys;
         let call = ProcedureCall::new(types::NEW_ORDER);
+        let input = transactions::NewOrderInput { w, d, c, lines };
         if remote.is_empty() {
-            let input = transactions::NewOrderInput { w, d, c, lines };
-            let result = cluster.execute_single(home, &call, self.inner.max_attempts, |txn| {
-                transactions::new_order(txn, &keys, &input)
-            });
+            let result = cluster.execute_single(
+                home,
+                procs::NEW_ORDER,
+                &call,
+                new_order_args(&input),
+                self.inner.max_attempts,
+            );
             return unit(
                 types::NEW_ORDER,
                 result.map(|(_, a)| a),
@@ -116,34 +337,32 @@ impl ClusterTpcc {
             );
         }
 
-        let remote = Arc::new(remote);
-        let input = Arc::new(transactions::NewOrderInput { w, d, c, lines });
+        // Supplying warehouses whose stock stays on the home shard — the
+        // router decides here, once, and the shard bodies stay
+        // routing-agnostic.
+        let mut local_ws: Vec<u32> = input
+            .lines
+            .iter()
+            .map(|line| line.1)
+            .filter(|&sw| cluster.shard_of(sw as u64) == home)
+            .collect();
+        local_ws.sort_unstable();
+        local_ws.dedup();
+
         let result = cluster.execute_multi_with_retry(self.inner.max_attempts, || {
             let mut parts = Vec::with_capacity(1 + remote.len());
-            let home_keys = keys;
-            let home_input = Arc::clone(&input);
-            let home_cluster_router = cluster.router().clone();
-            let home_shard = home;
             parts.push(ShardPart::new(
                 home,
                 call.clone(),
-                Box::new(move |txn| {
-                    transactions::new_order_filtered(txn, &home_keys, &home_input, |supply_w| {
-                        home_cluster_router.shard_of(supply_w as u64) == home_shard
-                    })
-                    .map(|o_id| Value::Int(o_id as i64))
-                }),
+                procs::NEW_ORDER_HOME,
+                new_order_home_args(&input, &local_ws),
             ));
             for (&shard, shard_lines) in remote.iter() {
-                let part_keys = keys;
-                let part_lines = shard_lines.clone();
                 parts.push(ShardPart::new(
                     shard,
                     call.clone(),
-                    Box::new(move |txn| {
-                        transactions::new_order_remote_stock(txn, &part_keys, &part_lines)
-                            .map(|()| Value::Null)
-                    }),
+                    procs::NEW_ORDER_REMOTE_STOCK,
+                    remote_stock_args(shard_lines),
                 ));
             }
             parts
@@ -176,14 +395,17 @@ impl ClusterTpcc {
             (w, d)
         };
 
-        let keys = self.inner.keys;
         let call = ProcedureCall::new(types::PAYMENT);
         let home = cluster.shard_of(w as u64);
         let customer_shard = cluster.shard_of(c_w as u64);
         if home == customer_shard {
-            let result = cluster.execute_single(home, &call, self.inner.max_attempts, |txn| {
-                transactions::payment_local(txn, &keys, &input, c_w, c_d)
-            });
+            let result = cluster.execute_single(
+                home,
+                procs::PAYMENT,
+                &call,
+                payment_args(&input, c_w, c_d),
+                self.inner.max_attempts,
+            );
             return unit(
                 types::PAYMENT,
                 result.map(|(_, a)| a),
@@ -192,30 +414,18 @@ impl ClusterTpcc {
         }
 
         let result = cluster.execute_multi_with_retry(self.inner.max_attempts, || {
-            let home_keys = keys;
-            let customer_keys = keys;
             vec![
                 ShardPart::new(
                     home,
                     call.clone(),
-                    Box::new(move |txn| {
-                        transactions::payment_home(txn, &home_keys, &input).map(|()| Value::Null)
-                    }),
+                    procs::PAYMENT_HOME,
+                    payment_args(&input, c_w, c_d),
                 ),
                 ShardPart::new(
                     customer_shard,
                     call.clone(),
-                    Box::new(move |txn| {
-                        transactions::payment_customer(
-                            txn,
-                            &customer_keys,
-                            c_w,
-                            c_d,
-                            c,
-                            input.amount,
-                        )
-                        .map(|()| Value::Null)
-                    }),
+                    procs::PAYMENT_CUSTOMER,
+                    payment_args(&input, c_w, c_d),
                 ),
             ]
         });
@@ -246,15 +456,24 @@ impl ClusterTpcc {
         } else {
             (w, d)
         };
-        let keys = self.inner.keys;
         let call = ProcedureCall::new(types::ORDER_STATUS);
         let home = cluster.shard_of(w as u64);
         let customer_shard = cluster.shard_of(c_w as u64);
-        let input = transactions::OrderStatusInput { w: c_w, d: c_d, c };
+        let status_args = || {
+            let mut buf = ByteWriter::new();
+            buf.put_u32(c_w);
+            buf.put_u32(c_d);
+            buf.put_u32(c);
+            buf.into_bytes()
+        };
         if home == customer_shard {
-            let result = cluster.execute_single(home, &call, self.inner.max_attempts, |txn| {
-                transactions::order_status(txn, &keys, &input).map(|_| ())
-            });
+            let result = cluster.execute_single(
+                home,
+                procs::ORDER_STATUS,
+                &call,
+                status_args(),
+                self.inner.max_attempts,
+            );
             return unit(
                 types::ORDER_STATUS,
                 result.map(|(_, a)| a),
@@ -262,24 +481,19 @@ impl ClusterTpcc {
             );
         }
         let result = cluster.execute_multi_with_retry(self.inner.max_attempts, || {
-            let home_keys = keys;
-            let remote_keys = keys;
+            let desk_args = {
+                let mut buf = ByteWriter::new();
+                buf.put_u32(w);
+                buf.put_u32(d);
+                buf.into_bytes()
+            };
             vec![
-                ShardPart::new(
-                    home,
-                    call.clone(),
-                    Box::new(move |txn| {
-                        let _ = txn.get(home_keys.warehouse(w))?;
-                        let _ = txn.get(home_keys.district(w, d))?;
-                        Ok(Value::Null)
-                    }),
-                ),
+                ShardPart::new(home, call.clone(), procs::ORDER_STATUS_DESK, desk_args),
                 ShardPart::new(
                     customer_shard,
                     call.clone(),
-                    Box::new(move |txn| {
-                        transactions::order_status(txn, &remote_keys, &input).map(Value::Int)
-                    }),
+                    procs::ORDER_STATUS,
+                    status_args(),
                 ),
             ]
         });
@@ -293,40 +507,48 @@ impl ClusterTpcc {
     fn run_local(&self, cluster: &Cluster, ty: TxnTypeId, w: u32, rng: &mut StdRng) -> WorkUnit {
         let params = &self.inner.params;
         let d = rng.gen_range(0..params.districts_per_warehouse);
-        let keys = &self.inner.keys;
         let shard = cluster.shard_of(w as u64);
         let call = ProcedureCall::new(ty);
-        let result = match ty {
+        let result: CcResult<(Value, usize)> = match ty {
             t if t == types::DELIVERY => {
-                let input = transactions::DeliveryInput {
-                    w,
-                    carrier: rng.gen_range(1..10),
-                    districts: params.districts_per_warehouse,
-                };
-                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
-                    transactions::delivery(txn, keys, &input).map(|_| ())
-                })
+                let mut buf = ByteWriter::new();
+                buf.put_u32(w);
+                buf.put_i64(rng.gen_range(1..10));
+                buf.put_u32(params.districts_per_warehouse);
+                cluster.execute_single(
+                    shard,
+                    procs::DELIVERY,
+                    &call,
+                    buf.into_bytes(),
+                    self.inner.max_attempts,
+                )
             }
             t if t == types::HOT_ITEM => {
-                let input = transactions::HotItemInput {
-                    w,
-                    d,
-                    recent_orders: 10,
-                };
-                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
-                    transactions::hot_item(txn, keys, &input).map(|_| ())
-                })
+                let mut buf = ByteWriter::new();
+                buf.put_u32(w);
+                buf.put_u32(d);
+                buf.put_u32(10);
+                cluster.execute_single(
+                    shard,
+                    procs::HOT_ITEM,
+                    &call,
+                    buf.into_bytes(),
+                    self.inner.max_attempts,
+                )
             }
             _ => {
-                let input = transactions::StockLevelInput {
-                    w,
-                    d,
-                    threshold: 50,
-                    recent_orders: 20,
-                };
-                cluster.execute_single(shard, &call, self.inner.max_attempts, |txn| {
-                    transactions::stock_level(txn, keys, &input).map(|_| ())
-                })
+                let mut buf = ByteWriter::new();
+                buf.put_u32(w);
+                buf.put_u32(d);
+                buf.put_i64(50);
+                buf.put_u32(20);
+                cluster.execute_single(
+                    shard,
+                    procs::STOCK_LEVEL,
+                    &call,
+                    buf.into_bytes(),
+                    self.inner.max_attempts,
+                )
             }
         };
         unit(ty, result.map(|(_, a)| a), self.inner.max_attempts)
@@ -377,6 +599,10 @@ impl ClusterWorkload for ClusterTpcc {
         cluster_procedures(&self.inner.keys.tables, self.inner.params.with_hot_item)
     }
 
+    fn register_procedures(&self, registry: &mut ProcRegistry) {
+        register_procedures(registry, self.inner.keys);
+    }
+
     fn load(&self, cluster: &Cluster) {
         for shard in 0..cluster.shard_count() {
             let db = cluster.shard(shard);
@@ -403,6 +629,7 @@ mod tests {
     use super::super::{configs, schema::TpccParams};
     use super::*;
     use crate::driver::{bench_cluster_config, BenchOptions};
+    use std::sync::Arc;
     use tebaldi_cluster::ClusterConfig;
 
     #[test]
@@ -430,8 +657,11 @@ mod tests {
     #[test]
     fn shards_own_disjoint_warehouses() {
         let workload = ClusterTpcc::new(Tpcc::new(TpccParams::tiny()));
+        let mut registry = ProcRegistry::new();
+        ClusterWorkload::register_procedures(&workload, &mut registry);
         let cluster = tebaldi_cluster::Cluster::builder(ClusterConfig::for_tests(2))
             .procedures(ClusterWorkload::procedures(&workload))
+            .shard_procedures(registry)
             .cc_spec(configs::monolithic_2pl())
             .build()
             .unwrap();

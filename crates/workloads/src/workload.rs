@@ -65,6 +65,13 @@ pub trait ClusterWorkload: Send + Sync {
     /// Static procedure descriptions, installed on every shard.
     fn procedures(&self) -> ProcedureSet;
 
+    /// Registers the workload's per-shard transaction bodies (the
+    /// [`ShardProcedure`](tebaldi_core::ShardProcedure)s its invocations
+    /// name by [`ProcId`](tebaldi_core::ProcId)). Called once at cluster
+    /// setup; the bodies are installed on every shard, so invocations only
+    /// ship ids and encoded arguments — never closures.
+    fn register_procedures(&self, registry: &mut tebaldi_core::ProcRegistry);
+
     /// Populates every shard with its partition of the initial state.
     fn load(&self, cluster: &tebaldi_cluster::Cluster);
 

@@ -2,19 +2,29 @@
 //! transactions on the fast path and a cross-shard transfer through the
 //! two-phase-commit coordinator.
 //!
+//! Every shard interaction is *data*: a registered procedure id plus an
+//! encoded argument buffer ships over the shard transport (the in-process
+//! mailbox here; see `remote_shard.rs` for the same calls over TCP).
+//!
 //! ```text
 //! cargo run --release --example cluster_quickstart
 //! ```
 
 use std::sync::Arc;
 use tebaldi_suite::cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
-use tebaldi_suite::cluster::{Cluster, ClusterConfig, ShardPart};
-use tebaldi_suite::core::ProcedureCall;
+use tebaldi_suite::cluster::{procs, Cluster, ClusterConfig};
+use tebaldi_suite::core::{ProcId, ProcedureCall};
+use tebaldi_suite::storage::codec::ByteReader;
 use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
 
 const ACCOUNTS: TableId = TableId(0);
 const TRANSFER: TxnTypeId = TxnTypeId(0);
 const N_ACCOUNTS: u64 = 64;
+
+/// A workload-registered procedure: a same-shard transfer (two increments
+/// in one transaction body). Registered once at cluster setup; invocations
+/// only ship its id and arguments.
+const LOCAL_TRANSFER: ProcId = ProcId(1);
 
 fn main() {
     // Describe the workload: one transaction type writing the accounts
@@ -27,11 +37,25 @@ fn main() {
     ));
 
     // Four shards, each a full Tebaldi database with its own 2PL tree;
-    // account ids are the partition keys (modulo routing).
+    // account ids are the partition keys (modulo routing). The transaction
+    // bodies are registered here — the shard boundary itself only ever
+    // sees serializable ShardRequest values.
     let cluster = Arc::new(
         Cluster::builder(ClusterConfig::for_tests(4))
             .procedures(procedures)
             .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER]))
+            .shard_procedure(LOCAL_TRANSFER, |txn, args| {
+                let mut r = ByteReader::new(args);
+                let decode = |e: tebaldi_suite::storage::codec::CodecError| {
+                    tebaldi_suite::cc::CcError::Internal(e.to_string())
+                };
+                let from = r.u64().map_err(decode)?;
+                let to = r.u64().map_err(decode)?;
+                let amount = r.i64().map_err(decode)?;
+                txn.increment(Key::simple(ACCOUNTS, from), 0, -amount)?;
+                txn.increment(Key::simple(ACCOUNTS, to), 0, amount)
+                    .map(Value::Int)
+            })
             .build()
             .expect("cluster build"),
     );
@@ -46,40 +70,49 @@ fn main() {
 
     // --- Single-shard fast path -------------------------------------------
     // Accounts 8 and 12 both map to shard 0: the call delegates straight to
-    // that shard's four-phase protocol, no coordination involved.
+    // that shard's existing four-phase protocol, no coordination involved.
     assert!(cluster.classify([8u64, 12u64]).is_single());
     let shard = cluster.shard_of(8);
+    let mut args = tebaldi_suite::storage::codec::ByteWriter::new();
+    args.put_u64(8);
+    args.put_u64(12);
+    args.put_i64(50);
     let (balance, _aborts) = cluster
-        .execute_single(shard, &ProcedureCall::new(TRANSFER), 10, |txn| {
-            txn.increment(Key::simple(ACCOUNTS, 8), 0, -50)?;
-            txn.increment(Key::simple(ACCOUNTS, 12), 0, 50)
-        })
+        .execute_single(
+            shard,
+            LOCAL_TRANSFER,
+            &ProcedureCall::new(TRANSFER),
+            args.into_bytes(),
+            10,
+        )
         .expect("single-shard transfer");
-    println!("single-shard transfer on shard {shard}: account 12 now {balance}");
+    println!(
+        "single-shard transfer on shard {shard}: account 12 now {:?}",
+        balance
+    );
 
     // --- Cross-shard two-phase commit -------------------------------------
     // Accounts 1 and 2 live on different shards: the debit and the credit
     // prepare on their shards in parallel, the coordinator logs the commit
-    // decision durably, then both shards commit.
+    // decision durably, then both shards commit. The builtin KV increment
+    // procedure turns each leg into a pure-data part.
     let routing = cluster.classify([1u64, 2u64]);
     println!("accounts 1 and 2 route as {routing:?}");
     let values = cluster
         .execute_multi(vec![
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(1),
                 ProcedureCall::new(TRANSFER),
-                Box::new(|txn| {
-                    txn.increment(Key::simple(ACCOUNTS, 1), 0, -200)
-                        .map(Value::Int)
-                }),
+                Key::simple(ACCOUNTS, 1),
+                0,
+                -200,
             ),
-            ShardPart::new(
+            procs::increment_part(
                 cluster.shard_of(2),
                 ProcedureCall::new(TRANSFER),
-                Box::new(|txn| {
-                    txn.increment(Key::simple(ACCOUNTS, 2), 0, 200)
-                        .map(Value::Int)
-                }),
+                Key::simple(ACCOUNTS, 2),
+                0,
+                200,
             ),
         ])
         .expect("cross-shard transfer");
@@ -91,11 +124,9 @@ fn main() {
             let account = i % N_ACCOUNTS;
             cluster.submit(
                 cluster.shard_of(account),
+                procs::KV_INCREMENT,
                 ProcedureCall::new(TRANSFER),
-                Box::new(move |txn| {
-                    txn.increment(Key::simple(ACCOUNTS, account), 0, 1)
-                        .map(Value::Int)
-                }),
+                procs::increment_args(Key::simple(ACCOUNTS, account), 0, 1),
                 10,
             )
         })

@@ -253,9 +253,12 @@ mod seats_oversell {
     /// same invariants across shards.
     pub fn run_clustered(ops: &[HotFlightOp], threads: usize) {
         let workload = Arc::new(ClusterSeats::new(Seats::new(params())));
+        let mut registry = tebaldi_suite::core::ProcRegistry::new();
+        ClusterWorkload::register_procedures(&*workload, &mut registry);
         let cluster = Arc::new(
             Cluster::builder(ClusterConfig::for_tests(2))
                 .procedures(cluster_procedures(&workload.inner))
+                .shard_procedures(registry)
                 .cc_spec(configs::monolithic_ssi())
                 .build()
                 .unwrap(),
@@ -320,8 +323,11 @@ mod seats_oversell {
         let workload = ClusterSeats::new(Seats::new(params()));
         let mut config = ClusterConfig::for_tests(2);
         config.db_config.durability = DurabilityMode::Synchronous;
+        let mut registry = tebaldi_suite::core::ProcRegistry::new();
+        ClusterWorkload::register_procedures(&workload, &mut registry);
         let cluster = Cluster::builder(config)
             .procedures(cluster_procedures(&workload.inner))
+            .shard_procedures(registry)
             .cc_spec(configs::monolithic_ssi())
             .build()
             .unwrap();
@@ -330,20 +336,31 @@ mod seats_oversell {
 
         // Write the rows the invariants read through the WAL (loads bypass
         // it, so only logged state survives the crash).
+        use tebaldi_suite::cluster::procs as kv;
         for f in 0..params().flights {
             let shard = cluster.shard_of(f as u64);
             let call = ProcedureCall::new(types::NEW_RESERVATION).with_instance_seed(f as u64);
             cluster
-                .execute_single(shard, &call, 10, |txn| txn.increment(t.flight_key(f), 0, 0))
+                .execute_single(
+                    shard,
+                    kv::KV_INCREMENT,
+                    &call,
+                    kv::increment_args(t.flight_key(f), 0, 0),
+                    10,
+                )
                 .unwrap();
         }
         for c in 0..CUSTOMERS {
             let shard = cluster.shard_of(c as u64);
             let call = ProcedureCall::new(types::UPDATE_CUSTOMER).with_instance_seed(c as u64);
             cluster
-                .execute_single(shard, &call, 10, |txn| {
-                    txn.increment(t.customer_key(c), 1, 0)
-                })
+                .execute_single(
+                    shard,
+                    kv::KV_INCREMENT,
+                    &call,
+                    kv::increment_args(t.customer_key(c), 1, 0),
+                    10,
+                )
                 .unwrap();
         }
 

@@ -278,8 +278,11 @@ mod cluster_seats_recovery {
         let mut config = ClusterConfig::for_tests(SHARDS);
         config.db_config.durability = mode;
         config.partitioning = test_partitioning();
+        let mut registry = tebaldi_suite::core::ProcRegistry::new();
+        ClusterWorkload::register_procedures(&workload, &mut registry);
         let cluster = Cluster::builder(config)
             .procedures(cluster_procedures(&workload.inner))
+            .shard_procedures(registry)
             .cc_spec(configs::monolithic_2pl())
             .build()
             .unwrap();
@@ -318,9 +321,10 @@ mod cluster_seats_recovery {
             cluster
                 .execute_single(
                     shard,
+                    tebaldi_suite::cluster::procs::KV_INCREMENT,
                     &ProcedureCall::new(types::UPDATE_CUSTOMER),
+                    tebaldi_suite::cluster::procs::increment_args(key, 0, 0),
                     10,
-                    |txn| txn.increment(key, 0, 0),
                 )
                 .unwrap();
         }

@@ -358,10 +358,24 @@ mod cluster_common {
 mod cluster_suite {
     use super::cluster_common::{merged_global_history, test_partitioning};
     use super::*;
-    use tebaldi_suite::cluster::{recover_cluster, Cluster, ClusterConfig, ShardPart};
-    use tebaldi_suite::core::DurabilityMode;
+    use tebaldi_suite::cluster::{procs, recover_cluster, Cluster, ClusterConfig};
+    use tebaldi_suite::core::{DurabilityMode, ProcId};
+    use tebaldi_suite::storage::codec::{ByteReader, ByteWriter};
 
     const SHARDS: usize = 4;
+
+    /// Test-registered shard procedure: a same-shard transfer (two
+    /// increments in one body). Cross-shard transfers use the builtin KV
+    /// increment parts instead.
+    const LOCAL_TRANSFER: ProcId = ProcId(900);
+
+    fn local_transfer_args(from: u64, to: u64, amount: i64) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(from);
+        w.put_u64(to);
+        w.put_i64(amount);
+        w.into_bytes()
+    }
 
     fn build_cluster_with(kind: CcKind) -> Cluster {
         let mut config = ClusterConfig::for_tests(SHARDS);
@@ -372,6 +386,18 @@ mod cluster_suite {
         let cluster = Cluster::builder(config)
             .procedures(procedures())
             .cc_spec(CcTreeSpec::monolithic(kind, vec![TRANSFER, AUDIT]))
+            .shard_procedure(LOCAL_TRANSFER, |txn, args| {
+                let mut r = ByteReader::new(args);
+                let decode = |e: tebaldi_suite::storage::codec::CodecError| {
+                    tebaldi_suite::cc::CcError::Internal(e.to_string())
+                };
+                let from = r.u64().map_err(decode)?;
+                let to = r.u64().map_err(decode)?;
+                let amount = r.i64().map_err(decode)?;
+                txn.increment(Key::simple(ACCOUNTS_TABLE, from), 0, -amount)?;
+                txn.increment(Key::simple(ACCOUNTS_TABLE, to), 0, amount)
+                    .map(Value::Int)
+            })
             .build()
             .unwrap();
         for account in 0..N_ACCOUNTS {
@@ -388,29 +414,30 @@ mod cluster_suite {
         let from_shard = cluster.shard_of(from);
         let to_shard = cluster.shard_of(to);
         if from_shard == to_shard {
-            let _ = cluster.execute_single(from_shard, &ProcedureCall::new(TRANSFER), 30, |txn| {
-                txn.increment(Key::simple(ACCOUNTS_TABLE, from), 0, -amount)?;
-                txn.increment(Key::simple(ACCOUNTS_TABLE, to), 0, amount)
-            });
+            let _ = cluster.execute_single(
+                from_shard,
+                LOCAL_TRANSFER,
+                &ProcedureCall::new(TRANSFER),
+                local_transfer_args(from, to, amount),
+                30,
+            );
             return;
         }
         let _ = cluster.execute_multi_with_retry(30, || {
             vec![
-                ShardPart::new(
+                procs::increment_part(
                     from_shard,
                     ProcedureCall::new(TRANSFER),
-                    Box::new(move |txn| {
-                        txn.increment(Key::simple(ACCOUNTS_TABLE, from), 0, -amount)
-                            .map(Value::Int)
-                    }),
+                    Key::simple(ACCOUNTS_TABLE, from),
+                    0,
+                    -amount,
                 ),
-                ShardPart::new(
+                procs::increment_part(
                     to_shard,
                     ProcedureCall::new(TRANSFER),
-                    Box::new(move |txn| {
-                        txn.increment(Key::simple(ACCOUNTS_TABLE, to), 0, amount)
-                            .map(Value::Int)
-                    }),
+                    Key::simple(ACCOUNTS_TABLE, to),
+                    0,
+                    amount,
                 ),
             ]
         });
@@ -520,9 +547,13 @@ mod cluster_suite {
         for account in 0..N_ACCOUNTS {
             let shard = cluster.shard_of(account);
             cluster
-                .execute_single(shard, &ProcedureCall::new(TRANSFER), 10, |txn| {
-                    txn.increment(Key::simple(ACCOUNTS_TABLE, account), 0, 0)
-                })
+                .execute_single(
+                    shard,
+                    procs::KV_INCREMENT,
+                    &ProcedureCall::new(TRANSFER),
+                    procs::increment_args(Key::simple(ACCOUNTS_TABLE, account), 0, 0),
+                    10,
+                )
                 .unwrap();
         }
         for shard in 0..SHARDS {
@@ -646,8 +677,11 @@ mod cluster_seats_suite {
             CcKind::TwoPl => configs::monolithic_2pl(),
             _ => configs::monolithic_ssi(),
         };
+        let mut registry = tebaldi_suite::core::ProcRegistry::new();
+        ClusterWorkload::register_procedures(workload, &mut registry);
         let cluster = Cluster::builder(config)
             .procedures(ClusterWorkload::procedures(workload))
+            .shard_procedures(registry)
             .cc_spec(spec)
             .build()
             .unwrap();

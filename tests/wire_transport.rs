@@ -1,0 +1,265 @@
+//! Wire-format and transport robustness tests.
+//!
+//! The shard-RPC boundary must be total: every encodable
+//! `ShardRequest`/`ShardResponse` round-trips bit-exactly, and *no* byte
+//! sequence — truncated, oversized, or random garbage — may panic the
+//! decoder. A garbage frame costs one connection (and aborts the waiting
+//! transaction), never the shard.
+
+use proptest::prelude::*;
+use tebaldi_suite::cc::CcError;
+use tebaldi_suite::cluster::wire;
+use tebaldi_suite::cluster::{ShardRequest, ShardResponse, ShardStatsReply, Vote};
+use tebaldi_suite::core::{ProcId, ProcedureCall};
+use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
+
+/// Deterministically expands a seed tuple into a request covering every
+/// variant, with value-dependent payloads.
+fn request_from_seed((variant, a, b): (u32, u64, u64)) -> ShardRequest {
+    let call = ProcedureCall::new(TxnTypeId((a % 17) as u32))
+        .with_instance_seed(b)
+        .with_promises(
+            (0..(a % 4))
+                .map(|i| Key::composite(TableId((b % 5) as u32), &[i as u32, (a % 99) as u32]))
+                .collect(),
+        );
+    let args: Vec<u8> = (0..(b % 32)).map(|i| (i as u8).wrapping_mul(31)).collect();
+    match variant % 7 {
+        0 => ShardRequest::Execute {
+            proc: ProcId((a % 1000) as u32),
+            call,
+            args,
+            max_attempts: (b % 50) as u32 + 1,
+        },
+        1 => ShardRequest::Prepare {
+            global: a.wrapping_mul(b),
+            proc: ProcId((b % 1000) as u32),
+            call,
+            args,
+        },
+        2 => ShardRequest::Commit { global: a },
+        3 => ShardRequest::CommitOnePhase { global: b },
+        4 => ShardRequest::Abort { global: a ^ b },
+        5 => ShardRequest::Stats,
+        _ => ShardRequest::Flush,
+    }
+}
+
+/// Deterministically expands a seed tuple into a result covering every
+/// response and error variant.
+fn result_from_seed((variant, a, b): (u32, u64, u64)) -> Result<ShardResponse, CcError> {
+    let value = match a % 5 {
+        0 => Value::Null,
+        1 => Value::Int(b as i64 - 1000),
+        2 => Value::row(&[(a as i64), -(b as i64), 7]),
+        3 => Value::str("wire-payload"),
+        _ => Value::Bytes(bytes::Bytes::from(vec![(a % 251) as u8; (b % 24) as usize])),
+    };
+    match variant % 8 {
+        0 => Ok(ShardResponse::Executed {
+            value,
+            aborts: (b % 30) as u32,
+        }),
+        1 => Ok(ShardResponse::Prepared {
+            value,
+            vote: if a % 2 == 0 {
+                Vote::ReadOnly
+            } else {
+                Vote::ReadWrite
+            },
+        }),
+        2 => Ok(ShardResponse::Decided),
+        3 => Ok(ShardResponse::Stats(ShardStatsReply {
+            committed: a,
+            aborted: b,
+            flushes: a ^ b,
+            in_doubt: a % 7,
+        })),
+        4 => Ok(ShardResponse::Flushed),
+        5 => Err(CcError::Conflict {
+            mechanism: "seats-workload",
+            reason: "reservation no-op",
+        }),
+        6 => Err(CcError::Internal(format!("remote failure {a}"))),
+        _ => Err(CcError::Requested),
+    }
+}
+
+proptest! {
+    /// encode→decode equality for random requests, including the frame
+    /// layer.
+    #[test]
+    fn shard_requests_roundtrip_through_frames(
+        seeds in proptest::collection::vec((0u32..7, 0u64..1_000_000, 0u64..1_000_000), 1..24),
+        req_id in 0u64..1_000_000_000,
+    ) {
+        for seed in seeds {
+            let request = request_from_seed(seed);
+            let payload = wire::encode_request(req_id, &request);
+            // Through the frame layer: write, read back, decode.
+            let mut buf = Vec::new();
+            wire::write_frame(&mut buf, &payload).unwrap();
+            let mut cursor = std::io::Cursor::new(buf);
+            let framed = wire::read_frame(&mut cursor).unwrap().unwrap();
+            let (id, back) = wire::decode_request(&framed).unwrap();
+            prop_assert_eq!(id, req_id);
+            prop_assert_eq!(back, request);
+        }
+    }
+
+    /// encode→decode equality for random responses and errors.
+    #[test]
+    fn shard_results_roundtrip(
+        seeds in proptest::collection::vec((0u32..8, 0u64..1_000_000, 0u64..1_000_000), 1..24),
+        req_id in 0u64..1_000_000_000,
+    ) {
+        for seed in seeds {
+            let result = result_from_seed(seed);
+            let payload = wire::encode_result(req_id, &result);
+            let (id, back) = wire::decode_result(&payload).unwrap();
+            prop_assert_eq!(id, req_id);
+            prop_assert_eq!(back, result);
+        }
+    }
+
+    /// Decoding arbitrary garbage never panics — it returns an error (or,
+    /// by astronomical luck, a valid message), and truncating a valid
+    /// payload at any point yields a clean error too.
+    #[test]
+    fn garbage_and_truncated_payloads_never_panic(
+        garbage in proptest::collection::vec(0u32..256, 0..64),
+        seed in (0u32..7, 0u64..1_000_000, 0u64..1_000_000),
+    ) {
+        let bytes: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
+        let _ = wire::decode_request(&bytes);
+        let _ = wire::decode_result(&bytes);
+        // Truncations of a valid request payload: always a clean error.
+        let payload = wire::encode_request(7, &request_from_seed(seed));
+        for cut in 0..payload.len() {
+            prop_assert!(wire::decode_request(&payload[..cut]).is_err());
+        }
+    }
+}
+
+mod tcp_cluster {
+    use tebaldi_suite::cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+    use tebaldi_suite::cluster::{procs, Cluster, ClusterConfig, TransportKind};
+    use tebaldi_suite::core::ProcedureCall;
+    use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
+
+    const ACCOUNTS: TableId = TableId(0);
+    const TRANSFER: TxnTypeId = TxnTypeId(0);
+
+    fn build(shards: usize) -> Cluster {
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TRANSFER,
+            "transfer",
+            vec![(ACCOUNTS, AccessMode::Write)],
+        ));
+        let mut config = ClusterConfig::for_tests(shards);
+        config.transport = TransportKind::Tcp;
+        config.db_config.durability = tebaldi_suite::core::DurabilityMode::Synchronous;
+        let cluster = Cluster::builder(config)
+            .procedures(procedures)
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER]))
+            .build()
+            .unwrap();
+        for account in 0..16u64 {
+            cluster.load(account, Key::simple(ACCOUNTS, account), Value::Int(100));
+        }
+        cluster
+    }
+
+    /// A full 2PC over real sockets: prepares, durable decision, commits —
+    /// and the wire counters prove the traffic actually crossed the
+    /// transport.
+    #[test]
+    fn cross_shard_transfer_over_tcp_counts_wire_traffic() {
+        let cluster = build(2);
+        let values = cluster
+            .execute_multi(vec![
+                procs::increment_part(
+                    cluster.shard_of(1),
+                    ProcedureCall::new(TRANSFER),
+                    Key::simple(ACCOUNTS, 1),
+                    0,
+                    -40,
+                ),
+                procs::increment_part(
+                    cluster.shard_of(2),
+                    ProcedureCall::new(TRANSFER),
+                    Key::simple(ACCOUNTS, 2),
+                    0,
+                    40,
+                ),
+            ])
+            .unwrap();
+        assert_eq!(values, vec![Value::Int(60), Value::Int(140)]);
+        assert_eq!(cluster.in_doubt_count(), 0);
+        let stats = cluster.stats();
+        assert_eq!(stats.coordinator.committed, 1);
+        // 2 prepares + 2 decisions at minimum.
+        assert!(stats.messages_sent >= 4, "got {}", stats.messages_sent);
+        assert!(stats.bytes_on_wire > 0);
+        assert_eq!(stats.decision_ack_timeouts, 0);
+        cluster.shutdown();
+    }
+
+    /// The read-only vote class survives the wire: a get-only part still
+    /// commits at phase one and the commit degenerates to one-phase.
+    #[test]
+    fn vote_classes_survive_the_wire() {
+        let cluster = build(2);
+        let values = cluster
+            .execute_multi(vec![
+                procs::increment_part(
+                    cluster.shard_of(1),
+                    ProcedureCall::new(TRANSFER),
+                    Key::simple(ACCOUNTS, 1),
+                    0,
+                    5,
+                ),
+                procs::get_part(
+                    cluster.shard_of(2),
+                    ProcedureCall::new(TRANSFER),
+                    Key::simple(ACCOUNTS, 2),
+                ),
+            ])
+            .unwrap();
+        assert_eq!(values, vec![Value::Int(105), Value::Int(100)]);
+        let stats = cluster.stats();
+        assert_eq!(stats.read_only_votes, 1);
+        assert_eq!(stats.coordinator.one_phase, 1);
+        assert_eq!(stats.coordinator.decisions_logged, 0);
+        cluster.shutdown();
+    }
+
+    /// Single-shard executions and admin requests also frame correctly.
+    #[test]
+    fn single_shard_and_admin_over_tcp() {
+        let cluster = build(2);
+        let (value, _aborts) = cluster
+            .execute_single(
+                cluster.shard_of(3),
+                procs::KV_INCREMENT,
+                &ProcedureCall::new(TRANSFER),
+                procs::increment_args(Key::simple(ACCOUNTS, 3), 0, 11),
+                10,
+            )
+            .unwrap();
+        assert_eq!(value, Value::Int(111));
+        // Builtin get over the wire.
+        let (value, _) = cluster
+            .execute_single(
+                cluster.shard_of(3),
+                procs::KV_GET,
+                &ProcedureCall::new(TRANSFER),
+                procs::key_args(Key::simple(ACCOUNTS, 3)),
+                10,
+            )
+            .unwrap();
+        assert_eq!(value, Value::Int(111));
+        cluster.shutdown();
+    }
+}
