@@ -35,6 +35,7 @@ struct Row {
     shards: usize,
     clients: usize,
     transport: &'static str,
+    max_inflight: usize,
     throughput: f64,
     committed: u64,
     aborted: u64,
@@ -45,6 +46,9 @@ struct Row {
     flushes: u64,
     flushes_per_commit: f64,
     prepared_lock_window_ns: u64,
+    queue_wait_ns: u64,
+    hardening_ns: u64,
+    pipeline_depth: u64,
     read_only_votes: u64,
     one_phase_commits: u64,
     coalesced_flushes: u64,
@@ -84,10 +88,11 @@ fn main() {
     let clients = if options.quick { 8 } else { 32 };
 
     println!(
-        "{:>7} {:>8} {:>10} {:>11} {:>11} {:>10} {:>12} {:>13}",
+        "{:>7} {:>8} {:>10} {:>7} {:>11} {:>11} {:>10} {:>12} {:>13}",
         "shards",
         "clients",
         "transport",
+        "window",
         "tput(tx/s)",
         "aborts",
         "abort%",
@@ -99,6 +104,10 @@ fn main() {
     // trials per shard count so a single lucky (or starved) window cannot
     // skew the scale-out curve.
     let trials = if options.quick { 1 } else { 5 };
+    // The tcp legs get fewer (but still >1) trials: the wire cost column
+    // needs stability too, at a smaller share of the total runtime.
+    let tcp_trials = if options.quick { 1 } else { 3 };
+    let pipeline_window = 32usize;
 
     let mut rows = Vec::new();
     for &shards in &shard_counts {
@@ -108,11 +117,19 @@ fn main() {
             customers: customers_per_shard * shards as u32,
             open_seat_probes: if options.quick { 10 } else { 30 },
         };
-        // The transport sweep column: the median-of-trials in-process curve
-        // plus one TCP/loopback leg per shard count (wire-cost tracking).
-        for (transport_label, transport, leg_trials) in [
-            ("in-process", TransportKind::InProcess, trials),
-            ("tcp", TransportKind::Tcp, 1usize),
+        // The transport × pipeline-window sweep: the median-of-trials
+        // in-process curve at both windows (1 = the unpipelined baseline),
+        // plus one TCP/loopback leg per window (wire-cost tracking).
+        for (transport_label, transport, max_inflight, leg_trials) in [
+            ("in-process", TransportKind::InProcess, 1usize, trials),
+            (
+                "in-process",
+                TransportKind::InProcess,
+                pipeline_window,
+                trials,
+            ),
+            ("tcp", TransportKind::Tcp, 1, tcp_trials),
+            ("tcp", TransportKind::Tcp, pipeline_window, tcp_trials),
         ] {
             let mut samples: Vec<Row> = Vec::with_capacity(leg_trials);
             for _ in 0..leg_trials {
@@ -125,11 +142,12 @@ fn main() {
                 // throughput.
                 cluster_config.db_config.durability = DurabilityMode::Synchronous;
                 cluster_config.transport = transport;
+                cluster_config.max_inflight_per_shard = max_inflight;
                 if options.quick {
                     cluster_config.workers_per_shard = 2;
                 }
 
-                let label = format!("{shards}-shard/{transport_label}");
+                let label = format!("{shards}-shard/{transport_label}/w{max_inflight}");
                 let bench = options.bench_options(clients, &label);
                 // Build the cluster directly (rather than through
                 // bench_cluster_config) so shard-routing counters can be read
@@ -176,6 +194,7 @@ fn main() {
                     shards,
                     clients,
                     transport: transport_label,
+                    max_inflight,
                     throughput: result.throughput,
                     committed: result.committed,
                     aborted: result.aborted,
@@ -186,6 +205,9 @@ fn main() {
                     flushes: stats.flushes,
                     flushes_per_commit: stats.flushes_per_commit,
                     prepared_lock_window_ns: stats.prepared_lock_window_ns,
+                    queue_wait_ns: stats.prepare_queue_wait_ns,
+                    hardening_ns: stats.prepare_hardening_ns,
+                    pipeline_depth: stats.max_pipeline_depth,
                     read_only_votes: stats.read_only_votes,
                     one_phase_commits: stats.coordinator.one_phase,
                     coalesced_flushes: stats.coalesced_flushes,
@@ -197,10 +219,11 @@ fn main() {
             samples.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
             let row = samples[samples.len() / 2].clone();
             println!(
-                "{:>7} {:>8} {:>10} {} {:>11} {:>9.1}% {:>11.1}% {:>13.2}",
+                "{:>7} {:>8} {:>10} {:>7} {} {:>11} {:>9.1}% {:>11.1}% {:>13.2}",
                 shards,
                 clients,
                 transport_label,
+                max_inflight,
                 fmt_tput(row.throughput),
                 row.aborted,
                 row.abort_rate * 100.0,
@@ -224,17 +247,17 @@ fn main() {
     options.maybe_write_json(&report);
 
     // Scale-out sanity check mirrored by the acceptance criteria: four
-    // shards must clearly beat one shard on this mix.
+    // shards must clearly beat one shard on this mix (unpipelined legs).
     if let (Some(first), Some(four)) = (
         report
             .rows
             .iter()
-            .find(|r| r.shards == 1 && r.transport == "in-process")
+            .find(|r| r.shards == 1 && r.transport == "in-process" && r.max_inflight == 1)
             .map(|r| r.throughput),
         report
             .rows
             .iter()
-            .find(|r| r.shards == 4 && r.transport == "in-process")
+            .find(|r| r.shards == 4 && r.transport == "in-process" && r.max_inflight == 1)
             .map(|r| r.throughput),
     ) {
         println!(
@@ -243,5 +266,26 @@ fn main() {
             fmt_tput(first),
             four / first
         );
+    }
+
+    // Pipeline comparison at 4 shards: the wide window vs. the window-1
+    // baseline on each transport.
+    for transport in ["in-process", "tcp"] {
+        let at = |window: usize| {
+            report
+                .rows
+                .iter()
+                .find(|r| r.shards == 4 && r.transport == transport && r.max_inflight == window)
+        };
+        if let (Some(w1), Some(wide)) = (at(1), at(pipeline_window)) {
+            println!(
+                "pipeline at 4 shards ({transport}): window 1 {} vs window {pipeline_window} {} ({:+.1}%); depth {} -> {}",
+                fmt_tput(w1.throughput),
+                fmt_tput(wide.throughput),
+                (wide.throughput / w1.throughput - 1.0) * 100.0,
+                w1.pipeline_depth,
+                wide.pipeline_depth,
+            );
+        }
     }
 }

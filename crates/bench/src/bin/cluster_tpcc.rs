@@ -23,6 +23,15 @@
 //! loops), and the rows carry `messages_sent`/`bytes_on_wire` so the
 //! transport cost of 2PC is regression-trackable too.
 //!
+//! On top of the commit-path legs, the sweep crosses the **prepare
+//! pipeline window** (`max_inflight_per_shard`): `1` is the unpipelined
+//! baseline (a worker blocks through each prepare's WAL flush —
+//! pre-pipelining behavior), the wide window lets one worker multiplex
+//! many in-flight prepares with their hardening batched in the shard's
+//! completion loop. Rows carry `max_inflight`, `queue_wait_ns`,
+//! `hardening_ns`, and `pipeline_depth` so `prepared_lock_window_ns`
+//! decomposes into execute-wait vs. hardening.
+//!
 //! ```text
 //! cargo run --release --bin cluster_tpcc -- [--quick] [--json PATH]
 //! ```
@@ -46,6 +55,7 @@ struct Row {
     clients: usize,
     commit_path: &'static str,
     transport: &'static str,
+    max_inflight: usize,
     throughput: f64,
     committed: u64,
     aborted: u64,
@@ -56,6 +66,9 @@ struct Row {
     flushes: u64,
     flushes_per_commit: f64,
     prepared_lock_window_ns: u64,
+    queue_wait_ns: u64,
+    hardening_ns: u64,
+    pipeline_depth: u64,
     read_only_votes: u64,
     one_phase_commits: u64,
     coalesced_flushes: u64,
@@ -91,124 +104,153 @@ fn main() {
     let clients = if options.quick { 8 } else { 32 };
 
     println!(
-        "{:>7} {:>8} {:>8} {:>10} {:>11} {:>9} {:>13} {:>12} {:>10}",
+        "{:>7} {:>8} {:>8} {:>10} {:>7} {:>11} {:>9} {:>13} {:>12} {:>6} {:>10}",
         "shards",
         "clients",
         "path",
         "transport",
+        "window",
         "tput(tx/s)",
         "abort%",
         "flush/commit",
-        "window(us)",
+        "lockwin(us)",
+        "depth",
         "msgs"
     );
 
-    // The transport sweep: both commit paths in process, plus the grouped
-    // path over TCP/loopback frames (the wire cost column).
-    let legs: [(&'static str, bool, TransportKind); 3] = [
-        ("legacy", false, TransportKind::InProcess),
-        ("grouped", true, TransportKind::InProcess),
-        ("grouped", true, TransportKind::Tcp),
+    // The sweep: both commit paths in process, the grouped path over
+    // TCP/loopback frames (the wire cost column), and the prepare-pipeline
+    // window crossed over both transports. Window 1 is the unpipelined
+    // baseline (pre-pipelining behavior); the wide window is the pipeline
+    // the acceptance criteria compare against it.
+    let pipeline_window = 32usize;
+    let legs: [(&'static str, bool, TransportKind, usize); 5] = [
+        ("legacy", false, TransportKind::InProcess, 1),
+        ("grouped", true, TransportKind::InProcess, 1),
+        ("grouped", true, TransportKind::InProcess, pipeline_window),
+        ("grouped", true, TransportKind::Tcp, 1),
+        ("grouped", true, TransportKind::Tcp, pipeline_window),
     ];
+    // Short runs on a loaded 1-core box drift hugely run-to-run; report
+    // the median of several trials per leg so one lucky (or starved)
+    // window cannot skew a comparison (the seats sweep does the same).
+    let trials = if options.quick { 1 } else { 3 };
     let mut rows = Vec::new();
     for &shards in &shard_counts {
-        for &(commit_path, group_commit, transport) in &legs {
+        for &(commit_path, group_commit, transport, max_inflight) in &legs {
             let transport_label = match transport {
                 TransportKind::InProcess => "in-process",
                 TransportKind::Tcp => "tcp",
             };
-            // Scale the database with the cluster: eight warehouses per shard.
-            let params = TpccParams {
-                warehouses: warehouses_per_shard * shards as u32,
-                ..TpccParams::default()
-            };
-            let workload_impl = ClusterTpcc::new(Tpcc::new(params))
-                .with_remote_rates(remote_line_pct, remote_payment_pct);
-            let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
-            let mut cluster_config = ClusterConfig::for_benchmarks(shards);
-            cluster_config.db_config.durability = DurabilityMode::Synchronous;
-            cluster_config.db_config.group_commit = group_commit;
-            cluster_config.db_config.read_only_votes = group_commit;
-            cluster_config.transport = transport;
-            if options.quick {
-                cluster_config.workers_per_shard = 2;
-            }
+            let mut samples: Vec<Row> = Vec::with_capacity(trials);
+            for _ in 0..trials {
+                // Scale the database with the cluster: eight warehouses
+                // per shard.
+                let params = TpccParams {
+                    warehouses: warehouses_per_shard * shards as u32,
+                    ..TpccParams::default()
+                };
+                let workload_impl = ClusterTpcc::new(Tpcc::new(params))
+                    .with_remote_rates(remote_line_pct, remote_payment_pct);
+                let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
+                let mut cluster_config = ClusterConfig::for_benchmarks(shards);
+                cluster_config.db_config.durability = DurabilityMode::Synchronous;
+                cluster_config.db_config.group_commit = group_commit;
+                cluster_config.db_config.read_only_votes = group_commit;
+                cluster_config.transport = transport;
+                cluster_config.max_inflight_per_shard = max_inflight;
+                if options.quick {
+                    cluster_config.workers_per_shard = 2;
+                }
 
-            let label = format!("{shards}-shard/{commit_path}/{transport_label}");
-            let bench = options.bench_options(clients, &label);
-            // Build the cluster directly (rather than through
-            // bench_cluster_config) so shard-routing counters can be read
-            // before shutdown.
-            // WAL devices with a realistic write barrier (~an NVMe fsync):
-            // group commit is only measurable when a flush takes time.
-            let flush_latency = std::time::Duration::from_micros(20);
-            let shard_logs: Vec<std::sync::Arc<dyn tebaldi_storage::wal::LogDevice>> = (0..shards)
-                .map(|_| {
+                let label =
+                    format!("{shards}-shard/{commit_path}/{transport_label}/w{max_inflight}");
+                let bench = options.bench_options(clients, &label);
+                // Build the cluster directly (rather than through
+                // bench_cluster_config) so shard-routing counters can be
+                // read before shutdown.
+                // WAL devices with a realistic write barrier (~an NVMe
+                // fsync): group commit is only measurable when a flush
+                // takes time.
+                let flush_latency = std::time::Duration::from_micros(20);
+                let shard_logs: Vec<std::sync::Arc<dyn tebaldi_storage::wal::LogDevice>> = (0
+                    ..shards)
+                    .map(|_| {
+                        std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                            flush_latency,
+                        )) as _
+                    })
+                    .collect();
+                let decision_log: std::sync::Arc<dyn tebaldi_storage::wal::LogDevice> =
                     std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
                         flush_latency,
-                    )) as _
-                })
-                .collect();
-            let decision_log: std::sync::Arc<dyn tebaldi_storage::wal::LogDevice> =
-                std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
-                    flush_latency,
-                ));
-            let mut registry = tebaldi_core::ProcRegistry::new();
-            workload.register_procedures(&mut registry);
-            let cluster = Arc::new(
-                tebaldi_cluster::Cluster::builder(cluster_config)
-                    .procedures(workload.procedures())
-                    .shard_procedures(registry)
-                    .cc_spec(configs::monolithic_ssi())
-                    .shard_logs(shard_logs)
-                    .decision_log(decision_log)
-                    .build()
-                    .expect("cluster build"),
-            );
-            workload.load(&cluster);
-            let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
-            let stats = cluster.stats();
-            cluster.shutdown();
+                    ));
+                let mut registry = tebaldi_core::ProcRegistry::new();
+                workload.register_procedures(&mut registry);
+                let cluster = Arc::new(
+                    tebaldi_cluster::Cluster::builder(cluster_config)
+                        .procedures(workload.procedures())
+                        .shard_procedures(registry)
+                        .cc_spec(configs::monolithic_ssi())
+                        .shard_logs(shard_logs)
+                        .decision_log(decision_log)
+                        .build()
+                        .expect("cluster build"),
+                );
+                workload.load(&cluster);
+                let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
+                let stats = cluster.stats();
+                cluster.shutdown();
 
-            let routed = stats.single_shard + stats.multi_shard;
-            let single_fraction = if routed > 0 {
-                stats.single_shard as f64 / routed as f64
-            } else {
-                1.0
-            };
+                let routed = stats.single_shard + stats.multi_shard;
+                let single_fraction = if routed > 0 {
+                    stats.single_shard as f64 / routed as f64
+                } else {
+                    1.0
+                };
+                samples.push(Row {
+                    shards,
+                    clients,
+                    commit_path,
+                    transport: transport_label,
+                    max_inflight,
+                    throughput: result.throughput,
+                    committed: result.committed,
+                    aborted: result.aborted,
+                    abort_rate: result.abort_rate(),
+                    single_shard_txns: stats.single_shard,
+                    multi_shard_txns: stats.multi_shard,
+                    single_shard_fraction: single_fraction,
+                    flushes: stats.flushes,
+                    flushes_per_commit: stats.flushes_per_commit,
+                    prepared_lock_window_ns: stats.prepared_lock_window_ns,
+                    queue_wait_ns: stats.prepare_queue_wait_ns,
+                    hardening_ns: stats.prepare_hardening_ns,
+                    pipeline_depth: stats.max_pipeline_depth,
+                    read_only_votes: stats.read_only_votes,
+                    one_phase_commits: stats.coordinator.one_phase,
+                    coalesced_flushes: stats.coalesced_flushes,
+                    messages_sent: stats.messages_sent,
+                    bytes_on_wire: stats.bytes_on_wire,
+                });
+            }
+            samples.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+            let row = samples[samples.len() / 2].clone();
             println!(
-                "{:>7} {:>8} {:>8} {:>10} {} {:>8.1}% {:>13.2} {:>12.1} {:>10}",
+                "{:>7} {:>8} {:>8} {:>10} {:>7} {} {:>8.1}% {:>13.2} {:>12.1} {:>6} {:>10}",
                 shards,
                 clients,
                 commit_path,
                 transport_label,
-                fmt_tput(result.throughput),
-                result.abort_rate() * 100.0,
-                stats.flushes_per_commit,
-                stats.prepared_lock_window_ns as f64 / 1_000.0,
-                stats.messages_sent,
+                max_inflight,
+                fmt_tput(row.throughput),
+                row.abort_rate * 100.0,
+                row.flushes_per_commit,
+                row.prepared_lock_window_ns as f64 / 1_000.0,
+                row.pipeline_depth,
+                row.messages_sent,
             );
-            rows.push(Row {
-                shards,
-                clients,
-                commit_path,
-                transport: transport_label,
-                throughput: result.throughput,
-                committed: result.committed,
-                aborted: result.aborted,
-                abort_rate: result.abort_rate(),
-                single_shard_txns: stats.single_shard,
-                multi_shard_txns: stats.multi_shard,
-                single_shard_fraction: single_fraction,
-                flushes: stats.flushes,
-                flushes_per_commit: stats.flushes_per_commit,
-                prepared_lock_window_ns: stats.prepared_lock_window_ns,
-                read_only_votes: stats.read_only_votes,
-                one_phase_commits: stats.coordinator.one_phase,
-                coalesced_flushes: stats.coalesced_flushes,
-                messages_sent: stats.messages_sent,
-                bytes_on_wire: stats.bytes_on_wire,
-            });
+            rows.push(row);
         }
     }
 
@@ -225,12 +267,18 @@ fn main() {
     options.maybe_write_json(&report);
 
     // Commit-path savings mirrored by the acceptance criteria: the grouped
-    // path must cut flushes-per-commit vs. the legacy path at 4 shards.
+    // path must cut flushes-per-commit vs. the legacy path at 4 shards
+    // (window-1 legs: the commit-path comparison predates the pipeline).
     let per_commit = |path: &str| {
         report
             .rows
             .iter()
-            .find(|r| r.shards == 4 && r.commit_path == path && r.transport == "in-process")
+            .find(|r| {
+                r.shards == 4
+                    && r.commit_path == path
+                    && r.transport == "in-process"
+                    && r.max_inflight == 1
+            })
             .map(|r| r.flushes_per_commit)
     };
     if let (Some(legacy), Some(grouped)) = (per_commit("legacy"), per_commit("grouped")) {
@@ -241,11 +289,13 @@ fn main() {
     }
 
     // Scale-out sanity check: more shards must not be slower than one shard
-    // on this mix (grouped path).
+    // on this mix (grouped path, unpipelined baseline legs).
     let grouped_tputs: Vec<f64> = report
         .rows
         .iter()
-        .filter(|r| r.commit_path == "grouped" && r.transport == "in-process")
+        .filter(|r| {
+            r.commit_path == "grouped" && r.transport == "in-process" && r.max_inflight == 1
+        })
         .map(|r| r.throughput)
         .collect();
     if let (Some(&first), Some(best)) = (
@@ -263,22 +313,46 @@ fn main() {
         );
     }
 
-    // Transport cost at 4 shards: grouped path, in-process vs TCP frames.
-    let tput_at = |transport: &str| {
-        report
-            .rows
-            .iter()
-            .find(|r| r.shards == 4 && r.commit_path == "grouped" && r.transport == transport)
-            .map(|r| (r.throughput, r.messages_sent, r.bytes_on_wire))
+    // Transport and pipeline cost at 4 shards on the grouped path.
+    let grouped_at = |transport: &str, window: usize| {
+        report.rows.iter().find(|r| {
+            r.shards == 4
+                && r.commit_path == "grouped"
+                && r.transport == transport
+                && r.max_inflight == window
+        })
     };
-    if let (Some((inproc, _, _)), Some((tcp, msgs, bytes))) =
-        (tput_at("in-process"), tput_at("tcp"))
-    {
+    if let (Some(inproc), Some(tcp)) = (grouped_at("in-process", 1), grouped_at("tcp", 1)) {
         println!(
-            "transport at 4 shards: {} in-process vs {} tcp ({:.0}% of fast path; {msgs} msgs, {bytes} bytes on wire)",
-            fmt_tput(inproc),
-            fmt_tput(tcp),
-            tcp / inproc * 100.0
+            "transport at 4 shards (window 1): {} in-process vs {} tcp ({:.0}% of fast path; {} msgs, {} bytes on wire)",
+            fmt_tput(inproc.throughput),
+            fmt_tput(tcp.throughput),
+            tcp.throughput / inproc.throughput * 100.0,
+            tcp.messages_sent,
+            tcp.bytes_on_wire,
         );
+    }
+    // The pipeline acceptance comparison: the wide window must not regress
+    // the tcp leg vs. the window-1 baseline, and the queue-wait/hardening
+    // decomposition shows where the prepare latency lives.
+    for transport in ["in-process", "tcp"] {
+        if let (Some(w1), Some(wide)) = (
+            grouped_at(transport, 1),
+            grouped_at(transport, pipeline_window),
+        ) {
+            println!(
+                "pipeline at 4 shards ({transport}): window 1 {} vs window {pipeline_window} {} ({:+.1}%); \
+                 depth {} -> {}, queue-wait {:.1}us -> {:.1}us, hardening {:.1}us -> {:.1}us",
+                fmt_tput(w1.throughput),
+                fmt_tput(wide.throughput),
+                (wide.throughput / w1.throughput - 1.0) * 100.0,
+                w1.pipeline_depth,
+                wide.pipeline_depth,
+                w1.queue_wait_ns as f64 / 1_000.0,
+                wide.queue_wait_ns as f64 / 1_000.0,
+                w1.hardening_ns as f64 / 1_000.0,
+                wide.hardening_ns as f64 / 1_000.0,
+            );
+        }
     }
 }

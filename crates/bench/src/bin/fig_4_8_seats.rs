@@ -20,6 +20,13 @@ struct Point {
     abort_rate: f64,
 }
 
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<Point>,
+}
+
 fn main() {
     let options = ExperimentOptions::from_args();
     banner("Figure 4.8", "Performance of SEATS benchmark");
@@ -72,6 +79,10 @@ fn main() {
         println!("{line}");
     }
     println!("(cells are committed transactions per second)");
-    write_trajectory("fig_4_8_seats", &points);
-    options.maybe_write_json(&points);
+    let report = Report {
+        experiment: "fig_4_8_seats",
+        rows: points,
+    };
+    write_trajectory("fig_4_8_seats", &report);
+    options.maybe_write_json(&report.rows);
 }

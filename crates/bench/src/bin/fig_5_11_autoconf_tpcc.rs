@@ -11,7 +11,7 @@ use serde::Serialize;
 use std::sync::Arc;
 use std::time::Duration;
 use tebaldi_autoconf::{run_auto_configuration, AutoConfOptions, EventCollector};
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::{Database, DbConfig};
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
 use tebaldi_workloads::{bench_config, run_benchmark, BenchOptions, Workload};
@@ -23,6 +23,45 @@ struct Output {
     final_throughput: f64,
     manual_throughput: f64,
     final_config: String,
+}
+
+/// One stage of the configuration loop, as a trajectory row.
+#[derive(Serialize)]
+struct Row {
+    stage: String,
+    throughput: f64,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    final_config: String,
+    rows: Vec<Row>,
+}
+
+/// Flattens the loop into stage rows: initial → each iteration → final,
+/// with the manual reference configuration last.
+fn stage_rows(output: &Output) -> Vec<Row> {
+    let mut rows = vec![Row {
+        stage: "initial".to_string(),
+        throughput: output.initial_throughput,
+    }];
+    for (index, &throughput) in output.iteration_throughputs.iter().enumerate() {
+        rows.push(Row {
+            stage: format!("iteration {}", index + 1),
+            throughput,
+        });
+    }
+    rows.push(Row {
+        stage: "final".to_string(),
+        throughput: output.final_throughput,
+    });
+    rows.push(Row {
+        stage: "manual reference".to_string(),
+        throughput: output.manual_throughput,
+    });
+    rows
 }
 
 fn main() {
@@ -108,7 +147,7 @@ fn main() {
         db.current_spec().describe()
     );
 
-    options.maybe_write_json(&Output {
+    let output = Output {
         initial_throughput: report.initial_throughput,
         iteration_throughputs: report
             .iterations
@@ -124,6 +163,15 @@ fn main() {
         final_throughput: report.final_throughput,
         manual_throughput: manual.throughput,
         final_config: db.current_spec().describe(),
-    });
+    };
+    write_trajectory(
+        "fig_5_11_autoconf_tpcc",
+        &Report {
+            experiment: "fig_5_11_autoconf_tpcc",
+            final_config: output.final_config.clone(),
+            rows: stage_rows(&output),
+        },
+    );
+    options.maybe_write_json(&output);
     db.shutdown();
 }

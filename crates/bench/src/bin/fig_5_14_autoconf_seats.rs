@@ -10,7 +10,7 @@ use serde::Serialize;
 use std::sync::Arc;
 use std::time::Duration;
 use tebaldi_autoconf::{run_auto_configuration, AutoConfOptions, EventCollector};
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec};
 use tebaldi_core::{Database, DbConfig};
 use tebaldi_workloads::seats::{configs, types, Seats, SeatsParams};
@@ -22,6 +22,21 @@ struct Output {
     final_throughput: f64,
     manual_throughput: f64,
     final_config: String,
+}
+
+/// One stage of the configuration loop, as a trajectory row.
+#[derive(Serialize)]
+struct Row {
+    stage: &'static str,
+    throughput: f64,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    final_config: String,
+    rows: Vec<Row>,
 }
 
 /// The SEATS instance of the initial configuration (Fig. 5.2).
@@ -139,11 +154,33 @@ fn main() {
         "final tree (Fig. 5.16 analogue):\n{}",
         db.current_spec().describe()
     );
-    options.maybe_write_json(&Output {
+    let output = Output {
         initial_throughput: report.initial_throughput,
         final_throughput: report.final_throughput,
         manual_throughput: manual.throughput,
         final_config: db.current_spec().describe(),
-    });
+    };
+    write_trajectory(
+        "fig_5_14_autoconf_seats",
+        &Report {
+            experiment: "fig_5_14_autoconf_seats",
+            final_config: output.final_config.clone(),
+            rows: vec![
+                Row {
+                    stage: "initial",
+                    throughput: output.initial_throughput,
+                },
+                Row {
+                    stage: "final",
+                    throughput: output.final_throughput,
+                },
+                Row {
+                    stage: "manual reference",
+                    throughput: output.manual_throughput,
+                },
+            ],
+        },
+    );
+    options.maybe_write_json(&output);
     db.shutdown();
 }

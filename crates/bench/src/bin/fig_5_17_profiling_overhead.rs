@@ -7,7 +7,7 @@
 use serde::Serialize;
 use std::sync::Arc;
 use tebaldi_autoconf::{analyze, EventCollector};
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::{Database, DbConfig};
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
 use tebaldi_workloads::{run_benchmark, Workload};
@@ -17,6 +17,13 @@ struct Row {
     setting: String,
     throughput: f64,
     events_collected: usize,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<Row>,
 }
 
 fn run_setting(
@@ -104,5 +111,10 @@ fn main() {
             (1.0 - rows[2].throughput / rows[0].throughput) * 100.0
         );
     }
-    options.maybe_write_json(&rows);
+    let report = Report {
+        experiment: "fig_5_17_profiling_overhead",
+        rows,
+    };
+    write_trajectory("fig_5_17_profiling_overhead", &report);
+    options.maybe_write_json(&report.rows);
 }

@@ -11,7 +11,7 @@
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tebaldi_bench::common::{banner, ExperimentOptions};
+use tebaldi_bench::common::{banner, write_trajectory, ExperimentOptions};
 use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec};
 use tebaldi_core::{Database, DbConfig, ReconfigProtocol};
 use tebaldi_workloads::tpcc::schema::{types, TpccParams};
@@ -27,6 +27,13 @@ struct ProtocolRun {
     reconfig_total_ms: f64,
     reconfig_drained_ms: f64,
     drained_groups: usize,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<ProtocolRun>,
 }
 
 /// The configuration before the third reconfiguration: payment/new_order
@@ -182,5 +189,10 @@ fn main() {
             run.buckets_ms, run.timeline
         );
     }
-    options.maybe_write_json(&runs);
+    let report = Report {
+        experiment: "fig_5_19_reconfig_protocols",
+        rows: runs,
+    };
+    write_trajectory("fig_5_19_reconfig_protocols", &report);
+    options.maybe_write_json(&report.rows);
 }

@@ -11,7 +11,7 @@ use serde::Serialize;
 use std::sync::Arc;
 use tebaldi_autoconf::latency_profiler::{diagnose, sample, LoadLevelSample};
 use tebaldi_autoconf::{analyze, EventCollector};
-use tebaldi_bench::common::{banner, ExperimentOptions};
+use tebaldi_bench::common::{banner, write_trajectory, ExperimentOptions};
 use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec};
 use tebaldi_core::{Database, DbConfig};
 use tebaldi_storage::TxnTypeId;
@@ -24,6 +24,16 @@ struct Output {
     sweep: Vec<SweepPoint>,
     latency_based_suspects: Vec<u32>,
     blocking_profiler_top_edge: Option<(String, String)>,
+}
+
+/// The regression-trajectory file refreshed on every run: the load sweep
+/// as rows, the two techniques' conclusions as metadata.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    latency_based_suspects: Vec<u32>,
+    blocking_profiler_top_edge: Option<(String, String)>,
+    rows: Vec<SweepPoint>,
 }
 
 #[derive(Serialize)]
@@ -139,9 +149,28 @@ fn main() {
     }
     db.shutdown();
 
-    options.maybe_write_json(&Output {
+    let output = Output {
         sweep,
         latency_based_suspects: latency_diag.suspected,
         blocking_profiler_top_edge: top,
-    });
+    };
+    write_trajectory(
+        "fig_5_5_latency_profiling",
+        &Report {
+            experiment: "fig_5_5_latency_profiling",
+            latency_based_suspects: output.latency_based_suspects.clone(),
+            blocking_profiler_top_edge: output.blocking_profiler_top_edge.clone(),
+            rows: output
+                .sweep
+                .iter()
+                .map(|p| SweepPoint {
+                    clients: p.clients,
+                    throughput: p.throughput,
+                    payment_latency_ms: p.payment_latency_ms,
+                    stock_level_latency_ms: p.stock_level_latency_ms,
+                })
+                .collect(),
+        },
+    );
+    options.maybe_write_json(&output);
 }

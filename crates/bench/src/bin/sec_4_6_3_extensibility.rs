@@ -8,7 +8,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
 use tebaldi_workloads::{bench_config, Workload};
@@ -18,6 +18,13 @@ struct Row {
     config: String,
     throughput: f64,
     abort_rate: f64,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<Row>,
 }
 
 fn main() {
@@ -67,5 +74,10 @@ fn main() {
             rows[1].throughput / rows[0].throughput
         );
     }
-    options.maybe_write_json(&rows);
+    let report = Report {
+        experiment: "sec_4_6_3_extensibility",
+        rows,
+    };
+    write_trajectory("sec_4_6_3_extensibility", &report);
+    options.maybe_write_json(&report.rows);
 }

@@ -15,7 +15,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec};
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::tpcc::schema::{types, TpccParams};
@@ -27,6 +27,13 @@ struct Row {
     setting: String,
     throughput: f64,
     abort_rate: f64,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<Row>,
 }
 
 fn no_sl_mix() -> Vec<(tebaldi_storage::TxnTypeId, f64)> {
@@ -111,5 +118,10 @@ fn main() {
             abort_rate: result.abort_rate(),
         });
     }
-    options.maybe_write_json(&rows);
+    let report = Report {
+        experiment: "table_3_1_grouping",
+        rows,
+    };
+    write_trajectory("table_3_1_grouping", &report);
+    options.maybe_write_json(&report.rows);
 }

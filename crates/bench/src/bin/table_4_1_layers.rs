@@ -9,7 +9,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, ExperimentOptions};
+use tebaldi_bench::common::{banner, write_trajectory, ExperimentOptions};
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::micro::OverheadMicro;
 use tebaldi_workloads::{bench_config, Workload};
@@ -19,6 +19,13 @@ struct Row {
     setting: String,
     latency_ms: f64,
     throughput: f64,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<Row>,
 }
 
 fn main() {
@@ -64,5 +71,10 @@ fn main() {
             throughput: peak_result.throughput,
         });
     }
-    options.maybe_write_json(&rows);
+    let report = Report {
+        experiment: "table_4_1_layers",
+        rows,
+    };
+    write_trajectory("table_4_1_layers", &report);
+    options.maybe_write_json(&report.rows);
 }

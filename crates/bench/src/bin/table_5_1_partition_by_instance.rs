@@ -7,7 +7,7 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
+use tebaldi_bench::common::{banner, fmt_tput, write_trajectory, ExperimentOptions};
 use tebaldi_core::DbConfig;
 use tebaldi_workloads::seats::{configs, Seats, SeatsParams};
 use tebaldi_workloads::{bench_config, Workload};
@@ -17,6 +17,13 @@ struct Row {
     setting: String,
     throughput: f64,
     abort_rate: f64,
+}
+
+/// The regression-trajectory file refreshed on every run.
+#[derive(Serialize)]
+struct Report {
+    experiment: &'static str,
+    rows: Vec<Row>,
 }
 
 fn main() {
@@ -69,5 +76,10 @@ fn main() {
             abort_rate: result.abort_rate(),
         });
     }
-    options.maybe_write_json(&rows);
+    let report = Report {
+        experiment: "table_5_1_partition_by_instance",
+        rows,
+    };
+    write_trajectory("table_5_1_partition_by_instance", &report);
+    options.maybe_write_json(&report.rows);
 }

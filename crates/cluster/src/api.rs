@@ -99,6 +99,13 @@ pub struct ShardStatsReply {
     pub flushes: u64,
     /// Prepared transactions currently awaiting a decision.
     pub in_doubt: u64,
+    /// Mean nanoseconds a body-running request spent in the submission
+    /// queue before a worker picked it up (the execute-wait share of the
+    /// prepare latency).
+    pub queue_wait_ns: u64,
+    /// Peak number of simultaneously in-flight bodies (executing or
+    /// awaiting hardening) this shard's pipeline has observed.
+    pub pipeline_depth: u64,
 }
 
 /// A shard's reply to a [`ShardRequest`].

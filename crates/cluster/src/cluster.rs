@@ -51,6 +51,26 @@ pub struct ClusterConfig {
     /// How the coordinator reaches the shards: the in-process mailbox
     /// fast path, or length-prefixed frames over TCP loopback sockets.
     pub transport: TransportKind,
+    /// Upper bound on body-running requests (`Execute`/`Prepare`) one
+    /// shard may have in flight at once — executing on a worker or parked
+    /// in the hardening stage of the prepare pipeline. (A committed
+    /// execute awaiting only its durability acknowledgement releases its
+    /// slot early: it holds no locks and runs no body.) Values greater than
+    /// `workers_per_shard` enable the pipeline: a worker appends a
+    /// prepare's WAL record without waiting for the flush, hands the
+    /// continuation to the shard's completion loop, and starts the next
+    /// body, so one worker multiplexes many in-flight prepares.
+    /// Values less than or equal to `workers_per_shard` (canonically `1`)
+    /// disable pipelining entirely: every request runs start-to-finish on
+    /// its worker and in-flight concurrency is bounded by the worker count
+    /// — exactly the pre-pipelining engine, kept as the baseline leg the
+    /// benches sweep against. With the pipeline on, admission beyond the
+    /// bound queues (backpressure); over TCP the bound also caps
+    /// outstanding body-running requests per shard connection, with
+    /// submissions failing after `prepare_timeout_ms` if the window never
+    /// opens (a wedged shard's full pipeline must not hang queued
+    /// requests).
+    pub max_inflight_per_shard: usize,
 }
 
 impl ClusterConfig {
@@ -66,6 +86,9 @@ impl ClusterConfig {
             partitioning: Partitioning::Range { span: 1 },
             prepare_timeout_ms: 10_000,
             transport: test_transport(),
+            // Pipelined by default under test so the whole cluster group
+            // exercises the deferred-hardening path.
+            max_inflight_per_shard: 32,
         }
     }
 
@@ -79,6 +102,7 @@ impl ClusterConfig {
             partitioning: Partitioning::Range { span: 1 },
             prepare_timeout_ms: 10_000,
             transport: TransportKind::InProcess,
+            max_inflight_per_shard: 32,
         }
     }
 
@@ -96,6 +120,10 @@ pub fn test_transport() -> TransportKind {
         _ => TransportKind::InProcess,
     }
 }
+
+/// The phase-one vote tickets of one multi-shard transaction, tagged with
+/// their shards.
+type VoteTickets = Vec<(usize, Ticket<ShardResult>)>;
 
 /// One shard's part of a multi-shard transaction: pure data — a registered
 /// procedure id plus its encoded arguments — so the same part can cross a
@@ -164,6 +192,20 @@ pub struct ClusterStats {
     /// decision is durable; the shard resolves it on recovery or late
     /// delivery), but each one means a shard wedged after voting.
     pub decision_ack_timeouts: u64,
+    /// Mean nanoseconds a body-running request waited in a shard's
+    /// submission queue before a worker picked it up — the *execute-wait*
+    /// share of the prepare latency (scheduling, not hardware).
+    pub prepare_queue_wait_ns: u64,
+    /// Mean nanoseconds between a pipelined prepare's body completion and
+    /// its durable yes-vote acknowledgement — the *hardening* share (the
+    /// WAL flush the completion loop batches across transactions). Zero
+    /// when the pipeline is disabled (`max_inflight_per_shard = 1`).
+    pub prepare_hardening_ns: u64,
+    /// Peak number of simultaneously in-flight bodies observed on any
+    /// shard (bounded by `max_inflight_per_shard`). Values above
+    /// `workers_per_shard` prove requests overlapped beyond the worker
+    /// count — the pipeline at work.
+    pub max_pipeline_depth: u64,
     /// Coordinator activity.
     pub coordinator: CoordinatorStats,
 }
@@ -304,11 +346,12 @@ impl ClusterBuilder {
                 builder = builder.store(store);
             }
             let db = Arc::new(builder.build()?);
-            shards.push(ShardWorkers::spawn(
+            shards.push(ShardWorkers::spawn_with_window(
                 index,
                 db,
                 self.config.workers_per_shard,
                 Arc::clone(&registry),
+                self.config.max_inflight_per_shard,
             ));
         }
 
@@ -316,7 +359,23 @@ impl ClusterBuilder {
             Some(factory) => factory(&shards)?,
             None => match self.config.transport {
                 TransportKind::InProcess => Arc::new(InProcessTransport::new(shards.clone())),
-                TransportKind::Tcp => Arc::new(crate::tcp::TcpTransport::over_loopback(&shards)?),
+                TransportKind::Tcp => {
+                    // The client-side window only engages when the pipeline
+                    // does: an unpipelined cluster keeps the pre-pipelining
+                    // transport behavior (unbounded outstanding requests,
+                    // concurrency bounded by the shard worker count).
+                    let window =
+                        if self.config.max_inflight_per_shard > self.config.workers_per_shard {
+                            self.config.max_inflight_per_shard
+                        } else {
+                            0
+                        };
+                    Arc::new(crate::tcp::TcpTransport::over_loopback_with_window(
+                        &shards,
+                        window,
+                        self.config.prepare_timeout(),
+                    )?)
+                }
             },
         };
 
@@ -495,17 +554,50 @@ impl Cluster {
     /// straggler resolves it on recovery. Returns the parts' results in
     /// submission order.
     pub fn execute_multi(&self, parts: Vec<ShardPart>) -> CcResult<Vec<Value>> {
+        let global = self.begin_phase_one(&parts)?;
+        let tickets = self.submit_phase_one(global, parts);
+        self.collect_and_decide(global, tickets)
+    }
+
+    /// Overlaps phase one across a whole batch of multi-shard
+    /// transactions: every transaction's prepares are submitted before any
+    /// vote is collected, so one caller thread keeps
+    /// `batch.len() × parts` prepares in the shard pipelines at once
+    /// (bounded by `max_inflight_per_shard` backpressure) instead of
+    /// driving them one 2PC at a time. Votes are then collected and each
+    /// transaction decided independently — a transaction's outcome never
+    /// depends on its batch-mates. Returns one result per input
+    /// transaction, in order.
+    pub fn execute_multi_batch(&self, batch: Vec<Vec<ShardPart>>) -> Vec<CcResult<Vec<Value>>> {
+        // Stage 1: validate + submit every transaction's phase one.
+        let staged: Vec<CcResult<(u64, VoteTickets)>> = batch
+            .into_iter()
+            .map(|parts| {
+                let global = self.begin_phase_one(&parts)?;
+                Ok((global, self.submit_phase_one(global, parts)))
+            })
+            .collect();
+        // Stage 2: collect votes and decide, transaction by transaction.
+        staged
+            .into_iter()
+            .map(|staged| {
+                staged.and_then(|(global, tickets)| self.collect_and_decide(global, tickets))
+            })
+            .collect()
+    }
+
+    /// Validates a multi-shard part list and assigns the global id.
+    fn begin_phase_one(&self, parts: &[ShardPart]) -> CcResult<u64> {
         if parts.len() < 2 {
             return Err(tebaldi_cc::CcError::Internal(
                 "multi-shard execution needs at least two parts; use execute_single".to_string(),
             ));
         }
-        let shards: Vec<usize> = parts.iter().map(|p| p.shard).collect();
         {
             // Two parts on one shard would share the global id in the
             // shard's in-doubt table: the second prepare would silently
             // replace (and thereby abort) the first, breaking atomicity.
-            let mut sorted = shards.clone();
+            let mut sorted: Vec<usize> = parts.iter().map(|p| p.shard).collect();
             sorted.sort_unstable();
             if sorted.windows(2).any(|w| w[0] == w[1]) {
                 return Err(tebaldi_cc::CcError::Internal(
@@ -520,13 +612,14 @@ impl Cluster {
                 )));
             }
         }
-
         self.multi_shard.fetch_add(1, Ordering::Relaxed);
-        let global = self.coordinator.begin_global();
-        let timeout = self.config.prepare_timeout();
+        Ok(self.coordinator.begin_global())
+    }
 
-        // Phase one: prepare everywhere in parallel.
-        let tickets: Vec<(usize, Ticket<ShardResult>)> = parts
+    /// Submits every part's prepare to its shard (phase one, in parallel)
+    /// and returns the vote tickets.
+    fn submit_phase_one(&self, global: u64, parts: Vec<ShardPart>) -> VoteTickets {
+        parts
             .into_iter()
             .map(|part| {
                 (
@@ -542,7 +635,13 @@ impl Cluster {
                     ),
                 )
             })
-            .collect();
+            .collect()
+    }
+
+    /// Collects the phase-one votes of `global` and drives phase two to a
+    /// decision (the second half of [`execute_multi`](Cluster::execute_multi)).
+    fn collect_and_decide(&self, global: u64, tickets: VoteTickets) -> CcResult<Vec<Value>> {
+        let timeout = self.config.prepare_timeout();
         let mut values = Vec::with_capacity(tickets.len());
         let mut failure: Option<tebaldi_cc::CcError> = None;
         // Shards that hold (read-write) or may still come to hold
@@ -745,6 +844,10 @@ impl Cluster {
             coordinator,
             ..ClusterStats::default()
         };
+        let mut queued = 0u64;
+        let mut queue_wait_ns = 0u64;
+        let mut hardened = 0u64;
+        let mut hardening_ns = 0u64;
         for shard in &self.shards {
             let snapshot = shard.db().stats();
             stats.committed += snapshot.committed;
@@ -752,7 +855,15 @@ impl Cluster {
             let durability = shard.db().durability().stats();
             stats.flushes += durability.flushes;
             stats.coalesced_flushes += durability.coalesced;
+            let pipeline = shard.pipeline_stats();
+            queued += pipeline.queued;
+            queue_wait_ns += pipeline.queue_wait_ns;
+            hardened += pipeline.hardened;
+            hardening_ns += pipeline.hardening_ns;
+            stats.max_pipeline_depth = stats.max_pipeline_depth.max(pipeline.max_depth);
         }
+        stats.prepare_queue_wait_ns = queue_wait_ns.checked_div(queued).unwrap_or(0);
+        stats.prepare_hardening_ns = hardening_ns.checked_div(hardened).unwrap_or(0);
         if stats.committed > 0 {
             stats.flushes_per_commit = stats.flushes as f64 / stats.committed as f64;
         }
@@ -1271,6 +1382,128 @@ mod tests {
             1_000,
             "window = decision clock reading - vote clock reading"
         );
+    }
+
+    /// Builds a 2-shard cluster over flush-latency WAL devices so hardening
+    /// takes real time — the only way a single submitting thread finishes a
+    /// batch quickly is the prepare pipeline.
+    fn pipelined_cluster(window: usize) -> Cluster {
+        let mut config = ClusterConfig::for_tests(2);
+        config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        config.workers_per_shard = 1;
+        config.max_inflight_per_shard = window;
+        let flush_latency = std::time::Duration::from_millis(2);
+        let shard_logs: Vec<Arc<dyn LogDevice>> = (0..2)
+            .map(|_| {
+                Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                    flush_latency,
+                )) as _
+            })
+            .collect();
+        builder_with_test_procs(config)
+            .shard_logs(shard_logs)
+            .build()
+            .unwrap()
+    }
+
+    fn transfer_parts(cluster: &Cluster, from: u64, to: u64, amount: i64) -> Vec<ShardPart> {
+        vec![
+            procs::increment_part(
+                cluster.shard_of(from),
+                ProcedureCall::new(TY),
+                account_key(from),
+                0,
+                -amount,
+            ),
+            procs::increment_part(
+                cluster.shard_of(to),
+                ProcedureCall::new(TY),
+                account_key(to),
+                0,
+                amount,
+            ),
+        ]
+    }
+
+    #[test]
+    fn batched_phase_one_overlaps_prepares_from_one_thread() {
+        let cluster = pipelined_cluster(32);
+        let n = 8u64;
+        for account in 1..=2 * n {
+            cluster.load(account, account_key(account), Value::Int(100));
+        }
+        // One thread, one call: every transaction's phase one is submitted
+        // before any vote is collected.
+        let batch: Vec<Vec<ShardPart>> = (0..n)
+            .map(|i| transfer_parts(&cluster, 2 * i + 1, 2 * i + 2, 30))
+            .collect();
+        let results = cluster.execute_multi_batch(batch);
+        assert_eq!(results.len(), n as usize);
+        for result in &results {
+            assert!(result.is_ok(), "batched transfer failed: {result:?}");
+        }
+        for i in 0..n {
+            assert_eq!(balance(&cluster, 2 * i + 1), 70);
+            assert_eq!(balance(&cluster, 2 * i + 2), 130);
+        }
+        assert_eq!(cluster.in_doubt_count(), 0);
+        let stats = cluster.stats();
+        assert_eq!(stats.coordinator.committed, n);
+        assert!(
+            stats.max_pipeline_depth >= 2,
+            "a single worker must have overlapped in-flight prepares, depth={}",
+            stats.max_pipeline_depth
+        );
+        assert!(
+            stats.prepare_hardening_ns > 0,
+            "deferred hardening must be measured"
+        );
+    }
+
+    #[test]
+    fn window_one_batch_matches_unpipelined_semantics() {
+        let cluster = pipelined_cluster(1);
+        for account in 1..=8 {
+            cluster.load(account, account_key(account), Value::Int(100));
+        }
+        let batch: Vec<Vec<ShardPart>> = (0..4)
+            .map(|i| transfer_parts(&cluster, 2 * i + 1, 2 * i + 2, 10))
+            .collect();
+        for result in cluster.execute_multi_batch(batch) {
+            result.unwrap();
+        }
+        let stats = cluster.stats();
+        assert_eq!(stats.coordinator.committed, 4);
+        assert_eq!(
+            stats.max_pipeline_depth, 1,
+            "window 1 must keep one body in flight per shard"
+        );
+        assert_eq!(
+            stats.prepare_hardening_ns, 0,
+            "window 1 must never defer hardening"
+        );
+        assert_eq!(cluster.in_doubt_count(), 0);
+    }
+
+    #[test]
+    fn batch_with_invalid_transaction_fails_only_that_transaction() {
+        let cluster = cluster(2);
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(100));
+        let batch = vec![
+            transfer_parts(&cluster, 1, 2, 25),
+            // Both parts on one shard: rejected at validation.
+            vec![
+                procs::increment_part(0, ProcedureCall::new(TY), account_key(4), 0, 1),
+                procs::increment_part(0, ProcedureCall::new(TY), account_key(6), 0, 1),
+            ],
+        ];
+        let results = cluster.execute_multi_batch(batch);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert_eq!(balance(&cluster, 1), 75);
+        assert_eq!(balance(&cluster, 2), 125);
+        assert_eq!(cluster.in_doubt_count(), 0);
     }
 
     #[test]

@@ -32,13 +32,34 @@ use crate::api::{ShardRequest, ShardResult};
 use crate::transport::{ShardTransport, TransportStats};
 use crate::wire;
 use crate::worker::{ShardWorkers, Ticket};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 use tebaldi_cc::CcError;
+
+/// Default per-connection bound on body-running requests the server admits
+/// into the shard pipeline at once. One bursty (or hostile) client then
+/// stops being *read* once its budget is full — kernel-level TCP
+/// backpressure — instead of monopolizing the shard's submission queue and
+/// starving other connections. Well-behaved clients bound themselves with
+/// the same window and never hit the server-side cap.
+pub const DEFAULT_CONN_INFLIGHT: usize = 256;
+
+/// How long a client submission may wait for the per-shard in-flight
+/// window to open before failing the request (a full pipeline on a wedged
+/// shard must not turn into an unbounded head-of-line hang).
+const DEFAULT_WINDOW_WAIT: Duration = Duration::from_secs(10);
+
+/// How long the server waits for a connection's admission budget to open
+/// before giving up on the connection entirely. A client that keeps its
+/// whole budget saturated this long is wedged or hostile; dropping the
+/// connection fails its pending tickets cleanly and returns the budget,
+/// instead of parking the reader forever.
+const CONN_BUDGET_DEADLINE: Duration = Duration::from_secs(30);
 
 // ---------------------------------------------------------------------------
 // Server
@@ -58,8 +79,22 @@ pub struct TcpShardServer {
 
 impl TcpShardServer {
     /// Binds a loopback listener and starts accepting connections served
-    /// by `workers`.
+    /// by `workers`, with the default per-connection in-flight budget
+    /// ([`DEFAULT_CONN_INFLIGHT`]).
     pub fn spawn(shard_index: usize, workers: Arc<ShardWorkers>) -> std::io::Result<Arc<Self>> {
+        TcpShardServer::spawn_with_window(shard_index, workers, DEFAULT_CONN_INFLIGHT)
+    }
+
+    /// [`spawn`](TcpShardServer::spawn) with an explicit per-connection
+    /// bound on concurrently admitted body-running requests (`0` disables
+    /// the bound). A connection at its budget stops being read until one of
+    /// its requests completes, so no single client can starve the others
+    /// out of the shard's submission queue.
+    pub fn spawn_with_window(
+        shard_index: usize,
+        workers: Arc<ShardWorkers>,
+        conn_inflight: usize,
+    ) -> std::io::Result<Arc<Self>> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let server = Arc::new(TcpShardServer {
@@ -95,10 +130,11 @@ impl TcpShardServer {
                     }
                     let workers = Arc::clone(&workers);
                     let conns = Arc::clone(&conns);
+                    let conn_stopping = Arc::clone(&stopping);
                     let _ = std::thread::Builder::new()
                         .name(format!("tebaldi-shard-{shard_index}-rpc-conn"))
                         .spawn(move || {
-                            serve_connection(stream, workers);
+                            serve_connection(stream, workers, conn_inflight, conn_stopping);
                             // Drop this connection's shutdown handle so a
                             // long-running server never leaks descriptors.
                             conns.lock().remove(&conn_id);
@@ -140,7 +176,12 @@ impl Drop for TcpShardServer {
 
 /// Reader half of one server connection. Returns (dropping the connection)
 /// on the first I/O or protocol error.
-fn serve_connection(stream: TcpStream, workers: Arc<ShardWorkers>) {
+fn serve_connection(
+    stream: TcpStream,
+    workers: Arc<ShardWorkers>,
+    conn_inflight: usize,
+    stopping: Arc<AtomicBool>,
+) {
     let mut reader = match stream.try_clone() {
         Ok(clone) => clone,
         Err(_) => return,
@@ -161,8 +202,24 @@ fn serve_connection(stream: TcpStream, workers: Arc<ShardWorkers>) {
         }
     });
 
+    // This connection's share of the shard pipeline: body-running requests
+    // currently admitted on its behalf. When the budget is exhausted the
+    // reader stops pulling frames — the kernel socket buffer fills and the
+    // peer blocks — so one connection's burst cannot crowd every other
+    // client out of the submission queue. A well-behaved client bounds
+    // itself with the same window client-side and never trips this.
+    //
+    // Known limitation of stop-reading backpressure: frames already behind
+    // the throttled body frame in this connection's stream (including the
+    // client's own phase-two decisions) are not decoded until the budget
+    // opens. A budget-matched client never gets here; a client that wedges
+    // its whole budget (e.g. bursting lock-blocked prepares whose decision
+    // sits behind them) is dropped after `CONN_BUDGET_DEADLINE`, failing
+    // its tickets cleanly — other connections are unaffected throughout.
+    let admitted = Arc::new(InflightGate::new(conn_inflight, "connection".to_string()));
+
     // A clean close, I/O error, or oversized frame ends the loop and drops
-    // the connection. Pending mailbox jobs still complete; their replies
+    // the connection. Pending pipeline jobs still complete; their replies
     // are discarded when the outbox disconnects.
     while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
         let (req_id, request) = match wire::decode_request(&payload) {
@@ -172,16 +229,36 @@ fn serve_connection(stream: TcpStream, workers: Arc<ShardWorkers>) {
             Err(_) => break,
         };
         if request.runs_body() {
+            // Wait for budget in short slices so server shutdown stays
+            // prompt even with a throttled connection parked here.
+            let deadline = Instant::now() + CONN_BUDGET_DEADLINE;
+            let admitted_ok = loop {
+                if stopping.load(Ordering::SeqCst) {
+                    break false;
+                }
+                if admitted.acquire(Duration::from_millis(50)).is_ok() {
+                    break true;
+                }
+                if Instant::now() >= deadline {
+                    break false;
+                }
+            };
+            if !admitted_ok {
+                break;
+            }
             let outbox = outbox.clone();
+            let admitted = Arc::clone(&admitted);
             workers.submit_request(
                 request,
                 Box::new(move |result| {
+                    admitted.release();
                     let _ = outbox.send((req_id, result));
                 }),
             );
         } else {
             // Decisions/admin inline on the reader thread — never queued
-            // behind blocking prepares.
+            // behind blocking prepares and never counted against the
+            // admission budget.
             let result = workers.handle_inline(request);
             let _ = outbox.send((req_id, result));
         }
@@ -198,13 +275,102 @@ fn serve_connection(stream: TcpStream, workers: Arc<ShardWorkers>) {
 // Client
 // ---------------------------------------------------------------------------
 
-type PendingMap = Arc<Mutex<Option<HashMap<u64, mpsc::Sender<ShardResult>>>>>;
+/// Pending entry: the reply sender plus whether the request counted
+/// against the connection's in-flight window (body-running requests do;
+/// decisions and admin ops bypass it — backpressuring a phase-two decision
+/// behind queued prepares would stretch the prepared-lock window).
+type PendingMap = Arc<Mutex<Option<HashMap<u64, (mpsc::Sender<ShardResult>, bool)>>>>;
+
+/// Bound on concurrently admitted body-running requests, used on both
+/// sides of a connection: the client gates its outstanding submissions per
+/// shard (the transport's backpressure), the server gates each
+/// connection's share of the shard pipeline. Acquire blocks (bounded by
+/// the given wait) while the window is full and fails fast once the gate
+/// is closed.
+struct InflightGate {
+    /// 0 = unbounded.
+    limit: usize,
+    /// Who the gate protects, for error messages ("shard 3", "connection").
+    label: String,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+struct GateState {
+    inflight: usize,
+    closed: bool,
+}
+
+impl InflightGate {
+    fn new(limit: usize, label: String) -> Self {
+        InflightGate {
+            limit,
+            label,
+            state: Mutex::new(GateState {
+                inflight: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Takes one window slot, waiting at most `timeout` for one to open.
+    fn acquire(&self, timeout: Duration) -> Result<(), CcError> {
+        if self.limit == 0 {
+            return Ok(());
+        }
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            if state.closed {
+                return Err(CcError::Internal(format!(
+                    "connection to {} is down",
+                    self.label
+                )));
+            }
+            if state.inflight < self.limit {
+                state.inflight += 1;
+                return Ok(());
+            }
+            if self.cv.wait_until(&mut state, deadline).timed_out() {
+                // The pipeline stayed full for the whole wait: it is
+                // wedged or hopelessly backlogged. Failing here keeps the
+                // prepare-timeout promise for requests that never even
+                // reached the wire.
+                return Err(CcError::Internal(format!(
+                    "{}'s in-flight window stayed full past the timeout",
+                    self.label
+                )));
+            }
+        }
+    }
+
+    fn release(&self) {
+        if self.limit == 0 {
+            return;
+        }
+        let mut state = self.state.lock();
+        state.inflight = state.inflight.saturating_sub(1);
+        drop(state);
+        self.cv.notify_one();
+    }
+
+    /// Marks the connection dead: waiters fail immediately instead of
+    /// sitting out the timeout on slots that can never free up.
+    fn close(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        drop(state);
+        self.cv.notify_all();
+    }
+}
 
 struct ShardConn {
     /// Write half, serialized by a lock (frames are small and atomic).
     writer: Mutex<TcpStream>,
     pending: PendingMap,
     next_id: AtomicU64,
+    gate: Arc<InflightGate>,
     reader_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
@@ -219,6 +385,8 @@ struct WireCounters {
 pub struct TcpTransport {
     conns: Vec<Arc<ShardConn>>,
     counters: Arc<WireCounters>,
+    /// How long a submission may wait for the in-flight window.
+    window_wait: Duration,
     /// The per-shard servers, when this transport owns them (the default
     /// loopback deployment). Kept so shutdown tears both halves down.
     servers: Vec<Arc<TcpShardServer>>,
@@ -227,24 +395,56 @@ pub struct TcpTransport {
 
 impl TcpTransport {
     /// Spawns a loopback server in front of every worker pool and connects
-    /// to each: the single-process deployment of the wire protocol.
+    /// to each with an unbounded in-flight window: the single-process
+    /// deployment of the wire protocol.
     pub fn over_loopback(shards: &[Arc<ShardWorkers>]) -> Result<Self, String> {
+        TcpTransport::over_loopback_with_window(shards, 0, DEFAULT_WINDOW_WAIT)
+    }
+
+    /// [`over_loopback`](TcpTransport::over_loopback) with a bounded
+    /// in-flight window: at most `window` body-running requests outstanding
+    /// per shard connection (`0` = unbounded), waiting at most
+    /// `window_wait` for a slot before failing the submission. The same
+    /// bound is installed server-side as each connection's admission
+    /// budget.
+    pub fn over_loopback_with_window(
+        shards: &[Arc<ShardWorkers>],
+        window: usize,
+        window_wait: Duration,
+    ) -> Result<Self, String> {
+        let conn_inflight = if window == 0 {
+            DEFAULT_CONN_INFLIGHT
+        } else {
+            window
+        };
         let mut servers = Vec::with_capacity(shards.len());
         for (index, workers) in shards.iter().enumerate() {
             servers.push(
-                TcpShardServer::spawn(index, Arc::clone(workers))
+                TcpShardServer::spawn_with_window(index, Arc::clone(workers), conn_inflight)
                     .map_err(|err| format!("shard {index} rpc server: {err}"))?,
             );
         }
         let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.addr()).collect();
-        let mut transport = TcpTransport::connect(&addrs)?;
+        let mut transport = TcpTransport::connect_with_window(&addrs, window, window_wait)?;
         transport.servers = servers;
         Ok(transport)
     }
 
     /// Connects to already-running shard servers (which may live in other
-    /// processes; this client does not own them).
+    /// processes; this client does not own them), with an unbounded
+    /// in-flight window.
     pub fn connect(addrs: &[SocketAddr]) -> Result<Self, String> {
+        TcpTransport::connect_with_window(addrs, 0, DEFAULT_WINDOW_WAIT)
+    }
+
+    /// [`connect`](TcpTransport::connect) with a bounded in-flight window
+    /// per shard connection (`0` = unbounded; see
+    /// [`over_loopback_with_window`](TcpTransport::over_loopback_with_window)).
+    pub fn connect_with_window(
+        addrs: &[SocketAddr],
+        window: usize,
+        window_wait: Duration,
+    ) -> Result<Self, String> {
         let counters = Arc::new(WireCounters::default());
         let mut conns = Vec::with_capacity(addrs.len());
         for (shard, addr) in addrs.iter().enumerate() {
@@ -255,10 +455,12 @@ impl TcpTransport {
                 .try_clone()
                 .map_err(|err| format!("clone shard {shard} stream: {err}"))?;
             let pending: PendingMap = Arc::new(Mutex::new(Some(HashMap::new())));
+            let gate = Arc::new(InflightGate::new(window, format!("shard {shard}")));
             let conn = Arc::new(ShardConn {
                 writer: Mutex::new(stream),
                 pending: Arc::clone(&pending),
                 next_id: AtomicU64::new(1),
+                gate: Arc::clone(&gate),
                 reader_thread: Mutex::new(None),
             });
             let reader_counters = Arc::clone(&counters);
@@ -275,15 +477,20 @@ impl TcpTransport {
                             // trustworthy.
                             break;
                         };
-                        let sender = pending.lock().as_mut().and_then(|map| map.remove(&req_id));
-                        if let Some(sender) = sender {
+                        let entry = pending.lock().as_mut().and_then(|map| map.remove(&req_id));
+                        if let Some((sender, windowed)) = entry {
+                            if windowed {
+                                gate.release();
+                            }
                             let _ = sender.send(result);
                         }
                     }
                     // Connection lost: fail every pending ticket (dropping
                     // the senders resolves the tickets with a disconnect
-                    // error) and reject future submissions.
+                    // error), reject future submissions, and release the
+                    // window waiters so they fail fast too.
                     pending.lock().take();
+                    gate.close();
                 })
                 .expect("spawn rpc client reader");
             *conn.reader_thread.lock() = Some(handle);
@@ -292,6 +499,7 @@ impl TcpTransport {
         Ok(TcpTransport {
             conns,
             counters,
+            window_wait,
             servers: Vec::new(),
             stopping: AtomicBool::new(false),
         })
@@ -316,15 +524,28 @@ impl ShardTransport for TcpTransport {
                 self.conns.len()
             ))));
         };
+        // Backpressure: body-running requests take a window slot (released
+        // when their reply lands). Decisions and admin ops bypass the
+        // window — stalling a phase-two decision behind queued prepares
+        // would stretch every prepared participant's lock window.
+        let windowed = request.runs_body();
+        if windowed {
+            if let Err(err) = conn.gate.acquire(self.window_wait) {
+                return Ticket::ready(Err(err));
+            }
+        }
         let req_id = conn.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, ticket) = Ticket::pending();
         {
             let mut pending = conn.pending.lock();
             match pending.as_mut() {
                 Some(map) => {
-                    map.insert(req_id, tx);
+                    map.insert(req_id, (tx, windowed));
                 }
                 None => {
+                    if windowed {
+                        conn.gate.release();
+                    }
                     return Ticket::ready(Err(CcError::Internal(format!(
                         "connection to shard {shard} is down"
                     ))));
@@ -348,6 +569,9 @@ impl ShardTransport for TcpTransport {
                 if let Some(map) = conn.pending.lock().as_mut() {
                     map.remove(&req_id);
                 }
+                if windowed {
+                    conn.gate.release();
+                }
                 Ticket::ready(Err(CcError::Internal(format!(
                     "send to shard {shard} failed: {err}"
                 ))))
@@ -367,6 +591,9 @@ impl ShardTransport for TcpTransport {
             return;
         }
         for conn in &self.conns {
+            // Wake window waiters first so no submitter sits out its full
+            // window wait against a transport that is going away.
+            conn.gate.close();
             let _ = conn.writer.lock().shutdown(std::net::Shutdown::Both);
         }
         for conn in &self.conns {

@@ -260,6 +260,8 @@ pub fn encode_result(req_id: u64, result: &Result<ShardResponse, CcError>) -> Ve
                     w.put_u64(stats.aborted);
                     w.put_u64(stats.flushes);
                     w.put_u64(stats.in_doubt);
+                    w.put_u64(stats.queue_wait_ns);
+                    w.put_u64(stats.pipeline_depth);
                 }
                 ShardResponse::Flushed => w.put_u8(4),
             }
@@ -296,6 +298,8 @@ pub fn decode_result(payload: &[u8]) -> CodecResult<(u64, Result<ShardResponse, 
                 aborted: r.u64()?,
                 flushes: r.u64()?,
                 in_doubt: r.u64()?,
+                queue_wait_ns: r.u64()?,
+                pipeline_depth: r.u64()?,
             }),
             4 => ShardResponse::Flushed,
             _ => return Err(CodecError::Malformed("response tag")),
@@ -404,6 +408,8 @@ mod tests {
                 aborted: 2,
                 flushes: 9,
                 in_doubt: 1,
+                queue_wait_ns: 1_234,
+                pipeline_depth: 17,
             })),
             Ok(ShardResponse::Flushed),
             Err(CcError::Requested),

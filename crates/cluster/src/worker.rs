@@ -1,22 +1,53 @@
-//! Per-shard worker pools with a batched mailbox, speaking the
-//! serializable shard-RPC API.
+//! Per-shard worker pools with a pipelined submission queue and a
+//! hardening completion loop, speaking the serializable shard-RPC API.
 //!
 //! Clients submit [`ShardRequest`]s to a shard asynchronously: a job lands
-//! in the shard's mailbox, one of the shard's worker threads drains a batch
-//! and resolves each request's [`ProcId`] against the shard's
+//! in the shard's submission queue, one of the shard's worker threads pops
+//! it and resolves the request's [`ProcId`] against the shard's
 //! [`ProcRegistry`], runs the registered body against the shard
 //! [`Database`], and the result comes back through the job's reply sink
-//! (a [`Ticket`] in process, a connection outbox over TCP). The 2PC
-//! coordinator submits its `Prepare` phase through the same mailbox
+//! (a [`Ticket`] in process, a connection outbox over TCP).
+//!
+//! ## The prepare pipeline
+//!
+//! A 2PC prepare has two halves with very different costs: *executing* the
+//! body (CPU + lock waits) and *hardening* the yes-vote (waiting for the
+//! `Prepare` WAL record's device flush). The legacy engine ran both on the
+//! worker thread, so one in-flight prepare pinned one worker for its whole
+//! latency and the number of overlapping prepares was bounded by the pool
+//! size — scheduling, not hardware. With pipelining enabled
+//! (`max_inflight > workers`), a worker instead:
+//!
+//! 1. pops the next submission (admission is bounded by the in-flight
+//!    window — backpressure, not an unbounded queue),
+//! 2. runs the body and **appends** the prepare record into the
+//!    group-commit funnel without waiting for the flush
+//!    ([`Database::prepare_deferred`]),
+//! 3. hands the continuation (prepared transaction + funnel sequence +
+//!    reply sink) to the shard's *completion loop* and immediately starts
+//!    the next body.
+//!
+//! The completion loop drains whole batches of continuations, waits for the
+//! highest funnel sequence once (one coalesced device flush hardens the
+//! whole batch), parks each prepared transaction in the in-doubt table, and
+//! only then acknowledges the yes-votes. One worker thereby multiplexes
+//! many in-flight prepares; the prepared-lock window is bounded by the
+//! flush latency, not by queueing behind other transactions' flushes.
+//!
+//! With `max_inflight <= workers` the pipeline is disabled and every
+//! request runs start-to-finish on its worker — exactly the pre-pipelining
+//! engine, kept as the measured baseline (`max_inflight_per_shard = 1`).
+//!
+//! The 2PC coordinator submits its `Prepare` phase through the same queue
 //! (prepares of one global transaction run on their shards in parallel);
 //! decisions apply inline on the delivering thread so they never queue
 //! behind blocking prepares.
 
 use crate::api::{ShardRequest, ShardResponse, ShardResult, ShardStatsReply};
-use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::sync::mpsc;
-use std::sync::Arc;
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use tebaldi_cc::{CcError, CcResult};
 use tebaldi_core::{Database, ParticipantVote, PreparedTxn, ProcId, ProcRegistry, ProcedureCall};
@@ -100,12 +131,71 @@ impl<T> Ticket<T> {
 /// tagged with the wire request id.
 pub type ReplySink = Box<dyn FnOnce(ShardResult) + Send>;
 
-pub(crate) enum Job {
-    Run {
-        request: ShardRequest,
-        reply: ReplySink,
+/// A body-running request waiting in the submission queue.
+struct Submission {
+    request: ShardRequest,
+    reply: ReplySink,
+    enqueued_at: Instant,
+}
+
+/// A request whose body finished but whose durability records are not yet
+/// flushed: the continuation the worker hands to the completion loop.
+struct PendingCompletion {
+    /// Group-commit funnel sequence of the appended records.
+    seq: u64,
+    kind: CompletionKind,
+    reply: ReplySink,
+    body_done_at: Instant,
+}
+
+enum CompletionKind {
+    /// A 2PC prepare awaiting its yes-vote hardening; parked in the
+    /// in-doubt table once durable, then acknowledged. Boxed: a parked
+    /// prepared transaction is much larger than an execute continuation,
+    /// and the completion queue holds many of either.
+    Prepare {
+        global: u64,
+        value: tebaldi_storage::Value,
+        prepared: Box<PreparedTxn>,
     },
-    Shutdown,
+    /// A finished request whose acknowledgement waits on durability only:
+    /// a committed execute (its own commit records), or a read-only
+    /// result gated by the read barrier (deferred commits it may have
+    /// read from). Versions are already visible and locks released.
+    Reply(ShardResponse),
+}
+
+/// Shared pipeline state: the submission queue workers pop from and the
+/// completion queue the hardening loop drains. One mutex guards both — the
+/// queues are touched for microseconds and the simplicity is worth more
+/// than a second lock.
+struct PipeState {
+    queue: VecDeque<Submission>,
+    completions: VecDeque<PendingCompletion>,
+    /// Body-running requests admitted and not yet fully completed
+    /// (executing on a worker or parked awaiting hardening).
+    inflight: usize,
+    stopping: bool,
+}
+
+/// Aggregate pipeline counters of one shard (totals; divide by the counts
+/// for means). Snapshot via [`ShardWorkers::pipeline_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Body-running requests that passed through the submission queue.
+    pub queued: u64,
+    /// Total nanoseconds those requests waited in the queue before a
+    /// worker picked them up (the *execute-wait* share of the prepare
+    /// latency).
+    pub queue_wait_ns: u64,
+    /// Prepares whose hardening was deferred to the completion loop.
+    pub hardened: u64,
+    /// Total nanoseconds between a deferred prepare's body completion and
+    /// its durable acknowledgement (the *hardening* share).
+    pub hardening_ns: u64,
+    /// Peak number of simultaneously in-flight bodies (executing or
+    /// awaiting hardening) observed on this shard.
+    pub max_depth: u64,
 }
 
 /// How long an orphaned abort decision (the coordinator gave up on a
@@ -114,17 +204,16 @@ pub(crate) enum Job {
 /// the entries are tiny.
 const ORPHAN_DECISION_TTL: Duration = Duration::from_secs(30);
 
-/// How many jobs a worker drains from the mailbox per wakeup. Batching
-/// amortizes the channel synchronization under load without adding latency
-/// when the mailbox is shallow.
-const DRAIN_BATCH: usize = 16;
-
 /// The worker pool of one shard.
 pub struct ShardWorkers {
     db: Arc<Database>,
     registry: Arc<ProcRegistry>,
-    tx: mpsc::Sender<Job>,
-    rx: Arc<Mutex<mpsc::Receiver<Job>>>,
+    state: Mutex<PipeState>,
+    /// Wakes workers: queue non-empty (within the admission window) or
+    /// stopping.
+    work_cv: Condvar,
+    /// Wakes the completion loop: completions non-empty or stopping.
+    done_cv: Condvar,
     in_doubt: Arc<Mutex<HashMap<u64, PreparedTxn>>>,
     /// Abort decisions that arrived before their prepare finished (the
     /// coordinator timed the vote out). The late prepare consults this and
@@ -134,28 +223,65 @@ pub struct ShardWorkers {
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stopping: std::sync::atomic::AtomicBool,
     workers: usize,
+    /// Upper bound on in-flight bodies. Values <= `workers` disable the
+    /// deferred-hardening pipeline (each worker then completes one request
+    /// start-to-finish: the measured pre-pipelining baseline).
+    max_inflight: usize,
+    queued: AtomicU64,
+    queue_wait_ns: AtomicU64,
+    hardened: AtomicU64,
+    hardening_ns: AtomicU64,
+    max_depth: AtomicU64,
 }
 
 impl ShardWorkers {
-    /// Spawns `workers` threads serving `db`'s mailbox, resolving procedure
-    /// ids against `registry`.
+    /// Spawns `workers` threads serving `db`'s submission queue with the
+    /// pipeline disabled (`max_inflight = 1`): every request runs
+    /// start-to-finish on its worker, the pre-pipelining behavior.
     pub fn spawn(
         shard_index: usize,
         db: Arc<Database>,
         workers: usize,
         registry: Arc<ProcRegistry>,
     ) -> Arc<Self> {
-        let (tx, rx) = mpsc::channel();
+        ShardWorkers::spawn_with_window(shard_index, db, workers, registry, 1)
+    }
+
+    /// Spawns `workers` threads serving `db`'s submission queue, resolving
+    /// procedure ids against `registry`, with up to `max_inflight`
+    /// body-running requests in flight at once. When `max_inflight`
+    /// exceeds the worker count, a completion loop is started and workers
+    /// pipeline prepares through it (deferred hardening).
+    pub fn spawn_with_window(
+        shard_index: usize,
+        db: Arc<Database>,
+        workers: usize,
+        registry: Arc<ProcRegistry>,
+        max_inflight: usize,
+    ) -> Arc<Self> {
+        let workers = workers.max(1);
         let pool = Arc::new(ShardWorkers {
             db,
             registry,
-            tx,
-            rx: Arc::new(Mutex::new(rx)),
+            state: Mutex::new(PipeState {
+                queue: VecDeque::new(),
+                completions: VecDeque::new(),
+                inflight: 0,
+                stopping: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
             in_doubt: Arc::new(Mutex::new(HashMap::new())),
             orphan_aborts: Mutex::new(HashMap::new()),
             handles: Mutex::new(Vec::new()),
             stopping: std::sync::atomic::AtomicBool::new(false),
-            workers: workers.max(1),
+            workers,
+            max_inflight: max_inflight.max(1),
+            queued: AtomicU64::new(0),
+            queue_wait_ns: AtomicU64::new(0),
+            hardened: AtomicU64::new(0),
+            hardening_ns: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
         });
         let mut handles = pool.handles.lock();
         for worker in 0..pool.workers {
@@ -165,6 +291,15 @@ impl ShardWorkers {
                     .name(format!("tebaldi-shard-{shard_index}-worker-{worker}"))
                     .spawn(move || pool_ref.run())
                     .expect("spawn shard worker"),
+            );
+        }
+        if pool.pipelined() {
+            let pool_ref = Arc::clone(&pool);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("tebaldi-shard-{shard_index}-completer"))
+                    .spawn(move || pool_ref.run_completer())
+                    .expect("spawn shard completer"),
             );
         }
         drop(handles);
@@ -186,10 +321,27 @@ impl ShardWorkers {
         self.in_doubt.lock().len()
     }
 
-    fn submit(&self, job: Job) {
-        // Send can only fail after shutdown; jobs are then dropped, which
-        // resolves their tickets with an Internal error.
-        let _ = self.tx.send(job);
+    /// True when deferred hardening is active: the in-flight window allows
+    /// more bodies than there are workers, so overlapping them needs the
+    /// completion loop.
+    pub fn pipelined(&self) -> bool {
+        self.max_inflight > self.workers
+    }
+
+    /// The configured in-flight window.
+    pub fn max_inflight(&self) -> usize {
+        self.max_inflight
+    }
+
+    /// Snapshot of the pipeline counters.
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        PipelineStats {
+            queued: self.queued.load(Ordering::Relaxed),
+            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
+            hardened: self.hardened.load(Ordering::Relaxed),
+            hardening_ns: self.hardening_ns.load(Ordering::Relaxed),
+            max_depth: self.max_depth.load(Ordering::Relaxed),
+        }
     }
 
     /// Queues a body-running request ([`Execute`](ShardRequest::Execute) or
@@ -198,7 +350,18 @@ impl ShardWorkers {
     /// queue behind blocking prepares).
     pub fn submit_request(&self, request: ShardRequest, reply: ReplySink) {
         if request.runs_body() {
-            self.submit(Job::Run { request, reply });
+            let mut state = self.state.lock();
+            if state.stopping {
+                // Dropping the sink resolves the caller's ticket with a
+                // clean disconnect error.
+                return;
+            }
+            state.queue.push_back(Submission {
+                request,
+                reply,
+                enqueued_at: Instant::now(),
+            });
+            self.work_cv.notify_one();
         } else {
             reply(self.handle_inline(request));
         }
@@ -207,8 +370,8 @@ impl ShardWorkers {
     /// Handles a request synchronously on the calling thread. This is the
     /// single entry point behind both transports: the in-process fast path
     /// calls it directly, the TCP server calls it from its connection
-    /// threads (body-running requests via the mailbox, everything else
-    /// inline).
+    /// threads (body-running requests via the submission queue, everything
+    /// else inline).
     pub fn handle_inline(&self, request: ShardRequest) -> ShardResult {
         match request {
             ShardRequest::Execute {
@@ -233,11 +396,17 @@ impl ShardWorkers {
             }
             ShardRequest::Stats => {
                 let snapshot = self.db.stats();
+                let pipeline = self.pipeline_stats();
                 Ok(ShardResponse::Stats(ShardStatsReply {
                     committed: snapshot.committed,
                     aborted: snapshot.aborted,
                     flushes: self.db.durability().stats().flushes,
                     in_doubt: self.in_doubt_count() as u64,
+                    queue_wait_ns: pipeline
+                        .queue_wait_ns
+                        .checked_div(pipeline.queued)
+                        .unwrap_or(0),
+                    pipeline_depth: pipeline.max_depth,
                 }))
             }
             ShardRequest::Flush => {
@@ -262,20 +431,34 @@ impl ShardWorkers {
         max_attempts: u32,
     ) -> ShardResult {
         let body = self.resolve(proc)?;
-        self.db
+        let result = self
+            .db
             .execute_with_retry(call, max_attempts.max(1) as usize, |txn| {
                 body.run(txn, args)
             })
             .map(|(value, aborts)| ShardResponse::Executed {
                 value,
                 aborts: aborts as u32,
-            })
+            });
+        // The inline path must honor the read barrier too: with the
+        // pipeline active on this shard, this execute may have read a
+        // deferred commit whose flush is still pending, and a read-only
+        // transaction appends nothing of its own to wait on. (A writing
+        // transaction's own synchronous flush already hardened everything
+        // appended before it, making this a no-op; with no deferred
+        // commits outstanding the barrier is `None` and costs one load.)
+        if result.is_ok() {
+            if let Some(seq) = self.db.durability().read_barrier() {
+                self.db.wait_hardened(seq);
+            }
+        }
+        result
     }
 
     /// 2PC phase one on the calling thread: run the registered body up to
     /// the prepared state and park it in the in-doubt table keyed by the
     /// cluster-global id (read-write votes) or commit it outright
-    /// (read-only votes).
+    /// (read-only votes). The synchronous (unpipelined) path.
     pub fn prepare_now(
         &self,
         global: u64,
@@ -297,36 +480,183 @@ impl ShardWorkers {
                 value,
                 vote: Vote::ReadOnly,
             }),
-            ParticipantVote::ReadWrite(prepared) => {
-                // Re-check under the in-doubt lock: a timed-out vote's
-                // abort decision may have raced in while the part was
-                // validating.
-                let mut in_doubt = self.in_doubt.lock();
-                if self.orphan_aborts.lock().remove(&global).is_some() {
-                    drop(in_doubt);
-                    prepared.abort();
-                    Err(CcError::Internal(
-                        "coordinator aborted the transaction during its prepare".to_string(),
-                    ))
-                } else {
-                    in_doubt.insert(global, prepared);
-                    Ok(ShardResponse::Prepared {
-                        value,
-                        vote: Vote::ReadWrite,
-                    })
+            ParticipantVote::ReadWrite(prepared) => self.park_prepared(global, value, prepared),
+        })
+    }
+
+    /// Parks a hardened read-write prepare in the in-doubt table, unless
+    /// the coordinator already aborted the global while the part was
+    /// validating or hardening (the orphan-abort race).
+    fn park_prepared(
+        &self,
+        global: u64,
+        value: tebaldi_storage::Value,
+        prepared: PreparedTxn,
+    ) -> ShardResult {
+        // Re-check under the in-doubt lock: a timed-out vote's abort
+        // decision may have raced in while the part was validating (or,
+        // pipelined, while its record was waiting for the flush).
+        let mut in_doubt = self.in_doubt.lock();
+        if self.orphan_aborts.lock().remove(&global).is_some() {
+            drop(in_doubt);
+            prepared.abort();
+            Err(CcError::Internal(
+                "coordinator aborted the transaction during its prepare".to_string(),
+            ))
+        } else {
+            in_doubt.insert(global, prepared);
+            Ok(ShardResponse::Prepared {
+                value,
+                vote: Vote::ReadWrite,
+            })
+        }
+    }
+
+    /// The pipelined prepare: run the body, append the prepare record
+    /// without waiting for its flush, and hand the continuation to the
+    /// completion loop. Returns `None` when the continuation was parked
+    /// (the reply is now owned by the completion loop) or `Some(result)`
+    /// when the request finished synchronously (error, read-only vote, or
+    /// nothing to harden).
+    fn prepare_pipelined(
+        &self,
+        global: u64,
+        proc: ProcId,
+        call: &ProcedureCall,
+        args: &[u8],
+        reply: ReplySink,
+    ) -> Option<(ShardResult, ReplySink)> {
+        let body = match self.resolve(proc) {
+            Ok(body) => body,
+            Err(err) => return Some((Err(err), reply)),
+        };
+        if self.orphan_aborts.lock().remove(&global).is_some() {
+            return Some((
+                Err(CcError::Internal(
+                    "coordinator aborted the transaction before its prepare ran".to_string(),
+                )),
+                reply,
+            ));
+        }
+        match self
+            .db
+            .prepare_deferred(call, global, |txn| body.run(txn, args))
+        {
+            Err(err) => Some((Err(err), reply)),
+            Ok((value, ParticipantVote::ReadOnly, barrier)) => {
+                let response = ShardResponse::Prepared {
+                    value,
+                    vote: Vote::ReadOnly,
+                };
+                match barrier {
+                    // The read-only result may reflect a published
+                    // deferred commit that is not durable yet: its
+                    // acknowledgement waits out the read barrier.
+                    Some(seq) => {
+                        self.park_completion(PendingCompletion {
+                            seq,
+                            kind: CompletionKind::Reply(response),
+                            reply,
+                            body_done_at: Instant::now(),
+                        });
+                        None
+                    }
+                    None => Some((Ok(response), reply)),
                 }
             }
-        })
+            Ok((value, ParticipantVote::ReadWrite(prepared), None)) => {
+                // Nothing to defer (durability off, or legacy uncoalesced
+                // flushing already hardened synchronously): finish inline.
+                Some((self.park_prepared(global, value, prepared), reply))
+            }
+            Ok((value, ParticipantVote::ReadWrite(prepared), Some(seq))) => {
+                self.park_completion(PendingCompletion {
+                    seq,
+                    kind: CompletionKind::Prepare {
+                        global,
+                        value,
+                        prepared: Box::new(prepared),
+                    },
+                    reply,
+                    body_done_at: Instant::now(),
+                });
+                None
+            }
+        }
+    }
+
+    /// The pipelined execute: run the body with retry, and when the final
+    /// commit's durability wait was deferred, hand the acknowledgement to
+    /// the completion loop (versions are already visible, locks released).
+    fn execute_pipelined(
+        &self,
+        proc: ProcId,
+        call: &ProcedureCall,
+        args: &[u8],
+        max_attempts: u32,
+        reply: ReplySink,
+    ) -> Option<(ShardResult, ReplySink)> {
+        let body = match self.resolve(proc) {
+            Ok(body) => body,
+            Err(err) => return Some((Err(err), reply)),
+        };
+        match self
+            .db
+            .execute_with_retry_deferred(call, max_attempts.max(1) as usize, |txn| {
+                body.run(txn, args)
+            }) {
+            Err(err) => Some((Err(err), reply)),
+            Ok((value, aborts, None)) => Some((
+                Ok(ShardResponse::Executed {
+                    value,
+                    aborts: aborts as u32,
+                }),
+                reply,
+            )),
+            Ok((value, aborts, Some(seq))) => {
+                self.park_completion(PendingCompletion {
+                    seq,
+                    kind: CompletionKind::Reply(ShardResponse::Executed {
+                        value,
+                        aborts: aborts as u32,
+                    }),
+                    reply,
+                    body_done_at: Instant::now(),
+                });
+                None
+            }
+        }
+    }
+
+    /// Parks a continuation for the completion loop. A `Reply` completion
+    /// (committed execute or barrier-gated read ack) holds no locks and
+    /// runs no body — only its acknowledgement is pending — so it releases
+    /// its in-flight window slot here instead of throttling new admissions
+    /// until the flush; a `Prepare` completion keeps its slot until the
+    /// yes-vote is hardened (that hardening *is* the pipeline stage the
+    /// window bounds).
+    fn park_completion(&self, completion: PendingCompletion) {
+        let release_slot = matches!(completion.kind, CompletionKind::Reply(_));
+        let mut state = self.state.lock();
+        state.completions.push_back(completion);
+        if release_slot {
+            state.inflight -= 1;
+            self.work_cv.notify_all();
+        }
+        drop(state);
+        self.done_cv.notify_one();
     }
 
     /// Applies the coordinator's decision for `global` inline on the
     /// calling thread. Decisions never queue behind prepares in the
-    /// mailbox: a queued decision would stretch the window in which the
-    /// prepared transaction holds its locks and convoy the whole shard.
+    /// submission queue: a queued decision would stretch the window in
+    /// which the prepared transaction holds its locks and convoy the whole
+    /// shard.
     ///
     /// An abort decision that finds nothing parked is remembered: the
     /// coordinator may have timed the vote out while the prepare was still
-    /// running, and the late prepare must abort instead of parking forever.
+    /// running (or hardening), and the late prepare must abort instead of
+    /// parking forever.
     pub fn decide(&self, global: u64, commit: bool) {
         // Lock order (in_doubt, then orphan_aborts) matches the prepare
         // handler's parking path, so a decision and a late-finishing
@@ -351,67 +681,157 @@ impl ShardWorkers {
         }
     }
 
-    /// Stops every worker and joins them. Parked prepared transactions are
-    /// aborted by presumption when the pool drops its in-doubt table.
+    /// Stops every worker and the completion loop (after it drains and
+    /// hardens any still-pending continuations) and joins them. Parked
+    /// prepared transactions are aborted by presumption when the pool drops
+    /// its in-doubt table.
     pub fn shutdown(&self) {
-        self.stopping
-            .store(true, std::sync::atomic::Ordering::SeqCst);
-        // One token is enough: each exiting worker forwards it so the next
-        // blocked worker wakes too (a worker may batch-drain several jobs,
-        // so per-worker tokens would not be reliable).
-        self.submit(Job::Shutdown);
+        if self
+            .stopping
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+        {
+            return;
+        }
+        {
+            let mut state = self.state.lock();
+            state.stopping = true;
+            // Queued-but-unstarted jobs are dropped; their reply sinks
+            // resolve the waiting tickets with a clean disconnect error.
+            state.queue.clear();
+            self.work_cv.notify_all();
+        }
         let mut handles = self.handles.lock();
+        // Join workers first: after they exit, no new continuations can
+        // appear, so the completion loop can drain to empty and stop. The
+        // completer (if any) is the last handle.
         for handle in handles.drain(..) {
+            self.done_cv.notify_all();
             let _ = handle.join();
         }
     }
 
+    /// Worker loop: pop a submission (respecting the in-flight window),
+    /// execute it, and either finish it inline or park its continuation.
     fn run(&self) {
-        let mut batch: Vec<Job> = Vec::with_capacity(DRAIN_BATCH);
         loop {
-            if self.stopping.load(std::sync::atomic::Ordering::SeqCst) {
-                // Forward the wakeup token before exiting.
-                let _ = self.tx.send(Job::Shutdown);
-                return;
-            }
-            batch.clear();
-            {
-                // Block for the first job, then opportunistically drain a
-                // batch while the mailbox lock is held. A 2PC prepare ends
-                // the batch: prepares can block on locks for a full wait
-                // timeout, and jobs trapped behind one in a private batch
-                // would stall while sibling workers sit idle (head-of-line
-                // blocking that stretches the prepared-lock window).
-                let rx = self.rx.lock();
-                match rx.recv() {
-                    Ok(job) => batch.push(job),
-                    Err(_) => return,
-                }
-                while batch.len() < DRAIN_BATCH
-                    && !matches!(
-                        batch.last(),
-                        Some(Job::Run {
-                            request: ShardRequest::Prepare { .. },
-                            ..
-                        })
-                    )
-                {
-                    match rx.try_recv() {
-                        Ok(job) => batch.push(job),
-                        Err(_) => break,
-                    }
-                }
-            }
-            for job in batch.drain(..) {
-                match job {
-                    Job::Run { request, reply } => reply(self.handle_inline(request)),
-                    Job::Shutdown => {
-                        // Shutdown token: wake the next worker and exit.
-                        let _ = self.tx.send(Job::Shutdown);
+            // Unpipelined (window <= workers), admission needs no explicit
+            // gate: each worker holds exactly one request start-to-finish,
+            // so the worker count itself is the bound — the pre-pipelining
+            // behavior, exactly.
+            let admission = if self.pipelined() {
+                self.max_inflight
+            } else {
+                usize::MAX
+            };
+            let submission = {
+                let mut state = self.state.lock();
+                loop {
+                    if state.stopping {
                         return;
                     }
+                    if state.inflight < admission {
+                        if let Some(submission) = state.queue.pop_front() {
+                            state.inflight += 1;
+                            self.max_depth
+                                .fetch_max(state.inflight as u64, Ordering::Relaxed);
+                            break submission;
+                        }
+                    }
+                    self.work_cv.wait(&mut state);
                 }
+            };
+            self.queued.fetch_add(1, Ordering::Relaxed);
+            self.queue_wait_ns.fetch_add(
+                submission.enqueued_at.elapsed().as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            let Submission { request, reply, .. } = submission;
+            let finished = match request {
+                ShardRequest::Prepare {
+                    global,
+                    proc,
+                    call,
+                    args,
+                } if self.pipelined() => self.prepare_pipelined(global, proc, &call, &args, reply),
+                ShardRequest::Execute {
+                    proc,
+                    call,
+                    args,
+                    max_attempts,
+                } if self.pipelined() => {
+                    self.execute_pipelined(proc, &call, &args, max_attempts, reply)
+                }
+                other => Some((self.handle_inline(other), reply)),
+            };
+            if let Some((result, reply)) = finished {
+                reply(result);
+                self.finish_inflight(1);
             }
+        }
+    }
+
+    /// Decrements the in-flight count and wakes waiting workers (and the
+    /// completion loop, whose shutdown condition watches the in-flight
+    /// count).
+    fn finish_inflight(&self, n: usize) {
+        let mut state = self.state.lock();
+        state.inflight -= n;
+        drop(state);
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+    }
+
+    /// Completion loop: drain every parked continuation, wait once for the
+    /// highest funnel sequence (one coalesced flush hardens the whole
+    /// batch), then acknowledge each one — parking prepares in the
+    /// in-doubt table, releasing executes to their clients.
+    fn run_completer(&self) {
+        loop {
+            let batch: Vec<PendingCompletion> = {
+                let mut state = self.state.lock();
+                while state.completions.is_empty() {
+                    // Exit only once no body is still executing: a worker
+                    // mid-body at shutdown may yet park a continuation,
+                    // and its caller's reply must not be orphaned.
+                    if state.stopping && state.inflight == 0 {
+                        return;
+                    }
+                    self.done_cv.wait(&mut state);
+                }
+                state.completions.drain(..).collect()
+            };
+            let highest = batch.iter().map(|c| c.seq).max().unwrap_or(0);
+            self.db.wait_hardened(highest);
+            // Only `Prepare` completions still hold a window slot (`Reply`
+            // completions released theirs when they were parked).
+            let slots = batch
+                .iter()
+                .filter(|c| matches!(c.kind, CompletionKind::Prepare { .. }))
+                .count();
+            for completion in batch {
+                let result = match completion.kind {
+                    CompletionKind::Prepare {
+                        global,
+                        value,
+                        prepared,
+                    } => {
+                        // Only prepares count in the hardening metrics:
+                        // they are what the queue-wait/hardening
+                        // decomposition of the prepared-lock window is
+                        // about (executes and read acks released their
+                        // locks before parking).
+                        self.hardened.fetch_add(1, Ordering::Relaxed);
+                        self.hardening_ns.fetch_add(
+                            completion.body_done_at.elapsed().as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
+                        self.park_prepared(global, value, *prepared)
+                    }
+                    CompletionKind::Reply(response) => Ok(response),
+                };
+                (completion.reply)(result);
+            }
+            self.finish_inflight(slots);
         }
     }
 }
@@ -428,6 +848,7 @@ mod tests {
     const TY: TxnTypeId = TxnTypeId(0);
     const BUMP: ProcId = ProcId(1);
     const PUT5: ProcId = ProcId(2);
+    const GET: ProcId = ProcId(3);
 
     fn registry() -> Arc<ProcRegistry> {
         let mut reg = ProcRegistry::new();
@@ -444,6 +865,12 @@ mod tests {
             txn.put(Key::simple(TABLE, id), Value::Int(5))
                 .map(|()| Value::Null)
         });
+        // get(key_id): read-only.
+        reg.register_fn(GET, |txn, args| {
+            let mut r = ByteReader::new(args);
+            let id = r.u64().map_err(|e| CcError::Internal(e.to_string()))?;
+            Ok(txn.get(Key::simple(TABLE, id))?.unwrap_or(Value::Null))
+        });
         Arc::new(reg)
     }
 
@@ -453,7 +880,7 @@ mod tests {
         w.into_bytes()
     }
 
-    fn db() -> Arc<Database> {
+    fn db_with_config(config: DbConfig) -> Arc<Database> {
         let mut procedures = ProcedureSet::new();
         procedures.insert(ProcedureInfo::new(
             TY,
@@ -461,12 +888,16 @@ mod tests {
             vec![(TABLE, AccessMode::Write)],
         ));
         Arc::new(
-            Database::builder(DbConfig::for_tests())
+            Database::builder(config)
                 .procedures(procedures)
                 .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
                 .build()
                 .unwrap(),
         )
+    }
+
+    fn db() -> Arc<Database> {
+        db_with_config(DbConfig::for_tests())
     }
 
     #[test]
@@ -500,6 +931,9 @@ mod tests {
             })
             .unwrap();
         assert_eq!(sum, Some(Value::Int(32)));
+        let stats = pool.pipeline_stats();
+        assert_eq!(stats.queued, 32);
+        assert!(stats.max_depth >= 1 && stats.max_depth <= 2);
         pool.shutdown();
     }
 
@@ -523,6 +957,173 @@ mod tests {
             })
             .unwrap();
         assert_eq!(read, Some(Value::Int(5)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pipelined_prepares_overlap_and_harden_before_acking() {
+        // Sync durability on a flush device with real latency: the only way
+        // many prepares finish fast is the pipeline (append now, one
+        // coalesced flush per completion batch).
+        let mut config = DbConfig::for_tests();
+        config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        let device: Arc<dyn tebaldi_storage::wal::LogDevice> = Arc::new(
+            tebaldi_storage::wal::MemLogDevice::with_flush_latency(Duration::from_millis(2)),
+        );
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "bump",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        let db = Arc::new(
+            Database::builder(config)
+                .procedures(procedures)
+                .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+                .log_device(Arc::clone(&device))
+                .build()
+                .unwrap(),
+        );
+        let pool = ShardWorkers::spawn_with_window(0, db, 1, registry(), 16);
+        assert!(pool.pipelined());
+        let n = 8u64;
+        let tickets: Vec<_> = (0..n)
+            .map(|i| {
+                let (tx, ticket) = Ticket::pending();
+                pool.submit_request(
+                    ShardRequest::Prepare {
+                        global: 100 + i,
+                        proc: PUT5,
+                        call: ProcedureCall::new(TY),
+                        args: args(1000 + i),
+                    },
+                    Box::new(move |result| {
+                        let _ = tx.send(result);
+                    }),
+                );
+                ticket
+            })
+            .collect();
+        for ticket in tickets {
+            let (_, vote) = ticket.wait().unwrap().unwrap().into_prepared().unwrap();
+            assert_eq!(vote, Vote::ReadWrite);
+        }
+        assert_eq!(pool.in_doubt_count(), n as usize);
+        // The yes-votes were only acknowledged once their records were
+        // durable: every prepare record is already on the device.
+        let prepares = device
+            .read_back()
+            .iter()
+            .filter(|r| matches!(r, tebaldi_storage::wal::LogRecord::Prepare { .. }))
+            .count();
+        assert_eq!(prepares, n as usize);
+        let stats = pool.pipeline_stats();
+        assert_eq!(stats.hardened, n, "every prepare went through the pipeline");
+        assert!(
+            stats.max_depth > 1,
+            "a single worker must overlap in-flight prepares, depth={}",
+            stats.max_depth
+        );
+        for i in 0..n {
+            pool.decide(100 + i, true);
+        }
+        assert_eq!(pool.in_doubt_count(), 0);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn read_only_ack_waits_for_deferred_commits_it_may_have_read() {
+        // A deferred commit publishes before its flush; a read-only
+        // request scheduled right after it reads the new value. Its
+        // acknowledgement must not beat the writer's commit record to
+        // durability — or a crash could lose data an acknowledged read
+        // already reflected.
+        let mut config = DbConfig::for_tests();
+        config.durability = tebaldi_core::DurabilityMode::Synchronous;
+        let device: Arc<dyn tebaldi_storage::wal::LogDevice> = Arc::new(
+            tebaldi_storage::wal::MemLogDevice::with_flush_latency(Duration::from_millis(20)),
+        );
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "bump",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        let db = Arc::new(
+            Database::builder(config)
+                .procedures(procedures)
+                .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+                .log_device(Arc::clone(&device))
+                .build()
+                .unwrap(),
+        );
+        db.load(Key::simple(TABLE, 1), Value::Int(0));
+        let pool = ShardWorkers::spawn_with_window(0, db, 1, registry(), 16);
+        let submit = |proc: ProcId| {
+            let (tx, ticket) = Ticket::pending();
+            pool.submit_request(
+                ShardRequest::Execute {
+                    proc,
+                    call: ProcedureCall::new(TY),
+                    args: args(1),
+                    max_attempts: 10,
+                },
+                Box::new(move |result| {
+                    let _ = tx.send(result);
+                }),
+            );
+            ticket
+        };
+        let write_ticket = submit(BUMP);
+        let read_ticket = submit(GET);
+        let (value, _) = read_ticket
+            .wait()
+            .unwrap()
+            .unwrap()
+            .into_executed()
+            .unwrap();
+        assert_eq!(value, Value::Int(1), "the read saw the published write");
+        // The read was acknowledged: the write's commit record must
+        // already be durable (read_back returns only flushed records).
+        assert!(
+            device
+                .read_back()
+                .iter()
+                .any(|r| matches!(r, tebaldi_storage::wal::LogRecord::Commit { .. })),
+            "read-only ack must wait out the read barrier"
+        );
+        write_ticket.wait().unwrap().unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn window_bounds_inflight_bodies() {
+        let pool = ShardWorkers::spawn_with_window(0, db(), 2, registry(), 4);
+        pool.db().load(Key::simple(TABLE, 1), Value::Int(0));
+        let tickets: Vec<_> = (0..64)
+            .map(|_| {
+                let (tx, ticket) = Ticket::pending();
+                pool.submit_request(
+                    ShardRequest::Execute {
+                        proc: BUMP,
+                        call: ProcedureCall::new(TY),
+                        args: args(1),
+                        max_attempts: 20,
+                    },
+                    Box::new(move |result| {
+                        let _ = tx.send(result);
+                    }),
+                );
+                ticket
+            })
+            .collect();
+        for ticket in tickets {
+            ticket.wait().unwrap().unwrap();
+        }
+        assert!(
+            pool.pipeline_stats().max_depth <= 4,
+            "admission must respect the in-flight window"
+        );
         pool.shutdown();
     }
 

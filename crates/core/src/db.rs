@@ -243,6 +243,34 @@ impl Database {
         call: &ProcedureCall,
         body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
     ) -> CcResult<R> {
+        self.execute_inner(call, false, body)
+            .map(|(value, _)| value)
+    }
+
+    /// The pipelined variant of [`execute`](Database::execute): the commit
+    /// records are appended (fixing their place in the log order) but the
+    /// durability wait is returned as a group-commit funnel sequence
+    /// instead of blocking the calling thread. The caller **must** pass it
+    /// to [`wait_hardened`](Database::wait_hardened) before acknowledging
+    /// the commit to anyone; versions are already visible and locks
+    /// released, so deferring only delays the acknowledgement — a shard
+    /// worker hands the sequence to its completion loop and immediately
+    /// starts the next transaction's body. `None` means the commit is
+    /// already as durable as the flushing policy requires.
+    pub fn execute_deferred<R>(
+        &self,
+        call: &ProcedureCall,
+        body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<(R, Option<u64>)> {
+        self.execute_inner(call, true, body)
+    }
+
+    fn execute_inner<R>(
+        &self,
+        call: &ProcedureCall,
+        defer_harden: bool,
+        body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<(R, Option<u64>)> {
         let tree = self.current_tree();
         let gate_group = tree
             .group_for(call.ty, call.instance_seed)
@@ -264,7 +292,7 @@ impl Database {
         // stable for the whole execution.
         let tree = self.current_tree();
         let result = match tree.group_for(call.ty, call.instance_seed) {
-            Some(group) => self.execute_admitted(&tree, group, call, body),
+            Some(group) => self.execute_admitted(&tree, group, call, defer_harden, body),
             None => Err(CcError::Internal(format!("no group for {:?}", call.ty))),
         };
         self.gate.exit(gate_group);
@@ -276,8 +304,9 @@ impl Database {
         tree: &Arc<CcTree>,
         group: GroupId,
         call: &ProcedureCall,
+        defer_harden: bool,
         body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
-    ) -> CcResult<R> {
+    ) -> CcResult<(R, Option<u64>)> {
         let txn_id = TxnId(self.txn_ids.fetch_add(1, Ordering::Relaxed));
         let gc_epoch = self.gc.transaction_started(txn_id);
         self.registry.register(txn_id, call.ty, group);
@@ -294,19 +323,26 @@ impl Database {
         });
 
         match outcome {
-            Ok(value) => match txn.commit() {
-                Ok(commit_ts) => {
-                    self.gc.transaction_finished(gc_epoch, Some(commit_ts));
-                    self.stats.record_commit(call.ty);
-                    Ok(value)
+            Ok(value) => {
+                let committed = if defer_harden {
+                    txn.commit_deferred()
+                } else {
+                    txn.commit().map(|commit_ts| (commit_ts, None))
+                };
+                match committed {
+                    Ok((commit_ts, harden)) => {
+                        self.gc.transaction_finished(gc_epoch, Some(commit_ts));
+                        self.stats.record_commit(call.ty);
+                        Ok((value, harden))
+                    }
+                    Err(err) => {
+                        txn.abort();
+                        self.gc.transaction_finished(gc_epoch, None);
+                        self.stats.record_abort(err.mechanism());
+                        Err(err)
+                    }
                 }
-                Err(err) => {
-                    txn.abort();
-                    self.gc.transaction_finished(gc_epoch, None);
-                    self.stats.record_abort(err.mechanism());
-                    Err(err)
-                }
-            },
+            }
             Err(err) => {
                 txn.abort();
                 self.gc.transaction_finished(gc_epoch, None);
@@ -341,6 +377,50 @@ impl Database {
         global: u64,
         body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
     ) -> CcResult<(R, crate::prepared::ParticipantVote)> {
+        self.prepare_inner(call, global, false, body)
+            .map(|(value, vote, harden)| {
+                debug_assert!(harden.is_none(), "undeferred prepare left a harden seq");
+                (value, vote)
+            })
+    }
+
+    /// The pipelined variant of [`prepare`](Database::prepare): identical up
+    /// to the durability hardening, but instead of blocking until the
+    /// `Prepare` WAL record is flushed, it appends the record into the
+    /// group-commit funnel and returns the funnel sequence. The caller —
+    /// a shard worker's completion loop — **must** call
+    /// [`wait_hardened`](Database::wait_hardened) with that sequence
+    /// before acknowledging the yes-vote to anyone: a vote on an unflushed
+    /// prepare record could be silently lost by a crash. A `None` sequence
+    /// means there is nothing to wait for (durability disabled, or legacy
+    /// uncoalesced flushing, which hardened synchronously). A read-only
+    /// vote may also carry a sequence: the read-acknowledgement barrier
+    /// over deferred commits it may have read from.
+    pub fn prepare_deferred<R>(
+        self: &Arc<Self>,
+        call: &ProcedureCall,
+        global: u64,
+        body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<(R, crate::prepared::ParticipantVote, Option<u64>)> {
+        self.prepare_inner(call, global, true, body)
+    }
+
+    /// Blocks until the deferred record behind `seq` (returned by
+    /// [`prepare_deferred`](Database::prepare_deferred) or
+    /// [`execute_deferred`](Database::execute_deferred)) is durable.
+    /// Waiting on the highest sequence of a batch hardens the whole batch
+    /// with at most one device flush.
+    pub fn wait_hardened(&self, seq: u64) {
+        self.durability.wait_group_seq(seq);
+    }
+
+    fn prepare_inner<R>(
+        self: &Arc<Self>,
+        call: &ProcedureCall,
+        global: u64,
+        defer_harden: bool,
+        body: impl FnOnce(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<(R, crate::prepared::ParticipantVote, Option<u64>)> {
         let tree = self.current_tree();
         let gate_group = tree
             .group_for(call.ty, call.instance_seed)
@@ -384,13 +464,21 @@ impl Database {
         match outcome {
             Ok(value) => {
                 let read_only = txn.ctx().write_keys.is_empty() && self.config.read_only_votes;
+                let mut harden = None;
                 if !read_only && self.durability.is_enabled() {
                     // Harden the yes-vote: the prepare record is group-
                     // commit flushed so a crash after this point leaves the
                     // transaction in doubt (resolvable), never silently
-                    // lost.
+                    // lost. The deferred path appends the record now (log
+                    // order is fixed) but leaves the flush wait to the
+                    // caller's completion loop, freeing this thread for the
+                    // next transaction's body.
                     let writes = crate::txn::collect_writes(self, txn.ctx());
-                    self.durability.prepare(txn_id, global, writes);
+                    if defer_harden {
+                        harden = self.durability.prepare_deferred(txn_id, global, writes);
+                    } else {
+                        self.durability.prepare(txn_id, global, writes);
+                    }
                 }
                 let (path, ctx) = txn.into_parts();
                 let prepared = crate::prepared::PreparedTxn::new(
@@ -405,11 +493,23 @@ impl Database {
                     // Read-only participant optimization: the decision
                     // cannot change anything this part did, so commit now,
                     // release the locks, and skip phase two entirely (no
-                    // prepare record, nothing in doubt at recovery).
+                    // prepare record, nothing in doubt at recovery). On the
+                    // deferred path the vote still carries the read
+                    // barrier: the part's result may reflect a published
+                    // deferred commit whose flush is pending.
                     prepared.commit();
-                    Ok((value, crate::prepared::ParticipantVote::ReadOnly))
+                    let barrier = if defer_harden {
+                        self.durability.read_barrier()
+                    } else {
+                        None
+                    };
+                    Ok((value, crate::prepared::ParticipantVote::ReadOnly, barrier))
                 } else {
-                    Ok((value, crate::prepared::ParticipantVote::ReadWrite(prepared)))
+                    Ok((
+                        value,
+                        crate::prepared::ParticipantVote::ReadWrite(prepared),
+                        harden,
+                    ))
                 }
             }
             Err(err) => {
@@ -431,18 +531,22 @@ impl Database {
         max_attempts: usize,
         mut body: impl FnMut(&mut Txn<'_>) -> CcResult<R>,
     ) -> CcResult<(R, usize)> {
-        let mut aborts = 0;
-        loop {
-            match self.execute(call, &mut body) {
-                Ok(value) => return Ok((value, aborts)),
-                Err(err) if err.is_retryable() && aborts + 1 < max_attempts => {
-                    aborts += 1;
-                    // Back off briefly, as the paper does for SSI retries.
-                    std::thread::sleep(Duration::from_micros(200 * aborts.min(10) as u64));
-                }
-                Err(err) => return Err(err),
-            }
-        }
+        retry_attempts(max_attempts, || self.execute(call, &mut body))
+    }
+
+    /// [`execute_with_retry`](Database::execute_with_retry) over the
+    /// pipelined [`execute_deferred`](Database::execute_deferred): aborted
+    /// attempts retry as usual, and the final successful attempt's
+    /// durability wait is returned to the caller as a funnel sequence
+    /// (`None` = already durable enough) instead of blocking here.
+    pub fn execute_with_retry_deferred<R>(
+        &self,
+        call: &ProcedureCall,
+        max_attempts: usize,
+        mut body: impl FnMut(&mut Txn<'_>) -> CcResult<R>,
+    ) -> CcResult<(R, usize, Option<u64>)> {
+        retry_attempts(max_attempts, || self.execute_deferred(call, &mut body))
+            .map(|((value, harden), aborts)| (value, aborts, harden))
     }
 
     /// Runs one garbage-collection cycle: advances the GC epoch, collects
@@ -491,6 +595,27 @@ impl Database {
 impl Drop for Database {
     fn drop(&mut self) {
         self.durability.shutdown();
+    }
+}
+
+/// The closed-loop retry policy shared by the blocking and pipelined
+/// execute entry points: retry retryable aborts up to `max_attempts` with
+/// a short backoff (as the paper does for SSI retries), and report how
+/// many attempts aborted.
+fn retry_attempts<R>(
+    max_attempts: usize,
+    mut attempt: impl FnMut() -> CcResult<R>,
+) -> CcResult<(R, usize)> {
+    let mut aborts = 0;
+    loop {
+        match attempt() {
+            Ok(value) => return Ok((value, aborts)),
+            Err(err) if err.is_retryable() && aborts + 1 < max_attempts => {
+                aborts += 1;
+                std::thread::sleep(Duration::from_micros(200 * aborts.min(10) as u64));
+            }
+            Err(err) => return Err(err),
+        }
     }
 }
 

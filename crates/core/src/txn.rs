@@ -248,6 +248,18 @@ impl<'a> Txn<'a> {
         Ok(commit_ts)
     }
 
+    /// [`commit`](Txn::commit) with the durability wait deferred: the
+    /// commit records are appended (fixing their place in the log order)
+    /// but the flush is left to the caller, who must wait on the returned
+    /// funnel sequence before acknowledging the commit. `None` means the
+    /// commit is already as durable as the policy requires.
+    pub(crate) fn commit_deferred(&mut self) -> CcResult<(Timestamp, Option<u64>)> {
+        self.validate_and_wait_deps()?;
+        let (commit_ts, harden) = apply_commit_deferred(self.db, &self.path, &mut self.ctx);
+        self.phase = TxnPhase::Finished;
+        Ok((commit_ts, harden))
+    }
+
     /// Validation phase plus dependency wait — everything that can still
     /// abort the transaction. After this returns `Ok` the transaction is
     /// *prepared*: it holds every resource needed to commit on demand, which
@@ -332,7 +344,23 @@ impl<'a> Txn<'a> {
 /// must happen in [`Txn::validate_and_wait_deps`], which is what makes the
 /// prepared state of the cross-shard two-phase commit safe to park.
 pub(crate) fn apply_commit(db: &Database, path: &[PathEntry], ctx: &mut TxnCtx) -> Timestamp {
-    apply_commit_inner(db, path, ctx, false)
+    apply_commit_inner(db, path, ctx, false, false).0
+}
+
+/// [`apply_commit`] with the durability wait deferred: the commit records
+/// are appended into the group-commit funnel (fixing their place in the
+/// log order) but the flush wait is returned to the caller as a funnel
+/// sequence instead of blocking here. The versions are published and the
+/// locks released immediately, so the flush no longer sits inside the
+/// critical section; read-from consistency survives because the durable
+/// log is always a prefix of the append order (a dependent transaction's
+/// flush hardens these records first).
+pub(crate) fn apply_commit_deferred(
+    db: &Database,
+    path: &[PathEntry],
+    ctx: &mut TxnCtx,
+) -> (Timestamp, Option<u64>) {
+    apply_commit_inner(db, path, ctx, false, true)
 }
 
 /// [`apply_commit`] for a transaction whose writes were already hardened in
@@ -344,7 +372,7 @@ pub(crate) fn apply_commit_prepared(
     path: &[PathEntry],
     ctx: &mut TxnCtx,
 ) -> Timestamp {
-    apply_commit_inner(db, path, ctx, true)
+    apply_commit_inner(db, path, ctx, true, false).0
 }
 
 fn apply_commit_inner(
@@ -352,7 +380,8 @@ fn apply_commit_inner(
     path: &[PathEntry],
     ctx: &mut TxnCtx,
     prepared: bool,
-) -> Timestamp {
+    defer_harden: bool,
+) -> (Timestamp, Option<u64>) {
     // Register the commit as in flight so snapshot readers (SSI) do not
     // take a start timestamp above it until every key is marked
     // committed; deregistered below once the commit is fully applied.
@@ -364,15 +393,29 @@ fn apply_commit_inner(
     // commit coalesced) flush. A prepared transaction already hardened its
     // writes in the Prepare record, so only the commit notification is
     // logged.
+    let mut harden = None;
     if db.durability.is_enabled() && !ctx.write_keys.is_empty() {
         if prepared {
             db.durability
                 .commit(ctx.txn, db.durability.current_epoch(), commit_ts);
         } else {
             let by_shard: Vec<_> = collect_writes_by_shard(db, ctx).into_iter().collect();
-            db.durability
-                .commit_transaction(ctx.txn, by_shard, commit_ts);
+            if defer_harden {
+                harden = db
+                    .durability
+                    .commit_transaction_deferred(ctx.txn, by_shard, commit_ts);
+            } else {
+                db.durability
+                    .commit_transaction(ctx.txn, by_shard, commit_ts);
+            }
         }
+    } else if defer_harden {
+        // A read-only commit writes no records, but its result may derive
+        // from a deferred commit whose versions are visible while its
+        // flush is still pending: the acknowledgement must wait for that
+        // flush (see `DurabilityManager::read_barrier`), or a crash could
+        // lose data an acknowledged read already reflected.
+        harden = db.durability.read_barrier();
     }
 
     // Make the new versions visible, then mark the transaction committed
@@ -387,7 +430,7 @@ fn apply_commit_inner(
     for entry in path.iter().rev() {
         entry.mechanism.commit(ctx, entry.lane, commit_ts);
     }
-    commit_ts
+    (commit_ts, harden)
 }
 
 /// Applies an abort: discards writes, marks the transaction aborted, and

@@ -117,6 +117,20 @@ impl GroupCommit {
     /// of the append order — a crash can lose an unacknowledged suffix but
     /// never punch a hole.
     pub fn append_durable(&self, records: &[LogRecord]) {
+        let my_seq = self.append(records);
+        self.wait_durable_seq(my_seq);
+    }
+
+    /// The append half of [`append_durable`](GroupCommit::append_durable):
+    /// puts `records` into the log order and returns the funnel sequence
+    /// number to later pass to
+    /// [`wait_durable_seq`](GroupCommit::wait_durable_seq). The records are
+    /// **not yet durable** when this returns — a caller must not
+    /// acknowledge anything that depends on them until the wait completes.
+    /// Splitting the two halves is what lets a shard worker pipeline: it
+    /// appends one prepare's record, hands the sequence to a completion
+    /// loop, and immediately starts the next transaction's body.
+    pub fn append(&self, records: &[LogRecord]) -> u64 {
         let my_seq = {
             let mut state = self.state.lock();
             for record in records {
@@ -126,6 +140,15 @@ impl GroupCommit {
             state.appended
         };
         self.appends.fetch_add(1, Ordering::Relaxed);
+        my_seq
+    }
+
+    /// Blocks until every record appended at or below `seq` is durable.
+    /// The first waiter becomes the flush leader exactly as in
+    /// [`append_durable`](GroupCommit::append_durable); a completion loop
+    /// waiting on the highest sequence of a batch hardens the whole batch
+    /// with (at most) one device flush.
+    pub fn wait_durable_seq(&self, my_seq: u64) {
         let mut led = false;
         let mut state = self.state.lock();
         loop {
@@ -158,6 +181,12 @@ impl GroupCommit {
             }
             self.hardened_cv.notify_all();
         }
+    }
+
+    /// True when every record appended at or below `seq` is already
+    /// durable (no wait needed).
+    pub fn is_hardened(&self, seq: u64) -> bool {
+        self.state.lock().hardened >= seq
     }
 
     /// Device flushes performed by group leaders.
@@ -194,6 +223,11 @@ pub struct DurabilityManager {
     commits: AtomicU64,
     flushes: AtomicU64,
     epochs_sealed: AtomicU64,
+    /// Highest funnel sequence holding a *deferred* commit record — a
+    /// commit whose versions are already published but whose flush is
+    /// still pending. The read barrier below gates read-only
+    /// acknowledgements on it.
+    last_deferred_commit_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for DurabilityManager {
@@ -238,6 +272,7 @@ impl DurabilityManager {
             commits: AtomicU64::new(0),
             flushes: AtomicU64::new(0),
             epochs_sealed: AtomicU64::new(0),
+            last_deferred_commit_seq: AtomicU64::new(0),
         });
         if let FlushPolicy::Asynchronous { epoch_interval } = policy {
             let weak = Arc::downgrade(&mgr);
@@ -314,15 +349,41 @@ impl DurabilityManager {
     /// Hardens one transaction's whole commit — every per-data-server
     /// precommit record plus the commit notification — as a single batch:
     /// one (coalesced) flush under the synchronous policy instead of one
-    /// per record. Returns the transaction's global epoch id.
+    /// per record. The blocking half of
+    /// [`commit_transaction_deferred`](DurabilityManager::commit_transaction_deferred).
     pub fn commit_transaction(
         &self,
         txn: TxnId,
         by_shard: Vec<(u32, Vec<(Key, Value)>)>,
         commit_ts: Timestamp,
-    ) -> u64 {
+    ) {
+        if let Some(seq) = self.commit_transaction_deferred(txn, by_shard, commit_ts) {
+            self.wait_group_seq(seq);
+        }
+    }
+
+    /// The pipelined variant of
+    /// [`commit_transaction`](DurabilityManager::commit_transaction):
+    /// appends the whole batch into the group-commit funnel *without
+    /// waiting for the flush* and returns the funnel sequence to pass to
+    /// [`wait_group_seq`](DurabilityManager::wait_group_seq) before
+    /// acknowledging the commit to the client. Deferring only the wait is
+    /// safe: the records take their place in the log order immediately, so
+    /// any dependent transaction's flush hardens them first (the durable
+    /// log is always a prefix of the append order) — a crash can lose an
+    /// *unacknowledged* suffix but never an acknowledged commit or a
+    /// read-from edge. Returns `None` when there is nothing left to wait
+    /// for: durability disabled, a non-synchronous policy (the background
+    /// sealer owns the flush), or coalescing off (flushed synchronously
+    /// before returning, the legacy baseline).
+    pub fn commit_transaction_deferred(
+        &self,
+        txn: TxnId,
+        by_shard: Vec<(u32, Vec<(Key, Value)>)>,
+        commit_ts: Timestamp,
+    ) -> Option<u64> {
         if !self.is_enabled() {
-            return 0;
+            return None;
         }
         let epoch = if self.policy == FlushPolicy::Synchronous {
             0
@@ -347,14 +408,47 @@ impl DurabilityManager {
             global_epoch: epoch,
             commit_ts,
         });
-        if self.policy == FlushPolicy::Synchronous {
-            self.flush_coalesced(&records);
-        } else {
+        if self.policy != FlushPolicy::Synchronous {
             for record in &records {
                 self.device.append(record);
             }
+            return None;
         }
-        epoch
+        if self.coalesce {
+            let seq = self.group.append(&records);
+            self.last_deferred_commit_seq
+                .fetch_max(seq, Ordering::Relaxed);
+            Some(seq)
+        } else {
+            self.flush_coalesced(&records);
+            None
+        }
+    }
+
+    /// The read-only acknowledgement barrier of the pipelined path. A
+    /// deferred commit publishes its versions *before* its flush, so a
+    /// read-only transaction may compute its result from
+    /// committed-but-not-yet-durable data; writing dependents are safe
+    /// automatically (their own records append later, and the durable log
+    /// is a prefix of append order), but a read-only transaction appends
+    /// nothing — its acknowledgement must instead wait until every
+    /// published deferred commit so far is durable, or a crash could lose
+    /// data an acknowledged read already reflected. Returns the funnel
+    /// sequence to pass to [`wait_group_seq`](DurabilityManager::wait_group_seq),
+    /// or `None` when there is nothing unflushed to wait for (also under
+    /// non-synchronous policies, where acknowledgements are decoupled from
+    /// durability by design, and with coalescing off, where every commit
+    /// flushed inline).
+    pub fn read_barrier(&self) -> Option<u64> {
+        if self.policy != FlushPolicy::Synchronous || !self.coalesce {
+            return None;
+        }
+        let seq = self.last_deferred_commit_seq.load(Ordering::Relaxed);
+        if seq == 0 || self.group.is_hardened(seq) {
+            None
+        } else {
+            Some(seq)
+        }
     }
 
     /// Logs one write operation.
@@ -419,13 +513,53 @@ impl DurabilityManager {
         if !self.is_enabled() {
             return false;
         }
+        if let Some(seq) = self.prepare_deferred(txn, global, writes) {
+            self.wait_group_seq(seq);
+        }
+        true
+    }
+
+    /// The pipelined variant of [`prepare`](DurabilityManager::prepare):
+    /// appends the prepare record into the group-commit funnel *without
+    /// waiting for the flush* and returns the funnel sequence to pass to
+    /// [`wait_group_seq`](DurabilityManager::wait_group_seq). The record —
+    /// and therefore the shard's yes-vote — is durable only after that wait
+    /// completes. Returns `None` when there is nothing left to wait for:
+    /// durability is disabled (no record at all), or flush coalescing is
+    /// off (the legacy baseline), in which case the record was flushed
+    /// synchronously before returning.
+    pub fn prepare_deferred(
+        &self,
+        txn: TxnId,
+        global: u64,
+        writes: Vec<(Key, Value)>,
+    ) -> Option<u64> {
+        if !self.is_enabled() {
+            return None;
+        }
         self.prepares.fetch_add(1, Ordering::Relaxed);
-        self.flush_coalesced(std::slice::from_ref(&LogRecord::Prepare {
+        let record = LogRecord::Prepare {
             txn,
             global,
             writes,
-        }));
-        true
+        };
+        if self.coalesce {
+            Some(self.group.append(std::slice::from_ref(&record)))
+        } else {
+            self.device.append(&record);
+            self.device.flush();
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Blocks until the funnel sequence returned by
+    /// [`prepare_deferred`](DurabilityManager::prepare_deferred) is durable,
+    /// electing a group-commit flush leader if no flush is in flight.
+    /// Waiting on the highest sequence of a batch hardens the whole batch
+    /// with at most one device flush.
+    pub fn wait_group_seq(&self, seq: u64) {
+        self.group.wait_durable_seq(seq);
     }
 
     /// Appends an abort marker resolving an earlier prepare record, so

@@ -40,8 +40,12 @@ fn main() {
     // account ids are the partition keys (modulo routing). The transaction
     // bodies are registered here — the shard boundary itself only ever
     // sees serializable ShardRequest values.
+    // Durability on: prepares and commits harden WAL records, so the
+    // prepare pipeline (batch section below) has real flushes to defer.
+    let mut config = ClusterConfig::for_tests(4);
+    config.db_config.durability = tebaldi_suite::core::DurabilityMode::Synchronous;
     let cluster = Arc::new(
-        Cluster::builder(ClusterConfig::for_tests(4))
+        Cluster::builder(config)
             .procedures(procedures)
             .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER]))
             .shard_procedure(LOCAL_TRANSFER, |txn, args| {
@@ -137,6 +141,43 @@ fn main() {
         committed += 1;
     }
     println!("asynchronously committed {committed} mailbox transactions");
+
+    // --- Pipelined phase one across a batch of 2PC transactions -----------
+    // One thread submits every transaction's prepares before collecting any
+    // vote: the shards keep many prepare bodies in flight at once (bounded
+    // by `ClusterConfig::max_inflight_per_shard`), hardening their WAL
+    // records in batches through each shard's completion loop.
+    let batch: Vec<_> = (0..6u64)
+        .map(|i| {
+            let from = (2 * i + 1) % N_ACCOUNTS;
+            let to = (2 * i + 2) % N_ACCOUNTS;
+            vec![
+                procs::increment_part(
+                    cluster.shard_of(from),
+                    ProcedureCall::new(TRANSFER),
+                    Key::simple(ACCOUNTS, from),
+                    0,
+                    -10,
+                ),
+                procs::increment_part(
+                    cluster.shard_of(to),
+                    ProcedureCall::new(TRANSFER),
+                    Key::simple(ACCOUNTS, to),
+                    0,
+                    10,
+                ),
+            ]
+        })
+        .collect();
+    let batch_len = batch.len();
+    let results = cluster.execute_multi_batch(batch);
+    let batch_committed = results.iter().filter(|r| r.is_ok()).count();
+    println!(
+        "batched 2PC: {batch_committed}/{batch_len} transfers committed with overlapped phase one \
+         (peak pipeline depth {})",
+        cluster.stats().max_pipeline_depth
+    );
+    assert_eq!(batch_committed, batch_len);
 
     // Global invariant: every transfer conserved the total balance.
     let mut total = 0i64;

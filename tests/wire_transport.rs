@@ -74,6 +74,8 @@ fn result_from_seed((variant, a, b): (u32, u64, u64)) -> Result<ShardResponse, C
             aborted: b,
             flushes: a ^ b,
             in_doubt: a % 7,
+            queue_wait_ns: a.wrapping_add(b),
+            pipeline_depth: b % 33,
         })),
         4 => Ok(ShardResponse::Flushed),
         5 => Err(CcError::Conflict {
@@ -138,6 +140,391 @@ proptest! {
         for cut in 0..payload.len() {
             prop_assert!(wire::decode_request(&payload[..cut]).is_err());
         }
+    }
+}
+
+/// The prepare pipeline over real sockets: one connection carrying many
+/// outstanding req-ids with out-of-order completion, a bounded in-flight
+/// window, timeout behavior when the pipeline wedges solid, and per-
+/// connection fairness under a hostile burst.
+mod pipelining {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use tebaldi_suite::cc::{AccessMode, CcError, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+    use tebaldi_suite::cluster::{
+        procs, Cluster, ClusterConfig, ShardRequest, ShardTransport, ShardWorkers, TcpShardServer,
+        TcpTransport, TransportKind,
+    };
+    use tebaldi_suite::core::{Database, DbConfig, ProcId, ProcRegistry, ProcedureCall};
+    use tebaldi_suite::storage::wal::{LogDevice, MemLogDevice};
+    use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
+
+    const TABLE: TableId = TableId(0);
+    const TY: TxnTypeId = TxnTypeId(0);
+    const PUT7: ProcId = ProcId(50);
+    const NAP_GET: ProcId = ProcId(51);
+
+    fn registry() -> ProcRegistry {
+        let mut reg = ProcRegistry::new();
+        procs::register_builtins(&mut reg);
+        // put7(key_id): write Int(7) — a read-write body whose prepare
+        // needs hardening.
+        reg.register_fn(PUT7, |txn, args| {
+            let mut r = tebaldi_suite::storage::codec::ByteReader::new(args);
+            let id = r.u64().map_err(|e| CcError::Internal(e.to_string()))?;
+            txn.put(Key::simple(TABLE, id), Value::Int(7))
+                .map(|()| Value::Null)
+        });
+        // nap_get(key_id): sleep ~10ms, then read — a slow body for
+        // burst/fairness tests.
+        reg.register_fn(NAP_GET, |txn, args| {
+            let mut r = tebaldi_suite::storage::codec::ByteReader::new(args);
+            let id = r.u64().map_err(|e| CcError::Internal(e.to_string()))?;
+            std::thread::sleep(Duration::from_millis(10));
+            Ok(txn.get(Key::simple(TABLE, id))?.unwrap_or(Value::Null))
+        });
+        reg
+    }
+
+    fn key_args(id: u64) -> Vec<u8> {
+        let mut w = tebaldi_suite::storage::codec::ByteWriter::new();
+        w.put_u64(id);
+        w.into_bytes()
+    }
+
+    /// A 1-worker shard over a WAL device with a real flush latency, so a
+    /// prepare's hardening takes measurable time.
+    fn slow_flush_pool(window: usize, flush: Duration) -> (Arc<ShardWorkers>, Arc<dyn LogDevice>) {
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "pipeline",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        let mut config = DbConfig::for_tests();
+        config.durability = tebaldi_suite::core::DurabilityMode::Synchronous;
+        let device: Arc<dyn LogDevice> = Arc::new(MemLogDevice::with_flush_latency(flush));
+        let db = Arc::new(
+            Database::builder(config)
+                .procedures(procedures)
+                .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+                .log_device(Arc::clone(&device))
+                .build()
+                .unwrap(),
+        );
+        (
+            ShardWorkers::spawn_with_window(0, db, 1, Arc::new(registry()), window),
+            device,
+        )
+    }
+
+    /// One TCP connection, two outstanding requests: a prepare whose
+    /// hardening takes ~100ms and a fast execute submitted after it. With
+    /// the pipeline on, the execute's reply overtakes the prepare's on the
+    /// same connection — out-of-order completion — because the worker
+    /// defers the flush wait to the completion loop and picks up the next
+    /// body immediately.
+    #[test]
+    fn replies_complete_out_of_order_on_one_connection() {
+        let flush = Duration::from_millis(100);
+        let (workers, _device) = slow_flush_pool(16, flush);
+        let server = TcpShardServer::spawn(0, Arc::clone(&workers)).unwrap();
+        let transport =
+            TcpTransport::connect_with_window(&[server.addr()], 16, Duration::from_secs(5))
+                .unwrap();
+        workers.db().load(Key::simple(TABLE, 5), Value::Int(41));
+
+        let started = Instant::now();
+        let prepare_ticket = transport.submit(
+            0,
+            ShardRequest::Prepare {
+                global: 1,
+                proc: PUT7,
+                call: ProcedureCall::new(TY),
+                args: key_args(9),
+            },
+        );
+        let execute_ticket = transport.submit(
+            0,
+            ShardRequest::Execute {
+                proc: procs::KV_GET,
+                call: ProcedureCall::new(TY),
+                args: procs::key_args(Key::simple(TABLE, 5)),
+                max_attempts: 5,
+            },
+        );
+        // The read completes while the prepare is still hardening: its
+        // reply must not be stuck behind the earlier request's flush.
+        let (value, _) = execute_ticket
+            .wait()
+            .unwrap()
+            .unwrap()
+            .into_executed()
+            .unwrap();
+        assert_eq!(value, Value::Int(41));
+        let overtook_at = started.elapsed();
+        assert!(
+            overtook_at < flush,
+            "the fast execute must overtake the hardening prepare \
+             (completed after {overtook_at:?}, flush takes {flush:?})"
+        );
+        // The prepare still completes correctly — durable, parked, and
+        // decidable — it was just slower.
+        let (_, vote) = prepare_ticket
+            .wait()
+            .unwrap()
+            .unwrap()
+            .into_prepared()
+            .unwrap();
+        assert_eq!(vote, tebaldi_suite::cluster::Vote::ReadWrite);
+        assert!(
+            started.elapsed() >= flush,
+            "hardening cannot beat the flush"
+        );
+        assert_eq!(workers.in_doubt_count(), 1);
+        workers.decide(1, true);
+        assert_eq!(workers.in_doubt_count(), 0);
+        assert!(
+            workers.pipeline_stats().max_depth >= 2,
+            "one worker must have had both bodies in flight"
+        );
+        ShardTransport::shutdown(&transport);
+        server.shutdown();
+        workers.shutdown();
+    }
+
+    /// Many concurrent prepares over one connection: every one completes,
+    /// and the shard never admits more bodies than the in-flight window —
+    /// the backpressure the window exists to provide.
+    #[test]
+    fn inflight_window_bounds_concurrent_prepares() {
+        const WINDOW: usize = 4;
+        let (workers, device) = slow_flush_pool(WINDOW, Duration::from_millis(2));
+        let server = TcpShardServer::spawn_with_window(0, Arc::clone(&workers), WINDOW).unwrap();
+        let transport = Arc::new(
+            TcpTransport::connect_with_window(&[server.addr()], WINDOW, Duration::from_secs(10))
+                .unwrap(),
+        );
+        let n = 24u64;
+        let handles: Vec<_> = (0..n)
+            .map(|i| {
+                let transport = Arc::clone(&transport);
+                std::thread::spawn(move || {
+                    transport
+                        .submit(
+                            0,
+                            ShardRequest::Prepare {
+                                global: 100 + i,
+                                proc: PUT7,
+                                call: ProcedureCall::new(TY),
+                                args: key_args(1000 + i),
+                            },
+                        )
+                        .wait()
+                        .unwrap()
+                        .unwrap()
+                        .into_prepared()
+                        .unwrap()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (_, vote) = handle.join().unwrap();
+            assert_eq!(vote, tebaldi_suite::cluster::Vote::ReadWrite);
+        }
+        assert_eq!(workers.in_doubt_count(), n as usize);
+        // Every yes-vote was hardened before it was acknowledged.
+        let prepares = device
+            .read_back()
+            .iter()
+            .filter(|r| matches!(r, tebaldi_suite::storage::wal::LogRecord::Prepare { .. }))
+            .count();
+        assert_eq!(prepares, n as usize);
+        let stats = workers.pipeline_stats();
+        assert!(
+            stats.max_depth as usize <= WINDOW,
+            "admission exceeded the window: {} > {WINDOW}",
+            stats.max_depth
+        );
+        assert!(
+            stats.max_depth >= 2,
+            "a 1-worker shard must still overlap prepares, depth={}",
+            stats.max_depth
+        );
+        for i in 0..n {
+            workers.decide(100 + i, false);
+        }
+        ShardTransport::shutdown(&*transport);
+        server.shutdown();
+        workers.shutdown();
+    }
+
+    /// A wedged shard with a full pipeline: every queued request — those on
+    /// the wire *and* those still waiting for a window slot — resolves
+    /// within the prepare timeout; nothing hangs head-of-line, and no late
+    /// prepare stays parked.
+    #[test]
+    fn full_pipeline_still_honors_prepare_timeout() {
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "pipeline",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        let mut config = ClusterConfig::for_tests(2);
+        config.transport = TransportKind::Tcp;
+        config.workers_per_shard = 1;
+        config.max_inflight_per_shard = 2;
+        config.prepare_timeout_ms = 300;
+        config.db_config.durability = tebaldi_suite::core::DurabilityMode::Synchronous;
+        let cluster = Arc::new(
+            Cluster::builder(config)
+                .procedures(procedures)
+                .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+                // Wedge: every prepare body on this procedure sleeps far
+                // past the prepare timeout.
+                .shard_procedure(ProcId(60), |txn, args| {
+                    let mut r = tebaldi_suite::storage::codec::ByteReader::new(args);
+                    let id = r.u64().map_err(|e| CcError::Internal(e.to_string()))?;
+                    std::thread::sleep(Duration::from_millis(1_200));
+                    txn.increment(Key::simple(TABLE, id), 0, 1).map(Value::Int)
+                })
+                .build()
+                .unwrap(),
+        );
+        for account in 0..8u64 {
+            cluster.load(account, Key::simple(TABLE, account), Value::Int(0));
+        }
+        // Six concurrent cross-shard transactions all needing the wedged
+        // procedure on shard 1: the window (2) fills, later submissions
+        // wait for a slot that never opens in time.
+        let started = Instant::now();
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..6)
+            .map(|i| {
+                let cluster = Arc::clone(&cluster);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let healthy = procs::increment_part(
+                        0,
+                        ProcedureCall::new(TY),
+                        Key::simple(TABLE, 2 * (i as u64)),
+                        0,
+                        1,
+                    );
+                    let wedged = tebaldi_suite::cluster::ShardPart::new(
+                        1,
+                        ProcedureCall::new(TY),
+                        ProcId(60),
+                        key_args(2 * (i as u64) + 1),
+                    );
+                    let result = cluster.execute_multi(vec![healthy, wedged]);
+                    done.fetch_add(1, Ordering::SeqCst);
+                    result
+                })
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().unwrap();
+            assert!(
+                matches!(result, Err(CcError::Internal(_))),
+                "a wedged pipeline must time out cleanly, got {result:?}"
+            );
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 6, "no request may hang");
+        // Every caller resolved within a small multiple of the prepare
+        // timeout (queued requests must not serialize their timeouts).
+        assert!(
+            started.elapsed() < Duration::from_secs(4),
+            "queued requests serialized their timeouts: {:?}",
+            started.elapsed()
+        );
+        // The late prepares eventually land and must abort against the
+        // orphan decisions rather than park holding locks.
+        std::thread::sleep(Duration::from_millis(1_500));
+        assert_eq!(cluster.in_doubt_count(), 0, "late prepares must not park");
+        cluster.shutdown();
+    }
+
+    /// One client blasting an oversized burst down a single connection
+    /// cannot starve a second connection: the server stops reading the
+    /// burster once its per-connection admission budget is full, so the
+    /// victim's single request reaches the shard queue almost immediately.
+    #[test]
+    fn burst_from_one_connection_cannot_starve_another() {
+        let mut procedures = ProcedureSet::new();
+        procedures.insert(ProcedureInfo::new(
+            TY,
+            "pipeline",
+            vec![(TABLE, AccessMode::Write)],
+        ));
+        let db = Arc::new(
+            Database::builder(DbConfig::for_tests())
+                .procedures(procedures)
+                .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+                .build()
+                .unwrap(),
+        );
+        db.load(Key::simple(TABLE, 1), Value::Int(9));
+        let workers = ShardWorkers::spawn_with_window(0, db, 1, Arc::new(registry()), 8);
+        // Small per-connection budget: at most 4 of the burster's requests
+        // may occupy the shard queue at once.
+        let server = TcpShardServer::spawn_with_window(0, Arc::clone(&workers), 4).unwrap();
+
+        // The burster: 40 slow executes (~10ms each) down one connection,
+        // no client-side window (a misbehaving client).
+        let burster = Arc::new(TcpTransport::connect(&[server.addr()]).unwrap());
+        let burst_tickets: Vec<_> = (0..40)
+            .map(|_| {
+                burster.submit(
+                    0,
+                    ShardRequest::Execute {
+                        proc: NAP_GET,
+                        call: ProcedureCall::new(TY),
+                        args: key_args(1),
+                        max_attempts: 3,
+                    },
+                )
+            })
+            .collect();
+        // Give the burst a moment to fill the server-side budget.
+        std::thread::sleep(Duration::from_millis(30));
+
+        // The victim: one fast request on its own connection.
+        let victim = TcpTransport::connect(&[server.addr()]).unwrap();
+        let started = Instant::now();
+        let (value, _) = victim
+            .submit(
+                0,
+                ShardRequest::Execute {
+                    proc: procs::KV_GET,
+                    call: ProcedureCall::new(TY),
+                    args: procs::key_args(Key::simple(TABLE, 1)),
+                    max_attempts: 3,
+                },
+            )
+            .wait()
+            .unwrap()
+            .unwrap()
+            .into_executed()
+            .unwrap();
+        let victim_latency = started.elapsed();
+        assert_eq!(value, Value::Int(9));
+        // Unthrottled, the victim would wait out the whole ~400ms burst;
+        // with the budget it queues behind at most a handful of naps.
+        assert!(
+            victim_latency < Duration::from_millis(200),
+            "victim starved behind the burst: {victim_latency:?}"
+        );
+        // The burst still completes fully (throttled, not dropped).
+        for ticket in burst_tickets {
+            ticket.wait().unwrap().unwrap();
+        }
+        ShardTransport::shutdown(&victim);
+        ShardTransport::shutdown(&*burster);
+        server.shutdown();
+        workers.shutdown();
     }
 }
 
