@@ -10,6 +10,7 @@
 
 use serde::Serialize;
 use std::collections::HashMap;
+use tebaldi_obs::HistogramSnapshot;
 use tebaldi_storage::TxnTypeId;
 
 /// Mean latency of each type at one load level.
@@ -65,6 +66,24 @@ pub fn sample(clients: usize, latencies: &[(TxnTypeId, f64)]) -> LoadLevelSample
     }
 }
 
+/// One load-level sample straight from per-type latency histograms
+/// (nanosecond samples in the shared `tebaldi-obs` format, as collected by
+/// the benchmark driver). Types with no samples are skipped — an empty
+/// histogram has no mean to compare.
+pub fn sample_from_histograms(
+    clients: usize,
+    histograms: &[(TxnTypeId, &HistogramSnapshot)],
+) -> LoadLevelSample {
+    LoadLevelSample {
+        clients,
+        mean_latency_ms: histograms
+            .iter()
+            .filter(|(_, h)| h.count > 0)
+            .map(|(ty, h)| (ty.0, h.mean() / 1e6))
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +106,34 @@ mod tests {
     fn needs_at_least_two_levels() {
         let diagnosis = diagnose(&[sample(10, &[(TxnTypeId(0), 1.0)])]);
         assert!(diagnosis.suspected.is_empty());
+    }
+
+    #[test]
+    fn histogram_samples_match_direct_means() {
+        // The same sweep as above, but fed as shared-histogram snapshots:
+        // the diagnosis must be identical.
+        let hist = |ms: u64| {
+            let h = tebaldi_obs::Histogram::new();
+            h.record(ms * 1_000_000);
+            h.snapshot()
+        };
+        let (low_pay, low_stock) = (hist(2), hist(5));
+        let (high_pay, high_stock) = (hist(200), hist(6));
+        let empty = HistogramSnapshot::default();
+        let samples = vec![
+            sample_from_histograms(10, &[(TxnTypeId(0), &low_pay), (TxnTypeId(4), &low_stock)]),
+            sample_from_histograms(
+                1000,
+                &[
+                    (TxnTypeId(0), &high_pay),
+                    (TxnTypeId(4), &high_stock),
+                    (TxnTypeId(9), &empty),
+                ],
+            ),
+        ];
+        assert!(!samples[1].mean_latency_ms.contains_key(&9));
+        let diagnosis = diagnose(&samples);
+        assert_eq!(diagnosis.suspected, vec![0]);
+        assert!(diagnosis.growth[&0] > 50.0);
     }
 }

@@ -1,0 +1,420 @@
+//! `bench_diff` — compare two `BENCH_*.json` trajectory snapshots and flag
+//! throughput regressions.
+//!
+//! The benchmark box is small and noisy: absolute throughput drifts ~30%
+//! run-to-run, so fixed thresholds ("fail if 10% slower") misfire in both
+//! directions. Instead the differ compares *relative* movement: it matches
+//! rows between baseline and candidate by their identity columns, takes the
+//! log-ratio of candidate/baseline throughput per row, and robustly centers
+//! the ratios with the median. Systemic drift (the whole machine slower
+//! today) shifts every ratio equally and lands in the median; a *localized*
+//! regression — one leg of a sweep falling while the rest hold — shows up
+//! as a ratio far below the median band, measured in MAD (median absolute
+//! deviation) units with a floor so identical runs (MAD = 0) don't flag
+//! float dust.
+//!
+//! ```text
+//! bench_diff <baseline> <candidate> [--report-only] [--band MADS] [--floor PCT]
+//! ```
+//!
+//! `baseline`/`candidate` are either two JSON files or two directories
+//! (every `BENCH_*.json` present in both is compared). Exit status is 0
+//! when no regression is flagged (or `--report-only` is given), 1 on
+//! regression, 2 on usage/parse errors.
+
+use serde::Json;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Rows deviating more than `band` MADs below the median ratio are flagged
+/// (default, overridable with `--band`).
+const DEFAULT_BAND_MADS: f64 = 3.0;
+/// ... but never for less than this relative drop (default 10%,
+/// overridable with `--floor`): when every row moves identically MAD is 0
+/// and any epsilon would flag.
+const DEFAULT_FLOOR_PCT: f64 = 10.0;
+
+/// Identity columns: integer-valued fields that configure a row rather
+/// than measure it. String fields are always identity.
+const IDENTITY_INTS: [&str; 4] = ["shards", "clients", "max_inflight", "window"];
+
+struct Options {
+    baseline: PathBuf,
+    candidate: PathBuf,
+    report_only: bool,
+    band_mads: f64,
+    floor_pct: f64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut report_only = false;
+    let mut band_mads = DEFAULT_BAND_MADS;
+    let mut floor_pct = DEFAULT_FLOOR_PCT;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report-only" => report_only = true,
+            "--band" => {
+                i += 1;
+                band_mads = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--band needs a number")?;
+            }
+            "--floor" => {
+                i += 1;
+                floor_pct = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--floor needs a number")?;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+        i += 1;
+    }
+    if paths.len() != 2 {
+        return Err(format!(
+            "usage: bench_diff <baseline> <candidate> [--report-only] [--band MADS] [--floor PCT]\n\
+             got {} positional arguments",
+            paths.len()
+        ));
+    }
+    let candidate = paths.pop().unwrap();
+    let baseline = paths.pop().unwrap();
+    Ok(Options {
+        baseline,
+        candidate,
+        report_only,
+        band_mads,
+        floor_pct,
+    })
+}
+
+/// A row reduced to its identity key and throughput.
+struct BenchRow {
+    key: String,
+    throughput: f64,
+}
+
+fn number(value: &Json) -> Option<f64> {
+    match value {
+        Json::U(u) => Some(*u as f64),
+        Json::I(i) => Some(*i as f64),
+        Json::F(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Builds the identity key of one row: every string field plus the
+/// configuration integers, in file order.
+fn identity_key(row: &Json) -> String {
+    let mut parts = Vec::new();
+    if let Some(fields) = row.as_obj() {
+        for (name, value) in fields {
+            match value {
+                Json::Str(s) => parts.push(format!("{name}={s}")),
+                Json::U(_) | Json::I(_) if IDENTITY_INTS.contains(&name.as_str()) => {
+                    parts.push(format!("{name}={}", number(value).unwrap_or(0.0)))
+                }
+                _ => {}
+            }
+        }
+    }
+    parts.join("/")
+}
+
+/// Extracts the comparable rows of one trajectory file. Duplicate identity
+/// keys get a positional suffix so sweeps with repeated legs still match
+/// one-to-one.
+fn extract_rows(report: &Json) -> Vec<BenchRow> {
+    let rows = report
+        .get("rows")
+        .and_then(|r| r.as_arr())
+        .unwrap_or_default();
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    let mut out = Vec::new();
+    for row in rows {
+        let Some(throughput) = row.get("throughput").and_then(number) else {
+            continue;
+        };
+        let mut key = identity_key(row);
+        match seen.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, n)) => {
+                *n += 1;
+                key = format!("{key}#{n}");
+            }
+            None => seen.push((key.clone(), 0)),
+        }
+        out.push(BenchRow { key, throughput });
+    }
+    out
+}
+
+fn median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+struct FileDiff {
+    name: String,
+    /// (key, baseline tput, candidate tput, log ratio), flagged last.
+    flagged: Vec<(String, f64, f64, f64)>,
+    matched: usize,
+    unmatched: usize,
+    median_ratio: f64,
+}
+
+/// Diffs one baseline/candidate file pair.
+fn diff_file(name: &str, baseline: &Json, candidate: &Json, options: &Options) -> FileDiff {
+    let base_rows = extract_rows(baseline);
+    let cand_rows = extract_rows(candidate);
+    let mut pairs: Vec<(String, f64, f64, f64)> = Vec::new();
+    let mut unmatched = 0usize;
+    for b in &base_rows {
+        match cand_rows.iter().find(|c| c.key == b.key) {
+            Some(c) if b.throughput > 0.0 && c.throughput > 0.0 => {
+                pairs.push((
+                    b.key.clone(),
+                    b.throughput,
+                    c.throughput,
+                    (c.throughput / b.throughput).ln(),
+                ));
+            }
+            _ => unmatched += 1,
+        }
+    }
+    unmatched += cand_rows
+        .iter()
+        .filter(|c| base_rows.iter().all(|b| b.key != c.key))
+        .count();
+
+    let mut ratios: Vec<f64> = pairs.iter().map(|p| p.3).collect();
+    ratios.sort_by(f64::total_cmp);
+    let (med, band) = if ratios.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let med = median(&ratios);
+        let mut deviations: Vec<f64> = ratios.iter().map(|r| (r - med).abs()).collect();
+        deviations.sort_by(f64::total_cmp);
+        let mad = median(&deviations);
+        // The noise band below the median: `band_mads` MADs, floored at a
+        // fixed relative drop so MAD = 0 (identical runs) can't flag dust.
+        let floor = -(1.0 - options.floor_pct / 100.0)
+            .max(f64::MIN_POSITIVE)
+            .ln();
+        (med, (options.band_mads * mad).max(floor))
+    };
+    let flagged = pairs
+        .into_iter()
+        .filter(|(_, _, _, ratio)| *ratio < med - band)
+        .collect::<Vec<_>>();
+    FileDiff {
+        name: name.to_string(),
+        matched: ratios.len(),
+        unmatched,
+        median_ratio: med,
+        flagged,
+    }
+}
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// The file pairs to compare: the two paths themselves, or every
+/// `BENCH_*.json` present in both directories.
+fn file_pairs(options: &Options) -> Result<Vec<(String, PathBuf, PathBuf)>, String> {
+    if options.baseline.is_dir() != options.candidate.is_dir() {
+        return Err("baseline and candidate must both be files or both be directories".into());
+    }
+    if !options.baseline.is_dir() {
+        let name = options
+            .candidate
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "candidate".into());
+        return Ok(vec![(
+            name,
+            options.baseline.clone(),
+            options.candidate.clone(),
+        )]);
+    }
+    let mut names: Vec<String> = std::fs::read_dir(&options.baseline)
+        .map_err(|e| format!("cannot list {}: {e}", options.baseline.display()))?
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.file_name().into_string().ok())
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .filter(|name| options.candidate.join(name).is_file())
+        .collect();
+    names.sort();
+    Ok(names
+        .into_iter()
+        .map(|name| {
+            let base = options.baseline.join(&name);
+            let cand = options.candidate.join(&name);
+            (name, base, cand)
+        })
+        .collect())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+    };
+    let pairs = match file_pairs(&options) {
+        Ok(pairs) if !pairs.is_empty() => pairs,
+        Ok(_) => {
+            eprintln!("no BENCH_*.json files present in both directories");
+            return ExitCode::from(2);
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut regressions = 0usize;
+    for (name, base_path, cand_path) in pairs {
+        let (baseline, candidate) = match (load(&base_path), load(&cand_path)) {
+            (Ok(b), Ok(c)) => (b, c),
+            (Err(err), _) | (_, Err(err)) => {
+                eprintln!("{err}");
+                return ExitCode::from(2);
+            }
+        };
+        let diff = diff_file(&name, &baseline, &candidate, &options);
+        println!(
+            "{}: {} rows matched ({} unmatched), median throughput {:+.1}%",
+            diff.name,
+            diff.matched,
+            diff.unmatched,
+            (diff.median_ratio.exp() - 1.0) * 100.0,
+        );
+        for (key, base, cand, ratio) in &diff.flagged {
+            println!(
+                "  REGRESSION {key}: {base:.0} -> {cand:.0} txn/s ({:+.1}%, {:+.1}% vs median)",
+                (ratio.exp() - 1.0) * 100.0,
+                ((ratio - diff.median_ratio).exp() - 1.0) * 100.0,
+            );
+        }
+        regressions += diff.flagged.len();
+    }
+
+    if regressions > 0 {
+        println!(
+            "\n{regressions} regression(s) beyond the median ± {:.0}·MAD band (floor {:.0}%)",
+            options.band_mads, options.floor_pct
+        );
+        if options.report_only {
+            println!("(report-only mode: exiting 0)");
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    } else {
+        println!("\nno regressions flagged");
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, u64, f64)]) -> Json {
+        Json::Obj(vec![(
+            "rows".into(),
+            Json::Arr(
+                rows.iter()
+                    .map(|(path, shards, tput)| {
+                        Json::Obj(vec![
+                            ("commit_path".into(), Json::Str(path.to_string())),
+                            ("shards".into(), Json::U(*shards as u128)),
+                            ("throughput".into(), Json::F(*tput)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )])
+    }
+
+    fn options() -> Options {
+        Options {
+            baseline: PathBuf::new(),
+            candidate: PathBuf::new(),
+            report_only: false,
+            band_mads: DEFAULT_BAND_MADS,
+            floor_pct: DEFAULT_FLOOR_PCT,
+        }
+    }
+
+    #[test]
+    fn systemic_drift_is_not_flagged() {
+        // Everything 25% slower: the median absorbs it, nothing flags.
+        let base = report(&[("a", 1, 1000.0), ("a", 2, 2000.0), ("a", 4, 4000.0)]);
+        let cand = report(&[("a", 1, 750.0), ("a", 2, 1500.0), ("a", 4, 3000.0)]);
+        let diff = diff_file("x", &base, &cand, &options());
+        assert_eq!(diff.matched, 3);
+        assert!(diff.flagged.is_empty(), "{:?}", diff.flagged);
+        assert!((diff.median_ratio.exp() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn localized_regression_is_flagged() {
+        // One leg halves while the rest hold: flagged, exit-worthy.
+        let base = report(&[
+            ("a", 1, 1000.0),
+            ("a", 2, 2000.0),
+            ("a", 4, 4000.0),
+            ("b", 4, 3000.0),
+        ]);
+        let cand = report(&[
+            ("a", 1, 1010.0),
+            ("a", 2, 1990.0),
+            ("a", 4, 4020.0),
+            ("b", 4, 1500.0),
+        ]);
+        let diff = diff_file("x", &base, &cand, &options());
+        assert_eq!(diff.flagged.len(), 1);
+        assert!(diff.flagged[0].0.contains("commit_path=b"));
+    }
+
+    #[test]
+    fn identical_runs_do_not_flag_dust() {
+        let base = report(&[("a", 1, 1000.0), ("a", 2, 2000.0)]);
+        let diff = diff_file("x", &base, &base.clone(), &options());
+        assert!(diff.flagged.is_empty());
+        assert_eq!(diff.median_ratio, 0.0);
+    }
+
+    #[test]
+    fn duplicate_keys_match_positionally() {
+        let base = report(&[("a", 1, 1000.0), ("a", 1, 1200.0)]);
+        let cand = report(&[("a", 1, 1000.0), ("a", 1, 1200.0)]);
+        let diff = diff_file("x", &base, &cand, &options());
+        assert_eq!(diff.matched, 2);
+        assert_eq!(diff.unmatched, 0);
+    }
+
+    #[test]
+    fn unmatched_rows_are_counted_not_flagged() {
+        let base = report(&[("a", 1, 1000.0), ("gone", 1, 500.0)]);
+        let cand = report(&[("a", 1, 1000.0), ("new", 1, 700.0)]);
+        let diff = diff_file("x", &base, &cand, &options());
+        assert_eq!(diff.matched, 1);
+        assert_eq!(diff.unmatched, 2);
+        assert!(diff.flagged.is_empty());
+    }
+}

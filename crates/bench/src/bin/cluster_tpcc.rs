@@ -60,6 +60,9 @@ struct Row {
     committed: u64,
     aborted: u64,
     abort_rate: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
     single_shard_txns: u64,
     multi_shard_txns: u64,
     single_shard_fraction: f64,
@@ -218,6 +221,9 @@ fn main() {
                     committed: result.committed,
                     aborted: result.aborted,
                     abort_rate: result.abort_rate(),
+                    p50_ms: result.latency_overall.p50_ms,
+                    p95_ms: result.latency_overall.p95_ms,
+                    p99_ms: result.latency_overall.p99_ms,
                     single_shard_txns: stats.single_shard,
                     multi_shard_txns: stats.multi_shard,
                     single_shard_fraction: single_fraction,

@@ -9,11 +9,12 @@
 
 use serde::Serialize;
 use std::sync::Arc;
-use tebaldi_autoconf::latency_profiler::{diagnose, sample, LoadLevelSample};
+use tebaldi_autoconf::latency_profiler::{diagnose, sample_from_histograms, LoadLevelSample};
 use tebaldi_autoconf::{analyze, EventCollector};
 use tebaldi_bench::common::{banner, write_trajectory, ExperimentOptions};
 use tebaldi_cc::{CcKind, CcNodeSpec, CcTreeSpec};
 use tebaldi_core::{Database, DbConfig};
+use tebaldi_obs::HistogramSnapshot;
 use tebaldi_storage::TxnTypeId;
 use tebaldi_workloads::tpcc::schema::{types, TpccParams};
 use tebaldi_workloads::tpcc::Tpcc;
@@ -41,7 +42,9 @@ struct SweepPoint {
     clients: usize,
     throughput: f64,
     payment_latency_ms: f64,
+    payment_p99_ms: f64,
     stock_level_latency_ms: f64,
+    stock_level_p99_ms: f64,
 }
 
 /// The configuration of Fig. 5.4: payment under RP, the read-only
@@ -101,13 +104,12 @@ fn main() {
             &options.bench_options(clients, "fig-5.4"),
         );
         last_events = collector.drain();
-        let latency = |ty: TxnTypeId| {
-            result
-                .latency_by_type
-                .get(&ty.0)
-                .map(|s| s.mean_ms)
-                .unwrap_or(0.0)
-        };
+        // The raw latency distributions, in the shared tebaldi-obs
+        // histogram format the driver collects into.
+        let empty = HistogramSnapshot::default();
+        let hist = |ty: TxnTypeId| result.latency_hist_by_type.get(&ty.0).unwrap_or(&empty);
+        let latency = |ty: TxnTypeId| hist(ty).mean() / 1e6;
+        let p99 = |ty: TxnTypeId| hist(ty).p99() as f64 / 1e6;
         println!(
             "{:<10} {:>12.0} {:>16.3} {:>20.3}",
             clients,
@@ -115,18 +117,20 @@ fn main() {
             latency(types::PAYMENT),
             latency(types::STOCK_LEVEL)
         );
-        samples.push(sample(
+        samples.push(sample_from_histograms(
             clients,
             &[
-                (types::PAYMENT, latency(types::PAYMENT)),
-                (types::STOCK_LEVEL, latency(types::STOCK_LEVEL)),
+                (types::PAYMENT, hist(types::PAYMENT)),
+                (types::STOCK_LEVEL, hist(types::STOCK_LEVEL)),
             ],
         ));
         sweep.push(SweepPoint {
             clients,
             throughput: result.throughput,
             payment_latency_ms: latency(types::PAYMENT),
+            payment_p99_ms: p99(types::PAYMENT),
             stock_level_latency_ms: latency(types::STOCK_LEVEL),
+            stock_level_p99_ms: p99(types::STOCK_LEVEL),
         });
     }
 
@@ -167,7 +171,9 @@ fn main() {
                     clients: p.clients,
                     throughput: p.throughput,
                     payment_latency_ms: p.payment_latency_ms,
+                    payment_p99_ms: p.payment_p99_ms,
                     stock_level_latency_ms: p.stock_level_latency_ms,
+                    stock_level_p99_ms: p.stock_level_p99_ms,
                 })
                 .collect(),
         },

@@ -11,6 +11,7 @@
 use crate::worker::Vote;
 use tebaldi_cc::{CcError, CcResult};
 use tebaldi_core::{ProcId, ProcedureCall};
+use tebaldi_obs::{MetricsSnapshot, TraceCtx};
 use tebaldi_storage::Value;
 
 /// One operation sent to a shard.
@@ -27,6 +28,9 @@ pub enum ShardRequest {
         args: Vec<u8>,
         /// Retry budget for aborted attempts.
         max_attempts: u32,
+        /// Trace context (`TraceCtx::NONE` when unsampled); carried over
+        /// the wire so shard-side spans join the coordinator's trace.
+        trace: TraceCtx,
     },
     /// 2PC phase one: run the body up to the prepared state and park it in
     /// the shard's in-doubt table keyed by the cluster-global id (read-write
@@ -40,6 +44,8 @@ pub enum ShardRequest {
         call: ProcedureCall,
         /// Encoded procedure arguments.
         args: Vec<u8>,
+        /// Trace context (`TraceCtx::NONE` when unsampled).
+        trace: TraceCtx,
     },
     /// 2PC phase two: commit the prepared transaction `global`.
     Commit {
@@ -65,6 +71,9 @@ pub enum ShardRequest {
     /// Admin: seal the shard's current durability epoch and flush its WAL
     /// device.
     Flush,
+    /// Admin: snapshot the shard's full metrics registry (counters,
+    /// gauges, latency histograms) for cluster-wide aggregation.
+    Metrics,
 }
 
 impl ShardRequest {
@@ -75,6 +84,15 @@ impl ShardRequest {
             self,
             ShardRequest::Execute { .. } | ShardRequest::Prepare { .. }
         )
+    }
+
+    /// The trace context carried by this request (`TraceCtx::NONE` for
+    /// admin and decision requests, which are never traced shard-side).
+    pub fn trace(&self) -> TraceCtx {
+        match self {
+            ShardRequest::Execute { trace, .. } | ShardRequest::Prepare { trace, .. } => *trace,
+            _ => TraceCtx::NONE,
+        }
     }
 
     /// True for 2PC phase-two decisions.
@@ -133,6 +151,9 @@ pub enum ShardResponse {
     Stats(ShardStatsReply),
     /// Acknowledges [`Flush`](ShardRequest::Flush).
     Flushed,
+    /// Reply to [`Metrics`](ShardRequest::Metrics): the shard's full
+    /// metrics snapshot.
+    Metrics(Box<MetricsSnapshot>),
 }
 
 impl ShardResponse {

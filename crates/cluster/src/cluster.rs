@@ -2,19 +2,20 @@
 //! [`ShardRouter`], per-shard worker pools, a pluggable [`ShardTransport`],
 //! and the cross-shard 2PC coordinator.
 
-use crate::api::{ShardRequest, ShardResult};
+use crate::api::{ShardRequest, ShardResponse, ShardResult};
 use crate::coordinator::{CoordinatorStats, TxnCoordinator};
 use crate::router::{Partitioning, Routing, ShardRouter};
 use crate::transport::{
     InProcessTransport, ShardTransport, TransportFactory, TransportKind, TransportStats,
 };
-use crate::worker::{ShardWorkers, Ticket, Vote};
+use crate::worker::{error_status, ShardWorkers, Ticket, Vote};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tebaldi_cc::{CcResult, CcTreeSpec, ProcedureSet};
 use tebaldi_core::{Database, DbConfig, ProcId, ProcRegistry, ProcedureCall};
+use tebaldi_obs::{self as obs, Counter, Histogram, MetricsRegistry, MetricsSnapshot, TraceCtx};
 use tebaldi_storage::recovery::{recover_with_resolver, RecoveryReport};
 use tebaldi_storage::wal::{LogDevice, MemLogDevice};
 use tebaldi_storage::{MvStore, Value};
@@ -71,6 +72,16 @@ pub struct ClusterConfig {
     /// opens (a wedged shard's full pipeline must not hang queued
     /// requests).
     pub max_inflight_per_shard: usize,
+    /// Distributed-trace sampling rate: every Nth transaction entering the
+    /// cluster gets a trace id that is propagated to its shards (over the
+    /// wire too) and collects coordinator + shard spans in the process
+    /// trace sink. `0` disables tracing entirely; `1` traces everything.
+    pub trace_sample_every: u64,
+    /// When non-zero, a *sampled* transaction whose end-to-end latency
+    /// exceeds this threshold dumps its full structured trace into the
+    /// slow-trace buffer ([`tebaldi_obs::take_slow_traces`]). `0` leaves
+    /// the process-global threshold untouched.
+    pub slow_trace_threshold_ms: u64,
 }
 
 impl ClusterConfig {
@@ -89,6 +100,11 @@ impl ClusterConfig {
             // Pipelined by default under test so the whole cluster group
             // exercises the deferred-hardening path.
             max_inflight_per_shard: 32,
+            // Tracing off under test by default: the sink is process-global
+            // and parallel tests would pollute each other's rings. Tests
+            // that assert on traces opt in explicitly.
+            trace_sample_every: 0,
+            slow_trace_threshold_ms: 0,
         }
     }
 
@@ -103,6 +119,10 @@ impl ClusterConfig {
             prepare_timeout_ms: 10_000,
             transport: TransportKind::InProcess,
             max_inflight_per_shard: 32,
+            // Default sampling: one traced transaction per 64 keeps the
+            // observability cost off the bench hot path.
+            trace_sample_every: 64,
+            slow_trace_threshold_ms: 0,
         }
     }
 
@@ -221,6 +241,7 @@ pub struct ClusterBuilder {
     stores: Option<Vec<MvStore>>,
     clock: Option<ClusterClock>,
     transport_factory: Option<TransportFactory>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ClusterBuilder {
@@ -239,6 +260,7 @@ impl ClusterBuilder {
             stores: None,
             clock: None,
             transport_factory: None,
+            metrics: None,
         }
     }
 
@@ -307,6 +329,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs the coordinator-side metrics registry (defaults to a fresh
+    /// enabled registry). Passing [`MetricsRegistry::disabled`] turns the
+    /// latency histograms off cluster-wide — every shard database inherits
+    /// the enabled flag — which is the obs-off leg of the overhead bench.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Builds and starts the cluster.
     pub fn build(self) -> Result<Cluster, String> {
         let spec = self.spec.ok_or("a CC-tree specification is required")?;
@@ -335,12 +366,21 @@ impl ClusterBuilder {
             None => (0..n).map(|_| None).collect(),
         };
 
+        let metrics = self
+            .metrics
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
         let registry = Arc::new(self.registry);
         let mut shards = Vec::with_capacity(n);
         for (index, (log, store)) in shard_logs.iter().zip(stores).enumerate() {
+            let shard_metrics = Arc::new(if metrics.is_enabled() {
+                MetricsRegistry::new()
+            } else {
+                MetricsRegistry::disabled()
+            });
             let mut builder = Database::builder(self.config.db_config.clone())
                 .procedures(self.procedures.clone())
                 .cc_spec(spec.clone())
+                .metrics(shard_metrics)
                 .log_device(Arc::clone(log));
             if let Some(store) = store {
                 builder = builder.store(store);
@@ -382,6 +422,9 @@ impl ClusterBuilder {
         let decision_log = self
             .decision_log
             .unwrap_or_else(|| Arc::new(MemLogDevice::new()) as Arc<dyn LogDevice>);
+        if self.config.slow_trace_threshold_ms > 0 {
+            obs::set_slow_threshold_ns(self.config.slow_trace_threshold_ms * 1_000_000);
+        }
         Ok(Cluster {
             router: ShardRouter::new(n, self.config.partitioning),
             coordinator: TxnCoordinator::with_options(
@@ -392,13 +435,20 @@ impl ClusterBuilder {
             transport,
             shard_logs,
             clock: self.clock.unwrap_or_else(default_clock),
+            single_shard: metrics.counter("cluster.single_shard"),
+            multi_shard: metrics.counter("cluster.multi_shard"),
+            read_only_votes: metrics.counter("cluster.read_only_votes"),
+            decision_ack_timeouts: metrics.counter("cluster.decision_ack_timeouts"),
+            lock_window_ns: metrics.counter("cluster.lock_window_ns"),
+            lock_windows: metrics.counter("cluster.lock_windows"),
+            phase_fanout: metrics.histogram("2pc.prepare_fanout_ns"),
+            phase_vote_collect: metrics.histogram("2pc.vote_collect_ns"),
+            phase_decision_log: metrics.histogram("2pc.decision_log_ns"),
+            phase_finalize: metrics.histogram("2pc.finalize_ns"),
+            metrics,
+            trace_seq: AtomicU64::new(0),
+            last_trace_id: AtomicU64::new(0),
             config: self.config,
-            single_shard: AtomicU64::new(0),
-            multi_shard: AtomicU64::new(0),
-            read_only_votes: AtomicU64::new(0),
-            decision_ack_timeouts: AtomicU64::new(0),
-            lock_window_ns: AtomicU64::new(0),
-            lock_windows: AtomicU64::new(0),
         })
     }
 }
@@ -413,14 +463,28 @@ pub struct Cluster {
     shard_logs: Vec<Arc<dyn LogDevice>>,
     clock: ClusterClock,
     config: ClusterConfig,
-    single_shard: AtomicU64,
-    multi_shard: AtomicU64,
-    read_only_votes: AtomicU64,
-    decision_ack_timeouts: AtomicU64,
+    /// Coordinator-side metrics registry. Shard databases carry their own
+    /// registries; [`Cluster::metrics`] merges everything into one
+    /// snapshot.
+    metrics: Arc<MetricsRegistry>,
+    single_shard: Arc<Counter>,
+    multi_shard: Arc<Counter>,
+    read_only_votes: Arc<Counter>,
+    decision_ack_timeouts: Arc<Counter>,
     /// Summed prepared-lock windows (votes collected → decisions applied).
-    lock_window_ns: AtomicU64,
+    lock_window_ns: Arc<Counter>,
     /// Number of windows in the sum.
-    lock_windows: AtomicU64,
+    lock_windows: Arc<Counter>,
+    /// 2PC phase latency histograms (nanoseconds).
+    phase_fanout: Arc<Histogram>,
+    phase_vote_collect: Arc<Histogram>,
+    phase_decision_log: Arc<Histogram>,
+    phase_finalize: Arc<Histogram>,
+    /// Transactions seen by the sampler (for the every-Nth decision).
+    trace_seq: AtomicU64,
+    /// The most recently allocated trace id (tests use it to collect the
+    /// spans of the transaction they just ran).
+    last_trace_id: AtomicU64,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -495,7 +559,7 @@ impl Cluster {
         args: Vec<u8>,
         max_attempts: usize,
     ) -> CcResult<(Value, usize)> {
-        self.single_shard.fetch_add(1, Ordering::Relaxed);
+        self.single_shard.inc();
         self.transport
             .call(
                 shard,
@@ -504,6 +568,7 @@ impl Cluster {
                     call: call.clone(),
                     args,
                     max_attempts: max_attempts as u32,
+                    trace: self.next_trace(),
                 },
             )?
             .into_executed()
@@ -520,7 +585,7 @@ impl Cluster {
         args: Vec<u8>,
         max_attempts: usize,
     ) -> Ticket<ShardResult> {
-        self.single_shard.fetch_add(1, Ordering::Relaxed);
+        self.single_shard.inc();
         self.transport.submit(
             shard,
             ShardRequest::Execute {
@@ -528,8 +593,33 @@ impl Cluster {
                 call,
                 args,
                 max_attempts: max_attempts as u32,
+                trace: self.next_trace(),
             },
         )
+    }
+
+    /// Decides whether the next transaction is traced, allocating a
+    /// process-unique trace id when it is. Every `trace_sample_every`-th
+    /// transaction samples; `0` turns the sampler off.
+    fn next_trace(&self) -> TraceCtx {
+        let every = self.config.trace_sample_every;
+        if every == 0 {
+            return TraceCtx::NONE;
+        }
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        if !seq.is_multiple_of(every) {
+            return TraceCtx::NONE;
+        }
+        static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+        let id = NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed);
+        self.last_trace_id.store(id, Ordering::Relaxed);
+        TraceCtx::sampled(id)
+    }
+
+    /// The id of the most recently sampled trace (0 when nothing sampled
+    /// yet). Pair with [`tebaldi_obs::collect`] to read its spans back.
+    pub fn last_trace_id(&self) -> u64 {
+        self.last_trace_id.load(Ordering::Relaxed)
     }
 
     /// Runs one multi-shard transaction through two-phase commit. Every
@@ -554,9 +644,15 @@ impl Cluster {
     /// straggler resolves it on recovery. Returns the parts' results in
     /// submission order.
     pub fn execute_multi(&self, parts: Vec<ShardPart>) -> CcResult<Vec<Value>> {
+        let trace = self.next_trace();
+        let started = trace.is_sampled().then(obs::now_ns);
         let global = self.begin_phase_one(&parts)?;
-        let tickets = self.submit_phase_one(global, parts);
-        self.collect_and_decide(global, tickets)
+        let tickets = self.submit_phase_one(global, parts, trace);
+        let result = self.collect_and_decide(global, tickets, trace);
+        if let Some(start) = started {
+            obs::maybe_dump_slow(trace, obs::now_ns().saturating_sub(start));
+        }
+        result
     }
 
     /// Overlaps phase one across a whole batch of multi-shard
@@ -570,18 +666,31 @@ impl Cluster {
     /// transaction, in order.
     pub fn execute_multi_batch(&self, batch: Vec<Vec<ShardPart>>) -> Vec<CcResult<Vec<Value>>> {
         // Stage 1: validate + submit every transaction's phase one.
-        let staged: Vec<CcResult<(u64, VoteTickets)>> = batch
+        let staged: Vec<CcResult<(u64, VoteTickets, TraceCtx, u64)>> = batch
             .into_iter()
             .map(|parts| {
+                let trace = self.next_trace();
+                let started = if trace.is_sampled() { obs::now_ns() } else { 0 };
                 let global = self.begin_phase_one(&parts)?;
-                Ok((global, self.submit_phase_one(global, parts)))
+                Ok((
+                    global,
+                    self.submit_phase_one(global, parts, trace),
+                    trace,
+                    started,
+                ))
             })
             .collect();
         // Stage 2: collect votes and decide, transaction by transaction.
         staged
             .into_iter()
             .map(|staged| {
-                staged.and_then(|(global, tickets)| self.collect_and_decide(global, tickets))
+                staged.and_then(|(global, tickets, trace, started)| {
+                    let result = self.collect_and_decide(global, tickets, trace);
+                    if trace.is_sampled() {
+                        obs::maybe_dump_slow(trace, obs::now_ns().saturating_sub(started));
+                    }
+                    result
+                })
             })
             .collect()
     }
@@ -612,14 +721,15 @@ impl Cluster {
                 )));
             }
         }
-        self.multi_shard.fetch_add(1, Ordering::Relaxed);
+        self.multi_shard.inc();
         Ok(self.coordinator.begin_global())
     }
 
     /// Submits every part's prepare to its shard (phase one, in parallel)
     /// and returns the vote tickets.
-    fn submit_phase_one(&self, global: u64, parts: Vec<ShardPart>) -> VoteTickets {
-        parts
+    fn submit_phase_one(&self, global: u64, parts: Vec<ShardPart>, trace: TraceCtx) -> VoteTickets {
+        let started = (self.metrics.is_enabled() || trace.is_sampled()).then(obs::now_ns);
+        let tickets = parts
             .into_iter()
             .map(|part| {
                 (
@@ -631,17 +741,30 @@ impl Cluster {
                             proc: part.proc,
                             call: part.call,
                             args: part.args,
+                            trace,
                         },
                     ),
                 )
             })
-            .collect()
+            .collect();
+        if let Some(start) = started {
+            let end = obs::now_ns();
+            self.phase_fanout.record(end.saturating_sub(start));
+            obs::record_span(trace, "coord.prepare_fanout", -1, start, end, "ok");
+        }
+        tickets
     }
 
     /// Collects the phase-one votes of `global` and drives phase two to a
     /// decision (the second half of [`execute_multi`](Cluster::execute_multi)).
-    fn collect_and_decide(&self, global: u64, tickets: VoteTickets) -> CcResult<Vec<Value>> {
+    fn collect_and_decide(
+        &self,
+        global: u64,
+        tickets: VoteTickets,
+        trace: TraceCtx,
+    ) -> CcResult<Vec<Value>> {
         let timeout = self.config.prepare_timeout();
+        let collect_start = (self.metrics.is_enabled() || trace.is_sampled()).then(obs::now_ns);
         let mut values = Vec::with_capacity(tickets.len());
         let mut failure: Option<tebaldi_cc::CcError> = None;
         // Shards that hold (read-write) or may still come to hold
@@ -650,19 +773,37 @@ impl Cluster {
         let mut rw_shards: Vec<usize> = Vec::new();
         let mut unknown_shards: Vec<usize> = Vec::new();
         for (shard, ticket) in tickets {
+            let vote_start = trace.is_sampled().then(obs::now_ns);
             // Keep collecting: every vote must resolve (or time out)
             // before the decision is sent.
-            match ticket
+            let vote = ticket
                 .wait_timeout(timeout)
-                .map(|r| r.and_then(|r| r.into_prepared()))
-            {
+                .map(|r| r.and_then(|r| r.into_prepared()));
+            if let Some(start) = vote_start {
+                // One span per vote, tagged with the shard and the reason
+                // the vote failed (mechanism or timeout) when it did.
+                let status = match &vote {
+                    Ok(Ok(_)) => "ok",
+                    Ok(Err(err)) => error_status(err),
+                    Err(_) => "timeout",
+                };
+                obs::record_span(
+                    trace,
+                    "coord.vote",
+                    shard as i32,
+                    start,
+                    obs::now_ns(),
+                    status,
+                );
+            }
+            match vote {
                 Ok(Ok((value, Vote::ReadWrite))) => {
                     values.push(value);
                     rw_shards.push(shard);
                 }
                 Ok(Ok((value, Vote::ReadOnly))) => {
                     values.push(value);
-                    self.read_only_votes.fetch_add(1, Ordering::Relaxed);
+                    self.read_only_votes.inc();
                 }
                 Ok(Err(err)) => {
                     // The part aborted itself; nothing is parked there.
@@ -680,6 +821,11 @@ impl Cluster {
                     }
                 }
             }
+        }
+        if let Some(start) = collect_start {
+            let end = obs::now_ns();
+            self.phase_vote_collect.record(end.saturating_sub(start));
+            obs::record_span(trace, "coord.vote_collect", -1, start, end, "ok");
         }
 
         // Phase two: decide. The decision requests resolve inline for the
@@ -707,28 +853,28 @@ impl Cluster {
                         // committed — so the fast path falls back to a
                         // durable decision record before returning.
                         self.coordinator.commit_one_phase();
-                        if self.finalize(&rw_shards[..1], global, true, timeout) > 0 {
+                        if self.finalize(&rw_shards[..1], global, true, timeout, trace) > 0 {
                             self.coordinator.log_straggler_commit(global);
                         }
                     }
                     _ => {
                         // Commit point: the decision is durable before any
                         // shard learns about it.
-                        self.coordinator.log_commit(global);
-                        self.finalize(&rw_shards, global, true, timeout);
+                        self.log_decision(trace, "commit", || self.coordinator.log_commit(global));
+                        self.finalize(&rw_shards, global, true, timeout, trace);
                     }
                 }
                 Ok(values)
             }
             Some(err) => {
                 if !rw_shards.is_empty() || !unknown_shards.is_empty() {
-                    self.coordinator.log_abort(global);
+                    self.log_decision(trace, "abort", || self.coordinator.log_abort(global));
                     let targets: Vec<usize> = rw_shards
                         .iter()
                         .chain(unknown_shards.iter())
                         .copied()
                         .collect();
-                    self.finalize(&targets, global, false, timeout);
+                    self.finalize(&targets, global, false, timeout, trace);
                 } else {
                     // Every part self-aborted (or was read-only): nothing
                     // is prepared anywhere, but the global still aborted.
@@ -742,13 +888,24 @@ impl Cluster {
         // averaging in read-only/self-aborted globals would dilute the
         // metric toward zero.
         if !rw_shards.is_empty() || !unknown_shards.is_empty() {
-            self.lock_window_ns.fetch_add(
-                (self.clock)().saturating_sub(votes_collected),
-                Ordering::Relaxed,
-            );
-            self.lock_windows.fetch_add(1, Ordering::Relaxed);
+            self.lock_window_ns
+                .add((self.clock)().saturating_sub(votes_collected));
+            self.lock_windows.inc();
         }
         result
+    }
+
+    /// Runs (and times) the durable decision-log append: one histogram
+    /// sample plus — for sampled transactions — a `coord.decision_log`
+    /// span tagged with the decision.
+    fn log_decision(&self, trace: TraceCtx, decision: &'static str, append: impl FnOnce()) {
+        let started = (self.metrics.is_enabled() || trace.is_sampled()).then(obs::now_ns);
+        append();
+        if let Some(start) = started {
+            let end = obs::now_ns();
+            self.phase_decision_log.record(end.saturating_sub(start));
+            obs::record_span(trace, "coord.decision_log", -1, start, end, decision);
+        }
     }
 
     /// Delivers the phase-two decision to every target shard in parallel
@@ -760,7 +917,15 @@ impl Cluster {
     /// commits, as a fallback after it for one-phase) lets the straggler
     /// resolve on recovery or late delivery. Returns how many
     /// acknowledgements failed.
-    fn finalize(&self, shards: &[usize], global: u64, commit: bool, timeout: Duration) -> usize {
+    fn finalize(
+        &self,
+        shards: &[usize],
+        global: u64,
+        commit: bool,
+        timeout: Duration,
+        trace: TraceCtx,
+    ) -> usize {
+        let started = (self.metrics.is_enabled() || trace.is_sampled()).then(obs::now_ns);
         let one_phase = commit && shards.len() == 1;
         let acks: Vec<Ticket<ShardResult>> = shards
             .iter()
@@ -785,9 +950,19 @@ impl Cluster {
             // came back as a ready Err ticket) — both mean the decision
             // may never have reached the shard.
             if !matches!(ack.wait_timeout(remaining), Ok(Ok(_))) {
-                self.decision_ack_timeouts.fetch_add(1, Ordering::Relaxed);
+                self.decision_ack_timeouts.inc();
                 failed += 1;
             }
+        }
+        if let Some(start) = started {
+            let end = obs::now_ns();
+            self.phase_finalize.record(end.saturating_sub(start));
+            let status = match (commit, failed) {
+                (true, 0) => "commit",
+                (false, 0) => "abort",
+                _ => "timeout",
+            };
+            obs::record_span(trace, "coord.finalize", -1, start, end, status);
         }
         failed
     }
@@ -834,10 +1009,10 @@ impl Cluster {
             bytes_on_wire,
         } = self.transport.stats();
         let mut stats = ClusterStats {
-            single_shard: self.single_shard.load(Ordering::Relaxed),
-            multi_shard: self.multi_shard.load(Ordering::Relaxed),
-            read_only_votes: self.read_only_votes.load(Ordering::Relaxed),
-            decision_ack_timeouts: self.decision_ack_timeouts.load(Ordering::Relaxed),
+            single_shard: self.single_shard.get(),
+            multi_shard: self.multi_shard.get(),
+            read_only_votes: self.read_only_votes.get(),
+            decision_ack_timeouts: self.decision_ack_timeouts.get(),
             flushes: coordinator.decision_flushes,
             messages_sent,
             bytes_on_wire,
@@ -869,10 +1044,43 @@ impl Cluster {
         }
         stats.prepared_lock_window_ns = self
             .lock_window_ns
-            .load(Ordering::Relaxed)
-            .checked_div(self.lock_windows.load(Ordering::Relaxed))
+            .get()
+            .checked_div(self.lock_windows.get())
             .unwrap_or(0);
         stats
+    }
+
+    /// The coordinator-side metrics registry (the cluster's own counters
+    /// and 2PC phase histograms; shard engines keep their own registries).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// One merged metrics snapshot for the whole cluster: the coordinator
+    /// registry plus every shard's, fetched through the transport
+    /// ([`ShardRequest::Metrics`] — an admin frame over TCP, an inline
+    /// call in process). Counters sum, gauges max, histograms merge
+    /// bucket-wise across shards.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut merged = self.metrics.snapshot();
+        for shard in 0..self.shards.len() {
+            if let Ok(ShardResponse::Metrics(snapshot)) =
+                self.transport.call(shard, ShardRequest::Metrics)
+            {
+                merged.merge(&snapshot);
+            }
+        }
+        merged
+    }
+
+    /// The merged cluster metrics in Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        self.metrics().to_prometheus()
+    }
+
+    /// The merged cluster metrics as a JSON document.
+    pub fn metrics_json(&self) -> String {
+        serde_json::to_string_pretty(&self.metrics()).unwrap_or_default()
     }
 
     /// Resets per-shard engine counters (between benchmark phases).

@@ -15,8 +15,9 @@
 //! ```text
 //!                 ┌────────────────────────────────────────────┐
 //!   Cluster ──────│ ShardRequest { Execute | Prepare | Commit  │
-//!   (router, 2PC  │   | CommitOnePhase | Abort | Stats | Flush}│
-//!   coordinator)  └────────────────┬───────────────────────────┘
+//!   (router, 2PC  │   | CommitOnePhase | Abort | Stats | Flush │
+//!   coordinator)  │   | Metrics }                              │
+//!                 └────────────────┬───────────────────────────┘
 //!                                  │  ShardTransport
 //!                   ┌──────────────┴─────────────┐
 //!            InProcessTransport            TcpTransport
@@ -46,6 +47,19 @@
 //!
 //! The crate sits between `tebaldi-core` and the workloads in the
 //! dependency stack: `storage → cc → core → cluster → workloads/bench`.
+//!
+//! ## Observability
+//!
+//! Every layer records into `tebaldi-obs`: shard engines keep per-procedure
+//! latency histograms and pipeline counters in their own
+//! [`MetricsRegistry`](tebaldi_obs::MetricsRegistry), the coordinator keeps
+//! 2PC-phase histograms, and [`Cluster::metrics`] merges everything into
+//! one [`MetricsSnapshot`](tebaldi_obs::MetricsSnapshot) by fetching each
+//! shard's registry through the transport ([`ShardRequest::Metrics`]).
+//! Sampled transactions (`ClusterConfig::trace_sample_every`) additionally
+//! carry a trace id across the shard boundary — including over the TCP wire
+//! format — and leave coordinator + shard spans in the process trace sink
+//! ([`tebaldi_obs::collect`]).
 
 pub mod api;
 pub mod cluster;

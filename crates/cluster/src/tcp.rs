@@ -652,6 +652,7 @@ mod tests {
             call: ProcedureCall::new(TY),
             args: Vec::new(),
             max_attempts: 10,
+            trace: tebaldi_obs::TraceCtx::NONE,
         }
     }
 

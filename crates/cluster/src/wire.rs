@@ -15,6 +15,7 @@ use crate::worker::Vote;
 use std::io::{Read, Write};
 use tebaldi_cc::CcError;
 use tebaldi_core::{ProcId, ProcedureCall};
+use tebaldi_obs::{HistogramSnapshot, MetricsSnapshot, TraceCtx};
 use tebaldi_storage::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 
 /// Upper bound on one frame's payload. Workload requests are tiny (ids +
@@ -154,6 +155,88 @@ fn get_call(r: &mut ByteReader<'_>) -> CodecResult<ProcedureCall> {
 }
 
 // ---------------------------------------------------------------------------
+// Metrics-snapshot codec
+// ---------------------------------------------------------------------------
+
+fn put_histogram(w: &mut ByteWriter, h: &HistogramSnapshot) {
+    w.put_u64(h.count);
+    w.put_u64(h.sum);
+    w.put_u64(h.max);
+    w.put_u32(h.buckets.len() as u32);
+    for &(index, count) in &h.buckets {
+        w.put_u32(index);
+        w.put_u64(count);
+    }
+}
+
+fn get_histogram(r: &mut ByteReader<'_>) -> CodecResult<HistogramSnapshot> {
+    let count = r.u64()?;
+    let sum = r.u64()?;
+    let max = r.u64()?;
+    let n = r.len_prefix()?;
+    if r.remaining() < n * 12 {
+        // A bucket costs 12 bytes; reject impossible counts before allocating.
+        return Err(CodecError::Truncated);
+    }
+    let mut buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        buckets.push((r.u32()?, r.u64()?));
+    }
+    Ok(HistogramSnapshot {
+        count,
+        sum,
+        max,
+        buckets,
+    })
+}
+
+fn put_metrics(w: &mut ByteWriter, m: &MetricsSnapshot) {
+    w.put_u32(m.counters.len() as u32);
+    for (name, value) in &m.counters {
+        w.put_str(name);
+        w.put_u64(*value);
+    }
+    w.put_u32(m.gauges.len() as u32);
+    for (name, value) in &m.gauges {
+        w.put_str(name);
+        w.put_u64(*value);
+    }
+    w.put_u32(m.histograms.len() as u32);
+    for (name, h) in &m.histograms {
+        w.put_str(name);
+        put_histogram(w, h);
+    }
+}
+
+fn get_metrics(r: &mut ByteReader<'_>) -> CodecResult<MetricsSnapshot> {
+    // Minimum entry sizes (length-prefixed name + fixed fields) bound the
+    // pre-allocation against hostile length prefixes.
+    fn entries<T>(
+        r: &mut ByteReader<'_>,
+        min_entry: usize,
+        read: impl Fn(&mut ByteReader<'_>) -> CodecResult<T>,
+    ) -> CodecResult<Vec<T>> {
+        let n = r.len_prefix()?;
+        if r.remaining() < n * min_entry {
+            return Err(CodecError::Truncated);
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(read(r)?);
+        }
+        Ok(out)
+    }
+    let counters = entries(r, 12, |r| Ok((r.str()?, r.u64()?)))?;
+    let gauges = entries(r, 12, |r| Ok((r.str()?, r.u64()?)))?;
+    let histograms = entries(r, 32, |r| Ok((r.str()?, get_histogram(r)?)))?;
+    Ok(MetricsSnapshot {
+        counters,
+        gauges,
+        histograms,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Request / response codecs
 // ---------------------------------------------------------------------------
 
@@ -167,24 +250,28 @@ pub fn encode_request(req_id: u64, request: &ShardRequest) -> Vec<u8> {
             call,
             args,
             max_attempts,
+            trace,
         } => {
             w.put_u8(0);
             w.put_u32(proc.0);
             put_call(&mut w, call);
             w.put_bytes(args);
             w.put_u32(*max_attempts);
+            w.put_u64(trace.trace_id);
         }
         ShardRequest::Prepare {
             global,
             proc,
             call,
             args,
+            trace,
         } => {
             w.put_u8(1);
             w.put_u64(*global);
             w.put_u32(proc.0);
             put_call(&mut w, call);
             w.put_bytes(args);
+            w.put_u64(trace.trace_id);
         }
         ShardRequest::Commit { global } => {
             w.put_u8(2);
@@ -200,6 +287,7 @@ pub fn encode_request(req_id: u64, request: &ShardRequest) -> Vec<u8> {
         }
         ShardRequest::Stats => w.put_u8(5),
         ShardRequest::Flush => w.put_u8(6),
+        ShardRequest::Metrics => w.put_u8(7),
     }
     w.into_bytes()
 }
@@ -214,18 +302,21 @@ pub fn decode_request(payload: &[u8]) -> CodecResult<(u64, ShardRequest)> {
             call: get_call(&mut r)?,
             args: r.bytes()?.to_vec(),
             max_attempts: r.u32()?,
+            trace: TraceCtx { trace_id: r.u64()? },
         },
         1 => ShardRequest::Prepare {
             global: r.u64()?,
             proc: ProcId(r.u32()?),
             call: get_call(&mut r)?,
             args: r.bytes()?.to_vec(),
+            trace: TraceCtx { trace_id: r.u64()? },
         },
         2 => ShardRequest::Commit { global: r.u64()? },
         3 => ShardRequest::CommitOnePhase { global: r.u64()? },
         4 => ShardRequest::Abort { global: r.u64()? },
         5 => ShardRequest::Stats,
         6 => ShardRequest::Flush,
+        7 => ShardRequest::Metrics,
         _ => return Err(CodecError::Malformed("request tag")),
     };
     r.expect_end()?;
@@ -264,6 +355,10 @@ pub fn encode_result(req_id: u64, result: &Result<ShardResponse, CcError>) -> Ve
                     w.put_u64(stats.pipeline_depth);
                 }
                 ShardResponse::Flushed => w.put_u8(4),
+                ShardResponse::Metrics(snapshot) => {
+                    w.put_u8(5);
+                    put_metrics(&mut w, snapshot);
+                }
             }
         }
         Err(err) => {
@@ -302,6 +397,7 @@ pub fn decode_result(payload: &[u8]) -> CodecResult<(u64, Result<ShardResponse, 
                 pipeline_depth: r.u64()?,
             }),
             4 => ShardResponse::Flushed,
+            5 => ShardResponse::Metrics(Box::new(get_metrics(&mut r)?)),
             _ => return Err(CodecError::Malformed("response tag")),
         }),
         1 => Err(get_cc_error(&mut r)?),
@@ -366,18 +462,21 @@ mod tests {
                 call: sample_call(),
                 args: vec![1, 2, 3],
                 max_attempts: 20,
+                trace: TraceCtx::sampled(0xDEAD_BEEF),
             },
             ShardRequest::Prepare {
                 global: 42,
                 proc: ProcId(8),
                 call: ProcedureCall::new(TxnTypeId(0)),
                 args: Vec::new(),
+                trace: TraceCtx::NONE,
             },
             ShardRequest::Commit { global: 1 },
             ShardRequest::CommitOnePhase { global: 2 },
             ShardRequest::Abort { global: 3 },
             ShardRequest::Stats,
             ShardRequest::Flush,
+            ShardRequest::Metrics,
         ];
         for request in &requests {
             let payload = encode_request(11, request);
@@ -412,6 +511,20 @@ mod tests {
                 pipeline_depth: 17,
             })),
             Ok(ShardResponse::Flushed),
+            Ok(ShardResponse::Metrics(Box::new(MetricsSnapshot {
+                counters: vec![("cluster.multi_shard".to_string(), 12)],
+                gauges: vec![("pipeline.max_depth".to_string(), 4)],
+                histograms: vec![(
+                    "proc.payment.latency_ns".to_string(),
+                    HistogramSnapshot {
+                        count: 3,
+                        sum: 300,
+                        max: 150,
+                        buckets: vec![(10, 2), (63, 1)],
+                    },
+                )],
+            }))),
+            Ok(ShardResponse::Metrics(Box::default())),
             Err(CcError::Requested),
             Err(CcError::DependencyAborted),
             Err(CcError::Internal("boom".to_string())),

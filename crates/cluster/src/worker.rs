@@ -46,11 +46,11 @@
 use crate::api::{ShardRequest, ShardResponse, ShardResult, ShardStatsReply};
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use tebaldi_cc::{CcError, CcResult};
 use tebaldi_core::{Database, ParticipantVote, PreparedTxn, ProcId, ProcRegistry, ProcedureCall};
+use tebaldi_obs::{self as obs, Counter, MaxGauge, TraceCtx};
 
 /// A participant's phase-one vote class, as reported back to the
 /// coordinator alongside the part's result value.
@@ -146,6 +146,8 @@ struct PendingCompletion {
     kind: CompletionKind,
     reply: ReplySink,
     body_done_at: Instant,
+    /// Trace context of the originating request (for the hardening span).
+    trace: TraceCtx,
 }
 
 enum CompletionKind {
@@ -204,6 +206,17 @@ pub struct PipelineStats {
 /// the entries are tiny.
 const ORPHAN_DECISION_TTL: Duration = Duration::from_secs(30);
 
+/// Maps an abort reason onto a span status tag: the mechanism that aborted
+/// the transaction where one is known, the error class otherwise.
+pub(crate) fn error_status(err: &CcError) -> &'static str {
+    match err {
+        CcError::Timeout { mechanism, .. } | CcError::Conflict { mechanism, .. } => mechanism,
+        CcError::DependencyAborted => "dependency",
+        CcError::Requested => "requested",
+        CcError::Internal(_) => "internal",
+    }
+}
+
 /// The worker pool of one shard.
 pub struct ShardWorkers {
     db: Arc<Database>,
@@ -227,11 +240,16 @@ pub struct ShardWorkers {
     /// deferred-hardening pipeline (each worker then completes one request
     /// start-to-finish: the measured pre-pipelining baseline).
     max_inflight: usize,
-    queued: AtomicU64,
-    queue_wait_ns: AtomicU64,
-    hardened: AtomicU64,
-    hardening_ns: AtomicU64,
-    max_depth: AtomicU64,
+    /// This shard's index, tagged onto trace spans.
+    shard: i32,
+    /// Pipeline counters, registered in the shard database's metrics
+    /// registry under `pipeline.*` so one snapshot carries them alongside
+    /// the engine's own metrics.
+    queued: Arc<Counter>,
+    queue_wait_ns: Arc<Counter>,
+    hardened: Arc<Counter>,
+    hardening_ns: Arc<Counter>,
+    max_depth: Arc<MaxGauge>,
 }
 
 impl ShardWorkers {
@@ -260,6 +278,7 @@ impl ShardWorkers {
         max_inflight: usize,
     ) -> Arc<Self> {
         let workers = workers.max(1);
+        let metrics = Arc::clone(db.metrics());
         let pool = Arc::new(ShardWorkers {
             db,
             registry,
@@ -277,11 +296,12 @@ impl ShardWorkers {
             stopping: std::sync::atomic::AtomicBool::new(false),
             workers,
             max_inflight: max_inflight.max(1),
-            queued: AtomicU64::new(0),
-            queue_wait_ns: AtomicU64::new(0),
-            hardened: AtomicU64::new(0),
-            hardening_ns: AtomicU64::new(0),
-            max_depth: AtomicU64::new(0),
+            shard: shard_index as i32,
+            queued: metrics.counter("pipeline.queued"),
+            queue_wait_ns: metrics.counter("pipeline.queue_wait_ns"),
+            hardened: metrics.counter("pipeline.hardened"),
+            hardening_ns: metrics.counter("pipeline.hardening_ns"),
+            max_depth: metrics.max_gauge("pipeline.max_depth"),
         });
         let mut handles = pool.handles.lock();
         for worker in 0..pool.workers {
@@ -336,11 +356,11 @@ impl ShardWorkers {
     /// Snapshot of the pipeline counters.
     pub fn pipeline_stats(&self) -> PipelineStats {
         PipelineStats {
-            queued: self.queued.load(Ordering::Relaxed),
-            queue_wait_ns: self.queue_wait_ns.load(Ordering::Relaxed),
-            hardened: self.hardened.load(Ordering::Relaxed),
-            hardening_ns: self.hardening_ns.load(Ordering::Relaxed),
-            max_depth: self.max_depth.load(Ordering::Relaxed),
+            queued: self.queued.get(),
+            queue_wait_ns: self.queue_wait_ns.get(),
+            hardened: self.hardened.get(),
+            hardening_ns: self.hardening_ns.get(),
+            max_depth: self.max_depth.get(),
         }
     }
 
@@ -379,12 +399,14 @@ impl ShardWorkers {
                 call,
                 args,
                 max_attempts,
+                ..
             } => self.execute_now(proc, &call, &args, max_attempts),
             ShardRequest::Prepare {
                 global,
                 proc,
                 call,
                 args,
+                ..
             } => self.prepare_now(global, proc, &call, &args),
             ShardRequest::Commit { global } | ShardRequest::CommitOnePhase { global } => {
                 self.decide(global, true);
@@ -413,6 +435,9 @@ impl ShardWorkers {
                 self.db.durability().seal_current_epoch();
                 Ok(ShardResponse::Flushed)
             }
+            ShardRequest::Metrics => Ok(ShardResponse::Metrics(Box::new(
+                self.db.metrics().snapshot(),
+            ))),
         }
     }
 
@@ -524,6 +549,7 @@ impl ShardWorkers {
         proc: ProcId,
         call: &ProcedureCall,
         args: &[u8],
+        trace: TraceCtx,
         reply: ReplySink,
     ) -> Option<(ShardResult, ReplySink)> {
         let body = match self.resolve(proc) {
@@ -558,6 +584,7 @@ impl ShardWorkers {
                             kind: CompletionKind::Reply(response),
                             reply,
                             body_done_at: Instant::now(),
+                            trace,
                         });
                         None
                     }
@@ -579,6 +606,7 @@ impl ShardWorkers {
                     },
                     reply,
                     body_done_at: Instant::now(),
+                    trace,
                 });
                 None
             }
@@ -594,6 +622,7 @@ impl ShardWorkers {
         call: &ProcedureCall,
         args: &[u8],
         max_attempts: u32,
+        trace: TraceCtx,
         reply: ReplySink,
     ) -> Option<(ShardResult, ReplySink)> {
         let body = match self.resolve(proc) {
@@ -622,6 +651,7 @@ impl ShardWorkers {
                     }),
                     reply,
                     body_done_at: Instant::now(),
+                    trace,
                 });
                 None
             }
@@ -732,19 +762,29 @@ impl ShardWorkers {
                     if state.inflight < admission {
                         if let Some(submission) = state.queue.pop_front() {
                             state.inflight += 1;
-                            self.max_depth
-                                .fetch_max(state.inflight as u64, Ordering::Relaxed);
+                            self.max_depth.observe(state.inflight as u64);
                             break submission;
                         }
                     }
                     self.work_cv.wait(&mut state);
                 }
             };
-            self.queued.fetch_add(1, Ordering::Relaxed);
-            self.queue_wait_ns.fetch_add(
-                submission.enqueued_at.elapsed().as_nanos() as u64,
-                Ordering::Relaxed,
-            );
+            let waited_ns = submission.enqueued_at.elapsed().as_nanos() as u64;
+            self.queued.inc();
+            self.queue_wait_ns.add(waited_ns);
+            let trace = submission.request.trace();
+            if trace.is_sampled() {
+                let end = obs::now_ns();
+                obs::record_span(
+                    trace,
+                    "shard.queue_wait",
+                    self.shard,
+                    end.saturating_sub(waited_ns),
+                    end,
+                    "ok",
+                );
+            }
+            let exec_start = trace.is_sampled().then(obs::now_ns);
             let Submission { request, reply, .. } = submission;
             let finished = match request {
                 ShardRequest::Prepare {
@@ -752,17 +792,35 @@ impl ShardWorkers {
                     proc,
                     call,
                     args,
-                } if self.pipelined() => self.prepare_pipelined(global, proc, &call, &args, reply),
+                    trace,
+                } if self.pipelined() => {
+                    self.prepare_pipelined(global, proc, &call, &args, trace, reply)
+                }
                 ShardRequest::Execute {
                     proc,
                     call,
                     args,
                     max_attempts,
+                    trace,
                 } if self.pipelined() => {
-                    self.execute_pipelined(proc, &call, &args, max_attempts, reply)
+                    self.execute_pipelined(proc, &call, &args, max_attempts, trace, reply)
                 }
                 other => Some((self.handle_inline(other), reply)),
             };
+            if let Some(start) = exec_start {
+                let status = match &finished {
+                    Some((Err(err), _)) => error_status(err),
+                    _ => "ok",
+                };
+                obs::record_span(
+                    trace,
+                    "shard.execute",
+                    self.shard,
+                    start,
+                    obs::now_ns(),
+                    status,
+                );
+            }
             if let Some((result, reply)) = finished {
                 reply(result);
                 self.finish_inflight(1);
@@ -820,11 +878,20 @@ impl ShardWorkers {
                         // decomposition of the prepared-lock window is
                         // about (executes and read acks released their
                         // locks before parking).
-                        self.hardened.fetch_add(1, Ordering::Relaxed);
-                        self.hardening_ns.fetch_add(
-                            completion.body_done_at.elapsed().as_nanos() as u64,
-                            Ordering::Relaxed,
-                        );
+                        let hardening = completion.body_done_at.elapsed().as_nanos() as u64;
+                        self.hardened.inc();
+                        self.hardening_ns.add(hardening);
+                        if completion.trace.is_sampled() {
+                            let end = obs::now_ns();
+                            obs::record_span(
+                                completion.trace,
+                                "shard.harden",
+                                self.shard,
+                                end.saturating_sub(hardening),
+                                end,
+                                "ok",
+                            );
+                        }
                         self.park_prepared(global, value, *prepared)
                     }
                     CompletionKind::Reply(response) => Ok(response),
@@ -913,6 +980,7 @@ mod tests {
                         call: ProcedureCall::new(TY),
                         args: args(1),
                         max_attempts: 20,
+                        trace: TraceCtx::NONE,
                     },
                     Box::new(move |result| {
                         let _ = tx.send(result);
@@ -996,6 +1064,7 @@ mod tests {
                         proc: PUT5,
                         call: ProcedureCall::new(TY),
                         args: args(1000 + i),
+                        trace: TraceCtx::NONE,
                     },
                     Box::new(move |result| {
                         let _ = tx.send(result);
@@ -1067,6 +1136,7 @@ mod tests {
                     call: ProcedureCall::new(TY),
                     args: args(1),
                     max_attempts: 10,
+                    trace: TraceCtx::NONE,
                 },
                 Box::new(move |result| {
                     let _ = tx.send(result);
@@ -1109,6 +1179,7 @@ mod tests {
                         call: ProcedureCall::new(TY),
                         args: args(1),
                         max_attempts: 20,
+                        trace: TraceCtx::NONE,
                     },
                     Box::new(move |result| {
                         let _ = tx.send(result);

@@ -14,14 +14,16 @@ use crate::procedure::ProcedureCall;
 use crate::stats::{DbStats, StatsSnapshot};
 use crate::txn::Txn;
 use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tebaldi_cc::history::HistoryRecorder;
 use tebaldi_cc::{
     CcError, CcResult, CcTree, CcTreeSpec, EventSink, NullSink, ProcedureSet, TreeServices,
     TsOracle, TxnRegistry,
 };
+use tebaldi_obs::{Histogram, MetricsRegistry};
 use tebaldi_storage::durability::{DurabilityManager, FlushPolicy};
 use tebaldi_storage::gc::GcManager;
 use tebaldi_storage::sim::SimNet;
@@ -45,6 +47,10 @@ pub struct Database {
     pub(crate) txn_ids: AtomicU64,
     pub(crate) version_ids: AtomicU64,
     pub(crate) reconfigurations: AtomicU64,
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    /// Per-procedure commit-latency histograms, cached by type id so the
+    /// hot path never formats a metric name.
+    proc_latency: RwLock<HashMap<TxnTypeId, Arc<Histogram>>>,
 }
 
 impl std::fmt::Debug for Database {
@@ -63,6 +69,7 @@ pub struct DatabaseBuilder {
     events: Arc<dyn EventSink>,
     log_device: Option<Arc<dyn LogDevice>>,
     store: Option<MvStore>,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl DatabaseBuilder {
@@ -75,6 +82,7 @@ impl DatabaseBuilder {
             events: Arc::new(NullSink),
             log_device: None,
             store: None,
+            metrics: None,
         }
     }
 
@@ -106,6 +114,15 @@ impl DatabaseBuilder {
     /// an empty one.
     pub fn store(mut self, store: MvStore) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Uses a specific metrics registry (default: a fresh enabled one).
+    /// Pass [`MetricsRegistry::disabled`] for the obs-off configuration:
+    /// histograms stop recording while the counters backing
+    /// [`Database::stats`] and durability stats stay live.
+    pub fn metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
         self
     }
 
@@ -143,7 +160,11 @@ impl DatabaseBuilder {
         let device: Arc<dyn LogDevice> = self
             .log_device
             .unwrap_or_else(|| Arc::new(MemLogDevice::new()));
-        let durability = DurabilityManager::with_options(device, policy, self.config.group_commit);
+        let metrics = self
+            .metrics
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        let durability =
+            DurabilityManager::with_metrics(device, policy, self.config.group_commit, &metrics);
         let history = if self.config.record_history {
             Some(Arc::new(HistoryRecorder::new()))
         } else {
@@ -165,6 +186,8 @@ impl DatabaseBuilder {
             txn_ids: AtomicU64::new(1),
             version_ids: AtomicU64::new(1),
             reconfigurations: AtomicU64::new(0),
+            metrics,
+            proc_latency: RwLock::new(HashMap::new()),
         })
     }
 }
@@ -213,6 +236,25 @@ impl Database {
     /// The durability manager.
     pub fn durability(&self) -> &Arc<DurabilityManager> {
         &self.durability
+    }
+
+    /// The metrics registry: durability counters, shard-pipeline
+    /// instruments and per-procedure latency histograms all live here.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// The commit-latency histogram of procedure type `ty`
+    /// (`proc.<name>.latency_ns`), cached per type.
+    pub fn proc_latency_histogram(&self, ty: TxnTypeId) -> Arc<Histogram> {
+        if let Some(h) = self.proc_latency.read().get(&ty) {
+            return Arc::clone(h);
+        }
+        let mut map = self.proc_latency.write();
+        Arc::clone(map.entry(ty).or_insert_with(|| {
+            self.metrics
+                .histogram(&format!("proc.{}.latency_ns", self.procedures.name(ty)))
+        }))
     }
 
     /// Engine counters.
@@ -291,11 +333,16 @@ impl Database {
         // Once admitted, the drain protocol waits for us, so this read is
         // stable for the whole execution.
         let tree = self.current_tree();
+        let timer = self.metrics.is_enabled().then(Instant::now);
         let result = match tree.group_for(call.ty, call.instance_seed) {
             Some(group) => self.execute_admitted(&tree, group, call, defer_harden, body),
             None => Err(CcError::Internal(format!("no group for {:?}", call.ty))),
         };
         self.gate.exit(gate_group);
+        if let (Some(started), Ok(_)) = (timer, &result) {
+            self.proc_latency_histogram(call.ty)
+                .record_duration(started.elapsed());
+        }
         result
     }
 

@@ -1,0 +1,31 @@
+//! `tebaldi-obs`: the observability substrate of the Tebaldi reproduction.
+//!
+//! Chapter 5's auto-configuration is driven by measurement — the paper's
+//! latency-based profiler (fig 5.5) and its measured profiling overhead
+//! (fig 5.17) are first-class results — so the runtime needs a cheap,
+//! always-available measurement layer rather than ad-hoc counters. This
+//! crate provides:
+//!
+//! * [`metrics`] — a registry of relaxed-atomic counters/max-gauges and
+//!   striped log-bucketed histograms with serializable, mergeable
+//!   snapshots and Prometheus-style text exposition;
+//! * [`trace`] — per-transaction trace ids propagated through shard
+//!   requests, with spans recorded into bounded ring buffers, sampling by
+//!   construction (unsampled id `0` short-circuits every call), and a
+//!   slow-transaction threshold that dumps full structured traces.
+//!
+//! Higher layers (storage durability, the shard workers, the 2PC
+//! coordinator, the benchmark driver) all record through these types, so
+//! there is exactly one histogram implementation and one trace format in
+//! the tree.
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{
+    Counter, Histogram, HistogramSnapshot, MaxGauge, MetricsRegistry, MetricsSnapshot,
+};
+pub use trace::{
+    collect, dropped_spans, maybe_dump_slow, now_ns, record_span, set_slow_threshold_ns,
+    take_slow_traces, SlowTrace, SpanRecord, TraceCtx,
+};

@@ -26,6 +26,7 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use tebaldi_obs::{Counter, MetricsRegistry};
 
 /// Flushing policy.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -89,14 +90,31 @@ pub struct GroupCommit {
     device: Arc<dyn LogDevice>,
     state: Mutex<GroupCommitState>,
     hardened_cv: Condvar,
-    flushes: AtomicU64,
-    appends: AtomicU64,
-    coalesced: AtomicU64,
+    flushes: Arc<Counter>,
+    appends: Arc<Counter>,
+    coalesced: Arc<Counter>,
 }
 
 impl GroupCommit {
-    /// A group-commit funnel over `device`.
+    /// A group-commit funnel over `device` with standalone (unregistered)
+    /// counters.
     pub fn new(device: Arc<dyn LogDevice>) -> Self {
+        GroupCommit::with_counters(
+            device,
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+            Arc::new(Counter::new()),
+        )
+    }
+
+    /// A funnel whose flush/append/coalesce counters live in a metrics
+    /// registry (so snapshots expose them by name).
+    pub fn with_counters(
+        device: Arc<dyn LogDevice>,
+        flushes: Arc<Counter>,
+        appends: Arc<Counter>,
+        coalesced: Arc<Counter>,
+    ) -> Self {
         GroupCommit {
             device,
             state: Mutex::new(GroupCommitState {
@@ -105,9 +123,9 @@ impl GroupCommit {
                 flushing: false,
             }),
             hardened_cv: Condvar::new(),
-            flushes: AtomicU64::new(0),
-            appends: AtomicU64::new(0),
-            coalesced: AtomicU64::new(0),
+            flushes,
+            appends,
+            coalesced,
         }
     }
 
@@ -139,7 +157,7 @@ impl GroupCommit {
             state.appended += 1;
             state.appended
         };
-        self.appends.fetch_add(1, Ordering::Relaxed);
+        self.appends.inc();
         my_seq
     }
 
@@ -155,7 +173,7 @@ impl GroupCommit {
             if state.hardened >= my_seq {
                 if !led {
                     // Another caller's flush carried this record.
-                    self.coalesced.fetch_add(1, Ordering::Relaxed);
+                    self.coalesced.inc();
                 }
                 return;
             }
@@ -172,7 +190,7 @@ impl GroupCommit {
             let target = state.appended;
             drop(state);
             self.device.flush();
-            self.flushes.fetch_add(1, Ordering::Relaxed);
+            self.flushes.inc();
             led = true;
             state = self.state.lock();
             state.flushing = false;
@@ -191,18 +209,18 @@ impl GroupCommit {
 
     /// Device flushes performed by group leaders.
     pub fn flush_count(&self) -> u64 {
-        self.flushes.load(Ordering::Relaxed)
+        self.flushes.get()
     }
 
     /// Hardening appends that went through the funnel.
     pub fn append_count(&self) -> u64 {
-        self.appends.load(Ordering::Relaxed)
+        self.appends.get()
     }
 
     /// Appends that were hardened by another caller's flush (the group
     /// commit win: `coalesced / appends` of the flushes were saved).
     pub fn coalesced_count(&self) -> u64 {
-        self.coalesced.load(Ordering::Relaxed)
+        self.coalesced.get()
     }
 }
 
@@ -217,12 +235,12 @@ pub struct DurabilityManager {
     sealed_cv: Condvar,
     stop: Arc<AtomicBool>,
     flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
-    operations: AtomicU64,
-    precommits: AtomicU64,
-    prepares: AtomicU64,
-    commits: AtomicU64,
-    flushes: AtomicU64,
-    epochs_sealed: AtomicU64,
+    operations: Arc<Counter>,
+    precommits: Arc<Counter>,
+    prepares: Arc<Counter>,
+    commits: Arc<Counter>,
+    flushes: Arc<Counter>,
+    epochs_sealed: Arc<Counter>,
     /// Highest funnel sequence holding a *deferred* commit record — a
     /// commit whose versions are already published but whose flush is
     /// still pending. The read barrier below gates read-only
@@ -256,9 +274,28 @@ impl DurabilityManager {
         policy: FlushPolicy,
         coalesce: bool,
     ) -> Arc<Self> {
+        DurabilityManager::with_metrics(device, policy, coalesce, &MetricsRegistry::new())
+    }
+
+    /// [`DurabilityManager::with_options`] with the durability counters
+    /// registered in `metrics` (under `durability.*` names), so a metrics
+    /// snapshot exposes them without a separate stats plumbing path. The
+    /// counters are live regardless of whether the registry's histograms
+    /// are enabled: [`DurabilityManager::stats`] must always be correct.
+    pub fn with_metrics(
+        device: Arc<dyn LogDevice>,
+        policy: FlushPolicy,
+        coalesce: bool,
+        metrics: &MetricsRegistry,
+    ) -> Arc<Self> {
         let mgr = Arc::new(DurabilityManager {
             device: Arc::clone(&device),
-            group: GroupCommit::new(device),
+            group: GroupCommit::with_counters(
+                device,
+                metrics.counter("durability.group_flushes"),
+                metrics.counter("durability.group_appends"),
+                metrics.counter("durability.coalesced"),
+            ),
             coalesce,
             policy: policy.clone(),
             current_epoch: AtomicU64::new(1),
@@ -266,12 +303,12 @@ impl DurabilityManager {
             sealed_cv: Condvar::new(),
             stop: Arc::new(AtomicBool::new(false)),
             flusher: Mutex::new(None),
-            operations: AtomicU64::new(0),
-            precommits: AtomicU64::new(0),
-            prepares: AtomicU64::new(0),
-            commits: AtomicU64::new(0),
-            flushes: AtomicU64::new(0),
-            epochs_sealed: AtomicU64::new(0),
+            operations: metrics.counter("durability.operations"),
+            precommits: metrics.counter("durability.precommits"),
+            prepares: metrics.counter("durability.prepares"),
+            commits: metrics.counter("durability.commits"),
+            flushes: metrics.counter("durability.flushes"),
+            epochs_sealed: metrics.counter("durability.epochs_sealed"),
             last_deferred_commit_seq: AtomicU64::new(0),
         });
         if let FlushPolicy::Asynchronous { epoch_interval } = policy {
@@ -341,7 +378,7 @@ impl DurabilityManager {
             for record in records {
                 self.device.append(record);
                 self.device.flush();
-                self.flushes.fetch_add(1, Ordering::Relaxed);
+                self.flushes.inc();
             }
         }
     }
@@ -393,7 +430,7 @@ impl DurabilityManager {
         let participants = by_shard.len() as u32;
         let mut records = Vec::with_capacity(by_shard.len() + 1);
         for (shard, writes) in by_shard {
-            self.precommits.fetch_add(1, Ordering::Relaxed);
+            self.precommits.inc();
             records.push(LogRecord::Precommit {
                 txn,
                 participants,
@@ -402,7 +439,7 @@ impl DurabilityManager {
                 writes,
             });
         }
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.inc();
         records.push(LogRecord::Commit {
             txn,
             global_epoch: epoch,
@@ -456,7 +493,7 @@ impl DurabilityManager {
         if !self.is_enabled() {
             return;
         }
-        self.operations.fetch_add(1, Ordering::Relaxed);
+        self.operations.inc();
         self.device.append(&LogRecord::Operation {
             txn,
             key,
@@ -486,7 +523,7 @@ impl DurabilityManager {
         } else {
             self.current_epoch()
         };
-        self.precommits.fetch_add(1, Ordering::Relaxed);
+        self.precommits.inc();
         let record = LogRecord::Precommit {
             txn,
             participants,
@@ -537,7 +574,7 @@ impl DurabilityManager {
         if !self.is_enabled() {
             return None;
         }
-        self.prepares.fetch_add(1, Ordering::Relaxed);
+        self.prepares.inc();
         let record = LogRecord::Prepare {
             txn,
             global,
@@ -548,7 +585,7 @@ impl DurabilityManager {
         } else {
             self.device.append(&record);
             self.device.flush();
-            self.flushes.fetch_add(1, Ordering::Relaxed);
+            self.flushes.inc();
             None
         }
     }
@@ -595,7 +632,7 @@ impl DurabilityManager {
                 Err(actual) => cur = actual,
             }
         }
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.commits.inc();
         let record = LogRecord::Commit {
             txn,
             global_epoch,
@@ -618,8 +655,8 @@ impl DurabilityManager {
         let sealing = self.current_epoch.fetch_add(1, Ordering::Relaxed);
         self.device.append(&LogRecord::EpochSeal { epoch: sealing });
         self.device.flush();
-        self.flushes.fetch_add(1, Ordering::Relaxed);
-        self.epochs_sealed.fetch_add(1, Ordering::Relaxed);
+        self.flushes.inc();
+        self.epochs_sealed.inc();
         let mut sealed = self.sealed.lock();
         if sealing > sealed.sealed {
             sealed.sealed = sealing;
@@ -663,13 +700,13 @@ impl DurabilityManager {
     /// leader flushes.
     pub fn stats(&self) -> DurabilityStats {
         DurabilityStats {
-            operations: self.operations.load(Ordering::Relaxed),
-            precommits: self.precommits.load(Ordering::Relaxed),
-            prepares: self.prepares.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            flushes: self.flushes.load(Ordering::Relaxed) + self.group.flush_count(),
+            operations: self.operations.get(),
+            precommits: self.precommits.get(),
+            prepares: self.prepares.get(),
+            commits: self.commits.get(),
+            flushes: self.flushes.get() + self.group.flush_count(),
             coalesced: self.group.coalesced_count(),
-            epochs_sealed: self.epochs_sealed.load(Ordering::Relaxed),
+            epochs_sealed: self.epochs_sealed.get(),
         }
     }
 

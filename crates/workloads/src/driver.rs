@@ -148,6 +148,11 @@ fn run_closed_loop(
             .into_iter()
             .map(|(ty, s)| (ty.0, s))
             .collect(),
+        latency_hist_by_type: latencies
+            .snapshots()
+            .into_iter()
+            .map(|(ty, h)| (ty.0, h))
+            .collect(),
         latency_overall: latencies.overall(),
         committed_by_type,
     }

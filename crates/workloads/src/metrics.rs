@@ -3,33 +3,56 @@
 //! The paper reports throughput (committed transactions per second),
 //! per-transaction-type latency, and abort behaviour, all measured at the
 //! closed-loop clients (§4.6). [`LatencyRecorder`] collects latencies per
-//! type with a fixed memory footprint; [`BenchResult`] is the merged,
-//! printable outcome of one benchmark run.
+//! type into the shared log-bucketed histogram from `tebaldi-obs` — the
+//! same instrument the engine uses internally — so memory stays fixed
+//! regardless of run length and percentiles match the engine's own
+//! exposition (~1.6% relative bucket error; count, mean, and max are
+//! exact). [`BenchResult`] is the merged, printable outcome of one
+//! benchmark run.
 
 use serde::Serialize;
 use std::collections::HashMap;
 use std::time::Duration;
+use tebaldi_obs::{Histogram, HistogramSnapshot};
 use tebaldi_storage::TxnTypeId;
+
+const NS_PER_MS: f64 = 1e6;
 
 /// Per-type latency statistics.
 #[derive(Clone, Debug, Default, Serialize)]
 pub struct LatencyStats {
     /// Number of committed transactions measured.
     pub count: u64,
-    /// Mean latency in milliseconds.
+    /// Mean latency in milliseconds (exact).
     pub mean_ms: f64,
     /// 50th percentile latency in milliseconds.
     pub p50_ms: f64,
+    /// 95th percentile latency in milliseconds.
+    pub p95_ms: f64,
     /// 99th percentile latency in milliseconds.
     pub p99_ms: f64,
-    /// Maximum observed latency in milliseconds.
+    /// Maximum observed latency in milliseconds (exact).
     pub max_ms: f64,
 }
 
+impl LatencyStats {
+    /// Statistics from a histogram of nanosecond samples.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Self {
+        LatencyStats {
+            count: snap.count,
+            mean_ms: snap.mean() / NS_PER_MS,
+            p50_ms: snap.p50() as f64 / NS_PER_MS,
+            p95_ms: snap.p95() as f64 / NS_PER_MS,
+            p99_ms: snap.p99() as f64 / NS_PER_MS,
+            max_ms: snap.max as f64 / NS_PER_MS,
+        }
+    }
+}
+
 /// Collects latency samples for one client thread.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct LatencyRecorder {
-    samples: HashMap<TxnTypeId, Vec<f64>>,
+    histograms: HashMap<TxnTypeId, Histogram>,
 }
 
 impl LatencyRecorder {
@@ -40,59 +63,66 @@ impl LatencyRecorder {
 
     /// Records one committed transaction's latency.
     pub fn record(&mut self, ty: TxnTypeId, latency: Duration) {
-        self.samples
+        self.histograms
             .entry(ty)
             .or_default()
-            .push(latency.as_secs_f64() * 1_000.0);
+            .record_duration(latency);
     }
 
-    /// Merges another recorder into this one.
+    /// Merges another recorder into this one (exact: bucket counts, sums,
+    /// and maxima carry over unchanged).
     pub fn merge(&mut self, other: LatencyRecorder) {
-        for (ty, mut samples) in other.samples {
-            self.samples.entry(ty).or_default().append(&mut samples);
+        for (ty, histogram) in other.histograms {
+            self.histograms
+                .entry(ty)
+                .or_default()
+                .merge_snapshot(&histogram.snapshot());
         }
     }
 
     /// Computes per-type statistics.
     pub fn stats(&self) -> HashMap<TxnTypeId, LatencyStats> {
-        self.samples
+        self.histograms
             .iter()
-            .map(|(ty, samples)| (*ty, summarize(samples)))
+            .map(|(ty, h)| (*ty, LatencyStats::from_snapshot(&h.snapshot())))
+            .collect()
+    }
+
+    /// The raw per-type histograms (nanosecond samples), for consumers
+    /// that analyse distributions rather than summary statistics.
+    pub fn snapshots(&self) -> HashMap<TxnTypeId, HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .map(|(ty, h)| (*ty, h.snapshot()))
             .collect()
     }
 
     /// Statistics over all types combined.
     pub fn overall(&self) -> LatencyStats {
-        let all: Vec<f64> = self.samples.values().flatten().copied().collect();
-        summarize(&all)
+        LatencyStats::from_snapshot(&self.overall_snapshot())
+    }
+
+    /// The merged histogram over all types, for callers that want raw
+    /// nanosecond quantiles rather than millisecond statistics.
+    pub fn overall_snapshot(&self) -> HistogramSnapshot {
+        let mut all = HistogramSnapshot::default();
+        for histogram in self.histograms.values() {
+            all.merge(&histogram.snapshot());
+        }
+        all
     }
 
     /// Total number of samples.
     pub fn len(&self) -> usize {
-        self.samples.values().map(|v| v.len()).sum()
+        self.histograms
+            .values()
+            .map(|h| h.snapshot().count as usize)
+            .sum()
     }
 
     /// True when no sample was recorded.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
-    }
-}
-
-fn summarize(samples: &[f64]) -> LatencyStats {
-    if samples.is_empty() {
-        return LatencyStats::default();
-    }
-    let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let count = sorted.len();
-    let mean = sorted.iter().sum::<f64>() / count as f64;
-    let pct = |p: f64| sorted[((count as f64 - 1.0) * p).round() as usize];
-    LatencyStats {
-        count: count as u64,
-        mean_ms: mean,
-        p50_ms: pct(0.50),
-        p99_ms: pct(0.99),
-        max_ms: *sorted.last().unwrap(),
     }
 }
 
@@ -115,6 +145,10 @@ pub struct BenchResult {
     pub throughput: f64,
     /// Per-type latency statistics.
     pub latency_by_type: HashMap<u32, LatencyStats>,
+    /// Per-type latency histograms (nanosecond samples) — the raw
+    /// distributions behind [`BenchResult::latency_by_type`], in the shared
+    /// `tebaldi-obs` format.
+    pub latency_hist_by_type: HashMap<u32, HistogramSnapshot>,
     /// Latency over every committed transaction.
     pub latency_overall: LatencyStats,
     /// Commit counts per type.
@@ -162,6 +196,7 @@ mod tests {
         assert_eq!(s.count, 100);
         assert!((s.mean_ms - 50.5).abs() < 0.5);
         assert!(s.p50_ms >= 49.0 && s.p50_ms <= 52.0);
+        assert!(s.p95_ms >= 93.0 && s.p95_ms <= 97.0);
         assert!(s.p99_ms >= 98.0);
         assert_eq!(s.max_ms, 100.0);
     }

@@ -108,6 +108,7 @@ fn main() {
                 call: ProcedureCall::new(TRANSFER),
                 args: procs::increment_args(Key::simple(ACCOUNTS, 0), 0, 32),
                 max_attempts: 5,
+                trace: tebaldi_suite::obs::TraceCtx::NONE,
             },
         )
         .expect("remote execute");

@@ -9,5 +9,6 @@ pub use tebaldi_autoconf as autoconf;
 pub use tebaldi_cc as cc;
 pub use tebaldi_cluster as cluster;
 pub use tebaldi_core as core;
+pub use tebaldi_obs as obs;
 pub use tebaldi_storage as storage;
 pub use tebaldi_workloads as workloads;

@@ -11,6 +11,7 @@ use tebaldi_suite::cc::CcError;
 use tebaldi_suite::cluster::wire;
 use tebaldi_suite::cluster::{ShardRequest, ShardResponse, ShardStatsReply, Vote};
 use tebaldi_suite::core::{ProcId, ProcedureCall};
+use tebaldi_suite::obs::TraceCtx;
 use tebaldi_suite::storage::{Key, TableId, TxnTypeId, Value};
 
 /// Deterministically expands a seed tuple into a request covering every
@@ -24,23 +25,31 @@ fn request_from_seed((variant, a, b): (u32, u64, u64)) -> ShardRequest {
                 .collect(),
         );
     let args: Vec<u8> = (0..(b % 32)).map(|i| (i as u8).wrapping_mul(31)).collect();
-    match variant % 7 {
+    // Both sampled (nonzero) and unsampled (zero) trace ids must survive
+    // the wire.
+    let trace = TraceCtx {
+        trace_id: if a % 3 == 0 { 0 } else { a ^ b.rotate_left(17) },
+    };
+    match variant % 8 {
         0 => ShardRequest::Execute {
             proc: ProcId((a % 1000) as u32),
             call,
             args,
             max_attempts: (b % 50) as u32 + 1,
+            trace,
         },
         1 => ShardRequest::Prepare {
             global: a.wrapping_mul(b),
             proc: ProcId((b % 1000) as u32),
             call,
             args,
+            trace,
         },
         2 => ShardRequest::Commit { global: a },
         3 => ShardRequest::CommitOnePhase { global: b },
         4 => ShardRequest::Abort { global: a ^ b },
         5 => ShardRequest::Stats,
+        6 => ShardRequest::Metrics,
         _ => ShardRequest::Flush,
     }
 }
@@ -92,7 +101,7 @@ proptest! {
     /// layer.
     #[test]
     fn shard_requests_roundtrip_through_frames(
-        seeds in proptest::collection::vec((0u32..7, 0u64..1_000_000, 0u64..1_000_000), 1..24),
+        seeds in proptest::collection::vec((0u32..8, 0u64..1_000_000, 0u64..1_000_000), 1..24),
         req_id in 0u64..1_000_000_000,
     ) {
         for seed in seeds {
@@ -130,7 +139,7 @@ proptest! {
     #[test]
     fn garbage_and_truncated_payloads_never_panic(
         garbage in proptest::collection::vec(0u32..256, 0..64),
-        seed in (0u32..7, 0u64..1_000_000, 0u64..1_000_000),
+        seed in (0u32..8, 0u64..1_000_000, 0u64..1_000_000),
     ) {
         let bytes: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
         let _ = wire::decode_request(&bytes);
@@ -243,6 +252,7 @@ mod pipelining {
                 proc: PUT7,
                 call: ProcedureCall::new(TY),
                 args: key_args(9),
+                trace: tebaldi_suite::obs::TraceCtx::NONE,
             },
         );
         let execute_ticket = transport.submit(
@@ -252,6 +262,7 @@ mod pipelining {
                 call: ProcedureCall::new(TY),
                 args: procs::key_args(Key::simple(TABLE, 5)),
                 max_attempts: 5,
+                trace: tebaldi_suite::obs::TraceCtx::NONE,
             },
         );
         // The read completes while the prepare is still hardening: its
@@ -319,6 +330,7 @@ mod pipelining {
                                 proc: PUT7,
                                 call: ProcedureCall::new(TY),
                                 args: key_args(1000 + i),
+                                trace: tebaldi_suite::obs::TraceCtx::NONE,
                             },
                         )
                         .wait()
@@ -484,6 +496,7 @@ mod pipelining {
                         call: ProcedureCall::new(TY),
                         args: key_args(1),
                         max_attempts: 3,
+                        trace: tebaldi_suite::obs::TraceCtx::NONE,
                     },
                 )
             })
@@ -502,6 +515,7 @@ mod pipelining {
                     call: ProcedureCall::new(TY),
                     args: procs::key_args(Key::simple(TABLE, 1)),
                     max_attempts: 3,
+                    trace: tebaldi_suite::obs::TraceCtx::NONE,
                 },
             )
             .wait()
