@@ -39,9 +39,32 @@ pub enum CcError {
     /// An internal invariant failed. Should never occur; kept as data rather
     /// than a panic so benchmark runs survive.
     Internal(String),
+    /// The remote side of a network boundary could not be reached: the
+    /// connection is down, the send failed, a partition is in effect, or
+    /// the reply was lost. Distinct from logic errors so coordinators,
+    /// retry loops, and bench tooling can classify transient network
+    /// failure without string-matching `Internal` messages.
+    Unreachable {
+        /// What could not be reached ("shard 3", "connection", ...).
+        target: String,
+        /// Whether the request may have reached the remote side before the
+        /// failure (reply lost / connection died while pending). When
+        /// `true`, blindly retrying a non-idempotent operation risks
+        /// applying it twice; when `false` the request provably never
+        /// executed and a retry is always safe.
+        maybe_delivered: bool,
+    },
 }
 
 impl CcError {
+    /// Builds an [`Unreachable`](CcError::Unreachable) error.
+    pub fn unreachable(target: impl Into<String>, maybe_delivered: bool) -> CcError {
+        CcError::Unreachable {
+            target: target.into(),
+            maybe_delivered,
+        }
+    }
+
     /// The mechanism name to which abort statistics should be attributed.
     pub fn mechanism(&self) -> &'static str {
         match self {
@@ -50,13 +73,31 @@ impl CcError {
             CcError::DependencyAborted => "dependency",
             CcError::Requested => "engine",
             CcError::Internal(_) => "internal",
+            CcError::Unreachable { .. } => "unreachable",
         }
     }
 
     /// True when retrying the transaction may succeed (all aborts in this
-    /// system are retryable except internal errors).
+    /// system are retryable except internal errors). An unreachable target
+    /// is retryable only when the request provably never reached it — a
+    /// lost *reply* means a blind retry could double-apply. (A 2PC
+    /// coordinator may retry either kind: presumed abort guarantees the
+    /// failed attempt's global cannot commit later. See
+    /// [`is_unreachable`](CcError::is_unreachable).)
     pub fn is_retryable(&self) -> bool {
-        !matches!(self, CcError::Internal(_))
+        match self {
+            CcError::Internal(_) => false,
+            CcError::Unreachable {
+                maybe_delivered, ..
+            } => !maybe_delivered,
+            _ => true,
+        }
+    }
+
+    /// True when the error is transient network failure rather than a
+    /// logic error (either [`Unreachable`](CcError::Unreachable) flavor).
+    pub fn is_unreachable(&self) -> bool {
+        matches!(self, CcError::Unreachable { .. })
     }
 }
 
@@ -70,6 +111,18 @@ impl fmt::Display for CcError {
             CcError::DependencyAborted => write!(f, "a dependency aborted"),
             CcError::Requested => write!(f, "abort requested"),
             CcError::Internal(msg) => write!(f, "internal error: {msg}"),
+            CcError::Unreachable {
+                target,
+                maybe_delivered,
+            } => write!(
+                f,
+                "{target} is unreachable ({})",
+                if *maybe_delivered {
+                    "request may have been delivered"
+                } else {
+                    "request was never delivered"
+                }
+            ),
         }
     }
 }
@@ -90,5 +143,19 @@ mod tests {
         assert!(e.to_string().contains("lock"));
         assert!(e.is_retryable());
         assert!(!CcError::Internal("bug".into()).is_retryable());
+    }
+
+    #[test]
+    fn unreachable_classification() {
+        let lost_reply = CcError::unreachable("shard 3", true);
+        let never_sent = CcError::unreachable("shard 3", false);
+        assert!(lost_reply.is_unreachable() && never_sent.is_unreachable());
+        assert!(!CcError::Requested.is_unreachable());
+        assert_eq!(lost_reply.mechanism(), "unreachable");
+        // A lost reply may have been applied: not blindly retryable. A
+        // failed send provably never executed: retryable.
+        assert!(!lost_reply.is_retryable());
+        assert!(never_sent.is_retryable());
+        assert!(lost_reply.to_string().contains("unreachable"));
     }
 }

@@ -4,7 +4,9 @@
 
 use crate::api::{ShardRequest, ShardResponse, ShardResult};
 use crate::coordinator::{CoordinatorStats, TxnCoordinator};
+use crate::faults::{FaultPlan, FaultyTransport};
 use crate::router::{Partitioning, Routing, ShardRouter};
+use crate::tcp::ReconnectPolicy;
 use crate::transport::{
     InProcessTransport, ShardTransport, TransportFactory, TransportKind, TransportStats,
 };
@@ -79,9 +81,24 @@ pub struct ClusterConfig {
     pub trace_sample_every: u64,
     /// When non-zero, a *sampled* transaction whose end-to-end latency
     /// exceeds this threshold dumps its full structured trace into the
-    /// slow-trace buffer ([`tebaldi_obs::take_slow_traces`]). `0` leaves
-    /// the process-global threshold untouched.
+    /// slow-trace buffer, drained per cluster via
+    /// [`Cluster::take_slow_traces`]. The threshold is armed for this
+    /// cluster's trace scope only; other clusters in the process keep
+    /// their own. `0` arms nothing.
     pub slow_trace_threshold_ms: u64,
+    /// Base delay of the TCP transport's reconnect backoff. After a shard
+    /// link dies, the first re-dial happens immediately on the next
+    /// submission; each *failed* dial then closes the link for
+    /// `base * 2^(failures-1)`, capped at `reconnect_backoff_max_ms`.
+    /// Ignored by the in-process transport.
+    pub reconnect_backoff_ms: u64,
+    /// Cap on the reconnect backoff delay.
+    pub reconnect_backoff_max_ms: u64,
+    /// When set, the cluster's transport is wrapped in a
+    /// [`FaultyTransport`](crate::faults::FaultyTransport) injecting the
+    /// plan's deterministic drop/delay/duplicate/partition schedule.
+    /// Chaos-test machinery; `None` in every production configuration.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -100,11 +117,14 @@ impl ClusterConfig {
             // Pipelined by default under test so the whole cluster group
             // exercises the deferred-hardening path.
             max_inflight_per_shard: 32,
-            // Tracing off under test by default: the sink is process-global
-            // and parallel tests would pollute each other's rings. Tests
-            // that assert on traces opt in explicitly.
+            // Tracing off under test by default (tests that assert on
+            // traces opt in explicitly). Scoped trace ids keep parallel
+            // clusters isolated in the shared sink either way.
             trace_sample_every: 0,
             slow_trace_threshold_ms: 0,
+            reconnect_backoff_ms: 20,
+            reconnect_backoff_max_ms: 1_000,
+            fault_plan: None,
         }
     }
 
@@ -123,6 +143,9 @@ impl ClusterConfig {
             // observability cost off the bench hot path.
             trace_sample_every: 64,
             slow_trace_threshold_ms: 0,
+            reconnect_backoff_ms: 20,
+            reconnect_backoff_max_ms: 1_000,
+            fault_plan: None,
         }
     }
 
@@ -207,6 +230,9 @@ pub struct ClusterStats {
     /// Frame bytes the transport moved in either direction (zero in
     /// process).
     pub bytes_on_wire: u64,
+    /// Successful transport re-dials after lost connections (zero in
+    /// process; nonzero means the cluster rode out connection churn).
+    pub reconnects: u64,
     /// Phase-two decisions whose acknowledgement did not arrive within the
     /// prepare timeout. The transaction outcome is unaffected (the
     /// decision is durable; the shard resolves it on recovery or late
@@ -395,7 +421,7 @@ impl ClusterBuilder {
             ));
         }
 
-        let transport: Arc<dyn ShardTransport> = match self.transport_factory {
+        let mut transport: Arc<dyn ShardTransport> = match self.transport_factory {
             Some(factory) => factory(&shards)?,
             None => match self.config.transport {
                 TransportKind::InProcess => Arc::new(InProcessTransport::new(shards.clone())),
@@ -410,20 +436,40 @@ impl ClusterBuilder {
                         } else {
                             0
                         };
-                    Arc::new(crate::tcp::TcpTransport::over_loopback_with_window(
+                    let mut tcp = crate::tcp::TcpTransport::over_loopback_with_window(
                         &shards,
                         window,
                         self.config.prepare_timeout(),
-                    )?)
+                    )?;
+                    tcp.set_reconnect_policy(ReconnectPolicy::new(
+                        Duration::from_millis(self.config.reconnect_backoff_ms),
+                        Duration::from_millis(self.config.reconnect_backoff_max_ms),
+                    ));
+                    Arc::new(tcp)
                 }
             },
         };
+        if let Some(plan) = &self.config.fault_plan {
+            // Chaos wrapping applies to factory-built transports too, so a
+            // test can compose faults over any custom transport.
+            transport = Arc::new(FaultyTransport::new(transport, plan.clone(), &metrics));
+        }
 
         let decision_log = self
             .decision_log
             .unwrap_or_else(|| Arc::new(MemLogDevice::new()) as Arc<dyn LogDevice>);
+        // A process-unique scope tags this cluster's trace ids (high bits)
+        // so concurrent clusters in one process can't read each other's
+        // spans or slow-trace dumps out of the shared sink.
+        let trace_scope = {
+            static NEXT_SCOPE: AtomicU64 = AtomicU64::new(1);
+            NEXT_SCOPE.fetch_add(1, Ordering::Relaxed)
+        };
         if self.config.slow_trace_threshold_ms > 0 {
-            obs::set_slow_threshold_ns(self.config.slow_trace_threshold_ms * 1_000_000);
+            obs::set_slow_threshold_ns_scoped(
+                trace_scope,
+                self.config.slow_trace_threshold_ms * 1_000_000,
+            );
         }
         Ok(Cluster {
             router: ShardRouter::new(n, self.config.partitioning),
@@ -447,6 +493,8 @@ impl ClusterBuilder {
             phase_finalize: metrics.histogram("2pc.finalize_ns"),
             metrics,
             trace_seq: AtomicU64::new(0),
+            next_trace_id: AtomicU64::new(1),
+            trace_scope,
             last_trace_id: AtomicU64::new(0),
             config: self.config,
         })
@@ -482,6 +530,12 @@ pub struct Cluster {
     phase_finalize: Arc<Histogram>,
     /// Transactions seen by the sampler (for the every-Nth decision).
     trace_seq: AtomicU64,
+    /// Sequence numbers for this cluster's trace ids (the low bits; the
+    /// high bits carry `trace_scope`).
+    next_trace_id: AtomicU64,
+    /// This cluster's tag in the high bits of its trace ids, so concurrent
+    /// clusters sharing the process trace sink stay distinguishable.
+    trace_scope: u64,
     /// The most recently allocated trace id (tests use it to collect the
     /// spans of the transaction they just ran).
     last_trace_id: AtomicU64,
@@ -610,8 +664,14 @@ impl Cluster {
         if !seq.is_multiple_of(every) {
             return TraceCtx::NONE;
         }
-        static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
-        let id = NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed);
+        // The trace id carries this cluster's scope in its high bits: ids
+        // from concurrent clusters in one process never collide in the
+        // shared sink, and scoped slow-trace APIs only see their own
+        // cluster's dumps.
+        let id = obs::scoped_trace_id(
+            self.trace_scope,
+            self.next_trace_id.fetch_add(1, Ordering::Relaxed),
+        );
         self.last_trace_id.store(id, Ordering::Relaxed);
         TraceCtx::sampled(id)
     }
@@ -620,6 +680,19 @@ impl Cluster {
     /// yet). Pair with [`tebaldi_obs::collect`] to read its spans back.
     pub fn last_trace_id(&self) -> u64 {
         self.last_trace_id.load(Ordering::Relaxed)
+    }
+
+    /// This cluster's trace scope: the tag in the high bits of every trace
+    /// id it allocates, distinguishing its spans and slow-trace dumps from
+    /// other clusters sharing the process sink.
+    pub fn trace_scope(&self) -> u64 {
+        self.trace_scope
+    }
+
+    /// Drains the slow-transaction dumps belonging to *this* cluster
+    /// (other clusters' dumps stay in the shared backlog).
+    pub fn take_slow_traces(&self) -> Vec<obs::SlowTrace> {
+        obs::take_slow_traces_scoped(self.trace_scope)
     }
 
     /// Runs one multi-shard transaction through two-phase commit. Every
@@ -980,7 +1053,15 @@ impl Cluster {
         loop {
             match self.execute_multi(parts()) {
                 Ok(values) => return Ok((values, aborts)),
-                Err(err) if err.is_retryable() && aborts + 1 < max_attempts => {
+                // Unreachable errors are coordinator-retry-safe even when
+                // `maybe_delivered` is true: a prepare whose vote was lost
+                // counts as "no", the transaction presumed-aborts, and any
+                // shard that did prepare aborts on resolution — so a fresh
+                // attempt under a new transaction id cannot double-apply.
+                Err(err)
+                    if (err.is_retryable() || err.is_unreachable())
+                        && aborts + 1 < max_attempts =>
+                {
                     aborts += 1;
                     std::thread::sleep(std::time::Duration::from_micros(
                         200 * aborts.min(10) as u64,
@@ -1007,6 +1088,7 @@ impl Cluster {
         let TransportStats {
             messages_sent,
             bytes_on_wire,
+            reconnects,
         } = self.transport.stats();
         let mut stats = ClusterStats {
             single_shard: self.single_shard.get(),
@@ -1016,6 +1098,7 @@ impl Cluster {
             flushes: coordinator.decision_flushes,
             messages_sent,
             bytes_on_wire,
+            reconnects,
             coordinator,
             ..ClusterStats::default()
         };

@@ -1,0 +1,323 @@
+//! Deterministic, seed-driven fault injection for any [`ShardTransport`].
+//!
+//! [`FaultyTransport`] wraps an inner transport and injects per-shard
+//! drop, delay (which reorders messages relative to their peers),
+//! duplication, and full-partition faults from a reproducible schedule: a
+//! [`FaultPlan`] seeds one RNG lane per shard, so a fixed seed and a
+//! deterministic submission order replay the exact same fault sequence —
+//! the property the chaos suite builds on (a failing seed is a
+//! reproducible bug report).
+//!
+//! The faults are chosen to stay inside the failure model the 2PC
+//! machinery claims to survive:
+//!
+//! * **Dropped request** — the frame never reaches the shard. Surfaces as
+//!   [`CcError::Unreachable`] with `maybe_delivered = false`, exactly what
+//!   the TCP transport reports for a failed send.
+//! * **Dropped reply** — the shard processes the request but the answer is
+//!   lost (`maybe_delivered = true`). For a prepare this means a shard may
+//!   hold a prepared transaction the coordinator counts as a "no" vote;
+//!   for a decision it means the decision applied but was never
+//!   acknowledged.
+//! * **Delay** — the request is held for a bounded interval before being
+//!   forwarded, reordering it against every message submitted meanwhile.
+//! * **Duplicated decision** — a Commit/Abort frame is delivered twice
+//!   (network retransmission), exercising shard-side decision idempotency.
+//!   Only decisions are duplicated: duplicating a body-running request
+//!   would genuinely run it twice, which no transport layer can make safe.
+//! * **Partition** — a window of consecutive messages to one shard is
+//!   dropped wholesale, as if the link went away and came back.
+//!
+//! Admin requests (`Stats`, `Metrics`, `Flush`) pass through untouched so
+//! tests can always observe the cluster they are torturing.
+//!
+//! Every injected fault increments a `transport.faults.*` counter in the
+//! metrics registry the transport was built with.
+
+use crate::api::{ShardRequest, ShardResult};
+use crate::transport::{ShardTransport, TransportStats};
+use crate::worker::Ticket;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+use tebaldi_cc::CcError;
+use tebaldi_obs::{Counter, MetricsRegistry};
+
+/// A reproducible fault schedule. All probabilities are per message in
+/// `[0, 1]`; `0` disables that fault class.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seeds the per-shard RNG lanes (lane `s` uses `seed + s`).
+    pub seed: u64,
+    /// Probability a request frame is dropped before reaching the shard.
+    pub drop_request: f64,
+    /// Probability the shard's reply is dropped after it processed the
+    /// request.
+    pub drop_reply: f64,
+    /// Probability a request is held for a random interval before being
+    /// forwarded (reordering it against concurrent messages).
+    pub delay: f64,
+    /// Inclusive bounds, in milliseconds, of the injected delay.
+    pub delay_ms: (u64, u64),
+    /// Probability a decision frame (Commit/Abort) is delivered twice.
+    pub duplicate_decision: f64,
+    /// Probability a full-partition window opens at a message boundary.
+    pub partition: f64,
+    /// Inclusive bounds on how many consecutive messages one partition
+    /// window swallows.
+    pub partition_len: (u64, u64),
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (wiring tests).
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_request: 0.0,
+            drop_reply: 0.0,
+            delay: 0.0,
+            delay_ms: (0, 0),
+            duplicate_decision: 0.0,
+            partition: 0.0,
+            partition_len: (0, 0),
+        }
+    }
+
+    /// The chaos-suite default: every fault class armed at rates high
+    /// enough that a few hundred transactions hit each one, with delays
+    /// short enough to stay under the coordinator's prepare timeout.
+    pub fn hostile(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            drop_request: 0.05,
+            drop_reply: 0.05,
+            delay: 0.10,
+            delay_ms: (1, 10),
+            duplicate_decision: 0.20,
+            partition: 0.01,
+            partition_len: (2, 8),
+        }
+    }
+}
+
+/// One shard's fault lane: its RNG plus the partition state machine.
+struct Lane {
+    rng: StdRng,
+    /// Messages the currently open partition window still swallows.
+    partition_remaining: u64,
+}
+
+/// What the lane decided for one message.
+struct Verdict {
+    drop_request: bool,
+    partitioned: bool,
+    drop_reply: bool,
+    duplicate: bool,
+    delay: Option<Duration>,
+}
+
+/// A [`ShardTransport`] decorator injecting faults per [`FaultPlan`].
+pub struct FaultyTransport {
+    inner: Arc<dyn ShardTransport>,
+    plan: FaultPlan,
+    lanes: Vec<Mutex<Lane>>,
+    dropped_requests: Arc<Counter>,
+    dropped_replies: Arc<Counter>,
+    delayed: Arc<Counter>,
+    duplicated: Arc<Counter>,
+    partitioned: Arc<Counter>,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner`, drawing fault decisions from `plan` and counting
+    /// every injection under `transport.faults.*` in `metrics`.
+    pub fn new(
+        inner: Arc<dyn ShardTransport>,
+        plan: FaultPlan,
+        metrics: &MetricsRegistry,
+    ) -> FaultyTransport {
+        let lanes = (0..inner.shard_count())
+            .map(|shard| {
+                Mutex::new(Lane {
+                    rng: StdRng::seed_from_u64(plan.seed.wrapping_add(shard as u64)),
+                    partition_remaining: 0,
+                })
+            })
+            .collect();
+        FaultyTransport {
+            inner,
+            plan,
+            lanes,
+            dropped_requests: metrics.counter("transport.faults.dropped_requests"),
+            dropped_replies: metrics.counter("transport.faults.dropped_replies"),
+            delayed: metrics.counter("transport.faults.delayed"),
+            duplicated: metrics.counter("transport.faults.duplicated"),
+            partitioned: metrics.counter("transport.faults.partitioned"),
+        }
+    }
+
+    /// Draws this message's fate from its shard lane. One lane lock per
+    /// message keeps the per-shard fault sequence deterministic for a
+    /// deterministic submission order.
+    fn judge(&self, shard: usize, decision: bool) -> Verdict {
+        let plan = &self.plan;
+        let mut lane = self.lanes[shard].lock();
+        // The partition state machine first: an open window swallows the
+        // message outright, and a closed one may open here.
+        if lane.partition_remaining > 0 {
+            lane.partition_remaining -= 1;
+            return Verdict {
+                drop_request: true,
+                partitioned: true,
+                drop_reply: false,
+                duplicate: false,
+                delay: None,
+            };
+        }
+        if plan.partition > 0.0 && lane.rng.gen_bool(plan.partition) {
+            let (lo, hi) = plan.partition_len;
+            let window = lane.rng.gen_range(lo.max(1)..=hi.max(lo.max(1)));
+            // This message is the window's first casualty.
+            lane.partition_remaining = window.saturating_sub(1);
+            return Verdict {
+                drop_request: true,
+                partitioned: true,
+                drop_reply: false,
+                duplicate: false,
+                delay: None,
+            };
+        }
+        let drop_request = plan.drop_request > 0.0 && lane.rng.gen_bool(plan.drop_request);
+        let drop_reply =
+            !drop_request && plan.drop_reply > 0.0 && lane.rng.gen_bool(plan.drop_reply);
+        let duplicate =
+            decision && plan.duplicate_decision > 0.0 && lane.rng.gen_bool(plan.duplicate_decision);
+        let delay = (plan.delay > 0.0 && lane.rng.gen_bool(plan.delay)).then(|| {
+            let (lo, hi) = plan.delay_ms;
+            Duration::from_millis(lane.rng.gen_range(lo..=hi.max(lo)))
+        });
+        Verdict {
+            drop_request,
+            partitioned: false,
+            drop_reply,
+            duplicate,
+            delay,
+        }
+    }
+}
+
+/// The error a victim of request loss observes: identical to what the TCP
+/// transport reports for a failed send.
+fn never_delivered(shard: usize) -> Ticket<ShardResult> {
+    Ticket::ready(Err(CcError::unreachable(
+        format!("shard {shard} (injected fault)"),
+        false,
+    )))
+}
+
+impl ShardTransport for FaultyTransport {
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn submit(&self, shard: usize, request: ShardRequest) -> Ticket<ShardResult> {
+        let decision = request.is_decision();
+        if !decision && !request.runs_body() {
+            // Admin traffic is exempt: observability of the cluster under
+            // torture must stay reliable.
+            return self.inner.submit(shard, request);
+        }
+        if shard >= self.lanes.len() {
+            return self.inner.submit(shard, request);
+        }
+        let verdict = self.judge(shard, decision);
+        if verdict.drop_request {
+            if verdict.partitioned {
+                self.partitioned.inc();
+            } else {
+                self.dropped_requests.inc();
+            }
+            return never_delivered(shard);
+        }
+        if verdict.duplicate {
+            // Deliver the decision twice, keeping only the first reply —
+            // a retransmission. Safe only because decisions are idempotent
+            // shard-side (which is exactly what this fault proves).
+            self.duplicated.inc();
+            let _ = self.inner.submit(shard, request.clone());
+        }
+        match verdict.delay {
+            None => {
+                if verdict.drop_reply {
+                    self.dropped_replies.inc();
+                    // The shard processes the request; its answer is lost.
+                    // A reaper thread consumes the real reply so windowed
+                    // transports get their in-flight slot back.
+                    let inner_ticket = self.inner.submit(shard, request);
+                    std::thread::spawn(move || {
+                        let _ = inner_ticket.wait();
+                    });
+                    Ticket::ready(Err(CcError::unreachable(
+                        format!("shard {shard} (reply dropped)"),
+                        true,
+                    )))
+                } else {
+                    self.inner.submit(shard, request)
+                }
+            }
+            Some(delay) => {
+                self.delayed.inc();
+                let inner = Arc::clone(&self.inner);
+                let drop_reply = verdict.drop_reply;
+                if drop_reply {
+                    self.dropped_replies.inc();
+                }
+                let (tx, ticket) = Ticket::pending();
+                std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    let result = inner.call(shard, request);
+                    let reply = if drop_reply {
+                        Err(CcError::unreachable(
+                            format!("shard {shard} (reply dropped)"),
+                            true,
+                        ))
+                    } else {
+                        result
+                    };
+                    let _ = tx.send(reply);
+                });
+                ticket
+            }
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.inner.stats()
+    }
+
+    fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_plan_injects_nothing_and_hostile_plan_replays() {
+        // Pure lane-math test: identical seeds draw identical verdicts.
+        let plan = FaultPlan::hostile(42);
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..64).map(|_| rng.gen::<u64>()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(plan.seed), draw(plan.seed));
+        assert_ne!(draw(plan.seed), draw(plan.seed + 1));
+        let quiet = FaultPlan::quiet(7);
+        assert_eq!(quiet.drop_request, 0.0);
+        assert_eq!(quiet.partition, 0.0);
+    }
+}

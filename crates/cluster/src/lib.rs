@@ -64,6 +64,7 @@
 pub mod api;
 pub mod cluster;
 pub mod coordinator;
+pub mod faults;
 pub mod procs;
 pub mod router;
 pub mod tcp;
@@ -77,7 +78,8 @@ pub use cluster::{
     ClusterStats, ShardPart,
 };
 pub use coordinator::{CoordinatorStats, TxnCoordinator};
+pub use faults::{FaultPlan, FaultyTransport};
 pub use router::{Partitioning, Routing, ShardRouter};
-pub use tcp::{TcpShardServer, TcpTransport};
+pub use tcp::{ReconnectPolicy, TcpShardServer, TcpTransport};
 pub use transport::{InProcessTransport, ShardTransport, TransportKind, TransportStats};
 pub use worker::{ShardWorkers, Ticket, Vote};

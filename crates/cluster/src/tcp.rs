@@ -26,7 +26,15 @@
 //! with a fresh id, registered in a pending map, and written under a small
 //! send lock; a per-shard reader thread resolves tickets as reply frames
 //! arrive. A lost connection fails every pending ticket with a clean
-//! `CcError` (the waiting transactions abort) instead of hanging them.
+//! [`CcError::Unreachable`] (the waiting transactions abort) instead of
+//! hanging them — and then the transport *re-dials*: the next submission
+//! establishes a fresh connection (a new [`Link`] generation) under a
+//! capped exponential backoff ([`ReconnectPolicy`]), so a restarted
+//! [`TcpShardServer`] becomes reachable again without rebuilding the
+//! transport. While the backoff window is closed, submissions fail fast
+//! with a retryable `Unreachable` instead of dialing a dead address in a
+//! tight loop. [`TcpTransport::set_shard_addr`] re-points one shard at a
+//! new address (a server restarted on a different port).
 
 use crate::api::{ShardRequest, ShardResult};
 use crate::transport::{ShardTransport, TransportStats};
@@ -116,8 +124,20 @@ impl TcpShardServer {
                     let Ok(stream) = stream else { continue };
                     let conn_id = next_conn_id;
                     next_conn_id += 1;
-                    if let Ok(clone) = stream.try_clone() {
-                        conns.lock().insert(conn_id, clone);
+                    match stream.try_clone() {
+                        Ok(clone) => {
+                            conns.lock().insert(conn_id, clone);
+                        }
+                        Err(_) => {
+                            // Serving a connection that is not registered
+                            // in `conns` would leave its reader thread
+                            // invisible to shutdown(), which could then
+                            // never unblock it. Refuse the connection
+                            // instead; the client sees a disconnect and
+                            // reconnects.
+                            let _ = stream.shutdown(std::net::Shutdown::Both);
+                            continue;
+                        }
                     }
                     // Re-check after registering: shutdown() may have set
                     // `stopping` and drained the map between the loop-top
@@ -323,10 +343,9 @@ impl InflightGate {
         let mut state = self.state.lock();
         loop {
             if state.closed {
-                return Err(CcError::Internal(format!(
-                    "connection to {} is down",
-                    self.label
-                )));
+                // The connection died while this submission waited for a
+                // slot: the request was never written, so a retry is safe.
+                return Err(CcError::unreachable(self.label.clone(), false));
             }
             if state.inflight < self.limit {
                 state.inflight += 1;
@@ -365,13 +384,83 @@ impl InflightGate {
     }
 }
 
-struct ShardConn {
+/// How a [`TcpTransport`] re-dials a shard whose connection died: the
+/// first re-dial happens immediately (a clean server restart should be
+/// invisible beyond the tickets that were in flight), and each consecutive
+/// *failed* dial doubles the wait before the next attempt, capped at
+/// `max`. While the backoff window is closed, submissions fail fast with a
+/// retryable [`CcError::Unreachable`] instead of hammering a dead address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReconnectPolicy {
+    /// Delay after the first failed dial; doubles per consecutive failure.
+    pub base: Duration,
+    /// Upper bound on the delay.
+    pub max: Duration,
+}
+
+impl ReconnectPolicy {
+    /// A policy with the given base and cap.
+    pub const fn new(base: Duration, max: Duration) -> Self {
+        ReconnectPolicy { base, max }
+    }
+
+    /// How long to wait after `failures` consecutive failed dials
+    /// (`failures` >= 1): `base * 2^(failures-1)`, capped at `max`.
+    fn delay_after(&self, failures: u32) -> Duration {
+        let exp = failures.saturating_sub(1).min(16);
+        self.base.saturating_mul(1u32 << exp).min(self.max)
+    }
+}
+
+impl Default for ReconnectPolicy {
+    fn default() -> Self {
+        ReconnectPolicy {
+            base: Duration::from_millis(20),
+            max: Duration::from_secs(1),
+        }
+    }
+}
+
+/// One connection generation to a shard. A died link is retired whole —
+/// pending map, window gate, reader thread — and the next submission
+/// dials a fresh one, so late frames from an old generation can never
+/// resolve tickets of a new one.
+struct Link {
     /// Write half, serialized by a lock (frames are small and atomic).
     writer: Mutex<TcpStream>,
     pending: PendingMap,
-    next_id: AtomicU64,
     gate: Arc<InflightGate>,
     reader_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl Link {
+    /// Tears the link down: closes the socket (unblocking the reader,
+    /// which fails the pending tickets) and the window gate.
+    fn retire(&self) {
+        self.gate.close();
+        let _ = self.writer.lock().shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Per-shard connection state: the live link (if any) plus the re-dial
+/// bookkeeping.
+struct LinkState {
+    addr: SocketAddr,
+    live: Option<Arc<Link>>,
+    /// Consecutive failed dials since the last success.
+    failures: u32,
+    /// Earliest instant the next dial may be attempted (`None` = now).
+    next_attempt: Option<Instant>,
+}
+
+struct ShardConn {
+    shard: usize,
+    /// Client-side in-flight window limit for each link (0 = unbounded).
+    window: usize,
+    state: Mutex<LinkState>,
+    /// Request ids stay unique across link generations (diagnostics only;
+    /// correctness needs uniqueness per link, which this also gives).
+    next_id: AtomicU64,
 }
 
 /// Counters shared between connections.
@@ -379,14 +468,75 @@ struct ShardConn {
 struct WireCounters {
     messages_sent: AtomicU64,
     bytes_on_wire: AtomicU64,
+    reconnects: AtomicU64,
 }
 
-/// The frame client: one multiplexed connection per shard.
+/// Dials `addr` and spawns the reader thread that resolves this link's
+/// tickets. On connection loss the reader fails every pending ticket with
+/// [`CcError::Unreachable`] (`maybe_delivered = true`: the request reached
+/// the wire, its *reply* is what was lost) and closes the window gate.
+fn dial(
+    shard: usize,
+    addr: SocketAddr,
+    window: usize,
+    counters: Arc<WireCounters>,
+) -> std::io::Result<Arc<Link>> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let reader_stream = stream.try_clone()?;
+    let pending: PendingMap = Arc::new(Mutex::new(Some(HashMap::new())));
+    let gate = Arc::new(InflightGate::new(window, format!("shard {shard}")));
+    let link = Arc::new(Link {
+        writer: Mutex::new(stream),
+        pending: Arc::clone(&pending),
+        gate: Arc::clone(&gate),
+        reader_thread: Mutex::new(None),
+    });
+    let handle = std::thread::Builder::new()
+        .name(format!("tebaldi-rpc-client-shard-{shard}"))
+        .spawn(move || {
+            let mut stream = reader_stream;
+            while let Ok(Some(payload)) = wire::read_frame(&mut stream) {
+                counters
+                    .bytes_on_wire
+                    .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
+                let Ok((req_id, result)) = wire::decode_result(&payload) else {
+                    // Garbage reply: the stream is no longer trustworthy.
+                    break;
+                };
+                let entry = pending.lock().as_mut().and_then(|map| map.remove(&req_id));
+                if let Some((sender, windowed)) = entry {
+                    if windowed {
+                        gate.release();
+                    }
+                    let _ = sender.send(result);
+                }
+            }
+            // Connection lost: fail every pending ticket with an explicit
+            // shard-unreachable error — the request was written, so it
+            // *may* have executed; only its reply is known lost — then
+            // reject future submissions on this link and release the
+            // window waiters so they fail fast too.
+            if let Some(map) = pending.lock().take() {
+                for (_, (sender, _)) in map {
+                    let _ = sender.send(Err(CcError::unreachable(format!("shard {shard}"), true)));
+                }
+            }
+            gate.close();
+        })?;
+    *link.reader_thread.lock() = Some(handle);
+    Ok(link)
+}
+
+/// The frame client: one multiplexed connection per shard, re-dialed
+/// under [`ReconnectPolicy`] when it dies.
 pub struct TcpTransport {
     conns: Vec<Arc<ShardConn>>,
     counters: Arc<WireCounters>,
     /// How long a submission may wait for the in-flight window.
     window_wait: Duration,
+    /// Backoff applied to re-dials after a lost connection.
+    policy: ReconnectPolicy,
     /// The per-shard servers, when this transport owns them (the default
     /// loopback deployment). Kept so shutdown tears both halves down.
     servers: Vec<Arc<TcpShardServer>>,
@@ -448,67 +598,133 @@ impl TcpTransport {
         let counters = Arc::new(WireCounters::default());
         let mut conns = Vec::with_capacity(addrs.len());
         for (shard, addr) in addrs.iter().enumerate() {
-            let stream = TcpStream::connect(addr)
+            let link = dial(shard, *addr, window, Arc::clone(&counters))
                 .map_err(|err| format!("connect to shard {shard} at {addr}: {err}"))?;
-            stream.set_nodelay(true).ok();
-            let reader_stream = stream
-                .try_clone()
-                .map_err(|err| format!("clone shard {shard} stream: {err}"))?;
-            let pending: PendingMap = Arc::new(Mutex::new(Some(HashMap::new())));
-            let gate = Arc::new(InflightGate::new(window, format!("shard {shard}")));
-            let conn = Arc::new(ShardConn {
-                writer: Mutex::new(stream),
-                pending: Arc::clone(&pending),
+            conns.push(Arc::new(ShardConn {
+                shard,
+                window,
+                state: Mutex::new(LinkState {
+                    addr: *addr,
+                    live: Some(link),
+                    failures: 0,
+                    next_attempt: None,
+                }),
                 next_id: AtomicU64::new(1),
-                gate: Arc::clone(&gate),
-                reader_thread: Mutex::new(None),
-            });
-            let reader_counters = Arc::clone(&counters);
-            let handle = std::thread::Builder::new()
-                .name(format!("tebaldi-rpc-client-shard-{shard}"))
-                .spawn(move || {
-                    let mut stream = reader_stream;
-                    while let Ok(Some(payload)) = wire::read_frame(&mut stream) {
-                        reader_counters
-                            .bytes_on_wire
-                            .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-                        let Ok((req_id, result)) = wire::decode_result(&payload) else {
-                            // Garbage reply: the stream is no longer
-                            // trustworthy.
-                            break;
-                        };
-                        let entry = pending.lock().as_mut().and_then(|map| map.remove(&req_id));
-                        if let Some((sender, windowed)) = entry {
-                            if windowed {
-                                gate.release();
-                            }
-                            let _ = sender.send(result);
-                        }
-                    }
-                    // Connection lost: fail every pending ticket (dropping
-                    // the senders resolves the tickets with a disconnect
-                    // error), reject future submissions, and release the
-                    // window waiters so they fail fast too.
-                    pending.lock().take();
-                    gate.close();
-                })
-                .expect("spawn rpc client reader");
-            *conn.reader_thread.lock() = Some(handle);
-            conns.push(conn);
+            }));
         }
         Ok(TcpTransport {
             conns,
             counters,
             window_wait,
+            policy: ReconnectPolicy::default(),
             servers: Vec::new(),
             stopping: AtomicBool::new(false),
         })
+    }
+
+    /// Replaces the re-dial backoff policy (builder-style, before the
+    /// transport is shared).
+    pub fn set_reconnect_policy(&mut self, policy: ReconnectPolicy) {
+        self.policy = policy;
+    }
+
+    /// Re-points `shard` at a new address — a shard server restarted on a
+    /// different port — retiring the current link (its pending tickets
+    /// fail as unreachable) and clearing the backoff so the next
+    /// submission dials the new address immediately.
+    pub fn set_shard_addr(&self, shard: usize, addr: SocketAddr) {
+        let Some(conn) = self.conns.get(shard) else {
+            return;
+        };
+        let retired = {
+            let mut state = conn.state.lock();
+            state.addr = addr;
+            state.failures = 0;
+            state.next_attempt = None;
+            state.live.take()
+        };
+        if let Some(link) = retired {
+            link.retire();
+        }
     }
 
     /// The addresses of the servers this transport owns (empty when it
     /// only connected to external servers).
     pub fn server_addrs(&self) -> Vec<SocketAddr> {
         self.servers.iter().map(|s| s.addr()).collect()
+    }
+
+    /// Returns `shard`'s live link, re-dialing within the backoff policy
+    /// when the previous connection died. Fails fast with a retryable
+    /// [`CcError::Unreachable`] while the backoff window is closed or the
+    /// dial fails.
+    fn live_link(&self, conn: &ShardConn) -> Result<Arc<Link>, CcError> {
+        let mut state = conn.state.lock();
+        if let Some(link) = &state.live {
+            // A link whose reader died has its pending map taken; detect
+            // that here so this submission re-dials instead of queueing on
+            // a corpse.
+            if link.pending.lock().is_some() {
+                return Ok(Arc::clone(link));
+            }
+            let dead = Arc::clone(link);
+            state.live = None;
+            dead.retire();
+        }
+        if self.stopping.load(Ordering::SeqCst) {
+            return Err(CcError::unreachable(
+                format!("shard {} (transport shut down)", conn.shard),
+                false,
+            ));
+        }
+        let now = Instant::now();
+        if let Some(at) = state.next_attempt {
+            if now < at {
+                return Err(CcError::unreachable(
+                    format!("shard {} (reconnect backoff)", conn.shard),
+                    false,
+                ));
+            }
+        }
+        match dial(
+            conn.shard,
+            state.addr,
+            conn.window,
+            Arc::clone(&self.counters),
+        ) {
+            Ok(link) => {
+                state.live = Some(Arc::clone(&link));
+                state.failures = 0;
+                state.next_attempt = None;
+                self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                Ok(link)
+            }
+            Err(err) => {
+                state.failures += 1;
+                state.next_attempt = Some(now + self.policy.delay_after(state.failures));
+                Err(CcError::unreachable(
+                    format!("shard {} ({err})", conn.shard),
+                    false,
+                ))
+            }
+        }
+    }
+
+    /// Retires `link` after a send failure: closes it (failing its other
+    /// pending tickets) and clears it from the shard's state so the next
+    /// submission re-dials.
+    fn retire_link(&self, conn: &ShardConn, link: &Arc<Link>) {
+        {
+            let mut state = conn.state.lock();
+            if state
+                .live
+                .as_ref()
+                .is_some_and(|live| Arc::ptr_eq(live, link))
+            {
+                state.live = None;
+            }
+        }
+        link.retire();
     }
 }
 
@@ -524,37 +740,46 @@ impl ShardTransport for TcpTransport {
                 self.conns.len()
             ))));
         };
+        // A live link, re-dialed if the previous one died (bounded by the
+        // backoff policy — within the window this fails fast).
+        let link = match self.live_link(conn) {
+            Ok(link) => link,
+            Err(err) => return Ticket::ready(Err(err)),
+        };
         // Backpressure: body-running requests take a window slot (released
         // when their reply lands). Decisions and admin ops bypass the
         // window — stalling a phase-two decision behind queued prepares
         // would stretch every prepared participant's lock window.
         let windowed = request.runs_body();
         if windowed {
-            if let Err(err) = conn.gate.acquire(self.window_wait) {
+            if let Err(err) = link.gate.acquire(self.window_wait) {
                 return Ticket::ready(Err(err));
             }
         }
         let req_id = conn.next_id.fetch_add(1, Ordering::Relaxed);
         let (tx, ticket) = Ticket::pending();
         {
-            let mut pending = conn.pending.lock();
+            let mut pending = link.pending.lock();
             match pending.as_mut() {
                 Some(map) => {
                     map.insert(req_id, (tx, windowed));
                 }
                 None => {
                     if windowed {
-                        conn.gate.release();
+                        link.gate.release();
                     }
-                    return Ticket::ready(Err(CcError::Internal(format!(
-                        "connection to shard {shard} is down"
-                    ))));
+                    // The link died between lookup and registration: the
+                    // request was never written, retry is safe.
+                    return Ticket::ready(Err(CcError::unreachable(
+                        format!("shard {shard}"),
+                        false,
+                    )));
                 }
             }
         }
         let payload = wire::encode_request(req_id, &request);
         let write_result = {
-            let mut writer = conn.writer.lock();
+            let mut writer = link.writer.lock();
             wire::write_frame(&mut *writer, &payload).and_then(|n| writer.flush().map(|()| n))
         };
         match write_result {
@@ -566,15 +791,20 @@ impl ShardTransport for TcpTransport {
                 ticket
             }
             Err(err) => {
-                if let Some(map) = conn.pending.lock().as_mut() {
+                if let Some(map) = link.pending.lock().as_mut() {
                     map.remove(&req_id);
                 }
                 if windowed {
-                    conn.gate.release();
+                    link.gate.release();
                 }
-                Ticket::ready(Err(CcError::Internal(format!(
-                    "send to shard {shard} failed: {err}"
-                ))))
+                self.retire_link(conn, &link);
+                // A failed or partial write never decodes server-side (the
+                // length-prefixed frame is incomplete, which drops the
+                // connection), so the request provably did not execute.
+                Ticket::ready(Err(CcError::unreachable(
+                    format!("shard {shard} ({err})"),
+                    false,
+                )))
             }
         }
     }
@@ -583,6 +813,7 @@ impl ShardTransport for TcpTransport {
         TransportStats {
             messages_sent: self.counters.messages_sent.load(Ordering::Relaxed),
             bytes_on_wire: self.counters.bytes_on_wire.load(Ordering::Relaxed),
+            reconnects: self.counters.reconnects.load(Ordering::Relaxed),
         }
     }
 
@@ -591,14 +822,14 @@ impl ShardTransport for TcpTransport {
             return;
         }
         for conn in &self.conns {
-            // Wake window waiters first so no submitter sits out its full
-            // window wait against a transport that is going away.
-            conn.gate.close();
-            let _ = conn.writer.lock().shutdown(std::net::Shutdown::Both);
-        }
-        for conn in &self.conns {
-            if let Some(handle) = conn.reader_thread.lock().take() {
-                let _ = handle.join();
+            let link = conn.state.lock().live.take();
+            if let Some(link) = link {
+                // Close the gate first so no submitter sits out its full
+                // window wait against a transport that is going away.
+                link.retire();
+                if let Some(handle) = link.reader_thread.lock().take() {
+                    let _ = handle.join();
+                }
             }
         }
         for server in &self.servers {
@@ -720,14 +951,117 @@ mod tests {
         let server = TcpShardServer::spawn(0, Arc::clone(&workers)).unwrap();
         let transport = TcpTransport::connect(&[server.addr()]).unwrap();
         // Kill the server, then submit: either the send fails or the
-        // pending ticket resolves with a disconnect error — never a hang.
+        // pending ticket resolves with a shard-unreachable error — never a
+        // hang, and never a generic internal error a retry loop cannot
+        // classify.
         server.shutdown();
         let ticket = transport.submit(0, execute());
         let outcome = ticket.wait_timeout(std::time::Duration::from_secs(5));
         match outcome {
-            Ok(inner) => assert!(inner.is_err(), "request cannot succeed on a dead server"),
-            Err(err) => assert!(matches!(err, CcError::Internal(_))),
+            Ok(Err(err)) => assert!(err.is_unreachable(), "classifiable error, got {err}"),
+            Ok(Ok(_)) => panic!("request cannot succeed on a dead server"),
+            Err(err) => assert!(err.is_unreachable(), "classifiable error, got {err}"),
         }
+        ShardTransport::shutdown(&transport);
+        workers.shutdown();
+    }
+
+    #[test]
+    fn reconnects_to_restarted_server_without_rebuilding() {
+        let workers = pool();
+        let server = TcpShardServer::spawn(0, Arc::clone(&workers)).unwrap();
+        let mut transport = TcpTransport::connect(&[server.addr()]).unwrap();
+        transport.set_reconnect_policy(ReconnectPolicy::new(
+            Duration::from_millis(5),
+            Duration::from_millis(50),
+        ));
+        let (value, _) = transport
+            .call(0, execute())
+            .unwrap()
+            .into_executed()
+            .unwrap();
+        assert_eq!(value, Value::Int(1));
+
+        // Kill the server. Requests fail as unreachable (never hang)...
+        server.shutdown();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match transport.submit(0, execute()).wait() {
+                Ok(Err(err)) if err.is_unreachable() => break,
+                Err(err) if err.is_unreachable() => break,
+                Ok(Err(err)) | Err(err) => panic!("expected unreachable, got {err}"),
+                Ok(Ok(_)) => assert!(
+                    Instant::now() < deadline,
+                    "server gone, requests must start failing"
+                ),
+            }
+        }
+
+        // ...until a replacement comes up (a fresh port: loopback binds to
+        // port 0) and the transport is re-pointed at it. Traffic resumes
+        // on the same transport — no rebuild.
+        let restarted = TcpShardServer::spawn(0, Arc::clone(&workers)).unwrap();
+        transport.set_shard_addr(0, restarted.addr());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let value = loop {
+            match transport.call(0, execute()) {
+                Ok(response) => break response.into_executed().unwrap().0,
+                Err(err) => {
+                    assert!(
+                        err.is_unreachable(),
+                        "only unreachable during re-dial: {err}"
+                    );
+                    assert!(Instant::now() < deadline, "reconnect must succeed");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        assert_eq!(value, Value::Int(2));
+        assert!(
+            ShardTransport::stats(&transport).reconnects >= 1,
+            "the re-dial must be counted"
+        );
+        ShardTransport::shutdown(&transport);
+        restarted.shutdown();
+        workers.shutdown();
+    }
+
+    #[test]
+    fn backoff_fails_fast_while_the_window_is_closed() {
+        let workers = pool();
+        let server = TcpShardServer::spawn(0, Arc::clone(&workers)).unwrap();
+        let mut transport = TcpTransport::connect(&[server.addr()]).unwrap();
+        transport.set_reconnect_policy(ReconnectPolicy::new(
+            Duration::from_secs(60),
+            Duration::from_secs(60),
+        ));
+        server.shutdown();
+        // Exhaust the live link, then force one failed dial to open the
+        // (deliberately huge) backoff window.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut failures = 0;
+        while failures < 2 {
+            match transport.submit(0, execute()).wait() {
+                Ok(Err(_)) | Err(_) => failures += 1,
+                Ok(Ok(_)) => {
+                    assert!(Instant::now() < deadline, "dead server must fail requests");
+                }
+            }
+        }
+        // Now every submission fails fast without touching the network.
+        let started = Instant::now();
+        for _ in 0..100 {
+            let err = match transport.submit(0, execute()).wait() {
+                Ok(Err(err)) | Err(err) => err,
+                Ok(Ok(_)) => panic!("no server to answer"),
+            };
+            assert!(err.is_unreachable());
+        }
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "backoff submissions must fail fast, took {:?}",
+            started.elapsed()
+        );
         ShardTransport::shutdown(&transport);
         workers.shutdown();
     }

@@ -43,6 +43,9 @@ pub struct TransportStats {
     pub messages_sent: u64,
     /// Frame bytes moved in either direction (requests + replies).
     pub bytes_on_wire: u64,
+    /// Successful re-dials after a lost connection (zero for in-process;
+    /// a nonzero value means the cluster survived connection churn).
+    pub reconnects: u64,
 }
 
 /// A connection to the cluster's shards.

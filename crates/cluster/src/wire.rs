@@ -102,6 +102,14 @@ fn put_cc_error(w: &mut ByteWriter, err: &CcError) {
             w.put_u8(4);
             w.put_str(msg);
         }
+        CcError::Unreachable {
+            target,
+            maybe_delivered,
+        } => {
+            w.put_u8(5);
+            w.put_str(target);
+            w.put_u8(u8::from(*maybe_delivered));
+        }
     }
 }
 
@@ -118,6 +126,10 @@ fn get_cc_error(r: &mut ByteReader<'_>) -> CodecResult<CcError> {
         2 => CcError::DependencyAborted,
         3 => CcError::Requested,
         4 => CcError::Internal(r.str()?),
+        5 => CcError::Unreachable {
+            target: r.str()?,
+            maybe_delivered: r.u8()? != 0,
+        },
         _ => return Err(CodecError::Malformed("error tag")),
     })
 }
@@ -528,6 +540,14 @@ mod tests {
             Err(CcError::Requested),
             Err(CcError::DependencyAborted),
             Err(CcError::Internal("boom".to_string())),
+            Err(CcError::Unreachable {
+                target: "shard 3".to_string(),
+                maybe_delivered: true,
+            }),
+            Err(CcError::Unreachable {
+                target: "connection".to_string(),
+                maybe_delivered: false,
+            }),
             Err(CcError::Conflict {
                 mechanism: "seats-workload",
                 reason: "reservation no-op",

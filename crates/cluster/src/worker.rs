@@ -206,6 +206,55 @@ pub struct PipelineStats {
 /// the entries are tiny.
 const ORPHAN_DECISION_TTL: Duration = Duration::from_secs(30);
 
+/// How long an applied Commit/Abort decision is remembered so replayed or
+/// duplicated decision frames (hostile network, coordinator retry) are
+/// recognized as no-ops instead of being re-applied. Without this memory a
+/// replayed Abort would plant an orphan-abort tombstone for a global that
+/// was already decided. Matches the orphan TTL: both bound how long the
+/// network may replay a frame.
+const DECISION_MEMORY_TTL: Duration = Duration::from_secs(30);
+
+/// Recently applied decisions (global id → committed?), remembered so a
+/// replayed frame is recognized. Two generations rotated every
+/// [`DECISION_MEMORY_TTL`] give O(1) amortized insert/lookup/expiry (a
+/// per-decision TTL scan would be O(n) on every decision under bench
+/// load): an entry survives between one and two TTLs, which only errs on
+/// the safe side (remembering longer).
+struct DecisionMemory {
+    current: HashMap<u64, bool>,
+    previous: HashMap<u64, bool>,
+    rotated_at: Instant,
+}
+
+impl DecisionMemory {
+    fn new() -> Self {
+        DecisionMemory {
+            current: HashMap::new(),
+            previous: HashMap::new(),
+            rotated_at: Instant::now(),
+        }
+    }
+
+    /// Records `commit` for `global` unless a decision is already
+    /// remembered; returns the remembered outcome in that case.
+    fn record(&mut self, global: u64, commit: bool) -> Option<bool> {
+        let now = Instant::now();
+        if now.duration_since(self.rotated_at) >= DECISION_MEMORY_TTL {
+            self.previous = std::mem::take(&mut self.current);
+            self.rotated_at = now;
+        }
+        if let Some(&prior) = self
+            .current
+            .get(&global)
+            .or_else(|| self.previous.get(&global))
+        {
+            return Some(prior);
+        }
+        self.current.insert(global, commit);
+        None
+    }
+}
+
 /// Maps an abort reason onto a span status tag: the mechanism that aborted
 /// the transaction where one is known, the error class otherwise.
 pub(crate) fn error_status(err: &CcError) -> &'static str {
@@ -214,6 +263,7 @@ pub(crate) fn error_status(err: &CcError) -> &'static str {
         CcError::DependencyAborted => "dependency",
         CcError::Requested => "requested",
         CcError::Internal(_) => "internal",
+        CcError::Unreachable { .. } => "unreachable",
     }
 }
 
@@ -233,6 +283,10 @@ pub struct ShardWorkers {
     /// aborts instead of parking, so no prepared transaction can leak its
     /// locks. Global id → when the decision arrived (for TTL pruning).
     orphan_aborts: Mutex<HashMap<u64, Instant>>,
+    /// Recently applied decisions, kept for at least
+    /// [`DECISION_MEMORY_TTL`] so duplicated/replayed decision frames are
+    /// absorbed idempotently rather than re-applied.
+    decided: Mutex<DecisionMemory>,
     handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stopping: std::sync::atomic::AtomicBool,
     workers: usize,
@@ -250,6 +304,11 @@ pub struct ShardWorkers {
     hardened: Arc<Counter>,
     hardening_ns: Arc<Counter>,
     max_depth: Arc<MaxGauge>,
+    /// Duplicated/replayed decision frames absorbed (same outcome again).
+    dup_decisions: Arc<Counter>,
+    /// Replayed decisions that contradicted the remembered outcome —
+    /// counted and dropped, the first decision wins.
+    conflict_decisions: Arc<Counter>,
 }
 
 impl ShardWorkers {
@@ -292,6 +351,7 @@ impl ShardWorkers {
             done_cv: Condvar::new(),
             in_doubt: Arc::new(Mutex::new(HashMap::new())),
             orphan_aborts: Mutex::new(HashMap::new()),
+            decided: Mutex::new(DecisionMemory::new()),
             handles: Mutex::new(Vec::new()),
             stopping: std::sync::atomic::AtomicBool::new(false),
             workers,
@@ -302,6 +362,8 @@ impl ShardWorkers {
             hardened: metrics.counter("pipeline.hardened"),
             hardening_ns: metrics.counter("pipeline.hardening_ns"),
             max_depth: metrics.max_gauge("pipeline.max_depth"),
+            dup_decisions: metrics.counter("decisions.duplicate"),
+            conflict_decisions: metrics.counter("decisions.conflict"),
         });
         let mut handles = pool.handles.lock();
         for worker in 0..pool.workers {
@@ -688,6 +750,23 @@ impl ShardWorkers {
     /// running (or hardening), and the late prepare must abort instead of
     /// parking forever.
     pub fn decide(&self, global: u64, commit: bool) {
+        // Replay guard first: a duplicated or replayed decision frame must
+        // be absorbed without side effects. In particular a replayed Abort
+        // for an already-decided global must not plant a fresh orphan
+        // tombstone (which could later kill an unrelated prepare that
+        // reuses the id), and a contradictory replay must not override the
+        // outcome already applied.
+        match self.decided.lock().record(global, commit) {
+            Some(prior) if prior == commit => {
+                self.dup_decisions.inc();
+                return;
+            }
+            Some(_) => {
+                self.conflict_decisions.inc();
+                return;
+            }
+            None => {}
+        }
         // Lock order (in_doubt, then orphan_aborts) matches the prepare
         // handler's parking path, so a decision and a late-finishing
         // prepare serialize: exactly one of them wins the global id.
@@ -1025,6 +1104,39 @@ mod tests {
             })
             .unwrap();
         assert_eq!(read, Some(Value::Int(5)));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn replayed_decisions_are_absorbed_idempotently() {
+        let pool = ShardWorkers::spawn(0, db(), 1, registry());
+        pool.prepare_now(7, PUT5, &ProcedureCall::new(TY), &args(9))
+            .unwrap()
+            .into_prepared()
+            .unwrap();
+        pool.decide(7, true);
+        // A duplicated Commit frame and a contradictory Abort replay are
+        // both absorbed: the committed write stays and no orphan tombstone
+        // is planted.
+        pool.decide(7, true);
+        pool.decide(7, false);
+        let metrics = Arc::clone(pool.db().metrics());
+        assert_eq!(metrics.counter("decisions.duplicate").get(), 1);
+        assert_eq!(metrics.counter("decisions.conflict").get(), 1);
+        let read = pool
+            .db()
+            .execute(&ProcedureCall::new(TY), |txn| {
+                txn.get(Key::simple(TABLE, 9))
+            })
+            .unwrap();
+        assert_eq!(read, Some(Value::Int(5)));
+        // The replayed Abort planted no orphan: a prepare reusing the id
+        // parks normally instead of being killed on arrival.
+        pool.prepare_now(7, PUT5, &ProcedureCall::new(TY), &args(10))
+            .unwrap()
+            .into_prepared()
+            .unwrap();
+        assert_eq!(pool.in_doubt_count(), 1);
         pool.shutdown();
     }
 

@@ -26,6 +26,7 @@ pub use metrics::{
     Counter, Histogram, HistogramSnapshot, MaxGauge, MetricsRegistry, MetricsSnapshot,
 };
 pub use trace::{
-    collect, dropped_spans, maybe_dump_slow, now_ns, record_span, set_slow_threshold_ns,
-    take_slow_traces, SlowTrace, SpanRecord, TraceCtx,
+    collect, dropped_spans, maybe_dump_slow, now_ns, record_span, scoped_trace_id,
+    set_slow_threshold_ns, set_slow_threshold_ns_scoped, take_slow_traces, take_slow_traces_scoped,
+    trace_scope_of, SlowTrace, SpanRecord, TraceCtx, TRACE_SCOPE_SHIFT,
 };

@@ -23,10 +23,32 @@
 
 use parking_lot::Mutex;
 use serde::Json;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
+
+/// Bits of a trace id reserved for the sequence number; the bits above
+/// carry the *scope* tag (a per-cluster id). The sink is process-global,
+/// so two clusters in one process share its rings; the scope in the id's
+/// high bits keeps their traces distinguishable — ids never collide across
+/// scopes, per-scope slow thresholds don't fight, and a scoped drain only
+/// takes its own dumps — without widening the wire format (the id is still
+/// one `u64`).
+pub const TRACE_SCOPE_SHIFT: u32 = 40;
+
+/// Builds a trace id carrying `scope` in its high bits. `seq` must be
+/// nonzero (0 means unsampled) and wraps within 2^40 ids per scope.
+#[inline]
+pub fn scoped_trace_id(scope: u64, seq: u64) -> u64 {
+    (scope << TRACE_SCOPE_SHIFT) | (seq & ((1u64 << TRACE_SCOPE_SHIFT) - 1))
+}
+
+/// The scope tag embedded in a trace id's high bits (0 = unscoped).
+#[inline]
+pub fn trace_scope_of(trace_id: u64) -> u64 {
+    trace_id >> TRACE_SCOPE_SHIFT
+}
 
 /// Spans each ring-buffer stripe retains before evicting the oldest.
 const RING_CAPACITY: usize = 4096;
@@ -119,8 +141,13 @@ struct TraceSink {
     stripes: Vec<Mutex<VecDeque<SpanRecord>>>,
     /// Spans evicted from full rings (visibility into ring pressure).
     dropped: AtomicU64,
-    /// Slow-transaction threshold; 0 disarms the dump.
+    /// Slow-transaction threshold; 0 disarms the dump. The unscoped
+    /// (process-wide) default, used for traces whose scope has no entry in
+    /// `scoped_thresholds`.
     slow_threshold_ns: AtomicU64,
+    /// Per-scope slow thresholds, so concurrent clusters in one process
+    /// arm their own limits instead of overwriting each other's.
+    scoped_thresholds: Mutex<HashMap<u64, u64>>,
     slow_traces: Mutex<VecDeque<SlowTrace>>,
 }
 
@@ -132,6 +159,7 @@ fn sink() -> &'static TraceSink {
             .collect(),
         dropped: AtomicU64::new(0),
         slow_threshold_ns: AtomicU64::new(0),
+        scoped_thresholds: Mutex::new(HashMap::new()),
         slow_traces: Mutex::new(VecDeque::new()),
     })
 }
@@ -222,22 +250,47 @@ pub fn dropped_spans() -> u64 {
     sink().dropped.load(Ordering::Relaxed)
 }
 
-/// Arms (or, with 0, disarms) the slow-transaction dump threshold.
+/// Arms (or, with 0, disarms) the process-wide slow-transaction dump
+/// threshold. Traces whose scope armed its own threshold
+/// ([`set_slow_threshold_ns_scoped`]) use that instead.
 pub fn set_slow_threshold_ns(threshold_ns: u64) {
     sink()
         .slow_threshold_ns
         .store(threshold_ns, Ordering::Relaxed);
 }
 
+/// Arms (or, with 0, disarms) the slow-transaction threshold for one trace
+/// scope only. Scope 0 (unscoped ids) falls through to the process-wide
+/// threshold.
+pub fn set_slow_threshold_ns_scoped(scope: u64, threshold_ns: u64) {
+    if scope == 0 {
+        set_slow_threshold_ns(threshold_ns);
+        return;
+    }
+    let mut map = sink().scoped_thresholds.lock();
+    if threshold_ns == 0 {
+        map.remove(&scope);
+    } else {
+        map.insert(scope, threshold_ns);
+    }
+}
+
 /// Called once per sampled transaction at completion: when `total_ns`
-/// crosses the armed threshold, snapshots the full trace into the bounded
-/// slow-trace backlog.
+/// crosses the armed threshold (the trace's scope threshold, or the
+/// process-wide one when the scope armed none), snapshots the full trace
+/// into the bounded slow-trace backlog.
 pub fn maybe_dump_slow(ctx: TraceCtx, total_ns: u64) {
     if !ctx.is_sampled() {
         return;
     }
     let sink = sink();
-    let threshold = sink.slow_threshold_ns.load(Ordering::Relaxed);
+    let scope = trace_scope_of(ctx.trace_id);
+    let scoped = if scope != 0 {
+        sink.scoped_thresholds.lock().get(&scope).copied()
+    } else {
+        None
+    };
+    let threshold = scoped.unwrap_or_else(|| sink.slow_threshold_ns.load(Ordering::Relaxed));
     if threshold == 0 || total_ns < threshold {
         return;
     }
@@ -253,9 +306,27 @@ pub fn maybe_dump_slow(ctx: TraceCtx, total_ns: u64) {
     });
 }
 
-/// Drains the accumulated slow-transaction dumps.
+/// Drains the accumulated slow-transaction dumps — every scope's. Prefer
+/// [`take_slow_traces_scoped`] when other clusters may share the process
+/// (a global drain steals their dumps).
 pub fn take_slow_traces() -> Vec<SlowTrace> {
     sink().slow_traces.lock().drain(..).collect()
+}
+
+/// Drains only the slow-transaction dumps whose trace ids carry `scope`;
+/// other scopes' dumps stay in the backlog for their owners.
+pub fn take_slow_traces_scoped(scope: u64) -> Vec<SlowTrace> {
+    let mut backlog = sink().slow_traces.lock();
+    let mut taken = Vec::new();
+    backlog.retain(|dump| {
+        if trace_scope_of(dump.trace_id) == scope {
+            taken.push(dump.clone());
+            false
+        } else {
+            true
+        }
+    });
+    taken
 }
 
 #[cfg(test)]
@@ -299,6 +370,34 @@ mod tests {
         assert!(take_slow_traces().is_empty(), "drained");
         let json = dump.to_json();
         assert!(json.get("spans").is_some());
+    }
+
+    #[test]
+    fn scoped_thresholds_and_drains_are_isolated() {
+        let scope_a = 0xA11CE;
+        let scope_b = 0xB0B;
+        let ctx_a = TraceCtx::sampled(scoped_trace_id(scope_a, 1));
+        let ctx_b = TraceCtx::sampled(scoped_trace_id(scope_b, 1));
+        assert_ne!(ctx_a.trace_id, ctx_b.trace_id);
+        assert_eq!(trace_scope_of(ctx_a.trace_id), scope_a);
+        // Same sequence number, different scopes: collect stays disjoint.
+        record_span(ctx_a, "a.only", -1, 0, 1, "ok");
+        record_span(ctx_b, "b.only", -1, 0, 1, "ok");
+        assert!(collect(ctx_a.trace_id).iter().all(|s| s.name == "a.only"));
+        // Scope A arms a low threshold, scope B an unreachable one: only
+        // A's transaction dumps (whatever the global threshold says —
+        // other tests in this process may arm it concurrently).
+        set_slow_threshold_ns_scoped(scope_a, 1);
+        set_slow_threshold_ns_scoped(scope_b, u64::MAX);
+        maybe_dump_slow(ctx_a, 1_000);
+        maybe_dump_slow(ctx_b, 1_000);
+        set_slow_threshold_ns_scoped(scope_a, 0);
+        set_slow_threshold_ns_scoped(scope_b, 0);
+        assert!(take_slow_traces_scoped(scope_b).is_empty());
+        let dumps = take_slow_traces_scoped(scope_a);
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].trace_id, ctx_a.trace_id);
+        assert!(take_slow_traces_scoped(scope_a).is_empty(), "drained");
     }
 
     #[test]

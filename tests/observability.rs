@@ -247,6 +247,114 @@ fn timed_out_vote_is_tagged_timeout() {
     cluster.shutdown();
 }
 
+/// The span sink is process-global, but trace ids are scoped per cluster
+/// (the scope rides the id's high bits): two concurrent traced clusters
+/// must never read each other's spans or slow-trace dumps.
+#[test]
+fn concurrent_clusters_keep_their_traces_apart() {
+    // Cluster A dumps everything slower than 1ms (its transfer carries a
+    // 400ms wedged body, so it always dumps); cluster B's threshold is
+    // effectively unreachable, so any dump it drains would have leaked
+    // over from A.
+    let mut config_a = ClusterConfig::for_tests(2);
+    config_a.trace_sample_every = 1;
+    config_a.slow_trace_threshold_ms = 1;
+    config_a.db_config.durability = DurabilityMode::Synchronous;
+    let cluster_a = Cluster::builder(config_a)
+        .procedures(procedures())
+        .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER]))
+        .shard_procedure(WEDGE, |txn, args| {
+            let mut r = ByteReader::new(args);
+            let key = r.key().map_err(|e| CcError::Internal(e.to_string()))?;
+            std::thread::sleep(Duration::from_millis(400));
+            txn.increment(key, 0, 30).map(Value::Int)
+        })
+        .build()
+        .unwrap();
+    let mut config_b = ClusterConfig::for_tests(2);
+    config_b.trace_sample_every = 1;
+    // Armed but unreachable: if B ever drains a dump, it leaked from A.
+    config_b.slow_trace_threshold_ms = 3_600_000;
+    let cluster_b = Cluster::builder(config_b)
+        .procedures(procedures())
+        .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER]))
+        .build()
+        .unwrap();
+    for account in 0..4u64 {
+        cluster_b.load(account, Key::simple(TABLE, account), Value::Int(100));
+    }
+    assert_ne!(
+        cluster_a.trace_scope(),
+        cluster_b.trace_scope(),
+        "every cluster gets its own trace scope"
+    );
+
+    cluster_a
+        .execute_multi(vec![
+            procs::increment_part(
+                cluster_a.shard_of(1),
+                ProcedureCall::new(TRANSFER),
+                Key::simple(TABLE, 1),
+                0,
+                -30,
+            ),
+            ShardPart::new(
+                cluster_a.shard_of(2),
+                ProcedureCall::new(TRANSFER),
+                WEDGE,
+                procs::key_args(Key::simple(TABLE, 2)),
+            ),
+        ])
+        .unwrap();
+    cluster_b
+        .execute_multi(vec![
+            procs::increment_part(
+                cluster_b.shard_of(1),
+                ProcedureCall::new(TRANSFER),
+                Key::simple(TABLE, 1),
+                0,
+                -10,
+            ),
+            procs::increment_part(
+                cluster_b.shard_of(2),
+                ProcedureCall::new(TRANSFER),
+                Key::simple(TABLE, 2),
+                0,
+                10,
+            ),
+        ])
+        .unwrap();
+
+    let (id_a, id_b) = (cluster_a.last_trace_id(), cluster_b.last_trace_id());
+    assert_eq!(obs::trace_scope_of(id_a), cluster_a.trace_scope());
+    assert_eq!(obs::trace_scope_of(id_b), cluster_b.trace_scope());
+    // Collecting one cluster's trace returns nothing from the other.
+    assert!(obs::collect(id_a).iter().all(|s| s.trace_id == id_a));
+    assert!(obs::collect(id_b).iter().all(|s| s.trace_id == id_b));
+    assert!(!obs::collect(id_b).is_empty());
+
+    // Slow-trace drains are scoped too: A's wedged transfer dumped, B
+    // drains nothing even though both share the process-global sink.
+    let slow_a = cluster_a.take_slow_traces();
+    assert!(
+        slow_a.iter().any(|t| t.trace_id == id_a),
+        "cluster A's 400ms transfer must have dumped: {slow_a:?}"
+    );
+    assert!(
+        slow_a
+            .iter()
+            .all(|t| obs::trace_scope_of(t.trace_id) == cluster_a.trace_scope()),
+        "A must only drain its own scope: {slow_a:?}"
+    );
+    assert!(
+        cluster_b.take_slow_traces().is_empty(),
+        "cluster B must not see A's slow traces"
+    );
+
+    cluster_a.shutdown();
+    cluster_b.shutdown();
+}
+
 /// The exposition surface: cluster counters and 2PC phase histograms are
 /// present in the snapshot, the Prometheus text carries the sanitized
 /// names, and the JSON document parses.

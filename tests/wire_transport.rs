@@ -64,7 +64,7 @@ fn result_from_seed((variant, a, b): (u32, u64, u64)) -> Result<ShardResponse, C
         3 => Value::str("wire-payload"),
         _ => Value::Bytes(bytes::Bytes::from(vec![(a % 251) as u8; (b % 24) as usize])),
     };
-    match variant % 8 {
+    match variant % 9 {
         0 => Ok(ShardResponse::Executed {
             value,
             aborts: (b % 30) as u32,
@@ -92,6 +92,10 @@ fn result_from_seed((variant, a, b): (u32, u64, u64)) -> Result<ShardResponse, C
             reason: "reservation no-op",
         }),
         6 => Err(CcError::Internal(format!("remote failure {a}"))),
+        7 => Err(CcError::Unreachable {
+            target: format!("shard {}", a % 16),
+            maybe_delivered: b % 2 == 0,
+        }),
         _ => Err(CcError::Requested),
     }
 }
@@ -121,7 +125,7 @@ proptest! {
     /// encode→decode equality for random responses and errors.
     #[test]
     fn shard_results_roundtrip(
-        seeds in proptest::collection::vec((0u32..8, 0u64..1_000_000, 0u64..1_000_000), 1..24),
+        seeds in proptest::collection::vec((0u32..9, 0u64..1_000_000, 0u64..1_000_000), 1..24),
         req_id in 0u64..1_000_000_000,
     ) {
         for seed in seeds {
