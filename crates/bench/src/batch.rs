@@ -1,0 +1,150 @@
+//! The DGCC batch-scheduling leg shared by the cluster sweeps.
+//!
+//! A dedicated micro-experiment rather than a workload mode: batches of
+//! cross-shard transfers with deliberate hot-key contention run twice over
+//! the same key sequence — once **undeclared** (every transaction races in
+//! wave zero and the CC layer aborts the conflicting ones, the
+//! pre-scheduling behavior) and once **declared** (the coordinator builds
+//! the intra-batch dependency graph from the declared write sets and
+//! defers conflicting transactions into later waves). The acceptance
+//! comparison is abort rate at equal-or-better throughput.
+
+use tebaldi_cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_cluster::{procs, BatchKeySets, BatchTxn, Cluster, ClusterConfig, ShardPart};
+use tebaldi_core::ProcedureCall;
+use tebaldi_storage::{Key, TableId, TxnTypeId, Value};
+
+const TABLE: TableId = TableId(7);
+const TY: TxnTypeId = TxnTypeId(7);
+
+/// One leg's measured outcome.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchLegResult {
+    /// Transactions attempted (batches × batch size).
+    pub attempted: u64,
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Transactions that aborted (one attempt each, no retries — the
+    /// point is what scheduling saves, not what retrying hides).
+    pub aborted: u64,
+    /// `cluster.batch_scheduled` — transactions deferred past wave zero.
+    pub scheduled: u64,
+    /// Committed transactions per second of wall time.
+    pub throughput: f64,
+}
+
+impl BatchLegResult {
+    /// Aborts over attempts.
+    pub fn abort_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / self.attempted as f64
+        }
+    }
+}
+
+fn procedures() -> ProcedureSet {
+    let mut set = ProcedureSet::new();
+    set.insert(ProcedureInfo::new(
+        TY,
+        "batch_transfer",
+        vec![(TABLE, AccessMode::Write)],
+    ));
+    set
+}
+
+fn build_cluster(shards: usize) -> Cluster {
+    let mut config = ClusterConfig::for_benchmarks(shards);
+    config.db_config.durability = tebaldi_core::DurabilityMode::Synchronous;
+    Cluster::builder(config)
+        .procedures(procedures())
+        .cc_spec(CcTreeSpec::monolithic(CcKind::Ssi, vec![TY]))
+        .build()
+        .expect("batch-leg cluster build")
+}
+
+/// The transfer parts of batch transaction `(round, slot)`: debit a hot
+/// account, credit a unique cold account on another shard. The small hot
+/// set guarantees several transactions per batch share a write key.
+fn txn_keys(shards: usize, hot_accounts: u64, round: u64, slot: u64, batch: u64) -> (u64, u64) {
+    let hot = (round * 31 + slot * 7) % hot_accounts;
+    // Cold accounts start past the hot set and never repeat inside a
+    // round; offset by one shard so the two parts land on distinct shards.
+    let cold = hot_accounts + round * batch + slot;
+    let cold = if (cold % shards as u64) == (hot % shards as u64) {
+        cold + 1
+    } else {
+        cold
+    };
+    (hot, cold)
+}
+
+fn parts_for(cluster: &Cluster, from: u64, to: u64) -> Vec<ShardPart> {
+    vec![
+        procs::increment_part(
+            cluster.shard_of(from),
+            ProcedureCall::new(TY),
+            Key::simple(TABLE, from),
+            0,
+            -1,
+        ),
+        procs::increment_part(
+            cluster.shard_of(to),
+            ProcedureCall::new(TY),
+            Key::simple(TABLE, to),
+            0,
+            1,
+        ),
+    ]
+}
+
+/// Runs one leg: `rounds` batches of `batch` transfers each, declared or
+/// not. Fresh cluster per leg so counters and stores are isolated.
+pub fn run_leg(shards: usize, rounds: u64, batch: u64, declared: bool) -> BatchLegResult {
+    let hot_accounts = 4u64;
+    let cluster = build_cluster(shards);
+    let max_account = hot_accounts + rounds * batch + batch + 1;
+    for account in 0..max_account {
+        cluster.load(account, Key::simple(TABLE, account), Value::Int(1_000));
+    }
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let started = std::time::Instant::now();
+    for round in 0..rounds {
+        let txns: Vec<BatchTxn> = (0..batch)
+            .map(|slot| {
+                let (from, to) = txn_keys(shards, hot_accounts, round, slot, batch);
+                let parts = parts_for(&cluster, from, to);
+                if declared {
+                    BatchTxn::declared(
+                        parts,
+                        BatchKeySets::writes(vec![
+                            Key::simple(TABLE, from),
+                            Key::simple(TABLE, to),
+                        ]),
+                    )
+                } else {
+                    BatchTxn::undeclared(parts)
+                }
+            })
+            .collect();
+        for result in cluster.execute_multi_batch_declared(txns) {
+            if result.is_ok() {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = cluster.stats();
+    cluster.shutdown();
+    BatchLegResult {
+        attempted: rounds * batch,
+        committed,
+        aborted,
+        scheduled: stats.batch_scheduled,
+        throughput: committed as f64 / elapsed.max(f64::MIN_POSITIVE),
+    }
+}

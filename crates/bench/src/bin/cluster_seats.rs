@@ -57,6 +57,11 @@ struct Row {
     coalesced_flushes: u64,
     messages_sent: u64,
     bytes_on_wire: u64,
+    /// Batched transactions the DGCC scheduler deferred past wave zero
+    /// (zero on the non-batch legs).
+    batch_scheduled: u64,
+    /// Batched transactions that aborted (zero on the non-batch legs).
+    batch_aborts: u64,
 }
 
 /// The file every run refreshes for regression tracking.
@@ -219,6 +224,8 @@ fn main() {
                     coalesced_flushes: stats.coalesced_flushes,
                     messages_sent: stats.messages_sent,
                     bytes_on_wire: stats.bytes_on_wire,
+                    batch_scheduled: stats.batch_scheduled,
+                    batch_aborts: stats.batch_aborts,
                 };
                 samples.push(row);
             }
@@ -238,6 +245,57 @@ fn main() {
             );
             rows.push(row);
         }
+    }
+
+    // DGCC batch-scheduling leg (shared micro-experiment): undeclared
+    // wave-zero race vs declared dependency-graph waves over the same
+    // contended batch sequence.
+    let batch_shards = if options.quick { 2 } else { 4 };
+    let (batch_rounds, batch_size) = if options.quick {
+        (15u64, 16u64)
+    } else {
+        (50, 16)
+    };
+    for declared in [false, true] {
+        let leg = tebaldi_bench::batch::run_leg(batch_shards, batch_rounds, batch_size, declared);
+        println!(
+            "batch leg ({}): {} committed, {} aborted ({:.1}%), {} scheduled, {}",
+            if declared { "declared" } else { "undeclared" },
+            leg.committed,
+            leg.aborted,
+            leg.abort_rate() * 100.0,
+            leg.scheduled,
+            fmt_tput(leg.throughput),
+        );
+        rows.push(Row {
+            shards: batch_shards,
+            clients: 1,
+            transport: "in-process",
+            max_inflight: 32,
+            throughput: leg.throughput,
+            committed: leg.committed,
+            aborted: leg.aborted,
+            abort_rate: leg.abort_rate(),
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            single_shard_txns: 0,
+            multi_shard_txns: leg.attempted,
+            single_shard_fraction: 0.0,
+            flushes: 0,
+            flushes_per_commit: 0.0,
+            prepared_lock_window_ns: 0,
+            queue_wait_ns: 0,
+            hardening_ns: 0,
+            pipeline_depth: 0,
+            read_only_votes: 0,
+            one_phase_commits: 0,
+            coalesced_flushes: 0,
+            messages_sent: 0,
+            bytes_on_wire: 0,
+            batch_scheduled: leg.scheduled,
+            batch_aborts: leg.aborted,
+        });
     }
 
     let report = Report {

@@ -77,6 +77,11 @@ struct Row {
     coalesced_flushes: u64,
     messages_sent: u64,
     bytes_on_wire: u64,
+    /// Batched transactions the DGCC scheduler deferred past wave zero
+    /// (zero on the non-batch legs).
+    batch_scheduled: u64,
+    /// Batched transactions that aborted (zero on the non-batch legs).
+    batch_aborts: u64,
 }
 
 /// The file every run refreshes for regression tracking.
@@ -238,6 +243,8 @@ fn main() {
                     coalesced_flushes: stats.coalesced_flushes,
                     messages_sent: stats.messages_sent,
                     bytes_on_wire: stats.bytes_on_wire,
+                    batch_scheduled: stats.batch_scheduled,
+                    batch_aborts: stats.batch_aborts,
                 });
             }
             samples.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
@@ -259,6 +266,66 @@ fn main() {
             rows.push(row);
         }
     }
+
+    // DGCC batch-scheduling leg: the same contended cross-shard batch
+    // sequence, once undeclared (wave-zero race, CC aborts resolve the
+    // conflicts) and once with declared write sets (conflicting
+    // transactions defer into later waves). Abort rate must drop at
+    // equal-or-better throughput.
+    let batch_shards = if options.quick { 2 } else { 4 };
+    let (batch_rounds, batch_size) = if options.quick {
+        (15u64, 16u64)
+    } else {
+        (50, 16)
+    };
+    let mut batch_rows = Vec::new();
+    for declared in [false, true] {
+        let leg = tebaldi_bench::batch::run_leg(batch_shards, batch_rounds, batch_size, declared);
+        let commit_path: &'static str = if declared {
+            "batch-declared"
+        } else {
+            "batch-undeclared"
+        };
+        println!(
+            "batch leg ({commit_path}): {} committed, {} aborted ({:.1}%), {} scheduled, {}",
+            leg.committed,
+            leg.aborted,
+            leg.abort_rate() * 100.0,
+            leg.scheduled,
+            fmt_tput(leg.throughput),
+        );
+        batch_rows.push(Row {
+            shards: batch_shards,
+            clients: 1,
+            commit_path,
+            transport: "in-process",
+            max_inflight: 32,
+            throughput: leg.throughput,
+            committed: leg.committed,
+            aborted: leg.aborted,
+            abort_rate: leg.abort_rate(),
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            single_shard_txns: 0,
+            multi_shard_txns: leg.attempted,
+            single_shard_fraction: 0.0,
+            flushes: 0,
+            flushes_per_commit: 0.0,
+            prepared_lock_window_ns: 0,
+            queue_wait_ns: 0,
+            hardening_ns: 0,
+            pipeline_depth: 0,
+            read_only_votes: 0,
+            one_phase_commits: 0,
+            coalesced_flushes: 0,
+            messages_sent: 0,
+            bytes_on_wire: 0,
+            batch_scheduled: leg.scheduled,
+            batch_aborts: leg.aborted,
+        });
+    }
+    rows.extend(batch_rows);
 
     let report = Report {
         experiment: "cluster_tpcc",

@@ -7,4 +7,5 @@
 //! under `benches/` cover the hot code paths (storage, locking, SSI
 //! validation, RP steps, profiler scoring).
 
+pub mod batch;
 pub mod common;

@@ -20,7 +20,7 @@ use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tebaldi_storage::{GroupId, Key, NodeId, Timestamp, TxnId, TxnTypeId, Value, VersionChain};
+use tebaldi_storage::{ChainRead, GroupId, Key, NodeId, Timestamp, TxnId, TxnTypeId, Value};
 
 /// The relation between the executing transaction and the node whose
 /// mechanism is being invoked (see [`LaneSel`]). A `Lane` is passed to every
@@ -297,7 +297,7 @@ pub trait CcMechanism: Send + Sync {
         _lane: Lane,
         _key: &Key,
         candidate: Option<VersionPick>,
-        chain: &VersionChain,
+        chain: &dyn ChainRead,
     ) -> Option<VersionPick> {
         candidate.or_else(|| chain.latest_committed().map(VersionPick::from_version))
     }
@@ -310,7 +310,7 @@ pub trait CcMechanism: Send + Sync {
         _ctx: &mut TxnCtx,
         _lane: Lane,
         _key: &Key,
-        _chain: &VersionChain,
+        _chain: &dyn ChainRead,
     ) -> CcResult<()> {
         Ok(())
     }

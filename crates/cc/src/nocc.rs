@@ -8,7 +8,7 @@
 //! to groups whose transaction types are all read-only.
 
 use crate::mechanism::{CcKind, CcMechanism, Lane, NodeEnv, TxnCtx, VersionPick};
-use tebaldi_storage::{Key, VersionChain};
+use tebaldi_storage::{ChainRead, Key};
 
 /// The no-op mechanism for read-only groups.
 pub struct NoCc {
@@ -38,7 +38,7 @@ impl CcMechanism for NoCc {
         _lane: Lane,
         _key: &Key,
         candidate: Option<VersionPick>,
-        chain: &VersionChain,
+        chain: &dyn ChainRead,
     ) -> Option<VersionPick> {
         candidate.or_else(|| chain.latest_committed().map(VersionPick::from_version))
     }
@@ -54,8 +54,8 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
     use tebaldi_storage::{
-        GroupId, NodeId, TableId, Timestamp, TxnId, TxnTypeId, Value, Version, VersionId,
-        VersionState,
+        GroupId, NodeId, TableId, Timestamp, TxnId, TxnTypeId, Value, Version, VersionChain,
+        VersionId, VersionState,
     };
 
     #[test]

@@ -22,7 +22,7 @@ use crate::rp_analysis::RpPlan;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
-use tebaldi_storage::{Key, Timestamp, TxnId, VersionChain};
+use tebaldi_storage::{ChainRead, Key, Timestamp, TxnId};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Progress {
@@ -204,7 +204,7 @@ impl CcMechanism for Rp {
         lane: Lane,
         _key: &Key,
         candidate: Option<VersionPick>,
-        chain: &VersionChain,
+        chain: &dyn ChainRead,
     ) -> Option<VersionPick> {
         // Accept the child's proposal if it comes from this node's group.
         if let Some(pick) = &candidate {
@@ -216,11 +216,8 @@ impl CcMechanism for Rp {
         // write from inside this RP group — exposing intermediate states is
         // the mechanism's whole point — and fall back to the latest
         // committed version.
-        let in_group = chain
-            .versions()
-            .iter()
-            .rev()
-            .find(|v| v.writer == ctx.txn || self.env.in_subtree(v.writer));
+        let in_group =
+            chain.find_newest_first(&mut |v| v.writer == ctx.txn || self.env.in_subtree(v.writer));
         in_group
             .map(VersionPick::from_version)
             .or_else(|| chain.latest_committed().map(VersionPick::from_version))

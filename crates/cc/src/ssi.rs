@@ -26,7 +26,7 @@ use crate::mechanism::{CcKind, CcMechanism, DoomList, Lane, NodeEnv, TxnCtx, Ver
 use crate::topology::LaneSel;
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
-use tebaldi_storage::{Key, Timestamp, TxnId, VersionChain};
+use tebaldi_storage::{ChainRead, Key, Timestamp, TxnId};
 
 /// Configuration of one SSI node.
 #[derive(Clone, Debug)]
@@ -260,7 +260,7 @@ impl CcMechanism for Ssi {
         lane: Lane,
         key: &Key,
         candidate: Option<VersionPick>,
-        chain: &VersionChain,
+        chain: &dyn ChainRead,
     ) -> Option<VersionPick> {
         // Accept the child's proposal when it comes from this transaction's
         // own child group (their ordering is the child's business).
@@ -293,21 +293,26 @@ impl CcMechanism for Ssi {
         let mut missed_writer: Option<TxnId> = None;
         if chain.committed_after(start_ts) {
             missed_writer = chain
-                .versions()
-                .iter()
-                .rev()
-                .find(|v| v.is_committed() && matches!(v.commit_ts, Some(c) if c > start_ts))
+                .find_newest_first(&mut |v| {
+                    v.is_committed() && matches!(v.commit_ts, Some(c) if c > start_ts)
+                })
                 .map(|v| v.writer);
-        } else if let Some(other) = chain.uncommitted().find(|v| {
-            v.writer != ctx.txn && {
-                let writer_lane = self
-                    .env
-                    .group_of(v.writer)
-                    .and_then(|g| self.env.topology.child_lane(self.env.node, g));
-                writer_lane.is_none() || writer_lane != my_lane
+        } else if chain.has_other_uncommitted(ctx.txn) {
+            // The scan below only matches uncommitted foreign versions, and
+            // `has_other_uncommitted` answers in O(1) when the chain carries
+            // no uncommitted versions at all — the common case on long
+            // committed tails between GC cycles.
+            if let Some(other) = chain.find_newest_first(&mut |v| {
+                !v.is_committed() && v.writer != ctx.txn && {
+                    let writer_lane = self
+                        .env
+                        .group_of(v.writer)
+                        .and_then(|g| self.env.topology.child_lane(self.env.node, g));
+                    writer_lane.is_none() || writer_lane != my_lane
+                }
+            }) {
+                missed_writer = Some(other.writer);
             }
-        }) {
-            missed_writer = Some(other.writer);
         }
         if let Some(writer) = missed_writer {
             if let Some(me) = shared.txns.get_mut(&ctx.txn) {
@@ -337,7 +342,7 @@ impl CcMechanism for Ssi {
         ctx: &mut TxnCtx,
         lane: Lane,
         _key: &Key,
-        chain: &VersionChain,
+        chain: &dyn ChainRead,
     ) -> CcResult<()> {
         self.check_first_committer_wins(ctx, chain, lane)
     }
@@ -412,7 +417,7 @@ impl Ssi {
     pub fn check_first_committer_wins(
         &self,
         ctx: &TxnCtx,
-        chain: &VersionChain,
+        chain: &dyn ChainRead,
         lane: Lane,
     ) -> CcResult<()> {
         if self.is_read_only_lane(lane) {
@@ -431,15 +436,20 @@ impl Ssi {
             });
         }
         let my_lane = state.lane;
-        let foreign_uncommitted = chain.uncommitted().any(|v| {
-            v.writer != ctx.txn && {
-                let writer_lane = self
-                    .env
-                    .group_of(v.writer)
-                    .and_then(|g| self.env.topology.child_lane(self.env.node, g));
-                writer_lane.is_none() || writer_lane != my_lane
-            }
-        });
+        // Same O(1) gate as the read-side scan: no uncommitted versions on
+        // the chain means no foreign uncommitted version to conflict with.
+        let foreign_uncommitted = chain.has_other_uncommitted(ctx.txn)
+            && chain
+                .find_newest_first(&mut |v| {
+                    !v.is_committed() && v.writer != ctx.txn && {
+                        let writer_lane = self
+                            .env
+                            .group_of(v.writer)
+                            .and_then(|g| self.env.topology.child_lane(self.env.node, g));
+                        writer_lane.is_none() || writer_lane != my_lane
+                    }
+                })
+                .is_some();
         if foreign_uncommitted {
             return Err(CcError::Conflict {
                 mechanism: "SSI",
@@ -493,7 +503,7 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
     use tebaldi_storage::{
-        GroupId, NodeId, TableId, TxnTypeId, Value, Version, VersionId, VersionState,
+        GroupId, NodeId, TableId, TxnTypeId, Value, Version, VersionChain, VersionId, VersionState,
     };
 
     fn setup(batching: bool) -> (Ssi, Arc<TxnRegistry>) {

@@ -22,7 +22,7 @@ use crate::mechanism::{CcKind, CcMechanism, Lane, NodeEnv, TxnCtx, VersionPick};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::time::Instant;
-use tebaldi_storage::{Key, Timestamp, TxnId, VersionChain};
+use tebaldi_storage::{ChainRead, Key, Timestamp, TxnId};
 
 #[derive(Debug, Default)]
 struct TsoShared {
@@ -145,7 +145,7 @@ impl CcMechanism for Tso {
         ctx: &mut TxnCtx,
         _lane: Lane,
         key: &Key,
-        _chain: &VersionChain,
+        _chain: &dyn ChainRead,
     ) -> CcResult<()> {
         // The reader-abort rule must run while the engine holds the key's
         // chain lock (this hook is the only point where that is true):
@@ -175,27 +175,42 @@ impl CcMechanism for Tso {
         // possible — installing "into the past" would contradict it (and
         // hide the newer value from position-based readers). Abort and let
         // the retry pick a fresh, larger timestamp.
-        for v in _chain.versions() {
-            let in_group = v.writer == ctx.txn || self.env.same_group(_lane, v.writer);
-            if !in_group {
-                if let Some(ts) = v.sort_ts() {
-                    if ts > my_ts {
-                        return Err(CcError::Conflict {
-                            mechanism: "TSO",
-                            reason: "a cross-group version is ordered after this timestamp",
-                        });
-                    }
-                }
-            }
+        let violation = _chain
+            .find_newest_first(&mut |v| {
+                let in_group = v.writer == ctx.txn || self.env.same_group(_lane, v.writer);
+                !in_group && matches!(v.sort_ts(), Some(ts) if ts > my_ts)
+            })
+            .is_some();
+        if violation {
+            return Err(CcError::Conflict {
+                mechanism: "TSO",
+                reason: "a cross-group version is ordered after this timestamp",
+            });
         }
         Ok(())
     }
 
     fn after_write(&self, ctx: &mut TxnCtx, _lane: Lane, key: &Key) {
+        let mut shared = self.shared.lock();
+        // Post-install re-check of the reader-abort rule. Chain readers are
+        // lock-free, so a reader may record its timestamp after
+        // `validate_write`'s check yet walk the chain before our install
+        // landed — reading the prior version without the check catching it.
+        // Any such reader's registration is ordered before this lock
+        // acquisition (it records under the same mutex before walking), so
+        // re-checking here closes the window; readers registering after us
+        // are guaranteed to observe the installed version (chain walks
+        // re-load the head). Conservatively aborts a writer whose window
+        // reader did see the new version — the window is a few
+        // microseconds, so such collisions are rare.
+        if let Some(my_ts) = shared.txn_ts.get(&ctx.txn).copied() {
+            if matches!(shared.max_read_ts.get(key), Some(read_ts) if *read_ts > my_ts) {
+                ctx.must_abort = true;
+            }
+        }
         // Mark our promise on this key (if any) as fulfilled only after the
         // version is actually installed, so a woken reader cannot pick an
         // older version in the gap.
-        let mut shared = self.shared.lock();
         if let Some(list) = shared.promises.get_mut(key) {
             for entry in list.iter_mut().filter(|(w, _, _)| *w == ctx.txn) {
                 entry.2 = true;
@@ -234,7 +249,7 @@ impl CcMechanism for Tso {
         lane: Lane,
         key: &Key,
         candidate: Option<VersionPick>,
-        chain: &VersionChain,
+        chain: &dyn ChainRead,
     ) -> Option<VersionPick> {
         let mut shared = self.shared.lock();
         let my_ts = shared
@@ -261,10 +276,7 @@ impl CcMechanism for Tso {
         // before us, so skipping it would contradict the parent's ordering
         // (consistent ordering, §4.2.1).
         chain
-            .versions()
-            .iter()
-            .rev()
-            .find(|v| {
+            .find_newest_first(&mut |v| {
                 let in_group = v.writer == ctx.txn || self.env.same_group(lane, v.writer);
                 if in_group {
                     matches!(v.sort_ts(), Some(ts) if ts <= my_ts) || v.writer == ctx.txn
@@ -324,7 +336,7 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
     use tebaldi_storage::{
-        GroupId, NodeId, TableId, TxnTypeId, Value, Version, VersionId, VersionState,
+        GroupId, NodeId, TableId, TxnTypeId, Value, Version, VersionChain, VersionId, VersionState,
     };
 
     /// A TSO leaf owning group 0; transactions 1..=8 are pre-registered as

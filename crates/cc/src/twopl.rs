@@ -20,7 +20,7 @@
 use crate::error::CcResult;
 use crate::lock::{LockManager, LockMode};
 use crate::mechanism::{CcKind, CcMechanism, Lane, NodeEnv, TxnCtx, VersionPick};
-use tebaldi_storage::{Key, Timestamp, VersionChain};
+use tebaldi_storage::{ChainRead, Key, Timestamp};
 
 /// A two-phase-locking node.
 pub struct TwoPl {
@@ -82,7 +82,7 @@ impl CcMechanism for TwoPl {
         lane: Lane,
         _key: &Key,
         candidate: Option<VersionPick>,
-        chain: &VersionChain,
+        chain: &dyn ChainRead,
     ) -> Option<VersionPick> {
         // Accept the child's proposal when it comes from inside this node's
         // own group (the child is responsible for those conflicts), else
@@ -117,7 +117,8 @@ mod tests {
     use std::sync::Arc;
     use std::time::Duration;
     use tebaldi_storage::{
-        GroupId, NodeId, TableId, TxnId, TxnTypeId, Value, Version, VersionId, VersionState,
+        GroupId, NodeId, TableId, TxnId, TxnTypeId, Value, Version, VersionChain, VersionId,
+        VersionState,
     };
 
     fn make_env(topology: Topology, registry: Arc<TxnRegistry>) -> NodeEnv {

@@ -74,8 +74,8 @@ pub mod worker;
 
 pub use api::{ShardRequest, ShardResponse, ShardResult, ShardStatsReply};
 pub use cluster::{
-    recover_cluster, test_transport, Cluster, ClusterBuilder, ClusterClock, ClusterConfig,
-    ClusterStats, ShardPart,
+    recover_cluster, test_transport, BatchKeySets, BatchTxn, Cluster, ClusterBuilder, ClusterClock,
+    ClusterConfig, ClusterStats, ShardPart,
 };
 pub use coordinator::{CoordinatorStats, TxnCoordinator};
 pub use faults::{FaultPlan, FaultyTransport};

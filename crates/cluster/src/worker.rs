@@ -933,7 +933,12 @@ impl ShardWorkers {
                     if state.stopping && state.inflight == 0 {
                         return;
                     }
-                    self.done_cv.wait(&mut state);
+                    // Bounded wait: the exit predicate reads two fields
+                    // updated under separate notifications, so re-check on
+                    // a timer rather than trusting every path to notify —
+                    // a missed wakeup then costs 50ms, not a hung
+                    // shutdown.
+                    let _ = self.done_cv.wait_for(&mut state, Duration::from_millis(50));
                 }
                 state.completions.drain(..).collect()
             };

@@ -129,7 +129,7 @@ impl DatabaseBuilder {
     /// Builds the database.
     pub fn build(self) -> Result<Database, String> {
         let spec = self.spec.ok_or("a CC-tree specification is required")?;
-        let store = self.store.unwrap_or_else(|| {
+        let mut store = self.store.unwrap_or_else(|| {
             if self.config.sim_network_rtt_us > 0 {
                 MvStore::with_network(
                     self.config.shards,
@@ -163,6 +163,7 @@ impl DatabaseBuilder {
         let metrics = self
             .metrics
             .unwrap_or_else(|| Arc::new(MetricsRegistry::new()));
+        store.attach_metrics(&metrics);
         let durability =
             DurabilityManager::with_metrics(device, policy, self.config.group_commit, &metrics);
         let history = if self.config.record_history {
@@ -356,6 +357,10 @@ impl Database {
     ) -> CcResult<(R, Option<u64>)> {
         let txn_id = TxnId(self.txn_ids.fetch_add(1, Ordering::Relaxed));
         let gc_epoch = self.gc.transaction_started(txn_id);
+        // Pin the reclamation epoch once for the whole transaction: every
+        // store access inside is then a cheap nested pin (one refcount
+        // bump) instead of an announcement store.
+        let _epoch_pin = tebaldi_storage::ebr::pin();
         self.registry.register(txn_id, call.ty, group);
         if let Some(history) = &self.history {
             history.begin(txn_id, call.ty, group);
@@ -489,6 +494,9 @@ impl Database {
 
         let txn_id = TxnId(self.txn_ids.fetch_add(1, Ordering::Relaxed));
         let gc_epoch = self.gc.transaction_started(txn_id);
+        // One reclamation pin for the whole phase-one execution (see
+        // `execute_admitted`).
+        let _epoch_pin = tebaldi_storage::ebr::pin();
         self.registry.register(txn_id, call.ty, group);
         if let Some(history) = &self.history {
             history.begin(txn_id, call.ty, group);

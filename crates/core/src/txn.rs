@@ -132,7 +132,7 @@ impl<'a> Txn<'a> {
                             pick.committed,
                             last.writer,
                             last.is_committed(),
-                            chain.versions().len(),
+                            chain.len(),
                         );
                     }
                 }

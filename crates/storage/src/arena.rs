@@ -1,0 +1,362 @@
+//! The version arena: a chunked slab of version slots addressed by
+//! generation-tagged handles.
+//!
+//! Version chains are singly-linked lists of arena slots (newest first),
+//! linked by atomic packed handles, so readers traverse a chain with plain
+//! `Acquire` loads and zero locks. A handle packs a 32-bit slot index with
+//! the slot's 32-bit **generation**; the generation is bumped every time a
+//! slot is freed, so a stale handle to a recycled slot can never
+//! dereference the new occupant (ABA protection). Slots are recycled
+//! through a Treiber free list whose head is tagged with the head slot's
+//! generation, making the pop CAS immune to the classic ABA race.
+//!
+//! Slot contents are **immutable while linked**: committing or
+//! overwriting a version allocates a replacement slot and splices it into
+//! the chain, retiring the old slot to the store's epoch limbo list (see
+//! [`crate::ebr`]). That keeps `&Version` references handed to readers
+//! valid without any per-field atomics.
+
+use crate::version::Version;
+use parking_lot::Mutex;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+
+/// Slots per chunk (2^12 = 4096).
+const CHUNK_BITS: u32 = 12;
+const CHUNK_SIZE: usize = 1 << CHUNK_BITS;
+const CHUNK_MASK: u32 = (CHUNK_SIZE as u32) - 1;
+/// Maximum chunks: 4096 chunks * 4096 slots = ~16.7M live versions.
+const MAX_CHUNKS: usize = 1 << 12;
+
+/// The nil handle, used as the end-of-chain / empty-list marker.
+pub const NIL: u64 = u64::MAX;
+
+#[inline]
+pub(crate) fn pack(gen: u32, idx: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+#[inline]
+pub(crate) fn unpack(handle: u64) -> (u32, u32) {
+    ((handle >> 32) as u32, handle as u32)
+}
+
+/// One version slot.
+///
+/// `gen` parity encodes occupancy: even = vacant, odd = occupied. The data
+/// cell is written only between popping the slot off the free list (or
+/// bump-allocating it) and publishing the odd generation, so a reader that
+/// `Acquire`-loads a matching odd generation sees fully initialized data.
+pub(crate) struct Slot {
+    gen: AtomicU32,
+    /// Chain link while occupied (handle of the next-older version, or
+    /// [`NIL`]); free-list link while vacant.
+    next: AtomicU64,
+    data: UnsafeCell<MaybeUninit<Version>>,
+}
+
+/// A chunked slab of [`Slot`]s with generation-tagged handles.
+pub struct VersionArena {
+    /// Two-level spine: chunk pointers, published with `Release` so slot
+    /// dereferences need no lock.
+    spine: Box<[AtomicPtr<Slot>]>,
+    /// Next never-used slot index.
+    bump: AtomicU64,
+    /// Treiber free-list head: packed (generation, index) of the head slot
+    /// or [`NIL`].
+    free_head: AtomicU64,
+    /// Serializes chunk allocation only.
+    grow_lock: Mutex<()>,
+    /// Live (occupied) slots.
+    occupied: AtomicU64,
+    /// Reads that found a generation mismatch. Must stay zero while every
+    /// reader holds an epoch pin; the reclamation proptest asserts on it.
+    gen_mismatches: AtomicU64,
+}
+
+// Slots hold `UnsafeCell` data, but the occupancy protocol above makes
+// cross-thread access race-free: data is written only while the slot is
+// privately owned by the allocating thread and read only while occupied.
+unsafe impl Send for VersionArena {}
+unsafe impl Sync for VersionArena {}
+
+impl Default for VersionArena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl VersionArena {
+    pub fn new() -> Self {
+        VersionArena {
+            spine: (0..MAX_CHUNKS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            bump: AtomicU64::new(0),
+            free_head: AtomicU64::new(NIL),
+            grow_lock: Mutex::new(()),
+            occupied: AtomicU64::new(0),
+            gen_mismatches: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, idx: u32) -> &Slot {
+        let chunk = self.spine[(idx >> CHUNK_BITS) as usize].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null(), "slot index {idx} beyond allocated chunks");
+        unsafe { &*chunk.add((idx & CHUNK_MASK) as usize) }
+    }
+
+    fn ensure_chunk(&self, chunk_idx: usize) {
+        assert!(
+            chunk_idx < MAX_CHUNKS,
+            "version arena exhausted ({} slots)",
+            MAX_CHUNKS * CHUNK_SIZE
+        );
+        if !self.spine[chunk_idx].load(Ordering::Acquire).is_null() {
+            return;
+        }
+        let _g = self.grow_lock.lock();
+        if !self.spine[chunk_idx].load(Ordering::Acquire).is_null() {
+            return;
+        }
+        let chunk: Box<[Slot]> = (0..CHUNK_SIZE)
+            .map(|_| Slot {
+                gen: AtomicU32::new(0),
+                next: AtomicU64::new(NIL),
+                data: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        let ptr = Box::into_raw(chunk) as *mut Slot;
+        self.spine[chunk_idx].store(ptr, Ordering::Release);
+    }
+
+    /// Allocates a slot holding `version` and returns its packed handle.
+    /// The slot's `next` link is initialized to [`NIL`]; the caller splices
+    /// it into a chain.
+    pub fn alloc(&self, version: Version) -> u64 {
+        self.occupied.fetch_add(1, Ordering::Relaxed);
+        // Fast path: recycle from the free list.
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            if head == NIL {
+                break;
+            }
+            let (head_gen, head_idx) = unpack(head);
+            let slot = self.slot(head_idx);
+            let next = slot.next.load(Ordering::Acquire);
+            if self
+                .free_head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // The slot is privately ours: its generation is the (even)
+            // value the free-list tag carried.
+            debug_assert_eq!(slot.gen.load(Ordering::Relaxed), head_gen);
+            unsafe { (*slot.data.get()).write(version) };
+            slot.next.store(NIL, Ordering::Relaxed);
+            let live_gen = head_gen.wrapping_add(1);
+            slot.gen.store(live_gen, Ordering::Release);
+            return pack(live_gen, head_idx);
+        }
+        // Slow path: bump-allocate a fresh slot.
+        let idx64 = self.bump.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            idx64 < (MAX_CHUNKS * CHUNK_SIZE) as u64,
+            "version arena exhausted"
+        );
+        let idx = idx64 as u32;
+        self.ensure_chunk((idx >> CHUNK_BITS) as usize);
+        let slot = self.slot(idx);
+        unsafe { (*slot.data.get()).write(version) };
+        slot.next.store(NIL, Ordering::Relaxed);
+        slot.gen.store(1, Ordering::Release);
+        pack(1, idx)
+    }
+
+    /// Dereferences `handle`, returning the version and its chain link.
+    /// Returns `None` (and counts a mismatch) if the slot's generation no
+    /// longer matches — which an epoch-pinned reader must never observe.
+    #[inline]
+    pub fn read(&self, handle: u64) -> Option<(&Version, u64)> {
+        let (gen, idx) = unpack(handle);
+        let slot = self.slot(idx);
+        if slot.gen.load(Ordering::Acquire) != gen {
+            self.gen_mismatches.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let next = slot.next.load(Ordering::Acquire);
+        // Safety: the matching odd generation was published with `Release`
+        // after the data write, and epoch pinning keeps the slot from
+        // being freed and recycled while this reference is live.
+        let version = unsafe { (*slot.data.get()).assume_init_ref() };
+        Some((version, next))
+    }
+
+    /// Updates the chain link of a live slot. Only the (single, per-key
+    /// latched) writer calls this.
+    #[inline]
+    pub fn set_next(&self, handle: u64, next: u64) {
+        let (gen, idx) = unpack(handle);
+        let slot = self.slot(idx);
+        debug_assert_eq!(
+            slot.gen.load(Ordering::Relaxed),
+            gen,
+            "set_next on stale handle"
+        );
+        slot.next.store(next, Ordering::Release);
+    }
+
+    /// Frees a slot: drops the version, bumps the generation (invalidating
+    /// every outstanding handle), and pushes the slot on the free list.
+    /// The caller must guarantee no reader can still reach the handle —
+    /// the store's epoch limbo lists provide that.
+    pub fn free(&self, handle: u64) {
+        let (gen, idx) = unpack(handle);
+        let slot = self.slot(idx);
+        assert_eq!(
+            slot.gen.load(Ordering::Relaxed),
+            gen,
+            "double free or stale handle"
+        );
+        unsafe { (*slot.data.get()).assume_init_drop() };
+        let vacant_gen = gen.wrapping_add(1);
+        slot.gen.store(vacant_gen, Ordering::Release);
+        let tagged = pack(vacant_gen, idx);
+        loop {
+            let head = self.free_head.load(Ordering::Acquire);
+            slot.next.store(head, Ordering::Relaxed);
+            if self
+                .free_head
+                .compare_exchange(head, tagged, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break;
+            }
+        }
+        self.occupied.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Live slot count.
+    pub fn occupied(&self) -> u64 {
+        self.occupied.load(Ordering::Relaxed)
+    }
+
+    /// Number of generation-mismatched dereferences observed (must be zero
+    /// under correct epoch pinning).
+    pub fn gen_mismatches(&self) -> u64 {
+        self.gen_mismatches.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for VersionArena {
+    fn drop(&mut self) {
+        let used = self
+            .bump
+            .load(Ordering::Relaxed)
+            .min((MAX_CHUNKS * CHUNK_SIZE) as u64);
+        for chunk_idx in 0..MAX_CHUNKS {
+            let ptr = self.spine[chunk_idx].load(Ordering::Relaxed);
+            if ptr.is_null() {
+                continue;
+            }
+            let base = (chunk_idx << CHUNK_BITS) as u64;
+            let in_use = used.saturating_sub(base).min(CHUNK_SIZE as u64) as usize;
+            // Drop any still-occupied versions (odd generation).
+            let chunk = unsafe { std::slice::from_raw_parts_mut(ptr, CHUNK_SIZE) };
+            for slot in chunk.iter_mut().take(in_use) {
+                if slot.gen.load(Ordering::Relaxed) & 1 == 1 {
+                    unsafe { (*slot.data.get()).assume_init_drop() };
+                }
+            }
+            drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, CHUNK_SIZE)) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Timestamp, TxnId};
+    use crate::value::Value;
+    use crate::version::{VersionId, VersionState};
+
+    fn ver(id: u64) -> Version {
+        Version {
+            id: VersionId(id),
+            writer: TxnId(id),
+            value: Value::Int(id as i64),
+            state: VersionState::Committed,
+            commit_ts: Some(Timestamp(id)),
+            order_ts: None,
+        }
+    }
+
+    #[test]
+    fn alloc_read_roundtrip() {
+        let a = VersionArena::new();
+        let h = a.alloc(ver(7));
+        let (v, next) = a.read(h).unwrap();
+        assert_eq!(v.id, VersionId(7));
+        assert_eq!(next, NIL);
+        assert_eq!(a.occupied(), 1);
+    }
+
+    #[test]
+    fn freed_handle_is_invalidated() {
+        let a = VersionArena::new();
+        let h = a.alloc(ver(1));
+        a.free(h);
+        assert!(a.read(h).is_none());
+        assert_eq!(a.gen_mismatches(), 1);
+        // The recycled slot gets a fresh generation; the stale handle
+        // still does not resolve.
+        let h2 = a.alloc(ver(2));
+        assert_ne!(h, h2);
+        assert!(a.read(h).is_none());
+        assert_eq!(a.read(h2).unwrap().0.id, VersionId(2));
+        assert_eq!(a.occupied(), 1);
+    }
+
+    #[test]
+    fn chain_links_traverse() {
+        let a = VersionArena::new();
+        let old = a.alloc(ver(1));
+        let new = a.alloc(ver(2));
+        a.set_next(new, old);
+        let (v2, next) = a.read(new).unwrap();
+        assert_eq!(v2.id, VersionId(2));
+        let (v1, end) = a.read(next).unwrap();
+        assert_eq!(v1.id, VersionId(1));
+        assert_eq!(end, NIL);
+    }
+
+    #[test]
+    fn bump_crosses_chunks() {
+        let a = VersionArena::new();
+        let n = CHUNK_SIZE + 10;
+        let handles: Vec<u64> = (0..n as u64).map(|i| a.alloc(ver(i))).collect();
+        for (i, &h) in handles.iter().enumerate() {
+            assert_eq!(a.read(h).unwrap().0.id, VersionId(i as u64));
+        }
+        assert_eq!(a.occupied(), n as u64);
+    }
+
+    #[test]
+    fn free_list_recycles_lifo() {
+        let a = VersionArena::new();
+        let h1 = a.alloc(ver(1));
+        let h2 = a.alloc(ver(2));
+        a.free(h1);
+        a.free(h2);
+        let h3 = a.alloc(ver(3));
+        let h4 = a.alloc(ver(4));
+        // LIFO: h3 reuses h2's slot, h4 reuses h1's slot.
+        assert_eq!(unpack(h3).1, unpack(h2).1);
+        assert_eq!(unpack(h4).1, unpack(h1).1);
+        assert_eq!(a.bump.load(Ordering::Relaxed), 2);
+    }
+}

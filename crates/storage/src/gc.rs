@@ -11,11 +11,23 @@
 //! The CC mechanisms participate through the [`GcParticipant`] trait: each
 //! returns a *low watermark* timestamp below which it will never order a new
 //! transaction. The collectable horizon is the minimum watermark.
+//!
+//! Since the main-memory rework, epoch tracking is a fixed ring of atomic
+//! counters instead of mutex-guarded hash maps: [`GcManager::transaction_started`]
+//! and [`GcManager::transaction_finished`] are two atomic RMWs on the
+//! transaction fast path, with no lock and no allocation. Note the split of
+//! responsibilities with [`crate::ebr`]:
+//!
+//! * this manager decides **logical** collectability — which committed
+//!   versions no mechanism will ever read again (participant watermarks and
+//!   fully-retired GC epochs bound the prune horizon);
+//! * the store's epoch-based reclamation decides **physical** reuse — a
+//!   pruned version parks on a limbo list until every pinned reader thread
+//!   has moved two reclamation epochs past it.
 
 use crate::mvstore::MvStore;
 use crate::types::{Timestamp, TxnId};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -37,19 +49,42 @@ pub trait GcParticipant: Send + Sync {
 pub struct GcReport {
     /// The horizon that was applied.
     pub horizon: Timestamp,
-    /// Number of versions removed.
+    /// Number of versions removed (exact: counted by the per-chain prune,
+    /// not re-derived from before/after stats).
     pub removed: usize,
     /// Number of epochs retired by this cycle.
     pub epochs_retired: u64,
+    /// Number of retired version slots physically freed by this cycle's
+    /// reclamation sweep (may include slots pruned in earlier cycles whose
+    /// grace period only now expired).
+    pub reclaimed: usize,
+}
+
+/// Ring capacity: the maximum distance `current_epoch` may run ahead of the
+/// oldest un-retired epoch. Epochs advance on a timer (and once per GC
+/// cycle), so thousands of epochs of lag means collection has not run for
+/// hours — [`GcManager::advance_epoch`] asserts rather than silently
+/// aliasing ring slots.
+const EPOCH_RING: usize = 4096;
+
+/// One epoch's slot in the ring (indexed by `epoch % EPOCH_RING`).
+struct EpochSlot {
+    /// In-flight transactions tagged with this epoch.
+    active: AtomicU64,
+    /// Largest commit timestamp observed in this epoch (0 = none).
+    high_ts: AtomicU64,
 }
 
 /// The garbage-collection manager.
 pub struct GcManager {
     current_epoch: AtomicU64,
-    /// epoch -> number of in-flight transactions tagged with it.
-    active: Mutex<HashMap<u64, u64>>,
-    /// epoch -> largest commit timestamp observed in it.
-    epoch_high_ts: Mutex<HashMap<u64, Timestamp>>,
+    /// Oldest epoch not yet retired by [`GcManager::collect`].
+    floor: AtomicU64,
+    ring: Box<[EpochSlot]>,
+    /// Serializes collectors (floor advance + slot reset must be atomic
+    /// with respect to each other; the transaction fast path never takes
+    /// this).
+    collect_lock: Mutex<()>,
     participants: Mutex<Vec<Arc<dyn GcParticipant>>>,
     retired_epochs: AtomicU64,
 }
@@ -73,11 +108,21 @@ impl GcManager {
     pub fn new() -> Self {
         GcManager {
             current_epoch: AtomicU64::new(1),
-            active: Mutex::new(HashMap::new()),
-            epoch_high_ts: Mutex::new(HashMap::new()),
+            floor: AtomicU64::new(1),
+            ring: (0..EPOCH_RING)
+                .map(|_| EpochSlot {
+                    active: AtomicU64::new(0),
+                    high_ts: AtomicU64::new(0),
+                })
+                .collect(),
+            collect_lock: Mutex::new(()),
             participants: Mutex::new(Vec::new()),
             retired_epochs: AtomicU64::new(0),
         }
+    }
+
+    fn slot(&self, epoch: u64) -> &EpochSlot {
+        &self.ring[(epoch % EPOCH_RING as u64) as usize]
     }
 
     /// Registers a CC mechanism (or any other component) whose watermark
@@ -94,75 +139,92 @@ impl GcManager {
 
     /// The current GC epoch id.
     pub fn current_epoch(&self) -> u64 {
-        self.current_epoch.load(Ordering::Relaxed)
+        self.current_epoch.load(Ordering::Acquire)
     }
 
     /// Tags a starting transaction with the current epoch. Returns the
     /// epoch id, which must be passed back to [`GcManager::transaction_finished`].
+    /// Lock-free: one atomic increment.
     pub fn transaction_started(&self, _txn: TxnId) -> u64 {
         let epoch = self.current_epoch();
-        *self.active.lock().entry(epoch).or_insert(0) += 1;
+        self.slot(epoch).active.fetch_add(1, Ordering::AcqRel);
         epoch
     }
 
     /// Records that a transaction tagged with `epoch` finished (committed or
-    /// aborted) with the given commit timestamp (if committed).
+    /// aborted) with the given commit timestamp (if committed). Lock-free:
+    /// at most two atomic RMWs.
     pub fn transaction_finished(&self, epoch: u64, commit_ts: Option<Timestamp>) {
-        let mut active = self.active.lock();
-        if let Some(count) = active.get_mut(&epoch) {
-            *count = count.saturating_sub(1);
-            if *count == 0 {
-                active.remove(&epoch);
-            }
-        }
-        drop(active);
+        let slot = self.slot(epoch);
         if let Some(ts) = commit_ts {
-            let mut high = self.epoch_high_ts.lock();
-            let entry = high.entry(epoch).or_insert(Timestamp::ZERO);
-            if ts > *entry {
-                *entry = ts;
-            }
+            slot.high_ts.fetch_max(ts.0, Ordering::AcqRel);
         }
+        slot.active.fetch_sub(1, Ordering::AcqRel);
     }
 
     /// Advances to a new epoch; transactions started afterwards belong to
     /// the new epoch. Typically driven by a periodic timer in the engine.
     pub fn advance_epoch(&self) -> u64 {
-        self.current_epoch.fetch_add(1, Ordering::Relaxed) + 1
+        let next = self.current_epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        assert!(
+            next - self.floor.load(Ordering::Acquire) < EPOCH_RING as u64,
+            "GC epoch ring exhausted: {EPOCH_RING} epochs advanced without a collect cycle"
+        );
+        next
     }
 
     /// The oldest epoch that still has in-flight transactions, if any.
     pub fn oldest_active_epoch(&self) -> Option<u64> {
-        self.active.lock().keys().min().copied()
+        let current = self.current_epoch();
+        let mut e = self.floor.load(Ordering::Acquire);
+        while e <= current {
+            if self.slot(e).active.load(Ordering::Acquire) != 0 {
+                return Some(e);
+            }
+            e += 1;
+        }
+        None
     }
 
     /// Attempts one collection cycle on `store`.
     ///
     /// The collectable horizon is the minimum of (a) every participant's low
     /// watermark and (b) the highest commit timestamp of fully-retired
-    /// epochs; when no epoch has fully retired nothing is collected.
+    /// epochs; when no epoch has fully retired nothing is pruned. Every
+    /// cycle also runs a physical reclamation sweep so limbo lists drain
+    /// even on quiet cycles.
     pub fn collect(&self, store: &MvStore) -> GcReport {
-        let oldest_active = self.oldest_active_epoch().unwrap_or(u64::MAX);
-        let mut high = self.epoch_high_ts.lock();
+        let current = self.current_epoch();
         let mut retired_horizon = Timestamp::ZERO;
         let mut retired_count = 0u64;
-        let retired: Vec<u64> = high
-            .keys()
-            .copied()
-            .filter(|e| *e < oldest_active && *e < self.current_epoch())
-            .collect();
-        for epoch in retired {
-            if let Some(ts) = high.remove(&epoch) {
-                if ts > retired_horizon {
-                    retired_horizon = ts;
+        {
+            let _g = self.collect_lock.lock();
+            let mut floor = self.floor.load(Ordering::Acquire);
+            // Retire epochs in order until the first one that still has
+            // in-flight transactions (everything past it is newer than the
+            // oldest active epoch and must wait).
+            while floor < current {
+                let slot = self.slot(floor);
+                if slot.active.load(Ordering::Acquire) != 0 {
+                    break;
                 }
+                let high = slot.high_ts.swap(0, Ordering::AcqRel);
+                if high != 0 {
+                    retired_count += 1;
+                    if high > retired_horizon.0 {
+                        retired_horizon = Timestamp(high);
+                    }
+                }
+                floor += 1;
             }
-            retired_count += 1;
+            self.floor.store(floor, Ordering::Release);
         }
-        drop(high);
 
         if retired_count == 0 || retired_horizon == Timestamp::ZERO {
-            return GcReport::default();
+            return GcReport {
+                reclaimed: store.reclaim(),
+                ..GcReport::default()
+            };
         }
 
         let mut horizon = retired_horizon;
@@ -173,16 +235,21 @@ impl GcManager {
             }
         }
         if horizon == Timestamp::ZERO {
-            return GcReport::default();
+            return GcReport {
+                reclaimed: store.reclaim(),
+                ..GcReport::default()
+            };
         }
 
         let removed = store.prune_before(horizon);
+        let reclaimed = store.reclaim();
         self.retired_epochs
             .fetch_add(retired_count, Ordering::Relaxed);
         GcReport {
             horizon,
             removed,
             epochs_retired: retired_count,
+            reclaimed,
         }
     }
 
@@ -240,6 +307,8 @@ mod tests {
             store.read(&k(1), ReadSpec::LatestCommitted),
             Some(Value::Int(20))
         );
+        // The O(1) store counters must agree with a full scan after GC.
+        assert_eq!(store.stats(), store.stats_scanned());
     }
 
     #[test]
@@ -259,6 +328,7 @@ mod tests {
         let report = gc.collect(&store);
         assert_eq!(report.removed, 0);
         assert_eq!(report.horizon, Timestamp(5));
+        assert_eq!(store.stats(), store.stats_scanned());
     }
 
     #[test]
@@ -268,5 +338,31 @@ mod tests {
         assert_eq!(gc.oldest_active_epoch(), Some(e));
         gc.transaction_finished(e, None);
         assert_eq!(gc.oldest_active_epoch(), None);
+    }
+
+    #[test]
+    fn repeated_cycles_drain_limbo_and_keep_counts_exact() {
+        let store = MvStore::new(2);
+        let gc = GcManager::new();
+        let mut expected_removed = 0usize;
+        for round in 1..=10u64 {
+            let e = gc.transaction_started(TxnId(round));
+            committed_write(&store, round, 1, round as i64, round * 10);
+            gc.transaction_finished(e, Some(Timestamp(round * 10)));
+            gc.advance_epoch();
+            let report = gc.collect(&store);
+            // Each cycle prunes every superseded version of key 1 exactly
+            // once: one per round after the first.
+            expected_removed += report.removed;
+            assert_eq!(store.stats(), store.stats_scanned());
+        }
+        assert_eq!(expected_removed, 9);
+        assert_eq!(store.stats().versions, 1);
+        // Physical reclamation eventually frees everything pruned.
+        for _ in 0..8 {
+            store.reclaim();
+        }
+        assert_eq!(store.limbo_stats().0, 0);
+        assert_eq!(store.gen_mismatches(), 0);
     }
 }

@@ -22,7 +22,9 @@
 //! * [`sim`] — an optional simulated network delay standing in for the
 //!   datacenter round trips of the paper's CloudLab testbed.
 
+pub mod arena;
 pub mod codec;
+pub mod ebr;
 pub mod gc;
 pub mod key;
 pub mod mvstore;
@@ -37,8 +39,8 @@ pub mod wal;
 pub mod durability;
 
 pub use key::Key;
-pub use mvstore::{MvStore, ReadSpec, StoreStats, WriteOutcome};
+pub use mvstore::{ChainRef, ChainWrite, MvStore, ReadSpec, StoreStats, WriteOutcome};
 pub use schema::{Schema, TableDef, TableId};
 pub use types::{GroupId, NodeId, Timestamp, TxnId, TxnTypeId};
 pub use value::Value;
-pub use version::{Version, VersionChain, VersionId, VersionState};
+pub use version::{ChainRead, Version, VersionChain, VersionId, VersionState};

@@ -2,22 +2,45 @@
 //!
 //! The paper's cluster architecture (§4.5.1) splits the database across
 //! *data servers* holding partitions of the data. In this reproduction a
-//! data server is a shard: a hash-partitioned map from [`Key`] to
-//! [`VersionChain`] protected by its own lock. Transaction coordinators are
-//! the client threads of the engine crate. An optional [`sim`](crate::sim)
-//! delay emulates the datacenter network round trip between coordinator and
-//! data server.
+//! data server is a shard. Since the main-memory rework the shard is **not**
+//! a locked map: keys hash into a fixed array of lock-free buckets holding
+//! append-only entry lists, and each entry points at a version chain of
+//! [`VersionArena`] slots linked by atomic generation-tagged handles.
+//!
+//! * **Readers take no lock at all.** [`MvStore::with_chain`] pins the
+//!   reclamation epoch ([`crate::ebr`]), walks bucket → entry → chain with
+//!   `Acquire` loads, and hands the closure a [`ChainRead`] view. A reader
+//!   completes even while another thread holds the write latch of the same
+//!   key (or any other).
+//! * **Writers serialize per key**, not per shard: [`MvStore::with_chain_mut`]
+//!   takes a tiny per-entry spin latch. Chain mutation is splice-based —
+//!   commit/overwrite allocate a replacement slot, link it in place and
+//!   retire the old slot to the epoch limbo list, so concurrent readers
+//!   always observe fully formed versions.
+//! * **Reclamation is epoch-based**: retired slots park on per-epoch limbo
+//!   bins and are freed only when the global epoch and every pinned thread
+//!   have advanced two epochs past the retirement (no global pause).
+//!
+//! Aggregate statistics (`keys` / `versions` / `uncommitted`) are O(1)
+//! atomics maintained by the mutation paths; [`MvStore::stats_scanned`]
+//! recomputes them by full scan so tests can assert consistency.
+//!
+//! An optional [`sim`](crate::sim) delay emulates the datacenter network
+//! round trip between coordinator and data server.
 
+use crate::arena::{VersionArena, NIL};
+use crate::ebr;
 use crate::key::Key;
 use crate::sim::SimNet;
 use crate::types::{Sequence, Timestamp, TxnId};
 use crate::value::Value;
-use crate::version::{Version, VersionChain, VersionId, VersionState};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crate::version::{ChainRead, Version, VersionId, VersionState};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
 use std::sync::Arc;
+use tebaldi_obs::metrics::{Counter, MaxGauge, MetricsRegistry};
 
 /// How a convenience read should select a version.
 ///
@@ -58,25 +81,571 @@ pub struct StoreStats {
     pub uncommitted: usize,
 }
 
+/// Buckets per shard (power of two).
+const BUCKET_BITS: usize = 14;
+const BUCKETS: usize = 1 << BUCKET_BITS;
+const BUCKET_MASK: usize = BUCKETS - 1;
+
+/// Key entries per chunk of the entry arena.
+const ENTRY_CHUNK_BITS: u32 = 12;
+const ENTRY_CHUNK_SIZE: usize = 1 << ENTRY_CHUNK_BITS;
+const ENTRY_CHUNK_MASK: u64 = (ENTRY_CHUNK_SIZE as u64) - 1;
+const ENTRY_MAX_CHUNKS: usize = 1 << 12;
+
+/// One key's slot in the lock-free index. Entries are append-only: once
+/// published into a bucket list they are never unlinked (only [`MvStore::clear`]
+/// recycles them, under documented quiescence).
+struct KeyEntry {
+    /// The key, split into atomics so index readers are race-free even
+    /// against entry recycling.
+    key_table: AtomicU64,
+    key_row_hi: AtomicU64,
+    key_row_lo: AtomicU64,
+    /// Next entry in the same bucket (entry index, or [`NIL`]).
+    bucket_next: AtomicU64,
+    /// Head of the version chain (packed arena handle, or [`NIL`]).
+    /// Newest version first.
+    head: AtomicU64,
+    /// Chain length, maintained by the latched writer.
+    versions: AtomicU64,
+    /// Uncommitted versions currently on the chain, maintained by the
+    /// latched writer. Lets readers skip the uncommitted-version scan
+    /// entirely in the (overwhelmingly common) zero case, and lets the
+    /// latched writer bound its scans by the number of uncommitted
+    /// versions instead of the chain length.
+    uncommitted: AtomicU64,
+    /// Per-key writer latch.
+    latch: AtomicBool,
+}
+
+impl KeyEntry {
+    fn init(&self, key: &Key) {
+        self.key_table.store(key.table.0 as u64, Ordering::Relaxed);
+        self.key_row_hi
+            .store((key.row >> 64) as u64, Ordering::Relaxed);
+        self.key_row_lo.store(key.row as u64, Ordering::Relaxed);
+        self.head.store(NIL, Ordering::Relaxed);
+        self.versions.store(0, Ordering::Relaxed);
+        self.uncommitted.store(0, Ordering::Relaxed);
+        self.latch.store(false, Ordering::Relaxed);
+        self.bucket_next.store(NIL, Ordering::Relaxed);
+    }
+
+    fn key(&self) -> Key {
+        let table = crate::schema::TableId(self.key_table.load(Ordering::Relaxed) as u32);
+        let row = ((self.key_row_hi.load(Ordering::Relaxed) as u128) << 64)
+            | self.key_row_lo.load(Ordering::Relaxed) as u128;
+        Key::new(table, row)
+    }
+
+    fn key_matches(&self, key: &Key) -> bool {
+        self.key_table.load(Ordering::Relaxed) == key.table.0 as u64
+            && self.key_row_lo.load(Ordering::Relaxed) == key.row as u64
+            && self.key_row_hi.load(Ordering::Relaxed) == (key.row >> 64) as u64
+    }
+
+    fn lock_latch(&self) -> LatchGuard<'_> {
+        let mut spins = 0u32;
+        while self
+            .latch
+            .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        LatchGuard(&self.latch)
+    }
+}
+
+/// RAII unlock of a [`KeyEntry`] latch (also on panic inside the closure).
+struct LatchGuard<'a>(&'a AtomicBool);
+
+impl Drop for LatchGuard<'_> {
+    fn drop(&mut self) {
+        self.0.store(false, Ordering::Release);
+    }
+}
+
+/// Chunked, append-only arena of [`KeyEntry`]s. Entries are addressed by a
+/// plain index (no generation: they are never freed while the store is
+/// live).
+struct EntryArena {
+    spine: Box<[AtomicPtr<KeyEntry>]>,
+    bump: AtomicU64,
+    grow_lock: Mutex<()>,
+}
+
+unsafe impl Send for EntryArena {}
+unsafe impl Sync for EntryArena {}
+
+impl EntryArena {
+    fn new() -> Self {
+        EntryArena {
+            spine: (0..ENTRY_MAX_CHUNKS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            bump: AtomicU64::new(0),
+            grow_lock: Mutex::new(()),
+        }
+    }
+
+    fn len(&self) -> u64 {
+        self.bump.load(Ordering::Acquire)
+    }
+
+    fn get(&self, idx: u64) -> &KeyEntry {
+        let chunk = self.spine[(idx >> ENTRY_CHUNK_BITS) as usize].load(Ordering::Acquire);
+        debug_assert!(!chunk.is_null());
+        unsafe { &*chunk.add((idx & ENTRY_CHUNK_MASK) as usize) }
+    }
+
+    fn alloc(&self) -> (u64, &KeyEntry) {
+        let idx = self.bump.fetch_add(1, Ordering::AcqRel);
+        assert!(
+            idx < (ENTRY_MAX_CHUNKS * ENTRY_CHUNK_SIZE) as u64,
+            "key-entry arena exhausted"
+        );
+        let chunk_idx = (idx >> ENTRY_CHUNK_BITS) as usize;
+        if self.spine[chunk_idx].load(Ordering::Acquire).is_null() {
+            let _g = self.grow_lock.lock();
+            if self.spine[chunk_idx].load(Ordering::Acquire).is_null() {
+                let chunk: Box<[KeyEntry]> = (0..ENTRY_CHUNK_SIZE)
+                    .map(|_| KeyEntry {
+                        key_table: AtomicU64::new(0),
+                        key_row_hi: AtomicU64::new(0),
+                        key_row_lo: AtomicU64::new(0),
+                        bucket_next: AtomicU64::new(NIL),
+                        head: AtomicU64::new(NIL),
+                        versions: AtomicU64::new(0),
+                        uncommitted: AtomicU64::new(0),
+                        latch: AtomicBool::new(false),
+                    })
+                    .collect();
+                let ptr = Box::into_raw(chunk) as *mut KeyEntry;
+                self.spine[chunk_idx].store(ptr, Ordering::Release);
+            }
+        }
+        (idx, self.get(idx))
+    }
+}
+
+impl Drop for EntryArena {
+    fn drop(&mut self) {
+        for slot in self.spine.iter() {
+            let ptr = slot.load(Ordering::Relaxed);
+            if !ptr.is_null() {
+                drop(unsafe {
+                    Box::from_raw(std::ptr::slice_from_raw_parts_mut(ptr, ENTRY_CHUNK_SIZE))
+                });
+            }
+        }
+    }
+}
+
 struct Shard {
-    chains: RwLock<HashMap<Key, VersionChain>>,
+    /// Bucket heads: entry index or [`NIL`].
+    buckets: Box<[AtomicU64]>,
+    /// Serializes new-key insertion only; lookups and chain access never
+    /// touch it.
+    insert_lock: Mutex<()>,
 }
 
 impl Shard {
     fn new() -> Self {
         Shard {
-            chains: RwLock::new(HashMap::new()),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(NIL)).collect(),
+            insert_lock: Mutex::new(()),
         }
+    }
+}
+
+/// One retired-slot bin, reclaimable once every epoch pin has advanced two
+/// epochs past `epoch`.
+struct LimboBin {
+    epoch: u64,
+    handles: Vec<u64>,
+    bytes: u64,
+}
+
+/// Lock-free read view of one key's version chain (possibly empty).
+///
+/// The chain head is re-loaded (`Acquire`) on every traversal rather than
+/// captured once: mechanisms interleave their own bookkeeping (reader
+/// registration, timestamp recording) with chain walks, and their
+/// correctness arguments need walks to observe every version installed
+/// before the walk started — a cached head would silently pin an older
+/// snapshot.
+pub struct ChainRef<'a> {
+    arena: &'a VersionArena,
+    entry: Option<&'a KeyEntry>,
+}
+
+impl ChainRead for ChainRef<'_> {
+    fn len(&self) -> usize {
+        self.entry
+            .map(|e| e.versions.load(Ordering::Relaxed) as usize)
+            .unwrap_or(0)
+    }
+
+    fn for_each_newest_first<'s>(&'s self, f: &mut dyn FnMut(&'s Version) -> bool) {
+        let Some(entry) = self.entry else {
+            return;
+        };
+        let mut cur = entry.head.load(Ordering::Acquire);
+        while cur != NIL {
+            let Some((v, next)) = self.arena.read(cur) else {
+                break;
+            };
+            if !f(v) {
+                return;
+            }
+            cur = next;
+        }
+    }
+
+    /// Read-your-own-writes probe, on the read path of every `get`. When
+    /// the uncommitted count is zero the chain cannot hold our version, so
+    /// the walk is skipped outright — the common case on a hot key whose
+    /// chain has grown long between GC cycles. (The count is only a
+    /// fast-path filter here: this view is lock-free, so a non-zero count
+    /// falls back to the plain walk rather than trusting a racing value.
+    /// The zero case is sound because our own install happened-before this
+    /// read on the same thread, so it is always included in the load.)
+    fn uncommitted_by(&self, writer: TxnId) -> Option<&Version> {
+        let entry = self.entry?;
+        if entry.uncommitted.load(Ordering::Relaxed) == 0 {
+            return None;
+        }
+        self.find_newest_first(&mut |v| v.writer == writer && !v.is_committed())
+    }
+
+    fn has_other_uncommitted(&self, txn: TxnId) -> bool {
+        let Some(entry) = self.entry else {
+            return false;
+        };
+        if entry.uncommitted.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        self.find_newest_first(&mut |v| !v.is_committed() && v.writer != txn)
+            .is_some()
+    }
+}
+
+/// Exclusive (per-key latched) view of one key's version chain, with the
+/// mutation primitives of the old `VersionChain` — implemented as slot
+/// replacement/splicing so lock-free readers stay safe mid-mutation.
+pub struct ChainWrite<'a> {
+    store: &'a MvStore,
+    entry: &'a KeyEntry,
+}
+
+impl ChainRead for ChainWrite<'_> {
+    fn len(&self) -> usize {
+        self.entry.versions.load(Ordering::Relaxed) as usize
+    }
+
+    fn for_each_newest_first<'s>(&'s self, f: &mut dyn FnMut(&'s Version) -> bool) {
+        let mut cur = self.entry.head.load(Ordering::Acquire);
+        while cur != NIL {
+            let Some((v, next)) = self.store.arena.read(cur) else {
+                break;
+            };
+            if !f(v) {
+                return;
+            }
+            cur = next;
+        }
+    }
+
+    /// Exact bounded scan: the latch makes the uncommitted count stable,
+    /// so the walk stops once every uncommitted version has been seen
+    /// instead of running to the end of the chain.
+    fn uncommitted_by(&self, writer: TxnId) -> Option<&Version> {
+        let mut remaining = self.entry.uncommitted.load(Ordering::Relaxed);
+        if remaining == 0 {
+            return None;
+        }
+        let mut found = None;
+        self.for_each_newest_first(&mut |v| {
+            if !v.is_committed() {
+                if v.writer == writer {
+                    found = Some(v);
+                    return false;
+                }
+                remaining -= 1;
+                if remaining == 0 {
+                    return false;
+                }
+            }
+            true
+        });
+        found
+    }
+
+    fn has_other_uncommitted(&self, txn: TxnId) -> bool {
+        let mut remaining = self.entry.uncommitted.load(Ordering::Relaxed);
+        if remaining == 0 {
+            return false;
+        }
+        let mut found = false;
+        self.for_each_newest_first(&mut |v| {
+            if !v.is_committed() {
+                if v.writer != txn {
+                    found = true;
+                    return false;
+                }
+                remaining -= 1;
+                if remaining == 0 {
+                    return false;
+                }
+            }
+            true
+        });
+        found
+    }
+}
+
+impl<'a> ChainWrite<'a> {
+    fn head(&self) -> u64 {
+        self.entry.head.load(Ordering::Acquire)
+    }
+
+    /// Finds `writer`'s uncommitted version; returns
+    /// `(prev_handle_or_NIL, handle, next_handle)`. The latch-stable
+    /// uncommitted count bounds the walk: once every uncommitted version
+    /// has been seen the target cannot be deeper, so long committed tails
+    /// are never scanned.
+    fn find_uncommitted_node(&self, writer: TxnId) -> Option<(u64, u64, u64)> {
+        let mut remaining = self.entry.uncommitted.load(Ordering::Relaxed);
+        if remaining == 0 {
+            return None;
+        }
+        let arena = &self.store.arena;
+        let mut prev = NIL;
+        let mut cur = self.head();
+        while cur != NIL {
+            let (v, next) = arena.read(cur)?;
+            if !v.is_committed() {
+                if v.writer == writer {
+                    return Some((prev, cur, next));
+                }
+                remaining -= 1;
+                if remaining == 0 {
+                    return None;
+                }
+            }
+            prev = cur;
+            cur = next;
+        }
+        None
+    }
+
+    /// Splices `replacement` into `old`'s chain position and retires `old`.
+    fn replace(&mut self, prev: u64, old: u64, old_next: u64, replacement: Version) {
+        let store = self.store;
+        let new_h = store.arena.alloc(replacement);
+        store.arena.set_next(new_h, old_next);
+        if prev == NIL {
+            self.entry.head.store(new_h, Ordering::Release);
+        } else {
+            store.arena.set_next(prev, new_h);
+        }
+        store.retire(old);
+    }
+
+    /// Unlinks a node and retires it (does not touch the uncommitted
+    /// counter; callers know the node's state).
+    fn unlink(&mut self, prev: u64, cur: u64, next: u64) {
+        let store = self.store;
+        if prev == NIL {
+            self.entry.head.store(next, Ordering::Release);
+        } else {
+            store.arena.set_next(prev, next);
+        }
+        store.retire(cur);
+        self.entry.versions.fetch_sub(1, Ordering::Relaxed);
+        store.n_versions.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    fn push_head(&mut self, version: Version) {
+        let store = self.store;
+        let new_h = store.arena.alloc(version);
+        store.arena.set_next(new_h, self.head());
+        self.entry.head.store(new_h, Ordering::Release);
+        self.count_installed();
+    }
+
+    fn count_installed(&self) {
+        let store = self.store;
+        let len = self.entry.versions.fetch_add(1, Ordering::Relaxed) + 1;
+        store.n_versions.fetch_add(1, Ordering::Relaxed);
+        store.m_chain_len.observe(len);
+    }
+
+    /// Installs a new uncommitted version. If the writer already has an
+    /// uncommitted version on this key it is replaced in place (last write
+    /// of a transaction wins), otherwise the version is inserted at its
+    /// ordering position.
+    pub fn install(&mut self, version: Version) {
+        let store: &'a MvStore = self.store;
+        if let Some((prev, cur, next)) = self.find_uncommitted_node(version.writer) {
+            let (existing, _) = store.arena.read(cur).expect("latched chain node");
+            let replacement = Version {
+                id: existing.id,
+                writer: version.writer,
+                value: version.value,
+                state: VersionState::Uncommitted,
+                commit_ts: None,
+                order_ts: version.order_ts.or(existing.order_ts),
+            };
+            self.replace(prev, cur, next, replacement);
+            return;
+        }
+        store.n_uncommitted.fetch_add(1, Ordering::Relaxed);
+        self.entry.uncommitted.fetch_add(1, Ordering::Relaxed);
+        match version.order_ts {
+            Some(ts) => {
+                // Keep order_ts-carrying versions sorted among themselves:
+                // insert before (older than) the first — in oldest-first
+                // terms — version with a larger order_ts. Walking newest
+                // first, that is "after the deepest node with order_ts >
+                // ts"; order_ts versions run descending, so the walk stops
+                // at the first one at or below ts.
+                let arena = &store.arena;
+                let mut deepest: Option<(u64, u64)> = None;
+                let mut cur = self.head();
+                while cur != NIL {
+                    let Some((v, next)) = arena.read(cur) else {
+                        break;
+                    };
+                    match v.order_ts {
+                        Some(other) if other > ts => deepest = Some((cur, next)),
+                        Some(_) => break,
+                        None => {}
+                    }
+                    cur = next;
+                }
+                match deepest {
+                    Some((d, d_next)) => {
+                        let new_h = arena.alloc(version);
+                        arena.set_next(new_h, d_next);
+                        arena.set_next(d, new_h);
+                        self.count_installed();
+                    }
+                    None => self.push_head(version),
+                }
+            }
+            None => self.push_head(version),
+        }
+    }
+
+    /// Installs an already-committed version at the head of the chain
+    /// (bootstrap loads and recovery).
+    pub fn install_committed(&mut self, version: Version) {
+        debug_assert!(version.is_committed());
+        self.push_head(version);
+    }
+
+    /// Marks the version written by `writer` as committed with `commit_ts`.
+    /// Returns `true` if a version was found.
+    ///
+    /// The replacement keeps the old slot's chain position: position order
+    /// is the order in which the concurrency-control tree serialized the
+    /// installs, and the mechanisms' dependency waits make per-key commit
+    /// order follow it. Moving the version (e.g. to the head) would jump
+    /// over uncommitted versions installed after it, hiding a later write
+    /// from position-based readers — the lost-update bug this comment
+    /// guards against.
+    pub fn commit(&mut self, writer: TxnId, commit_ts: Timestamp) -> bool {
+        let store: &'a MvStore = self.store;
+        let Some((prev, cur, next)) = self.find_uncommitted_node(writer) else {
+            return false;
+        };
+        let (existing, _) = store.arena.read(cur).expect("latched chain node");
+        let replacement = Version {
+            id: existing.id,
+            writer: existing.writer,
+            value: existing.value.clone(),
+            state: VersionState::Committed,
+            commit_ts: Some(commit_ts),
+            order_ts: existing.order_ts,
+        };
+        self.replace(prev, cur, next, replacement);
+        store.n_uncommitted.fetch_sub(1, Ordering::Relaxed);
+        self.entry.uncommitted.fetch_sub(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Removes the uncommitted version installed by `writer`, if any.
+    /// Returns `true` if a version was removed.
+    pub fn abort(&mut self, writer: TxnId) -> bool {
+        let store: &'a MvStore = self.store;
+        let mut removed = false;
+        while let Some((prev, cur, next)) = self.find_uncommitted_node(writer) {
+            self.unlink(prev, cur, next);
+            store.n_uncommitted.fetch_sub(1, Ordering::Relaxed);
+            self.entry.uncommitted.fetch_sub(1, Ordering::Relaxed);
+            removed = true;
+        }
+        removed
+    }
+
+    /// Drops committed versions strictly older than `keep_after`, always
+    /// keeping at least the latest committed version. Returns the number of
+    /// versions removed.
+    pub fn prune(&mut self, keep_after: Timestamp) -> usize {
+        let store: &'a MvStore = self.store;
+        let latest_commit_ts = ChainRead::latest_committed(self).and_then(|v| v.commit_ts);
+        let arena = &store.arena;
+        let mut removed = 0;
+        let mut prev = NIL;
+        let mut cur = self.head();
+        while cur != NIL {
+            let Some((v, next)) = arena.read(cur) else {
+                break;
+            };
+            let ts = v.commit_ts.unwrap_or(Timestamp::ZERO);
+            let drop_it = v.is_committed() && ts < keep_after && Some(ts) != latest_commit_ts;
+            if drop_it {
+                self.unlink(prev, cur, next);
+                removed += 1;
+            } else {
+                prev = cur;
+            }
+            cur = next;
+        }
+        removed
     }
 }
 
 /// The multiversion key-value store.
 pub struct MvStore {
     shards: Vec<Shard>,
+    entries: EntryArena,
+    arena: VersionArena,
+    limbo: Mutex<VecDeque<LimboBin>>,
+    limbo_nodes: AtomicU64,
+    limbo_bytes: AtomicU64,
+    retired_since_reclaim: AtomicU64,
     version_ids: Sequence,
     net: Option<Arc<SimNet>>,
     reads: AtomicU64,
     writes: AtomicU64,
+    // O(1) aggregate statistics.
+    n_keys: AtomicU64,
+    n_versions: AtomicU64,
+    n_uncommitted: AtomicU64,
+    // Metrics (standalone by default; `attach_metrics` rebinds them to a
+    // registry so they surface in snapshots/Prometheus).
+    m_retired: Arc<Counter>,
+    m_limbo_bytes: Arc<MaxGauge>,
+    m_epoch_lag: Arc<MaxGauge>,
+    m_chain_len: Arc<MaxGauge>,
 }
 
 impl std::fmt::Debug for MvStore {
@@ -93,10 +662,23 @@ impl MvStore {
         assert!(shards > 0, "at least one shard is required");
         MvStore {
             shards: (0..shards).map(|_| Shard::new()).collect(),
+            entries: EntryArena::new(),
+            arena: VersionArena::new(),
+            limbo: Mutex::new(VecDeque::new()),
+            limbo_nodes: AtomicU64::new(0),
+            limbo_bytes: AtomicU64::new(0),
+            retired_since_reclaim: AtomicU64::new(0),
             version_ids: Sequence::default(),
             net: None,
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            n_keys: AtomicU64::new(0),
+            n_versions: AtomicU64::new(0),
+            n_uncommitted: AtomicU64::new(0),
+            m_retired: Arc::new(Counter::new()),
+            m_limbo_bytes: Arc::new(MaxGauge::new()),
+            m_epoch_lag: Arc::new(MaxGauge::new()),
+            m_chain_len: Arc::new(MaxGauge::new()),
         }
     }
 
@@ -107,21 +689,38 @@ impl MvStore {
         s
     }
 
+    /// Rebinds the store's GC/arena instruments to `registry` so they show
+    /// up in metric snapshots (`gc.versions_retired`, `gc.limbo_bytes`,
+    /// `gc.epoch_lag`, `store.chain_len`).
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.m_retired = registry.counter("gc.versions_retired");
+        self.m_limbo_bytes = registry.max_gauge("gc.limbo_bytes");
+        self.m_epoch_lag = registry.max_gauge("gc.epoch_lag");
+        self.m_chain_len = registry.max_gauge("store.chain_len");
+    }
+
     /// Number of shards ("data servers").
     pub fn shard_count(&self) -> usize {
         self.shards.len()
     }
 
+    fn hash_key(key: &Key) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// The index of the shard ("data server") holding `key`. Exposed so the
     /// durability layer can attribute precommit records to participants.
     pub fn shard_index(&self, key: &Key) -> usize {
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        (hasher.finish() as usize) % self.shards.len()
+        (Self::hash_key(key) as usize) % self.shards.len()
     }
 
-    fn shard_of(&self, key: &Key) -> &Shard {
-        &self.shards[self.shard_index(key)]
+    fn locate(&self, key: &Key) -> (u64, usize, usize) {
+        let h = Self::hash_key(key);
+        let shard = (h as usize) % self.shards.len();
+        let bucket = ((h >> 32) as usize ^ h as usize) & BUCKET_MASK;
+        (h, shard, bucket)
     }
 
     fn maybe_delay(&self) {
@@ -130,27 +729,69 @@ impl MvStore {
         }
     }
 
-    /// Runs `f` with shared access to the version chain of `key` (an empty
-    /// chain is provided if the key has never been written).
-    pub fn with_chain<R>(&self, key: &Key, f: impl FnOnce(&VersionChain) -> R) -> R {
-        self.maybe_delay();
-        self.reads.fetch_add(1, Ordering::Relaxed);
-        let shard = self.shard_of(key);
-        let chains = shard.chains.read();
-        match chains.get(key) {
-            Some(chain) => f(chain),
-            None => f(&VersionChain::new()),
+    /// Lock-free index lookup (no shard lock, no latch).
+    fn lookup(&self, key: &Key) -> Option<&KeyEntry> {
+        let (_, shard, bucket) = self.locate(key);
+        let mut idx = self.shards[shard].buckets[bucket].load(Ordering::Acquire);
+        while idx != NIL {
+            let entry = self.entries.get(idx);
+            if entry.key_matches(key) {
+                return Some(entry);
+            }
+            idx = entry.bucket_next.load(Ordering::Acquire);
         }
+        None
     }
 
-    /// Runs `f` with exclusive access to the version chain of `key`,
-    /// creating the chain if needed.
-    pub fn with_chain_mut<R>(&self, key: &Key, f: impl FnOnce(&mut VersionChain) -> R) -> R {
+    fn lookup_or_insert(&self, key: &Key) -> &KeyEntry {
+        if let Some(entry) = self.lookup(key) {
+            return entry;
+        }
+        let (_, shard_idx, bucket) = self.locate(key);
+        let shard = &self.shards[shard_idx];
+        let _g = shard.insert_lock.lock();
+        // Re-check under the insert lock: another writer may have raced us.
+        if let Some(entry) = self.lookup(key) {
+            return entry;
+        }
+        let (idx, entry) = self.entries.alloc();
+        entry.init(key);
+        let head = &shard.buckets[bucket];
+        entry
+            .bucket_next
+            .store(head.load(Ordering::Relaxed), Ordering::Relaxed);
+        // Publish: the insert lock serializes writers on this shard, so a
+        // plain Release store suffices for the bucket head.
+        head.store(idx, Ordering::Release);
+        self.n_keys.fetch_add(1, Ordering::Relaxed);
+        entry
+    }
+
+    /// Runs `f` with a lock-free shared view of the version chain of `key`
+    /// (an empty chain is provided if the key has never been written). The
+    /// call pins the reclamation epoch for its duration; no shard or chain
+    /// lock is taken.
+    pub fn with_chain<R>(&self, key: &Key, f: impl FnOnce(&dyn ChainRead) -> R) -> R {
+        self.maybe_delay();
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let _pin = ebr::pin();
+        f(&ChainRef {
+            arena: &self.arena,
+            entry: self.lookup(key),
+        })
+    }
+
+    /// Runs `f` with exclusive access to the version chain of `key` (via
+    /// the key's write latch), creating the chain if needed. Other keys —
+    /// including keys of the same shard — stay fully accessible.
+    pub fn with_chain_mut<R>(&self, key: &Key, f: impl FnOnce(&mut ChainWrite<'_>) -> R) -> R {
         self.maybe_delay();
         self.writes.fetch_add(1, Ordering::Relaxed);
-        let shard = self.shard_of(key);
-        let mut chains = shard.chains.write();
-        f(chains.entry(*key).or_default())
+        let _pin = ebr::pin();
+        let entry = self.lookup_or_insert(key);
+        let _latch = entry.lock_latch();
+        let mut chain = ChainWrite { store: self, entry };
+        f(&mut chain)
     }
 
     /// Installs an uncommitted version for `txn` on `key`.
@@ -231,49 +872,77 @@ impl MvStore {
     pub fn load(&self, key: &Key, value: Value) {
         let id = VersionId(self.version_ids.issue());
         self.with_chain_mut(key, |chain| {
-            chain.install(Version {
+            chain.install_committed(Version {
                 id,
                 writer: TxnId::BOOTSTRAP,
                 value,
-                state: VersionState::Uncommitted,
-                commit_ts: None,
+                state: VersionState::Committed,
+                commit_ts: Some(Timestamp::ZERO),
                 order_ts: None,
             });
-            chain.commit(TxnId::BOOTSTRAP, Timestamp::ZERO);
         });
     }
 
     /// Prunes committed versions older than `horizon` from every chain,
     /// keeping at least the latest committed version of each key. Returns
-    /// the number of versions removed.
+    /// the number of versions removed (retired to the epoch limbo lists —
+    /// the memory is reclaimed once every pin has moved on). Unlike the old
+    /// locked-map store this takes no shard-wide lock: each key is latched
+    /// individually, so readers and writers keep running throughout.
     pub fn prune_before(&self, horizon: Timestamp) -> usize {
+        let _pin = ebr::pin();
         let mut removed = 0;
-        for shard in &self.shards {
-            let mut chains = shard.chains.write();
-            for chain in chains.values_mut() {
-                removed += chain.prune(horizon);
+        let n = self.entries.len();
+        for idx in 0..n {
+            let entry = self.entries.get(idx);
+            if entry.versions.load(Ordering::Relaxed) == 0 {
+                continue;
             }
+            let _latch = entry.lock_latch();
+            let mut chain = ChainWrite { store: self, entry };
+            removed += chain.prune(horizon);
         }
         removed
     }
 
     /// Visits every key currently present in the store.
-    pub fn for_each_key(&self, mut f: impl FnMut(&Key, &VersionChain)) {
-        for shard in &self.shards {
-            let chains = shard.chains.read();
-            for (k, chain) in chains.iter() {
-                f(k, chain);
-            }
+    pub fn for_each_key(&self, mut f: impl FnMut(&Key, &dyn ChainRead)) {
+        let _pin = ebr::pin();
+        let n = self.entries.len();
+        for idx in 0..n {
+            let entry = self.entries.get(idx);
+            let key = entry.key();
+            let chain = ChainRef {
+                arena: &self.arena,
+                entry: Some(entry),
+            };
+            f(&key, &chain);
         }
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics, maintained as O(1) atomics by the mutation
+    /// paths (no scan).
     pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            keys: self.n_keys.load(Ordering::Relaxed) as usize,
+            versions: self.n_versions.load(Ordering::Relaxed) as usize,
+            uncommitted: self.n_uncommitted.load(Ordering::Relaxed) as usize,
+        }
+    }
+
+    /// Recomputes [`MvStore::stats`] by full scan. Exists so GC tests can
+    /// assert the O(1) counters never drift from the truth.
+    pub fn stats_scanned(&self) -> StoreStats {
         let mut s = StoreStats::default();
         self.for_each_key(|_, chain| {
             s.keys += 1;
             s.versions += chain.len();
-            s.uncommitted += chain.uncommitted().count();
+            chain.for_each_newest_first(&mut |v| {
+                if !v.is_committed() {
+                    s.uncommitted += 1;
+                }
+                true
+            });
         });
         s
     }
@@ -287,11 +956,135 @@ impl MvStore {
         )
     }
 
-    /// Drops every chain. Used between benchmark configurations.
-    pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.chains.write().clear();
+    /// Retires a version slot to the current epoch's limbo bin.
+    fn retire(&self, handle: u64) {
+        let bytes = self
+            .arena
+            .read(handle)
+            .map(|(v, _)| (std::mem::size_of::<Version>() + v.value.approx_size()) as u64)
+            .unwrap_or(std::mem::size_of::<Version>() as u64);
+        let epoch = ebr::domain().epoch();
+        {
+            let mut limbo = self.limbo.lock();
+            match limbo.back_mut() {
+                // `>=` keeps bins sorted even when a racing retire read a
+                // stale (older) epoch after a newer bin was opened.
+                Some(back) if back.epoch >= epoch => {
+                    back.handles.push(handle);
+                    back.bytes += bytes;
+                }
+                _ => limbo.push_back(LimboBin {
+                    epoch,
+                    handles: vec![handle],
+                    bytes,
+                }),
+            }
         }
+        self.limbo_nodes.fetch_add(1, Ordering::Relaxed);
+        let total = self.limbo_bytes.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.m_retired.inc();
+        self.m_limbo_bytes.observe(total);
+        // Amortized housekeeping: advance the epoch and sweep reclaimable
+        // bins every few dozen retirements.
+        if self.retired_since_reclaim.fetch_add(1, Ordering::Relaxed) % 64 == 63 {
+            ebr::domain().try_advance();
+            self.collect_limbo();
+        }
+    }
+
+    /// Frees every limbo bin that is two epochs behind both the global
+    /// epoch and every pinned thread. Returns the number of slots freed.
+    fn collect_limbo(&self) -> usize {
+        let domain = ebr::domain();
+        let global = domain.epoch();
+        let min_pin = domain.min_pin();
+        let mut freed = 0;
+        let mut limbo = self.limbo.lock();
+        if let Some(front) = limbo.front() {
+            self.m_epoch_lag.observe(global.saturating_sub(front.epoch));
+        }
+        while let Some(front) = limbo.front() {
+            let e = front.epoch;
+            if global < e + 2 || min_pin.is_some_and(|m| m < e + 2) {
+                break;
+            }
+            let bin = limbo.pop_front().expect("front checked");
+            self.limbo_nodes
+                .fetch_sub(bin.handles.len() as u64, Ordering::Relaxed);
+            self.limbo_bytes.fetch_sub(bin.bytes, Ordering::Relaxed);
+            for h in &bin.handles {
+                self.arena.free(*h);
+            }
+            freed += bin.handles.len();
+        }
+        freed
+    }
+
+    /// Tries to advance the reclamation epoch and sweep limbo bins whose
+    /// grace period has passed. Called by the GC cycle; also safe to call
+    /// at any time. Returns the number of version slots freed.
+    pub fn reclaim(&self) -> usize {
+        ebr::domain().try_advance();
+        self.collect_limbo()
+    }
+
+    /// (retired-but-not-yet-freed slots, their approximate bytes).
+    pub fn limbo_stats(&self) -> (u64, u64) {
+        (
+            self.limbo_nodes.load(Ordering::Relaxed),
+            self.limbo_bytes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Generation-mismatched chain dereferences observed so far. Stays zero
+    /// under correct epoch pinning; the reclamation proptest asserts on it.
+    pub fn gen_mismatches(&self) -> u64 {
+        self.arena.gen_mismatches()
+    }
+
+    /// Live version slots currently allocated in the arena.
+    pub fn arena_occupied(&self) -> u64 {
+        self.arena.occupied()
+    }
+
+    /// Drops every chain. Used between benchmark configurations.
+    ///
+    /// **Requires quiescence**: no concurrent store access and no live
+    /// epoch pins (the old locked-map implementation blocked stragglers on
+    /// the shard locks; this one recycles entries in place).
+    pub fn clear(&self) {
+        // Free everything parked in limbo first.
+        {
+            let mut limbo = self.limbo.lock();
+            while let Some(bin) = limbo.pop_front() {
+                for h in &bin.handles {
+                    self.arena.free(*h);
+                }
+            }
+        }
+        self.limbo_nodes.store(0, Ordering::Relaxed);
+        self.limbo_bytes.store(0, Ordering::Relaxed);
+        // Free every chain node and reset the entries.
+        let n = self.entries.len();
+        for idx in 0..n {
+            let entry = self.entries.get(idx);
+            let mut cur = entry.head.swap(NIL, Ordering::Relaxed);
+            while cur != NIL {
+                let next = self.arena.read(cur).map(|(_, n)| n).unwrap_or(NIL);
+                self.arena.free(cur);
+                cur = next;
+            }
+            entry.versions.store(0, Ordering::Relaxed);
+        }
+        for shard in &self.shards {
+            for bucket in shard.buckets.iter() {
+                bucket.store(NIL, Ordering::Relaxed);
+            }
+        }
+        self.entries.bump.store(0, Ordering::Release);
+        self.n_keys.store(0, Ordering::Relaxed);
+        self.n_versions.store(0, Ordering::Relaxed);
+        self.n_uncommitted.store(0, Ordering::Relaxed);
     }
 }
 
@@ -376,6 +1169,7 @@ mod tests {
         assert_eq!(stats.keys, 100);
         assert_eq!(stats.versions, 100);
         assert_eq!(stats.uncommitted, 0);
+        assert_eq!(store.stats_scanned(), stats);
         assert_eq!(
             store.read(&key(42), ReadSpec::LatestCommitted),
             Some(Value::Int(42))
@@ -396,6 +1190,7 @@ mod tests {
             store.read(&k, ReadSpec::LatestCommitted),
             Some(Value::Int(5))
         );
+        assert_eq!(store.stats(), store.stats_scanned());
     }
 
     #[test]
@@ -418,5 +1213,77 @@ mod tests {
         }
         assert_eq!(store.stats().keys, 1000);
         assert_eq!(store.stats().uncommitted, 0);
+        assert_eq!(store.stats(), store.stats_scanned());
+    }
+
+    #[test]
+    fn reader_completes_while_key_latch_held() {
+        // The acceptance test for "chain reads take no lock": a reader must
+        // finish while another thread sits inside `with_chain_mut` (holding
+        // the key's write latch — the only exclusion the store has left).
+        let store = Arc::new(MvStore::new(2));
+        let k = key(11);
+        store.load(&k, Value::Int(1));
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let s2 = Arc::clone(&store);
+        let holder = std::thread::spawn(move || {
+            s2.with_chain_mut(&k, |chain| {
+                entered_tx.send(()).unwrap();
+                // Park inside the latched section until the reader is done.
+                release_rx.recv().unwrap();
+                chain.len()
+            })
+        });
+        entered_rx.recv().unwrap();
+        // Reader on the SAME key, while its latch is held.
+        let value = store.read(&k, ReadSpec::LatestCommitted);
+        assert_eq!(value, Some(Value::Int(1)));
+        release_tx.send(()).unwrap();
+        assert_eq!(holder.join().unwrap(), 1);
+    }
+
+    #[test]
+    fn retired_versions_reclaim_after_pins_advance() {
+        let store = MvStore::new(2);
+        let k = key(21);
+        for i in 1..=20u64 {
+            store.write(&k, TxnId(i), Value::Int(i as i64));
+            store.commit_writes(TxnId(i), &[k], Timestamp(i));
+        }
+        // 20 commits retired 20 uncommitted slots; prune retires 19 more.
+        assert_eq!(store.prune_before(Timestamp(100)), 19);
+        let (nodes_before, _) = store.limbo_stats();
+        assert!(nodes_before > 0);
+        // A few reclaim rounds must drain limbo entirely (each round can
+        // advance the epoch once, and bins need a two-epoch grace period).
+        for _ in 0..8 {
+            store.reclaim();
+        }
+        assert_eq!(store.limbo_stats().0, 0);
+        assert_eq!(store.gen_mismatches(), 0);
+        // Only the single surviving committed version is still allocated.
+        assert_eq!(store.arena_occupied(), 1);
+        assert_eq!(store.stats(), store.stats_scanned());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let store = MvStore::new(2);
+        for i in 0..50 {
+            store.load(&key(i), Value::Int(i as i64));
+            store.write(&key(i), TxnId(i + 1), Value::Int(0));
+        }
+        store.clear();
+        assert_eq!(store.stats(), StoreStats::default());
+        assert_eq!(store.arena_occupied(), 0);
+        assert_eq!(store.read(&key(3), ReadSpec::LatestCommitted), None);
+        // The store is fully usable after clear.
+        store.load(&key(3), Value::Int(33));
+        assert_eq!(
+            store.read(&key(3), ReadSpec::LatestCommitted),
+            Some(Value::Int(33))
+        );
+        assert_eq!(store.stats(), store.stats_scanned());
     }
 }

@@ -395,10 +395,28 @@ fn cluster_metrics_exposition_covers_2pc_phases() {
     }
     // Shard-side instruments merge into the same snapshot.
     assert!(snap.counter("durability.operations").unwrap_or(0) > 0);
+    // Version-store / GC instruments: the committed increments replaced
+    // their uncommitted versions, retiring the old slots to limbo, and the
+    // chain-length gauge saw the installs.
+    assert!(
+        snap.counter("gc.versions_retired").unwrap_or(0) > 0,
+        "commit-time replacement must retire superseded slots"
+    );
+    assert!(
+        snap.gauge("store.chain_len").unwrap_or(0) >= 1,
+        "installs must feed the chain-length max-gauge"
+    );
+    assert!(snap.gauge("gc.limbo_bytes").is_some());
 
     let text = cluster.metrics_prometheus();
     assert!(text.contains("cluster_multi_shard"), "prometheus: {text}");
     assert!(text.contains("2pc_prepare_fanout_ns"), "prometheus: {text}");
+    assert!(text.contains("gc_versions_retired"), "prometheus: {text}");
+    assert!(text.contains("store_chain_len"), "prometheus: {text}");
+    assert!(
+        text.contains("cluster_batch_scheduled"),
+        "prometheus: {text}"
+    );
 
     let json = cluster.metrics_json();
     let doc = serde_json::parse(&json).expect("metrics JSON must parse");

@@ -511,6 +511,102 @@ mod cluster_suite {
         cluster.shutdown();
     }
 
+    /// Chain-traversal smoke for the lock-free version store, run under
+    /// whichever router leg `TEBALDI_TEST_PARTITIONING` selects (CI runs
+    /// both): readers traverse every account's chain continuously — with
+    /// zero shard locks — while transfer writers commit and GC cycles
+    /// retire versions underneath them. Every observed balance must be a
+    /// well-formed committed Int (never a freed slot's garbage), no
+    /// traversal may hit a generation-mismatched arena slot, and the
+    /// quiescent total must be conserved.
+    #[test]
+    fn chain_traversal_stays_consistent_under_concurrent_writes_and_gc() {
+        let cluster = std::sync::Arc::new(build_cluster_with(CcKind::TwoPl));
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut writers = Vec::new();
+        for worker in 0..3u64 {
+            let cluster = std::sync::Arc::clone(&cluster);
+            writers.push(std::thread::spawn(move || {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::StdRng::seed_from_u64(worker + 71);
+                for _ in 0..60 {
+                    let from = rng.gen_range(0..N_ACCOUNTS);
+                    let mut to = rng.gen_range(0..N_ACCOUNTS);
+                    if to == from {
+                        to = (to + 1) % N_ACCOUNTS;
+                    }
+                    transfer(&cluster, from, to, rng.gen_range(1..10));
+                }
+            }));
+        }
+        let mut spinners = Vec::new();
+        for _ in 0..2 {
+            let cluster = std::sync::Arc::clone(&cluster);
+            let stop = std::sync::Arc::clone(&stop);
+            spinners.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for account in 0..N_ACCOUNTS {
+                        let observed = cluster
+                            .shard(cluster.shard_of(account))
+                            .store()
+                            .read(
+                                &Key::simple(ACCOUNTS_TABLE, account),
+                                ReadSpec::LatestCommitted,
+                            )
+                            .expect("loaded account must always have a committed version");
+                        let balance = observed
+                            .as_int()
+                            .expect("traversal returned a non-Int: freed or torn slot");
+                        assert!(
+                            balance.abs() < 1_000_000,
+                            "balance {balance} outside any reachable range"
+                        );
+                    }
+                }
+            }));
+        }
+        {
+            let cluster = std::sync::Arc::clone(&cluster);
+            let stop = std::sync::Arc::clone(&stop);
+            spinners.push(std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    for shard in 0..cluster.shard_count() {
+                        cluster.shard(shard).run_gc_cycle();
+                    }
+                    std::thread::yield_now();
+                }
+            }));
+        }
+        for handle in writers {
+            handle.join().expect("writer panicked");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for handle in spinners {
+            handle.join().expect("reader or GC thread panicked");
+        }
+        let mut total = 0i64;
+        for account in 0..N_ACCOUNTS {
+            total += cluster
+                .shard(cluster.shard_of(account))
+                .store()
+                .read(
+                    &Key::simple(ACCOUNTS_TABLE, account),
+                    ReadSpec::LatestCommitted,
+                )
+                .and_then(|v| v.as_int())
+                .unwrap_or(0);
+        }
+        assert_eq!(total, INITIAL_BALANCE * N_ACCOUNTS as i64);
+        for shard in 0..cluster.shard_count() {
+            assert_eq!(
+                cluster.shard(shard).store().gen_mismatches(),
+                0,
+                "shard {shard} dereferenced a reclaimed slot during traversal"
+            );
+        }
+        cluster.shutdown();
+    }
+
     #[test]
     fn shard_crash_between_prepare_and_commit_resolves_by_decision_log() {
         run_shard_crash_recovery(DurabilityMode::Synchronous);

@@ -8,8 +8,9 @@
 //! * [`Mutex`] / [`MutexGuard`] — non-poisoning mutex (`lock()` returns the
 //!   guard directly),
 //! * [`RwLock`] with `read()` / `write()`,
-//! * [`Condvar`] with `wait_until(&mut guard, Instant)` returning a
-//!   [`WaitTimeoutResult`], plus `notify_one` / `notify_all`.
+//! * [`Condvar`] with `wait_until(&mut guard, Instant)` / `wait_for(&mut
+//!   guard, Duration)` returning a [`WaitTimeoutResult`], plus
+//!   `notify_one` / `notify_all`.
 //!
 //! Poisoning is swallowed: a panic while holding a lock does not make later
 //! acquisitions fail, matching `parking_lot` semantics.
@@ -160,6 +161,25 @@ impl Condvar {
         WaitTimeoutResult(result.timed_out())
     }
 
+    /// Blocks until notified or until `timeout` elapses, whichever comes
+    /// first.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken");
+        let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(p) => {
+                let (g, r) = p.into_inner();
+                (g, r)
+            }
+        };
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wakes one waiter.
     pub fn notify_one(&self) {
         self.inner.notify_one();
@@ -297,6 +317,32 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        let m = Arc::new(Mutex::new(false));
+        let cv = Arc::new(Condvar::new());
+        // Timeout path: nobody notifies.
+        {
+            let mut g = m.lock();
+            let r = cv.wait_for(&mut g, Duration::from_millis(5));
+            assert!(r.timed_out());
+        }
+        // Wakeup path: a notifier flips the flag.
+        let m2 = Arc::clone(&m);
+        let cv2 = Arc::clone(&cv);
+        let t = std::thread::spawn(move || {
+            *m2.lock() = true;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while !*g {
+            if cv.wait_for(&mut g, Duration::from_secs(5)).timed_out() {
+                panic!("missed notification");
+            }
+        }
+        t.join().unwrap();
     }
 
     #[test]
