@@ -57,6 +57,12 @@ struct Row {
     coalesced_flushes: u64,
     messages_sent: u64,
     bytes_on_wire: u64,
+    /// Peak ship lag any shard's WAL shipper observed, in records (this
+    /// sweep carries no replicated leg, so always zero here; the column
+    /// keeps the cluster trajectory schema uniform).
+    replication_lag: u64,
+    /// Bounded-staleness reads served by backups (zero: see above).
+    follower_reads: u64,
     /// Batched transactions the DGCC scheduler deferred past wave zero
     /// (zero on the non-batch legs).
     batch_scheduled: u64,
@@ -224,6 +230,8 @@ fn main() {
                     coalesced_flushes: stats.coalesced_flushes,
                     messages_sent: stats.messages_sent,
                     bytes_on_wire: stats.bytes_on_wire,
+                    replication_lag: 0,
+                    follower_reads: stats.follower_reads,
                     batch_scheduled: stats.batch_scheduled,
                     batch_aborts: stats.batch_aborts,
                 };
@@ -293,6 +301,8 @@ fn main() {
             coalesced_flushes: 0,
             messages_sent: 0,
             bytes_on_wire: 0,
+            replication_lag: 0,
+            follower_reads: 0,
             batch_scheduled: leg.scheduled,
             batch_aborts: leg.aborted,
         });

@@ -23,6 +23,13 @@
 //! loops), and the rows carry `messages_sent`/`bytes_on_wire` so the
 //! transport cost of 2PC is regression-trackable too.
 //!
+//! A **replicated** leg re-runs the fastest tcp leg with one backup per
+//! shard and every commit ack gated on the backup's durable ack (the
+//! quorum-gated group-commit path); its rows carry `replication_lag`
+//! (peak ship lag in records) and `follower_reads`, and the acceptance
+//! comparison holds it within 2x of the unreplicated tcp leg at 4
+//! shards.
+//!
 //! On top of the commit-path legs, the sweep crosses the **prepare
 //! pipeline window** (`max_inflight_per_shard`): `1` is the unpipelined
 //! baseline (a worker blocks through each prepare's WAL flush —
@@ -42,7 +49,7 @@
 use serde::Serialize;
 use std::sync::Arc;
 use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
-use tebaldi_cluster::{ClusterConfig, TransportKind};
+use tebaldi_cluster::{ClusterConfig, ReplicationConfig, TransportKind};
 use tebaldi_core::DurabilityMode;
 use tebaldi_workloads::tpcc::cluster::ClusterTpcc;
 use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
@@ -77,6 +84,12 @@ struct Row {
     coalesced_flushes: u64,
     messages_sent: u64,
     bytes_on_wire: u64,
+    /// Peak ship lag any shard's WAL shipper observed, in records
+    /// (zero on the unreplicated legs).
+    replication_lag: u64,
+    /// Bounded-staleness reads served by backups (zero on the
+    /// unreplicated legs).
+    follower_reads: u64,
     /// Batched transactions the DGCC scheduler deferred past wave zero
     /// (zero on the non-batch legs).
     batch_scheduled: u64,
@@ -132,12 +145,29 @@ fn main() {
     // baseline (pre-pipelining behavior); the wide window is the pipeline
     // the acceptance criteria compare against it.
     let pipeline_window = 32usize;
-    let legs: [(&'static str, bool, TransportKind, usize); 5] = [
-        ("legacy", false, TransportKind::InProcess, 1),
-        ("grouped", true, TransportKind::InProcess, 1),
-        ("grouped", true, TransportKind::InProcess, pipeline_window),
-        ("grouped", true, TransportKind::Tcp, 1),
-        ("grouped", true, TransportKind::Tcp, pipeline_window),
+    let legs: [(&'static str, bool, TransportKind, usize, bool); 6] = [
+        ("legacy", false, TransportKind::InProcess, 1, false),
+        ("grouped", true, TransportKind::InProcess, 1, false),
+        (
+            "grouped",
+            true,
+            TransportKind::InProcess,
+            pipeline_window,
+            false,
+        ),
+        ("grouped", true, TransportKind::Tcp, 1, false),
+        ("grouped", true, TransportKind::Tcp, pipeline_window, false),
+        // Quorum-replicated leg: one backup per shard, every commit ack
+        // gated on the backup's durable ack. Same transport and window as
+        // the fastest unreplicated tcp leg, so the replication overhead
+        // is the only delta between the two rows.
+        (
+            "replicated",
+            true,
+            TransportKind::Tcp,
+            pipeline_window,
+            true,
+        ),
     ];
     // Short runs on a loaded 1-core box drift hugely run-to-run; report
     // the median of several trials per leg so one lucky (or starved)
@@ -145,7 +175,7 @@ fn main() {
     let trials = if options.quick { 1 } else { 3 };
     let mut rows = Vec::new();
     for &shards in &shard_counts {
-        for &(commit_path, group_commit, transport, max_inflight) in &legs {
+        for &(commit_path, group_commit, transport, max_inflight, replicated) in &legs {
             let transport_label = match transport {
                 TransportKind::InProcess => "in-process",
                 TransportKind::Tcp => "tcp",
@@ -167,6 +197,13 @@ fn main() {
                 cluster_config.db_config.read_only_votes = group_commit;
                 cluster_config.transport = transport;
                 cluster_config.max_inflight_per_shard = max_inflight;
+                if replicated {
+                    cluster_config.replication = Some(ReplicationConfig {
+                        replicas: 1,
+                        quorum: 1,
+                        ack_timeout_ms: 1_000,
+                    });
+                }
                 if options.quick {
                     cluster_config.workers_per_shard = 2;
                 }
@@ -207,7 +244,25 @@ fn main() {
                 );
                 workload.load(&cluster);
                 let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
+                if replicated {
+                    // Drain the ship stream through the follower-read
+                    // gate: one bounded-staleness read per shard proves
+                    // each backup caught up to its primary's full
+                    // durable log after the run.
+                    for shard in 0..shards {
+                        let _ = cluster.follower_read(
+                            shard,
+                            0,
+                            &tebaldi_storage::Key::simple(
+                                tebaldi_storage::TableId(0),
+                                shard as u64,
+                            ),
+                            std::time::Duration::from_secs(5),
+                        );
+                    }
+                }
                 let stats = cluster.stats();
+                let metrics = cluster.metrics();
                 cluster.shutdown();
 
                 let routed = stats.single_shard + stats.multi_shard;
@@ -243,6 +298,8 @@ fn main() {
                     coalesced_flushes: stats.coalesced_flushes,
                     messages_sent: stats.messages_sent,
                     bytes_on_wire: stats.bytes_on_wire,
+                    replication_lag: metrics.gauge("replication.lag_records").unwrap_or(0),
+                    follower_reads: stats.follower_reads,
                     batch_scheduled: stats.batch_scheduled,
                     batch_aborts: stats.batch_aborts,
                 });
@@ -321,6 +378,8 @@ fn main() {
             coalesced_flushes: 0,
             messages_sent: 0,
             bytes_on_wire: 0,
+            replication_lag: 0,
+            follower_reads: 0,
             batch_scheduled: leg.scheduled,
             batch_aborts: leg.aborted,
         });
@@ -425,6 +484,29 @@ fn main() {
                 wide.queue_wait_ns as f64 / 1_000.0,
                 w1.hardening_ns as f64 / 1_000.0,
                 wide.hardening_ns as f64 / 1_000.0,
+            );
+        }
+    }
+
+    // Replication cost at 4 shards: the quorum-gated leg vs. the same
+    // transport/window without a backup. The acceptance bound is 2x.
+    let replicated_at_4 = report
+        .rows
+        .iter()
+        .find(|r| r.shards == 4 && r.commit_path == "replicated");
+    if let (Some(plain), Some(replicated)) = (grouped_at("tcp", pipeline_window), replicated_at_4) {
+        println!(
+            "replication at 4 shards: {} unreplicated vs {} quorum-gated ({:.0}% of unreplicated; \
+             peak ship lag {} records, {} follower reads)",
+            fmt_tput(plain.throughput),
+            fmt_tput(replicated.throughput),
+            replicated.throughput / plain.throughput * 100.0,
+            replicated.replication_lag,
+            replicated.follower_reads,
+        );
+        if replicated.throughput * 2.0 < plain.throughput {
+            println!(
+                "WARNING: quorum-gated throughput below half the unreplicated tcp leg at 4 shards"
             );
         }
     }

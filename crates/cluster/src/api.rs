@@ -124,6 +124,13 @@ pub struct ShardStatsReply {
     /// Peak number of simultaneously in-flight bodies (executing or
     /// awaiting hardening) this shard's pipeline has observed.
     pub pipeline_depth: u64,
+    /// Bounded-staleness reads served by this shard's followers.
+    pub follower_reads: u64,
+    /// Backup promotions that installed this shard's current primary.
+    pub failovers: u64,
+    /// Hardened batches acked on local durability alone because the
+    /// replica quorum missed its ack deadline (degraded mode).
+    pub replica_acks_timed_out: u64,
 }
 
 /// A shard's reply to a [`ShardRequest`].

@@ -5,12 +5,14 @@
 use crate::api::{ShardRequest, ShardResponse, ShardResult};
 use crate::coordinator::{CoordinatorStats, TxnCoordinator};
 use crate::faults::{FaultPlan, FaultyTransport};
+use crate::replication::{ReplicationConfig, ShardReplication};
 use crate::router::{Partitioning, Routing, ShardRouter};
-use crate::tcp::ReconnectPolicy;
+use crate::tcp::{ReconnectPolicy, TcpShardServer};
 use crate::transport::{
     InProcessTransport, ShardTransport, TransportFactory, TransportKind, TransportStats,
 };
 use crate::worker::{error_status, ShardWorkers, Ticket, Vote};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -99,6 +101,12 @@ pub struct ClusterConfig {
     /// plan's deterministic drop/delay/duplicate/partition schedule.
     /// Chaos-test machinery; `None` in every production configuration.
     pub fault_plan: Option<FaultPlan>,
+    /// When set, every shard primary ships its WAL to
+    /// `replication.replicas` backups and the group-commit completion
+    /// loop waits for `replication.quorum` acks (bounded by
+    /// `replication.ack_timeout_ms`) before a hardened batch is
+    /// acknowledged. `None` runs unreplicated single-copy shards.
+    pub replication: Option<ReplicationConfig>,
 }
 
 impl ClusterConfig {
@@ -125,6 +133,7 @@ impl ClusterConfig {
             reconnect_backoff_ms: 20,
             reconnect_backoff_max_ms: 1_000,
             fault_plan: None,
+            replication: test_replication(),
         }
     }
 
@@ -146,6 +155,7 @@ impl ClusterConfig {
             reconnect_backoff_ms: 20,
             reconnect_backoff_max_ms: 1_000,
             fault_plan: None,
+            replication: None,
         }
     }
 
@@ -161,6 +171,20 @@ pub fn test_transport() -> TransportKind {
     match std::env::var("TEBALDI_TEST_TRANSPORT").as_deref() {
         Ok("tcp") => TransportKind::Tcp,
         _ => TransportKind::InProcess,
+    }
+}
+
+/// The replication setup under test: `TEBALDI_TEST_REPLICAS=n` (n > 0)
+/// runs the cluster test group with n backups per shard and a majority
+/// quorum, so CI can exercise the quorum-gated commit path across the
+/// whole suite.
+pub fn test_replication() -> Option<ReplicationConfig> {
+    match std::env::var("TEBALDI_TEST_REPLICAS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n > 0 => Some(ReplicationConfig::majority(n)),
+        _ => None,
     }
 }
 
@@ -318,6 +342,16 @@ pub struct ClusterStats {
     /// scheduler earns its keep when declared legs abort less at equal or
     /// better throughput.
     pub batch_aborts: u64,
+    /// Bounded-staleness reads served by shard followers (zero without
+    /// replication).
+    pub follower_reads: u64,
+    /// Backup promotions performed (each installed a recovered backup as
+    /// a shard's new primary).
+    pub failovers: u64,
+    /// Hardened batches acknowledged on local durability alone because
+    /// the replica quorum missed its ack deadline — replication running
+    /// degraded, not data loss on the primary.
+    pub replica_acks_timed_out: u64,
     /// Coordinator activity.
     pub coordinator: CoordinatorStats,
 }
@@ -487,6 +521,30 @@ impl ClusterBuilder {
             ));
         }
 
+        // Replication groups ride the shard WAL devices directly: the
+        // shipper follows `log.durable_len()`, so everything it ships is
+        // already primary-durable and a follower's log is always a durable
+        // prefix of its primary's.
+        let replication: Vec<Option<Arc<ShardReplication>>> = match &self.config.replication {
+            Some(rcfg) if rcfg.replicas > 0 => {
+                let mut groups = Vec::with_capacity(n);
+                for (index, log) in shard_logs.iter().enumerate() {
+                    let group = ShardReplication::spawn(
+                        index,
+                        *rcfg,
+                        Arc::clone(log),
+                        self.config.db_config.shards,
+                        shards[index].db().metrics(),
+                        self.config.fault_plan.as_ref(),
+                    )?;
+                    shards[index].set_replication(Arc::clone(&group));
+                    groups.push(Some(group));
+                }
+                groups
+            }
+            _ => (0..n).map(|_| None).collect(),
+        };
+
         let mut transport: Arc<dyn ShardTransport> = match self.transport_factory {
             Some(factory) => factory(&shards)?,
             None => match self.config.transport {
@@ -543,9 +601,14 @@ impl ClusterBuilder {
                 decision_log,
                 self.config.db_config.group_commit,
             ),
-            shards,
+            shards: RwLock::new(shards),
             transport,
-            shard_logs,
+            shard_logs: RwLock::new(shard_logs),
+            replication: RwLock::new(replication),
+            promoted_servers: Mutex::new(Vec::new()),
+            procedures: self.procedures,
+            spec,
+            proc_registry: registry,
             clock: self.clock.unwrap_or_else(default_clock),
             single_shard: metrics.counter("cluster.single_shard"),
             multi_shard: metrics.counter("cluster.multi_shard"),
@@ -574,9 +637,21 @@ impl ClusterBuilder {
 pub struct Cluster {
     router: ShardRouter,
     coordinator: TxnCoordinator,
-    shards: Vec<Arc<ShardWorkers>>,
+    /// Shard worker pools, behind a lock because failover replaces a
+    /// shard's pool with one rebuilt over the promoted backup's log.
+    shards: RwLock<Vec<Arc<ShardWorkers>>>,
     transport: Arc<dyn ShardTransport>,
-    shard_logs: Vec<Arc<dyn LogDevice>>,
+    shard_logs: RwLock<Vec<Arc<dyn LogDevice>>>,
+    /// Per-shard replication groups; `None` per slot when the cluster is
+    /// unreplicated or after that shard's backup was promoted.
+    replication: RwLock<Vec<Option<Arc<ShardReplication>>>>,
+    /// TCP server loops started by promotions, torn down with the cluster.
+    promoted_servers: Mutex<Vec<Arc<TcpShardServer>>>,
+    /// Retained so a promotion can rebuild the shard `Database` with the
+    /// same procedures, CC spec, and procedure registry the builder used.
+    procedures: ProcedureSet,
+    spec: CcTreeSpec,
+    proc_registry: Arc<ProcRegistry>,
     clock: ClusterClock,
     config: ClusterConfig,
     /// Coordinator-side metrics registry. Shard databases carry their own
@@ -617,7 +692,7 @@ pub struct Cluster {
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
-            .field("shards", &self.shards.len())
+            .field("shards", &self.shard_count())
             .finish()
     }
 }
@@ -630,7 +705,7 @@ impl Cluster {
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.shards.read().len()
     }
 
     /// The cluster configuration.
@@ -654,14 +729,148 @@ impl Cluster {
     }
 
     /// A shard's database (loaders write through it directly; crash and
-    /// recovery tests drive `Database::prepare` by hand).
-    pub fn shard(&self, index: usize) -> &Arc<Database> {
-        self.shards[index].db()
+    /// recovery tests drive `Database::prepare` by hand). Owned because
+    /// failover can replace the shard behind the handle.
+    pub fn shard(&self, index: usize) -> Arc<Database> {
+        Arc::clone(self.shards.read()[index].db())
     }
 
-    /// A shard's WAL device (crash/recovery tests).
+    /// A shard's WAL device (crash/recovery tests). After a failover this
+    /// is the promoted backup's log.
     pub fn shard_log(&self, index: usize) -> Arc<dyn LogDevice> {
-        Arc::clone(&self.shard_logs[index])
+        Arc::clone(&self.shard_logs.read()[index])
+    }
+
+    /// The replication group shipping `shard`'s WAL, if the cluster is
+    /// replicated and the shard has not been failed over.
+    pub fn replication(&self, shard: usize) -> Option<Arc<ShardReplication>> {
+        self.replication.read().get(shard).cloned().flatten()
+    }
+
+    /// A bounded-staleness read served by backup `replica` of `shard`:
+    /// the follower must catch up to the primary's durable LSN as of this
+    /// call within `wait`, so the value returned reflects every
+    /// transaction acknowledged before the read was issued. Refuses with
+    /// an error naming the LSN gap when the follower is too stale.
+    pub fn follower_read(
+        &self,
+        shard: usize,
+        replica: usize,
+        key: &Key,
+        wait: Duration,
+    ) -> CcResult<Option<Value>> {
+        let group = self.replication(shard).ok_or_else(|| {
+            tebaldi_cc::CcError::Internal(format!("shard {shard} is not replicated"))
+        })?;
+        let min_lsn = self.shard_logs.read()[shard].durable_len() as u64;
+        group
+            .follower_read(replica, key, min_lsn, wait)
+            .map_err(|stale| tebaldi_cc::CcError::Internal(stale.to_string()))
+    }
+
+    /// Fails `shard` over to its most caught-up backup: stops the old
+    /// primary's worker pool, seals and recovers the follower's log
+    /// (resolving in-doubt prepares against the coordinator's durable
+    /// decision log — presumed abort without a commit decision), rebases
+    /// the timestamp oracle past the recovered high-water mark, spawns a
+    /// fresh worker pool + TCP server loop over the recovered store, and
+    /// repoints the transport. Requires an addressed transport (TCP); the
+    /// in-process transport holds direct worker handles and cannot
+    /// repoint. The old primary's WAL is untouched — rejoin it with
+    /// [`crate::replication::truncate_divergent_suffix`].
+    pub fn promote_backup(&self, shard: usize) -> Result<RecoveryReport, String> {
+        if !self.transport.supports_repoint() {
+            return Err(
+                "transport does not support repointing; failover needs the TCP transport"
+                    .to_string(),
+            );
+        }
+        let group = self
+            .replication(shard)
+            .ok_or_else(|| format!("shard {shard} has no replication group"))?;
+        // Fence the ship stream BEFORE stopping the old primary: any
+        // prepare still in flight on it now fails its quorum gate and
+        // votes abort, so the dying primary cannot cast a yes-vote the
+        // promoted backup never heard about. (Votes cast before the
+        // failover are quorum-shipped by construction and resolve below
+        // through the coordinator's decision log.)
+        group.stop_shipping();
+        // The most caught-up backup holds the longest durable prefix, so
+        // nothing a quorum acknowledged is lost.
+        let best = (0..group.replica_count())
+            .max_by_key(|&index| group.acked_lsn(index))
+            .ok_or_else(|| format!("shard {shard} has no backups"))?;
+
+        // Stop the failed primary (idempotent if it already crashed).
+        {
+            let shards = self.shards.read();
+            shards[shard].shutdown();
+            shards[shard].db().shutdown();
+        }
+
+        let follower_log: Arc<dyn LogDevice> = group.promote(best)?;
+        group.shutdown();
+
+        let decisions = self.coordinator.committed_globals();
+        let (store, report) = recover_with_resolver(
+            follower_log.as_ref(),
+            MvStore::new(self.config.db_config.shards),
+            &|global| decisions.contains(&global),
+        );
+
+        let shard_metrics = Arc::new(if self.metrics.is_enabled() {
+            MetricsRegistry::new()
+        } else {
+            MetricsRegistry::disabled()
+        });
+        // The promoted primary carries the failover count so the shard's
+        // stats reply reports it.
+        shard_metrics.counter("replication.failovers").inc();
+        let db = Arc::new(
+            Database::builder(self.config.db_config.clone())
+                .procedures(self.procedures.clone())
+                .cc_spec(self.spec.clone())
+                .metrics(shard_metrics)
+                .log_device(Arc::clone(&follower_log))
+                .store(store)
+                .build()?,
+        );
+        // A fresh database starts its timestamp oracle and txn-id
+        // allocator at zero; new commits must order above every recovered
+        // version, and new records appended to the inherited log must not
+        // reuse txn ids the shipped prefix already holds (a collision
+        // would corrupt the next replay of this log).
+        db.oracle().advance_past(report.max_commit_ts);
+        db.advance_txn_ids_past(report.max_txn_id);
+
+        let workers = ShardWorkers::spawn_with_window(
+            shard,
+            db,
+            self.config.workers_per_shard,
+            Arc::clone(&self.proc_registry),
+            self.config.max_inflight_per_shard,
+        );
+        let window = if self.config.max_inflight_per_shard > self.config.workers_per_shard {
+            self.config.max_inflight_per_shard
+        } else {
+            0
+        };
+        let server = TcpShardServer::spawn_with_window(shard, Arc::clone(&workers), window)
+            .map_err(|err| format!("promoted shard {shard} server: {err}"))?;
+        if !self.transport.repoint(shard, server.addr()) {
+            server.shutdown();
+            workers.shutdown();
+            return Err(
+                "transport does not support repointing; failover needs the TCP transport"
+                    .to_string(),
+            );
+        }
+
+        self.shards.write()[shard] = workers;
+        self.shard_logs.write()[shard] = follower_log;
+        self.replication.write()[shard] = None;
+        self.promoted_servers.lock().push(server);
+        Ok(report)
     }
 
     /// Routes a partition key.
@@ -945,10 +1154,10 @@ impl Cluster {
                         .to_string(),
                 ));
             }
-            if let Some(&out_of_range) = sorted.iter().find(|&&s| s >= self.shards.len()) {
+            let shard_count = self.shard_count();
+            if let Some(&out_of_range) = sorted.iter().find(|&&s| s >= shard_count) {
                 return Err(tebaldi_cc::CcError::Internal(format!(
-                    "part targets shard {out_of_range}, but the cluster has {} shards",
-                    self.shards.len()
+                    "part targets shard {out_of_range}, but the cluster has {shard_count} shards"
                 )));
             }
         }
@@ -1266,7 +1475,8 @@ impl Cluster {
         let mut queue_wait_ns = 0u64;
         let mut hardened = 0u64;
         let mut hardening_ns = 0u64;
-        for shard in &self.shards {
+        let shards = self.shards.read().clone();
+        for shard in &shards {
             let snapshot = shard.db().stats();
             stats.committed += snapshot.committed;
             stats.aborted += snapshot.aborted;
@@ -1279,6 +1489,10 @@ impl Cluster {
             hardened += pipeline.hardened;
             hardening_ns += pipeline.hardening_ns;
             stats.max_pipeline_depth = stats.max_pipeline_depth.max(pipeline.max_depth);
+            let registry = shard.db().metrics();
+            stats.follower_reads += registry.counter("replication.follower_reads").get();
+            stats.failovers += registry.counter("replication.failovers").get();
+            stats.replica_acks_timed_out += registry.counter("replication.acks_timed_out").get();
         }
         stats.prepare_queue_wait_ns = queue_wait_ns.checked_div(queued).unwrap_or(0);
         stats.prepare_hardening_ns = hardening_ns.checked_div(hardened).unwrap_or(0);
@@ -1306,7 +1520,7 @@ impl Cluster {
     /// bucket-wise across shards.
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut merged = self.metrics.snapshot();
-        for shard in 0..self.shards.len() {
+        for shard in 0..self.shard_count() {
             if let Ok(ShardResponse::Metrics(snapshot)) =
                 self.transport.call(shard, ShardRequest::Metrics)
             {
@@ -1328,23 +1542,31 @@ impl Cluster {
 
     /// Resets per-shard engine counters (between benchmark phases).
     pub fn reset_stats(&self) {
-        for shard in &self.shards {
+        for shard in self.shards.read().iter() {
             shard.db().reset_stats();
         }
     }
 
     /// Number of prepared transactions currently in doubt across shards.
     pub fn in_doubt_count(&self) -> usize {
-        self.shards.iter().map(|s| s.in_doubt_count()).sum()
+        self.shards.read().iter().map(|s| s.in_doubt_count()).sum()
     }
 
-    /// Stops the transport, worker pools, and every shard.
+    /// Stops the transport, worker pools, replication groups, and every
+    /// shard.
     pub fn shutdown(&self) {
         self.transport.shutdown();
-        for shard in &self.shards {
+        for server in self.promoted_servers.lock().iter() {
+            server.shutdown();
+        }
+        let shards = self.shards.read().clone();
+        for shard in &shards {
             shard.shutdown();
         }
-        for shard in &self.shards {
+        for group in self.replication.read().iter().flatten() {
+            group.shutdown();
+        }
+        for shard in &shards {
             shard.db().shutdown();
         }
     }

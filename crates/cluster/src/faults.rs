@@ -68,6 +68,21 @@ pub struct FaultPlan {
     /// Inclusive bounds on how many consecutive messages one partition
     /// window swallows.
     pub partition_len: (u64, u64),
+    /// Probability one shipped log batch on a primary→replica link is
+    /// dropped (the shipper retries from the replica's acknowledged LSN, so
+    /// a drop costs latency — replica lag — never divergence).
+    pub drop_log_frame: f64,
+    /// Probability a shipped log batch is held before the send.
+    pub delay_log: f64,
+    /// Inclusive bounds, in milliseconds, of the injected log delay.
+    pub delay_log_ms: (u64, u64),
+    /// Probability a replica-link partition window opens at a batch
+    /// boundary: a run of consecutive ship attempts is swallowed, as if the
+    /// log stream's link went away and came back.
+    pub partition_log: f64,
+    /// Inclusive bounds on how many consecutive ship attempts one
+    /// replica-link partition window swallows.
+    pub partition_log_len: (u64, u64),
 }
 
 impl FaultPlan {
@@ -82,6 +97,11 @@ impl FaultPlan {
             duplicate_decision: 0.0,
             partition: 0.0,
             partition_len: (0, 0),
+            drop_log_frame: 0.0,
+            delay_log: 0.0,
+            delay_log_ms: (0, 0),
+            partition_log: 0.0,
+            partition_log_len: (0, 0),
         }
     }
 
@@ -98,7 +118,78 @@ impl FaultPlan {
             duplicate_decision: 0.20,
             partition: 0.01,
             partition_len: (2, 8),
+            drop_log_frame: 0.10,
+            delay_log: 0.15,
+            delay_log_ms: (1, 5),
+            partition_log: 0.02,
+            partition_log_len: (2, 6),
         }
+    }
+
+    /// Builds the deterministic fault lane for one primary→replica log
+    /// stream. The lane seed mixes the shard and replica indices into the
+    /// plan seed on a different stride than the transport lanes
+    /// (`seed + shard`), so the log stream's fault sequence is independent
+    /// of the request traffic while staying replayable from the same seed.
+    pub fn replica_lane(&self, shard: usize, replica: usize) -> ReplicaLinkLane {
+        let salt = 0x5265_706c_6963_6173u64 // "Replicas"
+            .wrapping_add((shard as u64) << 8)
+            .wrapping_add(replica as u64);
+        ReplicaLinkLane {
+            plan: self.clone(),
+            rng: StdRng::seed_from_u64(self.seed.wrapping_add(salt)),
+            partition_remaining: 0,
+        }
+    }
+}
+
+/// What a replica-link lane decided for one shipped log batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogLinkVerdict {
+    /// Ship the batch now.
+    Deliver,
+    /// Hold the batch for the given interval, then ship it.
+    Delay(Duration),
+    /// Swallow this ship attempt (lost frame). The shipper retries from
+    /// the replica's acknowledged LSN, so the cost is lag, not divergence.
+    Drop,
+    /// Swallow this attempt as part of an open partition window.
+    Partitioned,
+}
+
+/// The deterministic fault lane of one primary→replica log stream: the
+/// replica-link half of a [`FaultPlan`]. Owned by the shipper thread, so no
+/// locking — the per-link fault sequence replays from the plan seed alone.
+pub struct ReplicaLinkLane {
+    plan: FaultPlan,
+    rng: StdRng,
+    /// Ship attempts the currently open partition window still swallows.
+    partition_remaining: u64,
+}
+
+impl ReplicaLinkLane {
+    /// Draws the fate of the next shipped log batch.
+    pub fn judge(&mut self) -> LogLinkVerdict {
+        if self.partition_remaining > 0 {
+            self.partition_remaining -= 1;
+            return LogLinkVerdict::Partitioned;
+        }
+        if self.plan.partition_log > 0.0 && self.rng.gen_bool(self.plan.partition_log) {
+            let (lo, hi) = self.plan.partition_log_len;
+            let window = self.rng.gen_range(lo.max(1)..=hi.max(lo.max(1)));
+            self.partition_remaining = window.saturating_sub(1);
+            return LogLinkVerdict::Partitioned;
+        }
+        if self.plan.drop_log_frame > 0.0 && self.rng.gen_bool(self.plan.drop_log_frame) {
+            return LogLinkVerdict::Drop;
+        }
+        if self.plan.delay_log > 0.0 && self.rng.gen_bool(self.plan.delay_log) {
+            let (lo, hi) = self.plan.delay_log_ms;
+            return LogLinkVerdict::Delay(Duration::from_millis(
+                self.rng.gen_range(lo..=hi.max(lo)),
+            ));
+        }
+        LogLinkVerdict::Deliver
     }
 }
 
@@ -222,6 +313,15 @@ impl ShardTransport for FaultyTransport {
         self.inner.shard_count()
     }
 
+    fn supports_repoint(&self) -> bool {
+        self.inner.supports_repoint()
+    }
+
+    fn repoint(&self, shard: usize, addr: std::net::SocketAddr) -> bool {
+        // Failover control traffic, like admin ops, is exempt from faults.
+        self.inner.repoint(shard, addr)
+    }
+
     fn submit(&self, shard: usize, request: ShardRequest) -> Ticket<ShardResult> {
         let decision = request.is_decision();
         if !decision && !request.runs_body() {
@@ -319,5 +419,32 @@ mod tests {
         let quiet = FaultPlan::quiet(7);
         assert_eq!(quiet.drop_request, 0.0);
         assert_eq!(quiet.partition, 0.0);
+        assert_eq!(quiet.drop_log_frame, 0.0);
+        assert_eq!(quiet.partition_log, 0.0);
+    }
+
+    #[test]
+    fn replica_lanes_replay_and_stay_independent() {
+        let plan = FaultPlan::hostile(42);
+        let draw = |shard: usize, replica: usize| {
+            let mut lane = plan.replica_lane(shard, replica);
+            (0..256).map(|_| lane.judge()).collect::<Vec<_>>()
+        };
+        // Same link → same schedule; different links → different schedules.
+        assert_eq!(draw(0, 0), draw(0, 0));
+        assert_ne!(draw(0, 0), draw(0, 1));
+        assert_ne!(draw(0, 0), draw(1, 0));
+        // Hostile rates actually fire every verdict class over 256 draws.
+        let verdicts = draw(2, 0);
+        assert!(verdicts.iter().any(|v| matches!(v, LogLinkVerdict::Drop)));
+        assert!(verdicts
+            .iter()
+            .any(|v| matches!(v, LogLinkVerdict::Delay(_))));
+        assert!(verdicts
+            .iter()
+            .any(|v| matches!(v, LogLinkVerdict::Partitioned)));
+        // A quiet lane delivers everything.
+        let mut quiet = FaultPlan::quiet(7).replica_lane(0, 0);
+        assert!((0..64).all(|_| quiet.judge() == LogLinkVerdict::Deliver));
     }
 }

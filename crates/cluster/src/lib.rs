@@ -66,6 +66,7 @@ pub mod cluster;
 pub mod coordinator;
 pub mod faults;
 pub mod procs;
+pub mod replication;
 pub mod router;
 pub mod tcp;
 pub mod transport;
@@ -74,11 +75,14 @@ pub mod worker;
 
 pub use api::{ShardRequest, ShardResponse, ShardResult, ShardStatsReply};
 pub use cluster::{
-    recover_cluster, test_transport, BatchKeySets, BatchTxn, Cluster, ClusterBuilder, ClusterClock,
-    ClusterConfig, ClusterStats, ShardPart,
+    recover_cluster, test_replication, test_transport, BatchKeySets, BatchTxn, Cluster,
+    ClusterBuilder, ClusterClock, ClusterConfig, ClusterStats, ShardPart,
 };
 pub use coordinator::{CoordinatorStats, TxnCoordinator};
-pub use faults::{FaultPlan, FaultyTransport};
+pub use faults::{FaultPlan, FaultyTransport, LogLinkVerdict, ReplicaLinkLane};
+pub use replication::{
+    truncate_divergent_suffix, ReplicaNode, ReplicationConfig, ShardReplication, StaleFollower,
+};
 pub use router::{Partitioning, Routing, ShardRouter};
 pub use tcp::{ReconnectPolicy, TcpShardServer, TcpTransport};
 pub use transport::{InProcessTransport, ShardTransport, TransportKind, TransportStats};

@@ -1,0 +1,924 @@
+//! Primary/backup WAL shipping with quorum-gated acknowledgement and
+//! follower reads.
+//!
+//! Every shard primary streams its WAL to N backups as length-prefixed
+//! frames — the same wire idiom `tcp.rs`/`wire.rs` speak — and the group-
+//! commit completion loop waits for a quorum of replica acks before a batch
+//! is acknowledged to clients. Replication therefore rides the existing
+//! coalesced-flush path: one `sync()` call per hardened batch, not one
+//! blocking seam per transaction.
+//!
+//! The shipping protocol is deliberately idempotent. A shipper always
+//! resumes from the replica's *acknowledged* LSN (a record index into the
+//! durable log), so dropped or partitioned frames cost lag, never
+//! divergence; a replica applies a batch only where it extends its applied
+//! prefix and re-acks its current LSN otherwise, which doubles as the
+//! resync handshake after a reconnect.
+//!
+//! Followers materialize a read snapshot from their shipped log via the
+//! standard recovery replay ([`recover_with_resolver`]) and serve
+//! bounded-staleness reads and read-only participant votes: a follower
+//! whose applied LSN is behind the caller's minimum refuses (or waits out)
+//! the read rather than serving a snapshot it cannot justify. Because the
+//! primary ships only *durable* records in order, a follower's log is
+//! always a durable prefix of the primary's — sealing the epochs it holds
+//! before replay is exactly as safe as the primary's own group-commit ack
+//! discipline.
+//!
+//! Failover: [`ShardReplication::promote`] stops shipping and hands back
+//! the chosen backup's log (sealed) for the cluster to recover a fresh
+//! primary from; [`truncate_divergent_suffix`] cuts a rejoining old
+//! primary's unreplicated tail so records past the surviving quorum never
+//! resurface.
+
+use crate::faults::{FaultPlan, LogLinkVerdict, ReplicaLinkLane};
+use crate::wire::{read_frame, write_frame};
+use parking_lot::{Condvar, Mutex};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use tebaldi_obs::{Counter, MaxGauge, MetricsRegistry};
+use tebaldi_storage::codec::{ByteReader, ByteWriter};
+use tebaldi_storage::recovery::recover_with_resolver;
+use tebaldi_storage::wal::{LogDevice, LogRecord, MemLogDevice};
+use tebaldi_storage::{Key, MvStore, ReadSpec, Value};
+
+/// Records per shipped frame. Bounds frame size well under
+/// `wire::MAX_FRAME_LEN` while keeping per-frame overhead negligible.
+const SHIP_CHUNK: usize = 256;
+
+/// How a replication group is sized and how long the group-commit path
+/// waits for replica acknowledgements before degrading to local-only
+/// durability for that batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Backups per shard.
+    pub replicas: usize,
+    /// Acks (out of `replicas`) required before a hardened batch is
+    /// acknowledged. Clamped to `replicas`; zero disables the gate.
+    pub quorum: usize,
+    /// Upper bound on the quorum wait per batch. On expiry the batch is
+    /// acked on local durability alone and `replication.acks_timed_out`
+    /// is incremented — replication lag must not wedge the pipeline.
+    pub ack_timeout_ms: u64,
+}
+
+impl ReplicationConfig {
+    /// `replicas` backups with a majority quorum and a generous timeout.
+    pub fn majority(replicas: usize) -> Self {
+        ReplicationConfig {
+            replicas,
+            quorum: replicas / 2 + usize::from(replicas > 0),
+            ack_timeout_ms: 2_000,
+        }
+    }
+
+    /// The effective quorum (clamped to the replica count).
+    pub fn effective_quorum(&self) -> usize {
+        self.quorum.min(self.replicas)
+    }
+}
+
+/// A follower could not serve a read at the required LSN within the wait
+/// budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StaleFollower {
+    /// The follower's applied LSN at refusal time.
+    pub applied: u64,
+    /// The LSN the caller required.
+    pub required: u64,
+}
+
+impl std::fmt::Display for StaleFollower {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "follower at lsn {} cannot serve reads at lsn {}",
+            self.applied, self.required
+        )
+    }
+}
+
+/// Serializes a shipped batch: start LSN, record count, then each record
+/// as a length-prefixed JSON blob (the `FileLogDevice` on-disk idiom).
+fn encode_batch(start: u64, records: &[LogRecord]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(start);
+    w.put_u32(records.len() as u32);
+    for record in records {
+        let blob = serde_json::to_string(record).expect("log records serialize");
+        w.put_bytes(blob.as_bytes());
+    }
+    w.into_bytes()
+}
+
+/// Decodes a shipped batch. Malformed frames yield an error and tear the
+/// connection down — the shipper reconnects and resyncs from the ack.
+fn decode_batch(bytes: &[u8]) -> Result<(u64, Vec<LogRecord>), String> {
+    let mut r = ByteReader::new(bytes);
+    let start = r.u64().map_err(|e| e.to_string())?;
+    let count = r.u32().map_err(|e| e.to_string())? as usize;
+    let mut records = Vec::with_capacity(count.min(SHIP_CHUNK));
+    for _ in 0..count {
+        let blob = r.bytes().map_err(|e| e.to_string())?;
+        let text = std::str::from_utf8(blob).map_err(|e| e.to_string())?;
+        let record = serde_json::from_str(text).map_err(|e| e.to_string())?;
+        records.push(record);
+    }
+    r.expect_end().map_err(|e| e.to_string())?;
+    Ok((start, records))
+}
+
+fn encode_ack(applied: u64) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(applied);
+    w.into_bytes()
+}
+
+fn decode_ack(bytes: &[u8]) -> Result<u64, String> {
+    let mut r = ByteReader::new(bytes);
+    let applied = r.u64().map_err(|e| e.to_string())?;
+    r.expect_end().map_err(|e| e.to_string())?;
+    Ok(applied)
+}
+
+/// The largest GCP epoch named anywhere in `records`.
+fn max_epoch(records: &[LogRecord]) -> u64 {
+    records
+        .iter()
+        .map(|r| match r {
+            LogRecord::Precommit { gcp_epoch, .. } => *gcp_epoch,
+            LogRecord::Commit { global_epoch, .. } => *global_epoch,
+            LogRecord::EpochSeal { epoch } => *epoch,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// An immutable record list masquerading as a log device so recovery can
+/// replay it. Used to materialize follower snapshots without mutating the
+/// follower's real log.
+struct FrozenLog {
+    records: Vec<LogRecord>,
+}
+
+impl LogDevice for FrozenLog {
+    fn append(&self, _record: &LogRecord) {}
+    fn flush(&self) {}
+    fn read_back(&self) -> Vec<LogRecord> {
+        self.records.clone()
+    }
+}
+
+/// Replays `records` into a fresh store with all held epochs sealed.
+/// Sealing is sound because every shipped record was durable on the
+/// primary before it was sent (ship-after-flush discipline); in-doubt
+/// prepares resolve through `resolver` exactly as in crash recovery.
+fn materialize(
+    records: Vec<LogRecord>,
+    store_shards: usize,
+    resolver: &dyn Fn(u64) -> bool,
+) -> MvStore {
+    let mut records = records;
+    records.push(LogRecord::EpochSeal {
+        epoch: max_epoch(&records),
+    });
+    let frozen = FrozenLog { records };
+    let (store, _report) = recover_with_resolver(&frozen, MvStore::new(store_shards), resolver);
+    store
+}
+
+/// Read-snapshot cache: rebuilt only when the applied LSN moves.
+#[derive(Default)]
+struct SnapshotCache {
+    lsn: u64,
+    store: Option<Arc<MvStore>>,
+}
+
+/// A backup for one shard: a TCP listener that applies shipped batches
+/// into its own in-memory log and serves bounded-staleness reads from a
+/// snapshot materialized via crash-recovery replay.
+pub struct ReplicaNode {
+    log: Arc<MemLogDevice>,
+    applied: Mutex<u64>,
+    applied_cv: Condvar,
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept_handle: Mutex<Option<JoinHandle<()>>>,
+    conns: Mutex<Vec<TcpStream>>,
+    store_shards: usize,
+    cache: Mutex<SnapshotCache>,
+}
+
+impl ReplicaNode {
+    /// Binds a loopback listener and starts the apply loop.
+    /// `store_shards` is the shard count for materialized read stores
+    /// (the engine's `DbConfig::shards`).
+    pub fn spawn(store_shards: usize) -> std::io::Result<Arc<Self>> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let node = Arc::new(ReplicaNode {
+            log: Arc::new(MemLogDevice::new()),
+            applied: Mutex::new(0),
+            applied_cv: Condvar::new(),
+            addr,
+            stopping: Arc::new(AtomicBool::new(false)),
+            accept_handle: Mutex::new(None),
+            conns: Mutex::new(Vec::new()),
+            store_shards,
+            cache: Mutex::new(SnapshotCache::default()),
+        });
+        let accept_node = Arc::clone(&node);
+        let handle = std::thread::spawn(move || {
+            let mut serving = Vec::new();
+            for conn in listener.incoming() {
+                if accept_node.stopping.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                if let Ok(clone) = stream.try_clone() {
+                    accept_node.conns.lock().push(clone);
+                }
+                let serve_node = Arc::clone(&accept_node);
+                serving.push(std::thread::spawn(move || serve_node.serve(stream)));
+            }
+            for h in serving {
+                let _ = h.join();
+            }
+        });
+        *node.accept_handle.lock() = Some(handle);
+        Ok(node)
+    }
+
+    /// The listener address a shipper connects to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Records applied so far (the follower's LSN).
+    pub fn applied_lsn(&self) -> u64 {
+        *self.applied.lock()
+    }
+
+    /// The follower's own log (a faithful durable prefix of the
+    /// primary's). Promotion recovers a new primary from this.
+    pub fn log(&self) -> Arc<MemLogDevice> {
+        Arc::clone(&self.log)
+    }
+
+    /// Blocks until the applied LSN reaches `lsn` or `timeout` expires.
+    pub fn wait_applied(&self, lsn: u64, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut applied = self.applied.lock();
+        while *applied < lsn {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            self.applied_cv.wait_for(&mut applied, deadline - now);
+        }
+        true
+    }
+
+    /// The follower's current read snapshot: (applied LSN, store).
+    /// Rebuilt by recovery replay only when the LSN has moved since the
+    /// last call; in-doubt prepares read as aborted (their writes are
+    /// invisible until a shipped decision resolves them).
+    pub fn snapshot(&self) -> (u64, Arc<MvStore>) {
+        let applied = *self.applied.lock();
+        let mut cache = self.cache.lock();
+        if cache.store.is_none() || cache.lsn != applied {
+            let store = materialize(self.log.read_back(), self.store_shards, &|_| false);
+            cache.lsn = applied;
+            cache.store = Some(Arc::new(store));
+        }
+        (applied, Arc::clone(cache.store.as_ref().expect("cached")))
+    }
+
+    /// One shipper connection: apply batches, ack the applied LSN.
+    fn serve(&self, mut stream: TcpStream) {
+        loop {
+            if self.stopping.load(Ordering::SeqCst) {
+                return;
+            }
+            let payload = match read_frame(&mut stream) {
+                Ok(Some(p)) => p,
+                Ok(None) | Err(_) => return,
+            };
+            let applied = match decode_batch(&payload) {
+                Ok((start, records)) => self.apply(start, records),
+                Err(_) => return,
+            };
+            if write_frame(&mut stream, &encode_ack(applied)).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Applies a batch where it extends the applied prefix; overlapping
+    /// resends are deduplicated, gapped batches ignored. Always returns
+    /// the current applied LSN — the re-ack is the resync handshake.
+    fn apply(&self, start: u64, records: Vec<LogRecord>) -> u64 {
+        let mut applied = self.applied.lock();
+        if start <= *applied {
+            let skip = (*applied - start) as usize;
+            if skip < records.len() {
+                for record in &records[skip..] {
+                    self.log.append(record);
+                }
+                self.log.flush();
+                *applied += (records.len() - skip) as u64;
+                self.applied_cv.notify_all();
+            }
+        }
+        *applied
+    }
+
+    /// Stops the listener and all connection threads.
+    pub fn shutdown(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for conn in self.conns.lock().drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_handle.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReplicaNode {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct ShipGate {
+    paused: bool,
+}
+
+/// Primary-side replication for one shard: per-replica shipper threads,
+/// the quorum gate the completion loop blocks on, and the follower-read
+/// entry points.
+pub struct ShardReplication {
+    cfg: ReplicationConfig,
+    log: Arc<dyn LogDevice>,
+    replicas: Vec<Arc<ReplicaNode>>,
+    acked: Vec<Arc<AtomicU64>>,
+    gate: Mutex<ShipGate>,
+    ship_cv: Condvar,
+    quorum_mx: Mutex<()>,
+    quorum_cv: Condvar,
+    stopping: Arc<AtomicBool>,
+    shippers: Mutex<Vec<JoinHandle<()>>>,
+    shipped_records: Arc<Counter>,
+    shipped_bytes: Arc<Counter>,
+    lag_records: Arc<MaxGauge>,
+    lag_bytes: Arc<MaxGauge>,
+    quorum_waits: Arc<Counter>,
+    quorum_wait_ns: Arc<Counter>,
+    acks_timed_out: Arc<Counter>,
+    follower_reads: Arc<Counter>,
+    follower_read_refusals: Arc<Counter>,
+    frames_dropped: Arc<Counter>,
+    frames_delayed: Arc<Counter>,
+    frames_partitioned: Arc<Counter>,
+}
+
+impl ShardReplication {
+    /// Spawns the replica nodes and one shipper thread per replica.
+    /// `log` is the primary's device (records ship strictly from its
+    /// durable prefix); `store_shards` sizes follower read stores;
+    /// `faults` carves per-link lanes out of the cluster fault plan.
+    pub fn spawn(
+        shard: usize,
+        cfg: ReplicationConfig,
+        log: Arc<dyn LogDevice>,
+        store_shards: usize,
+        metrics: &MetricsRegistry,
+        faults: Option<&FaultPlan>,
+    ) -> Result<Arc<Self>, String> {
+        let mut replicas = Vec::with_capacity(cfg.replicas);
+        for _ in 0..cfg.replicas {
+            replicas.push(ReplicaNode::spawn(store_shards).map_err(|e| e.to_string())?);
+        }
+        let acked: Vec<Arc<AtomicU64>> = (0..cfg.replicas)
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
+        let repl = Arc::new(ShardReplication {
+            cfg,
+            log,
+            replicas,
+            acked,
+            gate: Mutex::new(ShipGate { paused: false }),
+            ship_cv: Condvar::new(),
+            quorum_mx: Mutex::new(()),
+            quorum_cv: Condvar::new(),
+            stopping: Arc::new(AtomicBool::new(false)),
+            shippers: Mutex::new(Vec::new()),
+            shipped_records: metrics.counter("replication.shipped_records"),
+            shipped_bytes: metrics.counter("replication.shipped_bytes"),
+            lag_records: metrics.max_gauge("replication.lag_records"),
+            lag_bytes: metrics.max_gauge("replication.lag_bytes"),
+            quorum_waits: metrics.counter("replication.quorum_waits"),
+            quorum_wait_ns: metrics.counter("replication.quorum_wait_ns"),
+            acks_timed_out: metrics.counter("replication.acks_timed_out"),
+            follower_reads: metrics.counter("replication.follower_reads"),
+            follower_read_refusals: metrics.counter("replication.follower_read_refusals"),
+            frames_dropped: metrics.counter("replication.frames_dropped"),
+            frames_delayed: metrics.counter("replication.frames_delayed"),
+            frames_partitioned: metrics.counter("replication.frames_partitioned"),
+        });
+        let mut shippers = Vec::with_capacity(cfg.replicas);
+        for index in 0..cfg.replicas {
+            let shipper = Arc::clone(&repl);
+            let lane = faults.map(|plan| plan.replica_lane(shard, index));
+            shippers.push(std::thread::spawn(move || shipper.run_shipper(index, lane)));
+        }
+        *repl.shippers.lock() = shippers;
+        Ok(repl)
+    }
+
+    /// The replication configuration in force.
+    pub fn config(&self) -> ReplicationConfig {
+        self.cfg
+    }
+
+    /// The replica at `index`, if any.
+    pub fn replica(&self, index: usize) -> Option<&Arc<ReplicaNode>> {
+        self.replicas.get(index)
+    }
+
+    /// Number of backups.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// LSN the replica at `index` has acknowledged.
+    pub fn acked_lsn(&self, index: usize) -> u64 {
+        self.acked
+            .get(index)
+            .map(|a| a.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Times the quorum gate expired and a batch was acknowledged on
+    /// local durability alone (the `replication.acks_timed_out` counter).
+    pub fn acks_timed_out(&self) -> u64 {
+        self.acks_timed_out.get()
+    }
+
+    /// The highest LSN any replica holds — what survives the loss of the
+    /// primary, and the truncation point for its rejoin.
+    pub fn replicated_len(&self) -> usize {
+        self.acked
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0) as usize
+    }
+
+    /// The LSN acknowledged by at least `quorum` replicas (the k-th
+    /// highest ack). `u64::MAX` when the gate is disabled.
+    pub fn quorum_lsn(&self) -> u64 {
+        let quorum = self.cfg.effective_quorum();
+        if quorum == 0 {
+            return u64::MAX;
+        }
+        let mut acks: Vec<u64> = self
+            .acked
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+        acks.sort_unstable_by(|a, b| b.cmp(a));
+        acks[quorum - 1]
+    }
+
+    /// The quorum gate: blocks until a quorum of replicas has
+    /// acknowledged everything durable on the primary right now, or the
+    /// configured ack timeout expires. Returns `false` on timeout — the
+    /// caller proceeds on local durability (degraded mode) so a dead
+    /// replica cannot wedge the commit pipeline, and the timeout is
+    /// counted for the operator.
+    pub fn sync(&self) -> bool {
+        let target = self.log.durable_len() as u64;
+        if self.quorum_lsn() >= target {
+            return true;
+        }
+        self.quorum_waits.inc();
+        let start = Instant::now();
+        let deadline = start + Duration::from_millis(self.cfg.ack_timeout_ms.max(1));
+        self.ship_cv.notify_all();
+        let mut guard = self.quorum_mx.lock();
+        let ok = loop {
+            if self.quorum_lsn() >= target {
+                break true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break false;
+            }
+            // Short slices: a missed notify costs a millisecond, not the
+            // remainder of the timeout.
+            let slice = (deadline - now).min(Duration::from_millis(1));
+            self.quorum_cv.wait_for(&mut guard, slice);
+        };
+        drop(guard);
+        self.quorum_wait_ns.add(start.elapsed().as_nanos() as u64);
+        if !ok {
+            self.acks_timed_out.inc();
+        }
+        ok
+    }
+
+    /// Pauses or resumes shipping (fault-injection hook for staleness
+    /// tests; the quorum gate keeps timing out while paused).
+    pub fn set_paused(&self, paused: bool) {
+        self.gate.lock().paused = paused;
+        self.ship_cv.notify_all();
+    }
+
+    /// A bounded-staleness read served by the replica at `index`: waits
+    /// up to `wait` for the follower to reach `min_lsn`, then reads the
+    /// latest committed version from its materialized snapshot. Refuses
+    /// with [`StaleFollower`] if the follower cannot catch up in time.
+    pub fn follower_read(
+        &self,
+        index: usize,
+        key: &Key,
+        min_lsn: u64,
+        wait: Duration,
+    ) -> Result<Option<Value>, StaleFollower> {
+        let applied = self.follower_vote_gate(index, min_lsn, wait)?;
+        let node = &self.replicas[index];
+        let (_lsn, store) = node.snapshot();
+        self.follower_reads.inc();
+        let _ = applied;
+        Ok(store.read_visible(key, ReadSpec::LatestCommitted))
+    }
+
+    /// The staleness gate behind a follower-served read-only participant
+    /// vote: succeeds (returning the follower's applied LSN, its vote
+    /// serialization point) only once the follower has applied at least
+    /// `min_lsn`. A refused vote falls back to the primary — the
+    /// ReadOnly-vote-serializes-at-vote-time contract is preserved
+    /// because the follower votes only on a prefix it actually holds.
+    pub fn follower_vote_gate(
+        &self,
+        index: usize,
+        min_lsn: u64,
+        wait: Duration,
+    ) -> Result<u64, StaleFollower> {
+        let node = match self.replicas.get(index) {
+            Some(node) => node,
+            None => {
+                self.follower_read_refusals.inc();
+                return Err(StaleFollower {
+                    applied: 0,
+                    required: min_lsn,
+                });
+            }
+        };
+        if !node.wait_applied(min_lsn, wait) {
+            self.follower_read_refusals.inc();
+            return Err(StaleFollower {
+                applied: node.applied_lsn(),
+                required: min_lsn,
+            });
+        }
+        Ok(node.applied_lsn())
+    }
+
+    /// Stops shipping and the replica listeners, then hands back the
+    /// promoted backup's log with its shipped epochs sealed — the
+    /// recovery source for the new primary. Sealing what the follower
+    /// holds is sound because only primary-durable records were ever
+    /// shipped.
+    pub fn promote(&self, index: usize) -> Result<Arc<MemLogDevice>, String> {
+        let node = self
+            .replicas
+            .get(index)
+            .ok_or_else(|| format!("no replica {index}"))?;
+        self.stop_shipping();
+        let log = node.log();
+        let records = log.read_back();
+        log.append(&LogRecord::EpochSeal {
+            epoch: max_epoch(&records),
+        });
+        log.flush();
+        Ok(log)
+    }
+
+    /// Stops the shipper threads (idempotent); replica listeners stay up.
+    ///
+    /// Failover calls this as a fence *before* stopping the old primary:
+    /// with shipping stopped, any prepare still in flight on the primary
+    /// fails its quorum gate and votes abort instead of yes.
+    pub fn stop_shipping(&self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.ship_cv.notify_all();
+        for handle in self.shippers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Full teardown: shippers and replica nodes.
+    pub fn shutdown(&self) {
+        self.stop_shipping();
+        for node in &self.replicas {
+            node.shutdown();
+        }
+    }
+
+    /// One shipper: follows the primary's durable log from the replica's
+    /// acknowledged LSN, shipping chunked frames through the fault lane.
+    fn run_shipper(&self, index: usize, mut lane: Option<ReplicaLinkLane>) {
+        let addr = self.replicas[index].addr();
+        let acked = Arc::clone(&self.acked[index]);
+        let mut stream: Option<TcpStream> = None;
+        while !self.stopping.load(Ordering::SeqCst) {
+            {
+                let mut gate = self.gate.lock();
+                if gate.paused {
+                    self.ship_cv.wait_for(&mut gate, Duration::from_millis(20));
+                    continue;
+                }
+            }
+            let from = acked.load(Ordering::Relaxed) as usize;
+            let durable = self.log.durable_len();
+            if durable <= from {
+                let mut gate = self.gate.lock();
+                if !self.stopping.load(Ordering::SeqCst) {
+                    self.ship_cv.wait_for(&mut gate, Duration::from_millis(5));
+                }
+                continue;
+            }
+            let records = self.log.read_from(from);
+            self.lag_records.observe(records.len() as u64);
+            let mut attempt_bytes = 0u64;
+            let mut start = from as u64;
+            for chunk in records.chunks(SHIP_CHUNK) {
+                let payload = encode_batch(start, chunk);
+                attempt_bytes += payload.len() as u64;
+                match lane.as_mut().map(|l| l.judge()) {
+                    Some(LogLinkVerdict::Drop) => {
+                        self.frames_dropped.inc();
+                        break;
+                    }
+                    Some(LogLinkVerdict::Partitioned) => {
+                        self.frames_partitioned.inc();
+                        break;
+                    }
+                    Some(LogLinkVerdict::Delay(delay)) => {
+                        self.frames_delayed.inc();
+                        std::thread::sleep(delay);
+                    }
+                    Some(LogLinkVerdict::Deliver) | None => {}
+                }
+                if stream.is_none() {
+                    stream = TcpStream::connect(addr).ok();
+                }
+                let Some(conn) = stream.as_mut() else {
+                    std::thread::sleep(Duration::from_millis(1));
+                    break;
+                };
+                let shipped = write_frame(conn, &payload).and_then(|_| read_frame(conn));
+                match shipped {
+                    Ok(Some(ack_bytes)) => match decode_ack(&ack_bytes) {
+                        Ok(ack) => {
+                            acked.store(ack, Ordering::Relaxed);
+                            self.shipped_records.add(chunk.len() as u64);
+                            self.shipped_bytes.add(payload.len() as u64);
+                            self.quorum_cv.notify_all();
+                            if ack != start + chunk.len() as u64 {
+                                // Resync: the replica applied from a
+                                // different prefix; restart from its ack.
+                                break;
+                            }
+                            start = ack;
+                        }
+                        Err(_) => {
+                            stream = None;
+                            break;
+                        }
+                    },
+                    _ => {
+                        stream = None;
+                        break;
+                    }
+                }
+            }
+            self.lag_bytes.observe(attempt_bytes);
+        }
+    }
+}
+
+impl Drop for ShardReplication {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Cuts a rejoining old primary's divergent suffix: every record past
+/// what the surviving replication quorum holds is discarded (buffered
+/// tail included) so it cannot resurface on recovery. Returns `false`
+/// when the device does not support truncation.
+pub fn truncate_divergent_suffix(device: &dyn LogDevice, replicated_len: usize) -> bool {
+    device.truncate_to(replicated_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tebaldi_storage::schema::TableId;
+    use tebaldi_storage::{Timestamp, TxnId};
+
+    fn committed_write(txn: u64, id: u64, value: i64, epoch: u64) -> Vec<LogRecord> {
+        vec![
+            LogRecord::Precommit {
+                txn: TxnId(txn),
+                participants: 1,
+                shard: 0,
+                gcp_epoch: epoch,
+                writes: vec![(Key::simple(TableId(1), id), Value::Int(value))],
+            },
+            LogRecord::Commit {
+                txn: TxnId(txn),
+                global_epoch: epoch,
+                commit_ts: Timestamp(txn),
+            },
+        ]
+    }
+
+    fn metrics() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+
+    #[test]
+    fn batch_and_ack_codecs_roundtrip() {
+        let records = committed_write(7, 3, 30, 2);
+        let bytes = encode_batch(41, &records);
+        let (start, back) = decode_batch(&bytes).unwrap();
+        assert_eq!(start, 41);
+        assert_eq!(back, records);
+        assert_eq!(decode_ack(&encode_ack(99)).unwrap(), 99);
+        assert!(decode_batch(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn ships_to_quorum_and_serves_follower_reads() {
+        let log: Arc<dyn LogDevice> = Arc::new(MemLogDevice::new());
+        let reg = metrics();
+        let repl = ShardReplication::spawn(
+            0,
+            ReplicationConfig {
+                replicas: 2,
+                quorum: 2,
+                ack_timeout_ms: 5_000,
+            },
+            Arc::clone(&log),
+            4,
+            &reg,
+            None,
+        )
+        .unwrap();
+        for record in committed_write(1, 5, 50, 1) {
+            log.append(&record);
+        }
+        log.flush();
+        assert!(repl.sync(), "both replicas must ack before the batch acks");
+        assert_eq!(repl.quorum_lsn(), log.durable_len() as u64);
+        let value = repl
+            .follower_read(
+                0,
+                &Key::simple(TableId(1), 5),
+                log.durable_len() as u64,
+                Duration::from_secs(1),
+            )
+            .unwrap();
+        assert_eq!(value, Some(Value::Int(50)));
+        assert!(reg.counter("replication.follower_reads").get() >= 1);
+        assert!(reg.counter("replication.shipped_records").get() >= 2);
+        repl.shutdown();
+    }
+
+    #[test]
+    fn stale_follower_refuses_until_caught_up() {
+        let log: Arc<dyn LogDevice> = Arc::new(MemLogDevice::new());
+        let reg = metrics();
+        let repl = ShardReplication::spawn(
+            0,
+            ReplicationConfig {
+                replicas: 1,
+                quorum: 1,
+                ack_timeout_ms: 40,
+            },
+            Arc::clone(&log),
+            4,
+            &reg,
+            None,
+        )
+        .unwrap();
+        repl.set_paused(true);
+        for record in committed_write(2, 8, 80, 1) {
+            log.append(&record);
+        }
+        log.flush();
+        let want = log.durable_len() as u64;
+        let refused = repl.follower_read(0, &Key::simple(TableId(1), 8), want, Duration::ZERO);
+        assert_eq!(
+            refused,
+            Err(StaleFollower {
+                applied: 0,
+                required: want
+            })
+        );
+        assert!(!repl.sync(), "paused shipping must time the quorum out");
+        assert_eq!(reg.counter("replication.acks_timed_out").get(), 1);
+        repl.set_paused(false);
+        let value = repl
+            .follower_read(0, &Key::simple(TableId(1), 8), want, Duration::from_secs(2))
+            .unwrap();
+        assert_eq!(value, Some(Value::Int(80)));
+        repl.shutdown();
+    }
+
+    #[test]
+    fn hostile_lane_lags_but_converges() {
+        let log: Arc<dyn LogDevice> = Arc::new(MemLogDevice::new());
+        let reg = metrics();
+        let plan = FaultPlan::hostile(0xfeed);
+        let repl = ShardReplication::spawn(
+            3,
+            ReplicationConfig {
+                replicas: 1,
+                quorum: 1,
+                ack_timeout_ms: 10_000,
+            },
+            Arc::clone(&log),
+            4,
+            &reg,
+            Some(&plan),
+        )
+        .unwrap();
+        for txn in 1..=20u64 {
+            for record in committed_write(txn, txn, txn as i64, 1) {
+                log.append(&record);
+            }
+            log.flush();
+        }
+        assert!(repl.sync(), "drops and partitions cost lag, not loss");
+        assert_eq!(repl.acked_lsn(0), log.durable_len() as u64);
+        repl.shutdown();
+    }
+
+    #[test]
+    fn promote_seals_shipped_epochs_and_recovers_acked_writes() {
+        let log: Arc<dyn LogDevice> = Arc::new(MemLogDevice::new());
+        let reg = metrics();
+        let repl = ShardReplication::spawn(
+            0,
+            ReplicationConfig {
+                replicas: 1,
+                quorum: 1,
+                ack_timeout_ms: 5_000,
+            },
+            Arc::clone(&log),
+            4,
+            &reg,
+            None,
+        )
+        .unwrap();
+        for record in committed_write(3, 11, 110, 4) {
+            log.append(&record);
+        }
+        log.flush();
+        assert!(repl.sync());
+        // The primary's device dies here; the follower log is the truth.
+        let follower_log = repl.promote(0).unwrap();
+        let (store, report) =
+            recover_with_resolver(follower_log.as_ref(), MvStore::new(4), &|_| false);
+        assert_eq!(report.recovered_txns, 1);
+        assert_eq!(report.discarded_unsealed_epoch, 0, "promotion seals epochs");
+        assert_eq!(
+            store.read_visible(&Key::simple(TableId(1), 11), ReadSpec::LatestCommitted),
+            Some(Value::Int(110))
+        );
+        // Rejoin: the old primary had an unreplicated (never-acked,
+        // never-shipped) suffix — truncate it to the replicated length.
+        log.append(&committed_write(9, 99, 990, 5)[0]);
+        log.flush();
+        let replicated = repl.replicated_len();
+        assert!(truncate_divergent_suffix(log.as_ref(), replicated));
+        assert_eq!(log.durable_len(), replicated);
+        repl.shutdown();
+    }
+}

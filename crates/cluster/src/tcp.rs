@@ -733,6 +733,18 @@ impl ShardTransport for TcpTransport {
         self.conns.len()
     }
 
+    fn supports_repoint(&self) -> bool {
+        true
+    }
+
+    fn repoint(&self, shard: usize, addr: SocketAddr) -> bool {
+        if shard >= self.conns.len() {
+            return false;
+        }
+        self.set_shard_addr(shard, addr);
+        true
+    }
+
     fn submit(&self, shard: usize, request: ShardRequest) -> Ticket<ShardResult> {
         let Some(conn) = self.conns.get(shard) else {
             return Ticket::ready(Err(CcError::Internal(format!(

@@ -73,6 +73,21 @@ pub trait ShardTransport: Send + Sync {
         TransportStats::default()
     }
 
+    /// Whether [`ShardTransport::repoint`] can succeed — checked before a
+    /// failover stops the old primary, so an unsupporting transport fails
+    /// the promotion closed instead of half-way.
+    fn supports_repoint(&self) -> bool {
+        false
+    }
+
+    /// Redirects `shard`'s traffic to a new endpoint (failover installing
+    /// a promoted backup). Returns `false` when the transport cannot
+    /// repoint — the in-process transport holds direct worker handles, so
+    /// only addressed transports (TCP) support promotion.
+    fn repoint(&self, _shard: usize, _addr: std::net::SocketAddr) -> bool {
+        false
+    }
+
     /// Tears the transport down (closes sockets, joins I/O threads).
     /// Idempotent; called before the shard worker pools stop.
     fn shutdown(&self) {}

@@ -365,6 +365,9 @@ pub fn encode_result(req_id: u64, result: &Result<ShardResponse, CcError>) -> Ve
                     w.put_u64(stats.in_doubt);
                     w.put_u64(stats.queue_wait_ns);
                     w.put_u64(stats.pipeline_depth);
+                    w.put_u64(stats.follower_reads);
+                    w.put_u64(stats.failovers);
+                    w.put_u64(stats.replica_acks_timed_out);
                 }
                 ShardResponse::Flushed => w.put_u8(4),
                 ShardResponse::Metrics(snapshot) => {
@@ -407,6 +410,9 @@ pub fn decode_result(payload: &[u8]) -> CodecResult<(u64, Result<ShardResponse, 
                 in_doubt: r.u64()?,
                 queue_wait_ns: r.u64()?,
                 pipeline_depth: r.u64()?,
+                follower_reads: r.u64()?,
+                failovers: r.u64()?,
+                replica_acks_timed_out: r.u64()?,
             }),
             4 => ShardResponse::Flushed,
             5 => ShardResponse::Metrics(Box::new(get_metrics(&mut r)?)),
@@ -521,6 +527,9 @@ mod tests {
                 in_doubt: 1,
                 queue_wait_ns: 1_234,
                 pipeline_depth: 17,
+                follower_reads: 21,
+                failovers: 1,
+                replica_acks_timed_out: 3,
             })),
             Ok(ShardResponse::Flushed),
             Ok(ShardResponse::Metrics(Box::new(MetricsSnapshot {

@@ -44,6 +44,7 @@
 //! behind blocking prepares.
 
 use crate::api::{ShardRequest, ShardResponse, ShardResult, ShardStatsReply};
+use crate::replication::ShardReplication;
 use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{mpsc, Arc};
@@ -309,6 +310,17 @@ pub struct ShardWorkers {
     /// Replayed decisions that contradicted the remembered outcome —
     /// counted and dropped, the first decision wins.
     conflict_decisions: Arc<Counter>,
+    /// Primary-side replication for this shard, when configured: the
+    /// quorum gate the ack paths call before a hardened batch (or a
+    /// synchronous prepare/execute) is acknowledged.
+    replication: Mutex<Option<Arc<ShardReplication>>>,
+    /// `replication.*` counters surfaced through [`ShardRequest::Stats`].
+    /// Shared by name with [`ShardReplication`]'s registrations in the
+    /// same shard registry (and bumped by promotion), so the reply needs
+    /// no replication handle.
+    follower_reads: Arc<Counter>,
+    failovers: Arc<Counter>,
+    replica_ack_timeouts: Arc<Counter>,
 }
 
 impl ShardWorkers {
@@ -364,6 +376,10 @@ impl ShardWorkers {
             max_depth: metrics.max_gauge("pipeline.max_depth"),
             dup_decisions: metrics.counter("decisions.duplicate"),
             conflict_decisions: metrics.counter("decisions.conflict"),
+            replication: Mutex::new(None),
+            follower_reads: metrics.counter("replication.follower_reads"),
+            failovers: metrics.counter("replication.failovers"),
+            replica_ack_timeouts: metrics.counter("replication.acks_timed_out"),
         });
         let mut handles = pool.handles.lock();
         for worker in 0..pool.workers {
@@ -401,6 +417,36 @@ impl ShardWorkers {
     /// Number of prepared transactions currently awaiting a decision.
     pub fn in_doubt_count(&self) -> usize {
         self.in_doubt.lock().len()
+    }
+
+    /// Installs the shard's replication group: from here on every
+    /// durability wait on the ack paths also waits out the replica
+    /// quorum (bounded by the configured ack timeout).
+    pub fn set_replication(&self, replication: Arc<ShardReplication>) {
+        *self.replication.lock() = Some(replication);
+    }
+
+    /// This shard's replication group, if configured.
+    pub fn replication(&self) -> Option<Arc<ShardReplication>> {
+        self.replication.lock().clone()
+    }
+
+    /// The quorum gate: a no-op without replication; otherwise blocks
+    /// until a quorum of replicas acked everything durable here, or the
+    /// ack timeout degrades the batch to local-only durability (the
+    /// timeout is counted, the caller proceeds either way).
+    /// Returns `false` only when a quorum was required and the ack
+    /// timeout expired first. Commit acks proceed degraded on `false`
+    /// (local durability, counted for the operator); read-write prepare
+    /// votes must NOT — a yes-vote on a record the replicas never saw
+    /// could commit a cross-shard transaction whose part dies with this
+    /// primary.
+    fn replication_sync(&self) -> bool {
+        let replication = self.replication.lock().clone();
+        match replication {
+            Some(replication) => replication.sync(),
+            None => true,
+        }
     }
 
     /// True when deferred hardening is active: the in-flight window allows
@@ -491,6 +537,9 @@ impl ShardWorkers {
                         .checked_div(pipeline.queued)
                         .unwrap_or(0),
                     pipeline_depth: pipeline.max_depth,
+                    follower_reads: self.follower_reads.get(),
+                    failovers: self.failovers.get(),
+                    replica_acks_timed_out: self.replica_ack_timeouts.get(),
                 }))
             }
             ShardRequest::Flush => {
@@ -538,6 +587,9 @@ impl ShardWorkers {
             if let Some(seq) = self.db.durability().read_barrier() {
                 self.db.wait_hardened(seq);
             }
+            // Quorum gate: what this ack makes visible must survive the
+            // loss of the primary's device.
+            self.replication_sync();
         }
         result
     }
@@ -567,7 +619,20 @@ impl ShardWorkers {
                 value,
                 vote: Vote::ReadOnly,
             }),
-            ParticipantVote::ReadWrite(prepared) => self.park_prepared(global, value, prepared),
+            ParticipantVote::ReadWrite(prepared) => {
+                // The yes-vote promises commit-on-demand even across the
+                // loss of this primary: the prepare record must reach the
+                // replica quorum before the vote goes out. A gate timeout
+                // aborts the part instead of voting degraded.
+                if self.replication_sync() {
+                    self.park_prepared(global, value, prepared)
+                } else {
+                    prepared.abort();
+                    Err(CcError::Internal(
+                        "prepare not quorum-replicated within the ack timeout".to_string(),
+                    ))
+                }
+            }
         })
     }
 
@@ -944,6 +1009,13 @@ impl ShardWorkers {
             };
             let highest = batch.iter().map(|c| c.seq).max().unwrap_or(0);
             self.db.wait_hardened(highest);
+            // The quorum gate rides the coalesced-flush path: one wait
+            // for the whole hardened batch, not one per transaction.
+            let quorum_ok = if highest > 0 {
+                self.replication_sync()
+            } else {
+                true
+            };
             // Only `Prepare` completions still hold a window slot (`Reply`
             // completions released theirs when they were parked).
             let slots = batch
@@ -976,7 +1048,18 @@ impl ShardWorkers {
                                 "ok",
                             );
                         }
-                        self.park_prepared(global, value, *prepared)
+                        if quorum_ok {
+                            self.park_prepared(global, value, *prepared)
+                        } else {
+                            // Same rule as the synchronous vote path: an
+                            // unreplicated prepare aborts rather than
+                            // promising a commit the backups cannot honor.
+                            // Commit acks (Reply) proceed degraded.
+                            prepared.abort();
+                            Err(CcError::Internal(
+                                "prepare not quorum-replicated within the ack timeout".to_string(),
+                            ))
+                        }
                     }
                     CompletionKind::Reply(response) => Ok(response),
                 };

@@ -234,6 +234,26 @@ impl Database {
         &self.oracle
     }
 
+    /// Advances the transaction-id allocator so the next id is greater
+    /// than `floor`. Needed after recovery whenever this database keeps
+    /// appending to a log that already holds records up to txn `floor`
+    /// (a promoted replica inheriting its primary's shipped WAL): reusing
+    /// a txn id that is live in the log would corrupt a later replay.
+    pub fn advance_txn_ids_past(&self, floor: u64) {
+        use std::sync::atomic::Ordering;
+        let target = floor + 1;
+        let mut cur = self.txn_ids.load(Ordering::Relaxed);
+        while cur < target {
+            match self
+                .txn_ids
+                .compare_exchange(cur, target, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
     /// The durability manager.
     pub fn durability(&self) -> &Arc<DurabilityManager> {
         &self.durability

@@ -112,6 +112,27 @@ pub trait LogDevice: Send + Sync {
     fn durable_len(&self) -> usize {
         self.read_back().len()
     }
+    /// Reads the durable records from index `from` onward, in append order
+    /// — the incremental tail a log shipper follows. An index at or past
+    /// the durable length yields an empty vector, never an error: the
+    /// shipper polls ahead of the flusher all the time.
+    fn read_from(&self, from: usize) -> Vec<LogRecord> {
+        let mut records = self.read_back();
+        if from >= records.len() {
+            return Vec::new();
+        }
+        records.split_off(from)
+    }
+    /// Truncates the durable log to its first `len` records, discarding any
+    /// buffered (unflushed) tail as well. Returns `false` when the device
+    /// does not support truncation (the default), `true` on success — a
+    /// no-op truncation (`len >= durable_len`) still counts as success.
+    /// Used by replication to cut a rejoining primary's divergent suffix:
+    /// records past what the surviving quorum replicated must not resurface
+    /// on recovery.
+    fn truncate_to(&self, _len: usize) -> bool {
+        false
+    }
 }
 
 /// An in-memory log device. "Durable" records survive only as long as the
@@ -176,6 +197,25 @@ impl LogDevice for MemLogDevice {
 
     fn read_back(&self) -> Vec<LogRecord> {
         self.inner.lock().durable.clone()
+    }
+
+    fn durable_len(&self) -> usize {
+        self.inner.lock().durable.len()
+    }
+
+    fn read_from(&self, from: usize) -> Vec<LogRecord> {
+        let inner = self.inner.lock();
+        match inner.durable.get(from..) {
+            Some(tail) => tail.to_vec(),
+            None => Vec::new(),
+        }
+    }
+
+    fn truncate_to(&self, len: usize) -> bool {
+        let mut inner = self.inner.lock();
+        inner.durable.truncate(len);
+        inner.buffered.clear();
+        true
     }
 }
 
@@ -255,6 +295,29 @@ mod tests {
         dev.append(&op(2, 3));
         dev.crash();
         assert_eq!(dev.read_back().len(), 2, "unflushed records are lost");
+    }
+
+    #[test]
+    fn mem_device_incremental_read_and_truncate() {
+        let dev = MemLogDevice::new();
+        for i in 0..5 {
+            dev.append(&op(1, i));
+        }
+        dev.flush();
+        assert_eq!(dev.durable_len(), 5);
+        assert_eq!(dev.read_from(0).len(), 5);
+        assert_eq!(dev.read_from(3), vec![op(1, 3), op(1, 4)]);
+        assert_eq!(dev.read_from(5), Vec::new());
+        assert_eq!(dev.read_from(99), Vec::new());
+        // Truncation cuts the durable suffix and any buffered tail.
+        dev.append(&op(2, 9));
+        assert!(dev.truncate_to(2));
+        assert_eq!(dev.read_back(), vec![op(1, 0), op(1, 1)]);
+        dev.flush();
+        assert_eq!(dev.durable_len(), 2, "buffered tail was discarded too");
+        // No-op truncation past the end still succeeds.
+        assert!(dev.truncate_to(10));
+        assert_eq!(dev.durable_len(), 2);
     }
 
     #[test]

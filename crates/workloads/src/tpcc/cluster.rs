@@ -606,7 +606,7 @@ impl ClusterWorkload for ClusterTpcc {
     fn load(&self, cluster: &Cluster) {
         for shard in 0..cluster.shard_count() {
             let db = cluster.shard(shard);
-            transactions::load_partition(db, &self.inner.keys, &self.inner.params, |w| {
+            transactions::load_partition(&db, &self.inner.keys, &self.inner.params, |w| {
                 cluster.shard_of(w as u64) == shard
             });
         }
@@ -668,8 +668,8 @@ mod tests {
         ClusterWorkload::load(&workload, &cluster);
         // Warehouse 0 lives on shard 0, warehouse 1 on shard 1 (modulo).
         let keys = &workload.inner.keys;
-        let shard0 = cluster.shard(0).store();
-        let shard1 = cluster.shard(1).store();
+        let (db0, db1) = (cluster.shard(0), cluster.shard(1));
+        let (shard0, shard1) = (db0.store(), db1.store());
         use tebaldi_storage::ReadSpec::LatestCommitted;
         assert!(shard0.read(&keys.warehouse(0), LatestCommitted).is_some());
         assert!(shard0.read(&keys.warehouse(1), LatestCommitted).is_none());

@@ -399,3 +399,142 @@ fn killed_shard_server_mid_prepare_recovers_in_doubt_and_reconnects() {
     }
     restarted.shutdown();
 }
+
+/// Kill a shard primary mid-prepare under a seeded hostile plan — the
+/// replica link lanes drop/delay/partition the shipped log stream — then
+/// promote its backup and destroy the dead primary's WAL. The replication
+/// promises under test: every acknowledged transaction survives on the
+/// promoted backup (the quorum gate shipped it before the ack), balances
+/// conserve on the recovered state, no shard ever observes two decisions
+/// for one transaction, and the *same* cluster resumes traffic through
+/// the repointed transport.
+#[test]
+fn killed_primary_mid_prepare_promotes_backup_and_conserves() {
+    use tebaldi_suite::cluster::{ReplicationConfig, TransportKind};
+
+    const VICTIM: usize = 1;
+    let mut config = ClusterConfig::for_tests(SHARDS);
+    config.db_config.durability = DurabilityMode::Synchronous;
+    config.transport = TransportKind::Tcp;
+    config.fault_plan = Some(FaultPlan::hostile(0xD1ED));
+    config.prepare_timeout_ms = 5_000;
+    config.replication = Some(ReplicationConfig {
+        replicas: 1,
+        quorum: 1,
+        ack_timeout_ms: 2_000,
+    });
+    let cluster = Arc::new(builder(config).build().unwrap());
+
+    // Acked cross-shard transfers under the hostile plan.
+    let mut rng = StdRng::seed_from_u64(0xD1ED);
+    let mut committed = 0;
+    for _ in 0..8 {
+        let a = rng.gen_range(0..ACCOUNTS);
+        let offset = rng.gen_range(1..SHARDS as u64);
+        let b = (a + offset) % ACCOUNTS;
+        let amount = rng.gen_range(1..50);
+        if cluster
+            .execute_multi(transfer_parts(&cluster, a, b, amount))
+            .is_ok()
+        {
+            committed += 1;
+        }
+    }
+    assert!(committed > 0, "no transfer committed before the kill");
+
+    // A known acknowledged write on the victim shard, on an account
+    // outside the conservation set. Its ack implies the quorum gate
+    // shipped it, so it must survive the primary's death.
+    let probe = (ACCOUNTS..ACCOUNTS + 4 * SHARDS as u64)
+        .find(|&i| cluster.shard_of(i) == VICTIM)
+        .unwrap();
+    let mut probe_acked = false;
+    for _ in 0..50 {
+        if let Ok((value, _)) = cluster.execute_single(
+            VICTIM,
+            procs::KV_INCREMENT,
+            &ProcedureCall::new(TY),
+            procs::increment_args(account_key(probe), 0, 77),
+            50,
+        ) {
+            assert_eq!(value.as_int(), Some(77));
+            probe_acked = true;
+            break;
+        }
+    }
+    assert!(probe_acked, "the probe write never got through the faults");
+
+    // Kill the primary while a slow cross-shard prepare is in flight on
+    // it. Either interleaving must stay atomic: the prepare's record
+    // ships before the kill (the vote goes out, the decision resolves it
+    // on the promoted backup) or it does not (the quorum gate refuses
+    // the vote and both parts abort).
+    let debit = (0..ACCOUNTS)
+        .find(|&i| cluster.shard_of(i) != VICTIM)
+        .unwrap();
+    let credit = (0..ACCOUNTS)
+        .find(|&i| cluster.shard_of(i) == VICTIM)
+        .unwrap();
+    let victim_parts = vec![
+        procs::increment_part(
+            cluster.shard_of(debit),
+            ProcedureCall::new(TY),
+            account_key(debit),
+            0,
+            -40,
+        ),
+        tebaldi_suite::cluster::ShardPart::new(
+            VICTIM,
+            ProcedureCall::new(TY),
+            SLOW_INC,
+            procs::increment_args(account_key(credit), 0, 40),
+        ),
+    ];
+    let inflight = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || cluster.execute_multi(victim_parts))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    let old_log = cluster.shard_log(VICTIM);
+    let report = cluster.promote_backup(VICTIM).expect("promotion succeeds");
+    assert_eq!(report.discarded_unsealed_epoch, 0);
+    // The dead primary's WAL is destroyed: nothing below may depend on it.
+    assert!(old_log.truncate_to(0));
+    let _ = inflight.join().expect("coordinator thread panicked");
+
+    // The same cluster resumes traffic through the promoted backup.
+    let mut resumed = None;
+    for _ in 0..50 {
+        if let Ok((value, _)) = cluster.execute_single(
+            VICTIM,
+            procs::KV_INCREMENT,
+            &ProcedureCall::new(TY),
+            procs::increment_args(account_key(probe), 0, 3),
+            50,
+        ) {
+            resumed = value.as_int();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        resumed,
+        Some(80),
+        "the acked probe write must survive the failover (77 + 3)"
+    );
+
+    // Balances conserve on the recovered state — the victim's side reads
+    // from the promoted backup's log, the old primary's WAL is gone.
+    let sum = recovered_sum(&cluster);
+    assert_eq!(sum, 0, "recovered balances must conserve (sum {sum} != 0)");
+
+    let metrics = cluster.metrics();
+    assert_eq!(
+        metrics.counter("decisions.conflict").unwrap_or(0),
+        0,
+        "a shard saw two different decisions for one transaction"
+    );
+    assert_eq!(cluster.stats().failovers, 1);
+    cluster.shutdown();
+}

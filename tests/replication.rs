@@ -1,0 +1,252 @@
+//! Replication tests: WAL shipping, the quorum-gated commit path,
+//! bounded-staleness follower reads, and backup promotion.
+//!
+//! The properties under test:
+//!
+//! * **ship before ack** — with a quorum configured, a transaction is
+//!   acknowledged only after `quorum` backups have durably acknowledged
+//!   every WAL record the commit hardened, so losing the primary's WAL
+//!   after an ack loses nothing.
+//! * **bounded staleness** — a follower read (and a follower's read-only
+//!   vote) names the LSN it requires; a follower behind that LSN must
+//!   catch up within the wait budget or refuse. This preserves the
+//!   ReadOnly-vote-serializes-at-vote-time contract: a follower never
+//!   votes on state it does not actually hold.
+//! * **promotion** — failing a shard over to its backup recovers every
+//!   acknowledged write from the shipped log, resumes traffic on the
+//!   same cluster object, and leaves the old primary's log a truncatable
+//!   prefix of the new one.
+
+use std::time::Duration;
+use tebaldi_suite::cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
+use tebaldi_suite::cluster::procs;
+use tebaldi_suite::cluster::{
+    truncate_divergent_suffix, Cluster, ClusterBuilder, ClusterConfig, ReplicationConfig,
+    TransportKind,
+};
+use tebaldi_suite::core::{DurabilityMode, ProcedureCall};
+use tebaldi_suite::storage::{Key, TableId, TxnTypeId};
+
+const TABLE: TableId = TableId(0);
+const TY: TxnTypeId = TxnTypeId(0);
+
+fn procedures() -> ProcedureSet {
+    let mut set = ProcedureSet::new();
+    set.insert(ProcedureInfo::new(
+        TY,
+        "increment",
+        vec![(TABLE, AccessMode::Write)],
+    ));
+    set
+}
+
+fn builder(config: ClusterConfig) -> ClusterBuilder {
+    Cluster::builder(config)
+        .procedures(procedures())
+        .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+}
+
+fn key(id: u64) -> Key {
+    Key::simple(TABLE, id)
+}
+
+/// Single-shard increment; returns the post-increment value.
+fn increment(cluster: &Cluster, id: u64, delta: i64) -> i64 {
+    let shard = cluster.shard_of(id);
+    let (value, _) = cluster
+        .execute_single(
+            shard,
+            procs::KV_INCREMENT,
+            &ProcedureCall::new(TY),
+            procs::increment_args(key(id), 0, delta),
+            50,
+        )
+        .expect("increment commits");
+    value.as_int().expect("increment returns an int")
+}
+
+/// Every acknowledged commit must already be quorum-replicated: after the
+/// workload quiesces, each shard's quorum LSN covers its full durable log
+/// (nothing appends after the last gated ack).
+#[test]
+fn quorum_gate_ships_every_hardened_record_before_ack() {
+    let mut config = ClusterConfig::for_tests(2);
+    config.db_config.durability = DurabilityMode::Synchronous;
+    config.replication = Some(ReplicationConfig {
+        replicas: 2,
+        quorum: 2,
+        ack_timeout_ms: 5_000,
+    });
+    let cluster = builder(config).build().unwrap();
+
+    for id in 0..20u64 {
+        increment(&cluster, id, (id + 1) as i64);
+    }
+
+    for shard in 0..cluster.shard_count() {
+        let durable = cluster.shard_log(shard).durable_len() as u64;
+        let group = cluster.replication(shard).expect("shard is replicated");
+        assert_eq!(group.replica_count(), 2);
+        assert!(
+            group.quorum_lsn() >= durable,
+            "shard {shard}: quorum LSN {} behind durable log {durable} after ack",
+            group.quorum_lsn()
+        );
+        // The gate never fell back to local-only durability.
+        assert_eq!(group.acks_timed_out(), 0);
+    }
+
+    // Both followers of the written shard serve the freshest value.
+    let shard = cluster.shard_of(3);
+    for replica in 0..2 {
+        let value = cluster
+            .follower_read(shard, replica, &key(3), Duration::from_secs(5))
+            .expect("follower read succeeds");
+        assert_eq!(value.and_then(|v| v.as_int()), Some(4));
+    }
+    let stats = cluster.stats();
+    assert!(stats.follower_reads >= 2, "follower reads must be counted");
+    assert_eq!(stats.failovers, 0);
+    cluster.shutdown();
+}
+
+/// A follower behind the required LSN refuses both reads and read-only
+/// votes until it catches up; resuming shipping heals it.
+#[test]
+fn stale_follower_refuses_reads_and_votes_until_caught_up() {
+    let mut config = ClusterConfig::for_tests(1);
+    config.db_config.durability = DurabilityMode::Synchronous;
+    config.replication = Some(ReplicationConfig {
+        replicas: 1,
+        quorum: 1,
+        // Short, so commits gated while shipping is paused degrade fast
+        // instead of wedging the test.
+        ack_timeout_ms: 50,
+    });
+    let cluster = builder(config).build().unwrap();
+
+    assert_eq!(increment(&cluster, 7, 1), 1);
+    let group = cluster.replication(0).expect("shard is replicated");
+    assert!(group.sync(), "follower must catch up while shipping runs");
+
+    // Freeze the ship stream and commit past the follower.
+    group.set_paused(true);
+    assert_eq!(increment(&cluster, 7, 1), 2);
+    let required = cluster.shard_log(0).durable_len() as u64;
+
+    // The follower holds a stale prefix: the read-only vote gate must
+    // refuse rather than vote on state it does not hold (the vote would
+    // otherwise claim to serialize at an LSN the follower never saw).
+    let refused = group
+        .follower_vote_gate(0, required, Duration::from_millis(50))
+        .expect_err("stale follower must refuse the vote");
+    assert!(refused.applied < refused.required);
+    assert!(cluster
+        .follower_read(0, 0, &key(7), Duration::from_millis(50))
+        .is_err());
+
+    // Shipping resumes: the same gate admits the vote and the read sees
+    // the post-pause value.
+    group.set_paused(false);
+    let applied = group
+        .follower_vote_gate(0, required, Duration::from_secs(5))
+        .expect("caught-up follower votes");
+    assert!(applied >= required);
+    let value = cluster
+        .follower_read(0, 0, &key(7), Duration::from_secs(5))
+        .expect("caught-up follower reads");
+    assert_eq!(value.and_then(|v| v.as_int()), Some(2));
+
+    // The refusals and the degraded acks were counted for the operator.
+    let metrics = cluster.metrics();
+    assert!(
+        metrics
+            .counter("replication.follower_read_refusals")
+            .unwrap_or(0)
+            >= 1
+    );
+    assert!(cluster.stats().replica_acks_timed_out >= 1);
+    cluster.shutdown();
+}
+
+/// Clean failover: promotion recovers every acknowledged write from the
+/// follower's log, the same cluster resumes traffic through the repointed
+/// transport, and the old primary's log truncates to a prefix of the
+/// promoted log (the rejoin path).
+#[test]
+fn promote_backup_preserves_acked_writes_and_resumes_traffic() {
+    let mut config = ClusterConfig::for_tests(2);
+    config.db_config.durability = DurabilityMode::Synchronous;
+    config.transport = TransportKind::Tcp;
+    config.replication = Some(ReplicationConfig {
+        replicas: 1,
+        quorum: 1,
+        ack_timeout_ms: 5_000,
+    });
+    let cluster = builder(config).build().unwrap();
+
+    // Acknowledged work on both shards (ids picked by where the router
+    // actually places them).
+    let on_promoted: Vec<u64> = (0..100).filter(|&i| cluster.shard_of(i) == 0).collect();
+    let other = (0..100).find(|&i| cluster.shard_of(i) == 1).unwrap();
+    let (a, b) = (on_promoted[0], on_promoted[1]);
+    assert_eq!(increment(&cluster, a, 10), 10);
+    assert_eq!(increment(&cluster, b, 20), 20);
+    assert_eq!(increment(&cluster, other, 30), 30);
+
+    let old_log = cluster.shard_log(0);
+    let group = cluster.replication(0).expect("shard 0 is replicated");
+    let replicated = group.replicated_len();
+    assert!(replicated > 0);
+
+    let report = cluster.promote_backup(0).expect("promotion succeeds");
+    assert!(report.recovered_txns >= 2, "acked commits must recover");
+    assert_eq!(report.discarded_unsealed_epoch, 0);
+    assert!(
+        cluster.replication(0).is_none(),
+        "the promoted shard no longer has a replication group"
+    );
+
+    // Every acknowledged write survives, served by the promoted backup
+    // through the same cluster object (increment-by-zero reads the value).
+    assert_eq!(increment(&cluster, a, 0), 10);
+    assert_eq!(increment(&cluster, b, 0), 20);
+    assert_eq!(increment(&cluster, other, 0), 30, "untouched shard intact");
+
+    // New work commits on the promoted primary and orders above the
+    // recovered versions.
+    assert_eq!(increment(&cluster, a, 5), 15);
+    assert_eq!(cluster.stats().failovers, 1);
+
+    // Rejoin: the old primary's log truncates to its replicated prefix,
+    // which must be an exact prefix of the promoted log.
+    assert!(truncate_divergent_suffix(old_log.as_ref(), replicated));
+    let old_records = old_log.read_back();
+    let new_records = cluster.shard_log(0).read_back();
+    assert!(old_records.len() <= new_records.len());
+    assert_eq!(
+        old_records,
+        new_records[..old_records.len()],
+        "rejoined log must be a prefix of the promoted primary's"
+    );
+
+    cluster.shutdown();
+}
+
+/// The in-process transport cannot repoint a shard; promotion must fail
+/// closed without touching the running shard.
+#[test]
+fn promotion_requires_an_addressed_transport() {
+    let mut config = ClusterConfig::for_tests(1);
+    config.transport = TransportKind::InProcess;
+    config.replication = Some(ReplicationConfig {
+        replicas: 1,
+        quorum: 1,
+        ack_timeout_ms: 1_000,
+    });
+    let cluster = builder(config).build().unwrap();
+    assert_eq!(increment(&cluster, 0, 1), 1);
+    let err = cluster.promote_backup(0).expect_err("in-process repoint");
+    assert!(err.contains("repoint"), "unexpected error: {err}");
+    cluster.shutdown();
+}

@@ -85,6 +85,9 @@ fn result_from_seed((variant, a, b): (u32, u64, u64)) -> Result<ShardResponse, C
             in_doubt: a % 7,
             queue_wait_ns: a.wrapping_add(b),
             pipeline_depth: b % 33,
+            follower_reads: b.rotate_left(17),
+            failovers: a % 3,
+            replica_acks_timed_out: a.wrapping_mul(31) ^ b,
         })),
         4 => Ok(ShardResponse::Flushed),
         5 => Err(CcError::Conflict {
