@@ -63,6 +63,12 @@ struct Row {
     replication_lag: u64,
     /// Bounded-staleness reads served by backups (zero: see above).
     follower_reads: u64,
+    /// Zero-2PC HLC snapshot reads (this sweep keeps reads on the vote
+    /// path, so always zero here; the column keeps the schema uniform).
+    snapshot_reads: u64,
+    /// Nanoseconds snapshot reads spent waiting out in-flight writers
+    /// (zero: see above).
+    snapshot_read_wait_ns: u64,
     /// Batched transactions the DGCC scheduler deferred past wave zero
     /// (zero on the non-batch legs).
     batch_scheduled: u64,
@@ -232,6 +238,8 @@ fn main() {
                     bytes_on_wire: stats.bytes_on_wire,
                     replication_lag: 0,
                     follower_reads: stats.follower_reads,
+                    snapshot_reads: stats.snapshot_reads,
+                    snapshot_read_wait_ns: stats.snapshot_read_wait_ns,
                     batch_scheduled: stats.batch_scheduled,
                     batch_aborts: stats.batch_aborts,
                 };
@@ -303,6 +311,8 @@ fn main() {
             bytes_on_wire: 0,
             replication_lag: 0,
             follower_reads: 0,
+            snapshot_reads: 0,
+            snapshot_read_wait_ns: 0,
             batch_scheduled: leg.scheduled,
             batch_aborts: leg.aborted,
         });

@@ -49,10 +49,14 @@
 use serde::Serialize;
 use std::sync::Arc;
 use tebaldi_bench::common::{banner, fmt_tput, ExperimentOptions};
-use tebaldi_cluster::{ClusterConfig, ReplicationConfig, TransportKind};
+use tebaldi_cluster::{ClusterConfig, ReadConsistency, ReplicationConfig, TransportKind};
 use tebaldi_core::DurabilityMode;
 use tebaldi_workloads::tpcc::cluster::ClusterTpcc;
-use tebaldi_workloads::tpcc::{configs, schema::TpccParams, Tpcc};
+use tebaldi_workloads::tpcc::{
+    configs,
+    schema::{types as tpcc_types, TpccParams},
+    Tpcc,
+};
 use tebaldi_workloads::ClusterWorkload;
 
 /// One measured row of the scale-out sweep.
@@ -90,6 +94,12 @@ struct Row {
     /// Bounded-staleness reads served by backups (zero on the
     /// unreplicated legs).
     follower_reads: u64,
+    /// Cross-shard reads served on the zero-2PC HLC snapshot path (only
+    /// non-zero on the snapshot read-mix leg).
+    snapshot_reads: u64,
+    /// Nanoseconds snapshot reads spent waiting out overlapping
+    /// uncommitted writers.
+    snapshot_read_wait_ns: u64,
     /// Batched transactions the DGCC scheduler deferred past wave zero
     /// (zero on the non-batch legs).
     batch_scheduled: u64,
@@ -300,6 +310,8 @@ fn main() {
                     bytes_on_wire: stats.bytes_on_wire,
                     replication_lag: metrics.gauge("replication.lag_records").unwrap_or(0),
                     follower_reads: stats.follower_reads,
+                    snapshot_reads: stats.snapshot_reads,
+                    snapshot_read_wait_ns: stats.snapshot_read_wait_ns,
                     batch_scheduled: stats.batch_scheduled,
                     batch_aborts: stats.batch_aborts,
                 });
@@ -322,6 +334,135 @@ fn main() {
             );
             rows.push(row);
         }
+    }
+
+    // Read-mix legs: the same cluster at 4 shards under a read-heavy mix
+    // (50% order_status / 30% stock_level, 30% remote status customers),
+    // once with reads on the read-only-2PC vote path (Strong) and once on
+    // the HLC snapshot path (`ReadConsistency::Snapshot` as the cluster
+    // default, which the workload read profiles route through). A snapshot
+    // read takes no locks, writes no prepare or decision record, and skips
+    // SSI read-set tracking on the wide stock_level scans, so the snapshot
+    // leg must win and must carry live `snapshot_reads` counters.
+    let read_shards = 4usize;
+    let read_remote_pct = 0.30;
+    let read_mix = vec![
+        (tpcc_types::NEW_ORDER, 10.0),
+        (tpcc_types::PAYMENT, 10.0),
+        (tpcc_types::ORDER_STATUS, 50.0),
+        (tpcc_types::STOCK_LEVEL, 30.0),
+    ];
+    for snapshot in [false, true] {
+        let commit_path: &'static str = if snapshot {
+            "read-snapshot"
+        } else {
+            "read-2pc"
+        };
+        let mut samples: Vec<Row> = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            let params = TpccParams {
+                warehouses: warehouses_per_shard * read_shards as u32,
+                ..TpccParams::default()
+            };
+            let workload_impl = ClusterTpcc::new(Tpcc::new(params).with_mix(read_mix.clone()))
+                .with_remote_rates(remote_line_pct, read_remote_pct);
+            let workload: Arc<dyn ClusterWorkload> = Arc::new(workload_impl);
+            let mut cluster_config = ClusterConfig::for_benchmarks(read_shards);
+            cluster_config.db_config.durability = DurabilityMode::Synchronous;
+            cluster_config.db_config.group_commit = true;
+            cluster_config.db_config.read_only_votes = true;
+            cluster_config.max_inflight_per_shard = pipeline_window;
+            if snapshot {
+                cluster_config.default_read_consistency = ReadConsistency::Snapshot;
+            }
+            if options.quick {
+                cluster_config.workers_per_shard = 2;
+            }
+
+            let label = format!("{read_shards}-shard/{commit_path}/in-process/w{pipeline_window}");
+            let bench = options.bench_options(clients, &label);
+            let flush_latency = std::time::Duration::from_micros(20);
+            let shard_logs: Vec<std::sync::Arc<dyn tebaldi_storage::wal::LogDevice>> = (0
+                ..read_shards)
+                .map(|_| {
+                    std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                        flush_latency,
+                    )) as _
+                })
+                .collect();
+            let decision_log: std::sync::Arc<dyn tebaldi_storage::wal::LogDevice> =
+                std::sync::Arc::new(tebaldi_storage::wal::MemLogDevice::with_flush_latency(
+                    flush_latency,
+                ));
+            let mut registry = tebaldi_core::ProcRegistry::new();
+            workload.register_procedures(&mut registry);
+            let cluster = Arc::new(
+                tebaldi_cluster::Cluster::builder(cluster_config)
+                    .procedures(workload.procedures())
+                    .shard_procedures(registry)
+                    .cc_spec(configs::monolithic_ssi())
+                    .shard_logs(shard_logs)
+                    .decision_log(decision_log)
+                    .build()
+                    .expect("cluster build"),
+            );
+            workload.load(&cluster);
+            let result = tebaldi_workloads::run_cluster_benchmark(&cluster, &workload, &bench);
+            let stats = cluster.stats();
+            let metrics = cluster.metrics();
+            cluster.shutdown();
+
+            let routed = stats.single_shard + stats.multi_shard;
+            let single_fraction = if routed > 0 {
+                stats.single_shard as f64 / routed as f64
+            } else {
+                1.0
+            };
+            samples.push(Row {
+                shards: read_shards,
+                clients,
+                commit_path,
+                transport: "in-process",
+                max_inflight: pipeline_window,
+                throughput: result.throughput,
+                committed: result.committed,
+                aborted: result.aborted,
+                abort_rate: result.abort_rate(),
+                p50_ms: result.latency_overall.p50_ms,
+                p95_ms: result.latency_overall.p95_ms,
+                p99_ms: result.latency_overall.p99_ms,
+                single_shard_txns: stats.single_shard,
+                multi_shard_txns: stats.multi_shard,
+                single_shard_fraction: single_fraction,
+                flushes: stats.flushes,
+                flushes_per_commit: stats.flushes_per_commit,
+                prepared_lock_window_ns: stats.prepared_lock_window_ns,
+                queue_wait_ns: stats.prepare_queue_wait_ns,
+                hardening_ns: stats.prepare_hardening_ns,
+                pipeline_depth: stats.max_pipeline_depth,
+                read_only_votes: stats.read_only_votes,
+                one_phase_commits: stats.coordinator.one_phase,
+                coalesced_flushes: stats.coalesced_flushes,
+                messages_sent: stats.messages_sent,
+                bytes_on_wire: stats.bytes_on_wire,
+                replication_lag: metrics.gauge("replication.lag_records").unwrap_or(0),
+                follower_reads: stats.follower_reads,
+                snapshot_reads: stats.snapshot_reads,
+                snapshot_read_wait_ns: stats.snapshot_read_wait_ns,
+                batch_scheduled: stats.batch_scheduled,
+                batch_aborts: stats.batch_aborts,
+            });
+        }
+        samples.sort_by(|a, b| a.throughput.total_cmp(&b.throughput));
+        let row = samples[samples.len() / 2].clone();
+        println!(
+            "read-mix leg ({commit_path}): {} at {read_shards} shards, {:.1}% aborts, {} snapshot reads, snapshot wait {:.1}us",
+            fmt_tput(row.throughput),
+            row.abort_rate * 100.0,
+            row.snapshot_reads,
+            row.snapshot_read_wait_ns as f64 / 1_000.0,
+        );
+        rows.push(row);
     }
 
     // DGCC batch-scheduling leg: the same contended cross-shard batch
@@ -380,6 +521,8 @@ fn main() {
             bytes_on_wire: 0,
             replication_lag: 0,
             follower_reads: 0,
+            snapshot_reads: 0,
+            snapshot_read_wait_ns: 0,
             batch_scheduled: leg.scheduled,
             batch_aborts: leg.aborted,
         });
@@ -507,6 +650,31 @@ fn main() {
         if replicated.throughput * 2.0 < plain.throughput {
             println!(
                 "WARNING: quorum-gated throughput below half the unreplicated tcp leg at 4 shards"
+            );
+        }
+    }
+
+    // Snapshot-read acceptance at 4 shards: on the read-heavy mix the
+    // zero-2PC HLC snapshot path must beat the read-only-2PC vote path,
+    // and the snapshot counters must be live (proof the workload read
+    // profiles actually routed through `ReadConsistency::Snapshot`).
+    let read_leg = |path: &str| report.rows.iter().find(|r| r.commit_path == path);
+    if let (Some(vote), Some(snap)) = (read_leg("read-2pc"), read_leg("read-snapshot")) {
+        println!(
+            "read mix at {read_shards} shards: {} read-only-2PC vs {} snapshot ({:+.1}%); \
+             {} snapshot reads, wait {:.1}us",
+            fmt_tput(vote.throughput),
+            fmt_tput(snap.throughput),
+            (snap.throughput / vote.throughput - 1.0) * 100.0,
+            snap.snapshot_reads,
+            snap.snapshot_read_wait_ns as f64 / 1_000.0,
+        );
+        if snap.snapshot_reads == 0 {
+            println!("WARNING: snapshot read-mix leg served zero snapshot reads");
+        }
+        if snap.throughput <= vote.throughput {
+            println!(
+                "WARNING: snapshot reads did not beat the read-only-2PC path at {read_shards} shards"
             );
         }
     }

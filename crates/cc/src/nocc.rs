@@ -77,6 +77,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: None,
+            hlc: 0,
         });
         chain.commit(TxnId(1), Timestamp(1));
         let mut ctx = TxnCtx::new(TxnId(2), TxnTypeId(0), GroupId(0));

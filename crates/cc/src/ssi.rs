@@ -539,6 +539,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: None,
+            hlc: 0,
         });
         chain.commit(TxnId(writer), Timestamp(ts));
         chain
@@ -590,6 +591,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: None,
+            hlc: 0,
         });
         assert!(ssi
             .check_first_committer_wins(&a, &chain, Lane::child(0))
@@ -623,6 +625,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: None,
+            hlc: 0,
         });
         let _ = ssi.choose_version(&mut u, Lane::child(1), &k(2), None, &y_chain);
 

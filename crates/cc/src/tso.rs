@@ -414,6 +414,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: early.order_ts,
+            hlc: 0,
         });
         let pick = tso
             .choose_version(&mut late, Lane::leaf(), &k(1), None, &chain)
@@ -472,6 +473,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: None,
+            hlc: 0,
         });
         chain.commit(TxnId(900), Timestamp(1_000_000));
         let pick = tso
@@ -494,6 +496,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: None,
+            hlc: 0,
         });
         chain.commit(TxnId(901), Timestamp(1_000_000));
         let err = tso

@@ -144,6 +144,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: None,
+            hlc: 0,
         }
     }
 

@@ -47,10 +47,15 @@ pub enum ShardRequest {
         /// Trace context (`TraceCtx::NONE` when unsampled).
         trace: TraceCtx,
     },
-    /// 2PC phase two: commit the prepared transaction `global`.
+    /// 2PC phase two: commit the prepared transaction `global`, stamping
+    /// its versions with the coordinator's HLC decision stamp (every
+    /// participant of one global commit receives the same stamp — the
+    /// atomic-visibility rule of cross-shard snapshot reads).
     Commit {
         /// Cluster-global transaction id.
         global: u64,
+        /// Coordinator-chosen HLC decision stamp (`0` = unstamped).
+        hlc: u64,
     },
     /// One-phase commit of the lone read-write participant: behaviorally a
     /// [`Commit`](ShardRequest::Commit), kept distinct so the wire protocol
@@ -58,6 +63,8 @@ pub enum ShardRequest {
     CommitOnePhase {
         /// Cluster-global transaction id.
         global: u64,
+        /// Coordinator-chosen HLC decision stamp (`0` = unstamped).
+        hlc: u64,
     },
     /// 2PC phase two: abort `global` (also delivered for timed-out votes,
     /// where the shard may not have prepared yet — see the orphan-abort
@@ -65,6 +72,22 @@ pub enum ShardRequest {
     Abort {
         /// Cluster-global transaction id.
         global: u64,
+    },
+    /// Multi-key read at a global HLC snapshot — the zero-2PC, zero-lock
+    /// read path. The shard merges `snapshot` into its clock *first* (so
+    /// every later local commit stamps above it), then serves each key from
+    /// the newest committed version stamped `<= snapshot`, waiting out (up
+    /// to `wait_ms`) any overlapping uncommitted writer rather than taking
+    /// locks. No prepare record, no decision-log record, no vote.
+    SnapshotRead {
+        /// The global snapshot timestamp (an HLC value the coordinator
+        /// drew from its own clock).
+        snapshot: u64,
+        /// Budget for waiting out in-flight writers before refusing with a
+        /// retryable error.
+        wait_ms: u64,
+        /// The keys to read, all owned by this shard.
+        keys: Vec<tebaldi_storage::Key>,
     },
     /// Admin: snapshot the shard's engine counters.
     Stats,
@@ -77,12 +100,18 @@ pub enum ShardRequest {
 }
 
 impl ShardRequest {
-    /// True for the two requests that execute a transaction body (and
-    /// therefore run on the shard's worker pool rather than inline).
+    /// True for the requests that run on the shard's worker pool rather
+    /// than inline on the transport thread: the two body-running requests,
+    /// plus snapshot reads — which run no body but may *block* waiting out
+    /// an in-flight writer, and must never stall the connection's reader
+    /// thread (that would queue phase-two decisions behind them and
+    /// stretch the prepared-lock window).
     pub fn runs_body(&self) -> bool {
         matches!(
             self,
-            ShardRequest::Execute { .. } | ShardRequest::Prepare { .. }
+            ShardRequest::Execute { .. }
+                | ShardRequest::Prepare { .. }
+                | ShardRequest::SnapshotRead { .. }
         )
     }
 
@@ -131,6 +160,12 @@ pub struct ShardStatsReply {
     /// Hardened batches acked on local durability alone because the
     /// replica quorum missed its ack deadline (degraded mode).
     pub replica_acks_timed_out: u64,
+    /// HLC snapshot-read requests served by this shard (the zero-2PC read
+    /// path; one request may cover many keys).
+    pub snapshot_reads: u64,
+    /// Total nanoseconds snapshot reads spent waiting out in-flight
+    /// writers before their versions resolved.
+    pub snapshot_read_wait_ns: u64,
 }
 
 /// A shard's reply to a [`ShardRequest`].
@@ -151,9 +186,24 @@ pub enum ShardResponse {
         value: Value,
         /// `ReadWrite` (parked in doubt) or `ReadOnly` (already committed).
         vote: Vote,
+        /// The shard's HLC reading at vote time, drawn *after* the prepare
+        /// hardened. The coordinator observes every vote clock before
+        /// drawing the decision stamp, which keeps decision stamps above
+        /// every stamp already committed on the participants' chains (and
+        /// above every snapshot any participant has served).
+        hlc: u64,
     },
     /// Acknowledges a phase-two decision.
     Decided,
+    /// Reply to [`SnapshotRead`](ShardRequest::SnapshotRead): per-key
+    /// values in request order (`Value::Null` = absent at the snapshot).
+    Snapshot {
+        /// The value visible at the snapshot for each requested key.
+        values: Vec<Value>,
+        /// The shard's HLC reading after serving the read (frame-level
+        /// clock merge for in-process transports).
+        hlc: u64,
+    },
     /// Reply to [`Stats`](ShardRequest::Stats).
     Stats(ShardStatsReply),
     /// Acknowledges [`Flush`](ShardRequest::Flush).
@@ -174,13 +224,23 @@ impl ShardResponse {
         }
     }
 
-    /// Extracts the value/vote of a [`Prepared`](ShardResponse::Prepared)
-    /// reply.
-    pub fn into_prepared(self) -> CcResult<(Value, Vote)> {
+    /// Extracts the value/vote/vote-clock of a
+    /// [`Prepared`](ShardResponse::Prepared) reply.
+    pub fn into_prepared(self) -> CcResult<(Value, Vote, u64)> {
         match self {
-            ShardResponse::Prepared { value, vote } => Ok((value, vote)),
+            ShardResponse::Prepared { value, vote, hlc } => Ok((value, vote, hlc)),
             other => Err(CcError::Internal(format!(
                 "expected a Prepared reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Extracts the values of a [`Snapshot`](ShardResponse::Snapshot) reply.
+    pub fn into_snapshot(self) -> CcResult<(Vec<Value>, u64)> {
+        match self {
+            ShardResponse::Snapshot { values, hlc } => Ok((values, hlc)),
+            other => Err(CcError::Internal(format!(
+                "expected a Snapshot reply, got {other:?}"
             ))),
         }
     }

@@ -13,12 +13,12 @@ use crate::transport::{
 };
 use crate::worker::{error_status, ShardWorkers, Ticket, Vote};
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tebaldi_cc::{CcResult, CcTreeSpec, ProcedureSet};
-use tebaldi_core::{Database, DbConfig, ProcId, ProcRegistry, ProcedureCall};
+use tebaldi_core::{Database, DbConfig, Hlc, ProcId, ProcRegistry, ProcedureCall};
 use tebaldi_obs::{self as obs, Counter, Histogram, MetricsRegistry, MetricsSnapshot, TraceCtx};
 use tebaldi_storage::recovery::{recover_with_resolver, RecoveryReport};
 use tebaldi_storage::wal::{LogDevice, MemLogDevice};
@@ -107,6 +107,11 @@ pub struct ClusterConfig {
     /// `replication.ack_timeout_ms`) before a hardened batch is
     /// acknowledged. `None` runs unreplicated single-copy shards.
     pub replication: Option<ReplicationConfig>,
+    /// The consistency level reads run at when the caller does not pick
+    /// one explicitly (workload read profiles route through this, so one
+    /// config/env switch moves a whole benchmark or test run between the
+    /// vote path and the HLC snapshot path).
+    pub default_read_consistency: ReadConsistency,
 }
 
 impl ClusterConfig {
@@ -134,6 +139,7 @@ impl ClusterConfig {
             reconnect_backoff_max_ms: 1_000,
             fault_plan: None,
             replication: test_replication(),
+            default_read_consistency: test_read_consistency(),
         }
     }
 
@@ -156,6 +162,7 @@ impl ClusterConfig {
             reconnect_backoff_max_ms: 1_000,
             fault_plan: None,
             replication: None,
+            default_read_consistency: ReadConsistency::Strong,
         }
     }
 
@@ -188,6 +195,21 @@ pub fn test_replication() -> Option<ReplicationConfig> {
     }
 }
 
+/// The default read consistency under test:
+/// `TEBALDI_TEST_READ_CONSISTENCY=snapshot` (or `bounded`) moves every
+/// default-consistency read in the test suite onto the HLC snapshot path
+/// (or the follower path), so CI can run the whole cluster group at each
+/// level.
+pub fn test_read_consistency() -> ReadConsistency {
+    match std::env::var("TEBALDI_TEST_READ_CONSISTENCY").as_deref() {
+        Ok("snapshot") => ReadConsistency::Snapshot,
+        Ok("bounded") => ReadConsistency::BoundedStaleness {
+            max_lag: Duration::from_millis(500),
+        },
+        _ => ReadConsistency::Strong,
+    }
+}
+
 /// The phase-one vote tickets of one multi-shard transaction, tagged with
 /// their shards.
 type VoteTickets = Vec<(usize, Ticket<ShardResult>)>;
@@ -216,6 +238,113 @@ impl ShardPart {
             proc,
             args,
         }
+    }
+}
+
+/// How a read observes the cluster — the one knob of the unified read API
+/// ([`Cluster::read`] / [`Cluster::execute_read`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadConsistency {
+    /// Serializable: the read runs as a read-only transaction through the
+    /// regular execute/2PC machinery, serializing at its vote point
+    /// against every concurrent writer. Linearizable with respect to
+    /// commits, and the only level that participates in the global
+    /// serialization order.
+    Strong,
+    /// Snapshot isolation at a cluster-wide HLC snapshot: the coordinator
+    /// picks one hybrid-logical-clock stamp and every shard answers from
+    /// its lock-free version chains exactly as of that stamp — zero 2PC,
+    /// zero locks, zero WAL records. A multi-shard commit is visible
+    /// either on all shards or none (decision stamps are drawn above
+    /// every participant's vote clock), so the snapshot is never torn. An
+    /// uncommitted writer overlapping the snapshot is waited out, bounded
+    /// by the cluster's prepare timeout.
+    Snapshot,
+    /// Served by each shard's most caught-up follower after it proves it
+    /// has applied the primary's durable prefix as of the read, waiting
+    /// up to `max_lag` for the follower to catch up (an error names the
+    /// LSN gap when it cannot). Offloads the primary entirely. Shards
+    /// without replication fall back to [`ReadConsistency::Snapshot`].
+    BoundedStaleness {
+        /// How long a lagging follower may take to catch up before the
+        /// read refuses rather than return stale data.
+        max_lag: Duration,
+    },
+}
+
+/// One shard's slice of a multi-key read: the target shard plus the keys
+/// it owns. The read-side analogue of [`ShardPart`].
+#[derive(Clone, Debug)]
+pub struct ReadPart {
+    /// Target shard.
+    pub shard: usize,
+    /// The keys to read there.
+    pub keys: Vec<Key>,
+}
+
+impl ReadPart {
+    /// Builds a read part.
+    pub fn new(shard: usize, keys: Vec<Key>) -> Self {
+        ReadPart { shard, keys }
+    }
+}
+
+/// Per-transaction options for [`Cluster::execute`]: the retry budget, the
+/// declared key sets the batch scheduler orders conflicts by, and the
+/// consistency level reads run at. One builder replaces the old
+/// `execute_multi` / `execute_multi_with_retry` /
+/// `execute_multi_batch_declared` entry-point fan — those remain as thin
+/// wrappers.
+#[derive(Clone, Debug)]
+pub struct TxnOptions {
+    /// Total attempts (1 = no retry). Retryable conflicts and unreachable
+    /// shards re-run the transaction under a fresh id; other errors
+    /// surface immediately.
+    pub max_attempts: usize,
+    /// The key sets this transaction declares it will touch. Only
+    /// consulted by the batch scheduler ([`Cluster::execute_batch`]),
+    /// which orders declared conflicts instead of letting them abort; a
+    /// hint, never a correctness requirement.
+    pub declared_sets: Option<BatchKeySets>,
+    /// The consistency level reads made through this options bundle use
+    /// (see [`Cluster::read`]). Writes always run Strong.
+    pub consistency: ReadConsistency,
+}
+
+impl Default for TxnOptions {
+    fn default() -> Self {
+        TxnOptions {
+            max_attempts: 1,
+            declared_sets: None,
+            consistency: ReadConsistency::Strong,
+        }
+    }
+}
+
+impl TxnOptions {
+    /// Starts an options builder with the defaults: single attempt, no
+    /// declarations, strong reads.
+    pub fn new() -> Self {
+        TxnOptions::default()
+    }
+
+    /// Sets the total attempt budget (1 = no retry).
+    pub fn retry(mut self, max_attempts: usize) -> Self {
+        self.max_attempts = max_attempts.max(1);
+        self
+    }
+
+    /// Declares the transaction's read/write key sets for the batch
+    /// scheduler.
+    pub fn declared(mut self, sets: BatchKeySets) -> Self {
+        self.declared_sets = Some(sets);
+        self
+    }
+
+    /// Sets the read consistency level.
+    pub fn consistency(mut self, consistency: ReadConsistency) -> Self {
+        self.consistency = consistency;
+        self
     }
 }
 
@@ -345,6 +474,13 @@ pub struct ClusterStats {
     /// Bounded-staleness reads served by shard followers (zero without
     /// replication).
     pub follower_reads: u64,
+    /// HLC snapshot reads served by the shards (each one a multi-key
+    /// cross-shard read that ran with zero 2PC, zero locks, and zero WAL
+    /// records).
+    pub snapshot_reads: u64,
+    /// Total nanoseconds snapshot reads spent waiting out uncommitted
+    /// writers overlapping their snapshot stamp.
+    pub snapshot_read_wait_ns: u64,
     /// Backup promotions performed (each installed a recovered backup as
     /// a shard's new primary).
     pub failovers: u64,
@@ -466,7 +602,26 @@ impl ClusterBuilder {
 
     /// Builds and starts the cluster.
     pub fn build(self) -> Result<Cluster, String> {
-        let spec = self.spec.ok_or("a CC-tree specification is required")?;
+        let mut spec = self.spec.ok_or("a CC-tree specification is required")?;
+        // The builtin read-path calls ([`crate::procs::KV_READ_TYPE`])
+        // must route to *some* CC group on every tree, or strong reads
+        // through [`Cluster::read`] would fail on clusters that only
+        // registered their workload types. Attach it to the first leaf
+        // unless the spec already claims it — read-only multi-gets are
+        // mechanism-agnostic.
+        if !spec.types().contains(&crate::procs::KV_READ_TYPE) {
+            fn first_leaf(
+                node: &mut tebaldi_cc::CcNodeSpec,
+            ) -> Option<&mut tebaldi_cc::CcNodeSpec> {
+                if node.is_leaf() {
+                    return Some(node);
+                }
+                node.children.iter_mut().find_map(first_leaf)
+            }
+            if let Some(leaf) = first_leaf(&mut spec.root) {
+                leaf.txn_types.push(crate::procs::KV_READ_TYPE);
+            }
+        }
         let n = self.config.shards;
         if n == 0 {
             return Err("a cluster needs at least one shard".to_string());
@@ -610,6 +765,7 @@ impl ClusterBuilder {
             spec,
             proc_registry: registry,
             clock: self.clock.unwrap_or_else(default_clock),
+            hlc: Arc::new(Hlc::new()),
             single_shard: metrics.counter("cluster.single_shard"),
             multi_shard: metrics.counter("cluster.multi_shard"),
             read_only_votes: metrics.counter("cluster.read_only_votes"),
@@ -653,6 +809,11 @@ pub struct Cluster {
     spec: CcTreeSpec,
     proc_registry: Arc<ProcRegistry>,
     clock: ClusterClock,
+    /// Coordinator-side hybrid logical clock. Safety does not depend on
+    /// frame-level convergence: every decision stamp is drawn *after*
+    /// observing all participant vote clocks, so the stamp is greater
+    /// than every clock that witnessed a prepared write.
+    hlc: Arc<Hlc>,
     config: ClusterConfig,
     /// Coordinator-side metrics registry. Shard databases carry their own
     /// registries; [`Cluster::metrics`] merges everything into one
@@ -752,6 +913,11 @@ impl Cluster {
     /// call within `wait`, so the value returned reflects every
     /// transaction acknowledged before the read was issued. Refuses with
     /// an error naming the LSN gap when the follower is too stale.
+    ///
+    /// Prefer [`Cluster::read`] with
+    /// [`ReadConsistency::BoundedStaleness`], which picks the most
+    /// caught-up replica itself; this entry point remains for callers that
+    /// need to target a *specific* replica (failover and staleness tests).
     pub fn follower_read(
         &self,
         shard: usize,
@@ -766,6 +932,245 @@ impl Cluster {
         group
             .follower_read(replica, key, min_lsn, wait)
             .map_err(|stale| tebaldi_cc::CcError::Internal(stale.to_string()))
+    }
+
+    /// The consistency level default-consistency reads run at (from the
+    /// configuration; `TEBALDI_TEST_READ_CONSISTENCY` under test).
+    pub fn default_read_consistency(&self) -> ReadConsistency {
+        self.config.default_read_consistency
+    }
+
+    /// Reads `keys` — each tagged with the partition key that routes it —
+    /// at the requested consistency level, returning the values in input
+    /// order (`None` for absent keys). Groups the keys by shard and
+    /// delegates to [`Cluster::execute_read`].
+    pub fn read(
+        &self,
+        keys: Vec<(u64, Key)>,
+        consistency: ReadConsistency,
+    ) -> CcResult<Vec<Option<Value>>> {
+        let (parts, order) = self.keyed_parts(&keys);
+        let flat = self.execute_read(parts, consistency)?;
+        let mut values = vec![None; keys.len()];
+        for (value, index) in flat.into_iter().zip(order) {
+            values[index] = value;
+        }
+        Ok(values)
+    }
+
+    /// Groups partition-keyed reads into per-shard [`ReadPart`]s plus the
+    /// flat-result-position → input-position mapping.
+    fn keyed_parts(&self, keys: &[(u64, Key)]) -> (Vec<ReadPart>, Vec<usize>) {
+        let mut by_shard: BTreeMap<usize, (Vec<Key>, Vec<usize>)> = BTreeMap::new();
+        for (index, &(partition_key, key)) in keys.iter().enumerate() {
+            let entry = by_shard.entry(self.shard_of(partition_key)).or_default();
+            entry.0.push(key);
+            entry.1.push(index);
+        }
+        let mut parts = Vec::with_capacity(by_shard.len());
+        let mut order = Vec::with_capacity(keys.len());
+        for (shard, (keys, indices)) in by_shard {
+            parts.push(ReadPart::new(shard, keys));
+            order.extend(indices);
+        }
+        (parts, order)
+    }
+
+    /// Runs a multi-shard read at the requested consistency level.
+    /// Returns the values flattened in part order, each part's keys in
+    /// declaration order, `None` for absent keys.
+    ///
+    /// * [`Strong`](ReadConsistency::Strong) — one read-only 2PC part per
+    ///   shard through the vote path (serializable, and the only level in
+    ///   the global serialization order).
+    /// * [`Snapshot`](ReadConsistency::Snapshot) — one cluster-wide HLC
+    ///   stamp, every shard answering from its version chains as of that
+    ///   stamp: zero 2PC, zero locks, zero WAL records.
+    /// * [`BoundedStaleness`](ReadConsistency::BoundedStaleness) — served
+    ///   by each shard's most caught-up follower; shards without
+    ///   replication fall back to the snapshot path.
+    pub fn execute_read(
+        &self,
+        parts: Vec<ReadPart>,
+        consistency: ReadConsistency,
+    ) -> CcResult<Vec<Option<Value>>> {
+        match consistency {
+            ReadConsistency::Strong => self.strong_read(parts),
+            ReadConsistency::Snapshot => self.snapshot_read_at(self.hlc.now(), parts),
+            ReadConsistency::BoundedStaleness { max_lag } => {
+                // Follower reads need a replication group per touched
+                // shard; a partially-replicated (or failed-over) cluster
+                // degrades to the snapshot path rather than erroring.
+                if parts
+                    .iter()
+                    .any(|part| self.replication(part.shard).is_none())
+                {
+                    return self.snapshot_read_at(self.hlc.now(), parts);
+                }
+                self.bounded_read(&parts, max_lag)
+            }
+        }
+    }
+
+    /// Pins an HLC snapshot for a multi-hop read: every
+    /// [`SnapshotHandle::read`] against the handle observes the cluster as
+    /// of the same stamp, so a workload profile reading dependent keys in
+    /// several rounds (look up the order, then its lines) still sees one
+    /// consistent cut.
+    pub fn snapshot(&self) -> SnapshotHandle<'_> {
+        SnapshotHandle {
+            cluster: self,
+            snapshot: self.hlc.now(),
+        }
+    }
+
+    /// The vote-path read: one `KV_MULTI_GET` part per shard through the
+    /// regular execute/2PC machinery. Single-shard reads take the
+    /// single-shard fast path.
+    fn strong_read(&self, parts: Vec<ReadPart>) -> CcResult<Vec<Option<Value>>> {
+        let call = ProcedureCall::new(crate::procs::KV_READ_TYPE);
+        let mut shard_parts = Vec::with_capacity(parts.len());
+        for part in &parts {
+            shard_parts.push(ShardPart::new(
+                part.shard,
+                call.clone(),
+                crate::procs::KV_MULTI_GET,
+                crate::procs::multi_get_args(&part.keys),
+            ));
+        }
+        let results = if shard_parts.len() == 1 {
+            let part = shard_parts.pop().expect("one part");
+            vec![
+                self.execute_single(part.shard, part.proc, &part.call, part.args, 1)?
+                    .0,
+            ]
+        } else {
+            self.execute_multi(shard_parts)?
+        };
+        let mut values = Vec::new();
+        for result in &results {
+            values.extend(crate::procs::decode_multi_get(result)?);
+        }
+        Ok(values)
+    }
+
+    /// The HLC snapshot fan-out: every part's shard traverses its version
+    /// chains as of `snapshot`, in parallel, and the replies' clocks merge
+    /// back into the coordinator's.
+    fn snapshot_read_at(
+        &self,
+        snapshot: u64,
+        parts: Vec<ReadPart>,
+    ) -> CcResult<Vec<Option<Value>>> {
+        let wait_ms = self.config.prepare_timeout_ms;
+        // Single-shard hop on an inline transport: run the read on the
+        // calling thread. A snapshot read takes no locks and writes
+        // nothing, so it needs no worker; skipping the mailbox round-trip
+        // matters because the multi-hop read profiles (look up the order,
+        // then its lines) pay it once per hop. Only inline transports
+        // qualify — the generic `call` waits unboundedly on a ticket a
+        // faulty transport may drop.
+        if parts.len() == 1 && self.transport.call_is_inline() {
+            let part = &parts[0];
+            let (shard_values, hlc) = self
+                .transport
+                .call(
+                    part.shard,
+                    ShardRequest::SnapshotRead {
+                        snapshot,
+                        wait_ms,
+                        keys: part.keys.clone(),
+                    },
+                )
+                .and_then(|reply| reply.into_snapshot())?;
+            self.hlc.observe(hlc);
+            return Ok(shard_values
+                .into_iter()
+                .map(|value| {
+                    if value == Value::Null {
+                        None
+                    } else {
+                        Some(value)
+                    }
+                })
+                .collect());
+        }
+        let tickets: Vec<Ticket<ShardResult>> = parts
+            .iter()
+            .map(|part| {
+                self.transport.submit(
+                    part.shard,
+                    ShardRequest::SnapshotRead {
+                        snapshot,
+                        wait_ms,
+                        keys: part.keys.clone(),
+                    },
+                )
+            })
+            .collect();
+        // The shard itself may spend up to `wait_ms` waiting out an
+        // overlapping writer, so the outer deadline adds the transport's
+        // own budget on top rather than racing the shard's.
+        let timeout = Duration::from_millis(wait_ms) + self.config.prepare_timeout();
+        let mut values = Vec::new();
+        let mut failure: Option<tebaldi_cc::CcError> = None;
+        for ticket in tickets {
+            // Drain every ticket even past a failure: the reads are
+            // independent, and abandoning a ticket would leak its window
+            // slot until the transport times it out.
+            match ticket
+                .wait_timeout(timeout)
+                .map(|r| r.and_then(|r| r.into_snapshot()))
+            {
+                Ok(Ok((shard_values, hlc))) => {
+                    self.hlc.observe(hlc);
+                    values.extend(shard_values.into_iter().map(|value| {
+                        if value == Value::Null {
+                            None
+                        } else {
+                            Some(value)
+                        }
+                    }));
+                }
+                Ok(Err(err)) | Err(err) => {
+                    if failure.is_none() {
+                        failure = Some(err);
+                    }
+                }
+            }
+        }
+        match failure {
+            Some(err) => Err(err),
+            None => Ok(values),
+        }
+    }
+
+    /// The follower-read fan-out behind
+    /// [`ReadConsistency::BoundedStaleness`]: each shard's most caught-up
+    /// replica serves its keys once it proves it holds the primary's
+    /// durable prefix as of this call.
+    fn bounded_read(&self, parts: &[ReadPart], max_lag: Duration) -> CcResult<Vec<Option<Value>>> {
+        let mut values = Vec::new();
+        for part in parts {
+            let group = self
+                .replication(part.shard)
+                .expect("caller checked every shard is replicated");
+            let replica = (0..group.replica_count())
+                .max_by_key(|&index| group.acked_lsn(index))
+                .ok_or_else(|| {
+                    tebaldi_cc::CcError::Internal(format!("shard {} has no backups", part.shard))
+                })?;
+            let min_lsn = self.shard_logs.read()[part.shard].durable_len() as u64;
+            for key in &part.keys {
+                let value = group
+                    .follower_read(replica, key, min_lsn, max_lag)
+                    .map_err(|stale| tebaldi_cc::CcError::Internal(stale.to_string()))?;
+                // Normalize tombstones to absence, matching the other
+                // consistency levels.
+                values.push(value.filter(|value| *value != Value::Null));
+            }
+        }
+        Ok(values)
     }
 
     /// Fails `shard` over to its most caught-up backup: stops the old
@@ -811,12 +1216,38 @@ impl Cluster {
         let follower_log: Arc<dyn LogDevice> = group.promote(best)?;
         group.shutdown();
 
-        let decisions = self.coordinator.committed_globals();
-        let (store, report) = recover_with_resolver(
-            follower_log.as_ref(),
-            MvStore::new(self.config.db_config.shards),
-            &|global| decisions.contains(&global),
-        );
+        // Re-poll-until-stable: a commit decision can be logged *while*
+        // the replay below runs (another coordinator thread finishing a
+        // 2PC whose vote the follower already holds). A single decision
+        // snapshot taken before the replay would presume-abort such a
+        // transaction — a durable commit decision silently losing its
+        // writes on the promoted primary. So after each replay, re-poll
+        // the decision log; if any global the replay presumed-aborted has
+        // gained a commit decision, replay again against the fresh
+        // snapshot. The loop terminates because only a presumed-abort
+        // turning into a commit repeats it, and the in-doubt set is
+        // finite. After `stop_shipping` above no *new* votes can land on
+        // the follower log, so the final replay is authoritative.
+        let mut decisions = self.coordinator.committed_globals_with_stamps();
+        let (store, report) = loop {
+            let (store, report) = recover_with_resolver(
+                follower_log.as_ref(),
+                MvStore::new(self.config.db_config.shards),
+                &|global| decisions.get(&global).copied(),
+            );
+            if report.in_doubt_aborted_globals.is_empty() {
+                break (store, report);
+            }
+            let latest = self.coordinator.committed_globals_with_stamps();
+            let raced = report
+                .in_doubt_aborted_globals
+                .iter()
+                .any(|global| latest.contains_key(global));
+            if !raced {
+                break (store, report);
+            }
+            decisions = latest;
+        };
 
         let shard_metrics = Arc::new(if self.metrics.is_enabled() {
             MetricsRegistry::new()
@@ -842,6 +1273,10 @@ impl Cluster {
         // would corrupt the next replay of this log).
         db.oracle().advance_past(report.max_commit_ts);
         db.advance_txn_ids_past(report.max_txn_id);
+        // The HLC re-bases alongside the other generators: new commits must
+        // stamp above every recovered stamp, or a snapshot read could see a
+        // post-failover commit ordered below a pre-failover one.
+        db.hlc().advance_past(report.max_hlc);
 
         let workers = ShardWorkers::spawn_with_window(
             shard,
@@ -1237,11 +1672,13 @@ impl Cluster {
                 );
             }
             match vote {
-                Ok(Ok((value, Vote::ReadWrite))) => {
+                Ok(Ok((value, Vote::ReadWrite, vote_hlc))) => {
+                    self.hlc.observe(vote_hlc);
                     values.push(value);
                     rw_shards.push(shard);
                 }
-                Ok(Ok((value, Vote::ReadOnly))) => {
+                Ok(Ok((value, Vote::ReadOnly, vote_hlc))) => {
+                    self.hlc.observe(vote_hlc);
                     values.push(value);
                     self.read_only_votes.inc();
                 }
@@ -1275,6 +1712,13 @@ impl Cluster {
         // acknowledged) is exactly the span the flush coalescing and
         // vote-class fast paths shorten.
         let votes_collected = (self.clock)();
+        // The decision stamp is drawn after *every* vote clock has been
+        // observed, so it exceeds each participant's clock as of the
+        // moment its prepared versions were installed. A snapshot reader
+        // whose snapshot `h >= d` on any shard therefore started (and
+        // observed `h` into that shard's clock) after all prepares were
+        // visible — the commit is all-or-nothing at `h` on every shard.
+        let decision_hlc = self.hlc.now();
         let result = match failure {
             None => {
                 match rw_shards.len() {
@@ -1293,15 +1737,25 @@ impl Cluster {
                         // committed — so the fast path falls back to a
                         // durable decision record before returning.
                         self.coordinator.commit_one_phase();
-                        if self.finalize(&rw_shards[..1], global, true, timeout, trace) > 0 {
-                            self.coordinator.log_straggler_commit(global);
+                        if self.finalize(
+                            &rw_shards[..1],
+                            global,
+                            true,
+                            decision_hlc,
+                            timeout,
+                            trace,
+                        ) > 0
+                        {
+                            self.coordinator.log_straggler_commit(global, decision_hlc);
                         }
                     }
                     _ => {
                         // Commit point: the decision is durable before any
                         // shard learns about it.
-                        self.log_decision(trace, "commit", || self.coordinator.log_commit(global));
-                        self.finalize(&rw_shards, global, true, timeout, trace);
+                        self.log_decision(trace, "commit", || {
+                            self.coordinator.log_commit(global, decision_hlc)
+                        });
+                        self.finalize(&rw_shards, global, true, decision_hlc, timeout, trace);
                     }
                 }
                 Ok(values)
@@ -1314,7 +1768,7 @@ impl Cluster {
                         .chain(unknown_shards.iter())
                         .copied()
                         .collect();
-                    self.finalize(&targets, global, false, timeout, trace);
+                    self.finalize(&targets, global, false, 0, timeout, trace);
                 } else {
                     // Every part self-aborted (or was read-only): nothing
                     // is prepared anywhere, but the global still aborted.
@@ -1362,6 +1816,7 @@ impl Cluster {
         shards: &[usize],
         global: u64,
         commit: bool,
+        hlc: u64,
         timeout: Duration,
         trace: TraceCtx,
     ) -> usize {
@@ -1373,9 +1828,9 @@ impl Cluster {
                 let request = if !commit {
                     ShardRequest::Abort { global }
                 } else if one_phase {
-                    ShardRequest::CommitOnePhase { global }
+                    ShardRequest::CommitOnePhase { global, hlc }
                 } else {
-                    ShardRequest::Commit { global }
+                    ShardRequest::Commit { global, hlc }
                 };
                 self.transport.submit(shard, request)
             })
@@ -1407,18 +1862,49 @@ impl Cluster {
         failed
     }
 
-    /// Retries [`execute_multi`](Cluster::execute_multi) on retryable
-    /// conflicts, rebuilding the parts each attempt (distributed deadlocks
-    /// resolve through lock timeouts, so retry is the normal path under
-    /// contention). Returns the results and the number of aborted attempts.
-    pub fn execute_multi_with_retry(
+    /// The unified transaction entry point: runs `parts` as one
+    /// multi-shard transaction under `opts` — up to `opts.max_attempts`
+    /// attempts, parts cloned per attempt. Returns the results and the
+    /// number of aborted attempts. The old entry-point fan
+    /// ([`execute_multi`](Cluster::execute_multi),
+    /// [`execute_multi_with_retry`](Cluster::execute_multi_with_retry),
+    /// [`execute_multi_batch_declared`](Cluster::execute_multi_batch_declared))
+    /// delegates here or to [`execute_batch`](Cluster::execute_batch).
+    pub fn execute(
         &self,
-        max_attempts: usize,
+        parts: Vec<ShardPart>,
+        opts: &TxnOptions,
+    ) -> CcResult<(Vec<Value>, usize)> {
+        self.execute_with(opts, || parts.clone())
+    }
+
+    /// [`execute`](Cluster::execute) for transactions whose parts must be
+    /// rebuilt each attempt (fresh instance seeds, re-read dependent
+    /// state). Distributed deadlocks resolve through lock timeouts, so
+    /// retry is the normal path under contention.
+    pub fn execute_with(
+        &self,
+        opts: &TxnOptions,
         mut parts: impl FnMut() -> Vec<ShardPart>,
     ) -> CcResult<(Vec<Value>, usize)> {
         let mut aborts = 0;
         loop {
-            match self.execute_multi(parts()) {
+            let attempt = parts();
+            // One part is a single-shard transaction, not a 2PC — route it
+            // down the fast path (which carries its own retry budget).
+            if attempt.len() == 1 {
+                let part = attempt.into_iter().next().expect("one part");
+                return self
+                    .execute_single(
+                        part.shard,
+                        part.proc,
+                        &part.call,
+                        part.args,
+                        opts.max_attempts,
+                    )
+                    .map(|(value, part_aborts)| (vec![value], aborts + part_aborts));
+            }
+            match self.execute_multi(attempt) {
                 Ok(values) => return Ok((values, aborts)),
                 // Unreachable errors are coordinator-retry-safe even when
                 // `maybe_delivered` is true: a prepare whose vote was lost
@@ -1427,7 +1913,7 @@ impl Cluster {
                 // attempt under a new transaction id cannot double-apply.
                 Err(err)
                     if (err.is_retryable() || err.is_unreachable())
-                        && aborts + 1 < max_attempts =>
+                        && aborts + 1 < opts.max_attempts =>
                 {
                     aborts += 1;
                     std::thread::sleep(std::time::Duration::from_micros(
@@ -1437,6 +1923,35 @@ impl Cluster {
                 Err(err) => return Err(err),
             }
         }
+    }
+
+    /// Runs a batch of transactions, each under its options' declared key
+    /// sets (dependency-graph scheduled — see
+    /// [`execute_multi_batch_declared`](Cluster::execute_multi_batch_declared)).
+    pub fn execute_batch(
+        &self,
+        batch: Vec<(Vec<ShardPart>, TxnOptions)>,
+    ) -> Vec<CcResult<Vec<Value>>> {
+        self.execute_multi_batch_declared(
+            batch
+                .into_iter()
+                .map(|(parts, opts)| match opts.declared_sets {
+                    Some(sets) => BatchTxn::declared(parts, sets),
+                    None => BatchTxn::undeclared(parts),
+                })
+                .collect(),
+        )
+    }
+
+    /// Retries [`execute_multi`](Cluster::execute_multi) on retryable
+    /// conflicts, rebuilding the parts each attempt. Thin wrapper over
+    /// [`execute_with`](Cluster::execute_with).
+    pub fn execute_multi_with_retry(
+        &self,
+        max_attempts: usize,
+        parts: impl FnMut() -> Vec<ShardPart>,
+    ) -> CcResult<(Vec<Value>, usize)> {
+        self.execute_with(&TxnOptions::new().retry(max_attempts), parts)
     }
 
     /// Loads a key on the shard owning `partition_key`, bypassing
@@ -1491,6 +2006,8 @@ impl Cluster {
             stats.max_pipeline_depth = stats.max_pipeline_depth.max(pipeline.max_depth);
             let registry = shard.db().metrics();
             stats.follower_reads += registry.counter("replication.follower_reads").get();
+            stats.snapshot_reads += registry.counter("snapshot.reads").get();
+            stats.snapshot_read_wait_ns += registry.counter("snapshot.read_wait_ns").get();
             stats.failovers += registry.counter("replication.failovers").get();
             stats.replica_acks_timed_out += registry.counter("replication.acks_timed_out").get();
         }
@@ -1578,6 +2095,41 @@ impl Drop for Cluster {
     }
 }
 
+/// A pinned HLC snapshot over the whole cluster (see
+/// [`Cluster::snapshot`]): every read through the handle observes the
+/// same cut, across shards and across calls, so multi-hop read profiles
+/// (read an index, then the rows it names) stay mutually consistent
+/// without a transaction.
+pub struct SnapshotHandle<'a> {
+    cluster: &'a Cluster,
+    snapshot: u64,
+}
+
+impl SnapshotHandle<'_> {
+    /// The pinned HLC stamp.
+    pub fn hlc(&self) -> u64 {
+        self.snapshot
+    }
+
+    /// Reads `parts` as of the pinned stamp (flattened in part order,
+    /// `None` for absent keys).
+    pub fn read(&self, parts: Vec<ReadPart>) -> CcResult<Vec<Option<Value>>> {
+        self.cluster.snapshot_read_at(self.snapshot, parts)
+    }
+
+    /// Reads partition-keyed `keys` as of the pinned stamp, values in
+    /// input order.
+    pub fn read_keyed(&self, keys: Vec<(u64, Key)>) -> CcResult<Vec<Option<Value>>> {
+        let (parts, order) = self.cluster.keyed_parts(&keys);
+        let flat = self.read(parts)?;
+        let mut values = vec![None; keys.len()];
+        for (value, index) in flat.into_iter().zip(order) {
+            values[index] = value;
+        }
+        Ok(values)
+    }
+}
+
 /// Recovers every shard store from its WAL, resolving in-doubt prepared
 /// transactions against the coordinator's decision log: a prepared global
 /// id commits iff the decision log holds a durable commit decision for it
@@ -1589,14 +2141,15 @@ pub fn recover_cluster(
     decision_log: &dyn LogDevice,
     shards_per_store: usize,
 ) -> Vec<(MvStore, RecoveryReport)> {
-    let decisions: HashSet<u64> = decision_log
+    let decisions: HashMap<u64, u64> = decision_log
         .read_back()
         .into_iter()
         .filter_map(|record| match record {
             tebaldi_storage::wal::LogRecord::Decision {
                 global,
                 commit: true,
-            } => Some(global),
+                hlc,
+            } => Some((global, hlc)),
             _ => None,
         })
         .collect();
@@ -1604,7 +2157,7 @@ pub fn recover_cluster(
         .iter()
         .map(|log| {
             recover_with_resolver(log.as_ref(), MvStore::new(shards_per_store), &|global| {
-                decisions.contains(&global)
+                decisions.get(&global).copied()
             })
         })
         .collect()
@@ -2353,7 +2906,7 @@ mod tests {
             cluster.shard(index).durability().seal_current_epoch();
         }
         // Commit point reached...
-        cluster.coordinator().log_commit(global);
+        cluster.coordinator().log_commit(global, 0);
         let logs: Vec<Arc<dyn LogDevice>> = (0..2).map(|index| cluster.shard_log(index)).collect();
         let decision_log = cluster.coordinator().decision_log();
         // ...then the cluster crashes before the decision is delivered.
@@ -2415,5 +2968,217 @@ mod tests {
             Some(Value::Int(50)),
             "presumed abort keeps the old balance"
         );
+    }
+
+    /// The unified read API returns identical answers at every
+    /// consistency level against quiesced data, in input order, `None`
+    /// for absent keys — including cross-shard batches.
+    #[test]
+    fn read_api_answers_match_across_consistency_levels() {
+        let cluster = cluster(4);
+        for account in 1..=8u64 {
+            cluster.load(
+                account,
+                account_key(account),
+                Value::Int(account as i64 * 10),
+            );
+        }
+        let keys: Vec<(u64, Key)> = [3u64, 7, 1, 99, 6]
+            .iter()
+            .map(|&account| (account, account_key(account)))
+            .collect();
+        let expected = vec![
+            Some(Value::Int(30)),
+            Some(Value::Int(70)),
+            Some(Value::Int(10)),
+            None,
+            Some(Value::Int(60)),
+        ];
+        let levels = [
+            ReadConsistency::Strong,
+            ReadConsistency::Snapshot,
+            ReadConsistency::BoundedStaleness {
+                max_lag: Duration::from_millis(500),
+            },
+        ];
+        for level in levels {
+            assert_eq!(
+                cluster.read(keys.clone(), level).unwrap(),
+                expected,
+                "consistency level {level:?}"
+            );
+        }
+    }
+
+    /// A `Snapshot` read writes no prepare WAL records and no decision-log
+    /// entries — the zero-2PC contract, asserted at the durability layer.
+    #[test]
+    fn snapshot_reads_write_no_prepare_or_decision_records() {
+        let cluster = cluster(4);
+        for account in 1..=4u64 {
+            cluster.load(account, account_key(account), Value::Int(1));
+        }
+        let prepares_before: u64 = (0..4)
+            .map(|shard| cluster.shard(shard).durability().stats().prepares)
+            .sum();
+        let decisions_before = cluster.coordinator().stats().decisions_logged;
+        let decision_log_len = cluster.coordinator().decision_log().read_back().len();
+
+        let keys: Vec<(u64, Key)> = (1..=4u64)
+            .map(|account| (account, account_key(account)))
+            .collect();
+        let values = cluster.read(keys, ReadConsistency::Snapshot).unwrap();
+        assert_eq!(values.len(), 4);
+        assert!(values.iter().all(|v| v == &Some(Value::Int(1))));
+
+        let prepares_after: u64 = (0..4)
+            .map(|shard| cluster.shard(shard).durability().stats().prepares)
+            .sum();
+        assert_eq!(prepares_after, prepares_before, "zero prepare records");
+        assert_eq!(
+            cluster.coordinator().stats().decisions_logged,
+            decisions_before,
+            "zero decisions logged"
+        );
+        assert_eq!(
+            cluster.coordinator().decision_log().read_back().len(),
+            decision_log_len,
+            "zero decision-log appends"
+        );
+        assert!(cluster.stats().snapshot_reads >= 1);
+    }
+
+    /// A pinned [`SnapshotHandle`] keeps answering from its stamp: writes
+    /// committed after the pin stay invisible through the handle while a
+    /// fresh read sees them.
+    #[test]
+    fn snapshot_handle_pins_its_cut() {
+        let cluster = cluster(2);
+        cluster.load(1, account_key(1), Value::Int(100));
+        cluster.load(2, account_key(2), Value::Int(200));
+        let keys: Vec<(u64, Key)> = vec![(1, account_key(1)), (2, account_key(2))];
+
+        let pinned = cluster.snapshot();
+        assert_eq!(
+            pinned.read_keyed(keys.clone()).unwrap(),
+            vec![Some(Value::Int(100)), Some(Value::Int(200))]
+        );
+
+        // Commit a cross-shard transfer after the pin.
+        cluster
+            .execute_multi(vec![
+                procs::increment_part(
+                    cluster.shard_of(1),
+                    ProcedureCall::new(TY),
+                    account_key(1),
+                    0,
+                    -30,
+                ),
+                procs::increment_part(
+                    cluster.shard_of(2),
+                    ProcedureCall::new(TY),
+                    account_key(2),
+                    0,
+                    30,
+                ),
+            ])
+            .unwrap();
+
+        assert_eq!(
+            pinned.read_keyed(keys.clone()).unwrap(),
+            vec![Some(Value::Int(100)), Some(Value::Int(200))],
+            "the pinned handle must not see the later commit"
+        );
+        assert_eq!(
+            cluster.read(keys, ReadConsistency::Snapshot).unwrap(),
+            vec![Some(Value::Int(70)), Some(Value::Int(230))],
+            "a fresh snapshot sees it"
+        );
+    }
+
+    /// Snapshot reads racing cross-shard transfers always observe a
+    /// conserved total — a commit is visible on all shards or none.
+    #[test]
+    fn snapshot_reads_never_observe_a_torn_transfer() {
+        let cluster = Arc::new(cluster(2));
+        cluster.load(1, account_key(1), Value::Int(500));
+        cluster.load(2, account_key(2), Value::Int(500));
+        let writer = {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                for _ in 0..40 {
+                    cluster
+                        .execute_multi_with_retry(10, || {
+                            vec![
+                                procs::increment_part(
+                                    cluster.shard_of(1),
+                                    ProcedureCall::new(TY),
+                                    account_key(1),
+                                    0,
+                                    -5,
+                                ),
+                                procs::increment_part(
+                                    cluster.shard_of(2),
+                                    ProcedureCall::new(TY),
+                                    account_key(2),
+                                    0,
+                                    5,
+                                ),
+                            ]
+                        })
+                        .unwrap();
+                }
+            })
+        };
+        let keys: Vec<(u64, Key)> = vec![(1, account_key(1)), (2, account_key(2))];
+        while !writer.is_finished() {
+            let values = cluster
+                .read(keys.clone(), ReadConsistency::Snapshot)
+                .unwrap();
+            let total: i64 = values
+                .iter()
+                .map(|v| v.as_ref().and_then(Value::as_int).unwrap())
+                .sum();
+            assert_eq!(total, 1000, "torn snapshot: {values:?}");
+        }
+        writer.join().unwrap();
+        assert_eq!(balance(&cluster, 1), 300);
+        assert_eq!(balance(&cluster, 2), 700);
+    }
+
+    /// `execute` under `TxnOptions` retries retryable aborts exactly like
+    /// the old `execute_multi_with_retry` wrapper it subsumes.
+    #[test]
+    fn txn_options_execute_retries_poisoned_attempts() {
+        let cluster = cluster(2);
+        cluster.load(1, account_key(1), Value::Int(10));
+        // POISON increments then self-aborts: never commits, not
+        // retryable. A single-attempt execute surfaces the abort.
+        let poisoned = vec![ShardPart::new(
+            cluster.shard_of(1),
+            ProcedureCall::new(TY),
+            POISON,
+            procs::key_args(account_key(1)),
+        )];
+        let err = cluster
+            .execute(poisoned, &TxnOptions::new().retry(3))
+            .unwrap_err();
+        assert!(matches!(err, CcError::Requested), "got {err:?}");
+        // A clean transfer through the unified entry point commits.
+        let (values, aborts) = cluster
+            .execute(
+                vec![procs::increment_part(
+                    cluster.shard_of(1),
+                    ProcedureCall::new(TY),
+                    account_key(1),
+                    0,
+                    7,
+                )],
+                &TxnOptions::new().retry(3),
+            )
+            .unwrap();
+        assert_eq!(values, vec![Value::Int(17)]);
+        assert_eq!(aborts, 0);
+        assert_eq!(balance(&cluster, 1), 17);
     }
 }

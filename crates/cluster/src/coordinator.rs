@@ -28,7 +28,7 @@
 //! log (see `tebaldi_storage::recovery::recover_with_resolver`).
 
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use tebaldi_storage::durability::GroupCommit;
@@ -150,6 +150,7 @@ impl TxnCoordinator {
                 self.decision_log.append(&LogRecord::Decision {
                     global: new_bound - 1,
                     commit: false,
+                    hlc: 0,
                 });
                 self.decision_log.flush();
                 self.reserved.store(new_bound, Ordering::Release);
@@ -158,10 +159,11 @@ impl TxnCoordinator {
         id
     }
 
-    fn append_commit_durable(&self, global: u64) {
+    fn append_commit_durable(&self, global: u64, hlc: u64) {
         let record = LogRecord::Decision {
             global,
             commit: true,
+            hlc,
         };
         self.decisions_logged.fetch_add(1, Ordering::Relaxed);
         if self.coalesce {
@@ -173,11 +175,13 @@ impl TxnCoordinator {
         }
     }
 
-    /// The commit point: durably records the commit decision for `global`,
-    /// coalescing the flush with concurrent decisions. Participants may
-    /// only be told to commit after this returns.
-    pub fn log_commit(&self, global: u64) {
-        self.append_commit_durable(global);
+    /// The commit point: durably records the commit decision for `global`
+    /// together with its HLC decision stamp, coalescing the flush with
+    /// concurrent decisions. Participants may only be told to commit after
+    /// this returns — and they stamp their versions with exactly `hlc`, so
+    /// persisting the stamp here lets in-doubt recovery re-install it.
+    pub fn log_commit(&self, global: u64, hlc: u64) {
+        self.append_commit_durable(global, hlc);
         self.committed.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -188,8 +192,8 @@ impl TxnCoordinator {
     /// abort* for a transaction the caller was already told committed.
     /// Counts in `decisions_logged` but not in `committed` (the one-phase
     /// commit itself was already counted).
-    pub fn log_straggler_commit(&self, global: u64) {
-        self.append_commit_durable(global);
+    pub fn log_straggler_commit(&self, global: u64, hlc: u64) {
+        self.append_commit_durable(global, hlc);
     }
 
     /// Records an abort decision. Optional (absence implies abort), kept
@@ -200,6 +204,7 @@ impl TxnCoordinator {
         self.decision_log.append(&LogRecord::Decision {
             global,
             commit: false,
+            hlc: 0,
         });
         self.aborted.fetch_add(1, Ordering::Relaxed);
     }
@@ -227,6 +232,14 @@ impl TxnCoordinator {
 
     /// The set of global ids with a durable commit decision.
     pub fn committed_globals(&self) -> HashSet<u64> {
+        self.committed_globals_with_stamps().into_keys().collect()
+    }
+
+    /// Global ids with a durable commit decision, mapped to the HLC
+    /// decision stamp each was committed under (`0` for pre-HLC records).
+    /// In-doubt resolution re-installs the stamp so a recovered shard's
+    /// chains answer snapshot reads identically to the surviving ones.
+    pub fn committed_globals_with_stamps(&self) -> HashMap<u64, u64> {
         self.decision_log
             .read_back()
             .into_iter()
@@ -234,7 +247,8 @@ impl TxnCoordinator {
                 LogRecord::Decision {
                     global,
                     commit: true,
-                } => Some(global),
+                    hlc,
+                } => Some((global, hlc)),
                 _ => None,
             })
             .collect()
@@ -275,11 +289,17 @@ mod tests {
         let a = coord.begin_global();
         let b = coord.begin_global();
         assert_ne!(a, b);
-        coord.log_commit(a);
+        coord.log_commit(a, 0xBEEF);
         coord.log_abort(b);
         let committed = coord.committed_globals();
         assert!(committed.contains(&a));
         assert!(!committed.contains(&b));
+        let stamps = coord.committed_globals_with_stamps();
+        assert_eq!(
+            stamps.get(&a),
+            Some(&0xBEEF),
+            "the decision stamp survives the log roundtrip"
+        );
         assert_eq!(coord.stats().committed, 1);
         assert_eq!(coord.stats().aborted, 1);
         assert_eq!(coord.stats().decisions_logged, 2);
@@ -301,7 +321,9 @@ mod tests {
         // never a record for the committed transaction itself.
         for record in coord.decision_log().read_back() {
             match record {
-                LogRecord::Decision { global: g, commit } => {
+                LogRecord::Decision {
+                    global: g, commit, ..
+                } => {
                     assert!(!commit, "one-phase commit must not log a commit");
                     assert_ne!(g, global, "no record for the transaction's id");
                 }
@@ -316,7 +338,7 @@ mod tests {
         let highest = {
             let coord = TxnCoordinator::new(Arc::clone(&log));
             let g = coord.begin_global();
-            coord.log_commit(g);
+            coord.log_commit(g, 0);
             g
         };
         let restarted = TxnCoordinator::new(Arc::clone(&log));

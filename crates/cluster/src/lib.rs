@@ -75,8 +75,9 @@ pub mod worker;
 
 pub use api::{ShardRequest, ShardResponse, ShardResult, ShardStatsReply};
 pub use cluster::{
-    recover_cluster, test_replication, test_transport, BatchKeySets, BatchTxn, Cluster,
-    ClusterBuilder, ClusterClock, ClusterConfig, ClusterStats, ShardPart,
+    recover_cluster, test_read_consistency, test_replication, test_transport, BatchKeySets,
+    BatchTxn, Cluster, ClusterBuilder, ClusterClock, ClusterConfig, ClusterStats, ReadConsistency,
+    ReadPart, ShardPart, SnapshotHandle, TxnOptions,
 };
 pub use coordinator::{CoordinatorStats, TxnCoordinator};
 pub use faults::{FaultPlan, FaultyTransport, LogLinkVerdict, ReplicaLinkLane};

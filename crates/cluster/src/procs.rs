@@ -13,7 +13,12 @@ use crate::cluster::ShardPart;
 use tebaldi_cc::CcError;
 use tebaldi_core::{ProcId, ProcRegistry, ProcedureCall};
 use tebaldi_storage::codec::{ByteReader, ByteWriter};
-use tebaldi_storage::{Key, Value};
+use tebaldi_storage::{Key, TxnTypeId, Value};
+
+/// The transaction type id builtin read-path calls run under (CC trees
+/// without a routing rule for it fall to their default mechanism, which is
+/// all a read-only multi-get needs).
+pub const KV_READ_TYPE: TxnTypeId = TxnTypeId(0xFFF0);
 
 /// `get(key)` → the stored value or `Null`. Writes nothing, so a 2PC part
 /// built from it votes `ReadOnly`.
@@ -24,6 +29,13 @@ pub const KV_PUT: ProcId = ProcId(0xFFFF_0002);
 pub const KV_DELETE: ProcId = ProcId(0xFFFF_0003);
 /// `increment(key, field, delta)` → the new field value as `Int`.
 pub const KV_INCREMENT: ProcId = ProcId(0xFFFF_0004);
+/// `multi_get(keys)` → every stored value, encoded as one `Bytes` payload
+/// (decode with [`decode_multi_get`]). Writes nothing, so a 2PC part built
+/// from it votes `ReadOnly` — this is the body behind
+/// [`ReadConsistency::Strong`](crate::cluster::ReadConsistency) multi-key
+/// reads, where one part covers all of a shard's keys instead of one part
+/// per key.
+pub const KV_MULTI_GET: ProcId = ProcId(0xFFFF_0005);
 
 fn decode(err: tebaldi_storage::codec::CodecError) -> CcError {
     CcError::Internal(format!("malformed kv args: {err}"))
@@ -55,6 +67,17 @@ pub fn register_builtins(registry: &mut ProcRegistry) {
         let delta = r.i64().map_err(decode)?;
         txn.increment(key, field, delta).map(Value::Int)
     });
+    registry.register_fn(KV_MULTI_GET, |txn, args| {
+        let mut r = ByteReader::new(args);
+        let count = r.u32().map_err(decode)? as usize;
+        let mut w = ByteWriter::new();
+        w.put_u32(count as u32);
+        for _ in 0..count {
+            let key = r.key().map_err(decode)?;
+            w.put_value(&txn.get(key)?.unwrap_or(Value::Null));
+        }
+        Ok(Value::bytes(w.into_bytes()))
+    });
 }
 
 /// Argument buffer for [`KV_GET`]/[`KV_DELETE`].
@@ -79,6 +102,41 @@ pub fn increment_args(key: Key, field: u32, delta: i64) -> Vec<u8> {
     w.put_u32(field);
     w.put_i64(delta);
     w.into_bytes()
+}
+
+/// Argument buffer for [`KV_MULTI_GET`].
+pub fn multi_get_args(keys: &[Key]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(keys.len() as u32);
+    for &key in keys {
+        w.put_key(key);
+    }
+    w.into_bytes()
+}
+
+/// Decodes a [`KV_MULTI_GET`] result back into per-key values, `None` for
+/// keys the shard does not hold.
+pub fn decode_multi_get(result: &Value) -> Result<Vec<Option<Value>>, CcError> {
+    let bytes = match result {
+        Value::Bytes(bytes) => bytes,
+        other => {
+            return Err(CcError::Internal(format!(
+                "multi_get returned a non-bytes value: {other:?}"
+            )))
+        }
+    };
+    let mut r = ByteReader::new(bytes);
+    let count = r.u32().map_err(decode)? as usize;
+    let mut values = Vec::with_capacity(count);
+    for _ in 0..count {
+        let value = r.value().map_err(decode)?;
+        values.push(if value == Value::Null {
+            None
+        } else {
+            Some(value)
+        });
+    }
+    Ok(values)
 }
 
 /// A 2PC part reading one key (votes `ReadOnly`).

@@ -180,7 +180,7 @@ impl LogDevice for FrozenLog {
 fn materialize(
     records: Vec<LogRecord>,
     store_shards: usize,
-    resolver: &dyn Fn(u64) -> bool,
+    resolver: &dyn Fn(u64) -> Option<u64>,
 ) -> MvStore {
     let mut records = records;
     records.push(LogRecord::EpochSeal {
@@ -291,7 +291,7 @@ impl ReplicaNode {
         let applied = *self.applied.lock();
         let mut cache = self.cache.lock();
         if cache.store.is_none() || cache.lsn != applied {
-            let store = materialize(self.log.read_back(), self.store_shards, &|_| false);
+            let store = materialize(self.log.read_back(), self.store_shards, &|_| None);
             cache.lsn = applied;
             cache.store = Some(Arc::new(store));
         }
@@ -754,6 +754,7 @@ mod tests {
                 txn: TxnId(txn),
                 global_epoch: epoch,
                 commit_ts: Timestamp(txn),
+                hlc: 0,
             },
         ]
     }
@@ -905,7 +906,7 @@ mod tests {
         // The primary's device dies here; the follower log is the truth.
         let follower_log = repl.promote(0).unwrap();
         let (store, report) =
-            recover_with_resolver(follower_log.as_ref(), MvStore::new(4), &|_| false);
+            recover_with_resolver(follower_log.as_ref(), MvStore::new(4), &|_| None);
         assert_eq!(report.recovered_txns, 1);
         assert_eq!(report.discarded_unsealed_epoch, 0, "promotion seals epochs");
         assert_eq!(

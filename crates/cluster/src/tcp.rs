@@ -48,6 +48,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use tebaldi_cc::CcError;
+use tebaldi_core::Hlc;
 
 /// Default per-connection bound on body-running requests the server admits
 /// into the shard pipeline at once. One bursty (or hostile) client then
@@ -207,12 +208,15 @@ fn serve_connection(
         Err(_) => return,
     };
     // Completion-order writer: jobs finish on worker threads and forward
-    // their framed results here.
+    // their framed results here. Every reply frame carries the shard's
+    // current HLC reading, so the client's clock converges on the shard's
+    // within one reply delay.
+    let reply_clock = Arc::clone(workers.db().hlc());
     let (outbox, outbox_rx) = mpsc::channel::<(u64, ShardResult)>();
     let writer_handle = std::thread::spawn(move || {
         let mut stream = stream;
         while let Ok((req_id, result)) = outbox_rx.recv() {
-            let payload = wire::encode_result(req_id, &result);
+            let payload = wire::encode_result(req_id, reply_clock.last(), &result);
             if wire::write_frame(&mut stream, &payload).is_err() {
                 return;
             }
@@ -242,12 +246,16 @@ fn serve_connection(
     // the connection. Pending pipeline jobs still complete; their replies
     // are discarded when the outbox disconnects.
     while let Ok(Some(payload)) = wire::read_frame(&mut reader) {
-        let (req_id, request) = match wire::decode_request(&payload) {
+        let (req_id, frame_hlc, request) = match wire::decode_request(&payload) {
             Ok(decoded) => decoded,
             // Garbage frame: protocol error, drop the connection (the
             // client fails its pending tickets cleanly).
             Err(_) => break,
         };
+        // Merge the sender's clock before dispatching: whatever the sender
+        // had seen when it built this frame happens-before everything the
+        // shard does on the frame's behalf.
+        workers.db().hlc().observe(frame_hlc);
         if request.runs_body() {
             // Wait for budget in short slices so server shutdown stays
             // prompt even with a throttled connection parked here.
@@ -480,6 +488,7 @@ fn dial(
     addr: SocketAddr,
     window: usize,
     counters: Arc<WireCounters>,
+    clock: Arc<Hlc>,
 ) -> std::io::Result<Arc<Link>> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true).ok();
@@ -500,10 +509,14 @@ fn dial(
                 counters
                     .bytes_on_wire
                     .fetch_add(payload.len() as u64 + 4, Ordering::Relaxed);
-                let Ok((req_id, result)) = wire::decode_result(&payload) else {
+                let Ok((req_id, frame_hlc, result)) = wire::decode_result(&payload) else {
                     // Garbage reply: the stream is no longer trustworthy.
                     break;
                 };
+                // Merge the shard's clock: whatever the shard committed
+                // before building this reply is now below the client's
+                // clock reading.
+                clock.observe(frame_hlc);
                 let entry = pending.lock().as_mut().and_then(|map| map.remove(&req_id));
                 if let Some((sender, windowed)) = entry {
                     if windowed {
@@ -533,6 +546,12 @@ fn dial(
 pub struct TcpTransport {
     conns: Vec<Arc<ShardConn>>,
     counters: Arc<WireCounters>,
+    /// The client-side hybrid logical clock: stamped onto every request
+    /// frame and merged from every reply frame, so it tracks the highest
+    /// clock of every shard this transport talks to (within one message
+    /// delay). The cluster layer shares this instance for drawing snapshot
+    /// timestamps.
+    clock: Arc<Hlc>,
     /// How long a submission may wait for the in-flight window.
     window_wait: Duration,
     /// Backoff applied to re-dials after a lost connection.
@@ -596,10 +615,17 @@ impl TcpTransport {
         window_wait: Duration,
     ) -> Result<Self, String> {
         let counters = Arc::new(WireCounters::default());
+        let clock = Arc::new(Hlc::new());
         let mut conns = Vec::with_capacity(addrs.len());
         for (shard, addr) in addrs.iter().enumerate() {
-            let link = dial(shard, *addr, window, Arc::clone(&counters))
-                .map_err(|err| format!("connect to shard {shard} at {addr}: {err}"))?;
+            let link = dial(
+                shard,
+                *addr,
+                window,
+                Arc::clone(&counters),
+                Arc::clone(&clock),
+            )
+            .map_err(|err| format!("connect to shard {shard} at {addr}: {err}"))?;
             conns.push(Arc::new(ShardConn {
                 shard,
                 window,
@@ -615,6 +641,7 @@ impl TcpTransport {
         Ok(TcpTransport {
             conns,
             counters,
+            clock,
             window_wait,
             policy: ReconnectPolicy::default(),
             servers: Vec::new(),
@@ -626,6 +653,13 @@ impl TcpTransport {
     /// transport is shared).
     pub fn set_reconnect_policy(&mut self, policy: ReconnectPolicy) {
         self.policy = policy;
+    }
+
+    /// The transport's hybrid logical clock — stamped onto request frames,
+    /// merged from reply frames. The cluster layer shares this instance so
+    /// snapshot timestamps it draws track every shard it has heard from.
+    pub fn clock(&self) -> &Arc<Hlc> {
+        &self.clock
     }
 
     /// Re-points `shard` at a new address — a shard server restarted on a
@@ -691,6 +725,7 @@ impl TcpTransport {
             state.addr,
             conn.window,
             Arc::clone(&self.counters),
+            Arc::clone(&self.clock),
         ) {
             Ok(link) => {
                 state.live = Some(Arc::clone(&link));
@@ -789,7 +824,7 @@ impl ShardTransport for TcpTransport {
                 }
             }
         }
-        let payload = wire::encode_request(req_id, &request);
+        let payload = wire::encode_request(req_id, self.clock.last(), &request);
         let write_result = {
             let mut writer = link.writer.lock();
             wire::write_frame(&mut *writer, &payload).and_then(|n| writer.flush().map(|()| n))

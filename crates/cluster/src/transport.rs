@@ -68,6 +68,16 @@ pub trait ShardTransport: Send + Sync {
         }
     }
 
+    /// Whether [`ShardTransport::call`] runs the request inline on the
+    /// calling thread (no mailbox hop, cannot stall on a lost reply).
+    /// Latency-sensitive lock-free paths — snapshot reads — use this to
+    /// skip the ticket machinery; the default is conservative because the
+    /// generic `call` waits unboundedly on a submitted ticket, which a
+    /// fault-injecting or wire transport may never resolve.
+    fn call_is_inline(&self) -> bool {
+        false
+    }
+
     /// Wire-traffic counters (zeros for in-process).
     fn stats(&self) -> TransportStats {
         TransportStats::default()
@@ -167,6 +177,10 @@ impl ShardTransport for InProcessTransport {
         // as they did before the transport existed).
         self.delivered.fetch_add(1, Ordering::Relaxed);
         self.shard(shard)?.handle_inline(request)
+    }
+
+    fn call_is_inline(&self) -> bool {
+        true
     }
 }
 

@@ -2,7 +2,10 @@
 //!
 //! A message is a *frame*: a little-endian `u32` payload length followed by
 //! the payload. Payloads carry a `u64` request id (the client multiplexes
-//! many in-flight requests over one connection and matches replies by id)
+//! many in-flight requests over one connection and matches replies by id),
+//! the sender's `u64` HLC reading (every frame carries a clock sample in
+//! both directions; the receiver merges it, which is what keeps the
+//! cluster's hybrid logical clocks within one message delay of each other),
 //! and an encoded [`ShardRequest`] or [`ShardResult`].
 //!
 //! Decoding is total: truncated, oversized, or garbage input yields a
@@ -252,10 +255,13 @@ fn get_metrics(r: &mut ByteReader<'_>) -> CodecResult<MetricsSnapshot> {
 // Request / response codecs
 // ---------------------------------------------------------------------------
 
-/// Encodes a request payload (without the frame length prefix).
-pub fn encode_request(req_id: u64, request: &ShardRequest) -> Vec<u8> {
+/// Encodes a request payload (without the frame length prefix). `hlc` is
+/// the sender's clock reading at send time, merged into the receiving
+/// shard's clock before the request is dispatched.
+pub fn encode_request(req_id: u64, hlc: u64, request: &ShardRequest) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(req_id);
+    w.put_u64(hlc);
     match request {
         ShardRequest::Execute {
             proc,
@@ -285,13 +291,15 @@ pub fn encode_request(req_id: u64, request: &ShardRequest) -> Vec<u8> {
             w.put_bytes(args);
             w.put_u64(trace.trace_id);
         }
-        ShardRequest::Commit { global } => {
+        ShardRequest::Commit { global, hlc } => {
             w.put_u8(2);
             w.put_u64(*global);
+            w.put_u64(*hlc);
         }
-        ShardRequest::CommitOnePhase { global } => {
+        ShardRequest::CommitOnePhase { global, hlc } => {
             w.put_u8(3);
             w.put_u64(*global);
+            w.put_u64(*hlc);
         }
         ShardRequest::Abort { global } => {
             w.put_u8(4);
@@ -300,14 +308,28 @@ pub fn encode_request(req_id: u64, request: &ShardRequest) -> Vec<u8> {
         ShardRequest::Stats => w.put_u8(5),
         ShardRequest::Flush => w.put_u8(6),
         ShardRequest::Metrics => w.put_u8(7),
+        ShardRequest::SnapshotRead {
+            snapshot,
+            wait_ms,
+            keys,
+        } => {
+            w.put_u8(8);
+            w.put_u64(*snapshot);
+            w.put_u64(*wait_ms);
+            w.put_u32(keys.len() as u32);
+            for &key in keys {
+                w.put_key(key);
+            }
+        }
     }
     w.into_bytes()
 }
 
-/// Decodes a request payload.
-pub fn decode_request(payload: &[u8]) -> CodecResult<(u64, ShardRequest)> {
+/// Decodes a request payload into `(req_id, sender_hlc, request)`.
+pub fn decode_request(payload: &[u8]) -> CodecResult<(u64, u64, ShardRequest)> {
     let mut r = ByteReader::new(payload);
     let req_id = r.u64()?;
+    let hlc = r.u64()?;
     let request = match r.u8()? {
         0 => ShardRequest::Execute {
             proc: ProcId(r.u32()?),
@@ -323,22 +345,49 @@ pub fn decode_request(payload: &[u8]) -> CodecResult<(u64, ShardRequest)> {
             args: r.bytes()?.to_vec(),
             trace: TraceCtx { trace_id: r.u64()? },
         },
-        2 => ShardRequest::Commit { global: r.u64()? },
-        3 => ShardRequest::CommitOnePhase { global: r.u64()? },
+        2 => ShardRequest::Commit {
+            global: r.u64()?,
+            hlc: r.u64()?,
+        },
+        3 => ShardRequest::CommitOnePhase {
+            global: r.u64()?,
+            hlc: r.u64()?,
+        },
         4 => ShardRequest::Abort { global: r.u64()? },
         5 => ShardRequest::Stats,
         6 => ShardRequest::Flush,
         7 => ShardRequest::Metrics,
+        8 => {
+            let snapshot = r.u64()?;
+            let wait_ms = r.u64()?;
+            let n = r.len_prefix()?;
+            if r.remaining() < n * 20 {
+                // A key costs 20 bytes; reject impossible counts first.
+                return Err(CodecError::Truncated);
+            }
+            let mut keys = Vec::with_capacity(n);
+            for _ in 0..n {
+                keys.push(r.key()?);
+            }
+            ShardRequest::SnapshotRead {
+                snapshot,
+                wait_ms,
+                keys,
+            }
+        }
         _ => return Err(CodecError::Malformed("request tag")),
     };
     r.expect_end()?;
-    Ok((req_id, request))
+    Ok((req_id, hlc, request))
 }
 
-/// Encodes a result payload (without the frame length prefix).
-pub fn encode_result(req_id: u64, result: &Result<ShardResponse, CcError>) -> Vec<u8> {
+/// Encodes a result payload (without the frame length prefix). `hlc` is
+/// the shard's clock reading at reply time, merged into the client's clock
+/// on receive.
+pub fn encode_result(req_id: u64, hlc: u64, result: &Result<ShardResponse, CcError>) -> Vec<u8> {
     let mut w = ByteWriter::new();
     w.put_u64(req_id);
+    w.put_u64(hlc);
     match result {
         Ok(response) => {
             w.put_u8(0);
@@ -348,13 +397,14 @@ pub fn encode_result(req_id: u64, result: &Result<ShardResponse, CcError>) -> Ve
                     w.put_value(value);
                     w.put_u32(*aborts);
                 }
-                ShardResponse::Prepared { value, vote } => {
+                ShardResponse::Prepared { value, vote, hlc } => {
                     w.put_u8(1);
                     w.put_value(value);
                     w.put_u8(match vote {
                         Vote::ReadOnly => 0,
                         Vote::ReadWrite => 1,
                     });
+                    w.put_u64(*hlc);
                 }
                 ShardResponse::Decided => w.put_u8(2),
                 ShardResponse::Stats(stats) => {
@@ -368,11 +418,21 @@ pub fn encode_result(req_id: u64, result: &Result<ShardResponse, CcError>) -> Ve
                     w.put_u64(stats.follower_reads);
                     w.put_u64(stats.failovers);
                     w.put_u64(stats.replica_acks_timed_out);
+                    w.put_u64(stats.snapshot_reads);
+                    w.put_u64(stats.snapshot_read_wait_ns);
                 }
                 ShardResponse::Flushed => w.put_u8(4),
                 ShardResponse::Metrics(snapshot) => {
                     w.put_u8(5);
                     put_metrics(&mut w, snapshot);
+                }
+                ShardResponse::Snapshot { values, hlc } => {
+                    w.put_u8(6);
+                    w.put_u32(values.len() as u32);
+                    for value in values {
+                        w.put_value(value);
+                    }
+                    w.put_u64(*hlc);
                 }
             }
         }
@@ -384,10 +444,11 @@ pub fn encode_result(req_id: u64, result: &Result<ShardResponse, CcError>) -> Ve
     w.into_bytes()
 }
 
-/// Decodes a result payload.
-pub fn decode_result(payload: &[u8]) -> CodecResult<(u64, Result<ShardResponse, CcError>)> {
+/// Decodes a result payload into `(req_id, shard_hlc, result)`.
+pub fn decode_result(payload: &[u8]) -> CodecResult<(u64, u64, Result<ShardResponse, CcError>)> {
     let mut r = ByteReader::new(payload);
     let req_id = r.u64()?;
+    let hlc = r.u64()?;
     let result = match r.u8()? {
         0 => Ok(match r.u8()? {
             0 => ShardResponse::Executed {
@@ -401,6 +462,7 @@ pub fn decode_result(payload: &[u8]) -> CodecResult<(u64, Result<ShardResponse, 
                     1 => Vote::ReadWrite,
                     _ => return Err(CodecError::Malformed("vote tag")),
                 },
+                hlc: r.u64()?,
             },
             2 => ShardResponse::Decided,
             3 => ShardResponse::Stats(ShardStatsReply {
@@ -413,16 +475,33 @@ pub fn decode_result(payload: &[u8]) -> CodecResult<(u64, Result<ShardResponse, 
                 follower_reads: r.u64()?,
                 failovers: r.u64()?,
                 replica_acks_timed_out: r.u64()?,
+                snapshot_reads: r.u64()?,
+                snapshot_read_wait_ns: r.u64()?,
             }),
             4 => ShardResponse::Flushed,
             5 => ShardResponse::Metrics(Box::new(get_metrics(&mut r)?)),
+            6 => {
+                let n = r.len_prefix()?;
+                if r.remaining() < n {
+                    // A value costs at least 1 byte (its tag).
+                    return Err(CodecError::Truncated);
+                }
+                let mut values = Vec::with_capacity(n);
+                for _ in 0..n {
+                    values.push(r.value()?);
+                }
+                ShardResponse::Snapshot {
+                    values,
+                    hlc: r.u64()?,
+                }
+            }
             _ => return Err(CodecError::Malformed("response tag")),
         }),
         1 => Err(get_cc_error(&mut r)?),
         _ => return Err(CodecError::Malformed("result tag")),
     };
     r.expect_end()?;
-    Ok((req_id, result))
+    Ok((req_id, hlc, result))
 }
 
 // ---------------------------------------------------------------------------
@@ -489,17 +568,37 @@ mod tests {
                 args: Vec::new(),
                 trace: TraceCtx::NONE,
             },
-            ShardRequest::Commit { global: 1 },
-            ShardRequest::CommitOnePhase { global: 2 },
+            ShardRequest::Commit {
+                global: 1,
+                hlc: 0x7777,
+            },
+            ShardRequest::CommitOnePhase {
+                global: 2,
+                hlc: 0x8888,
+            },
             ShardRequest::Abort { global: 3 },
             ShardRequest::Stats,
             ShardRequest::Flush,
             ShardRequest::Metrics,
+            ShardRequest::SnapshotRead {
+                snapshot: 0x9999,
+                wait_ms: 250,
+                keys: vec![
+                    Key::simple(TableId(4), 17),
+                    Key::composite(TableId(5), &[1, 2]),
+                ],
+            },
+            ShardRequest::SnapshotRead {
+                snapshot: 0,
+                wait_ms: 0,
+                keys: Vec::new(),
+            },
         ];
         for request in &requests {
-            let payload = encode_request(11, request);
-            let (id, back) = decode_request(&payload).unwrap();
+            let payload = encode_request(11, 0xABCD, request);
+            let (id, hlc, back) = decode_request(&payload).unwrap();
             assert_eq!(id, 11);
+            assert_eq!(hlc, 0xABCD, "every frame carries the sender's clock");
             assert_eq!(&back, request);
         }
     }
@@ -514,12 +613,22 @@ mod tests {
             Ok(ShardResponse::Prepared {
                 value: Value::Null,
                 vote: Vote::ReadOnly,
+                hlc: 42,
             }),
             Ok(ShardResponse::Prepared {
                 value: Value::Int(-1),
                 vote: Vote::ReadWrite,
+                hlc: 0xFFEE,
             }),
             Ok(ShardResponse::Decided),
+            Ok(ShardResponse::Snapshot {
+                values: vec![Value::Int(3), Value::Null, Value::row(&[7, 8])],
+                hlc: 0x1234,
+            }),
+            Ok(ShardResponse::Snapshot {
+                values: Vec::new(),
+                hlc: 0,
+            }),
             Ok(ShardResponse::Stats(ShardStatsReply {
                 committed: 5,
                 aborted: 2,
@@ -530,6 +639,8 @@ mod tests {
                 follower_reads: 21,
                 failovers: 1,
                 replica_acks_timed_out: 3,
+                snapshot_reads: 44,
+                snapshot_read_wait_ns: 5_678,
             })),
             Ok(ShardResponse::Flushed),
             Ok(ShardResponse::Metrics(Box::new(MetricsSnapshot {
@@ -567,9 +678,10 @@ mod tests {
             }),
         ];
         for result in &results {
-            let payload = encode_result(77, result);
-            let (id, back) = decode_result(&payload).unwrap();
+            let payload = encode_result(77, 0xC0FFEE, result);
+            let (id, hlc, back) = decode_result(&payload).unwrap();
             assert_eq!(id, 77);
+            assert_eq!(hlc, 0xC0FFEE, "every frame carries the shard's clock");
             assert_eq!(&back, result);
         }
     }
@@ -583,8 +695,8 @@ mod tests {
             mechanism: "seats-workload",
             reason: "reservation no-op",
         };
-        let payload = encode_result(0, &Err(err));
-        let (_, back) = decode_result(&payload).unwrap();
+        let payload = encode_result(0, 0, &Err(err));
+        let (_, _, back) = decode_result(&payload).unwrap();
         assert!(matches!(
             back,
             Err(CcError::Conflict {
@@ -597,8 +709,8 @@ mod tests {
             mechanism: intern("custom-mechanism-xyz"),
             reason: intern("because"),
         };
-        let payload = encode_result(0, &Err(odd.clone()));
-        let (_, back) = decode_result(&payload).unwrap();
+        let payload = encode_result(0, 0, &Err(odd.clone()));
+        let (_, _, back) = decode_result(&payload).unwrap();
         assert_eq!(back, Err(odd));
     }
 
@@ -606,7 +718,7 @@ mod tests {
     fn garbage_payloads_error_cleanly() {
         assert!(decode_request(&[]).is_err());
         assert!(decode_result(&[]).is_err());
-        let good = encode_request(1, &ShardRequest::Stats);
+        let good = encode_request(1, 0, &ShardRequest::Stats);
         // Truncations at every split point.
         for cut in 0..good.len() {
             assert!(decode_request(&good[..cut]).is_err(), "cut at {cut}");
@@ -624,7 +736,7 @@ mod tests {
     #[test]
     fn frames_roundtrip_and_reject_oversize() {
         let mut buf = Vec::new();
-        let payload = encode_request(5, &ShardRequest::Flush);
+        let payload = encode_request(5, 0, &ShardRequest::Flush);
         let written = write_frame(&mut buf, &payload).unwrap();
         assert_eq!(written, payload.len() + 4);
         let mut cursor = std::io::Cursor::new(buf);

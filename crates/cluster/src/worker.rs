@@ -51,7 +51,8 @@ use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 use tebaldi_cc::{CcError, CcResult};
 use tebaldi_core::{Database, ParticipantVote, PreparedTxn, ProcId, ProcRegistry, ProcedureCall};
-use tebaldi_obs::{self as obs, Counter, MaxGauge, TraceCtx};
+use tebaldi_obs::{self as obs, Counter, Histogram, MaxGauge, TraceCtx};
+use tebaldi_storage::{SnapshotRead, Value};
 
 /// A participant's phase-one vote class, as reported back to the
 /// coordinator alongside the part's result value.
@@ -321,6 +322,12 @@ pub struct ShardWorkers {
     follower_reads: Arc<Counter>,
     failovers: Arc<Counter>,
     replica_ack_timeouts: Arc<Counter>,
+    /// `snapshot.*` instruments for the zero-2PC HLC read path: requests
+    /// served, total nanoseconds spent waiting out in-flight writers, and
+    /// the per-request service latency distribution.
+    snapshot_reads: Arc<Counter>,
+    snapshot_read_wait_ns: Arc<Counter>,
+    snapshot_read_latency: Arc<Histogram>,
 }
 
 impl ShardWorkers {
@@ -380,6 +387,9 @@ impl ShardWorkers {
             follower_reads: metrics.counter("replication.follower_reads"),
             failovers: metrics.counter("replication.failovers"),
             replica_ack_timeouts: metrics.counter("replication.acks_timed_out"),
+            snapshot_reads: metrics.counter("snapshot.reads"),
+            snapshot_read_wait_ns: metrics.counter("snapshot.read_wait_ns"),
+            snapshot_read_latency: metrics.histogram("snapshot.read_ns"),
         });
         let mut handles = pool.handles.lock();
         for worker in 0..pool.workers {
@@ -516,14 +526,19 @@ impl ShardWorkers {
                 args,
                 ..
             } => self.prepare_now(global, proc, &call, &args),
-            ShardRequest::Commit { global } | ShardRequest::CommitOnePhase { global } => {
-                self.decide(global, true);
+            ShardRequest::Commit { global, hlc } | ShardRequest::CommitOnePhase { global, hlc } => {
+                self.decide_stamped(global, true, hlc);
                 Ok(ShardResponse::Decided)
             }
             ShardRequest::Abort { global } => {
-                self.decide(global, false);
+                self.decide_stamped(global, false, 0);
                 Ok(ShardResponse::Decided)
             }
+            ShardRequest::SnapshotRead {
+                snapshot,
+                wait_ms,
+                keys,
+            } => self.snapshot_read_now(snapshot, wait_ms, &keys),
             ShardRequest::Stats => {
                 let snapshot = self.db.stats();
                 let pipeline = self.pipeline_stats();
@@ -540,6 +555,8 @@ impl ShardWorkers {
                     follower_reads: self.follower_reads.get(),
                     failovers: self.failovers.get(),
                     replica_acks_timed_out: self.replica_ack_timeouts.get(),
+                    snapshot_reads: self.snapshot_reads.get(),
+                    snapshot_read_wait_ns: self.snapshot_read_wait_ns.get(),
                 }))
             }
             ShardRequest::Flush => {
@@ -618,6 +635,7 @@ impl ShardWorkers {
             ParticipantVote::ReadOnly => Ok(ShardResponse::Prepared {
                 value,
                 vote: Vote::ReadOnly,
+                hlc: self.db.hlc().now(),
             }),
             ParticipantVote::ReadWrite(prepared) => {
                 // The yes-vote promises commit-on-demand even across the
@@ -657,9 +675,16 @@ impl ShardWorkers {
             ))
         } else {
             in_doubt.insert(global, prepared);
+            // The vote clock is drawn after the prepare hardened and its
+            // versions were installed: any decision stamp `d` the
+            // coordinator derives from this clock therefore satisfies
+            // "d <= h implies the prepared version was already on the
+            // chain when a snapshot reader at h traversed it" — the
+            // atomic-visibility argument of cross-shard snapshot reads.
             Ok(ShardResponse::Prepared {
                 value,
                 vote: Vote::ReadWrite,
+                hlc: self.db.hlc().now(),
             })
         }
     }
@@ -700,6 +725,7 @@ impl ShardWorkers {
                 let response = ShardResponse::Prepared {
                     value,
                     vote: Vote::ReadOnly,
+                    hlc: self.db.hlc().now(),
                 };
                 match barrier {
                     // The read-only result may reflect a published
@@ -815,6 +841,14 @@ impl ShardWorkers {
     /// running (or hardening), and the late prepare must abort instead of
     /// parking forever.
     pub fn decide(&self, global: u64, commit: bool) {
+        self.decide_stamped(global, commit, 0);
+    }
+
+    /// [`decide`](ShardWorkers::decide) carrying the coordinator's HLC
+    /// decision stamp: a commit stamps its versions with exactly `hlc`
+    /// (after merging it into the shard clock), which is what makes the
+    /// cross-shard commit atomically visible to snapshot reads.
+    pub fn decide_stamped(&self, global: u64, commit: bool, hlc: u64) {
         // Replay guard first: a duplicated or replayed decision frame must
         // be absorbed without side effects. In particular a replayed Abort
         // for an already-decided global must not plant a fresh orphan
@@ -848,11 +882,77 @@ impl ShardWorkers {
         };
         if let Some(prepared) = prepared {
             if commit {
-                prepared.commit();
+                prepared.commit_stamped(hlc);
             } else {
                 prepared.abort();
             }
         }
+    }
+
+    /// The global ids of every prepared transaction currently parked in
+    /// the in-doubt table. Failover uses this to re-resolve entries whose
+    /// decisions raced with a promotion.
+    pub fn in_doubt_globals(&self) -> Vec<u64> {
+        self.in_doubt.lock().keys().copied().collect()
+    }
+
+    /// Serves a multi-key read at the global HLC snapshot `snapshot` — the
+    /// zero-2PC, zero-lock read path. Merges the snapshot into the shard
+    /// clock *first* (from here on every local commit stamps above it, so
+    /// the snapshot's visible set is frozen), then reads each key from the
+    /// newest committed version stamped `<= snapshot`, waiting out (up to
+    /// `wait_ms` in total) any in-flight writer whose outcome is still
+    /// unknown. Writes nothing: no prepare record, no decision-log entry,
+    /// no vote.
+    pub fn snapshot_read_now(
+        &self,
+        snapshot: u64,
+        wait_ms: u64,
+        keys: &[tebaldi_storage::Key],
+    ) -> ShardResult {
+        let started = Instant::now();
+        // Observe-first is the linchpin: after this merge, any commit this
+        // shard stamps is `> snapshot`, so a version we find missing now
+        // can never later appear below the snapshot.
+        self.db.hlc().observe(snapshot);
+        let deadline = started + Duration::from_millis(wait_ms);
+        let store = Arc::clone(self.db.store());
+        let mut values = Vec::with_capacity(keys.len());
+        let mut wait_ns = 0u64;
+        for key in keys {
+            loop {
+                match store.read_snapshot_hlc(key, snapshot) {
+                    SnapshotRead::Value(value) => {
+                        values.push(value.unwrap_or(Value::Null));
+                        break;
+                    }
+                    SnapshotRead::Blocked => {
+                        // An uncommitted writer overlaps the snapshot: its
+                        // decision stamp may land below `snapshot`, so the
+                        // read cannot skip it — wait for the decision.
+                        if Instant::now() >= deadline {
+                            self.snapshot_reads.inc();
+                            self.snapshot_read_wait_ns.add(wait_ns);
+                            return Err(CcError::Timeout {
+                                mechanism: "snapshot",
+                                what: "an in-flight writer overlapping the snapshot",
+                            });
+                        }
+                        let wait_start = Instant::now();
+                        std::thread::sleep(Duration::from_micros(50));
+                        wait_ns += wait_start.elapsed().as_nanos() as u64;
+                    }
+                }
+            }
+        }
+        self.snapshot_reads.inc();
+        self.snapshot_read_wait_ns.add(wait_ns);
+        self.snapshot_read_latency
+            .record(started.elapsed().as_nanos() as u64);
+        Ok(ShardResponse::Snapshot {
+            values,
+            hlc: self.db.hlc().last(),
+        })
     }
 
     /// Stops every worker and the completion loop (after it drains and
@@ -1175,11 +1275,12 @@ mod tests {
     #[test]
     fn prepare_then_decide_roundtrip() {
         let pool = ShardWorkers::spawn(0, db(), 1, registry());
-        let (value, vote) = pool
+        let (value, vote, vote_hlc) = pool
             .prepare_now(7, PUT5, &ProcedureCall::new(TY), &args(9))
             .unwrap()
             .into_prepared()
             .unwrap();
+        assert!(vote_hlc > 0, "a read-write vote carries its vote clock");
         assert_eq!(value, Value::Null);
         assert_eq!(vote, Vote::ReadWrite);
         assert_eq!(pool.in_doubt_count(), 1);
@@ -1274,7 +1375,7 @@ mod tests {
             })
             .collect();
         for ticket in tickets {
-            let (_, vote) = ticket.wait().unwrap().unwrap().into_prepared().unwrap();
+            let (_, vote, _) = ticket.wait().unwrap().unwrap().into_prepared().unwrap();
             assert_eq!(vote, Vote::ReadWrite);
         }
         assert_eq!(pool.in_doubt_count(), n as usize);

@@ -10,6 +10,7 @@
 
 use crate::config::{DbConfig, DurabilityMode};
 use crate::gate::ReconfigGate;
+use crate::hlc::Hlc;
 use crate::procedure::ProcedureCall;
 use crate::stats::{DbStats, StatsSnapshot};
 use crate::txn::Txn;
@@ -36,6 +37,7 @@ pub struct Database {
     pub(crate) store: Arc<MvStore>,
     pub(crate) registry: Arc<TxnRegistry>,
     pub(crate) oracle: Arc<TsOracle>,
+    pub(crate) hlc: Arc<Hlc>,
     pub(crate) events: Arc<dyn EventSink>,
     pub(crate) procedures: ProcedureSet,
     pub(crate) tree: RwLock<Arc<CcTree>>,
@@ -176,6 +178,7 @@ impl DatabaseBuilder {
             store: Arc::new(store),
             registry,
             oracle,
+            hlc: Arc::new(Hlc::new()),
             events: self.events,
             procedures: self.procedures,
             tree: RwLock::new(Arc::new(tree)),
@@ -232,6 +235,13 @@ impl Database {
     /// The timestamp oracle.
     pub fn oracle(&self) -> &Arc<TsOracle> {
         &self.oracle
+    }
+
+    /// The shard's hybrid logical clock (see [`crate::hlc`]). Commits are
+    /// stamped from it, wire frames carry and merge it, and recovery
+    /// re-bases it alongside the txn-id / commit-ts generators.
+    pub fn hlc(&self) -> &Arc<Hlc> {
+        &self.hlc
     }
 
     /// Advances the transaction-id allocator so the next id is greater

@@ -1,0 +1,188 @@
+//! A hybrid logical clock (HLC).
+//!
+//! Every shard owns one [`Hlc`]; the cluster coordinator owns one too.
+//! Timestamps are a single `u64`: the high 48 bits are wall-clock
+//! milliseconds since the Unix epoch, the low [`LOGICAL_BITS`] bits a
+//! logical counter that breaks ties within a millisecond and absorbs
+//! clock skew between nodes. The packing makes the whole timestamp
+//! totally ordered by plain integer comparison, which is what lets one
+//! atomic `u64` hold the entire clock state.
+//!
+//! The rules (Kulkarni et al., "Logical Physical Clocks"):
+//!
+//! * [`Hlc::now`] returns a value strictly greater than anything the
+//!   clock has returned *or observed* before — `max(wall, last + 1)`.
+//! * [`Hlc::observe`] merges a remote timestamp so that every later
+//!   `now()` exceeds it. Wire frames carry the sender's clock and the
+//!   receiver observes it, so the clock respects message causality:
+//!   if event A's timestamp was ever carried (directly or transitively)
+//!   to the node generating event B, then `hlc(B) > hlc(A)`.
+//! * [`Hlc::advance_past`] re-bases after recovery: replaying a WAL
+//!   whose records carry HLC stamps must leave the clock above every
+//!   stamp it re-installed, exactly like the txn-id and commit-ts
+//!   generators.
+//!
+//! The snapshot-read protocol (see `tebaldi-cluster`) leans on one
+//! consequence: after a shard observes a snapshot timestamp `h`, every
+//! commit the shard *locally stamps* afterwards is `> h`, and every 2PC
+//! decision stamp drawn from a vote the shard sent afterwards is `> h`
+//! too (the vote reply carries the shard's clock and the coordinator
+//! observes all votes before drawing the decision stamp). So a reader
+//! that merges `h` into the shard clock *before* traversing version
+//! chains can never miss a commit with stamp `<= h` that it was
+//! supposed to see.
+//!
+//! All operations use `SeqCst`: the clock is a cross-thread causality
+//! anchor and the few nanoseconds a weaker ordering would save are
+//! noise next to the wire hop that usually precedes an `observe`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Low bits reserved for the logical counter. 16 bits = 65 536 events
+/// per millisecond per node before the clock runs ahead of wall time
+/// (harmless: it simply stays monotone and wall time catches up).
+pub const LOGICAL_BITS: u32 = 16;
+
+/// The zero timestamp: "never stamped". Bootstrap-loaded versions and
+/// pre-HLC recovered state carry it and are visible to every snapshot.
+pub const HLC_ZERO: u64 = 0;
+
+fn wall_component() -> u64 {
+    let ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0);
+    ms << LOGICAL_BITS
+}
+
+/// A hybrid logical clock. Cheap to share (`Arc<Hlc>`), lock-free.
+#[derive(Debug)]
+pub struct Hlc {
+    /// Packed `wall_ms << LOGICAL_BITS | logical` of the last timestamp
+    /// returned or observed.
+    state: AtomicU64,
+}
+
+impl Default for Hlc {
+    fn default() -> Self {
+        Hlc::new()
+    }
+}
+
+impl Hlc {
+    /// A clock starting at the current wall time.
+    pub fn new() -> Self {
+        Hlc {
+            state: AtomicU64::new(wall_component()),
+        }
+    }
+
+    /// Draws the next timestamp: strictly greater than every timestamp
+    /// this clock has returned or observed, and `>=` current wall time.
+    pub fn now(&self) -> u64 {
+        let wall = wall_component();
+        let mut cur = self.state.load(Ordering::SeqCst);
+        loop {
+            let next = if wall > cur { wall } else { cur + 1 };
+            match self
+                .state
+                .compare_exchange(cur, next, Ordering::SeqCst, Ordering::SeqCst)
+            {
+                Ok(_) => return next,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Merges a remote timestamp: after this returns, every later
+    /// [`now`](Hlc::now) is `> remote`. Called on every received wire
+    /// frame and on every persisted stamp replayed by recovery.
+    pub fn observe(&self, remote: u64) {
+        self.state.fetch_max(remote, Ordering::SeqCst);
+    }
+
+    /// The last timestamp returned or observed (no tick).
+    pub fn last(&self) -> u64 {
+        self.state.load(Ordering::SeqCst)
+    }
+
+    /// Recovery re-base: identical to [`observe`](Hlc::observe), named
+    /// to match the txn-id / commit-ts generators' `advance_past`.
+    pub fn advance_past(&self, floor: u64) {
+        self.observe(floor);
+    }
+}
+
+/// Splits a packed HLC timestamp into `(wall_ms, logical)` for display.
+pub fn unpack(hlc: u64) -> (u64, u64) {
+    (hlc >> LOGICAL_BITS, hlc & ((1 << LOGICAL_BITS) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn now_is_strictly_monotone() {
+        let clock = Hlc::new();
+        let mut last = 0;
+        for _ in 0..10_000 {
+            let t = clock.now();
+            assert!(t > last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn observe_pushes_future_ticks_past_remote() {
+        let clock = Hlc::new();
+        // A remote clock far in the future (e.g. skewed wall clock).
+        let remote = clock.now() + (1_000_000 << LOGICAL_BITS);
+        clock.observe(remote);
+        assert!(clock.last() >= remote);
+        assert!(clock.now() > remote);
+    }
+
+    #[test]
+    fn observe_of_the_past_is_a_no_op() {
+        let clock = Hlc::new();
+        let t = clock.now();
+        clock.observe(t - 1);
+        assert_eq!(clock.last(), t);
+    }
+
+    #[test]
+    fn advance_past_rebases_like_the_other_generators() {
+        let clock = Hlc::new();
+        let floor = clock.now() + (60_000 << LOGICAL_BITS);
+        clock.advance_past(floor);
+        assert!(clock.now() > floor);
+    }
+
+    #[test]
+    fn concurrent_ticks_are_unique() {
+        let clock = Arc::new(Hlc::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || (0..5_000).map(|_| clock.now()).collect::<Vec<u64>>())
+            })
+            .collect();
+        let mut all: Vec<u64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "two threads drew the same timestamp");
+    }
+
+    #[test]
+    fn unpack_splits_the_packing() {
+        let packed = (123 << LOGICAL_BITS) | 7;
+        assert_eq!(unpack(packed), (123, 7));
+    }
+}

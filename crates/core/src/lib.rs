@@ -53,6 +53,7 @@
 pub mod config;
 pub mod db;
 pub mod gate;
+pub mod hlc;
 pub mod prepared;
 pub mod procedure;
 pub mod reconfig;
@@ -61,6 +62,7 @@ pub mod txn;
 
 pub use config::{DbConfig, DurabilityMode};
 pub use db::{Database, DatabaseBuilder};
+pub use hlc::{Hlc, HLC_ZERO};
 pub use prepared::{ParticipantVote, PreparedTxn};
 pub use procedure::{ProcId, ProcRegistry, ProcedureCall, ShardProcedure};
 pub use reconfig::{diff_specs, ReconfigProtocol, ReconfigReport, SpecDiff};

@@ -122,8 +122,21 @@ impl PreparedTxn {
 
     /// Applies the coordinator's commit decision. Infallible: every
     /// condition that could abort was checked before the prepare vote.
-    pub fn commit(mut self) -> Timestamp {
-        let commit_ts = txn::apply_commit_prepared(&self.db, &self.path, &mut self.ctx);
+    pub fn commit(self) -> Timestamp {
+        self.commit_inner(None)
+    }
+
+    /// [`commit`](PreparedTxn::commit) stamping the committed versions with
+    /// the coordinator's HLC decision stamp. Every participant of one
+    /// cross-shard commit receives the *same* stamp, which is what makes
+    /// the commit atomically visible to cross-shard snapshot reads: a
+    /// snapshot at `h` either includes the stamp on every shard or on none.
+    pub fn commit_stamped(self, hlc: u64) -> Timestamp {
+        self.commit_inner(if hlc > 0 { Some(hlc) } else { None })
+    }
+
+    fn commit_inner(mut self, stamp: Option<u64>) -> Timestamp {
+        let commit_ts = txn::apply_commit_prepared(&self.db, &self.path, &mut self.ctx, stamp);
         self.db.stats.record_commit(self.ctx.ty);
         self.finish(Some(commit_ts));
         commit_ts

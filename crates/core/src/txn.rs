@@ -187,6 +187,7 @@ impl<'a> Txn<'a> {
                 state: VersionState::Uncommitted,
                 commit_ts: None,
                 order_ts: self.ctx.order_ts,
+                hlc: 0,
             });
             Ok(())
         });
@@ -344,7 +345,7 @@ impl<'a> Txn<'a> {
 /// must happen in [`Txn::validate_and_wait_deps`], which is what makes the
 /// prepared state of the cross-shard two-phase commit safe to park.
 pub(crate) fn apply_commit(db: &Database, path: &[PathEntry], ctx: &mut TxnCtx) -> Timestamp {
-    apply_commit_inner(db, path, ctx, false, false).0
+    apply_commit_inner(db, path, ctx, false, false, None).0
 }
 
 /// [`apply_commit`] with the durability wait deferred: the commit records
@@ -360,19 +361,23 @@ pub(crate) fn apply_commit_deferred(
     path: &[PathEntry],
     ctx: &mut TxnCtx,
 ) -> (Timestamp, Option<u64>) {
-    apply_commit_inner(db, path, ctx, false, true)
+    apply_commit_inner(db, path, ctx, false, true, None)
 }
 
 /// [`apply_commit`] for a transaction whose writes were already hardened in
 /// a synchronous `Prepare` record: only the commit notification is logged
 /// (recovery replays the prepared writes when the decision says commit), so
-/// the write payloads never hit the WAL twice.
+/// the write payloads never hit the WAL twice. `stamp` is the coordinator's
+/// HLC decision stamp: every participant of a cross-shard commit stamps its
+/// versions with exactly this value, making the commit atomically visible
+/// to cross-shard snapshot reads (`None` draws a fresh local stamp).
 pub(crate) fn apply_commit_prepared(
     db: &Database,
     path: &[PathEntry],
     ctx: &mut TxnCtx,
+    stamp: Option<u64>,
 ) -> Timestamp {
-    apply_commit_inner(db, path, ctx, true, false).0
+    apply_commit_inner(db, path, ctx, true, false, stamp).0
 }
 
 fn apply_commit_inner(
@@ -381,11 +386,32 @@ fn apply_commit_inner(
     ctx: &mut TxnCtx,
     prepared: bool,
     defer_harden: bool,
+    stamp: Option<u64>,
 ) -> (Timestamp, Option<u64>) {
     // Register the commit as in flight so snapshot readers (SSI) do not
     // take a start timestamp above it until every key is marked
     // committed; deregistered below once the commit is fully applied.
     let commit_ts = db.oracle.begin_commit();
+
+    // The cluster-wide HLC stamp of this commit. A 2PC participant is
+    // handed the coordinator's decision stamp (drawn after observing every
+    // participant's vote clock, so it exceeds every stamp already on these
+    // chains); everyone else draws from the local clock, which `now()`
+    // keeps strictly above every snapshot timestamp this shard has
+    // observed — a snapshot reader at `h` can therefore never miss a
+    // commit stamped `<= h` (see `crate::hlc`). Read-only commits skip the
+    // tick: they stamp nothing, and an idle clock stays cheap.
+    let hlc = if ctx.write_keys.is_empty() {
+        0
+    } else {
+        match stamp {
+            Some(d) => {
+                db.hlc.observe(d);
+                d
+            }
+            None => db.hlc.now(),
+        }
+    };
 
     // Durability: one precommit record per participating data server,
     // then the commit notification carrying the global epoch — appended as
@@ -397,16 +423,16 @@ fn apply_commit_inner(
     if db.durability.is_enabled() && !ctx.write_keys.is_empty() {
         if prepared {
             db.durability
-                .commit(ctx.txn, db.durability.current_epoch(), commit_ts);
+                .commit_stamped(ctx.txn, db.durability.current_epoch(), commit_ts, hlc);
         } else {
             let by_shard: Vec<_> = collect_writes_by_shard(db, ctx).into_iter().collect();
             if defer_harden {
                 harden = db
                     .durability
-                    .commit_transaction_deferred(ctx.txn, by_shard, commit_ts);
+                    .commit_transaction_deferred_stamped(ctx.txn, by_shard, commit_ts, hlc);
             } else {
                 db.durability
-                    .commit_transaction(ctx.txn, by_shard, commit_ts);
+                    .commit_transaction_stamped(ctx.txn, by_shard, commit_ts, hlc);
             }
         }
     } else if defer_harden {
@@ -421,7 +447,8 @@ fn apply_commit_inner(
     // Make the new versions visible, then mark the transaction committed
     // (which wakes dependency waiters), then let mechanisms release
     // their resources leaf→root.
-    db.store.commit_writes(ctx.txn, &ctx.write_keys, commit_ts);
+    db.store
+        .commit_writes_stamped(ctx.txn, &ctx.write_keys, commit_ts, hlc);
     db.registry.mark_committed(ctx.txn, commit_ts);
     db.oracle.end_commit(commit_ts);
     if let Some(history) = &db.history {

@@ -292,6 +292,7 @@ mod tests {
             state: VersionState::Committed,
             commit_ts: Some(Timestamp(id)),
             order_ts: None,
+            hlc: 0,
         }
     }
 

@@ -394,7 +394,19 @@ impl DurabilityManager {
         by_shard: Vec<(u32, Vec<(Key, Value)>)>,
         commit_ts: Timestamp,
     ) {
-        if let Some(seq) = self.commit_transaction_deferred(txn, by_shard, commit_ts) {
+        self.commit_transaction_stamped(txn, by_shard, commit_ts, 0);
+    }
+
+    /// [`commit_transaction`](DurabilityManager::commit_transaction)
+    /// carrying the cluster-wide HLC stamp persisted in the commit record.
+    pub fn commit_transaction_stamped(
+        &self,
+        txn: TxnId,
+        by_shard: Vec<(u32, Vec<(Key, Value)>)>,
+        commit_ts: Timestamp,
+        hlc: u64,
+    ) {
+        if let Some(seq) = self.commit_transaction_deferred_stamped(txn, by_shard, commit_ts, hlc) {
             self.wait_group_seq(seq);
         }
     }
@@ -418,6 +430,18 @@ impl DurabilityManager {
         txn: TxnId,
         by_shard: Vec<(u32, Vec<(Key, Value)>)>,
         commit_ts: Timestamp,
+    ) -> Option<u64> {
+        self.commit_transaction_deferred_stamped(txn, by_shard, commit_ts, 0)
+    }
+
+    /// [`commit_transaction_deferred`](DurabilityManager::commit_transaction_deferred)
+    /// carrying the cluster-wide HLC stamp persisted in the commit record.
+    pub fn commit_transaction_deferred_stamped(
+        &self,
+        txn: TxnId,
+        by_shard: Vec<(u32, Vec<(Key, Value)>)>,
+        commit_ts: Timestamp,
+        hlc: u64,
     ) -> Option<u64> {
         if !self.is_enabled() {
             return None;
@@ -444,6 +468,7 @@ impl DurabilityManager {
             txn,
             global_epoch: epoch,
             commit_ts,
+            hlc,
         });
         if self.policy != FlushPolicy::Synchronous {
             for record in &records {
@@ -614,6 +639,13 @@ impl DurabilityManager {
     }
 
     pub fn commit(&self, txn: TxnId, global_epoch: u64, commit_ts: Timestamp) {
+        self.commit_stamped(txn, global_epoch, commit_ts, 0);
+    }
+
+    /// [`commit`](DurabilityManager::commit) carrying the cluster-wide HLC
+    /// stamp persisted in the commit record (2PC phase two delivers the
+    /// coordinator's decision stamp here).
+    pub fn commit_stamped(&self, txn: TxnId, global_epoch: u64, commit_ts: Timestamp, hlc: u64) {
         if !self.is_enabled() {
             return;
         }
@@ -637,6 +669,7 @@ impl DurabilityManager {
             txn,
             global_epoch,
             commit_ts,
+            hlc,
         };
         if self.policy == FlushPolicy::Synchronous {
             self.flush_coalesced(std::slice::from_ref(&record));

@@ -39,7 +39,9 @@ pub mod wal;
 pub mod durability;
 
 pub use key::Key;
-pub use mvstore::{ChainRef, ChainWrite, MvStore, ReadSpec, StoreStats, WriteOutcome};
+pub use mvstore::{
+    ChainRef, ChainWrite, MvStore, ReadSpec, SnapshotRead, StoreStats, WriteOutcome,
+};
 pub use schema::{Schema, TableDef, TableId};
 pub use types::{GroupId, NodeId, Timestamp, TxnId, TxnTypeId};
 pub use value::Value;

@@ -59,6 +59,17 @@ pub enum ReadSpec {
     OwnOrCommitted(TxnId),
 }
 
+/// Result of an HLC-snapshot read (see [`MvStore::read_snapshot_hlc`]).
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotRead {
+    /// The value visible at the snapshot (`None`: key absent or deleted).
+    Value(Option<Value>),
+    /// An uncommitted writer newer than the visible candidate is still in
+    /// flight and may commit with a stamp inside the snapshot; the caller
+    /// must wait it out (or refuse) and retry.
+    Blocked,
+}
+
 /// Result of installing a write.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WriteOutcome {
@@ -502,6 +513,7 @@ impl<'a> ChainWrite<'a> {
                 state: VersionState::Uncommitted,
                 commit_ts: None,
                 order_ts: version.order_ts.or(existing.order_ts),
+                hlc: 0,
             };
             self.replace(prev, cur, next, replacement);
             return;
@@ -562,6 +574,12 @@ impl<'a> ChainWrite<'a> {
     /// from position-based readers — the lost-update bug this comment
     /// guards against.
     pub fn commit(&mut self, writer: TxnId, commit_ts: Timestamp) -> bool {
+        self.commit_stamped(writer, commit_ts, 0)
+    }
+
+    /// [`commit`](ChainWrite::commit) carrying the cluster-wide HLC stamp
+    /// of the commit (see [`Version::hlc`]).
+    pub fn commit_stamped(&mut self, writer: TxnId, commit_ts: Timestamp, hlc: u64) -> bool {
         let store: &'a MvStore = self.store;
         let Some((prev, cur, next)) = self.find_uncommitted_node(writer) else {
             return false;
@@ -574,6 +592,7 @@ impl<'a> ChainWrite<'a> {
             state: VersionState::Committed,
             commit_ts: Some(commit_ts),
             order_ts: existing.order_ts,
+            hlc,
         };
         self.replace(prev, cur, next, replacement);
         store.n_uncommitted.fetch_sub(1, Ordering::Relaxed);
@@ -636,6 +655,9 @@ pub struct MvStore {
     net: Option<Arc<SimNet>>,
     reads: AtomicU64,
     writes: AtomicU64,
+    /// Closed-timestamp watermark: highest HLC stamp on any committed
+    /// version (see [`MvStore::hlc_watermark`]).
+    commit_hlc: AtomicU64,
     // O(1) aggregate statistics.
     n_keys: AtomicU64,
     n_versions: AtomicU64,
@@ -672,6 +694,7 @@ impl MvStore {
             net: None,
             reads: AtomicU64::new(0),
             writes: AtomicU64::new(0),
+            commit_hlc: AtomicU64::new(0),
             n_keys: AtomicU64::new(0),
             n_versions: AtomicU64::new(0),
             n_uncommitted: AtomicU64::new(0),
@@ -821,6 +844,7 @@ impl MvStore {
                 state: VersionState::Uncommitted,
                 commit_ts: None,
                 order_ts,
+                hlc: 0,
             });
             outcome
         })
@@ -849,13 +873,78 @@ impl MvStore {
     }
 
     /// Marks `txn`'s uncommitted versions on `keys` as committed with
-    /// `commit_ts`.
+    /// `commit_ts` (no HLC stamp — standalone-engine and test callers).
     pub fn commit_writes(&self, txn: TxnId, keys: &[Key], commit_ts: Timestamp) {
+        self.commit_writes_stamped(txn, keys, commit_ts, 0);
+    }
+
+    /// [`commit_writes`](MvStore::commit_writes) carrying the cluster-wide
+    /// HLC stamp of the commit, and advancing the store's closed-timestamp
+    /// watermark (the highest stamp any committed version carries).
+    pub fn commit_writes_stamped(&self, txn: TxnId, keys: &[Key], commit_ts: Timestamp, hlc: u64) {
         for key in keys {
             self.with_chain_mut(key, |chain| {
-                chain.commit(txn, commit_ts);
+                chain.commit_stamped(txn, commit_ts, hlc);
             });
         }
+        if hlc > 0 {
+            self.commit_hlc.fetch_max(hlc, Ordering::SeqCst);
+        }
+    }
+
+    /// The closed-timestamp watermark: the highest HLC stamp carried by any
+    /// version this store has committed or recovered. Observability and
+    /// staleness accounting only — snapshot-read visibility is decided per
+    /// chain (see [`MvStore::read_snapshot_hlc`]), not against this global.
+    pub fn hlc_watermark(&self) -> u64 {
+        self.commit_hlc.load(Ordering::SeqCst)
+    }
+
+    /// Reads `key` at the global HLC snapshot `h`: the newest committed
+    /// version with stamp `<= h` (unstamped versions count as ancient and
+    /// are always visible). Lock-free — the walk takes no latch and pins
+    /// only the reclamation epoch.
+    ///
+    /// Returns [`SnapshotRead::Blocked`] when an uncommitted version sits
+    /// at a chain position newer than the visible candidate: its writer may
+    /// still commit with a 2PC decision stamp `<= h` (the caller observed
+    /// `h` into the shard clock first, so only *already-voted* writers can
+    /// do that — they resolve as soon as their decision arrives). Callers
+    /// wait out the writer and retry rather than taking a lock.
+    ///
+    /// Within one chain the first committed version with stamp `<= h` is
+    /// the right answer: per-key commit order follows chain position (the
+    /// position-order invariant) and HLC stamps are monotone along it —
+    /// a ww-predecessor commits before its successor's vote leaves the
+    /// shard, and the decision stamp is drawn after observing that vote.
+    pub fn read_snapshot_hlc(&self, key: &Key, h: u64) -> SnapshotRead {
+        self.maybe_delay();
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        let _pin = ebr::pin();
+        let Some(entry) = self.lookup(key) else {
+            return SnapshotRead::Value(None);
+        };
+        let chain = ChainRef {
+            arena: &self.arena,
+            entry: Some(entry),
+        };
+        let mut result = SnapshotRead::Value(None);
+        chain.for_each_newest_first(&mut |v| {
+            if !v.is_committed() {
+                result = SnapshotRead::Blocked;
+                return false;
+            }
+            if v.hlc <= h {
+                result = SnapshotRead::Value(if v.value.is_null() {
+                    None
+                } else {
+                    Some(v.value.clone())
+                });
+                return false;
+            }
+            true
+        });
+        result
     }
 
     /// Removes `txn`'s uncommitted versions on `keys`.
@@ -879,6 +968,7 @@ impl MvStore {
                 state: VersionState::Committed,
                 commit_ts: Some(Timestamp::ZERO),
                 order_ts: None,
+                hlc: 0,
             });
         });
     }

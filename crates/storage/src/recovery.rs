@@ -43,12 +43,22 @@ pub struct RecoveryReport {
     /// Largest transaction id observed (the engine's id sequence must start
     /// above it).
     pub max_txn_id: u64,
+    /// Largest HLC stamp observed on any replayed commit (the shard's
+    /// hybrid logical clock must re-base past it, exactly like the txn-id
+    /// and commit-ts generators).
+    pub max_hlc: u64,
+    /// The cluster-global ids of the in-doubt transactions the resolver
+    /// aborted. Failover re-polls the coordinator's decision log against
+    /// this list: a commit decision logged *during* the replay would
+    /// otherwise be presumed-aborted and silently lost.
+    pub in_doubt_aborted_globals: Vec<u64>,
 }
 
 /// Resolves the fate of an in-doubt prepared transaction by its
-/// cluster-global id: `true` means the coordinator decided commit. Plain
-/// standalone recovery uses presumed abort (`|_| false`).
-pub type DecisionResolver<'a> = dyn Fn(u64) -> bool + 'a;
+/// cluster-global id: `Some(stamp)` means the coordinator decided commit
+/// with the given HLC decision stamp (`0` when unknown), `None` means
+/// abort. Plain standalone recovery uses presumed abort (`|_| None`).
+pub type DecisionResolver<'a> = dyn Fn(u64) -> Option<u64> + 'a;
 
 /// An in-doubt prepared transaction awaiting resolution: local id,
 /// cluster-global id, and the writes to replay on commit.
@@ -62,6 +72,7 @@ struct TxnLog {
     writes: Vec<(Key, Value)>,
     commit_ts: Option<Timestamp>,
     commit_epoch: Option<u64>,
+    hlc: u64,
 }
 
 /// Replays the durable records of `device` into a fresh store, resolving
@@ -76,7 +87,7 @@ pub fn recover(device: &dyn LogDevice) -> (MvStore, RecoveryReport) {
 /// passes the coordinator's decision log through
 /// [`recover_with_resolver`] instead.
 pub fn recover_into(device: &dyn LogDevice, store: MvStore) -> (MvStore, RecoveryReport) {
-    recover_with_resolver(device, store, &|_| false)
+    recover_with_resolver(device, store, &|_| None)
 }
 
 /// Replays the durable records of `device` into `store`, consulting
@@ -118,10 +129,12 @@ pub fn recover_with_resolver(
                 txn,
                 global_epoch,
                 commit_ts,
+                hlc,
             } => {
                 let entry = txns.entry(*txn).or_default();
                 entry.commit_ts = Some(*commit_ts);
                 entry.commit_epoch = Some(*global_epoch);
+                entry.hlc = *hlc;
             }
             LogRecord::Prepare {
                 txn,
@@ -151,9 +164,9 @@ pub fn recover_with_resolver(
     // record at decide time (its writes are already in the Prepare record),
     // so the commit record alone decides it without consulting the
     // resolver.
-    let local_commit: HashMap<TxnId, Timestamp> = txns
+    let local_commit: HashMap<TxnId, (Timestamp, u64)> = txns
         .iter()
-        .filter_map(|(txn, log)| log.commit_ts.map(|ts| (*txn, ts)))
+        .filter_map(|(txn, log)| log.commit_ts.map(|ts| (*txn, (ts, log.hlc))))
         .collect();
 
     // Order recoverable transactions by commit timestamp (transactions that
@@ -188,12 +201,13 @@ pub fn recover_with_resolver(
         if aborted.contains(txn) || replayed_normally.contains(txn) {
             continue;
         }
-        if let Some(ts) = local_commit.get(txn) {
+        if let Some((ts, hlc)) = local_commit.get(txn) {
             recoverable.push((
                 *txn,
                 TxnLog {
                     writes: writes.clone(),
                     commit_ts: Some(*ts),
+                    hlc: *hlc,
                     ..TxnLog::default()
                 },
             ));
@@ -207,6 +221,7 @@ pub fn recover_with_resolver(
         if let Some(ts) = log.commit_ts {
             report.max_commit_ts = report.max_commit_ts.max(ts);
         }
+        report.max_hlc = report.max_hlc.max(log.hlc);
         for (key, value) in &log.writes {
             restored_keys.insert(*key);
             // Later transactions in the replay order overwrite earlier ones,
@@ -215,10 +230,11 @@ pub fn recover_with_resolver(
                 chain.abort(*txn);
             });
             store.write(key, *txn, value.clone());
-            store.commit_writes(
+            store.commit_writes_stamped(
                 *txn,
                 &[*key],
                 log.commit_ts.unwrap_or(report.max_commit_ts.next()),
+                log.hlc,
             );
         }
     }
@@ -240,12 +256,14 @@ pub fn recover_with_resolver(
     for (txn, global, writes) in in_doubt {
         report.max_txn_id = report.max_txn_id.max(txn.0);
         report.in_doubt += 1;
-        if !resolver(global) {
+        let Some(stamp) = resolver(global) else {
             report.in_doubt_aborted += 1;
+            report.in_doubt_aborted_globals.push(global);
             continue;
-        }
+        };
         report.in_doubt_committed += 1;
         report.recovered_txns += 1;
+        report.max_hlc = report.max_hlc.max(stamp);
         let commit_ts = report.max_commit_ts.next();
         report.max_commit_ts = commit_ts;
         for (key, value) in &writes {
@@ -254,7 +272,7 @@ pub fn recover_with_resolver(
                 chain.abort(txn);
             });
             store.write(key, txn, value.clone());
-            store.commit_writes(txn, &[*key], commit_ts);
+            store.commit_writes_stamped(txn, &[*key], commit_ts, stamp);
         }
     }
 
@@ -372,8 +390,9 @@ mod tests {
         assert_eq!(store.read(&k(7), ReadSpec::LatestCommitted), None);
 
         // With the coordinator's decision log, global 42 commits.
-        let (store, report) =
-            recover_with_resolver(dev.as_ref(), MvStore::new(4), &|global| global == 42);
+        let (store, report) = recover_with_resolver(dev.as_ref(), MvStore::new(4), &|global| {
+            (global == 42).then_some(0)
+        });
         assert_eq!(report.in_doubt, 2);
         assert_eq!(report.in_doubt_committed, 1);
         assert_eq!(report.in_doubt_aborted, 1);

@@ -38,6 +38,11 @@ impl Value {
         Value::Str(Arc::from(s))
     }
 
+    /// Builds a `Bytes` value from an owned buffer.
+    pub fn bytes(buf: Vec<u8>) -> Value {
+        Value::Bytes(Bytes::from(buf))
+    }
+
     /// Returns the integer content of an `Int` value.
     pub fn as_int(&self) -> Option<i64> {
         match self {

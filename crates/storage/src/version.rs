@@ -39,6 +39,13 @@ pub struct Version {
     /// Ordering timestamp used by timestamp-ordering CCs, assigned at write
     /// time (before commit). `None` for CCs that order at commit time.
     pub order_ts: Option<Timestamp>,
+    /// Cluster-wide hybrid-logical-clock stamp assigned at commit. `0`
+    /// means "unstamped" (bootstrap loads, pre-HLC recovered state, CC
+    /// unit tests) and is visible to every snapshot. Unlike `commit_ts` —
+    /// which is shard-local — equal stamps on different shards name the
+    /// same global commit, which is what makes cross-shard snapshot reads
+    /// consistent (see `tebaldi_core::hlc`).
+    pub hlc: u64,
 }
 
 impl Version {
@@ -299,6 +306,12 @@ impl VersionChain {
     /// position-based readers — the lost-update bug this comment guards
     /// against.
     pub fn commit(&mut self, writer: TxnId, commit_ts: Timestamp) -> bool {
+        self.commit_stamped(writer, commit_ts, 0)
+    }
+
+    /// [`commit`](VersionChain::commit) carrying the cluster-wide HLC
+    /// stamp of the commit (see [`Version::hlc`]).
+    pub fn commit_stamped(&mut self, writer: TxnId, commit_ts: Timestamp, hlc: u64) -> bool {
         let Some(v) = self
             .versions
             .iter_mut()
@@ -308,6 +321,7 @@ impl VersionChain {
         };
         v.state = VersionState::Committed;
         v.commit_ts = Some(commit_ts);
+        v.hlc = hlc;
         true
     }
 
@@ -437,6 +451,7 @@ mod tests {
             state: VersionState::Uncommitted,
             commit_ts: None,
             order_ts: None,
+            hlc: 0,
         }
     }
 

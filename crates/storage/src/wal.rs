@@ -56,6 +56,10 @@ pub enum LogRecord {
         global_epoch: u64,
         /// Commit timestamp.
         commit_ts: Timestamp,
+        /// Cluster-wide HLC stamp of the commit (`0` = unstamped; see
+        /// `Version::hlc`). Recovery re-installs it on the recovered
+        /// versions and re-bases the shard clock past the maximum seen.
+        hlc: u64,
     },
     /// Marker appended when a GCP epoch has been fully flushed; records with
     /// a larger epoch are discarded by recovery after a crash.
@@ -97,6 +101,11 @@ pub enum LogRecord {
         /// `true` for commit; abort decisions may be logged for diagnostics
         /// but are implied by absence (presumed abort).
         commit: bool,
+        /// The coordinator-chosen HLC decision stamp: every participant
+        /// stamps its committed versions with exactly this value, which is
+        /// what makes a cross-shard commit atomically visible to snapshot
+        /// reads. `0` on abort decisions and reservation markers.
+        hlc: u64,
     },
 }
 
@@ -332,6 +341,7 @@ mod tests {
             txn: TxnId(1),
             global_epoch: 3,
             commit_ts: Timestamp(7),
+            hlc: 0,
         });
         dev.flush();
         let records = dev.read_back();

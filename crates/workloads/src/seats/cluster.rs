@@ -34,7 +34,7 @@ use crate::workload::{ClusterWorkload, WorkUnit};
 use rand::rngs::StdRng;
 use rand::Rng;
 use tebaldi_cc::{AccessMode, CcError, CcResult, ProcedureInfo, ProcedureSet};
-use tebaldi_cluster::{Cluster, ShardPart};
+use tebaldi_cluster::{Cluster, ReadConsistency, ReadPart, ShardPart};
 use tebaldi_core::{ProcId, ProcRegistry, ProcedureCall, Txn};
 use tebaldi_storage::codec::{ByteReader, ByteWriter, CodecError};
 use tebaldi_storage::{TxnTypeId, Value};
@@ -471,6 +471,39 @@ impl ClusterSeats {
         )
     }
 
+    /// The two pure-read profiles (find_flights, find_open_seats) served
+    /// by the zero-2PC snapshot path: every key the procedure body would
+    /// touch is computable up front, so one batched snapshot read covers
+    /// the whole profile without locks or WAL records.
+    fn snapshot_read_profile(
+        &self,
+        cluster: &Cluster,
+        ty: TxnTypeId,
+        flight: u32,
+        seat: u32,
+    ) -> WorkUnit {
+        let t = &self.inner.tables;
+        let shard = cluster.shard_of(flight as u64);
+        let read_keys = if ty == types::FIND_FLIGHTS {
+            vec![t.flight_info_key(flight), t.flight_key(flight)]
+        } else {
+            // find_open_seats probes the same deterministic seat window
+            // the shard procedure walks.
+            let params = &self.inner.params;
+            let mut keys = vec![t.flight_key(flight)];
+            for probe in 0..params.open_seat_probes {
+                let s = (seat + probe * 37) % params.seats_per_flight;
+                keys.push(t.reservation_key(flight, s));
+            }
+            keys
+        };
+        let result = cluster
+            .snapshot()
+            .read(vec![ReadPart::new(shard, read_keys)])
+            .map(|_| 0);
+        finish(ty, result, self.inner.max_attempts)
+    }
+
     fn run_single_shard(
         &self,
         cluster: &Cluster,
@@ -479,6 +512,13 @@ impl ClusterSeats {
         seat: u32,
         customer: u32,
     ) -> WorkUnit {
+        // Pure reads ride the snapshot path under a non-Strong default
+        // consistency (update_customer writes, so it never does).
+        if (ty == types::FIND_FLIGHTS || ty == types::FIND_OPEN_SEATS)
+            && !matches!(cluster.default_read_consistency(), ReadConsistency::Strong)
+        {
+            return self.snapshot_read_profile(cluster, ty, flight, seat);
+        }
         let (shard, proc, call) = match ty {
             ty if ty == types::UPDATE_CUSTOMER => (
                 cluster.shard_of(customer as u64),

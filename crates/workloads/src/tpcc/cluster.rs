@@ -31,7 +31,7 @@ use rand::Rng;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use tebaldi_cc::{CcError, CcResult, ProcedureSet};
-use tebaldi_cluster::{Cluster, ShardPart};
+use tebaldi_cluster::{Cluster, ReadConsistency, ReadPart, ShardPart};
 use tebaldi_core::{ProcRegistry, ProcedureCall};
 use tebaldi_storage::codec::{ByteReader, ByteWriter, CodecError};
 use tebaldi_storage::{TxnTypeId, Value};
@@ -459,6 +459,21 @@ impl ClusterTpcc {
         let call = ProcedureCall::new(types::ORDER_STATUS);
         let home = cluster.shard_of(w as u64);
         let customer_shard = cluster.shard_of(c_w as u64);
+        // Under a snapshot (or bounded-staleness) default consistency the
+        // pure read skips the procedure machinery entirely: a pinned
+        // snapshot traversal with zero 2PC, zero locks, and zero WAL
+        // records. BoundedStaleness routes here too — the multi-hop
+        // traversal needs one pinned cut, which per-replica bounded reads
+        // cannot provide.
+        if !matches!(cluster.default_read_consistency(), ReadConsistency::Strong) {
+            let desk = (home != customer_shard).then_some((w, d));
+            let result = self.snapshot_order_status(cluster, desk, c_w, c_d, c);
+            return unit(
+                types::ORDER_STATUS,
+                result.map(|_| 0),
+                self.inner.max_attempts,
+            );
+        }
         let status_args = || {
             let mut buf = ByteWriter::new();
             buf.put_u32(c_w);
@@ -504,6 +519,109 @@ impl ClusterTpcc {
         )
     }
 
+    /// order_status served by the zero-2PC snapshot-read path: a pinned
+    /// [`tebaldi_cluster::SnapshotHandle`] keeps the multi-hop traversal
+    /// (customer → latest order → its lines) on one atomic cut without
+    /// prepare records, locks, or a decision-log entry. The cross-shard
+    /// variant reads the home desk's reference rows in the same cut,
+    /// mirroring the 2PC decomposition's access pattern.
+    fn snapshot_order_status(
+        &self,
+        cluster: &Cluster,
+        home_desk: Option<(u32, u32)>,
+        c_w: u32,
+        c_d: u32,
+        c: u32,
+    ) -> CcResult<i64> {
+        let keys = &self.inner.keys;
+        let shard = cluster.shard_of(c_w as u64);
+        let snap = cluster.snapshot();
+        let mut parts = vec![ReadPart::new(
+            shard,
+            vec![
+                keys.customer(c_w, c_d, c),
+                keys.customer_order_index(c_w, c_d, c),
+            ],
+        )];
+        if let Some((w, d)) = home_desk {
+            parts.push(ReadPart::new(
+                cluster.shard_of(w as u64),
+                vec![keys.warehouse(w), keys.district(w, d)],
+            ));
+        }
+        let first = snap.read(parts)?;
+        let balance = first[0].as_ref().and_then(|v| v.field(0)).unwrap_or(0);
+        if let Some(o_id) = first[1].as_ref().and_then(|v| v.as_int()) {
+            let order = snap.read(vec![ReadPart::new(
+                shard,
+                vec![keys.order(c_w, c_d, o_id as u32)],
+            )])?;
+            let ol_cnt = order[0].as_ref().and_then(|v| v.field(0)).unwrap_or(0);
+            if ol_cnt > 0 {
+                let line_keys = (0..ol_cnt as u32)
+                    .map(|line| keys.order_line(c_w, c_d, o_id as u32, line))
+                    .collect();
+                let _ = snap.read(vec![ReadPart::new(shard, line_keys)])?;
+            }
+        }
+        Ok(balance)
+    }
+
+    /// stock_level on the snapshot path: the district cursor, the recent
+    /// orders, their lines, and the referenced stock rows all read from
+    /// one pinned cut — four batched hops instead of one locked
+    /// procedure execution.
+    fn snapshot_stock_level(
+        &self,
+        cluster: &Cluster,
+        w: u32,
+        d: u32,
+        threshold: i64,
+        recent_orders: u32,
+    ) -> CcResult<u64> {
+        use super::transactions::district_fields;
+        let keys = &self.inner.keys;
+        let shard = cluster.shard_of(w as u64);
+        let snap = cluster.snapshot();
+        let district = snap.read(vec![ReadPart::new(shard, vec![keys.district(w, d)])])?;
+        let next_o_id = district[0]
+            .as_ref()
+            .and_then(|v| v.field(district_fields::NEXT_O_ID))
+            .unwrap_or(1);
+        let low = (next_o_id - recent_orders as i64).max(1);
+        let order_ids: Vec<u32> = (low..next_o_id).map(|o| o as u32).collect();
+        if order_ids.is_empty() {
+            return Ok(0);
+        }
+        let orders = snap.read(vec![ReadPart::new(
+            shard,
+            order_ids.iter().map(|&o| keys.order(w, d, o)).collect(),
+        )])?;
+        let mut line_keys = Vec::new();
+        for (&o_id, order) in order_ids.iter().zip(orders.iter()) {
+            let ol_cnt = order.as_ref().and_then(|v| v.field(0)).unwrap_or(0);
+            for line in 0..ol_cnt.max(0) as u32 {
+                line_keys.push(keys.order_line(w, d, o_id, line));
+            }
+        }
+        if line_keys.is_empty() {
+            return Ok(0);
+        }
+        let lines = snap.read(vec![ReadPart::new(shard, line_keys)])?;
+        let stock_keys = lines
+            .iter()
+            .map(|line| {
+                let item = line.as_ref().and_then(|v| v.field(0)).unwrap_or(0);
+                keys.stock(w, item as u32)
+            })
+            .collect();
+        let stocks = snap.read(vec![ReadPart::new(shard, stock_keys)])?;
+        Ok(stocks
+            .iter()
+            .filter(|stock| stock.as_ref().and_then(|v| v.field(0)).unwrap_or(0) < threshold)
+            .count() as u64)
+    }
+
     fn run_local(&self, cluster: &Cluster, ty: TxnTypeId, w: u32, rng: &mut StdRng) -> WorkUnit {
         let params = &self.inner.params;
         let d = rng.gen_range(0..params.districts_per_warehouse);
@@ -537,6 +655,16 @@ impl ClusterTpcc {
                 )
             }
             _ => {
+                // stock_level is a pure read: under a non-Strong default
+                // consistency it rides the zero-2PC snapshot path.
+                if !matches!(cluster.default_read_consistency(), ReadConsistency::Strong) {
+                    let result = self.snapshot_stock_level(cluster, w, d, 50, 20);
+                    return unit(
+                        types::STOCK_LEVEL,
+                        result.map(|_| 0),
+                        self.inner.max_attempts,
+                    );
+                }
                 let mut buf = ByteWriter::new();
                 buf.put_u32(w);
                 buf.put_u32(d);

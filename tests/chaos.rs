@@ -223,6 +223,81 @@ fn two_hundred_seeded_fault_schedules_conserve_balance() {
     assert_eq!(totals.conflicting_decisions, 0);
 }
 
+/// Snapshot reads under the hostile plan: a zero-2PC snapshot read that
+/// *succeeds* must observe an atomic cut — here, the conserved total of a
+/// cross-shard transfer workload — no matter which frames the plan drops,
+/// delays, duplicates, or partitions. A read losing frames may fail
+/// cleanly (and the waiting-out of an in-doubt prepare may time out), but
+/// it must never return a cut showing one side of a transfer without the
+/// other. The accumulated success count proves the invariant was actually
+/// exercised, not vacuously skipped.
+#[test]
+fn snapshot_reads_never_observe_a_torn_transfer_under_faults() {
+    use tebaldi_suite::cluster::ReadConsistency;
+
+    let mut observed = 0u64;
+    for seed in 0..20u64 {
+        let mut config = ClusterConfig::for_tests(SHARDS);
+        config.db_config.durability = DurabilityMode::Synchronous;
+        config.fault_plan = Some(FaultPlan::hostile(seed));
+        // Also bounds how long a snapshot read waits out a parked
+        // prepare before failing: a lost decision must not wedge the
+        // reader thread for the whole schedule.
+        config.prepare_timeout_ms = 2_000;
+        let cluster = Arc::new(builder(config).build().unwrap());
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader = {
+            let cluster = Arc::clone(&cluster);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let keys: Vec<(u64, Key)> = (0..ACCOUNTS).map(|a| (a, account_key(a))).collect();
+                let mut seen = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    // Dropped or partitioned frames surface as a clean
+                    // error; only a *successful* read owes atomicity.
+                    if let Ok(values) = cluster.read(keys.clone(), ReadConsistency::Snapshot) {
+                        let total: i64 = values
+                            .iter()
+                            .map(|v| v.as_ref().and_then(|v| v.as_int()).unwrap_or(0))
+                            .sum();
+                        assert_eq!(
+                            total, 0,
+                            "seed {seed}: snapshot read observed a torn transfer"
+                        );
+                        seen += 1;
+                    }
+                }
+                seen
+            })
+        };
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_0F0F);
+        for _ in 0..8 {
+            let a = rng.gen_range(0..ACCOUNTS);
+            let offset = rng.gen_range(1..SHARDS as u64);
+            let b = (a + offset) % ACCOUNTS;
+            let amount = rng.gen_range(1..50);
+            let _ = cluster.execute_multi(transfer_parts(&cluster, a, b, amount));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        observed += reader.join().expect("snapshot reader panicked");
+
+        // The durable state the readers raced stays conserved too.
+        let sum = recovered_sum(&cluster);
+        assert_eq!(
+            sum, 0,
+            "seed {seed}: recovered balances must conserve (sum {sum} != 0)"
+        );
+        cluster.shutdown();
+    }
+    assert!(
+        observed > 0,
+        "no snapshot read ever succeeded under the fault schedules"
+    );
+}
+
 /// A quiet plan injects nothing: the wiring itself must not perturb the
 /// workload, and every fault counter stays zero.
 #[test]

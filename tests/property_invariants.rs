@@ -15,6 +15,7 @@ fn version(writer: u64, value: i64) -> Version {
         state: VersionState::Uncommitted,
         commit_ts: None,
         order_ts: None,
+        hlc: 0,
     }
 }
 

@@ -373,7 +373,7 @@ mod cluster_seats_recovery {
             )
             .unwrap();
         // Commit point reached...
-        cluster.coordinator().log_commit(decided);
+        cluster.coordinator().log_commit(decided, 0);
 
         // Reservation B (no decision): flight B seat 2.
         let undecided = cluster.coordinator().begin_global();
@@ -468,6 +468,97 @@ mod cluster_seats_recovery {
                 .unwrap_or(0);
         }
         assert_eq!(customer_counts, total_rows, "counts balance after recovery");
+        cluster.shutdown();
+    }
+}
+
+mod cluster_snapshot_wal {
+    use super::common::test_partitioning;
+    use super::*;
+    use tebaldi_suite::cluster::{procs, Cluster, ClusterConfig, ReadConsistency};
+    use tebaldi_suite::storage::wal::LogDevice;
+
+    const SHARDS: usize = 2;
+
+    /// The zero-2PC contract of the HLC snapshot path, measured at the
+    /// devices: a cross-shard read-only transaction served via
+    /// `ReadConsistency::Snapshot` appends nothing — no prepare-phase
+    /// record on any shard's WAL and no record on the coordinator's
+    /// decision log. (The `Strong` baseline on the same keys goes through
+    /// the vote path; this is exactly the cost the snapshot path sheds.)
+    #[test]
+    fn cluster_snapshot_reads_append_no_prepare_or_decision_records() {
+        let mut config = ClusterConfig::for_tests(SHARDS);
+        config.db_config.durability = DurabilityMode::Synchronous;
+        config.partitioning = test_partitioning();
+        let shard_logs: Vec<Arc<MemLogDevice>> =
+            (0..SHARDS).map(|_| Arc::new(MemLogDevice::new())).collect();
+        let decision_log = Arc::new(MemLogDevice::new());
+        let cluster = Cluster::builder(config)
+            .procedures(procedures())
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TY]))
+            .shard_logs(
+                shard_logs
+                    .iter()
+                    .map(|log| Arc::clone(log) as Arc<dyn tebaldi_suite::storage::wal::LogDevice>)
+                    .collect(),
+            )
+            .decision_log(
+                Arc::clone(&decision_log) as Arc<dyn tebaldi_suite::storage::wal::LogDevice>
+            )
+            .build()
+            .unwrap();
+
+        // One key per shard, written through the WAL so the snapshot has
+        // committed versions to serve.
+        let id_a = 0u64;
+        let id_b = (1..64)
+            .find(|&id| cluster.shard_of(id) != cluster.shard_of(id_a))
+            .expect("a key on the other shard");
+        for (id, value) in [(id_a, 7), (id_b, 35)] {
+            cluster
+                .execute_single(
+                    cluster.shard_of(id),
+                    procs::KV_PUT,
+                    &ProcedureCall::new(TY),
+                    procs::put_args(Key::simple(TABLE, id), &Value::Int(value)),
+                    10,
+                )
+                .expect("seed write commits");
+        }
+
+        let wal_floor: Vec<usize> = shard_logs.iter().map(|log| log.durable_len()).collect();
+        let decision_floor = decision_log.durable_len();
+
+        // The cross-shard snapshot read: both shards in one consistent cut.
+        let values = cluster
+            .read(
+                vec![
+                    (id_a, Key::simple(TABLE, id_a)),
+                    (id_b, Key::simple(TABLE, id_b)),
+                ],
+                ReadConsistency::Snapshot,
+            )
+            .expect("snapshot read serves");
+        assert_eq!(values[0], Some(Value::Int(7)));
+        assert_eq!(values[1], Some(Value::Int(35)));
+        assert!(
+            cluster.stats().snapshot_reads > 0,
+            "the read must have gone down the snapshot path"
+        );
+
+        for (shard, log) in shard_logs.iter().enumerate() {
+            assert_eq!(
+                log.durable_len(),
+                wal_floor[shard],
+                "shard {shard}: a snapshot read appended a WAL record"
+            );
+        }
+        assert_eq!(
+            decision_log.durable_len(),
+            decision_floor,
+            "a snapshot read appended a decision record"
+        );
         cluster.shutdown();
     }
 }

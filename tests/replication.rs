@@ -17,6 +17,7 @@
 //!   same cluster object, and leaves the old primary's log a truncatable
 //!   prefix of the new one.
 
+use std::sync::Arc;
 use std::time::Duration;
 use tebaldi_suite::cc::{AccessMode, CcKind, CcTreeSpec, ProcedureInfo, ProcedureSet};
 use tebaldi_suite::cluster::procs;
@@ -25,6 +26,7 @@ use tebaldi_suite::cluster::{
     TransportKind,
 };
 use tebaldi_suite::core::{DurabilityMode, ProcedureCall};
+use tebaldi_suite::storage::wal::{LogDevice, LogRecord, MemLogDevice};
 use tebaldi_suite::storage::{Key, TableId, TxnTypeId};
 
 const TABLE: TableId = TableId(0);
@@ -230,6 +232,143 @@ fn promote_backup_preserves_acked_writes_and_resumes_traffic() {
         "rejoined log must be a prefix of the promoted primary's"
     );
 
+    cluster.shutdown();
+}
+
+/// A decision log whose *first* `read_back` hides everything appended
+/// after the arm point — the exact race `promote_backup`'s
+/// re-poll-until-stable loop exists for: a 2PC commit decision that lands
+/// (or becomes visible) only after the promotion's initial decision-log
+/// poll. Every later `read_back` returns the full log.
+struct GatedDecisionLog {
+    inner: MemLogDevice,
+    /// Records visible to the first `read_back` (`u64::MAX` = unarmed).
+    visible_to_first: std::sync::atomic::AtomicU64,
+    first_done: std::sync::atomic::AtomicBool,
+}
+
+impl GatedDecisionLog {
+    fn new() -> Self {
+        GatedDecisionLog {
+            inner: MemLogDevice::new(),
+            visible_to_first: std::sync::atomic::AtomicU64::new(u64::MAX),
+            first_done: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Arms the gate: the next `read_back` sees only the records durable
+    /// *now*; everything appended after this call stays hidden from it.
+    fn arm(&self) {
+        self.visible_to_first.store(
+            self.inner.durable_len() as u64,
+            std::sync::atomic::Ordering::SeqCst,
+        );
+        self.first_done
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+    }
+}
+
+impl LogDevice for GatedDecisionLog {
+    fn append(&self, record: &LogRecord) {
+        self.inner.append(record);
+    }
+    fn flush(&self) {
+        self.inner.flush();
+    }
+    fn read_back(&self) -> Vec<LogRecord> {
+        let mut records = self.inner.read_back();
+        let limit = self
+            .visible_to_first
+            .load(std::sync::atomic::Ordering::SeqCst);
+        if !self
+            .first_done
+            .swap(true, std::sync::atomic::Ordering::SeqCst)
+            && (limit as usize) < records.len()
+        {
+            records.truncate(limit as usize);
+        }
+        records
+    }
+    // Delegate the derived accessors: their trait defaults go through
+    // `read_back` and would consume the gate from a code path that is not
+    // the promotion's decision poll.
+    fn durable_len(&self) -> usize {
+        self.inner.durable_len()
+    }
+    fn read_from(&self, from: usize) -> Vec<LogRecord> {
+        self.inner.read_from(from)
+    }
+    fn truncate_to(&self, len: usize) -> bool {
+        self.inner.truncate_to(len)
+    }
+}
+
+/// Regression test for the failover decision-race window: a commit
+/// decision the promotion's *first* decision-log poll does not see must
+/// still commit on the promoted primary — the replay loop re-polls after
+/// presuming an in-doubt transaction aborted and replays against the
+/// fresh snapshot. With a single stale poll (the old behavior) the write
+/// below would silently vanish despite its durable commit decision.
+#[test]
+fn promotion_repolls_decisions_logged_during_replay() {
+    let decision_log = Arc::new(GatedDecisionLog::new());
+    let mut config = ClusterConfig::for_tests(2);
+    config.db_config.durability = DurabilityMode::Synchronous;
+    config.transport = TransportKind::Tcp;
+    config.replication = Some(ReplicationConfig {
+        replicas: 1,
+        quorum: 1,
+        ack_timeout_ms: 5_000,
+    });
+    let cluster = builder(config)
+        .decision_log(Arc::clone(&decision_log) as Arc<dyn LogDevice>)
+        .build()
+        .unwrap();
+
+    let id = (0..100).find(|&i| cluster.shard_of(i) == 0).unwrap();
+    assert_eq!(increment(&cluster, id, 7), 7);
+
+    // Park a prepared write on shard 0 by hand (its Prepare record ships
+    // to the follower), then log its commit decision — but never deliver
+    // the decision to the shard, as if the coordinator thread finishing
+    // this 2PC raced the failover.
+    let global = cluster.coordinator().begin_global();
+    let (_, prepared) = cluster
+        .shard(0)
+        .prepare(&ProcedureCall::new(TY), global, |txn| {
+            txn.increment(key(id), 0, 13)
+        })
+        .map(|(v, vote)| (v, vote.expect_prepared()))
+        .unwrap();
+    std::mem::forget(prepared);
+    // The shipper tails the primary's log asynchronously; wait until the
+    // Prepare record is on the follower, or the promotion below would not
+    // find the transaction in doubt at all.
+    let group = cluster.replication(0).expect("shard 0 is replicated");
+    let durable = cluster.shard_log(0).durable_len() as u64;
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while group.quorum_lsn() < durable {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "prepare record never shipped to the follower"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    // Arm the gate *before* the decision lands: the promotion's first
+    // poll will not see the commit, exactly like a decision logged
+    // mid-replay.
+    decision_log.arm();
+    cluster.coordinator().log_commit(global, 42);
+
+    let report = cluster.promote_backup(0).expect("promotion succeeds");
+    assert!(
+        report.in_doubt >= 1,
+        "the parked prepare must have been in doubt"
+    );
+
+    // The decision-log commit must not be lost: the promoted primary
+    // serves the prepared increment's effect.
+    assert_eq!(increment(&cluster, id, 0), 20, "7 + 13 must both survive");
     cluster.shutdown();
 }
 

@@ -672,7 +672,7 @@ mod cluster_suite {
                 txn.increment(Key::simple(ACCOUNTS_TABLE, 1), 0, 100)
             })
             .unwrap();
-        cluster.coordinator().log_commit(decided);
+        cluster.coordinator().log_commit(decided, 0);
 
         // Transfer B (no decision): must roll back on recovery.
         let undecided = cluster.coordinator().begin_global();
@@ -736,6 +736,223 @@ mod cluster_suite {
             INITIAL_BALANCE * SHARDS as i64,
             "atomicity preserved"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster: snapshot reads in the global DSG
+// ---------------------------------------------------------------------------
+
+/// Property: histories mixing zero-2PC snapshot reads with read-write
+/// 2PC traffic stay serializable. Every write carries a globally unique
+/// tag, so each value a snapshot read observes identifies its writer;
+/// the snapshot reads then join the merged global history as read-only
+/// transactions (the wr edges come from the tags, the rw/ww edges from
+/// the per-key version orders) and the Adya DSG oracle must find no
+/// dangerous structure. A torn read of a cross-shard commit would show
+/// up immediately: its parts collapse onto one DSG node, so observing a
+/// transaction's write on one shard while missing it on another yields a
+/// wr edge into the reader and an rw edge straight back — a cycle.
+mod cluster_snapshot_suite {
+    use super::cluster_common::merged_global_history;
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+    use tebaldi_suite::cc::history::{ReadRecord, TxnRecord};
+    use tebaldi_suite::cluster::{procs, Cluster, ClusterConfig};
+    use tebaldi_suite::core::DurabilityMode;
+    use tebaldi_suite::storage::{GroupId, TxnId};
+
+    const SHARDS: usize = 4;
+    const KEYS: u64 = 8;
+
+    fn build() -> Cluster {
+        let mut config = ClusterConfig::for_tests(SHARDS);
+        // Synchronous WAL: prepare records double as the local→global id
+        // map when merging per-shard histories into one global DSG.
+        config.db_config.durability = DurabilityMode::Synchronous;
+        let cluster = Cluster::builder(config)
+            .procedures(procedures())
+            .cc_spec(CcTreeSpec::monolithic(CcKind::TwoPl, vec![TRANSFER, AUDIT]))
+            .build()
+            .unwrap();
+        for account in 0..KEYS {
+            // Negative tags mark bootstrap versions (no DSG writer node).
+            cluster.load(
+                account,
+                Key::simple(ACCOUNTS_TABLE, account),
+                Value::Int(-1 - account as i64),
+            );
+        }
+        cluster
+    }
+
+    fn acct(account: u64) -> Key {
+        Key::simple(ACCOUNTS_TABLE, account)
+    }
+
+    /// Runs the tagged writes in program order, returning each key's
+    /// committed tags in commit order (one writer thread, so program
+    /// order *is* per-key commit order).
+    fn run_writes(cluster: &Cluster, ops: &[(u64, u64)]) -> HashMap<Key, Vec<i64>> {
+        let mut written: HashMap<Key, Vec<i64>> = HashMap::new();
+        for (index, &(a, b_raw)) in ops.iter().enumerate() {
+            let b = if b_raw == a {
+                (b_raw + 1) % KEYS
+            } else {
+                b_raw
+            };
+            let tag_a = (index as i64) * 2 * KEYS as i64 + a as i64;
+            let tag_b = (index as i64) * 2 * KEYS as i64 + KEYS as i64 + b as i64;
+            let (sa, sb) = (cluster.shard_of(a), cluster.shard_of(b));
+            if sa == sb {
+                // Same shard: two independent single-shard writes.
+                for (account, shard, tag) in [(a, sa, tag_a), (b, sb, tag_b)] {
+                    cluster
+                        .execute_single(
+                            shard,
+                            procs::KV_PUT,
+                            &ProcedureCall::new(TRANSFER),
+                            procs::put_args(acct(account), &Value::Int(tag)),
+                            10,
+                        )
+                        .expect("single-shard put commits");
+                    written.entry(acct(account)).or_default().push(tag);
+                }
+            } else {
+                // Cross-shard: both tags commit atomically through 2PC.
+                cluster
+                    .execute_multi(vec![
+                        procs::put_part(
+                            sa,
+                            ProcedureCall::new(TRANSFER),
+                            acct(a),
+                            &Value::Int(tag_a),
+                        ),
+                        procs::put_part(
+                            sb,
+                            ProcedureCall::new(TRANSFER),
+                            acct(b),
+                            &Value::Int(tag_b),
+                        ),
+                    ])
+                    .expect("cross-shard put commits: one writer, no conflicts");
+                written.entry(acct(a)).or_default().push(tag_a);
+                written.entry(acct(b)).or_default().push(tag_b);
+            }
+        }
+        written
+    }
+
+    /// Maps each (key, tag) to the merged-history DSG node that wrote it
+    /// by aligning the writer thread's per-key commit order with the
+    /// history's per-key version order (commit-timestamp order, exactly
+    /// as `dsg::build` derives it).
+    fn tag_writers(
+        history: &tebaldi_suite::cc::history::History,
+        written: &HashMap<Key, Vec<i64>>,
+    ) -> HashMap<(Key, i64), TxnId> {
+        let mut order: HashMap<Key, Vec<(tebaldi_suite::storage::Timestamp, TxnId)>> =
+            HashMap::new();
+        for txn in history.committed() {
+            let ts = txn.commit_ts.expect("committed txns carry a commit ts");
+            for key in &txn.writes {
+                order.entry(*key).or_default().push((ts, txn.txn));
+            }
+        }
+        let mut writers = HashMap::new();
+        for (key, tags) in written {
+            let versions = order.entry(*key).or_default();
+            versions.sort();
+            assert_eq!(
+                versions.len(),
+                tags.len(),
+                "key {key:?}: history writer count must match issued writes"
+            );
+            for (tag, (_, txn)) in tags.iter().zip(versions.iter()) {
+                writers.insert((*key, *tag), *txn);
+            }
+        }
+        writers
+    }
+
+    proptest! {
+        #[test]
+        fn snapshot_reads_merge_into_an_acyclic_global_dsg(
+            ops in proptest::collection::vec((0u64..KEYS, 0u64..KEYS), 3..14),
+            snapshots in 1usize..4,
+        ) {
+            let cluster = std::sync::Arc::new(build());
+            // Pinned before any write: its cut must stay consistent no
+            // matter how late it is read.
+            let pinned = cluster.snapshot();
+            let all_keys: Vec<(u64, Key)> = (0..KEYS).map(|a| (a, acct(a))).collect();
+
+            let writer = {
+                let cluster = std::sync::Arc::clone(&cluster);
+                let ops = ops.clone();
+                std::thread::spawn(move || run_writes(&cluster, &ops))
+            };
+            // Snapshot reads race the writer thread.
+            let mut observations: Vec<Vec<Option<Value>>> = Vec::new();
+            for _ in 0..snapshots {
+                observations.push(
+                    cluster
+                        .snapshot()
+                        .read_keyed(all_keys.clone())
+                        .expect("snapshot read succeeds"),
+                );
+            }
+            let written = writer.join().expect("writer panicked");
+            // The pre-write pin and a post-quiescence snapshot bracket the
+            // concurrent ones.
+            observations.push(pinned.read_keyed(all_keys.clone()).expect("pinned read"));
+            observations.push(
+                cluster
+                    .snapshot()
+                    .read_keyed(all_keys.clone())
+                    .expect("quiescent snapshot read"),
+            );
+
+            let mut history = merged_global_history(&cluster);
+            let writers = tag_writers(&history, &written);
+            for (reader, observed) in observations.iter().enumerate() {
+                let mut reads = Vec::new();
+                for ((_, key), value) in all_keys.iter().zip(observed.iter()) {
+                    let tag = value
+                        .as_ref()
+                        .and_then(|v| v.as_int())
+                        .expect("every key was loaded with an Int");
+                    let from = if tag < 0 {
+                        TxnId::BOOTSTRAP
+                    } else {
+                        *writers
+                            .get(&(*key, tag))
+                            .expect("observed tag must belong to an issued write")
+                    };
+                    reads.push(ReadRecord { key: *key, from });
+                }
+                history.txns.push(TxnRecord {
+                    txn: TxnId(950_000_000 + reader as u64),
+                    ty: AUDIT,
+                    group: GroupId(0),
+                    reads,
+                    writes: Vec::new(),
+                    committed: true,
+                    commit_ts: None,
+                });
+            }
+
+            let report = dsg::check(&history);
+            prop_assert!(
+                report.serializable,
+                "snapshot reads broke the global DSG: cycle={:?} edges={:?}",
+                report.cycle,
+                report.cycle_edges
+            );
+            prop_assert!(cluster.stats().snapshot_reads >= (snapshots + 2) as u64);
+            cluster.shutdown();
+        }
     }
 }
 

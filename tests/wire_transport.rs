@@ -30,7 +30,7 @@ fn request_from_seed((variant, a, b): (u32, u64, u64)) -> ShardRequest {
     let trace = TraceCtx {
         trace_id: if a % 3 == 0 { 0 } else { a ^ b.rotate_left(17) },
     };
-    match variant % 8 {
+    match variant % 9 {
         0 => ShardRequest::Execute {
             proc: ProcId((a % 1000) as u32),
             call,
@@ -45,11 +45,24 @@ fn request_from_seed((variant, a, b): (u32, u64, u64)) -> ShardRequest {
             args,
             trace,
         },
-        2 => ShardRequest::Commit { global: a },
-        3 => ShardRequest::CommitOnePhase { global: b },
+        2 => ShardRequest::Commit {
+            global: a,
+            hlc: a.wrapping_mul(7),
+        },
+        3 => ShardRequest::CommitOnePhase {
+            global: b,
+            hlc: b.rotate_left(9),
+        },
         4 => ShardRequest::Abort { global: a ^ b },
         5 => ShardRequest::Stats,
         6 => ShardRequest::Metrics,
+        7 => ShardRequest::SnapshotRead {
+            snapshot: a.wrapping_add(b),
+            wait_ms: b % 10_000,
+            keys: (0..(a % 5))
+                .map(|i| Key::simple(TableId((b % 7) as u32), i ^ b))
+                .collect(),
+        },
         _ => ShardRequest::Flush,
     }
 }
@@ -64,7 +77,7 @@ fn result_from_seed((variant, a, b): (u32, u64, u64)) -> Result<ShardResponse, C
         3 => Value::str("wire-payload"),
         _ => Value::Bytes(bytes::Bytes::from(vec![(a % 251) as u8; (b % 24) as usize])),
     };
-    match variant % 9 {
+    match variant % 10 {
         0 => Ok(ShardResponse::Executed {
             value,
             aborts: (b % 30) as u32,
@@ -76,6 +89,7 @@ fn result_from_seed((variant, a, b): (u32, u64, u64)) -> Result<ShardResponse, C
             } else {
                 Vote::ReadWrite
             },
+            hlc: a.wrapping_mul(b) | 1,
         }),
         2 => Ok(ShardResponse::Decided),
         3 => Ok(ShardResponse::Stats(ShardStatsReply {
@@ -88,8 +102,14 @@ fn result_from_seed((variant, a, b): (u32, u64, u64)) -> Result<ShardResponse, C
             follower_reads: b.rotate_left(17),
             failovers: a % 3,
             replica_acks_timed_out: a.wrapping_mul(31) ^ b,
+            snapshot_reads: b % 101,
+            snapshot_read_wait_ns: a.rotate_left(23),
         })),
         4 => Ok(ShardResponse::Flushed),
+        8 => Ok(ShardResponse::Snapshot {
+            values: (0..(a % 4)).map(|i| Value::Int((i ^ b) as i64)).collect(),
+            hlc: a.wrapping_add(b),
+        }),
         5 => Err(CcError::Conflict {
             mechanism: "seats-workload",
             reason: "reservation no-op",
@@ -108,19 +128,21 @@ proptest! {
     /// layer.
     #[test]
     fn shard_requests_roundtrip_through_frames(
-        seeds in proptest::collection::vec((0u32..8, 0u64..1_000_000, 0u64..1_000_000), 1..24),
+        seeds in proptest::collection::vec((0u32..9, 0u64..1_000_000, 0u64..1_000_000), 1..24),
         req_id in 0u64..1_000_000_000,
+        hlc in 0u64..u64::MAX,
     ) {
         for seed in seeds {
             let request = request_from_seed(seed);
-            let payload = wire::encode_request(req_id, &request);
+            let payload = wire::encode_request(req_id, hlc, &request);
             // Through the frame layer: write, read back, decode.
             let mut buf = Vec::new();
             wire::write_frame(&mut buf, &payload).unwrap();
             let mut cursor = std::io::Cursor::new(buf);
             let framed = wire::read_frame(&mut cursor).unwrap().unwrap();
-            let (id, back) = wire::decode_request(&framed).unwrap();
+            let (id, frame_hlc, back) = wire::decode_request(&framed).unwrap();
             prop_assert_eq!(id, req_id);
+            prop_assert_eq!(frame_hlc, hlc);
             prop_assert_eq!(back, request);
         }
     }
@@ -128,14 +150,16 @@ proptest! {
     /// encode→decode equality for random responses and errors.
     #[test]
     fn shard_results_roundtrip(
-        seeds in proptest::collection::vec((0u32..9, 0u64..1_000_000, 0u64..1_000_000), 1..24),
+        seeds in proptest::collection::vec((0u32..10, 0u64..1_000_000, 0u64..1_000_000), 1..24),
         req_id in 0u64..1_000_000_000,
+        hlc in 0u64..u64::MAX,
     ) {
         for seed in seeds {
             let result = result_from_seed(seed);
-            let payload = wire::encode_result(req_id, &result);
-            let (id, back) = wire::decode_result(&payload).unwrap();
+            let payload = wire::encode_result(req_id, hlc, &result);
+            let (id, frame_hlc, back) = wire::decode_result(&payload).unwrap();
             prop_assert_eq!(id, req_id);
+            prop_assert_eq!(frame_hlc, hlc);
             prop_assert_eq!(back, result);
         }
     }
@@ -146,13 +170,13 @@ proptest! {
     #[test]
     fn garbage_and_truncated_payloads_never_panic(
         garbage in proptest::collection::vec(0u32..256, 0..64),
-        seed in (0u32..8, 0u64..1_000_000, 0u64..1_000_000),
+        seed in (0u32..9, 0u64..1_000_000, 0u64..1_000_000),
     ) {
         let bytes: Vec<u8> = garbage.iter().map(|&b| b as u8).collect();
         let _ = wire::decode_request(&bytes);
         let _ = wire::decode_result(&bytes);
         // Truncations of a valid request payload: always a clean error.
-        let payload = wire::encode_request(7, &request_from_seed(seed));
+        let payload = wire::encode_request(7, 11, &request_from_seed(seed));
         for cut in 0..payload.len() {
             prop_assert!(wire::decode_request(&payload[..cut]).is_err());
         }
@@ -289,7 +313,7 @@ mod pipelining {
         );
         // The prepare still completes correctly — durable, parked, and
         // decidable — it was just slower.
-        let (_, vote) = prepare_ticket
+        let (_, vote, _) = prepare_ticket
             .wait()
             .unwrap()
             .unwrap()
@@ -349,7 +373,7 @@ mod pipelining {
             })
             .collect();
         for handle in handles {
-            let (_, vote) = handle.join().unwrap();
+            let (_, vote, _) = handle.join().unwrap();
             assert_eq!(vote, tebaldi_suite::cluster::Vote::ReadWrite);
         }
         assert_eq!(workers.in_doubt_count(), n as usize);
